@@ -1,0 +1,46 @@
+# Mirrors the paper's automation entry points (`make infra`,
+# `make run_deployed_benchmark`) on top of the Go toolchain.
+
+BUCKET ?= ./etude-bucket
+MODEL ?= gru4rec
+CATALOG ?= 10000
+RATE ?= 100
+DURATION ?= 30s
+EXPERIMENT ?= table1
+SCALE ?= test
+
+.PHONY: build test bench vet infra run_deployed_benchmark benchmark advise clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+vet:
+	go vet ./...
+
+# One-time infrastructure provisioning (the paper's `make infra`): creates
+# the local object-store bucket used for model artifacts and results.
+infra:
+	go run ./cmd/etude infra -bucket $(BUCKET)
+
+# Deploy a model behind readiness probes and load test it (the paper's
+# `make run_deployed_benchmark`). Results land in $(BUCKET)/results/.
+run_deployed_benchmark:
+	go run ./cmd/etude live -model $(MODEL) -catalog $(CATALOG) -rate $(RATE) \
+		-duration $(DURATION) -bucket $(BUCKET)
+
+# Regenerate a paper experiment: make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes
+benchmark:
+	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE)
+
+# Automatic instance-type choice for a declarative workload.
+advise:
+	go run ./cmd/etude advise -model $(MODEL) -catalog $(CATALOG) -rate $(RATE)
+
+clean:
+	rm -rf $(BUCKET)

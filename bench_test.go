@@ -1,0 +1,620 @@
+// Package etude_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's experimental study (§III):
+//
+//	BenchmarkFig2Infrastructure  — Fig 2: TorchServe vs the ETUDE server
+//	BenchmarkSyntheticValidation — §III-A: synthetic vs real click logs
+//	BenchmarkFig3Micro           — Fig 3: serial latency vs catalog size
+//	BenchmarkFig4EndToEnd        — Fig 4: latency/throughput per scenario
+//	BenchmarkTable1Deployments   — Table I: cost-efficient deployments
+//	BenchmarkModelIssues         — §III-C: RecBole implementation issues
+//
+// plus ablation benchmarks for the design decisions called out in
+// DESIGN.md and per-model inference micro-benchmarks. Macro benchmarks run
+// scaled-down parameters so `go test -bench=.` finishes in minutes; rerun
+// with -benchtime=1x and the paper-scale knobs in internal/experiments for
+// full fidelity. Rendered result tables appear with `go test -bench=. -v`.
+package etude_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"etude/internal/ann"
+	"etude/internal/autoscale"
+	"etude/internal/batching"
+	"etude/internal/core"
+	"etude/internal/costmodel"
+	"etude/internal/device"
+	"etude/internal/experiments"
+	"etude/internal/httpapi"
+	"etude/internal/knn"
+	"etude/internal/loadgen"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/quant"
+	"etude/internal/runtimes"
+	"etude/internal/sim"
+	"etude/internal/topk"
+	"etude/internal/torchserve"
+	"etude/internal/workload"
+)
+
+// BenchmarkFig2Infrastructure reruns the infrastructure test (scaled: ramp
+// to 700 req/s over 4s instead of 1,000 req/s over 10 min). Reported
+// metrics: p90 of both servers (ms) and TorchServe's error count.
+func BenchmarkFig2Infrastructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(context.Background(), experiments.Fig2Config{
+			TargetRate: 700,
+			Duration:   4 * time.Second,
+			Tick:       500 * time.Millisecond,
+			TorchServe: torchserve.DefaultConfig(),
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Etude.Overall.P90)/1e6, "etude-p90-ms")
+		b.ReportMetric(float64(res.TorchServe.Overall.P90)/1e6, "torchserve-p90-ms")
+		b.ReportMetric(float64(res.TorchServe.Errors), "torchserve-errors")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkSyntheticValidation reruns the §III-A workload validation.
+// Reported metric: relative p90 difference between real-log replay and the
+// synthetic workload regenerated from its fitted marginals.
+func BenchmarkSyntheticValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Validation(context.Background(), experiments.ValidationConfig{
+			CatalogSize: 5_000,
+			RealClicks:  30_000,
+			TargetRate:  200,
+			Duration:    3 * time.Second,
+			Tick:        500 * time.Millisecond,
+			Model:       "gru4rec",
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.P90RatioDiff*100, "p90-diff-%")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig3Micro regenerates the micro-benchmark sweep over all ten
+// models, the paper's four catalog sizes, CPU and T4, eager and JIT
+// (cost-model mode, as on-paper GPU hardware is simulated).
+func BenchmarkFig3Micro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig3Config()
+		cfg.Requests = 100
+		res, err := experiments.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report := func(m string, c int, d, e string, unit string) {
+			for _, r := range res.Rows {
+				if r.Model == m && r.CatalogSize == c && r.Device == d && r.Exec == e {
+					b.ReportMetric(float64(r.P90)/1e6, unit)
+				}
+			}
+		}
+		report("gru4rec", 1_000_000, "cpu", "eager", "cpu-1e6-eager-ms")
+		report("gru4rec", 1_000_000, "gpu-t4", "jit", "t4-1e6-jit-ms")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig3MicroMeasured is the live companion of Fig 3: the real Go
+// models executed serially on this machine's CPU (catalog sizes scaled to
+// what a test box handles in seconds).
+func BenchmarkFig3MicroMeasured(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(experiments.Fig3Config{
+			Models:       model.Names(),
+			CatalogSizes: []int{10_000, 100_000},
+			Devices:      []string{"cpu"},
+			Requests:     30,
+			Mode:         experiments.Fig3Measured,
+			Seed:         1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig4EndToEnd regenerates the end-to-end study on the simulator
+// (virtual 30-second ramps; the full 10-minute runs are a flag away).
+func BenchmarkFig4EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig4Config()
+		cfg.Duration = 30 * time.Second
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meets := 0
+		for _, r := range res.Rows {
+			if r.MeetsSLO {
+				meets++
+			}
+		}
+		b.ReportMetric(float64(meets), "combos-meeting-slo")
+		b.ReportMetric(float64(len(res.Rows)), "combos-total")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkTable1Deployments regenerates Table I: per-scenario capacity
+// search, fleet sizing and cost ranking for the six healthy models.
+func BenchmarkTable1Deployments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(experiments.DefaultTable1Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			for _, o := range row.Options {
+				if o.Cheapest {
+					b.ReportMetric(o.MonthlyUSD, "cheapest-$-"+shortName(row.Scenario.Name))
+				}
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func shortName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkModelIssues regenerates the §III-C implementation-issue study.
+func BenchmarkModelIssues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Issues(experiments.DefaultIssuesConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.FixedSerial > 0 {
+				b.ReportMetric(float64(row.FaithfulSerial)/float64(row.FixedSerial), row.Model+"-slowdown-x")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkModelInference measures real single-request inference latency of
+// every model on this machine's CPU (C=100k, eager vs JIT) — the live
+// ground truth behind the Fig 3 CPU lines.
+func BenchmarkModelInference(b *testing.B) {
+	session := []int64{17, 430, 99, 17, 2048}
+	for _, name := range model.Names() {
+		m, err := model.New(name, model.Config{CatalogSize: 100_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/eager", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Recommend(session)
+			}
+		})
+		if jc, ok := m.(model.JITCompilable); ok {
+			compiled := jc.CompiledRecommend()
+			b.Run(name+"/jit", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					compiled(session)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures synthetic click generation; the
+// paper claims >1M clicks/second on one core at C=1e7.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: 10_000_000,
+		NumClicks:   1,
+		AlphaLength: 2.2,
+		AlphaClicks: 1.6,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	clicks := 0
+	for i := 0; i < b.N; i++ {
+		clicks += len(gen.NextSession())
+	}
+	b.ReportMetric(float64(clicks)/b.Elapsed().Seconds(), "clicks/s")
+}
+
+// BenchmarkAblationBackpressure contrasts the backpressure-aware load
+// generator with a naive open-loop generator against an overloaded target:
+// the naive loop piles up unbounded in-flight work while Algorithm 2 keeps
+// it bounded and sheds load gracefully.
+func BenchmarkAblationBackpressure(b *testing.B) {
+	slowTarget := func() (loadgen.Target, *int64) {
+		var inFlight, maxInFlight int64
+		var mu sync.Mutex
+		return loadgen.FuncTarget(func(ctx context.Context, r httpapi.PredictRequest) error {
+			mu.Lock()
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			mu.Unlock()
+			defer func() { mu.Lock(); inFlight--; mu.Unlock() }()
+			select {
+			case <-time.After(800 * time.Millisecond): // far slower than the offered rate
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			return nil
+		}), &maxInFlight
+	}
+	src := fixedSessions{workload.Session{1, 2}}
+
+	b.Run("algorithm2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tgt, maxInFlight := slowTarget()
+			res, err := loadgen.Run(context.Background(), loadgen.Config{
+				TargetRate: 500, Duration: time.Second, Tick: 100 * time.Millisecond,
+				RequestTimeout: 2 * time.Second, DrainTimeout: 3 * time.Second,
+			}, &src, tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(*maxInFlight), "max-inflight")
+			b.ReportMetric(float64(res.Backpressured), "shed")
+		}
+	})
+	b.Run("openloop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tgt, maxInFlight := slowTarget()
+			var wg sync.WaitGroup
+			for r := 0; r < 500; r++ { // one second at 500 req/s, fired blind
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					defer cancel()
+					_ = tgt.Predict(ctx, httpapi.PredictRequest{Items: []int64{1}})
+				}()
+				time.Sleep(2 * time.Millisecond)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(*maxInFlight), "max-inflight")
+		}
+	})
+}
+
+type fixedSessions struct{ s workload.Session }
+
+func (f *fixedSessions) NextSession() workload.Session { return f.s }
+
+// BenchmarkAblationBatching contrasts GPU serving with the paper's
+// 1024/2ms batcher against unbatched serving, at the e-Commerce scenario's
+// per-instance load: batching amortises the catalog scan across requests.
+func BenchmarkAblationBatching(b *testing.B) {
+	run := func(maxBatch int) *sim.RunResult {
+		eng := sim.NewEngine()
+		in, err := sim.NewInstance(eng, device.GPUT4(), "gru4rec",
+			model.Config{CatalogSize: 10_000_000, Seed: 1}, true, 2*time.Millisecond, maxBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.RunBenchmark(eng, sim.LoadConfig{
+			TargetRate: 200, Duration: 20 * time.Second, NoRamp: true, Seed: 1,
+		}, []*sim.Instance{in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("batched-1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := run(1024)
+			b.ReportMetric(float64(res.Recorder.Overall().P90)/1e6, "p90-ms")
+			b.ReportMetric(float64(res.Recorder.Errors()), "errors")
+		}
+	})
+	b.Run("unbatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := run(1)
+			b.ReportMetric(float64(res.Recorder.Overall().P90)/1e6, "p90-ms")
+			b.ReportMetric(float64(res.Recorder.Errors()), "errors")
+		}
+	})
+}
+
+// BenchmarkAblationTopK contrasts the bounded-heap top-k selection
+// (O(C log k)) against a full sort (O(C log C)) over a million scores.
+func BenchmarkAblationTopK(b *testing.B) {
+	m, err := model.New("core", model.Config{CatalogSize: 1 << 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := m.Recommend([]int64{1, 2, 3})
+	scores := make([]float32, 1<<20)
+	for i := range scores {
+		scores[i] = float32(i%977) / 977
+	}
+	_ = recs
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topk.SelectFromScores(scores, model.DefaultTopK)
+		}
+	})
+	b.Run("fullsort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topk.SelectFromScoresSorted(scores, model.DefaultTopK)
+		}
+	})
+}
+
+// BenchmarkAblationJIT measures the real effect of the compiled execution
+// plans (buffer reuse, pre-transposed weights) at a serving-relevant
+// catalog size.
+func BenchmarkAblationJIT(b *testing.B) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 1_000_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := []int64{5, 17, 99}
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Recommend(session)
+		}
+	})
+	compiled := m.(model.JITCompilable).CompiledRecommend()
+	b.Run("jit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compiled(session)
+		}
+	})
+}
+
+// BenchmarkBatcherThroughput measures the live request batcher under
+// concurrent submission.
+func BenchmarkBatcherThroughput(b *testing.B) {
+	batcher, err := batching.New(batching.DefaultConfig(), func(in []int) []int { return in })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer batcher.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := batcher.Submit(context.Background(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHistogramRecord measures the lock-free latency histogram.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := metrics.NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Record(3 * time.Millisecond)
+		}
+	})
+}
+
+// BenchmarkSimulatedTenMinuteRun demonstrates the simulator's speed: a full
+// paper-scale end-to-end run (10-minute ramp to 1,000 req/s on 5 T4s at
+// C=1e7) per iteration.
+func BenchmarkSimulatedTenMinuteRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ms, err := core.RunSim(core.Spec{
+			Name:        "bench",
+			Models:      []string{"gru4rec"},
+			Instances:   []string{"gpu-t4"},
+			CatalogSize: 10_000_000,
+			JIT:         true,
+			TargetRate:  1000,
+			Duration:    10 * time.Minute,
+			Replicas:    5,
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ms[0].Latency.P90)/1e6, "p90-ms")
+		if !ms[0].MeetsSLO {
+			b.Fatalf("five T4s must handle the e-Commerce scenario: %+v", ms[0].Latency)
+		}
+	}
+}
+
+// benchmarks are bound by the SLO constant; keep the import alive and the
+// value visible in -v output.
+var _ = costmodel.LatencySLO
+
+// BenchmarkRetrievalServing contrasts exact MIPS with the two future-work
+// retrieval stages (int8 quantisation, IVF at 1/16 probes) on real model
+// inference at a serving-relevant catalog size.
+func BenchmarkRetrievalServing(b *testing.B) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 500_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := m.(model.Encoder)
+	session := []int64{17, 430, 99}
+
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Recommend(session)
+		}
+	})
+
+	table, err := quant.Quantize(enc.ItemEmbeddings())
+	if err != nil {
+		b.Fatal(err)
+	}
+	quantized, err := model.WithRetrieval(enc, table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("int8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			quantized.Recommend(session)
+		}
+	})
+
+	index, err := ann.Build(enc.ItemEmbeddings(), ann.Config{NLists: 256, KMeansIters: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	approx, err := model.WithRetrieval(enc, model.RetrieverFunc(index.Retriever(16)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ivf-16of256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			approx.Recommend(session)
+		}
+	})
+}
+
+// BenchmarkNonNeuralBaseline quantifies the paper's concluding remark that
+// platform-scale catalogs (C=2e7) "can be handled much cheaper with
+// non-neural approaches": a session-kNN recommender measured on this
+// machine's CPU against the neural models' simulated A100 requirement.
+func BenchmarkNonNeuralBaseline(b *testing.B) {
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: 20_000_000, NumClicks: 1,
+		AlphaLength: 2.2, AlphaClicks: 1.6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	history := make([]workload.Session, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		history = append(history, gen.NextSession())
+	}
+	idx, err := knn.Train(history, knn.Config{CatalogSize: 20_000_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := history[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Recommend(session)
+	}
+	b.StopTimer()
+	perReq := b.Elapsed() / time.Duration(b.N)
+	// Conservative capacity estimate: all 5 CPU cores serving.
+	capacity := 5 / perReq.Seconds()
+	b.ReportMetric(capacity, "cpu-capacity-req/s")
+	// The neural alternative at this scale: 3 A100 instances.
+	b.ReportMetric(3*device.GPUA100().MonthlyCostUSD, "neural-$/month")
+	b.ReportMetric(float64(int(1000/capacity)+1)*device.CPU().MonthlyCostUSD, "vsknn-$/month")
+}
+
+// BenchmarkRuntimeComparison regenerates the future-work runtime study:
+// serial latency per inference runtime per device at C=1e6.
+func BenchmarkRuntimeComparison(b *testing.B) {
+	cfg := model.Config{CatalogSize: 1_000_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		for _, rt := range runtimes.All() {
+			for _, spec := range device.All() {
+				lat, ok, err := rt.SerialInference(spec, "sasrec", cfg, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+				b.ReportMetric(float64(lat)/1e6, rt.Name+"-"+spec.Name+"-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAutoscaler quantifies the autoscaling extension: a diurnal day
+// (trough 40 req/s, peak 500 req/s) served by a static peak-sized CPU fleet
+// vs the utilisation-driven autoscaler. Reported: instance-seconds and the
+// implied monthly cost of each.
+func BenchmarkAutoscaler(b *testing.B) {
+	profile := autoscale.DiurnalProfile(40, 500, 240)
+	const day = 480 * time.Second
+	base := autoscale.Config{
+		Device:   device.CPU(),
+		Model:    "gru4rec",
+		ModelCfg: model.Config{CatalogSize: 1_000_000, Seed: 1},
+		JIT:      true,
+		Interval: 5 * time.Second,
+		Seed:     1,
+	}
+	for i := 0; i < b.N; i++ {
+		staticCfg := base
+		staticCfg.MinReplicas, staticCfg.MaxReplicas = 4, 4
+		static, err := autoscale.Run(staticCfg, profile, day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		autoCfg := base
+		autoCfg.MinReplicas, autoCfg.MaxReplicas = 1, 4
+		auto, err := autoscale.Run(autoCfg, profile, day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(static.MonthlyUSD(device.CPU(), day), "static-$/month")
+		b.ReportMetric(auto.MonthlyUSD(device.CPU(), day), "autoscaled-$/month")
+		b.ReportMetric((1-auto.InstanceSeconds/static.InstanceSeconds)*100, "saving-%")
+		if !auto.MeetsSLO(60 * time.Millisecond) {
+			b.Fatalf("autoscaled fleet missed the SLO: %+v", auto.Recorder.Overall())
+		}
+	}
+}
+
+// BenchmarkMIPSLinearity measures the real (Go-executed) catalog-scan
+// latency at growing catalog sizes — live evidence for Fig 3's headline
+// that inference latency is linear in C.
+func BenchmarkMIPSLinearity(b *testing.B) {
+	for _, c := range []int{10_000, 100_000, 1_000_000} {
+		m, err := model.New("core", model.Config{CatalogSize: c, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled := m.(model.JITCompilable).CompiledRecommend()
+		session := []int64{1, 2, 3}
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				compiled(session)
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+// Command etude-server runs the ETUDE inference server: it deploys an SBR
+// model (from flags or from an object-store bucket) and serves
+// /predictions and /ping over HTTP.
+//
+// Examples:
+//
+//	etude-server -model gru4rec -catalog 100000 -port 8080
+//	etude-server -static -port 8080            # Fig 2 infrastructure mode
+//	etude-server -bucket ./bucket -key models/gru4rec.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"etude/internal/batching"
+	"etude/internal/model"
+	"etude/internal/objstore"
+	"etude/internal/server"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "", "model to serve (one of: "+fmt.Sprint(model.Names())+")")
+		catalog   = flag.Int("catalog", 100_000, "catalog size C")
+		seed      = flag.Int64("seed", 1, "weight initialisation seed")
+		topK      = flag.Int("topk", model.DefaultTopK, "recommendations per request")
+		faithful  = flag.Bool("faithful", false, "serve the RecBole-faithful (buggy) variant")
+		jit       = flag.Bool("jit", true, "serve the JIT-compiled execution plan")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		batch     = flag.Bool("batch", false, "enable request batching (1024 / 2ms)")
+		static    = flag.Bool("static", false, "serve empty responses without a model")
+		bucketDir = flag.String("bucket", "", "filesystem bucket to load the model from")
+		key       = flag.String("key", "", "model manifest key within the bucket")
+		port      = flag.Int("port", 8080, "listen port")
+	)
+	flag.Parse()
+
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *batch, *static, *bucketDir, *key)
+	if err != nil {
+		log.Fatalf("etude-server: %v", err)
+	}
+	defer srv.Close()
+
+	addr := fmt.Sprintf(":%d", *port)
+	if srv.Model() != nil {
+		log.Printf("serving %s (C=%d, jit=%v) on %s", srv.Model().Name(), srv.Model().Config().CatalogSize, srv.JITActive, addr)
+	} else {
+		log.Printf("serving static responses on %s", addr)
+	}
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		log.Fatalf("etude-server: %v", err)
+	}
+}
+
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers int, batch, static bool, bucketDir, key string) (*server.Server, error) {
+	opts := server.Options{Workers: workers, JIT: jit}
+	if batch {
+		cfg := batching.DefaultConfig()
+		opts.Batch = &cfg
+	}
+	switch {
+	case static:
+		return server.NewStatic(), nil
+	case bucketDir != "":
+		if key == "" {
+			return nil, fmt.Errorf("-bucket requires -key")
+		}
+		bucket, err := objstore.NewFSBucket(bucketDir)
+		if err != nil {
+			return nil, err
+		}
+		return server.LoadFromBucket(bucket, key, opts)
+	case modelName != "":
+		m, err := model.New(modelName, model.Config{
+			CatalogSize: catalog, Seed: seed, TopK: topK, Faithful: faithful,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return server.New(m, opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+		return nil, nil
+	}
+}

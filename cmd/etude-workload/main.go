@@ -1,0 +1,88 @@
+// Command etude-workload generates synthetic click logs (Algorithm 1) and
+// fits workload statistics to existing logs — the tooling behind ETUDE's
+// "estimate once from a real click log and reuse for experiments later"
+// workflow.
+//
+// Examples:
+//
+//	etude-workload generate -catalog 100000 -clicks 1000000 > clicks.csv
+//	etude-workload fit < clicks.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"etude/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "generate":
+		generate(os.Args[2:])
+	case "fit":
+		fit(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  etude-workload generate [-catalog C] [-clicks N] [-alpha-length a] [-alpha-clicks a] [-seed s]
+  etude-workload fit   (reads a click log from stdin)`)
+	os.Exit(2)
+}
+
+func generate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	var (
+		catalog     = fs.Int("catalog", 100_000, "catalog size C")
+		clicks      = fs.Int("clicks", 100_000, "number of clicks N")
+		alphaLength = fs.Float64("alpha-length", 2.2, "session-length exponent α_l")
+		alphaClicks = fs.Float64("alpha-clicks", 1.6, "click-count exponent α_c")
+		maxLen      = fs.Int("max-session", 50, "maximum session length")
+		seed        = fs.Int64("seed", 1, "sampling seed")
+	)
+	_ = fs.Parse(args)
+
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize:   *catalog,
+		NumClicks:     *clicks,
+		AlphaLength:   *alphaLength,
+		AlphaClicks:   *alphaClicks,
+		MaxSessionLen: *maxLen,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatalf("etude-workload: %v", err)
+	}
+	if err := workload.WriteClicks(os.Stdout, gen.Generate()); err != nil {
+		log.Fatalf("etude-workload: %v", err)
+	}
+}
+
+func fit(args []string) {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	_ = fs.Parse(args)
+
+	clicks, err := workload.ReadClicks(os.Stdin)
+	if err != nil {
+		log.Fatalf("etude-workload: %v", err)
+	}
+	stats, err := workload.Fit(clicks)
+	if err != nil {
+		log.Fatalf("etude-workload: %v", err)
+	}
+	fmt.Printf("clicks:            %d\n", stats.NumClicks)
+	fmt.Printf("sessions:          %d\n", stats.NumSessions)
+	fmt.Printf("distinct items:    %d\n", stats.DistinctItems)
+	fmt.Printf("mean session len:  %.2f\n", stats.MeanSessionLen)
+	fmt.Printf("alpha_length:      %.4f\n", stats.AlphaLength)
+	fmt.Printf("alpha_clicks:      %.4f\n", stats.AlphaClicks)
+}

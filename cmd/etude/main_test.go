@@ -1,0 +1,36 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunExperimentIssues exercises the cheapest end of the benchmark
+// dispatcher (the issues study needs no servers or long ramps).
+func TestRunExperimentIssues(t *testing.T) {
+	out, err := runExperiment(context.Background(), "issues", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"repeatnet", "srgnn", "gcsan", "lightsans"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("issues output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := runExperiment(context.Background(), "fig9", false); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestBuildServerVariants(t *testing.T) {
+	// The etude-server builder logic lives in cmd/etude-server; here we
+	// only check the dispatcher compiles and the usage paths guard against
+	// nonsense.
+	if _, err := runExperiment(context.Background(), "", false); err == nil {
+		t.Fatalf("empty experiment accepted")
+	}
+}

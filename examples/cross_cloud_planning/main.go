@@ -1,0 +1,35 @@
+// Cross-cloud planning: the paper's future work includes supporting
+// "additional cloud environments such as Microsoft Azure or Amazon Web
+// Services" and "the automatic choice of appropriate instance types for
+// declaratively specified workloads". This example exercises both: the
+// advisor sizes and validates fleets for the e-Commerce workload
+// (C=10M, 1,000 req/s) on simulated hardware, then prices the winning
+// fleets on GCP, AWS and Azure.
+//
+//	go run ./examples/cross_cloud_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etude/internal/advisor"
+)
+
+func main() {
+	advice, err := advisor.Advise(advisor.Request{
+		Model:       "gru4rec",
+		CatalogSize: 10_000_000,
+		TargetRate:  1000,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(advice.Render())
+
+	fmt.Println("\nall cloud options (cheapest first):")
+	for _, o := range advice.CloudOptions {
+		fmt.Printf("  %s\n", o)
+	}
+}

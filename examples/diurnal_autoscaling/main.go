@@ -1,0 +1,111 @@
+// Diurnal autoscaling: e-Commerce traffic swings between quiet nights and
+// busy evenings, so a fleet sized statically for the peak wastes most of
+// its capacity. This example simulates two "days" of a diurnal load curve
+// (trough 40 req/s, peak 500 req/s, C=1e6) against a static peak-sized CPU
+// fleet and against the utilisation-driven autoscaler, and prints the
+// replica timeline and the monthly bill of each.
+//
+//	go run ./examples/diurnal_autoscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"etude/internal/autoscale"
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+func main() {
+	profile := autoscale.DiurnalProfile(40, 500, 240)
+	const day = 480 * time.Second
+	base := autoscale.Config{
+		Device:   device.CPU(),
+		Model:    "gru4rec",
+		ModelCfg: model.Config{CatalogSize: 1_000_000, Seed: 1},
+		JIT:      true,
+		Interval: 5 * time.Second,
+		Seed:     1,
+	}
+
+	staticCfg := base
+	staticCfg.MinReplicas, staticCfg.MaxReplicas = 4, 4
+	static, err := autoscale.Run(staticCfg, profile, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	autoCfg := base
+	autoCfg.MinReplicas, autoCfg.MaxReplicas = 1, 4
+	auto, err := autoscale.Run(autoCfg, profile, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("replica timeline (one char per 8 simulated seconds):")
+	fmt.Printf("  load    %s\n", sparkline(sample(loadSeries(profile, int(day/time.Second)), 8)))
+	fmt.Printf("  static  %s\n", sparkline(sample(toFloats(static.Replicas), 8)))
+	fmt.Printf("  auto    %s\n", sparkline(sample(toFloats(auto.Replicas), 8)))
+
+	fmt.Printf("\n%-10s %16s %12s %10s %8s\n", "fleet", "instance-seconds", "cost/month", "p90", "errors")
+	for _, row := range []struct {
+		name string
+		res  *autoscale.Result
+	}{{"static×4", static}, {"autoscaled", auto}} {
+		fmt.Printf("%-10s %16.0f %12s %10v %8d\n",
+			row.name, row.res.InstanceSeconds,
+			fmt.Sprintf("$%.0f", row.res.MonthlyUSD(device.CPU(), day)),
+			row.res.Recorder.Overall().P90.Round(time.Millisecond),
+			row.res.Recorder.Errors())
+	}
+	fmt.Printf("\nsaving: %.0f%% of the monthly bill at the same SLO\n",
+		(1-auto.InstanceSeconds/static.InstanceSeconds)*100)
+}
+
+func loadSeries(p autoscale.Profile, seconds int) []float64 {
+	out := make([]float64, seconds)
+	for i := range out {
+		out[i] = p(i)
+	}
+	return out
+}
+
+func toFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func sample(xs []float64, stride int) []float64 {
+	var out []float64
+	for i := 0; i < len(xs); i += stride {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	maxV := xs[0]
+	for _, v := range xs[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range xs {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+// Grocery capacity planning: a data scientist at a grocery brand wants to
+// know which instance type to rent for a 100k-item catalog at 250 req/s —
+// the paper's "Groceries (large)" scenario. This example runs simulated
+// capacity searches per model and instance type, sizes the fleets and
+// prints the cost-efficient choice, Table I style.
+//
+//	go run ./examples/grocery_capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etude/internal/costmodel"
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+func main() {
+	scenario, err := costmodel.ScenarioByName("Groceries (large)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s — catalog %d items, target %.0f req/s, p90 ≤ %v\n\n",
+		scenario.Name, scenario.CatalogSize, scenario.TargetRate, costmodel.LatencySLO)
+
+	fmt.Printf("%-10s %-10s %14s %22s\n", "model", "instance", "capacity", "fleet")
+	for _, name := range model.TableIModels() {
+		var options []costmodel.Option
+		for _, spec := range device.All() {
+			cfg := model.Config{CatalogSize: scenario.CatalogSize, Seed: 1}
+			capacity, err := sim.Capacity(spec, name, cfg, true, costmodel.LatencySLO)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt := costmodel.Plan(spec, capacity, scenario)
+			options = append(options, opt)
+			fmt.Printf("%-10s %-10s %12.0f/s %22s\n", name, spec.Name, capacity, opt)
+		}
+		if best, ok := costmodel.Cheapest(options); ok {
+			fmt.Printf("%-10s → cheapest: %s\n\n", name, best)
+		} else {
+			fmt.Printf("%-10s → no feasible deployment\n\n", name)
+		}
+	}
+}

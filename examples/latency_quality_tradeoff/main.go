@@ -1,0 +1,95 @@
+// Latency/quality trade-off: the paper's future-work section proposes
+// trading prediction quality for inference latency with model quantisation
+// and approximate nearest-neighbour search. This example measures both on a
+// real model: the exact float32 MIPS stage is compared against int8
+// quantised scoring and IVF search at several probe counts, reporting
+// measured latency and recall@21 against the exact top-k.
+//
+//	go run ./examples/latency_quality_tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"etude/internal/ann"
+	"etude/internal/model"
+	"etude/internal/nn"
+	"etude/internal/quant"
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+const (
+	catalog = 200_000
+	queries = 50
+	k       = model.DefaultTopK
+)
+
+func main() {
+	// The catalog representation every SBR model scores against: the item
+	// embedding table (here taken from a freshly initialised model).
+	in := nn.NewInitializer(42)
+	items := in.Xavier(catalog, 32)
+	fmt.Printf("catalog: %d items × 32 dims (%.1f MB float32)\n\n", catalog, float64(catalog*32*4)/1e6)
+
+	// Random session representations stand in for encoder outputs.
+	rng := rand.New(rand.NewSource(7))
+	queriesT := make([]*tensor.Tensor, queries)
+	for i := range queriesT {
+		q := tensor.New(32)
+		for j := range q.Data() {
+			q.Data()[j] = float32(rng.NormFloat64())
+		}
+		queriesT[i] = q
+	}
+	exact := make([][]topk.Result, queries)
+	start := time.Now()
+	for i, q := range queriesT {
+		exact[i] = topk.TopK(items, q, k)
+	}
+	exactLat := time.Since(start) / queries
+	fmt.Printf("%-24s %12s %10s\n", "method", "latency", "recall@21")
+	fmt.Printf("%-24s %12s %10s\n", "exact float32", exactLat.Round(time.Microsecond), "1.000")
+
+	// Int8 quantisation: ~4x less memory traffic.
+	table, err := quant.Quantize(items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	var recallSum float64
+	for i, q := range queriesT {
+		approx, err := table.TopK(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recallSum += quant.Recall(exact[i], approx)
+	}
+	qLat := time.Since(start) / queries
+	fmt.Printf("%-24s %12s %10.3f   (table: %.1f MB)\n",
+		"int8 quantised", qLat.Round(time.Microsecond), recallSum/queries, float64(table.MemoryBytes())/1e6)
+
+	// IVF approximate search at increasing probe counts.
+	index, err := ann.Build(items, ann.Config{NLists: 256, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nprobe := range []int{4, 16, 64, 256} {
+		start = time.Now()
+		recallSum = 0
+		for i, q := range queriesT {
+			approx, err := index.Search(q, k, nprobe)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recallSum += quant.Recall(exact[i], approx)
+		}
+		lat := time.Since(start) / queries
+		fmt.Printf("%-24s %12s %10.3f   (scans %.0f%% of catalog)\n",
+			fmt.Sprintf("IVF nprobe=%d/256", nprobe), lat.Round(time.Microsecond),
+			recallSum/queries, index.ScannedFraction(nprobe)*100)
+	}
+}

@@ -1,0 +1,68 @@
+// Platform sweep: how does inference latency grow with the catalog, and
+// when do accelerators pay off? This example reproduces the shape of the
+// paper's micro-benchmark (Fig 3) for one model across catalog sizes from
+// 10 thousand to 20 million items on all three instance types, in both
+// eager and JIT execution — then runs the end-to-end platform scenario
+// (C=2e7, 1,000 req/s) on the simulator to show that only the A100 fleet
+// survives it.
+//
+//	go run ./examples/platform_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"etude/internal/core"
+	"etude/internal/device"
+	"etude/internal/experiments"
+	"etude/internal/model"
+)
+
+func main() {
+	const modelName = "sasrec"
+
+	// Part 1: serial latency vs catalog size (Fig 3 shape, cost-model mode).
+	fig3, err := experiments.Fig3(experiments.Fig3Config{
+		Models:       []string{modelName},
+		CatalogSizes: []int{10_000, 100_000, 1_000_000, 10_000_000, 20_000_000},
+		Devices:      []string{"cpu", "gpu-t4", "gpu-a100"},
+		Requests:     100,
+		Mode:         experiments.Fig3Modeled,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig3.Render())
+
+	// Part 2: the platform scenario end-to-end, per instance type.
+	fmt.Println("Platform scenario (C=2e7, ramp to 1,000 req/s, 3 instances each):")
+	for _, inst := range []string{"gpu-t4", "gpu-a100"} {
+		ms, err := core.RunSim(core.Spec{
+			Name:        "platform",
+			Models:      []string{modelName},
+			Instances:   []string{inst},
+			CatalogSize: 20_000_000,
+			JIT:         true,
+			TargetRate:  1000,
+			Duration:    60 * time.Second,
+			Replicas:    3,
+			Seed:        1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := ms[0]
+		spec, _ := device.ByName(inst)
+		verdict := "FAILS"
+		if m.MeetsSLO {
+			verdict = "meets the SLO"
+		}
+		fmt.Printf("  3 × %-9s ($%.0f/month): p90 %v, %d errors, %d shed — %s\n",
+			inst, 3*spec.MonthlyCostUSD, m.Latency.P90.Round(time.Millisecond),
+			m.Errors, m.Backpressured, verdict)
+	}
+	fmt.Printf("\n(models excluded from the paper's Table I: %v)\n", model.BrokenModels())
+}

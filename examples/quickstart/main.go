@@ -1,0 +1,77 @@
+// Quickstart: build an SBR model, serve it over HTTP through the ETUDE
+// inference server, and load test it with the backpressure-aware generator
+// — the whole pipeline in one file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"etude/internal/loadgen"
+	"etude/internal/model"
+	"etude/internal/server"
+	"etude/internal/workload"
+)
+
+func main() {
+	// 1. Build a session-based recommendation model. Weights are random:
+	// ETUDE measures inference performance, not prediction quality.
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 10_000, Seed: 42, TopK: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Ask for recommendations directly.
+	session := []int64{17, 4301, 998}
+	fmt.Println("session:", session)
+	for i, rec := range m.Recommend(session) {
+		fmt.Printf("  #%d item %d (score %.3f)\n", i+1, rec.Item, rec.Score)
+	}
+
+	// 3. Serve the model with the JIT-compiled execution plan.
+	srv, err := server.New(m, server.Options{Workers: 4, JIT: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Println("\nserving on", ts.URL, "(JIT active:", srv.JITActive, ")")
+
+	// 4. Generate a synthetic click workload from two power-law marginals
+	// (Algorithm 1) and ramp the load to 200 req/s (Algorithm 2).
+	alphaLength, alphaClicks := workload.BolMarginals()
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: 10_000,
+		NumClicks:   1,
+		AlphaLength: alphaLength,
+		AlphaClicks: alphaClicks,
+		Seed:        42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		TargetRate: 200,
+		Duration:   5 * time.Second,
+	}, gen, loadgen.NewHTTPTarget(ts.URL))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Read the verdict.
+	snap := res.Recorder.Overall()
+	fmt.Printf("\nload test: %d requests, %d errors, %d backpressured\n",
+		res.Recorder.Sent(), res.Recorder.Errors(), res.Backpressured)
+	fmt.Printf("latency:   %s\n", snap)
+	if snap.P90 <= 50*time.Millisecond && res.Recorder.Errors() == 0 {
+		fmt.Println("verdict:   meets the 50ms p90 SLO on this machine")
+	} else {
+		fmt.Println("verdict:   does NOT meet the 50ms p90 SLO on this machine")
+	}
+}

@@ -1,0 +1,44 @@
+// TorchServe vs ETUDE: the paper's infrastructure validation (Fig 2), live
+// on this machine. Both servers return empty responses — no model inference
+// at all — while the load generator ramps up. The ETUDE server absorbs the
+// load at ≈1ms p90 with zero errors; the TorchServe baseline saturates at
+// workers/IPC-overhead requests per second, stacks its queue up to the
+// internal 100ms timeout, and starts throwing HTTP errors.
+//
+//	go run ./examples/torchserve_vs_etude
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"etude/internal/experiments"
+	"etude/internal/torchserve"
+)
+
+func main() {
+	cfg := experiments.Fig2Config{
+		TargetRate: 700, // scaled from the paper's 1,000 req/s / 10 min
+		Duration:   8 * time.Second,
+		Tick:       500 * time.Millisecond,
+		TorchServe: torchserve.DefaultConfig(),
+		Seed:       1,
+	}
+	fmt.Printf("ramping to %.0f req/s over %v against both servers...\n\n", cfg.TargetRate, cfg.Duration)
+	res, err := experiments.Fig2(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("per-tick error counts (torchserve):")
+	for _, ts := range res.TorchServe.Series {
+		bar := ""
+		for i := int64(0); i < ts.Errors/10; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  tick %2d: sent %4d, errors %4d %s\n", ts.Tick, ts.Sent, ts.Errors, bar)
+	}
+}

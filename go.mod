@@ -1,0 +1,3 @@
+module etude
+
+go 1.22

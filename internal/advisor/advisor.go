@@ -1,0 +1,208 @@
+// Package advisor implements the automatic choice of instance types for
+// declaratively specified workloads — named by the paper as future work
+// ("the automatic choice of appropriate instance types for declaratively
+// specified workloads").
+//
+// Given a model, a catalog size, a target throughput and a latency SLO, the
+// advisor runs simulated capacity searches across all instance types, sizes
+// the candidate fleets, validates the winning fleet end-to-end under the
+// ramped load, and returns the cheapest deployment that passes.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"etude/internal/costmodel"
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+// Request is the declaratively specified workload.
+type Request struct {
+	// Model is the SBR model to deploy.
+	Model string
+	// CatalogSize is C.
+	CatalogSize int
+	// TargetRate is the required throughput (requests/second).
+	TargetRate float64
+	// SLO is the p90 latency budget (default: 50ms).
+	SLO time.Duration
+	// Instances restricts the candidate instance types (default: all).
+	Instances []string
+	// Seed drives the simulations.
+	Seed int64
+}
+
+func (r Request) withDefaults() Request {
+	if r.SLO <= 0 {
+		r.SLO = costmodel.LatencySLO
+	}
+	if len(r.Instances) == 0 {
+		r.Instances = []string{"cpu", "gpu-t4", "gpu-a100"}
+	}
+	return r
+}
+
+func (r Request) validate() error {
+	if r.Model == "" {
+		return fmt.Errorf("advisor: model is required")
+	}
+	if r.CatalogSize <= 0 {
+		return fmt.Errorf("advisor: catalog size must be positive, got %d", r.CatalogSize)
+	}
+	if r.TargetRate <= 0 {
+		return fmt.Errorf("advisor: target rate must be positive, got %v", r.TargetRate)
+	}
+	return nil
+}
+
+// Candidate is one evaluated deployment option.
+type Candidate struct {
+	costmodel.Option
+	// Capacity is the per-instance sustainable rate under the SLO.
+	Capacity float64 `json:"capacity"`
+	// Validated is true when the sized fleet passed the end-to-end ramp
+	// simulation at the target rate.
+	Validated bool `json:"validated"`
+	// P90 is the fleet's end-to-end p90 at the target rate (validated
+	// candidates only).
+	P90 time.Duration `json:"p90"`
+}
+
+// Advice is the advisor's output.
+type Advice struct {
+	Request    Request     `json:"request"`
+	Candidates []Candidate `json:"candidates"`
+	// Best is the cheapest validated candidate; Feasible is false when no
+	// candidate passed.
+	Best     Candidate `json:"best"`
+	Feasible bool      `json:"feasible"`
+	// CloudOptions prices the same fleets across GCP, AWS and Azure
+	// (capacities transfer: the hardware is identical). Sorted cheapest
+	// first.
+	CloudOptions []costmodel.CloudOption `json:"cloud_options"`
+}
+
+// Advise evaluates all candidate instance types and returns the cheapest
+// validated deployment.
+func Advise(req Request) (*Advice, error) {
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	cfg := model.Config{CatalogSize: req.CatalogSize, Seed: req.Seed}
+	advice := &Advice{Request: req}
+	capacityByDevice := make(map[string]float64)
+	for _, instName := range req.Instances {
+		spec, err := device.ByName(instName)
+		if err != nil {
+			return nil, err
+		}
+		capacity, err := sim.Capacity(spec, req.Model, cfg, true, req.SLO)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: capacity of %s: %w", instName, err)
+		}
+		capacityByDevice[instName] = capacity
+		cand := Candidate{
+			Option:   costmodel.Plan(spec, capacity, costmodel.Scenario{CatalogSize: req.CatalogSize, TargetRate: req.TargetRate}),
+			Capacity: capacity,
+		}
+		// A fleet beyond maxFleet instances means the instance type is the
+		// wrong tool for the workload (Table I treats such models/instances
+		// as unable to handle the scenario).
+		const maxFleet = 16
+		if cand.Count > maxFleet {
+			cand.Option = costmodel.Option{Instance: instName}
+		}
+		if cand.Feasible {
+			p90, ok, err := validateFleet(spec, req, cfg, cand.Count)
+			if err != nil {
+				return nil, err
+			}
+			cand.Validated = ok
+			cand.P90 = p90
+		}
+		advice.Candidates = append(advice.Candidates, cand)
+	}
+	sort.Slice(advice.Candidates, func(i, j int) bool {
+		a, b := advice.Candidates[i], advice.Candidates[j]
+		if a.Validated != b.Validated {
+			return a.Validated
+		}
+		return a.MonthlyUSD < b.MonthlyUSD
+	})
+	for _, c := range advice.Candidates {
+		if c.Validated {
+			advice.Best = c
+			advice.Feasible = true
+			break
+		}
+	}
+	// Cross-cloud pricing for the same capacities: the paper's future-work
+	// "support additional cloud environments". Instances whose candidate
+	// failed validation (or was filtered as an unreasonable fleet) are not
+	// offered on any cloud.
+	for _, c := range advice.Candidates {
+		if !c.Validated {
+			capacityByDevice[c.Instance] = 0
+		}
+	}
+	advice.CloudOptions = costmodel.PlanAcrossClouds(capacityByDevice,
+		costmodel.Scenario{CatalogSize: req.CatalogSize, TargetRate: req.TargetRate})
+	return advice, nil
+}
+
+// validateFleet reruns the winning configuration end-to-end: a ramp to the
+// target rate against `count` instances.
+func validateFleet(spec device.Spec, req Request, cfg model.Config, count int) (time.Duration, bool, error) {
+	eng := sim.NewEngine()
+	fleet := make([]*sim.Instance, count)
+	for i := range fleet {
+		in, err := sim.NewInstance(eng, spec, req.Model, cfg, true, 2*time.Millisecond, spec.MaxBatch)
+		if err != nil {
+			return 0, false, err
+		}
+		fleet[i] = in
+	}
+	res, err := sim.RunBenchmark(eng, sim.LoadConfig{
+		TargetRate: req.TargetRate,
+		Duration:   30 * time.Second,
+		Seed:       req.Seed,
+	}, fleet)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Recorder.Overall().P90, res.Meets(req.SLO), nil
+}
+
+// Render prints the advice as a report.
+func (a *Advice) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deployment advice: %s, C=%d, %.0f req/s, p90 ≤ %v\n",
+		a.Request.Model, a.Request.CatalogSize, a.Request.TargetRate, a.Request.SLO)
+	fmt.Fprintf(&b, "%-10s %12s %8s %12s %10s %10s\n", "instance", "capacity", "count", "cost/month", "p90", "verdict")
+	for _, c := range a.Candidates {
+		verdict := "infeasible"
+		if c.Feasible && c.Validated {
+			verdict = "ok"
+		} else if c.Feasible {
+			verdict = "failed e2e"
+		}
+		fmt.Fprintf(&b, "%-10s %10.0f/s %8d %12s %10s %10s\n",
+			c.Instance, c.Capacity, c.Count, fmt.Sprintf("$%.0f", c.MonthlyUSD),
+			c.P90.Round(time.Millisecond), verdict)
+	}
+	if a.Feasible {
+		fmt.Fprintf(&b, "recommendation: %s\n", a.Best.Option)
+	} else {
+		fmt.Fprintf(&b, "recommendation: no feasible deployment within the SLO\n")
+	}
+	if best, ok := costmodel.CheapestCloud(a.CloudOptions); ok {
+		fmt.Fprintf(&b, "cheapest across clouds: %s\n", best)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package advisor
+
+import (
+	"etude/internal/costmodel"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Advise(Request{CatalogSize: 100, TargetRate: 10}); err == nil {
+		t.Fatalf("missing model accepted")
+	}
+	if _, err := Advise(Request{Model: "core", TargetRate: 10}); err == nil {
+		t.Fatalf("zero catalog accepted")
+	}
+	if _, err := Advise(Request{Model: "core", CatalogSize: 100}); err == nil {
+		t.Fatalf("zero rate accepted")
+	}
+	if _, err := Advise(Request{Model: "ghost", CatalogSize: 100, TargetRate: 10}); err == nil {
+		t.Fatalf("unknown model accepted")
+	}
+	if _, err := Advise(Request{Model: "core", CatalogSize: 100, TargetRate: 10, Instances: []string{"tpu"}}); err == nil {
+		t.Fatalf("unknown instance accepted")
+	}
+}
+
+// TestSmallWorkloadPicksCPU: the groceries-small workload must be served by
+// a single $108 CPU machine, as in Table I.
+func TestSmallWorkloadPicksCPU(t *testing.T) {
+	advice, err := Advise(Request{
+		Model:       "gru4rec",
+		CatalogSize: 10_000,
+		TargetRate:  100,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !advice.Feasible {
+		t.Fatalf("small workload must be feasible")
+	}
+	if advice.Best.Instance != "cpu" || advice.Best.Count != 1 {
+		t.Fatalf("best = %+v, want 1×cpu", advice.Best.Option)
+	}
+	if advice.Best.MonthlyUSD > 110 {
+		t.Fatalf("cost = $%.2f, want $108.09", advice.Best.MonthlyUSD)
+	}
+	if !advice.Best.Validated || advice.Best.P90 <= 0 {
+		t.Fatalf("winner not validated end-to-end: %+v", advice.Best)
+	}
+}
+
+// TestPlatformWorkloadPicksA100: at C=2e7 and 1,000 req/s only A100 fleets
+// work.
+func TestPlatformWorkloadPicksA100(t *testing.T) {
+	advice, err := Advise(Request{
+		Model:       "gru4rec",
+		CatalogSize: 20_000_000,
+		TargetRate:  1000,
+		Instances:   []string{"gpu-t4", "gpu-a100"},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !advice.Feasible {
+		t.Fatalf("platform workload must be feasible on A100s")
+	}
+	if advice.Best.Instance != "gpu-a100" {
+		t.Fatalf("best instance = %s, want gpu-a100", advice.Best.Instance)
+	}
+	if advice.Best.Count < 2 || advice.Best.Count > 4 {
+		t.Fatalf("A100 count = %d, paper uses 3", advice.Best.Count)
+	}
+	for _, c := range advice.Candidates {
+		if c.Instance == "gpu-t4" && c.Validated {
+			t.Fatalf("T4 must not validate the platform workload")
+		}
+	}
+}
+
+func TestImpossibleWorkload(t *testing.T) {
+	// 1M req/s is beyond any single-digit fleet; Plan caps are generous but
+	// capacity search cannot reach it, making CPU fleets enormous. The
+	// advisor should still answer (with a huge fleet) or mark infeasible —
+	// either way, it must not error.
+	advice, err := Advise(Request{
+		Model:       "gru4rec",
+		CatalogSize: 20_000_000,
+		TargetRate:  1000,
+		Instances:   []string{"cpu"},
+		SLO:         time.Millisecond, // impossible SLO
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Feasible {
+		t.Fatalf("1ms SLO at C=2e7 on CPU must be infeasible")
+	}
+	if !strings.Contains(advice.Render(), "no feasible deployment") {
+		t.Fatalf("render must state infeasibility")
+	}
+}
+
+func TestRenderListsAllCandidates(t *testing.T) {
+	advice, err := Advise(Request{
+		Model:       "stamp",
+		CatalogSize: 100_000,
+		TargetRate:  250,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := advice.Render()
+	for _, inst := range []string{"cpu", "gpu-t4", "gpu-a100"} {
+		if !strings.Contains(out, inst) {
+			t.Fatalf("render missing %s:\n%s", inst, out)
+		}
+	}
+	if !strings.Contains(out, "recommendation:") {
+		t.Fatalf("render missing recommendation")
+	}
+}
+
+// TestCrossCloudOptions: the advisor prices validated fleets on all three
+// clouds, and invalidated instance types are offered nowhere.
+func TestCrossCloudOptions(t *testing.T) {
+	advice, err := Advise(Request{
+		Model:       "gru4rec",
+		CatalogSize: 10_000_000,
+		TargetRate:  1000,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.CloudOptions) != 9 {
+		t.Fatalf("cloud options = %d, want 9", len(advice.CloudOptions))
+	}
+	best, ok := costmodelCheapest(advice)
+	if !ok {
+		t.Fatalf("no cross-cloud winner")
+	}
+	// AWS T4s undercut GCP T4s at this scale.
+	if best.Instance.Cloud != "aws" || best.Instance.Device != "gpu-t4" {
+		t.Fatalf("cross-cloud best = %+v", best)
+	}
+	// CPU failed validation → infeasible on every cloud.
+	for _, o := range advice.CloudOptions {
+		if o.Instance.Device == "cpu" && o.Feasible {
+			t.Fatalf("cpu offered despite failing validation: %+v", o)
+		}
+	}
+}
+
+func costmodelCheapest(a *Advice) (costmodel.CloudOption, bool) {
+	return costmodel.CheapestCloud(a.CloudOptions)
+}

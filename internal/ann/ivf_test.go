@@ -1,0 +1,176 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+
+	"etude/internal/quant"
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+func randMatrix(seed int64, rows, dim int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.New(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func randQuery(rng *rand.Rand, dim int) *tensor.Tensor {
+	q := tensor.New(dim)
+	for i := range q.Data() {
+		q.Data()[i] = float32(rng.NormFloat64())
+	}
+	return q
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(tensor.New(4), Config{}); err == nil {
+		t.Fatalf("1-D input accepted")
+	}
+	if _, err := Build(tensor.New(0, 4), Config{}); err == nil {
+		t.Fatalf("empty catalog accepted")
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	items := randMatrix(1, 400, 8)
+	ix, err := Build(items, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NLists() != 20 { // ceil(sqrt(400))
+		t.Fatalf("nlists = %d, want 20", ix.NLists())
+	}
+	// Every item must live in exactly one list.
+	seen := map[int64]int{}
+	for _, l := range ix.lists {
+		for _, id := range l {
+			seen[id]++
+		}
+	}
+	if len(seen) != 400 {
+		t.Fatalf("%d/400 items indexed", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d in %d lists", id, n)
+		}
+	}
+}
+
+func TestFullProbeMatchesExact(t *testing.T) {
+	items := randMatrix(2, 500, 16)
+	ix, err := Build(items, Config{NLists: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 10; q++ {
+		query := randQuery(rng, 16)
+		exact := topk.TopK(items, query, 10)
+		approx, err := ix.Search(query, 10, ix.NLists())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range exact {
+			if exact[i].Item != approx[i].Item {
+				t.Fatalf("query %d pos %d: exact %d != full-probe %d", q, i, exact[i].Item, approx[i].Item)
+			}
+		}
+	}
+}
+
+func TestRecallImprovesWithProbes(t *testing.T) {
+	items := randMatrix(4, 3000, 16)
+	ix, err := Build(items, Config{NLists: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	recallAt := func(nprobe int) float64 {
+		var total float64
+		const queries = 25
+		for q := 0; q < queries; q++ {
+			query := randQuery(rng, 16)
+			exact := topk.TopK(items, query, 10)
+			approx, err := ix.Search(query, 10, nprobe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += quant.Recall(exact, approx)
+		}
+		return total / queries
+	}
+	r1, r8, r32 := recallAt(1), recallAt(8), recallAt(32)
+	if !(r1 <= r8 && r8 <= r32) {
+		t.Fatalf("recall not monotone in nprobe: %.3f %.3f %.3f", r1, r8, r32)
+	}
+	if r32 < 0.999 {
+		t.Fatalf("full probe recall = %.3f, want 1", r32)
+	}
+	if r8 < 0.5 {
+		t.Fatalf("recall@8/32 probes = %.3f — clustering broken", r8)
+	}
+	if r1 > 0.95 {
+		t.Fatalf("recall@1 probe = %.3f — suspiciously high for random embeddings", r1)
+	}
+}
+
+func TestScannedFraction(t *testing.T) {
+	items := randMatrix(6, 1000, 8)
+	ix, err := Build(items, Config{NLists: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := ix.ScannedFraction(25); f != 1 {
+		t.Fatalf("full probe fraction = %v", f)
+	}
+	if f := ix.ScannedFraction(5); f != 0.2 {
+		t.Fatalf("5/25 probes fraction = %v", f)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	items := randMatrix(7, 100, 8)
+	ix, _ := Build(items, Config{Seed: 1})
+	if _, err := ix.Search(tensor.New(4), 5, 1); err == nil {
+		t.Fatalf("wrong query dim accepted")
+	}
+	// nprobe out of range clamps instead of failing.
+	if _, err := ix.Search(tensor.New(8), 5, 0); err != nil {
+		t.Fatalf("nprobe 0 should clamp: %v", err)
+	}
+	if _, err := ix.Search(tensor.New(8), 5, 9999); err != nil {
+		t.Fatalf("huge nprobe should clamp: %v", err)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	items := randMatrix(8, 300, 8)
+	a, _ := Build(items, Config{NLists: 8, Seed: 42})
+	b, _ := Build(items, Config{NLists: 8, Seed: 42})
+	for i := range a.lists {
+		if len(a.lists[i]) != len(b.lists[i]) {
+			t.Fatalf("list %d sizes differ: %d vs %d", i, len(a.lists[i]), len(b.lists[i]))
+		}
+		for j := range a.lists[i] {
+			if a.lists[i][j] != b.lists[i][j] {
+				t.Fatalf("list %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestNListsClampedToCatalog(t *testing.T) {
+	items := randMatrix(9, 5, 4)
+	ix, err := Build(items, Config{NLists: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NLists() > 5 {
+		t.Fatalf("nlists = %d for a 5-item catalog", ix.NLists())
+	}
+}

@@ -1,0 +1,300 @@
+// Package autoscale extends the benchmarking framework with a reactive
+// fleet autoscaler, evaluated on the discrete-event simulator. It pushes
+// the paper's future-work theme — automatically choosing deployments for
+// declaratively specified workloads — one step further: e-Commerce traffic
+// is strongly diurnal, so a fleet sized statically for the peak wastes most
+// of its capacity at night. The autoscaler watches the recent p90 latency
+// and scales replicas between configured bounds, and the harness reports
+// instance-seconds (∝ monthly cost) next to SLO compliance so the saving is
+// measurable (see BenchmarkAutoscaler and the autoscale experiment tests).
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/powerlaw"
+	"etude/internal/sim"
+)
+
+// Config controls an autoscaled (or static) fleet simulation.
+type Config struct {
+	// Device is the instance type of every replica.
+	Device device.Spec
+	// Model and ModelCfg define the deployed model.
+	Model    string
+	ModelCfg model.Config
+	// JIT serves compiled variants.
+	JIT bool
+	// MinReplicas and MaxReplicas bound the fleet (equal values disable
+	// scaling: the static baseline).
+	MinReplicas int
+	MaxReplicas int
+	// Interval is the control-loop period (default 10s).
+	Interval time.Duration
+	// SLO is the p90 target; the scaler aims below it.
+	SLO time.Duration
+	// UpUtilization scales the fleet up when the window's mean device
+	// utilisation exceeds it (default 0.8); errors in the window also
+	// trigger scale-up regardless of utilisation.
+	UpUtilization float64
+	// DownUtilization scales the fleet down when the shrunken fleet would
+	// still sit below it (default 0.6).
+	DownUtilization float64
+	// AlphaLength shapes per-request session lengths.
+	AlphaLength float64
+	// Timeout marks responses slower than this as errors.
+	Timeout time.Duration
+	// QueueCap sheds new arrivals (immediate error) when the least-loaded
+	// replica already has this many requests outstanding — a bounded accept
+	// queue, so an under-provisioned episode cannot build an unbounded
+	// backlog (default 500).
+	QueueCap int
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.SLO <= 0 {
+		c.SLO = 50 * time.Millisecond
+	}
+	if c.UpUtilization == 0 {
+		c.UpUtilization = 0.8
+	}
+	if c.DownUtilization == 0 {
+		c.DownUtilization = 0.6
+	}
+	if c.AlphaLength == 0 {
+		c.AlphaLength = 2.2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 500
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MinReplicas < 1 || c.MaxReplicas < c.MinReplicas {
+		return fmt.Errorf("autoscale: need 1 ≤ MinReplicas ≤ MaxReplicas, got %d..%d", c.MinReplicas, c.MaxReplicas)
+	}
+	if c.Model == "" {
+		return fmt.Errorf("autoscale: model is required")
+	}
+	return nil
+}
+
+// Profile maps a simulated second to an offered request rate — the shape of
+// the day. See DiurnalProfile for the standard e-Commerce curve.
+type Profile func(second int) float64
+
+// DiurnalProfile returns a day-shaped load curve: a sinusoid between low
+// and high requests/second over `period` seconds, with the trough at t=0.
+func DiurnalProfile(low, high float64, period int) Profile {
+	return func(second int) float64 {
+		phase := 2 * math.Pi * float64(second) / float64(period)
+		return low + (high-low)*(1-math.Cos(phase))/2
+	}
+}
+
+// StepProfile returns a flat profile that jumps from low to high at
+// `stepAt` seconds — the spike-response test case.
+func StepProfile(low, high float64, stepAt int) Profile {
+	return func(second int) float64 {
+		if second >= stepAt {
+			return high
+		}
+		return low
+	}
+}
+
+// Result summarises an autoscaled run.
+type Result struct {
+	// Recorder holds latency and error measurements.
+	Recorder *metrics.Recorder
+	// Replicas is the active replica count per simulated second.
+	Replicas []int
+	// InstanceSeconds integrates the replica count over the run — the
+	// cost-proportional quantity.
+	InstanceSeconds float64
+	// PeakReplicas is the high-water mark.
+	PeakReplicas int
+	// ScaleUps and ScaleDowns count control actions.
+	ScaleUps, ScaleDowns int
+	// Sent counts issued requests.
+	Sent int64
+}
+
+// MonthlyUSD converts the run's average fleet size to a monthly cost at the
+// device's price.
+func (r *Result) MonthlyUSD(spec device.Spec, duration time.Duration) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	avg := r.InstanceSeconds / duration.Seconds()
+	return avg * spec.MonthlyCostUSD
+}
+
+// MeetsSLO reports whether the run's overall p90 stayed within the SLO with
+// at most 1% errors.
+func (r *Result) MeetsSLO(slo time.Duration) bool {
+	if r.Sent == 0 {
+		return false
+	}
+	okRatio := float64(r.Sent-r.Recorder.Errors()) / float64(r.Sent)
+	return r.Recorder.Overall().P90 <= slo && okRatio >= 0.99
+}
+
+// Run simulates the profile against an autoscaled fleet for the given
+// duration of virtual time.
+func Run(cfg Config, profile Profile, duration time.Duration) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil || duration < time.Second {
+		return nil, fmt.Errorf("autoscale: need a profile and ≥1s duration")
+	}
+
+	eng := sim.NewEngine()
+	newInstance := func() (*sim.Instance, error) {
+		return sim.NewInstance(eng, cfg.Device, cfg.Model, cfg.ModelCfg, cfg.JIT, 2*time.Millisecond, cfg.Device.MaxBatch)
+	}
+
+	fleet := make([]*sim.Instance, 0, cfg.MaxReplicas)
+	for i := 0; i < cfg.MinReplicas; i++ {
+		in, err := newInstance()
+		if err != nil {
+			return nil, err
+		}
+		if !in.Fits() {
+			return nil, fmt.Errorf("autoscale: model does not fit %s", cfg.Device.Name)
+		}
+		fleet = append(fleet, in)
+	}
+
+	lengths, err := powerlaw.New(cfg.AlphaLength, 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{Recorder: metrics.NewRecorder(), PeakReplicas: cfg.MinReplicas}
+
+	// Control-loop state: per-window error counter and the busy-time
+	// snapshot utilisation is measured against.
+	windowErrors := 0
+	prevBusy := time.Duration(0)
+	fleetBusy := func() time.Duration {
+		var total time.Duration
+		for _, in := range fleet {
+			total += in.BusyTime()
+		}
+		return total
+	}
+
+	seconds := int(duration / time.Second)
+	for t := 0; t < seconds; t++ {
+		tick := t
+		rate := profile(t)
+		rc := int(rate)
+		if rc < 1 {
+			rc = 1
+		}
+		gap := time.Second / time.Duration(rc)
+		for i := 0; i < rc; i++ {
+			at := time.Duration(tick)*time.Second + time.Duration(i)*gap
+			sessionLen := lengths.SampleIntCapped(rng, 50)
+			eng.Schedule(at-eng.Now(), func() {
+				res.Sent++
+				res.Recorder.RecordSent(tick)
+				// Join-shortest-queue routing: new replicas absorb load the
+				// moment they join the fleet.
+				in := fleet[0]
+				for _, cand := range fleet[1:] {
+					if cand.Pending() < in.Pending() {
+						in = cand
+					}
+				}
+				if in.Pending() >= cfg.QueueCap {
+					// Bounded accept queue: shed instead of building an
+					// unbounded backlog.
+					res.Recorder.RecordError(tick)
+					windowErrors++
+					return
+				}
+				in.Submit(sessionLen, func(latency time.Duration) {
+					if latency > cfg.Timeout {
+						res.Recorder.RecordError(tick)
+						windowErrors++
+					} else {
+						res.Recorder.RecordLatency(tick, latency)
+					}
+				})
+			})
+		}
+		// Account the current fleet size for this second and snapshot it.
+		eng.Schedule(time.Duration(tick)*time.Second-eng.Now(), func() {
+			res.Replicas = append(res.Replicas, len(fleet))
+			res.InstanceSeconds += float64(len(fleet))
+		})
+		// Control loop at interval boundaries.
+		if cfg.MinReplicas != cfg.MaxReplicas && t > 0 && t%int(cfg.Interval/time.Second) == 0 {
+			eng.Schedule(time.Duration(tick)*time.Second-eng.Now(), func() {
+				errs := windowErrors
+				windowErrors = 0
+				curBusy := fleetBusy()
+				// A retired replica's busy time leaves the sum; clamp to
+				// keep utilisation non-negative in that window.
+				delta := curBusy - prevBusy
+				prevBusy = curBusy
+				if delta < 0 {
+					delta = 0
+				}
+				util := delta.Seconds() / (cfg.Interval.Seconds() * float64(len(fleet)))
+				overloaded := util > cfg.UpUtilization || errs > 0
+				// Scale down only when the SHRUNKEN fleet would still sit
+				// below the down threshold.
+				idle := errs == 0 && len(fleet) > 1 &&
+					util*float64(len(fleet))/float64(len(fleet)-1) < cfg.DownUtilization
+				switch {
+				case overloaded && len(fleet) < cfg.MaxReplicas:
+					// Multiplicative growth (+50%, at least one) so the
+					// fleet catches steep spikes within a few intervals.
+					grow := len(fleet) / 2
+					if grow < 1 {
+						grow = 1
+					}
+					for g := 0; g < grow && len(fleet) < cfg.MaxReplicas; g++ {
+						in, err := newInstance()
+						if err != nil {
+							break
+						}
+						fleet = append(fleet, in)
+						res.ScaleUps++
+					}
+				case idle && len(fleet) > cfg.MinReplicas:
+					// Retire the last replica: it drains naturally because
+					// routing no longer selects it once others are shorter.
+					fleet = fleet[:len(fleet)-1]
+					res.ScaleDowns++
+				}
+				if len(fleet) > res.PeakReplicas {
+					res.PeakReplicas = len(fleet)
+				}
+			})
+		}
+	}
+	eng.Run(duration)
+	eng.Drain()
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+func cpuConfig(minR, maxR int) Config {
+	return Config{
+		Device:      device.CPU(),
+		Model:       "gru4rec",
+		ModelCfg:    model.Config{CatalogSize: 1_000_000, Seed: 1},
+		JIT:         true,
+		MinReplicas: minR,
+		MaxReplicas: maxR,
+		Interval:    5 * time.Second,
+		Seed:        1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(cpuConfig(0, 2), DiurnalProfile(10, 20, 60), time.Minute); err == nil {
+		t.Fatalf("MinReplicas 0 accepted")
+	}
+	if _, err := Run(cpuConfig(3, 2), DiurnalProfile(10, 20, 60), time.Minute); err == nil {
+		t.Fatalf("Max < Min accepted")
+	}
+	cfg := cpuConfig(1, 2)
+	cfg.Model = ""
+	if _, err := Run(cfg, DiurnalProfile(10, 20, 60), time.Minute); err == nil {
+		t.Fatalf("missing model accepted")
+	}
+	if _, err := Run(cpuConfig(1, 2), nil, time.Minute); err == nil {
+		t.Fatalf("nil profile accepted")
+	}
+	if _, err := Run(cpuConfig(1, 2), DiurnalProfile(10, 20, 60), time.Millisecond); err == nil {
+		t.Fatalf("sub-second duration accepted")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	d := DiurnalProfile(100, 1000, 240)
+	if got := d(0); got != 100 {
+		t.Fatalf("diurnal trough = %v, want 100", got)
+	}
+	if got := d(120); got < 999 || got > 1001 {
+		t.Fatalf("diurnal peak = %v, want ≈1000", got)
+	}
+	s := StepProfile(10, 200, 30)
+	if s(29) != 10 || s(30) != 200 {
+		t.Fatalf("step profile broken: %v %v", s(29), s(30))
+	}
+}
+
+// TestStaysAtMinUnderLowLoad: with light traffic the scaler never leaves
+// the floor.
+func TestStaysAtMinUnderLowLoad(t *testing.T) {
+	res, err := Run(cpuConfig(1, 5), StepProfile(20, 20, 0), 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleUps != 0 || res.PeakReplicas != 1 {
+		t.Fatalf("scaled up under low load: ups=%d peak=%d", res.ScaleUps, res.PeakReplicas)
+	}
+	if !res.MeetsSLO(50 * time.Millisecond) {
+		t.Fatalf("low load must meet the SLO: %+v", res.Recorder.Overall())
+	}
+}
+
+// TestScalesUpOnSpike: a load step beyond one instance's capacity must
+// trigger scale-ups, and the scaled fleet must absorb the load.
+func TestScalesUpOnSpike(t *testing.T) {
+	cfg := cpuConfig(1, 6)
+	res, err := Run(cfg, StepProfile(50, 400, 20), 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleUps == 0 {
+		t.Fatalf("no scale-up despite a 400 req/s step on a ~170 req/s instance")
+	}
+	if res.PeakReplicas < 3 {
+		t.Fatalf("peak replicas = %d, want ≥3 for 400 req/s", res.PeakReplicas)
+	}
+	// After stabilisation, the tail of the run must be healthy.
+	series := res.Recorder.Series()
+	tail := series[len(series)-20:]
+	bad := 0
+	for _, ts := range tail {
+		if ts.P90 > 50*time.Millisecond || ts.Errors > 0 {
+			bad++
+		}
+	}
+	if bad > 4 {
+		t.Fatalf("%d/20 tail ticks unhealthy after scale-up", bad)
+	}
+}
+
+// TestScalesBackDown: when the spike ends, the fleet shrinks toward the
+// floor.
+func TestScalesBackDown(t *testing.T) {
+	cfg := cpuConfig(1, 6)
+	// Spike first, then quiet.
+	profile := func(second int) float64 {
+		if second < 40 {
+			return 400
+		}
+		return 20
+	}
+	res, err := Run(cfg, profile, 160*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleDowns == 0 {
+		t.Fatalf("never scaled down after the spike ended")
+	}
+	if final := res.Replicas[len(res.Replicas)-1]; final > 2 {
+		t.Fatalf("fleet still at %d replicas long after the spike", final)
+	}
+}
+
+// TestAutoscalerCheaperThanStaticPeak is the headline: over a diurnal day,
+// the autoscaled fleet burns significantly fewer instance-seconds than a
+// static fleet sized for the peak, while both meet the SLO.
+func TestAutoscalerCheaperThanStaticPeak(t *testing.T) {
+	profile := DiurnalProfile(40, 500, 240)
+	duration := 480 * time.Second // two "days"
+
+	static, err := Run(cpuConfig(4, 4), profile, duration) // peak-sized, no scaling
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run(cpuConfig(1, 4), profile, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !static.MeetsSLO(50 * time.Millisecond) {
+		t.Fatalf("static peak fleet must meet the SLO: %+v", static.Recorder.Overall())
+	}
+	if !auto.MeetsSLO(60 * time.Millisecond) {
+		// The autoscaler tolerates brief threshold crossings while reacting;
+		// allow 20% headroom on the overall p90.
+		t.Fatalf("autoscaled fleet too slow: %+v errors=%d", auto.Recorder.Overall(), auto.Recorder.Errors())
+	}
+	saving := 1 - auto.InstanceSeconds/static.InstanceSeconds
+	if saving < 0.2 {
+		t.Fatalf("autoscaler saved only %.0f%% instance-seconds", saving*100)
+	}
+	if auto.MonthlyUSD(device.CPU(), duration) >= static.MonthlyUSD(device.CPU(), duration) {
+		t.Fatalf("autoscaled cost not lower")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	profile := DiurnalProfile(20, 100, 60)
+	a, err := Run(cpuConfig(1, 3), profile, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cpuConfig(1, 3), profile, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sent != b.Sent || a.InstanceSeconds != b.InstanceSeconds || a.ScaleUps != b.ScaleUps {
+		t.Fatalf("autoscale runs not deterministic")
+	}
+}

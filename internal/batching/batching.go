@@ -1,0 +1,145 @@
+// Package batching implements the request-batching plugin of the inference
+// server — the Go analogue of the batched-fn Rust crate the paper uses for
+// GPU inference. Incoming requests accumulate in a buffer that is flushed to
+// a batch handler when either the maximum batch size is reached (paper
+// setting: 1,024 requests) or the flush interval elapses (paper setting: two
+// milliseconds), whichever comes first.
+package batching
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrClosed is returned by Submit after the batcher is shut down.
+var ErrClosed = errors.New("batching: batcher closed")
+
+// Config controls batch formation.
+type Config struct {
+	// MaxBatch flushes the buffer when this many requests are pending.
+	MaxBatch int
+	// FlushEvery flushes any non-empty buffer after this interval.
+	FlushEvery time.Duration
+}
+
+// DefaultConfig returns the paper's settings: up to 1,024 requests, flushed
+// every two milliseconds.
+func DefaultConfig() Config {
+	return Config{MaxBatch: 1024, FlushEvery: 2 * time.Millisecond}
+}
+
+func (c Config) validate() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("batching: MaxBatch must be ≥ 1, got %d", c.MaxBatch)
+	}
+	if c.FlushEvery <= 0 {
+		return fmt.Errorf("batching: FlushEvery must be positive, got %v", c.FlushEvery)
+	}
+	return nil
+}
+
+// Handler processes one batch of requests and returns one response per
+// request, in order. It runs on the batcher's dispatch goroutine: at most
+// one batch is in flight at a time, which models an accelerator executing
+// one kernel sequence at a time.
+type Handler[Req, Resp any] func(batch []Req) []Resp
+
+// Batcher groups individual requests into batches. Create with New, submit
+// with Submit, and release resources with Close.
+type Batcher[Req, Resp any] struct {
+	cfg     Config
+	handler Handler[Req, Resp]
+	in      chan envelope[Req, Resp]
+	done    chan struct{}
+}
+
+type envelope[Req, Resp any] struct {
+	req   Req
+	reply chan Resp
+}
+
+// New starts a batcher that feeds handler. Close must be called to stop the
+// dispatch goroutine.
+func New[Req, Resp any](cfg Config, handler Handler[Req, Resp]) (*Batcher[Req, Resp], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if handler == nil {
+		return nil, errors.New("batching: nil handler")
+	}
+	b := &Batcher[Req, Resp]{
+		cfg:     cfg,
+		handler: handler,
+		in:      make(chan envelope[Req, Resp], cfg.MaxBatch),
+		done:    make(chan struct{}),
+	}
+	go b.dispatch()
+	return b, nil
+}
+
+// Submit enqueues one request and blocks until its response is available,
+// the context is cancelled, or the batcher is closed.
+func (b *Batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) {
+	var zero Resp
+	env := envelope[Req, Resp]{req: req, reply: make(chan Resp, 1)}
+	select {
+	case b.in <- env:
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.done:
+		return zero, ErrClosed
+	}
+	select {
+	case resp := <-env.reply:
+		return resp, nil
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.done:
+		return zero, ErrClosed
+	}
+}
+
+// Close stops the dispatcher. Pending requests receive ErrClosed.
+func (b *Batcher[Req, Resp]) Close() {
+	close(b.done)
+}
+
+func (b *Batcher[Req, Resp]) dispatch() {
+	ticker := time.NewTicker(b.cfg.FlushEvery)
+	defer ticker.Stop()
+	buf := make([]envelope[Req, Resp], 0, b.cfg.MaxBatch)
+	for {
+		select {
+		case env := <-b.in:
+			buf = append(buf, env)
+			if len(buf) >= b.cfg.MaxBatch {
+				buf = b.flush(buf)
+				ticker.Reset(b.cfg.FlushEvery)
+			}
+		case <-ticker.C:
+			if len(buf) > 0 {
+				buf = b.flush(buf)
+			}
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// flush runs the handler on the buffered requests and fans responses out.
+// It returns the emptied (reusable) buffer.
+func (b *Batcher[Req, Resp]) flush(buf []envelope[Req, Resp]) []envelope[Req, Resp] {
+	reqs := make([]Req, len(buf))
+	for i, env := range buf {
+		reqs[i] = env.req
+	}
+	resps := b.handler(reqs)
+	for i, env := range buf {
+		if i < len(resps) {
+			env.reply <- resps[i]
+		}
+	}
+	return buf[:0]
+}

@@ -1,0 +1,183 @@
+package batching
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	double := func(batch []int) []int {
+		out := make([]int, len(batch))
+		for i, v := range batch {
+			out[i] = 2 * v
+		}
+		return out
+	}
+	if _, err := New(Config{MaxBatch: 0, FlushEvery: time.Millisecond}, double); err == nil {
+		t.Fatalf("MaxBatch 0 accepted")
+	}
+	if _, err := New(Config{MaxBatch: 4, FlushEvery: 0}, double); err == nil {
+		t.Fatalf("FlushEvery 0 accepted")
+	}
+	if _, err := New[int, int](DefaultConfig(), nil); err == nil {
+		t.Fatalf("nil handler accepted")
+	}
+	if c := DefaultConfig(); c.MaxBatch != 1024 || c.FlushEvery != 2*time.Millisecond {
+		t.Fatalf("paper defaults changed: %+v", c)
+	}
+}
+
+func TestSingleRequestFlushedByTimer(t *testing.T) {
+	b, err := New(Config{MaxBatch: 100, FlushEvery: time.Millisecond}, func(batch []int) []int {
+		out := make([]int, len(batch))
+		for i, v := range batch {
+			out[i] = v + 1
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err := b.Submit(context.Background(), 41)
+	if err != nil || got != 42 {
+		t.Fatalf("Submit = %v, %v", got, err)
+	}
+}
+
+func TestResponsesMatchRequests(t *testing.T) {
+	b, _ := New(Config{MaxBatch: 8, FlushEvery: time.Millisecond}, func(batch []int) []int {
+		out := make([]int, len(batch))
+		for i, v := range batch {
+			out[i] = v * v
+		}
+		return out
+	})
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 1; i <= 64; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			got, err := b.Submit(context.Background(), v)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != v*v {
+				t.Errorf("Submit(%d) = %d, want %d", v, got, v*v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxBatchRespected(t *testing.T) {
+	var maxSeen atomic.Int64
+	b, _ := New(Config{MaxBatch: 4, FlushEvery: 50 * time.Millisecond}, func(batch []string) []string {
+		if int64(len(batch)) > maxSeen.Load() {
+			maxSeen.Store(int64(len(batch)))
+		}
+		return batch
+	})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), "x"); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() > 4 {
+		t.Fatalf("batch of %d exceeded MaxBatch 4", maxSeen.Load())
+	}
+}
+
+func TestBatchingActuallyBatches(t *testing.T) {
+	var calls atomic.Int64
+	b, _ := New(Config{MaxBatch: 64, FlushEvery: 20 * time.Millisecond}, func(batch []int) []int {
+		calls.Add(1)
+		return batch
+	})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Submit(context.Background(), 1)
+		}()
+	}
+	wg.Wait()
+	// 32 concurrent requests within one 20ms window must need far fewer
+	// handler invocations than requests.
+	if calls.Load() > 8 {
+		t.Fatalf("32 requests used %d handler calls — not batching", calls.Load())
+	}
+}
+
+func TestSubmitContextCancelled(t *testing.T) {
+	block := make(chan struct{})
+	b, _ := New(Config{MaxBatch: 1, FlushEvery: time.Millisecond}, func(batch []int) []int {
+		<-block
+		return batch
+	})
+	defer b.Close()
+	defer close(block)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// First request occupies the handler; second's context expires.
+	go func() { _, _ = b.Submit(context.Background(), 1) }()
+	time.Sleep(5 * time.Millisecond)
+	_, err := b.Submit(ctx, 2)
+	if err == nil {
+		t.Fatalf("expected context error")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	b, _ := New(Config{MaxBatch: 1, FlushEvery: time.Millisecond}, func(batch []int) []int { return batch })
+	b.Close()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := b.Submit(context.Background(), 1); err == nil {
+		t.Fatalf("Submit after Close must error")
+	}
+}
+
+func TestThroughputUnderLoad(t *testing.T) {
+	// A handler with a fixed 1ms cost per batch must sustain far more than
+	// 1,000 sequential-equivalent requests/second thanks to batching.
+	b, _ := New(Config{MaxBatch: 1024, FlushEvery: 2 * time.Millisecond}, func(batch []int) []int {
+		time.Sleep(time.Millisecond)
+		return batch
+	})
+	defer b.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	const n = 2000
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Submit(context.Background(), 1)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > time.Second {
+		t.Fatalf("2000 batched requests took %v — batching broken", elapsed)
+	}
+}

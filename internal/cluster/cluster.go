@@ -1,0 +1,268 @@
+// Package cluster is the Kubernetes stand-in of this reproduction: it
+// deploys inference servers as in-process "pods" listening on real local
+// ports, gates them behind readiness probes (the paper: "once the model
+// deployment is finished — determined via Kubernetes's readiness probes —
+// a ClusterIP service interface is deployed"), and exposes a round-robin
+// ClusterIP-style service that the load generator targets.
+//
+// Pods host either ETUDE's own inference server (internal/server) or the
+// TorchServe baseline (internal/torchserve); model artifacts are pulled
+// from an object-store bucket, mirroring the paper's deployment flow.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/loadgen"
+	"etude/internal/objstore"
+	"etude/internal/server"
+	"etude/internal/torchserve"
+)
+
+// Runtime selects which serving engine a pod runs.
+type Runtime int
+
+const (
+	// RuntimeEtude runs the internal/server inference server.
+	RuntimeEtude Runtime = iota
+	// RuntimeEtudeStatic runs the static (no-model) ETUDE server.
+	RuntimeEtudeStatic
+	// RuntimeTorchServe runs the TorchServe baseline simulator.
+	RuntimeTorchServe
+)
+
+// PodSpec declares what one pod runs.
+type PodSpec struct {
+	// Runtime selects the serving engine.
+	Runtime Runtime
+	// ModelKey locates the model manifest in the cluster's bucket (ignored
+	// by the static runtime; optional for TorchServe).
+	ModelKey string
+	// InstanceType labels the machine type for reporting ("cpu", ...).
+	InstanceType string
+	// Server configures the ETUDE runtime.
+	Server server.Options
+	// TorchServe configures the baseline runtime.
+	TorchServe torchserve.Config
+}
+
+// Pod is one running serving replica.
+type Pod struct {
+	addr     string
+	http     *http.Server
+	listener net.Listener
+	closeFn  func()
+}
+
+// Addr returns the pod's host:port.
+func (p *Pod) Addr() string { return p.addr }
+
+// URL returns the pod's base URL.
+func (p *Pod) URL() string { return "http://" + p.addr }
+
+func (p *Pod) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = p.http.Shutdown(ctx)
+	if p.closeFn != nil {
+		p.closeFn()
+	}
+}
+
+// Service is the ClusterIP analogue: it fans requests out to ready pods
+// round-robin.
+type Service struct {
+	name string
+	pods []*Pod
+	rr   atomic.Uint64
+}
+
+// Name returns the deployment name the service fronts.
+func (s *Service) Name() string { return s.name }
+
+// Pods returns the backing pods.
+func (s *Service) Pods() []*Pod { return s.pods }
+
+// Endpoint returns the next pod URL round-robin.
+func (s *Service) Endpoint() string {
+	i := s.rr.Add(1)
+	return s.pods[int(i)%len(s.pods)].URL()
+}
+
+// Target adapts the service to the load generator: each request goes to the
+// next pod in round-robin order, like kube-proxy's default ClusterIP
+// behaviour.
+func (s *Service) Target() loadgen.Target {
+	targets := make([]*loadgen.HTTPTarget, len(s.pods))
+	for i, p := range s.pods {
+		targets[i] = loadgen.NewHTTPTarget(p.URL())
+	}
+	var rr atomic.Uint64
+	return loadgen.FuncTarget(func(ctx context.Context, req httpapi.PredictRequest) error {
+		i := rr.Add(1)
+		return targets[int(i)%len(targets)].Predict(ctx, req)
+	})
+}
+
+// Cluster manages deployments. Create with New (the `make infra` analogue),
+// deploy with Deploy, and release all resources with Teardown.
+type Cluster struct {
+	bucket objstore.Bucket
+
+	mu       sync.Mutex
+	services map[string]*Service
+}
+
+// New provisions a cluster backed by the given artifact bucket.
+func New(bucket objstore.Bucket) *Cluster {
+	return &Cluster{bucket: bucket, services: make(map[string]*Service)}
+}
+
+// Bucket returns the cluster's artifact/results bucket.
+func (c *Cluster) Bucket() objstore.Bucket { return c.bucket }
+
+// Deploy starts `replicas` pods for spec under `name`, waits for every
+// pod's readiness probe, and returns the fronting service. Deploying an
+// existing name is an error (delete it first).
+func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replicas int) (*Service, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: deployment %q needs at least one replica", name)
+	}
+	c.mu.Lock()
+	if _, exists := c.services[name]; exists {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: deployment %q already exists", name)
+	}
+	c.mu.Unlock()
+
+	svc := &Service{name: name}
+	for i := 0; i < replicas; i++ {
+		pod, err := c.startPod(spec)
+		if err != nil {
+			for _, p := range svc.pods {
+				p.stop()
+			}
+			return nil, fmt.Errorf("cluster: starting replica %d of %q: %w", i, name, err)
+		}
+		svc.pods = append(svc.pods, pod)
+	}
+	// Readiness gate: the service only exists once every pod answers its
+	// probe, like a Kubernetes rollout.
+	for _, pod := range svc.pods {
+		if err := waitReady(ctx, pod.URL()); err != nil {
+			for _, p := range svc.pods {
+				p.stop()
+			}
+			return nil, fmt.Errorf("cluster: readiness probe for %q: %w", name, err)
+		}
+	}
+	c.mu.Lock()
+	c.services[name] = svc
+	c.mu.Unlock()
+	return svc, nil
+}
+
+func (c *Cluster) startPod(spec PodSpec) (*Pod, error) {
+	var handler http.Handler
+	var closeFn func()
+	switch spec.Runtime {
+	case RuntimeEtude:
+		srv, err := server.LoadFromBucket(c.bucket, spec.ModelKey, spec.Server)
+		if err != nil {
+			return nil, err
+		}
+		handler, closeFn = srv.Handler(), srv.Close
+	case RuntimeEtudeStatic:
+		srv := server.NewStatic()
+		handler, closeFn = srv.Handler(), srv.Close
+	case RuntimeTorchServe:
+		ts := torchserve.New(nil, spec.TorchServe)
+		handler, closeFn = ts.Handler(), ts.Close
+	default:
+		return nil, fmt.Errorf("cluster: unknown runtime %d", spec.Runtime)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if closeFn != nil {
+			closeFn()
+		}
+		return nil, fmt.Errorf("cluster: allocating pod port: %w", err)
+	}
+	pod := &Pod{
+		addr:     ln.Addr().String(),
+		http:     &http.Server{Handler: handler},
+		listener: ln,
+		closeFn:  closeFn,
+	}
+	go func() {
+		// ErrServerClosed is the normal shutdown path.
+		_ = pod.http.Serve(ln)
+	}()
+	return pod, nil
+}
+
+func waitReady(ctx context.Context, url string) error {
+	client := &http.Client{Timeout: time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+httpapi.ReadyPath, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// Service returns a deployed service by name.
+func (c *Cluster) Service(name string) (*Service, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	svc, ok := c.services[name]
+	return svc, ok
+}
+
+// Delete stops a deployment's pods and removes its service.
+func (c *Cluster) Delete(name string) error {
+	c.mu.Lock()
+	svc, ok := c.services[name]
+	delete(c.services, name)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: no deployment %q", name)
+	}
+	for _, p := range svc.pods {
+		p.stop()
+	}
+	return nil
+}
+
+// Teardown stops every deployment.
+func (c *Cluster) Teardown() {
+	c.mu.Lock()
+	services := c.services
+	c.services = make(map[string]*Service)
+	c.mu.Unlock()
+	for _, svc := range services {
+		for _, p := range svc.pods {
+			p.stop()
+		}
+	}
+}

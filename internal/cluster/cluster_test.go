@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/model"
+	"etude/internal/objstore"
+	"etude/internal/server"
+	"etude/internal/torchserve"
+)
+
+func newClusterWithModel(t *testing.T) (*Cluster, string) {
+	t.Helper()
+	bucket := objstore.NewMemBucket()
+	manifest := model.Manifest{Model: "core", Config: model.Config{CatalogSize: 100, Seed: 1, TopK: 3}}
+	data, err := model.MarshalManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "models/core.json"
+	if err := bucket.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	c := New(bucket)
+	t.Cleanup(c.Teardown)
+	return c, key
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestDeployAndServe(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "core", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.Pods()) != 2 {
+		t.Fatalf("pods = %d", len(svc.Pods()))
+	}
+	tgt := svc.Target()
+	for i := 0; i < 6; i++ {
+		if err := tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1, 2}}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "rr", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 9; i++ {
+		seen[svc.Endpoint()]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round robin hit %d/3 pods", len(seen))
+	}
+	for url, n := range seen {
+		if n != 3 {
+			t.Fatalf("pod %s got %d/9 requests", url, n)
+		}
+	}
+}
+
+func TestDeployMissingModelFails(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	if _, err := c.Deploy(ctx(t), "bad", PodSpec{Runtime: RuntimeEtude, ModelKey: "models/missing.json"}, 1); err == nil {
+		t.Fatalf("deploy of missing artifact must fail")
+	}
+}
+
+func TestDeployDuplicateName(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	if _, err := c.Deploy(ctx(t), "dup", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy(ctx(t), "dup", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1); err == nil {
+		t.Fatalf("duplicate deployment accepted")
+	}
+}
+
+func TestDeployZeroReplicas(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	if _, err := c.Deploy(ctx(t), "zero", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 0); err == nil {
+		t.Fatalf("zero replicas accepted")
+	}
+}
+
+func TestStaticRuntime(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "static", PodSpec{Runtime: RuntimeEtudeStatic}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Target().Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorchServeRuntime(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	cfg := torchserve.DefaultConfig()
+	cfg.PerRequestOverhead = time.Millisecond
+	svc, err := c.Deploy(ctx(t), "ts", PodSpec{Runtime: RuntimeTorchServe, TorchServe: cfg}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Target().Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceLookupAndDelete(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "lookup", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Service("lookup")
+	if !ok || got != svc {
+		t.Fatalf("Service lookup failed")
+	}
+	url := svc.Pods()[0].URL()
+	if err := c.Delete("lookup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Service("lookup"); ok {
+		t.Fatalf("service survived delete")
+	}
+	if err := c.Delete("lookup"); err == nil {
+		t.Fatalf("double delete must error")
+	}
+	// The pod must actually be down.
+	time.Sleep(50 * time.Millisecond)
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	if resp, err := client.Get(url + httpapi.ReadyPath); err == nil {
+		resp.Body.Close()
+		t.Fatalf("pod still answering after delete")
+	}
+}
+
+func TestReadinessGate(t *testing.T) {
+	// A deployment only returns once /ping answers: make sure the returned
+	// service is immediately usable under concurrency.
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "ready", PodSpec{
+		Runtime:  RuntimeEtude,
+		ModelKey: key,
+		Server:   server.Options{Workers: 2, JIT: true},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	tgt := svc.Target()
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{5}}); err != nil {
+				t.Errorf("predict: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTeardownStopsEverything(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc1, _ := c.Deploy(ctx(t), "a", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1)
+	svc2, _ := c.Deploy(ctx(t), "b", PodSpec{Runtime: RuntimeEtudeStatic}, 1)
+	c.Teardown()
+	time.Sleep(50 * time.Millisecond)
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	for _, svc := range []*Service{svc1, svc2} {
+		if resp, err := client.Get(svc.Pods()[0].URL() + httpapi.ReadyPath); err == nil {
+			resp.Body.Close()
+			t.Fatalf("pod of %s still up after teardown", svc.Name())
+		}
+	}
+}
+
+func TestPodAccessorsAndBucket(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "accessors", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pod := svc.Pods()[0]
+	if pod.Addr() == "" {
+		t.Fatalf("empty pod address")
+	}
+	if pod.URL() != "http://"+pod.Addr() {
+		t.Fatalf("URL %q does not match Addr %q", pod.URL(), pod.Addr())
+	}
+	if svc.Name() != "accessors" {
+		t.Fatalf("service name = %q", svc.Name())
+	}
+	if c.Bucket() == nil {
+		t.Fatalf("nil bucket")
+	}
+}
+
+func TestUnknownRuntimeRejected(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	if _, err := c.Deploy(ctx(t), "bad-rt", PodSpec{Runtime: Runtime(99)}, 1); err == nil {
+		t.Fatalf("unknown runtime accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"etude/internal/cluster"
+	"etude/internal/objstore"
+)
+
+func simSpec() Spec {
+	return Spec{
+		Name:        "test",
+		Models:      []string{"gru4rec"},
+		Instances:   []string{"cpu"},
+		CatalogSize: 100_000,
+		JIT:         true,
+		TargetRate:  100,
+		Duration:    10 * time.Second,
+		Seed:        1,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := simSpec()
+	bad.CatalogSize = 0
+	if _, err := RunSim(bad); err == nil {
+		t.Fatalf("zero catalog accepted")
+	}
+	bad = simSpec()
+	bad.TargetRate = 0
+	if _, err := RunSim(bad); err == nil {
+		t.Fatalf("zero rate accepted")
+	}
+	bad = simSpec()
+	bad.Models = nil
+	if _, err := RunSim(bad); err == nil {
+		t.Fatalf("no models accepted")
+	}
+	bad = simSpec()
+	bad.Instances = []string{"tpu"}
+	if _, err := RunSim(bad); err == nil {
+		t.Fatalf("unknown instance accepted")
+	}
+	bad = simSpec()
+	bad.Models = []string{"ghost"}
+	if _, err := RunSim(bad); err == nil {
+		t.Fatalf("unknown model accepted")
+	}
+}
+
+func TestRunSimProducesMeasurements(t *testing.T) {
+	spec := simSpec()
+	spec.Models = []string{"gru4rec", "core"}
+	spec.Instances = []string{"cpu", "gpu-t4"}
+	ms, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("got %d measurements, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if m.Sent == 0 {
+			t.Errorf("%s/%s: nothing sent", m.Model, m.Instance)
+		}
+		if m.Latency.P90 <= 0 {
+			t.Errorf("%s/%s: zero p90", m.Model, m.Instance)
+		}
+		if len(m.Series) == 0 {
+			t.Errorf("%s/%s: no series", m.Model, m.Instance)
+		}
+		if !m.MeetsSLO {
+			t.Errorf("%s/%s: 100 req/s at C=1e5 must meet the SLO (p90 %v)", m.Model, m.Instance, m.Latency.P90)
+		}
+	}
+}
+
+func TestRunSimOverloadFailsSLO(t *testing.T) {
+	spec := simSpec()
+	spec.CatalogSize = 1_000_000
+	spec.TargetRate = 1000 // far beyond one CPU instance
+	ms, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].MeetsSLO {
+		t.Fatalf("1000 req/s at C=1e6 on one CPU must fail: %+v", ms[0].Latency)
+	}
+	if ms[0].Backpressured == 0 {
+		t.Fatalf("expected backpressure under overload")
+	}
+}
+
+func TestRunLiveEndToEnd(t *testing.T) {
+	bucket := objstore.NewMemBucket()
+	c := cluster.New(bucket)
+	defer c.Teardown()
+
+	spec := Spec{
+		Name:        "live",
+		Models:      []string{"stamp"},
+		Instances:   []string{"cpu"},
+		CatalogSize: 2_000,
+		JIT:         true,
+		TargetRate:  100,
+		Duration:    2 * time.Second,
+		Seed:        1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ms, err := RunLive(ctx, c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	m := ms[0]
+	if m.Sent == 0 || m.Errors != 0 {
+		t.Fatalf("live run: sent=%d errors=%d", m.Sent, m.Errors)
+	}
+	if !m.MeetsSLO {
+		t.Fatalf("tiny catalog live run must meet the SLO: p90=%v", m.Latency.P90)
+	}
+	// The model artifact must have been published through the bucket.
+	if _, err := bucket.Get("models/live/stamp.json"); err != nil {
+		t.Fatalf("model artifact not in bucket: %v", err)
+	}
+}
+
+func TestRunLiveRejectsGPU(t *testing.T) {
+	c := cluster.New(objstore.NewMemBucket())
+	defer c.Teardown()
+	spec := simSpec()
+	spec.Instances = []string{"gpu-t4"}
+	if _, err := RunLive(context.Background(), c, spec); err == nil {
+		t.Fatalf("live GPU run must be rejected")
+	}
+}
+
+func TestSaveLoadResults(t *testing.T) {
+	bucket := objstore.NewMemBucket()
+	ms, err := RunSim(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveResults(bucket, "results/test.json", ms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResults(bucket, "results/test.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ms) {
+		t.Fatalf("round trip length %d != %d", len(got), len(ms))
+	}
+	if got[0].Model != ms[0].Model || got[0].Latency.P90 != ms[0].Latency.P90 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got[0], ms[0])
+	}
+	if _, err := LoadResults(bucket, "missing"); err == nil {
+		t.Fatalf("missing results accepted")
+	}
+	_ = bucket.Put("bad", []byte("nope"))
+	if _, err := LoadResults(bucket, "bad"); err == nil {
+		t.Fatalf("corrupt results accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := Spec{}.withDefaults()
+	if s.Duration != 10*time.Minute {
+		t.Errorf("default duration = %v, paper uses 10-minute ramps", s.Duration)
+	}
+	if s.LatencySLO != 50*time.Millisecond {
+		t.Errorf("default SLO = %v, paper uses 50ms p90", s.LatencySLO)
+	}
+	if s.AlphaLength <= 1 || s.AlphaClicks <= 1 {
+		t.Errorf("default marginals invalid: %v %v", s.AlphaLength, s.AlphaClicks)
+	}
+}
+
+func TestRunSimDeterministic(t *testing.T) {
+	a, err := RunSim(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Latency != b[0].Latency || a[0].Sent != b[0].Sent {
+		t.Fatalf("simulated runs not reproducible: %+v vs %+v", a[0].Latency, b[0].Latency)
+	}
+}
+
+func TestRunSimFaithfulSlower(t *testing.T) {
+	spec := simSpec()
+	spec.Models = []string{"repeatnet"}
+	spec.CatalogSize = 1_000_000
+	spec.TargetRate = 120
+	spec.Duration = 15 * time.Second
+
+	fixed, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faithful = true
+	faithful, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faithful[0].Latency.P90 <= fixed[0].Latency.P90 {
+		t.Fatalf("faithful RepeatNet p90 %v not worse than fixed %v",
+			faithful[0].Latency.P90, fixed[0].Latency.P90)
+	}
+}
+
+func TestRunSimReplicasScaleOut(t *testing.T) {
+	spec := simSpec()
+	spec.CatalogSize = 1_000_000
+	spec.TargetRate = 400
+	spec.Duration = 15 * time.Second
+
+	single, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Replicas = 3
+	fleet, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single[0].MeetsSLO {
+		t.Fatalf("one CPU instance should fail 400 req/s at C=1e6")
+	}
+	if !fleet[0].MeetsSLO {
+		t.Fatalf("three CPU instances should handle 400 req/s at C=1e6: %+v", fleet[0].Latency)
+	}
+}

@@ -1,0 +1,108 @@
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CloudInstance is an instance offering on one cloud, mapped to one of the
+// three device classes of the study. Prices are indicative public monthly
+// rates under a one-year commitment (the same basis as the paper's GCP
+// prices); they exist to support cross-cloud cost comparison — the paper's
+// future-work plan "to support additional cloud environments such as
+// Microsoft Azure or Amazon Web Services".
+type CloudInstance struct {
+	// Cloud is the provider ("gcp", "aws", "azure").
+	Cloud string
+	// Name is the provider's instance-type name.
+	Name string
+	// Device maps the offering to a device class ("cpu", "gpu-t4",
+	// "gpu-a100"); capacities measured for the device class transfer.
+	Device string
+	// MonthlyUSD is the indicative one-year-commitment monthly price.
+	MonthlyUSD float64
+}
+
+// CloudCatalog returns the cross-cloud offerings for the three device
+// classes. GCP rows are the paper's exact prices.
+func CloudCatalog() []CloudInstance {
+	return []CloudInstance{
+		// GCP (the paper's testbed).
+		{Cloud: "gcp", Name: "e2-custom (5.5 vCPU)", Device: "cpu", MonthlyUSD: 108.09},
+		{Cloud: "gcp", Name: "e2 + nvidia-tesla-t4", Device: "gpu-t4", MonthlyUSD: 268.09},
+		{Cloud: "gcp", Name: "a2-highgpu-1g (A100)", Device: "gpu-a100", MonthlyUSD: 2008.80},
+		// AWS (indicative 1-yr reserved).
+		{Cloud: "aws", Name: "m6i.2xlarge", Device: "cpu", MonthlyUSD: 159.00},
+		{Cloud: "aws", Name: "g4dn.xlarge (T4)", Device: "gpu-t4", MonthlyUSD: 231.00},
+		{Cloud: "aws", Name: "p4d slice (A100)", Device: "gpu-a100", MonthlyUSD: 1967.00},
+		// Azure (indicative 1-yr reserved).
+		{Cloud: "azure", Name: "D8s_v5", Device: "cpu", MonthlyUSD: 140.00},
+		{Cloud: "azure", Name: "NC4as_T4_v3", Device: "gpu-t4", MonthlyUSD: 312.00},
+		{Cloud: "azure", Name: "NC24ads_A100_v4", Device: "gpu-a100", MonthlyUSD: 2681.00},
+	}
+}
+
+// CloudOption is a fleet priced on a specific cloud.
+type CloudOption struct {
+	// Instance is the priced offering.
+	Instance CloudInstance
+	// Count is the fleet size.
+	Count int
+	// MonthlyUSD is the fleet's total monthly cost.
+	MonthlyUSD float64
+	// Feasible is false when the device class cannot serve the scenario.
+	Feasible bool
+}
+
+// String renders the option.
+func (o CloudOption) String() string {
+	if !o.Feasible {
+		return fmt.Sprintf("%s/%s: infeasible", o.Instance.Cloud, o.Instance.Name)
+	}
+	return fmt.Sprintf("%s %s ×%d ($%.0f/month)", o.Instance.Cloud, o.Instance.Name, o.Count, o.MonthlyUSD)
+}
+
+// PlanAcrossClouds sizes fleets for every cloud offering of every device
+// class, given the per-instance capacity of each device class (from
+// measurement or simulation; the hardware is identical across clouds, so
+// capacity transfers). Results are sorted cheapest-feasible first.
+func PlanAcrossClouds(capacityByDevice map[string]float64, sc Scenario) []CloudOption {
+	var out []CloudOption
+	for _, ci := range CloudCatalog() {
+		capacity := capacityByDevice[ci.Device]
+		opt := CloudOption{Instance: ci}
+		if capacity > 0 {
+			count := int(sc.TargetRate / capacity)
+			if float64(count)*capacity < sc.TargetRate {
+				count++
+			}
+			if count < 1 {
+				count = 1
+			}
+			opt.Count = count
+			opt.MonthlyUSD = float64(count) * ci.MonthlyUSD
+			opt.Feasible = true
+		}
+		out = append(out, opt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		if out[i].MonthlyUSD != out[j].MonthlyUSD {
+			return out[i].MonthlyUSD < out[j].MonthlyUSD
+		}
+		return out[i].Instance.Cloud < out[j].Instance.Cloud
+	})
+	return out
+}
+
+// CheapestCloud returns the lowest-cost feasible option across clouds.
+func CheapestCloud(options []CloudOption) (CloudOption, bool) {
+	for _, o := range options {
+		if o.Feasible {
+			return o, true
+		}
+	}
+	return CloudOption{}, false
+}

@@ -1,0 +1,111 @@
+// Package costmodel turns ETUDE's measurements into deployment decisions:
+// given the per-instance capacity of a (model, instance type) pair under a
+// latency constraint, it computes how many instances a scenario needs, what
+// the fleet costs per month in GCP (one-year commitment prices), and which
+// deployment option is the most cost-efficient — the machinery behind the
+// paper's Table I.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"etude/internal/device"
+)
+
+// LatencySLO is the paper's service-level objective: 50 ms at the 90th
+// percentile.
+const LatencySLO = 50 * time.Millisecond
+
+// Scenario is one e-Commerce use case from Table I.
+type Scenario struct {
+	// Name labels the use case.
+	Name string
+	// CatalogSize is the number of distinct items.
+	CatalogSize int
+	// TargetRate is the required throughput in requests/second.
+	TargetRate float64
+}
+
+// Scenarios returns the five use cases of Table I.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "Groceries (small)", CatalogSize: 10_000, TargetRate: 100},
+		{Name: "Groceries (large)", CatalogSize: 100_000, TargetRate: 250},
+		{Name: "Fashion", CatalogSize: 1_000_000, TargetRate: 500},
+		{Name: "e-Commerce", CatalogSize: 10_000_000, TargetRate: 1000},
+		{Name: "Platform", CatalogSize: 20_000_000, TargetRate: 1000},
+	}
+}
+
+// ScenarioByName looks a scenario up by its Table I label.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("costmodel: unknown scenario %q", name)
+}
+
+// Option is one deployment option for a scenario: a fleet of identical
+// instances.
+type Option struct {
+	// Instance is the instance-type name ("cpu", "gpu-t4", "gpu-a100").
+	Instance string
+	// Count is the number of instances in the fleet.
+	Count int
+	// MonthlyUSD is the fleet's monthly cost.
+	MonthlyUSD float64
+	// Feasible is false when no fleet size can satisfy the scenario (the
+	// instance cannot serve the model within the latency SLO at all).
+	Feasible bool
+}
+
+// String renders the option as in Table I rows.
+func (o Option) String() string {
+	if !o.Feasible {
+		return fmt.Sprintf("%s: infeasible", o.Instance)
+	}
+	return fmt.Sprintf("%s ×%d ($%.0f/month)", o.Instance, o.Count, o.MonthlyUSD)
+}
+
+// Plan sizes a fleet of the given instance type for a scenario.
+// capacityPerInstance is the measured (or simulated) sustainable throughput
+// of one instance under the latency SLO; zero or negative means the
+// instance cannot serve the model within the SLO.
+func Plan(spec device.Spec, capacityPerInstance float64, sc Scenario) Option {
+	if capacityPerInstance <= 0 {
+		return Option{Instance: spec.Name}
+	}
+	count := int(math.Ceil(sc.TargetRate / capacityPerInstance))
+	if count < 1 {
+		count = 1
+	}
+	return Option{
+		Instance:   spec.Name,
+		Count:      count,
+		MonthlyUSD: float64(count) * spec.MonthlyCostUSD,
+		Feasible:   true,
+	}
+}
+
+// Cheapest returns the lowest-cost feasible option, with ties broken by
+// fewer instances. The second return value is false when nothing is
+// feasible.
+func Cheapest(options []Option) (Option, bool) {
+	var best Option
+	found := false
+	for _, o := range options {
+		if !o.Feasible {
+			continue
+		}
+		if !found || o.MonthlyUSD < best.MonthlyUSD ||
+			(o.MonthlyUSD == best.MonthlyUSD && o.Count < best.Count) {
+			best = o
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,191 @@
+package costmodel
+
+import (
+	"testing"
+
+	"etude/internal/device"
+)
+
+func TestScenariosMatchTableI(t *testing.T) {
+	sc := Scenarios()
+	if len(sc) != 5 {
+		t.Fatalf("want 5 scenarios, got %d", len(sc))
+	}
+	wantCatalogs := []int{10_000, 100_000, 1_000_000, 10_000_000, 20_000_000}
+	wantRates := []float64{100, 250, 500, 1000, 1000}
+	for i, s := range sc {
+		if s.CatalogSize != wantCatalogs[i] || s.TargetRate != wantRates[i] {
+			t.Errorf("scenario %d = %+v", i, s)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	s, err := ScenarioByName("Fashion")
+	if err != nil || s.CatalogSize != 1_000_000 {
+		t.Fatalf("ScenarioByName: %+v, %v", s, err)
+	}
+	if _, err := ScenarioByName("Bookstore"); err == nil {
+		t.Fatalf("unknown scenario accepted")
+	}
+}
+
+func TestPlanSizing(t *testing.T) {
+	sc := Scenario{Name: "x", CatalogSize: 1, TargetRate: 1000}
+	// Capacity 220/instance ⇒ ceil(1000/220) = 5 instances.
+	o := Plan(device.GPUT4(), 220, sc)
+	if !o.Feasible || o.Count != 5 {
+		t.Fatalf("Plan = %+v", o)
+	}
+	if diff := o.MonthlyUSD - 5*268.09; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost = %v", o.MonthlyUSD)
+	}
+	// Exactly-sufficient capacity needs one instance.
+	if o := Plan(device.CPU(), 1000, sc); o.Count != 1 {
+		t.Fatalf("exact capacity: %+v", o)
+	}
+	// Infeasible capacity.
+	if o := Plan(device.GPUT4(), 0, sc); o.Feasible {
+		t.Fatalf("zero capacity must be infeasible")
+	}
+}
+
+func TestCheapestPrefersLowCost(t *testing.T) {
+	options := []Option{
+		{Instance: "gpu-a100", Count: 2, MonthlyUSD: 4017.6, Feasible: true},
+		{Instance: "gpu-t4", Count: 5, MonthlyUSD: 1340.45, Feasible: true},
+		{Instance: "cpu", Feasible: false},
+	}
+	best, ok := Cheapest(options)
+	if !ok || best.Instance != "gpu-t4" {
+		t.Fatalf("Cheapest = %+v, %v", best, ok)
+	}
+}
+
+func TestCheapestAllInfeasible(t *testing.T) {
+	if _, ok := Cheapest([]Option{{Instance: "cpu"}, {Instance: "gpu-t4"}}); ok {
+		t.Fatalf("infeasible options produced a winner")
+	}
+	if _, ok := Cheapest(nil); ok {
+		t.Fatalf("empty options produced a winner")
+	}
+}
+
+func TestCheapestTieBreaksOnCount(t *testing.T) {
+	options := []Option{
+		{Instance: "a", Count: 4, MonthlyUSD: 400, Feasible: true},
+		{Instance: "b", Count: 2, MonthlyUSD: 400, Feasible: true},
+	}
+	best, _ := Cheapest(options)
+	if best.Instance != "b" {
+		t.Fatalf("tie break failed: %+v", best)
+	}
+}
+
+// TestPaperECommerceComparison reproduces the paper's remark that for the
+// e-Commerce scenario "it is significantly cheaper to deploy five GPU-T4
+// instances ($1,343) than to leverage two more powerful GPU-A100 instances
+// (for $4,017)".
+func TestPaperECommerceComparison(t *testing.T) {
+	sc, _ := ScenarioByName("e-Commerce")
+	t4 := Plan(device.GPUT4(), 210, sc)     // ≈200 req/s per T4 ⇒ 5 instances
+	a100 := Plan(device.GPUA100(), 520, sc) // ≈500 req/s per A100 ⇒ 2 instances
+	if t4.Count != 5 || a100.Count != 2 {
+		t.Fatalf("fleet sizes: T4 %d, A100 %d", t4.Count, a100.Count)
+	}
+	best, _ := Cheapest([]Option{t4, a100})
+	if best.Instance != "gpu-t4" {
+		t.Fatalf("T4 fleet must win: %+v", best)
+	}
+	if t4.MonthlyUSD > 1400 || a100.MonthlyUSD < 4000 {
+		t.Fatalf("costs off: T4 $%.0f, A100 $%.0f", t4.MonthlyUSD, a100.MonthlyUSD)
+	}
+}
+
+func TestOptionString(t *testing.T) {
+	if s := (Option{Instance: "cpu"}).String(); s != "cpu: infeasible" {
+		t.Fatalf("infeasible rendering: %q", s)
+	}
+	o := Option{Instance: "cpu", Count: 3, MonthlyUSD: 324.27, Feasible: true}
+	if s := o.String(); s == "" {
+		t.Fatalf("empty rendering")
+	}
+}
+
+func TestCloudCatalogShape(t *testing.T) {
+	catalog := CloudCatalog()
+	byCloud := map[string]int{}
+	byDevice := map[string]int{}
+	for _, ci := range catalog {
+		byCloud[ci.Cloud]++
+		byDevice[ci.Device]++
+		if ci.MonthlyUSD <= 0 {
+			t.Errorf("%s/%s: non-positive price", ci.Cloud, ci.Name)
+		}
+	}
+	for _, cloud := range []string{"gcp", "aws", "azure"} {
+		if byCloud[cloud] != 3 {
+			t.Errorf("cloud %s has %d offerings, want 3", cloud, byCloud[cloud])
+		}
+	}
+	for _, dev := range []string{"cpu", "gpu-t4", "gpu-a100"} {
+		if byDevice[dev] != 3 {
+			t.Errorf("device %s has %d offerings, want 3", dev, byDevice[dev])
+		}
+	}
+}
+
+func TestGCPPricesMatchPaperInCatalog(t *testing.T) {
+	for _, ci := range CloudCatalog() {
+		if ci.Cloud != "gcp" {
+			continue
+		}
+		want := map[string]float64{"cpu": 108.09, "gpu-t4": 268.09, "gpu-a100": 2008.80}[ci.Device]
+		if ci.MonthlyUSD != want {
+			t.Errorf("gcp %s price = %v, want %v", ci.Device, ci.MonthlyUSD, want)
+		}
+	}
+}
+
+func TestPlanAcrossClouds(t *testing.T) {
+	sc := Scenario{Name: "e-Commerce", CatalogSize: 10_000_000, TargetRate: 1000}
+	capacities := map[string]float64{"cpu": 0, "gpu-t4": 210, "gpu-a100": 900}
+	options := PlanAcrossClouds(capacities, sc)
+	if len(options) != 9 {
+		t.Fatalf("options = %d, want 9", len(options))
+	}
+	// Sorted: feasible first, cheapest first.
+	if !options[0].Feasible {
+		t.Fatalf("first option infeasible: %+v", options[0])
+	}
+	for i := 1; i < len(options); i++ {
+		if options[i].Feasible && !options[i-1].Feasible {
+			t.Fatalf("infeasible sorted before feasible")
+		}
+		if options[i].Feasible && options[i-1].Feasible && options[i-1].MonthlyUSD > options[i].MonthlyUSD {
+			t.Fatalf("not cost-sorted at %d", i)
+		}
+	}
+	// CPU rows must be infeasible at capacity 0.
+	for _, o := range options {
+		if o.Instance.Device == "cpu" && o.Feasible {
+			t.Fatalf("cpu option feasible at zero capacity: %+v", o)
+		}
+	}
+	// The cheapest feasible fleet: AWS g4dn T4s at $231 × 5 = $1155
+	// undercuts GCP's $1340 and Azure's $1560.
+	best, ok := CheapestCloud(options)
+	if !ok || best.Instance.Cloud != "aws" || best.Instance.Device != "gpu-t4" || best.Count != 5 {
+		t.Fatalf("cheapest = %+v", best)
+	}
+}
+
+func TestCheapestCloudNoneFeasible(t *testing.T) {
+	options := PlanAcrossClouds(map[string]float64{}, Scenario{TargetRate: 100})
+	if _, ok := CheapestCloud(options); ok {
+		t.Fatalf("no capacities should mean no feasible option")
+	}
+	if s := options[0].String(); s == "" {
+		t.Fatalf("empty render")
+	}
+}

@@ -1,0 +1,25 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"etude/internal/costmodel"
+	"etude/internal/device"
+)
+
+// Size a T4 fleet for the paper's e-Commerce scenario given a measured
+// per-instance capacity, and compare it with an A100 fleet — the Table I
+// calculation.
+func ExamplePlan() {
+	sc, _ := costmodel.ScenarioByName("e-Commerce")
+	t4 := costmodel.Plan(device.GPUT4(), 210, sc)
+	a100 := costmodel.Plan(device.GPUA100(), 520, sc)
+	best, _ := costmodel.Cheapest([]costmodel.Option{t4, a100})
+	fmt.Println(t4)
+	fmt.Println(a100)
+	fmt.Println("cheapest:", best.Instance)
+	// Output:
+	// gpu-t4 ×5 ($1340/month)
+	// gpu-a100 ×2 ($4018/month)
+	// cheapest: gpu-t4
+}

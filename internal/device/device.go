@@ -1,0 +1,291 @@
+// Package device models the three instance types of the paper's GCP testbed
+// — a 5.5-vCPU e2 machine, an e2 machine with an NVIDIA Tesla T4, and an
+// A100 machine — as analytic latency models over the per-inference costs
+// reported by internal/model.
+//
+// The hardware substitution of this reproduction lives here: no physical
+// accelerator is available, so GPU inference latency is computed from a
+// roofline-style model with four calibrated mechanisms:
+//
+//  1. a batch-amortised catalog scan (Cost.SharedBytes / memory bandwidth) —
+//     the reason batching helps GPUs;
+//  2. per-request score-vector traffic (Cost.PerRequestBytes) and compute
+//     (Cost FLOPs) — the reason throughput is finite;
+//  3. fixed kernel-launch and submission overhead — the reason small
+//     catalogs are NOT faster on GPUs (the paper's 10k-item crossover);
+//  4. host↔device round trips (Cost.HostTransfers) — the SR-GNN / GC-SAN
+//     implementation bug.
+//
+// Effective FLOP/s and bandwidth values are derated from datasheet peaks
+// (≈0.6× compute; ≈0.6× bandwidth for the streaming catalog scan; ≈0.33×
+// of T4 peak and ≈0.18× of A100 peak for the strided per-request score
+// passes — achieved kernel efficiency does not scale with peak bandwidth,
+// so the effective A100/T4 ratio lands at the ≈2.6× speedup PyTorch
+// workloads actually see, not the 4.9× datasheet ratio). Values were
+// calibrated so that the paper's
+// headline shapes hold (CPU >50 ms at C=1e6 eager; T4 ≥10× faster than CPU
+// from C=1e6; five T4s sustain 1,000 req/s at C=1e7; only the A100 handles
+// C=2e7 at 1,000 req/s under a 50 ms p90).
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"etude/internal/model"
+)
+
+// Kind distinguishes CPU-only instances from accelerator instances.
+type Kind int
+
+const (
+	// KindCPU marks instances that run inference on host cores.
+	KindCPU Kind = iota
+	// KindGPU marks instances with an attached accelerator.
+	KindGPU
+)
+
+// Spec describes one instance type's performance and price.
+type Spec struct {
+	// Name is the instance-type label used in reports ("cpu", "gpu-t4",
+	// "gpu-a100").
+	Name string
+	// Kind selects the latency model.
+	Kind Kind
+	// Cores is the number of usable host vCPUs (worker slots).
+	Cores int
+	// CoreFLOPs is the effective per-core FLOP/s of eager CPU execution.
+	CoreFLOPs float64
+	// JITSpeedup multiplies CPU throughput when serving a JIT-compiled
+	// model (buffer reuse + operator fusion).
+	JITSpeedup float64
+	// OpOverheadEager and OpOverheadJIT are the per-operator dispatch costs
+	// of CPU execution (framework overhead per kernel launch); JIT
+	// compilation shrinks but does not eliminate them. At small catalogs
+	// these overheads — not FLOPs — decide the CPU/GPU crossover.
+	OpOverheadEager time.Duration
+	OpOverheadJIT   time.Duration
+	// FLOPs is the accelerator's effective FLOP/s (GPU only).
+	FLOPs float64
+	// MemBW is the accelerator's effective memory bandwidth for the
+	// streaming catalog scan (sequential, prefetch-friendly) in bytes/s.
+	MemBW float64
+	// ScoreBW is the effective bandwidth for the per-request score-vector
+	// passes (materialise + softmax + top-k selection): multi-pass,
+	// strided kernels achieve a far smaller fraction of peak than the
+	// streaming scan.
+	ScoreBW float64
+	// KernelOverhead is the per-kernel-launch cost on the accelerator.
+	KernelOverhead time.Duration
+	// SubmitOverhead is the fixed per-batch driver/framework cost.
+	SubmitOverhead time.Duration
+	// PCIeRoundTrip is one host↔device transfer round trip.
+	PCIeRoundTrip time.Duration
+	// HostSyncPenalty is the pipeline-flush cost of a host↔device
+	// synchronisation forced by host-side code in the middle of inference
+	// (the SR-GNN / GC-SAN NumPy-in-inference bug): the device drains, the
+	// Python side computes, and the kernel pipeline restarts. Charged once
+	// per Cost.HostTransfers per request, on top of the raw PCIe copy.
+	HostSyncPenalty time.Duration
+	// MemoryBytes is the accelerator memory capacity.
+	MemoryBytes int64
+	// MaxBatch caps the request batcher (paper setting: 1024).
+	MaxBatch int
+	// MonthlyCostUSD is the GCP one-year-commitment price of the instance.
+	MonthlyCostUSD float64
+}
+
+// CPU returns the e2 general-purpose instance used in the paper: 5.5 vCPUs
+// of an Intel Xeon @2.20GHz, 32 GB RAM, $108.09/month.
+func CPU() Spec {
+	return Spec{
+		Name:            "cpu",
+		Kind:            KindCPU,
+		Cores:           5,
+		CoreFLOPs:       1.2e9,
+		JITSpeedup:      2.2,
+		OpOverheadEager: 20 * time.Microsecond,
+		OpOverheadJIT:   6 * time.Microsecond,
+		MaxBatch:        1,
+		MonthlyCostUSD:  108.09,
+	}
+}
+
+// GPUT4 returns the e2 + NVIDIA Tesla T4 instance (16 GB GPU memory),
+// $268.09/month. Peak: 8.1 TFLOP/s FP32, 320 GB/s.
+func GPUT4() Spec {
+	return Spec{
+		Name:            "gpu-t4",
+		Kind:            KindGPU,
+		Cores:           5,
+		CoreFLOPs:       1.2e9,
+		JITSpeedup:      1.8,
+		FLOPs:           0.6 * 8.1e12,
+		MemBW:           0.6 * 320e9,
+		ScoreBW:         0.33 * 320e9,
+		KernelOverhead:  8 * time.Microsecond,
+		SubmitOverhead:  80 * time.Microsecond,
+		PCIeRoundTrip:   23 * time.Microsecond,
+		HostSyncPenalty: 500 * time.Microsecond,
+		MemoryBytes:     16 << 30,
+		MaxBatch:        1024,
+		MonthlyCostUSD:  268.09,
+	}
+}
+
+// GPUA100 returns the A100 instance (40 GB GPU memory, 12 vCPUs, 85 GB RAM),
+// $2,008.80/month. Peak: 19.5 TFLOP/s FP32, 1,555 GB/s.
+func GPUA100() Spec {
+	return Spec{
+		Name:            "gpu-a100",
+		Kind:            KindGPU,
+		Cores:           12,
+		CoreFLOPs:       1.2e9,
+		JITSpeedup:      1.8,
+		FLOPs:           0.6 * 19.5e12,
+		MemBW:           0.6 * 1555e9,
+		ScoreBW:         0.18 * 1555e9,
+		KernelOverhead:  8 * time.Microsecond,
+		SubmitOverhead:  80 * time.Microsecond,
+		PCIeRoundTrip:   23 * time.Microsecond,
+		HostSyncPenalty: 500 * time.Microsecond,
+		MemoryBytes:     40 << 30,
+		MaxBatch:        1024,
+		MonthlyCostUSD:  2008.80,
+	}
+}
+
+// ByName resolves an instance-type label.
+func ByName(name string) (Spec, error) {
+	switch name {
+	case "cpu":
+		return CPU(), nil
+	case "gpu-t4":
+		return GPUT4(), nil
+	case "gpu-a100":
+		return GPUA100(), nil
+	}
+	return Spec{}, fmt.Errorf("device: unknown instance type %q", name)
+}
+
+// All returns the three instance types of the experimental study.
+func All() []Spec {
+	return []Spec{CPU(), GPUT4(), GPUA100()}
+}
+
+// FitsMemory reports whether the model's catalog representation fits the
+// accelerator's memory alongside the score buffers of one max-size batch.
+// CPU instances always fit (32 GB host RAM is checked nowhere because no
+// paper catalog approaches it).
+func (s Spec) FitsMemory(c model.Cost) bool {
+	if s.Kind == KindCPU {
+		return true
+	}
+	catalog := c.SharedBytes
+	scores := float64(s.MaxBatch) * float64(c.Catalog) * 4
+	// Leave 10% headroom for weights, activations and the allocator.
+	return catalog+scores <= 0.9*float64(s.MemoryBytes)
+}
+
+// EffectiveMaxBatch returns the largest batch size whose score buffers fit
+// in accelerator memory, capped at MaxBatch. Zero means the model does not
+// fit at all. CPU instances return MaxBatch (1).
+func (s Spec) EffectiveMaxBatch(c model.Cost) int {
+	if s.Kind == KindCPU {
+		return s.MaxBatch
+	}
+	free := 0.9*float64(s.MemoryBytes) - c.SharedBytes
+	if free <= 0 {
+		return 0
+	}
+	b := int(free / (float64(c.Catalog) * 4))
+	if b > s.MaxBatch {
+		b = s.MaxBatch
+	}
+	return b
+}
+
+// SerialInference returns the latency of a single inference executed one
+// request at a time with no intra-request parallelism — the paper's
+// micro-benchmark setting (Fig 3).
+func (s Spec) SerialInference(c model.Cost, jit bool) time.Duration {
+	if s.Kind == KindCPU {
+		rate := s.CoreFLOPs
+		op := s.OpOverheadEager
+		if jit {
+			rate *= s.JITSpeedup
+			op = s.OpOverheadJIT
+		}
+		compute := c.TotalFLOPs() / rate
+		dispatch := float64(c.KernelLaunches) * op.Seconds()
+		return time.Duration((compute + dispatch) * float64(time.Second))
+	}
+	return s.BatchInference(c, 1, jit)
+}
+
+// ParallelInference returns the latency of a single inference on a CPU
+// instance with intra-op parallelism across all cores (the serving
+// configuration): the encoder runs on one core, the catalog scan fans out.
+func (s Spec) ParallelInference(c model.Cost, jit bool) time.Duration {
+	if s.Kind != KindCPU {
+		return s.BatchInference(c, 1, jit)
+	}
+	rate := s.CoreFLOPs
+	if jit {
+		rate *= s.JITSpeedup
+	}
+	op := s.OpOverheadEager
+	if jit {
+		op = s.OpOverheadJIT
+	}
+	const parallelEfficiency = 0.85
+	encoder := c.EncoderFLOPs / rate
+	scan := (c.MIPSFLOPs + c.DenseOverheadFLOPs) / (rate * float64(s.Cores) * parallelEfficiency)
+	dispatch := float64(c.KernelLaunches) * op.Seconds()
+	return time.Duration((encoder + scan + dispatch) * float64(time.Second))
+}
+
+// BatchInference returns the accelerator latency of one batch of `batch`
+// requests (GPU kinds only; CPU falls back to SerialInference for batch 1).
+//
+//	T(B) = submit + PCIe + launches·kernelOverhead   (fixed per batch)
+//	     + SharedBytes / MemBW                        (catalog scan, once)
+//	     + B · [ PerRequestBytes/MemBW + FLOPs/rate + transfers·PCIe ]
+//
+// JIT compilation fuses kernels, halving the launch count.
+func (s Spec) BatchInference(c model.Cost, batch int, jit bool) time.Duration {
+	if s.Kind == KindCPU {
+		if batch <= 1 {
+			return s.SerialInference(c, jit)
+		}
+		return time.Duration(batch) * s.SerialInference(c, jit)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	launches := float64(c.KernelLaunches)
+	if jit {
+		launches /= 2
+	}
+	fixed := s.SubmitOverhead.Seconds() +
+		s.PCIeRoundTrip.Seconds() +
+		launches*s.KernelOverhead.Seconds() +
+		c.SharedBytes/s.MemBW
+	perReq := c.PerRequestBytes/s.ScoreBW +
+		c.TotalFLOPs()/s.FLOPs +
+		float64(c.HostTransfers)*(s.PCIeRoundTrip.Seconds()+s.HostSyncPenalty.Seconds())
+	return time.Duration((fixed + float64(batch)*perReq) * float64(time.Second))
+}
+
+// Throughput returns the sustainable request rate of one instance serving
+// the model, assuming saturated batching (GPU) or all cores busy (CPU).
+func (s Spec) Throughput(c model.Cost, jit bool) float64 {
+	if s.Kind == KindCPU {
+		return float64(s.Cores) / s.SerialInference(c, jit).Seconds()
+	}
+	b := s.EffectiveMaxBatch(c)
+	if b == 0 {
+		return 0
+	}
+	return float64(b) / s.BatchInference(c, b, jit).Seconds()
+}

@@ -1,0 +1,279 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"etude/internal/model"
+)
+
+func costFor(t *testing.T, name string, catalog int) model.Cost {
+	t.Helper()
+	c, err := model.EstimateCost(name, model.Config{CatalogSize: catalog, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"cpu", "gpu-t4", "gpu-a100"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("ByName(%s).Name = %s", name, s.Name)
+		}
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Fatalf("unknown device must error")
+	}
+	if len(All()) != 3 {
+		t.Fatalf("All() = %d specs", len(All()))
+	}
+}
+
+func TestPricesMatchPaper(t *testing.T) {
+	if CPU().MonthlyCostUSD != 108.09 {
+		t.Errorf("CPU price = %v", CPU().MonthlyCostUSD)
+	}
+	if GPUT4().MonthlyCostUSD != 268.09 {
+		t.Errorf("T4 price = %v", GPUT4().MonthlyCostUSD)
+	}
+	if GPUA100().MonthlyCostUSD != 2008.80 {
+		t.Errorf("A100 price = %v", GPUA100().MonthlyCostUSD)
+	}
+}
+
+// TestCPUOver50msAtOneMillion reproduces the paper's Fig 3 statement: "the
+// CPU already requires more than 50ms per prediction for catalogs with one
+// million items" (eager execution, serial requests).
+func TestCPUOver50msAtOneMillion(t *testing.T) {
+	c := costFor(t, "gru4rec", 1_000_000)
+	got := CPU().SerialInference(c, false)
+	if got < 50*time.Millisecond {
+		t.Fatalf("CPU eager at C=1e6: %v, paper says >50ms", got)
+	}
+	if got > 250*time.Millisecond {
+		t.Fatalf("CPU eager at C=1e6: %v, implausibly slow", got)
+	}
+}
+
+// TestGPUOrderOfMagnitudeAtOneMillion: "starting from catalogs with one
+// million items, the prediction latency of the GPU is more than an order of
+// magnitude lower than the latencies achieved with CPUs only".
+func TestGPUOrderOfMagnitudeAtOneMillion(t *testing.T) {
+	for _, name := range model.TableIModels() {
+		c := costFor(t, name, 1_000_000)
+		cpu := CPU().SerialInference(c, true)
+		gpu := GPUT4().SerialInference(c, true)
+		if cpu < 10*gpu {
+			t.Errorf("%s at C=1e6: CPU %v vs T4 %v — want ≥10×", name, cpu, gpu)
+		}
+	}
+}
+
+// TestSmallCatalogCrossover: "this relation does not hold for small catalogs
+// with 10,000 items; in six out of ten cases, the CPU latency is on par with
+// or lower than the GPU latency". We assert the crossover exists for at
+// least a third of the models (shape, not the exact 6/10 split).
+func TestSmallCatalogCrossover(t *testing.T) {
+	cpuWins := 0
+	for _, name := range model.Names() {
+		c := costFor(t, name, 10_000)
+		cpu := CPU().SerialInference(c, true)
+		gpu := GPUT4().SerialInference(c, true)
+		if float64(cpu) <= 1.1*float64(gpu) { // "on par or lower"
+			cpuWins++
+		}
+	}
+	if cpuWins < 4 {
+		t.Fatalf("CPU on par/better for only %d/10 models at C=1e4; paper found 6/10", cpuWins)
+	}
+	if cpuWins == 10 {
+		t.Fatalf("GPU never competitive at C=1e4 — overhead model too harsh")
+	}
+}
+
+// TestLatencyLinearInCatalog checks the microbenchmark's headline: latency
+// scales linearly with the catalog size (10× catalog ⇒ ≈10× latency for
+// large C where the MIPS term dominates).
+func TestLatencyLinearInCatalog(t *testing.T) {
+	c1 := costFor(t, "core", 1_000_000)
+	c10 := costFor(t, "core", 10_000_000)
+	cpu1 := CPU().SerialInference(c1, false)
+	cpu10 := CPU().SerialInference(c10, false)
+	ratio := float64(cpu10) / float64(cpu1)
+	// d grows too (32 → 58), so the expected ratio is ≈ 10·(58/32) ≈ 18.
+	if ratio < 10 || ratio > 30 {
+		t.Fatalf("CPU latency ratio 1e7/1e6 = %.1f, want ≈ 18", ratio)
+	}
+}
+
+func TestJITAlwaysHelps(t *testing.T) {
+	for _, name := range model.Names() {
+		for _, spec := range All() {
+			c := costFor(t, name, 100_000)
+			eager := spec.SerialInference(c, false)
+			jit := spec.SerialInference(c, true)
+			if jit > eager {
+				t.Errorf("%s on %s: JIT %v slower than eager %v", name, spec.Name, jit, eager)
+			}
+		}
+	}
+}
+
+func TestBatchingAmortizesCatalogScan(t *testing.T) {
+	c := costFor(t, "sasrec", 10_000_000)
+	t4 := GPUT4()
+	single := t4.BatchInference(c, 1, true)
+	batch64 := t4.BatchInference(c, 64, true)
+	perReqBatched := batch64 / 64
+	if perReqBatched >= single {
+		t.Fatalf("batching must reduce per-request latency: %v vs %v", perReqBatched, single)
+	}
+	// The catalog scan (SharedBytes) must be paid once, not 64 times: the
+	// batch must cost well under 64 independent requests.
+	if batch64 > 32*single {
+		t.Fatalf("batch of 64 costs %v vs single %v — catalog scan not amortised", batch64, single)
+	}
+}
+
+func TestBatchInferenceMonotoneInBatch(t *testing.T) {
+	c := costFor(t, "narm", 1_000_000)
+	t4 := GPUT4()
+	prev := time.Duration(0)
+	for _, b := range []int{1, 2, 8, 64, 512, 1024} {
+		cur := t4.BatchInference(c, b, true)
+		if cur <= prev {
+			t.Fatalf("batch %d latency %v not greater than smaller batch %v", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHostTransfersPenalizeGPU(t *testing.T) {
+	bugCost, _ := model.EstimateCost("srgnn", model.Config{CatalogSize: 100_000, Seed: 1, Faithful: true}, 3)
+	fixCost, _ := model.EstimateCost("srgnn", model.Config{CatalogSize: 100_000, Seed: 1}, 3)
+	t4 := GPUT4()
+	slow := t4.BatchInference(bugCost, 1, true)
+	fast := t4.BatchInference(fixCost, 1, true)
+	if slow <= fast {
+		t.Fatalf("faithful SR-GNN must be slower on GPU: %v vs %v", slow, fast)
+	}
+	// On CPU the transfers cost nothing (everything is host-side already).
+	cpuSlow := CPU().SerialInference(bugCost, true)
+	cpuFast := CPU().SerialInference(fixCost, true)
+	if cpuSlow != cpuFast {
+		t.Fatalf("host transfers must not penalise CPU: %v vs %v", cpuSlow, cpuFast)
+	}
+}
+
+func TestRepeatNetDensePenaltyOnAllDevices(t *testing.T) {
+	bugCost, _ := model.EstimateCost("repeatnet", model.Config{CatalogSize: 1_000_000, Seed: 1, Faithful: true}, 25)
+	fixCost, _ := model.EstimateCost("repeatnet", model.Config{CatalogSize: 1_000_000, Seed: 1}, 25)
+	for _, spec := range All() {
+		slow := spec.SerialInference(bugCost, true)
+		fast := spec.SerialInference(fixCost, true)
+		if float64(slow) < 1.2*float64(fast) {
+			t.Errorf("%s: dense scatter should hurt clearly: %v vs %v", spec.Name, slow, fast)
+		}
+	}
+}
+
+// TestOnlyA100HandlesPlatform reproduces Table I's platform row: at C=2e7
+// the T4's catalog scan alone exceeds the 50ms p90 budget at any usable
+// throughput, while the A100 sustains >333 req/s per instance.
+func TestOnlyA100HandlesPlatform(t *testing.T) {
+	c := costFor(t, "gru4rec", 20_000_000)
+	t4, a100 := GPUT4(), GPUA100()
+	// T4: the catalog scan alone costs ~28ms; the modest batch any real
+	// arrival rate produces blows the latency budget.
+	if lat := t4.BatchInference(c, 8, true); lat < 50*time.Millisecond {
+		t.Fatalf("T4 at C=2e7 batch 8: %v — paper says T4 cannot handle the platform scenario", lat)
+	}
+	// A100: sustains at least ~333 req/s (3 instances for 1,000 req/s).
+	if tput := a100.Throughput(c, true); tput < 333 {
+		t.Fatalf("A100 throughput at C=2e7 = %.0f req/s, want ≥333", tput)
+	}
+	// A100 latency at the operating batch stays within budget.
+	if lat := a100.BatchInference(c, 8, true); lat > 50*time.Millisecond {
+		t.Fatalf("A100 at C=2e7 batch 8: %v > 50ms", lat)
+	}
+}
+
+// TestT4HandlesECommerceFleet: Table I's e-Commerce row — T4 instances
+// handle C=1e7; a single T4 sustains at least 1000/5 = 200 req/s within the
+// latency budget.
+func TestT4HandlesECommerce(t *testing.T) {
+	c := costFor(t, "core", 10_000_000)
+	t4 := GPUT4()
+	// At ~200 req/s the batcher (2ms window) sees batches of ~1-2 requests;
+	// allow some burst headroom and check latency at batch 8.
+	if lat := t4.BatchInference(c, 8, true); lat > 50*time.Millisecond {
+		t.Fatalf("T4 at C=1e7 batch 8: %v > 50ms", lat)
+	}
+	if tput := t4.Throughput(c, true); tput < 200 {
+		t.Fatalf("T4 throughput at C=1e7 = %.0f req/s, want ≥ 200", tput)
+	}
+}
+
+func TestT4Handles700AtOneMillion(t *testing.T) {
+	// "the T4 card already handles more than 700 requests per second at a
+	// 50ms p90 latency" for C=1e6.
+	c := costFor(t, "stamp", 1_000_000)
+	t4 := GPUT4()
+	if tput := t4.Throughput(c, true); tput < 700 {
+		t.Fatalf("T4 throughput at C=1e6 = %.0f req/s, want > 700", tput)
+	}
+}
+
+func TestEffectiveMaxBatch(t *testing.T) {
+	small := costFor(t, "core", 10_000)
+	if b := GPUT4().EffectiveMaxBatch(small); b != 1024 {
+		t.Fatalf("small catalog should allow full batching, got %d", b)
+	}
+	huge := costFor(t, "core", 20_000_000)
+	bT4 := GPUT4().EffectiveMaxBatch(huge)
+	bA100 := GPUA100().EffectiveMaxBatch(huge)
+	if bT4 <= 0 || bA100 <= 0 {
+		t.Fatalf("2e7 catalog must still fit: T4 %d, A100 %d", bT4, bA100)
+	}
+	if bA100 <= bT4 {
+		t.Fatalf("A100 (40GB) must batch more than T4 (16GB): %d vs %d", bA100, bT4)
+	}
+	if b := CPU().EffectiveMaxBatch(huge); b != 1 {
+		t.Fatalf("CPU batch = %d, want 1", b)
+	}
+}
+
+func TestFitsMemory(t *testing.T) {
+	if !CPU().FitsMemory(costFor(t, "core", 20_000_000)) {
+		t.Fatalf("CPU always fits")
+	}
+	if !GPUA100().FitsMemory(costFor(t, "core", 10_000)) {
+		t.Fatalf("tiny model must fit the A100")
+	}
+}
+
+func TestParallelFasterThanSerialOnCPU(t *testing.T) {
+	c := costFor(t, "gru4rec", 1_000_000)
+	cpu := CPU()
+	serial := cpu.SerialInference(c, true)
+	parallel := cpu.ParallelInference(c, true)
+	if parallel >= serial {
+		t.Fatalf("intra-op parallelism must help: %v vs %v", parallel, serial)
+	}
+	if float64(serial)/float64(parallel) > float64(cpu.Cores)+1 {
+		t.Fatalf("superlinear speedup: %v vs %v", serial, parallel)
+	}
+}
+
+func TestCPUBatchIsSerialMultiple(t *testing.T) {
+	c := costFor(t, "core", 10_000)
+	cpu := CPU()
+	if cpu.BatchInference(c, 4, false) != 4*cpu.SerialInference(c, false) {
+		t.Fatalf("CPU has no batching benefit")
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/autoscale"
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+// AutoscaleCmpConfig controls the autoscaling extension study: a diurnal
+// load curve served by a static peak-sized fleet vs the utilisation-driven
+// autoscaler.
+type AutoscaleCmpConfig struct {
+	// Device is the instance type (default CPU).
+	Device device.Spec
+	// Model and CatalogSize define the deployment.
+	Model       string
+	CatalogSize int
+	// TroughRate and PeakRate bound the diurnal curve (req/s).
+	TroughRate, PeakRate float64
+	// DayLength is one diurnal period of virtual time.
+	DayLength time.Duration
+	// Days is the number of periods simulated.
+	Days int
+	// PeakReplicas sizes the static fleet and caps the autoscaler.
+	PeakReplicas int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// DefaultAutoscaleCmpConfig returns the standard study: C=1e6 on CPUs,
+// 40→500 req/s over 4-minute "days", two days.
+func DefaultAutoscaleCmpConfig() AutoscaleCmpConfig {
+	return AutoscaleCmpConfig{
+		Device:       device.CPU(),
+		Model:        "gru4rec",
+		CatalogSize:  1_000_000,
+		TroughRate:   40,
+		PeakRate:     500,
+		DayLength:    240 * time.Second,
+		Days:         2,
+		PeakReplicas: 4,
+		Seed:         1,
+	}
+}
+
+// AutoscaleCmpResult compares the two fleets.
+type AutoscaleCmpResult struct {
+	Static *autoscale.Result `json:"static"`
+	Auto   *autoscale.Result `json:"auto"`
+	// SavingFraction is 1 − auto/static instance-seconds.
+	SavingFraction float64 `json:"saving_fraction"`
+	// StaticMonthlyUSD and AutoMonthlyUSD price the average fleets.
+	StaticMonthlyUSD float64 `json:"static_monthly_usd"`
+	AutoMonthlyUSD   float64 `json:"auto_monthly_usd"`
+	duration         time.Duration
+}
+
+// AutoscaleComparison runs the study.
+func AutoscaleComparison(cfg AutoscaleCmpConfig) (*AutoscaleCmpResult, error) {
+	if cfg.Model == "" || cfg.CatalogSize <= 0 || cfg.PeakReplicas < 1 || cfg.Days < 1 {
+		return nil, fmt.Errorf("experiments: invalid autoscale config %+v", cfg)
+	}
+	profile := autoscale.DiurnalProfile(cfg.TroughRate, cfg.PeakRate, int(cfg.DayLength/time.Second))
+	duration := time.Duration(cfg.Days) * cfg.DayLength
+	base := autoscale.Config{
+		Device:   cfg.Device,
+		Model:    cfg.Model,
+		ModelCfg: model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed},
+		JIT:      true,
+		Interval: 5 * time.Second,
+		Seed:     cfg.Seed,
+	}
+	staticCfg := base
+	staticCfg.MinReplicas, staticCfg.MaxReplicas = cfg.PeakReplicas, cfg.PeakReplicas
+	static, err := autoscale.Run(staticCfg, profile, duration)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: static fleet: %w", err)
+	}
+	autoCfg := base
+	autoCfg.MinReplicas, autoCfg.MaxReplicas = 1, cfg.PeakReplicas
+	auto, err := autoscale.Run(autoCfg, profile, duration)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: autoscaled fleet: %w", err)
+	}
+	return &AutoscaleCmpResult{
+		Static:           static,
+		Auto:             auto,
+		SavingFraction:   1 - auto.InstanceSeconds/static.InstanceSeconds,
+		StaticMonthlyUSD: static.MonthlyUSD(cfg.Device, duration),
+		AutoMonthlyUSD:   auto.MonthlyUSD(cfg.Device, duration),
+		duration:         duration,
+	}, nil
+}
+
+// Render prints the comparison.
+func (r *AutoscaleCmpResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Autoscaling extension — diurnal load, static peak fleet vs autoscaler\n")
+	fmt.Fprintf(&b, "%-10s %16s %12s %12s %8s %6s %6s\n",
+		"fleet", "instance-seconds", "cost/month", "p90", "errors", "ups", "downs")
+	for _, row := range []struct {
+		name string
+		res  *autoscale.Result
+		usd  float64
+	}{
+		{"static", r.Static, r.StaticMonthlyUSD},
+		{"autoscaled", r.Auto, r.AutoMonthlyUSD},
+	} {
+		fmt.Fprintf(&b, "%-10s %16.0f %12s %12s %8d %6d %6d\n",
+			row.name, row.res.InstanceSeconds, fmt.Sprintf("$%.0f", row.usd),
+			row.res.Recorder.Overall().P90.Round(time.Microsecond),
+			row.res.Recorder.Errors(), row.res.ScaleUps, row.res.ScaleDowns)
+	}
+	fmt.Fprintf(&b, "saving: %.0f%% of instance-time at the same SLO\n", r.SavingFraction*100)
+	return b.String()
+}

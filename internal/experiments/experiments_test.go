@@ -1,0 +1,509 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"etude/internal/core"
+	"etude/internal/costmodel"
+	"etude/internal/model"
+	"etude/internal/torchserve"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestFig2Shape runs a scaled-down infrastructure test and checks the
+// paper's qualitative result: the ETUDE server handles the ramp with low
+// latency and no errors, while TorchServe throws errors and lands its p90
+// near its internal timeout.
+func TestFig2Shape(t *testing.T) {
+	cfg := Fig2Config{
+		TargetRate: 700,
+		Duration:   4 * time.Second,
+		Tick:       250 * time.Millisecond,
+		TorchServe: torchserve.Config{
+			Workers:            2,
+			PerRequestOverhead: 6 * time.Millisecond,
+			ResponseTimeout:    100 * time.Millisecond,
+			QueueSize:          100,
+			Seed:               1,
+		},
+		Seed: 1,
+	}
+	res, err := Fig2(testCtx(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Etude.Errors != 0 {
+		t.Errorf("ETUDE server threw %d errors", res.Etude.Errors)
+	}
+	if res.Etude.Overall.P90 > 20*time.Millisecond {
+		t.Errorf("ETUDE p90 = %v, want ≈1ms", res.Etude.Overall.P90)
+	}
+	if res.TorchServe.Errors == 0 {
+		t.Errorf("TorchServe threw no errors under a %v req/s ramp", cfg.TargetRate)
+	}
+	if res.TorchServe.Overall.P90 < res.Etude.Overall.P90*5 {
+		t.Errorf("TorchServe p90 %v not clearly worse than ETUDE %v",
+			res.TorchServe.Overall.P90, res.Etude.Overall.P90)
+	}
+	if !strings.Contains(res.Render(), "torchserve") {
+		t.Errorf("render missing torchserve row")
+	}
+}
+
+func TestFig3ModeledShape(t *testing.T) {
+	cfg := Fig3Config{
+		Models:       []string{"gru4rec", "core", "lightsans"},
+		CatalogSizes: []int{10_000, 100_000, 1_000_000, 10_000_000},
+		Devices:      []string{"cpu", "gpu-t4"},
+		Requests:     50,
+		Mode:         Fig3Modeled,
+		Seed:         1,
+	}
+	res, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 models × 4 catalogs × 2 devices × 2 execs.
+	if len(res.Rows) != 48 {
+		t.Fatalf("rows = %d, want 48", len(res.Rows))
+	}
+	lookup := func(m string, c int, d, e string) Fig3Row {
+		for _, r := range res.Rows {
+			if r.Model == m && r.CatalogSize == c && r.Device == d && r.Exec == e {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d/%s/%s", m, c, d, e)
+		return Fig3Row{}
+	}
+	// Linear scaling on CPU: 1e6 → 1e7 grows by ≈ 10×d-ratio.
+	small := lookup("gru4rec", 1_000_000, "cpu", "eager").P90
+	large := lookup("gru4rec", 10_000_000, "cpu", "eager").P90
+	ratio := float64(large) / float64(small)
+	if ratio < 8 || ratio > 40 {
+		t.Errorf("CPU scaling 1e6→1e7 = %.1fx, want ≈18x", ratio)
+	}
+	// CPU eager above 50ms at 1e6 (paper statement).
+	if small < 50*time.Millisecond {
+		t.Errorf("CPU eager at 1e6 = %v, paper says >50ms", small)
+	}
+	// GPU an order of magnitude faster at 1e6 (JIT).
+	cpuJit := lookup("gru4rec", 1_000_000, "cpu", "jit").P90
+	gpuJit := lookup("gru4rec", 1_000_000, "gpu-t4", "jit").P90
+	if cpuJit < 10*gpuJit {
+		t.Errorf("at 1e6: cpu jit %v vs gpu jit %v — want ≥10x", cpuJit, gpuJit)
+	}
+	// JIT never hurts.
+	for _, r := range res.Rows {
+		if r.Exec != "jit" {
+			continue
+		}
+		eager := lookup(r.Model, r.CatalogSize, r.Device, "eager")
+		if r.P90 > eager.P90 {
+			t.Errorf("%s/%d/%s: jit %v > eager %v", r.Model, r.CatalogSize, r.Device, r.P90, eager.P90)
+		}
+	}
+	// LightSANs: jit rows equal eager rows (fallback).
+	lsEager := lookup("lightsans", 1_000_000, "cpu", "eager").P90
+	lsJit := lookup("lightsans", 1_000_000, "cpu", "jit").P90
+	if lsEager != lsJit {
+		t.Errorf("lightsans jit %v != eager %v — must fall back", lsJit, lsEager)
+	}
+	if !strings.Contains(res.Render(), "not JIT-able") {
+		t.Errorf("render missing LightSANs JIT note")
+	}
+}
+
+// TestFig3MeasuredAgainstModeled runs the measured mode on a small catalog
+// and checks it behaves: jit ≤ eager (real buffer-reuse effect) and both
+// latencies are nonzero.
+func TestFig3Measured(t *testing.T) {
+	cfg := Fig3Config{
+		Models:       []string{"gru4rec", "core"},
+		CatalogSizes: []int{50_000},
+		Devices:      []string{"cpu"},
+		Requests:     40,
+		Mode:         Fig3Measured,
+		Seed:         1,
+	}
+	res, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.P90 <= 0 {
+			t.Errorf("%+v: zero latency", r)
+		}
+	}
+	// Measured mode rejects GPU devices.
+	bad := cfg
+	bad.Devices = []string{"gpu-t4"}
+	if _, err := Fig3(bad); err == nil {
+		t.Fatalf("measured GPU accepted")
+	}
+}
+
+func TestFig4ScaledSweep(t *testing.T) {
+	cfg := Fig4Config{
+		Scenarios: []costmodel.Scenario{
+			{Name: "Groceries (small)", CatalogSize: 10_000, TargetRate: 100},
+			{Name: "Fashion", CatalogSize: 1_000_000, TargetRate: 500},
+		},
+		Models:    []string{"gru4rec", "stamp"},
+		Instances: []string{"cpu", "gpu-t4"},
+		Duration:  15 * time.Second,
+		Faithful:  true,
+		Seed:      1,
+	}
+	res, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	find := func(sc, m, inst string) Fig4Row {
+		for _, r := range res.Rows {
+			if r.Scenario == sc && r.Model == m && r.Instance == inst {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s/%s", sc, m, inst)
+		return Fig4Row{}
+	}
+	// Small groceries: CPU handles it.
+	if !find("Groceries (small)", "gru4rec", "cpu").MeetsSLO {
+		t.Errorf("CPU must handle the small groceries scenario")
+	}
+	// Fashion at 500 req/s: one CPU instance fails, one T4 succeeds.
+	if find("Fashion", "gru4rec", "cpu").MeetsSLO {
+		t.Errorf("single CPU instance must fail Fashion at 500 req/s")
+	}
+	if !find("Fashion", "gru4rec", "gpu-t4").MeetsSLO {
+		t.Errorf("T4 must handle Fashion at 500 req/s")
+	}
+	if !strings.Contains(res.Render(), "Fashion") {
+		t.Errorf("render missing scenario")
+	}
+}
+
+// TestTable1SmallScenarios checks the cheap rows of Table I: both grocery
+// scenarios are served by a single CPU machine for $108/month, and that
+// option is the cheapest.
+func TestTable1SmallScenarios(t *testing.T) {
+	cfg := Table1Config{
+		Scenarios: []costmodel.Scenario{
+			{Name: "Groceries (small)", CatalogSize: 10_000, TargetRate: 100},
+			{Name: "Groceries (large)", CatalogSize: 100_000, TargetRate: 250},
+		},
+		Models:    []string{"core", "gru4rec", "stamp"},
+		Instances: []string{"cpu", "gpu-t4"},
+		Seed:      1,
+	}
+	res, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		var cpu *Table1Option
+		for i := range row.Options {
+			if row.Options[i].Instance == "cpu" {
+				cpu = &row.Options[i]
+			}
+		}
+		if cpu == nil || !cpu.Feasible {
+			t.Fatalf("%s: CPU option must be feasible", row.Scenario.Name)
+		}
+		if cpu.Count != 1 {
+			t.Errorf("%s: CPU count = %d, paper uses 1", row.Scenario.Name, cpu.Count)
+		}
+		if !cpu.Cheapest {
+			t.Errorf("%s: CPU must be the cheapest option", row.Scenario.Name)
+		}
+		for m, ok := range cpu.Supported {
+			if !ok {
+				t.Errorf("%s: model %s unsupported on CPU", row.Scenario.Name, m)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "cost-efficient") {
+		t.Errorf("render broken")
+	}
+}
+
+// TestTable1Platform checks the expensive end: at C=2e7 only the A100 is
+// feasible.
+func TestTable1Platform(t *testing.T) {
+	cfg := Table1Config{
+		Scenarios: []costmodel.Scenario{{Name: "Platform", CatalogSize: 20_000_000, TargetRate: 1000}},
+		Models:    []string{"gru4rec"},
+		Instances: []string{"gpu-t4", "gpu-a100"},
+		Seed:      1,
+	}
+	res, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	for _, o := range row.Options {
+		switch o.Instance {
+		case "gpu-t4":
+			if o.Feasible {
+				t.Errorf("T4 must be infeasible for the platform scenario, got %+v", o.Option)
+			}
+		case "gpu-a100":
+			if !o.Feasible {
+				t.Errorf("A100 must be feasible for the platform scenario")
+			}
+			if o.Count < 2 || o.Count > 4 {
+				t.Errorf("A100 count = %d, paper uses 3", o.Count)
+			}
+		}
+	}
+}
+
+func TestValidationCloseness(t *testing.T) {
+	cfg := ValidationConfig{
+		CatalogSize: 3_000,
+		RealClicks:  20_000,
+		TargetRate:  150,
+		Duration:    2 * time.Second,
+		Tick:        200 * time.Millisecond,
+		Model:       "core",
+		Seed:        1,
+	}
+	res, err := Validation(testCtx(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Real.Count == 0 || res.Synthetic.Count == 0 {
+		t.Fatalf("empty runs: %+v", res)
+	}
+	// "The achieved latencies resemble each other closely". Tail quantiles
+	// of a 2-second live run are too noisy to assert on when the machine is
+	// busy (e.g. during `go test -bench ./...`), so the hard assertion uses
+	// the median: the synthetic workload must be the same order of
+	// magnitude and within 4× of the real replay even on a loaded box.
+	// Quiet-machine runs measure ≈4% p90 difference (see
+	// results/validation.txt).
+	p50Ratio := float64(res.Synthetic.P50) / float64(res.Real.P50)
+	if p50Ratio < 0.25 || p50Ratio > 4 {
+		t.Errorf("p50 ratio %.2f — synthetic workload not representative (real %v vs synthetic %v)",
+			p50Ratio, res.Real.P50, res.Synthetic.P50)
+	}
+	if res.RealStats.AlphaLength <= 1 || res.RealStats.AlphaClicks <= 1 {
+		t.Errorf("fitted marginals degenerate: %+v", res.RealStats)
+	}
+	if !strings.Contains(res.Render(), "synthetic") {
+		t.Errorf("render broken")
+	}
+}
+
+func TestIssuesFindings(t *testing.T) {
+	cfg := IssuesConfig{CatalogSize: 200_000, Seed: 1}
+	res, err := Issues(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FaithfulSerial <= row.FixedSerial {
+			t.Errorf("%s: faithful %v not slower than fixed %v", row.Model, row.FaithfulSerial, row.FixedSerial)
+		}
+		if row.FaithfulCapacity > row.FixedCapacity {
+			t.Errorf("%s: faithful capacity %.0f exceeds fixed %.0f", row.Model, row.FaithfulCapacity, row.FixedCapacity)
+		}
+		if row.Issue == "" {
+			t.Errorf("%s: missing root cause", row.Model)
+		}
+	}
+	if res.LightSANsJITSupported {
+		t.Errorf("LightSANs must not be JIT-compilable")
+	}
+	if !strings.Contains(res.Render(), "lightsans") {
+		t.Errorf("render broken")
+	}
+}
+
+func TestDefaultConfigsMatchPaper(t *testing.T) {
+	f2 := DefaultFig2Config()
+	if f2.TargetRate != 1000 || f2.Duration != 10*time.Minute {
+		t.Errorf("Fig2 defaults: %+v", f2)
+	}
+	f3 := DefaultFig3Config()
+	if len(f3.CatalogSizes) != 4 || f3.CatalogSizes[3] != 10_000_000 {
+		t.Errorf("Fig3 catalog sizes: %v", f3.CatalogSizes)
+	}
+	if len(f3.Models) != 10 {
+		t.Errorf("Fig3 must cover all ten models")
+	}
+	f4 := DefaultFig4Config()
+	if len(f4.Scenarios) != 5 || !f4.Faithful {
+		t.Errorf("Fig4 defaults: %+v", f4)
+	}
+	t1 := DefaultTable1Config()
+	if len(t1.Models) != 6 {
+		t.Errorf("Table1 must exclude the four broken models: %v", t1.Models)
+	}
+	v := DefaultValidationConfig()
+	if v.RealClicks == 0 || v.Model == "" {
+		t.Errorf("Validation defaults degenerate: %+v", v)
+	}
+	is := DefaultIssuesConfig()
+	if is.CatalogSize != 1_000_000 || is.SLO != costmodel.LatencySLO {
+		t.Errorf("Issues defaults: %+v", is)
+	}
+	rc := DefaultRuntimeCmpConfig()
+	if len(rc.Models) != 10 || len(rc.CatalogSizes) != 2 {
+		t.Errorf("RuntimeCmp defaults: %+v", rc)
+	}
+	for _, m := range t1.Models {
+		for _, b := range model.BrokenModels() {
+			if m == b {
+				t.Errorf("broken model %s in Table1 defaults", m)
+			}
+		}
+	}
+}
+
+func TestRuntimeComparisonShape(t *testing.T) {
+	res, err := RuntimeComparison(RuntimeCmpConfig{
+		Models:       []string{"sasrec", "lightsans", "srgnn"},
+		CatalogSizes: []int{10_000, 1_000_000},
+		Devices:      []string{"cpu", "gpu-t4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 models × 2 catalogs × 2 devices × 3 runtimes.
+	if len(res.Rows) != 36 {
+		t.Fatalf("rows = %d, want 36", len(res.Rows))
+	}
+	find := func(m string, c int, d, rt string) RuntimeCmpRow {
+		for _, r := range res.Rows {
+			if r.Model == m && r.CatalogSize == c && r.Device == d && r.Runtime == rt {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d/%s/%s", m, c, d, rt)
+		return RuntimeCmpRow{}
+	}
+	// TensorRT has no CPU backend and rejects dynamic models on GPU.
+	if find("sasrec", 10_000, "cpu", "tensorrt").Supported {
+		t.Errorf("tensorrt must not support CPU")
+	}
+	if find("srgnn", 10_000, "gpu-t4", "tensorrt").Supported {
+		t.Errorf("tensorrt must reject srgnn (dynamic graph)")
+	}
+	if find("lightsans", 10_000, "cpu", "onnx").Supported {
+		t.Errorf("onnx must reject lightsans")
+	}
+	// ONNX beats TorchScript on CPU; TensorRT beats both on GPU (small C).
+	tsCPU := find("sasrec", 1_000_000, "cpu", "torchscript").Serial
+	onnxCPU := find("sasrec", 1_000_000, "cpu", "onnx").Serial
+	if onnxCPU >= tsCPU {
+		t.Errorf("onnx cpu %v not faster than torchscript %v", onnxCPU, tsCPU)
+	}
+	tsGPU := find("sasrec", 10_000, "gpu-t4", "torchscript").Serial
+	trtGPU := find("sasrec", 10_000, "gpu-t4", "tensorrt").Serial
+	if trtGPU >= tsGPU {
+		t.Errorf("tensorrt %v not faster than torchscript %v at small C", trtGPU, tsGPU)
+	}
+	if !strings.Contains(res.Render(), "unsupported") {
+		t.Errorf("render must show support gaps")
+	}
+}
+
+// TestFig4BrokenModelsFail reproduces the §III-C observation in the
+// end-to-end results: the faithful (RecBole-like) SR-GNN cannot handle a
+// mid-size scenario on GPU where a healthy model passes easily.
+func TestFig4BrokenModelsFail(t *testing.T) {
+	cfg := Fig4Config{
+		Scenarios: []costmodel.Scenario{
+			{Name: "Fashion", CatalogSize: 1_000_000, TargetRate: 500},
+		},
+		Models:    []string{"srgnn", "stamp"},
+		Instances: []string{"gpu-t4"},
+		Duration:  15 * time.Second,
+		Faithful:  true,
+		Seed:      1,
+	}
+	res, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]bool{}
+	for _, r := range res.Rows {
+		verdicts[r.Model] = r.MeetsSLO
+	}
+	if !verdicts["stamp"] {
+		t.Errorf("healthy STAMP must handle Fashion on a T4")
+	}
+	if verdicts["srgnn"] {
+		t.Errorf("faithful SR-GNN must fail Fashion on a T4 (host transfers)")
+	}
+}
+
+// TestFig4PlatformOnlyA100: in the end-to-end sweep at C=2e7, the T4 row
+// fails while three A100s pass (Table I platform row seen through Fig 4).
+func TestFig4PlatformReplicas(t *testing.T) {
+	run := func(instance string, replicas int) bool {
+		ms, err := core.RunSim(core.Spec{
+			Name:        "platform-check",
+			Models:      []string{"gru4rec"},
+			Instances:   []string{instance},
+			CatalogSize: 20_000_000,
+			JIT:         true,
+			TargetRate:  1000,
+			Duration:    20 * time.Second,
+			Replicas:    replicas,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms[0].MeetsSLO
+	}
+	if run("gpu-t4", 3) {
+		t.Errorf("3 T4s must fail the platform scenario")
+	}
+	if !run("gpu-a100", 3) {
+		t.Errorf("3 A100s must handle the platform scenario")
+	}
+}
+
+func TestAutoscaleComparison(t *testing.T) {
+	cfg := DefaultAutoscaleCmpConfig()
+	cfg.Days = 1
+	res, err := AutoscaleComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SavingFraction < 0.15 {
+		t.Errorf("autoscaler saved only %.0f%%", res.SavingFraction*100)
+	}
+	if res.AutoMonthlyUSD >= res.StaticMonthlyUSD {
+		t.Errorf("autoscaled cost $%.0f not below static $%.0f", res.AutoMonthlyUSD, res.StaticMonthlyUSD)
+	}
+	if res.Auto.Recorder.Errors() > res.Auto.Sent/100 {
+		t.Errorf("autoscaler error rate too high: %d/%d", res.Auto.Recorder.Errors(), res.Auto.Sent)
+	}
+	if !strings.Contains(res.Render(), "saving") {
+		t.Errorf("render broken")
+	}
+	// Invalid config rejected.
+	if _, err := AutoscaleComparison(AutoscaleCmpConfig{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}

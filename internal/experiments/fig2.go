@@ -1,0 +1,141 @@
+// Package experiments contains one harness per table and figure of the
+// paper's experimental study (§III). Each harness returns structured results
+// plus a text rendering with the same rows/series the paper reports, so the
+// repository regenerates every experiment:
+//
+//   - Fig 2  — infrastructure test: TorchServe vs the ETUDE server on empty
+//     responses under a 1,000 req/s ramp;
+//   - §III-A — synthetic-vs-real click-log validation;
+//   - Fig 3  — micro-benchmark: serial p90 latency vs catalog size across
+//     devices and execution modes;
+//   - Fig 4  — end-to-end latency/throughput of all models per scenario and
+//     instance type;
+//   - Table I — cost-efficient deployment options per scenario;
+//   - §III-C — the RecBole implementation issues (RepeatNet, SR-GNN,
+//     GC-SAN, LightSANs).
+//
+// Harnesses accept scaled-down durations/rates so tests finish in seconds;
+// the paper-scale settings are the documented defaults.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/cluster"
+	"etude/internal/loadgen"
+	"etude/internal/metrics"
+	"etude/internal/objstore"
+	"etude/internal/torchserve"
+	"etude/internal/workload"
+)
+
+// Fig2Config controls the infrastructure test.
+type Fig2Config struct {
+	// TargetRate is the ramp target (paper: 1,000 req/s).
+	TargetRate float64
+	// Duration is the ramp length (paper: 10 minutes).
+	Duration time.Duration
+	// Tick is the load generator quantum (paper: 1s; tests use less).
+	Tick time.Duration
+	// TorchServe configures the baseline (DefaultConfig matches the paper's
+	// 2-vCPU deployment).
+	TorchServe torchserve.Config
+	// Seed drives the synthetic session workload.
+	Seed int64
+}
+
+// DefaultFig2Config returns the paper-scale settings.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{
+		TargetRate: 1000,
+		Duration:   10 * time.Minute,
+		Tick:       time.Second,
+		TorchServe: torchserve.DefaultConfig(),
+		Seed:       1,
+	}
+}
+
+// Fig2Series is one server's measured behaviour under the ramp.
+type Fig2Series struct {
+	Server  string              `json:"server"`
+	Overall metrics.Snapshot    `json:"overall"`
+	Errors  int64               `json:"errors"`
+	Sent    int64               `json:"sent"`
+	Series  []metrics.TickStats `json:"series"`
+}
+
+// Fig2Result holds both servers' series.
+type Fig2Result struct {
+	Etude      Fig2Series `json:"etude"`
+	TorchServe Fig2Series `json:"torchserve"`
+}
+
+// Fig2 runs the infrastructure test live: both servers answer empty
+// responses (no model inference), deployed as cluster pods, each load
+// tested with the backpressure-aware generator.
+func Fig2(ctx context.Context, cfg Fig2Config) (*Fig2Result, error) {
+	c := cluster.New(objstore.NewMemBucket())
+	defer c.Teardown()
+
+	etudeSvc, err := c.Deploy(ctx, "etude-static", cluster.PodSpec{Runtime: cluster.RuntimeEtudeStatic}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: deploying static server: %w", err)
+	}
+	tsSvc, err := c.Deploy(ctx, "torchserve", cluster.PodSpec{
+		Runtime:    cluster.RuntimeTorchServe,
+		TorchServe: cfg.TorchServe,
+	}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: deploying torchserve: %w", err)
+	}
+
+	res := &Fig2Result{}
+	for _, target := range []struct {
+		name string
+		svc  *cluster.Service
+		out  *Fig2Series
+	}{
+		{"etude", etudeSvc, &res.Etude},
+		{"torchserve", tsSvc, &res.TorchServe},
+	} {
+		gen, err := workload.NewGenerator(workload.Spec{
+			CatalogSize: 10_000, NumClicks: 1,
+			AlphaLength: 2.2, AlphaClicks: 1.6, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run, err := loadgen.Run(ctx, loadgen.Config{
+			TargetRate:     cfg.TargetRate,
+			Duration:       cfg.Duration,
+			Tick:           cfg.Tick,
+			RequestTimeout: time.Second,
+		}, gen, target.svc.Target())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: load against %s: %w", target.name, err)
+		}
+		*target.out = Fig2Series{
+			Server:  target.name,
+			Overall: run.Recorder.Overall(),
+			Errors:  run.Recorder.Errors(),
+			Sent:    run.Recorder.Sent(),
+			Series:  run.Recorder.Series(),
+		}
+	}
+	return res, nil
+}
+
+// Render prints the figure's story: p90 and error counts for both servers.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2 — infrastructure test (empty responses)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %10s\n", "server", "requests", "p90", "p99", "errors")
+	for _, s := range []Fig2Series{r.Etude, r.TorchServe} {
+		fmt.Fprintf(&b, "%-12s %10d %12s %12s %10d\n",
+			s.Server, s.Sent, s.Overall.P90.Round(time.Microsecond), s.Overall.P99.Round(time.Microsecond), s.Errors)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"etude/internal/core"
+	"etude/internal/costmodel"
+	"etude/internal/model"
+)
+
+// Fig4Config controls the end-to-end benchmark over the simulator.
+type Fig4Config struct {
+	// Scenarios to sweep (default: all five Table I scenarios).
+	Scenarios []costmodel.Scenario
+	// Models to include (default: all ten).
+	Models []string
+	// Instances to include (default: cpu, gpu-t4, gpu-a100).
+	Instances []string
+	// Duration per run in virtual time (paper: 10 minutes; the simulator
+	// makes paper scale cheap, but tests may shorten it).
+	Duration time.Duration
+	// Faithful selects the RecBole-faithful model variants (the paper
+	// benchmarks what RecBole ships).
+	Faithful bool
+	// Seed drives workloads and weights.
+	Seed int64
+}
+
+// DefaultFig4Config returns the paper-scale sweep: all scenarios, all ten
+// models (faithful RecBole variants), three instance types, 10-minute
+// ramps.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		Scenarios: costmodel.Scenarios(),
+		Models:    model.Names(),
+		Instances: []string{"cpu", "gpu-t4", "gpu-a100"},
+		Duration:  10 * time.Minute,
+		Faithful:  true,
+		Seed:      1,
+	}
+}
+
+// Fig4Row is one end-to-end measurement.
+type Fig4Row struct {
+	Scenario string `json:"scenario"`
+	core.Measurement
+}
+
+// Fig4Result holds the sweep.
+type Fig4Result struct {
+	Rows []Fig4Row `json:"rows"`
+}
+
+// Fig4 runs the end-to-end benchmark on the discrete-event simulator: for
+// every scenario, model and instance type, load ramps to the scenario's
+// target rate and the response-latency distribution is recorded.
+func Fig4(cfg Fig4Config) (*Fig4Result, error) {
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = costmodel.Scenarios()
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = model.Names()
+	}
+	if len(cfg.Instances) == 0 {
+		cfg.Instances = []string{"cpu", "gpu-t4", "gpu-a100"}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Minute
+	}
+	res := &Fig4Result{}
+	for _, sc := range cfg.Scenarios {
+		ms, err := core.RunSim(core.Spec{
+			Name:        "fig4-" + sc.Name,
+			Models:      cfg.Models,
+			Instances:   cfg.Instances,
+			CatalogSize: sc.CatalogSize,
+			Faithful:    cfg.Faithful,
+			JIT:         true, // the paper's end-to-end runs use JIT variants
+			TargetRate:  sc.TargetRate,
+			Duration:    cfg.Duration,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 scenario %s: %w", sc.Name, err)
+		}
+		for _, m := range ms {
+			m.Series = nil // keep result payloads small; Fig 2 carries series
+			res.Rows = append(res.Rows, Fig4Row{Scenario: sc.Name, Measurement: m})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the per-scenario rows of Fig 4.
+func (r *Fig4Result) Render() string {
+	rows := append([]Fig4Row(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Scenario != rows[j].Scenario {
+			return rows[i].Scenario < rows[j].Scenario
+		}
+		if rows[i].Model != rows[j].Model {
+			return rows[i].Model < rows[j].Model
+		}
+		return rows[i].Instance < rows[j].Instance
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4 — end-to-end latency/throughput per scenario\n")
+	fmt.Fprintf(&b, "%-18s %-10s %-9s %10s %12s %8s %8s %5s\n",
+		"scenario", "model", "instance", "achieved", "p90", "errors", "shed", "SLO")
+	for _, row := range rows {
+		achieved := float64(row.Sent-row.Errors) / rowDurationSeconds(row)
+		slo := " no"
+		if row.MeetsSLO {
+			slo = "yes"
+		}
+		fmt.Fprintf(&b, "%-18s %-10s %-9s %9.0f/s %12s %8d %8d %5s\n",
+			row.Scenario, row.Model, row.Instance, achieved,
+			row.Latency.P90.Round(time.Microsecond), row.Errors, row.Backpressured, slo)
+	}
+	return b.String()
+}
+
+func rowDurationSeconds(row Fig4Row) float64 {
+	if n := len(row.Series); n > 0 {
+		return float64(n)
+	}
+	// Series dropped: approximate with the planned schedule — a linear
+	// ramp to TargetRate delivers TargetRate/2 per second on average.
+	if row.TargetRate > 0 {
+		return float64(row.Sent) / (row.TargetRate / 2)
+	}
+	return 1
+}

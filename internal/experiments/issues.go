@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/costmodel"
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+// IssuesConfig controls the model-implementation-issue study (§III-C,
+// "Issues with selected SBR models").
+type IssuesConfig struct {
+	// CatalogSize for the comparison (default 1e6, where the issues bite).
+	CatalogSize int
+	// SLO is the latency budget used for capacity comparison.
+	SLO time.Duration
+	// Seed drives the simulations.
+	Seed int64
+}
+
+// DefaultIssuesConfig returns the paper-flavoured setup.
+func DefaultIssuesConfig() IssuesConfig {
+	return IssuesConfig{CatalogSize: 1_000_000, SLO: costmodel.LatencySLO}
+}
+
+// IssueRow contrasts a buggy model's faithful and fixed variants on one
+// device.
+type IssueRow struct {
+	Model  string `json:"model"`
+	Device string `json:"device"`
+	// Issue names the root cause the paper identified.
+	Issue string `json:"issue"`
+	// FaithfulSerial and FixedSerial are single-request latencies.
+	FaithfulSerial time.Duration `json:"faithful_serial"`
+	FixedSerial    time.Duration `json:"fixed_serial"`
+	// FaithfulCapacity and FixedCapacity are per-instance req/s under the
+	// SLO.
+	FaithfulCapacity float64 `json:"faithful_capacity"`
+	FixedCapacity    float64 `json:"fixed_capacity"`
+}
+
+// IssuesResult is the full study.
+type IssuesResult struct {
+	Rows []IssueRow `json:"rows"`
+	// LightSANsJIT records that LightSANs cannot be JIT-compiled, with the
+	// eager/jit serial latencies of a healthy model for contrast.
+	LightSANsJITSupported bool          `json:"lightsans_jit_supported"`
+	LightSANsEagerSerial  time.Duration `json:"lightsans_eager_serial"`
+}
+
+// issueDescriptions names the root causes from the paper.
+var issueDescriptions = map[string]string{
+	"repeatnet": "dense operations on very sparse matrices",
+	"srgnn":     "NumPy ops in inference → CPU↔GPU transfers",
+	"gcsan":     "NumPy ops in inference → CPU↔GPU transfers",
+}
+
+// Issues reproduces the implementation-issue findings: RepeatNet, SR-GNN
+// and GC-SAN are compared in faithful (RecBole-like) and fixed variants;
+// LightSANs' JIT failure is verified.
+func Issues(cfg IssuesConfig) (*IssuesResult, error) {
+	if cfg.CatalogSize <= 0 {
+		cfg.CatalogSize = 1_000_000
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = costmodel.LatencySLO
+	}
+	res := &IssuesResult{}
+	devices := map[string]device.Spec{
+		"repeatnet": device.CPU(),   // the dense scatter hurts everywhere; report CPU
+		"srgnn":     device.GPUT4(), // host transfers only hurt accelerators
+		"gcsan":     device.GPUT4(),
+	}
+	for _, name := range []string{"repeatnet", "srgnn", "gcsan"} {
+		spec := devices[name]
+		row := IssueRow{Model: name, Device: spec.Name, Issue: issueDescriptions[name]}
+		for _, faithful := range []bool{true, false} {
+			mcfg := model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed, Faithful: faithful}
+			cost, err := model.EstimateCost(name, mcfg, 25)
+			if err != nil {
+				return nil, err
+			}
+			serial := spec.SerialInference(cost, true)
+			capacity, err := sim.Capacity(spec, name, mcfg, true, cfg.SLO)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: issues capacity %s: %w", name, err)
+			}
+			if faithful {
+				row.FaithfulSerial, row.FaithfulCapacity = serial, capacity
+			} else {
+				row.FixedSerial, row.FixedCapacity = serial, capacity
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// LightSANs: verify the JIT refusal on the real implementation.
+	m, err := model.New("lightsans", model.Config{CatalogSize: 1000, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	_, res.LightSANsJITSupported = m.(model.JITCompilable)
+	cost, err := model.EstimateCost("lightsans", model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed}, 25)
+	if err != nil {
+		return nil, err
+	}
+	res.LightSANsEagerSerial = device.CPU().SerialInference(cost, false)
+	return res, nil
+}
+
+// Render prints the issue study.
+func (r *IssuesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§III-C — RecBole implementation issues (faithful vs fixed)\n")
+	fmt.Fprintf(&b, "%-10s %-9s %14s %14s %12s %12s  %s\n",
+		"model", "device", "serial(bug)", "serial(fix)", "cap(bug)", "cap(fix)", "root cause")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-9s %14s %14s %10.0f/s %10.0f/s  %s\n",
+			row.Model, row.Device,
+			row.FaithfulSerial.Round(time.Microsecond), row.FixedSerial.Round(time.Microsecond),
+			row.FaithfulCapacity, row.FixedCapacity, row.Issue)
+	}
+	fmt.Fprintf(&b, "lightsans: JIT-compilable=%v (paper: cannot be JIT-optimised, dynamic code paths)\n",
+		r.LightSANsJITSupported)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/runtimes"
+)
+
+// RuntimeCmpConfig controls the inference-runtime comparison (the paper's
+// future-work extension "more inference runtimes such as ONNX or
+// TensorRT").
+type RuntimeCmpConfig struct {
+	// Models to include (default: all ten).
+	Models []string
+	// CatalogSizes to sweep (default: 1e4 and 1e6 — launch-bound and
+	// memory-bound regimes).
+	CatalogSizes []int
+	// Devices to include (default: cpu and gpu-t4).
+	Devices []string
+	// Seed drives the cost estimation.
+	Seed int64
+}
+
+// DefaultRuntimeCmpConfig returns the standard sweep.
+func DefaultRuntimeCmpConfig() RuntimeCmpConfig {
+	return RuntimeCmpConfig{
+		Models:       model.Names(),
+		CatalogSizes: []int{10_000, 1_000_000},
+		Devices:      []string{"cpu", "gpu-t4"},
+	}
+}
+
+// RuntimeCmpRow is one (model, catalog, device, runtime) latency cell.
+type RuntimeCmpRow struct {
+	Model       string        `json:"model"`
+	CatalogSize int           `json:"catalog_size"`
+	Device      string        `json:"device"`
+	Runtime     string        `json:"runtime"`
+	Supported   bool          `json:"supported"`
+	Serial      time.Duration `json:"serial"`
+}
+
+// RuntimeCmpResult holds the sweep.
+type RuntimeCmpResult struct {
+	Rows []RuntimeCmpRow `json:"rows"`
+}
+
+// RuntimeComparison sweeps all runtimes over the models, catalog sizes and
+// devices, reporting serial inference latency and support gaps.
+func RuntimeComparison(cfg RuntimeCmpConfig) (*RuntimeCmpResult, error) {
+	if len(cfg.Models) == 0 {
+		cfg.Models = model.Names()
+	}
+	if len(cfg.CatalogSizes) == 0 {
+		cfg.CatalogSizes = []int{10_000, 1_000_000}
+	}
+	if len(cfg.Devices) == 0 {
+		cfg.Devices = []string{"cpu", "gpu-t4"}
+	}
+	res := &RuntimeCmpResult{}
+	for _, name := range cfg.Models {
+		for _, c := range cfg.CatalogSizes {
+			for _, dev := range cfg.Devices {
+				spec, err := device.ByName(dev)
+				if err != nil {
+					return nil, err
+				}
+				for _, rt := range runtimes.All() {
+					mcfg := model.Config{CatalogSize: c, Seed: cfg.Seed}
+					lat, ok, err := rt.SerialInference(spec, name, mcfg, 3)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: runtime %s/%s/%s: %w", rt.Name, name, dev, err)
+					}
+					res.Rows = append(res.Rows, RuntimeCmpRow{
+						Model: name, CatalogSize: c, Device: dev,
+						Runtime: rt.Name, Supported: ok, Serial: lat,
+					})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *RuntimeCmpResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Runtime comparison — serial inference latency (future-work extension)\n")
+	fmt.Fprintf(&b, "%-10s %10s %-8s %-12s %14s\n", "model", "catalog", "device", "runtime", "serial")
+	for _, row := range r.Rows {
+		val := "unsupported"
+		if row.Supported {
+			val = row.Serial.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-10s %10d %-8s %-12s %14s\n", row.Model, row.CatalogSize, row.Device, row.Runtime, val)
+	}
+	return b.String()
+}

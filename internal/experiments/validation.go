@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"etude/internal/cluster"
+	"etude/internal/loadgen"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/objstore"
+	"etude/internal/server"
+	"etude/internal/workload"
+)
+
+// ValidationConfig controls the synthetic-workload validation (§III-A,
+// second experiment): the latency measurements from replaying a "real"
+// click log must closely resemble those from a synthetic workload generated
+// from the log's fitted marginal statistics.
+type ValidationConfig struct {
+	// CatalogSize of the deployed model.
+	CatalogSize int
+	// RealClicks is the size of the "real" reference click log.
+	RealClicks int
+	// TargetRate and Duration shape both load runs.
+	TargetRate float64
+	Duration   time.Duration
+	Tick       time.Duration
+	// Model served during both runs.
+	Model string
+	// Seed drives everything.
+	Seed int64
+}
+
+// DefaultValidationConfig returns a paper-flavoured setup (scaled to a
+// single machine).
+func DefaultValidationConfig() ValidationConfig {
+	return ValidationConfig{
+		CatalogSize: 10_000,
+		RealClicks:  50_000,
+		TargetRate:  200,
+		Duration:    30 * time.Second,
+		Tick:        time.Second,
+		Model:       "gru4rec",
+		Seed:        1,
+	}
+}
+
+// ValidationResult compares the two runs.
+type ValidationResult struct {
+	// RealStats are the marginals fitted to the reference log.
+	RealStats workload.Stats `json:"real_stats"`
+	// Real and Synthetic are the latency snapshots of the two runs.
+	Real      metrics.Snapshot `json:"real"`
+	Synthetic metrics.Snapshot `json:"synthetic"`
+	// P90RatioDiff is |p90_synth/p90_real − 1|: the headline closeness
+	// metric ("the achieved latencies resemble each other closely").
+	P90RatioDiff float64 `json:"p90_ratio_diff"`
+}
+
+// Validation runs the experiment: a reference log stands in for the real
+// bol.com click log (generated once, treated as ground truth), its two
+// power-law marginals are fitted, a fresh synthetic workload is generated
+// from ONLY those two numbers, and both are replayed against the same live
+// model server.
+func Validation(ctx context.Context, cfg ValidationConfig) (*ValidationResult, error) {
+	// The "real" click log: ground truth this experiment treats as given.
+	alphaL, alphaC := workload.BolMarginals()
+	realGen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: cfg.CatalogSize,
+		NumClicks:   cfg.RealClicks,
+		AlphaLength: alphaL,
+		AlphaClicks: alphaC,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	realLog := realGen.Generate()
+	stats, err := workload.Fit(realLog)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting reference log: %w", err)
+	}
+
+	// Synthetic workload from the fitted statistics only.
+	synthGen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: cfg.CatalogSize,
+		NumClicks:   1,
+		AlphaLength: stats.AlphaLength,
+		AlphaClicks: stats.AlphaClicks,
+		Seed:        cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: regenerating from fitted stats: %w", err)
+	}
+
+	// Deploy one model server used for both runs.
+	c := cluster.New(objstore.NewMemBucket())
+	defer c.Teardown()
+	manifest := model.Manifest{Model: cfg.Model, Config: model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed}}
+	data, err := model.MarshalManifest(manifest)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Bucket().Put("models/validation.json", data); err != nil {
+		return nil, err
+	}
+	svc, err := c.Deploy(ctx, "validation", cluster.PodSpec{
+		Runtime:  cluster.RuntimeEtude,
+		ModelKey: "models/validation.json",
+		Server:   server.Options{JIT: true},
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	replay, err := workload.NewReplay(realLog)
+	if err != nil {
+		return nil, err
+	}
+	lcfg := loadgen.Config{TargetRate: cfg.TargetRate, Duration: cfg.Duration, Tick: cfg.Tick}
+	realRun, err := loadgen.Run(ctx, lcfg, replay, svc.Target())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replaying real log: %w", err)
+	}
+	synthRun, err := loadgen.Run(ctx, lcfg, synthGen, svc.Target())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replaying synthetic workload: %w", err)
+	}
+
+	real := realRun.Recorder.Overall()
+	synth := synthRun.Recorder.Overall()
+	diff := math.Abs(float64(synth.P90)/float64(real.P90) - 1)
+	return &ValidationResult{
+		RealStats:    stats,
+		Real:         real,
+		Synthetic:    synth,
+		P90RatioDiff: diff,
+	}, nil
+}
+
+// Render prints the comparison.
+func (r *ValidationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§III-A — synthetic workload validation\n")
+	fmt.Fprintf(&b, "fitted marginals: α_l=%.2f α_c=%.2f (from %d clicks, %d sessions)\n",
+		r.RealStats.AlphaLength, r.RealStats.AlphaClicks, r.RealStats.NumClicks, r.RealStats.NumSessions)
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s\n", "workload", "requests", "p50", "p90")
+	fmt.Fprintf(&b, "%-10s %10d %12s %12s\n", "real", r.Real.Count, r.Real.P50.Round(time.Microsecond), r.Real.P90.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-10s %10d %12s %12s\n", "synthetic", r.Synthetic.Count, r.Synthetic.P50.Round(time.Microsecond), r.Synthetic.P90.Round(time.Microsecond))
+	fmt.Fprintf(&b, "p90 relative difference: %.1f%%\n", r.P90RatioDiff*100)
+	return b.String()
+}

@@ -1,0 +1,90 @@
+// Package httpapi defines the wire protocol between the load generator and
+// the inference servers: JSON request/response bodies for the /predictions
+// endpoint, the metric response headers the server reports (the paper's
+// "inference server additionally communicates metrics like the inference
+// duration via HTTP response headers"), and the readiness endpoint used by
+// the cluster manager's probes.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Paths and headers of the protocol.
+const (
+	// PredictPath serves model inference.
+	PredictPath = "/predictions"
+	// ReadyPath answers readiness probes once the model is loaded.
+	ReadyPath = "/ping"
+	// HeaderInferenceDuration carries the server-side model execution time
+	// (excluding queueing and network) as a Go duration string.
+	HeaderInferenceDuration = "X-Inference-Duration"
+	// HeaderBatchSize carries the size of the batch the request was served
+	// in (1 for unbatched CPU serving).
+	HeaderBatchSize = "X-Batch-Size"
+)
+
+// PredictRequest asks for next-item recommendations for an ongoing session.
+type PredictRequest struct {
+	// SessionID identifies the visitor session (used for tracing; the
+	// models are stateless and receive the full item history every call).
+	SessionID int64 `json:"session_id"`
+	// Items is the session's click history, most recent last.
+	Items []int64 `json:"items"`
+}
+
+// PredictResponse carries the top-k recommendation list.
+type PredictResponse struct {
+	// Items are the recommended item ids, best first.
+	Items []int64 `json:"items"`
+	// Scores are the model scores aligned with Items.
+	Scores []float32 `json:"scores"`
+}
+
+// Validate rejects malformed prediction requests.
+func (r *PredictRequest) Validate() error {
+	for _, it := range r.Items {
+		if it < 0 {
+			return fmt.Errorf("httpapi: negative item id %d", it)
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes v with status code to w.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past WriteHeader can only be logged by the caller's
+	// middleware; the connection is gone anyway.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ReadJSON decodes the request body into v with a size cap.
+func ReadJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpapi: decoding request: %w", err)
+	}
+	return nil
+}
+
+// SetDurationHeaders records server-side metrics on the response.
+func SetDurationHeaders(h http.Header, inference time.Duration, batch int) {
+	h.Set(HeaderInferenceDuration, inference.String())
+	h.Set(HeaderBatchSize, fmt.Sprintf("%d", batch))
+}
+
+// InferenceDuration parses the inference-duration header from a response
+// (zero when absent or malformed).
+func InferenceDuration(h http.Header) time.Duration {
+	d, err := time.ParseDuration(h.Get(HeaderInferenceDuration))
+	if err != nil {
+		return 0
+	}
+	return d
+}

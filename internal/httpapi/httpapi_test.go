@@ -1,0 +1,87 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPredictRequestValidate(t *testing.T) {
+	ok := PredictRequest{SessionID: 1, Items: []int64{0, 5, 99}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	empty := PredictRequest{}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty session must be valid (cold-start visitors): %v", err)
+	}
+	bad := PredictRequest{Items: []int64{3, -1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("negative item accepted")
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	var req PredictRequest
+	if err := ReadJSON(strings.NewReader(`{"session_id":7,"items":[1,2,3]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.SessionID != 7 || len(req.Items) != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
+	if err := ReadJSON(strings.NewReader(`{`), &req); err == nil {
+		t.Fatalf("malformed JSON accepted")
+	}
+}
+
+func TestReadJSONSizeCapped(t *testing.T) {
+	// Just over 1 MiB of items must fail rather than exhaust memory.
+	var b strings.Builder
+	b.WriteString(`{"items":[`)
+	for b.Len() < 1<<20+100 {
+		b.WriteString("1,")
+	}
+	b.WriteString("1]}")
+	var req PredictRequest
+	if err := ReadJSON(strings.NewReader(b.String()), &req); err == nil {
+		t.Fatalf("oversized body accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusOK, PredictResponse{Items: []int64{4}, Scores: []float32{0.5}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"items":[4]`) {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+}
+
+func TestDurationHeadersRoundTrip(t *testing.T) {
+	h := http.Header{}
+	SetDurationHeaders(h, 1500*time.Microsecond, 8)
+	if got := InferenceDuration(h); got != 1500*time.Microsecond {
+		t.Fatalf("duration = %v", got)
+	}
+	if got := h.Get(HeaderBatchSize); got != "8" {
+		t.Fatalf("batch = %q", got)
+	}
+}
+
+func TestInferenceDurationMalformed(t *testing.T) {
+	h := http.Header{}
+	if got := InferenceDuration(h); got != 0 {
+		t.Fatalf("missing header = %v, want 0", got)
+	}
+	h.Set(HeaderInferenceDuration, "not-a-duration")
+	if got := InferenceDuration(h); got != 0 {
+		t.Fatalf("malformed header = %v, want 0", got)
+	}
+}

@@ -1,0 +1,179 @@
+package knn
+
+import (
+	"testing"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/workload"
+)
+
+func trainedIndex(t *testing.T) *VSKNN {
+	t.Helper()
+	history := []workload.Session{
+		{1, 2, 3},
+		{2, 3, 4},
+		{3, 4, 5},
+		{1, 2, 6},
+		{7, 8},
+	}
+	m, err := Train(history, Config{CatalogSize: 100, Neighbors: 3, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{CatalogSize: 10}); err == nil {
+		t.Fatalf("empty history accepted")
+	}
+	if _, err := Train([]workload.Session{{1}}, Config{CatalogSize: 0}); err == nil {
+		t.Fatalf("zero catalog accepted")
+	}
+	if _, err := Train([]workload.Session{{99}}, Config{CatalogSize: 10}); err == nil {
+		t.Fatalf("out-of-catalog training item accepted")
+	}
+}
+
+func TestRecommendFromNeighbors(t *testing.T) {
+	m := trainedIndex(t)
+	// Session {2,3}: neighbours are {1,2,3}, {2,3,4}, {3,4,5}; candidates
+	// exclude 2 and 3; item 4 appears in two neighbours — it must rank top.
+	recs := m.Recommend([]int64{2, 3})
+	if len(recs) == 0 {
+		t.Fatalf("no recommendations")
+	}
+	if recs[0].Item != 4 {
+		t.Fatalf("top item = %d, want 4 (in two overlapping neighbours)", recs[0].Item)
+	}
+	for _, r := range recs {
+		if r.Item == 2 || r.Item == 3 {
+			t.Fatalf("already-clicked item %d recommended", r.Item)
+		}
+	}
+	// Scores descending.
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Score < recs[i].Score {
+			t.Fatalf("scores not sorted: %+v", recs)
+		}
+	}
+}
+
+func TestRecommendUnknownItems(t *testing.T) {
+	m := trainedIndex(t)
+	if recs := m.Recommend([]int64{50, 51}); len(recs) != 0 {
+		t.Fatalf("items absent from history produced %v", recs)
+	}
+	if recs := m.Recommend(nil); len(recs) != 0 {
+		t.Fatalf("empty session produced %v", recs)
+	}
+}
+
+func TestRecencyWeighting(t *testing.T) {
+	history := []workload.Session{
+		{1, 10}, // shares the OLD click
+		{2, 20}, // shares the RECENT click
+	}
+	m, err := Train(history, Config{CatalogSize: 100, Neighbors: 2, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Current session clicks 1 then 2: the session sharing the recent
+	// click (2) is more similar, so its item 20 must outrank 10.
+	recs := m.Recommend([]int64{1, 2})
+	if len(recs) < 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Item != 20 {
+		t.Fatalf("top item = %d, want 20 (recency-weighted neighbour)", recs[0].Item)
+	}
+}
+
+func TestModelInterface(t *testing.T) {
+	var m model.Model = trainedIndex(t)
+	if m.Name() != "vsknn" {
+		t.Fatalf("name = %s", m.Name())
+	}
+	cfg := m.Config()
+	if cfg.CatalogSize != 100 || cfg.TopK != 5 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestPostingsCapped(t *testing.T) {
+	history := make([]workload.Session, 100)
+	for i := range history {
+		history[i] = workload.Session{7}
+	}
+	m, err := Train(history, Config{CatalogSize: 10, MaxPostings: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.postings[7]); got != 10 {
+		t.Fatalf("postings for hot item = %d, want capped at 10", got)
+	}
+	// The kept postings must be the most recent (highest session ids).
+	if m.postings[7][0] != 90 {
+		t.Fatalf("postings not recency-sampled: first kept = %d", m.postings[7][0])
+	}
+}
+
+// TestCostIndependentOfCatalog is the headline property: serving cost does
+// not grow with C, which is what makes the non-neural baseline cheap at
+// platform scale.
+func TestCostIndependentOfCatalog(t *testing.T) {
+	history := []workload.Session{{1, 2}, {2, 3}}
+	small, _ := Train(history, Config{CatalogSize: 10_000})
+	large, _ := Train(history, Config{CatalogSize: 20_000_000})
+	cs, cl := small.Cost(5), large.Cost(5)
+	if cs.TotalFLOPs() != cl.TotalFLOPs() || cs.PerRequestBytes != cl.PerRequestBytes {
+		t.Fatalf("kNN cost must not depend on catalog size: %+v vs %+v", cs, cl)
+	}
+	if cs.MIPSFLOPs != 0 || cs.SharedBytes != 0 {
+		t.Fatalf("kNN must not pay a catalog scan: %+v", cs)
+	}
+}
+
+// TestPlatformScaleOnCPU quantifies the conclusion's claim: at C=2e7 the
+// non-neural baseline serves within the latency SLO on the $108 CPU
+// instance where the neural models need $6,026 of A100s.
+func TestPlatformScaleOnCPU(t *testing.T) {
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: 20_000_000, NumClicks: 50_000,
+		AlphaLength: 2.2, AlphaClicks: 1.6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := make([]workload.Session, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		history = append(history, gen.NextSession())
+	}
+	m, err := Train(history, Config{CatalogSize: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real measured inference on this machine must be far below the SLO.
+	session := history[7]
+	start := time.Now()
+	const n = 50
+	for i := 0; i < n; i++ {
+		m.Recommend(session)
+	}
+	perReq := time.Since(start) / n
+	if perReq > 10*time.Millisecond {
+		t.Fatalf("vsknn at C=2e7: %v per request — should be millisecond-scale", perReq)
+	}
+	// The cost model agrees: CPU serial latency far below the neural models'.
+	cpuLatency := device.CPU().SerialInference(m.Cost(5), true)
+	neural, err := model.EstimateCost("gru4rec", model.Config{CatalogSize: 20_000_000, Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neuralLatency := device.CPU().SerialInference(neural, true)
+	if cpuLatency*100 > neuralLatency {
+		t.Fatalf("vsknn (%v) not ≥100× cheaper than neural (%v) at C=2e7", cpuLatency, neuralLatency)
+	}
+}

@@ -1,0 +1,260 @@
+// Package loadgen implements ETUDE's backpressure-aware load generator
+// (paper Algorithm 2). It replays synthetic sessions against an inference
+// target, ramping the request rate up to a target throughput proportionally
+// to elapsed time, spreading requests evenly within one-second ticks, and —
+// crucially — tracking the number of pending requests: when backpressure
+// builds up (pending ≥ current per-tick rate), the generator pauses instead
+// of piling more work onto a struggling server, which lets experiments shut
+// down gracefully and reveals the throughput threshold where a model fails.
+//
+// Like the paper's Java implementation, the generator respects session
+// order: the next click of a session is only sent after the response to the
+// previous click has been received.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+	"etude/internal/workload"
+)
+
+// Target is the system under test.
+type Target interface {
+	// Predict sends one recommendation request and blocks until the
+	// response arrives. A non-nil error counts as a failed request
+	// (timeout or HTTP error).
+	Predict(ctx context.Context, req httpapi.PredictRequest) error
+}
+
+// SessionSource supplies the synthetic sessions to replay.
+type SessionSource interface {
+	// NextSession returns the next session to replay. It must be safe for
+	// use from the generator's single scheduling goroutine.
+	NextSession() workload.Session
+}
+
+// Config controls one load-generation run.
+type Config struct {
+	// TargetRate is r: the request rate (per second) reached at the end of
+	// the ramp-up.
+	TargetRate float64
+	// Duration is d: the total run length; the rate ramps from 0 to
+	// TargetRate linearly across it.
+	Duration time.Duration
+	// Tick is the scheduling quantum (paper: one second). Shorter ticks
+	// let tests run quickly.
+	Tick time.Duration
+	// RequestTimeout bounds each in-flight request.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the wait for stragglers after the last tick.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.TargetRate <= 0 {
+		return fmt.Errorf("loadgen: target rate must be positive, got %v", c.TargetRate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be positive, got %v", c.Duration)
+	}
+	return nil
+}
+
+// Result summarises a load-generation run.
+type Result struct {
+	// Recorder holds all latency and error measurements.
+	Recorder *metrics.Recorder
+	// Backpressured counts scheduling slots skipped because too many
+	// requests were pending — the "graceful degradation" signal.
+	Backpressured int64
+	// Completed is true when the full duration elapsed (vs. context
+	// cancellation).
+	Completed bool
+}
+
+// Run executes Algorithm 2 against the target. It returns when the duration
+// has elapsed and in-flight requests have drained (or ctx is cancelled).
+func Run(ctx context.Context, cfg Config, src SessionSource, target Target) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if src == nil || target == nil {
+		return nil, errors.New("loadgen: nil session source or target")
+	}
+
+	rec := metrics.NewRecorder()
+	res := &Result{Recorder: rec}
+	feed := newFeeder(src)
+	var pending atomic.Int64
+	var wg sync.WaitGroup
+
+	ticks := int(cfg.Duration / cfg.Tick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	start := time.Now()
+
+mainLoop:
+	for t := 0; t < ticks; t++ { // Main tick loop
+		select {
+		case <-ctx.Done():
+			break mainLoop
+		default:
+		}
+		tickEnd := start.Add(time.Duration(t+1) * cfg.Tick)
+		// TIMEPROP_RAMPUP: the per-tick rate grows proportionally to the
+		// time spent relative to the benchmark duration.
+		frac := float64(t+1) / float64(ticks)
+		rc := int(cfg.TargetRate * cfg.Tick.Seconds() * frac)
+		if rc < 1 {
+			rc = 1
+		}
+
+	requestLoop:
+		for i := 0; i < rc; i++ { // Request generation loop
+			// Backpressure handling: wait while too much work is pending.
+			for pending.Load() >= int64(rc) {
+				if time.Now().After(tickEnd) {
+					res.Backpressured += int64(rc - i)
+					continue mainLoop
+				}
+				select {
+				case <-ctx.Done():
+					break mainLoop
+				case <-time.After(time.Millisecond):
+				}
+			}
+			if time.Now().After(tickEnd) {
+				res.Backpressured += int64(rc - i)
+				continue mainLoop
+			}
+
+			req, done := feed.next()
+			pending.Add(1)
+			rec.RecordSent(t)
+			wg.Add(1)
+			go func(tick int) { // SCHEDULE_REQUEST_ASYNC
+				defer wg.Done()
+				defer pending.Add(-1)
+				rctx, cancel := context.WithTimeout(context.Background(), cfg.RequestTimeout)
+				defer cancel()
+				reqStart := time.Now()
+				err := target.Predict(rctx, req)
+				if err != nil {
+					rec.RecordError(tick)
+				} else {
+					rec.RecordLatency(tick, time.Since(reqStart))
+				}
+				done(err == nil)
+			}(t)
+
+			// Evenly spread the remaining requests over the rest of the tick.
+			if left := rc - i - 1; left > 0 {
+				if remaining := time.Until(tickEnd); remaining > 0 {
+					select {
+					case <-ctx.Done():
+						break requestLoop
+					case <-time.After(remaining / time.Duration(left+1)):
+					}
+				}
+			}
+		}
+		// Wait until the next tick boundary.
+		if remaining := time.Until(tickEnd); remaining > 0 {
+			select {
+			case <-ctx.Done():
+				break mainLoop
+			case <-time.After(remaining):
+			}
+		}
+	}
+	res.Completed = ctx.Err() == nil
+
+	// Graceful shutdown: wait for stragglers, bounded.
+	drained := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(cfg.DrainTimeout):
+	}
+	return res, nil
+}
+
+// feeder hands out requests while preserving session order: a session's
+// next click is only eligible after the previous click was answered.
+type feeder struct {
+	mu       sync.Mutex
+	src      SessionSource
+	eligible []*cursor
+	nextID   int64
+}
+
+type cursor struct {
+	id      int64
+	session workload.Session
+	pos     int
+}
+
+func newFeeder(src SessionSource) *feeder {
+	return &feeder{src: src}
+}
+
+// next returns the request for some session's next click and a completion
+// callback that re-arms the session (or retires it after its last click or
+// a failure).
+func (f *feeder) next() (httpapi.PredictRequest, func(ok bool)) {
+	f.mu.Lock()
+	var c *cursor
+	if n := len(f.eligible); n > 0 {
+		c = f.eligible[n-1]
+		f.eligible = f.eligible[:n-1]
+	} else {
+		f.nextID++
+		c = &cursor{id: f.nextID, session: f.src.NextSession()}
+		for len(c.session) == 0 { // skip degenerate sessions
+			c.session = f.src.NextSession()
+		}
+	}
+	f.mu.Unlock()
+
+	req := httpapi.PredictRequest{
+		SessionID: c.id,
+		Items:     append([]int64(nil), c.session[:c.pos+1]...),
+	}
+	done := func(ok bool) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		c.pos++
+		// Only continue the session on success (the paper's generator only
+		// sends the next interaction after receiving a response; a timed
+		// out session is abandoned like a frustrated visitor).
+		if ok && c.pos < len(c.session) {
+			f.eligible = append(f.eligible, c)
+		}
+	}
+	return req, done
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+)
+
+// HTTPTarget sends requests to an inference server over HTTP — the Go
+// analogue of the paper's asynchronous Apache HttpComponents client. The
+// transport keeps a large idle-connection pool so that a 1,000 req/s ramp
+// does not exhaust ephemeral ports.
+type HTTPTarget struct {
+	baseURL string
+	client  *http.Client
+	// inference optionally collects the server-side inference durations
+	// reported via the X-Inference-Duration response header (the paper:
+	// "the inference server additionally communicates metrics like the
+	// inference duration via HTTP response headers"). Set with
+	// CollectInferenceDurations.
+	inference *metrics.Histogram
+}
+
+// CollectInferenceDurations starts recording the server-reported inference
+// duration of every successful response into h. Comparing h against the
+// end-to-end latencies separates model time from queueing and network time.
+func (t *HTTPTarget) CollectInferenceDurations(h *metrics.Histogram) {
+	t.inference = h
+}
+
+// NewHTTPTarget returns a target for the server at baseURL (scheme + host +
+// port, no path).
+func NewHTTPTarget(baseURL string) *HTTPTarget {
+	transport := &http.Transport{
+		MaxIdleConns:        2048,
+		MaxIdleConnsPerHost: 2048,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPTarget{
+		baseURL: baseURL,
+		client:  &http.Client{Transport: transport},
+	}
+}
+
+// Predict implements Target.
+func (t *HTTPTarget) Predict(ctx context.Context, req httpapi.PredictRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.baseURL+httpapi.PredictPath, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("loadgen: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("loadgen: request failed: %w", err)
+	}
+	defer resp.Body.Close()
+	// Drain the body so the connection is reusable.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return fmt.Errorf("loadgen: draining response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: server returned HTTP %d", resp.StatusCode)
+	}
+	if t.inference != nil {
+		if d := httpapi.InferenceDuration(resp.Header); d > 0 {
+			t.inference.Record(d)
+		}
+	}
+	return nil
+}
+
+// WaitReady polls the target's readiness endpoint until it answers 200 or
+// the context expires — the client-side half of the Kubernetes readiness
+// probe flow.
+func (t *HTTPTarget) WaitReady(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.baseURL+httpapi.ReadyPath, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := t.client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("loadgen: target never became ready: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// FuncTarget adapts a function to the Target interface; used by tests and
+// by in-process benchmarks that skip the network.
+type FuncTarget func(ctx context.Context, req httpapi.PredictRequest) error
+
+// Predict implements Target.
+func (f FuncTarget) Predict(ctx context.Context, req httpapi.PredictRequest) error {
+	return f(ctx, req)
+}

@@ -1,0 +1,159 @@
+// Package metrics provides the measurement infrastructure of the benchmark:
+// thread-safe log-bucketed latency histograms with percentile queries, and
+// per-second time series of throughput, errors and latency quantiles — the
+// numbers ETUDE reports back to the data scientist.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histogram bucket geometry: buckets grow by 2% per step, covering 1µs up
+// to ~17 minutes in about 1050 buckets. 2% growth keeps any percentile's
+// relative quantisation error at or below 2%.
+const (
+	bucketGrowth = 1.02
+	minValue     = time.Microsecond
+	numBuckets   = 1056
+)
+
+var logGrowth = math.Log(bucketGrowth)
+
+// Histogram is a fixed-size, lock-free latency histogram. The zero value is
+// NOT ready to use; construct with NewHistogram. All methods are safe for
+// concurrent use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+	maxNs   atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.maxNs.Load()
+		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+func bucketIndex(d time.Duration) int {
+	if d <= minValue {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(minValue))/logGrowth) + 1
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the representative (upper-bound) duration of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return minValue
+	}
+	return time.Duration(float64(minValue) * math.Pow(bucketGrowth, float64(i)))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded latency (exact, not quantised).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile returns the q-quantile latency (q in [0,1]), e.g. Quantile(0.9)
+// is the p90. It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds all observations of other into h. Max is merged exactly.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		cur := h.maxNs.Load()
+		om := other.maxNs.Load()
+		if om <= cur || h.maxNs.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Snapshot summarises the histogram at a point in time.
+type Snapshot struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// Snapshot returns the current summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P90:   h.Quantile(0.9),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot compactly for logs and reports.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// TickStats aggregates one load-generator tick (one second of wall or
+// virtual time): how many requests completed, how many errored, and the
+// latency distribution of the successes.
+type TickStats struct {
+	Tick      int           `json:"tick"`
+	Sent      int64         `json:"sent"`
+	Completed int64         `json:"completed"`
+	Errors    int64         `json:"errors"`
+	P50       time.Duration `json:"p50"`
+	P90       time.Duration `json:"p90"`
+	P99       time.Duration `json:"p99"`
+}
+
+// Recorder collects per-tick statistics plus an overall histogram over a
+// whole benchmark run. It is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	ticks   map[int]*tickAcc
+	overall *Histogram
+	errs    int64
+	sent    int64
+}
+
+type tickAcc struct {
+	sent      int64
+	completed int64
+	errors    int64
+	hist      *Histogram
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{ticks: make(map[int]*tickAcc), overall: NewHistogram()}
+}
+
+func (r *Recorder) tick(t int) *tickAcc {
+	acc, ok := r.ticks[t]
+	if !ok {
+		acc = &tickAcc{hist: NewHistogram()}
+		r.ticks[t] = acc
+	}
+	return acc
+}
+
+// RecordSent notes that a request was issued during tick t.
+func (r *Recorder) RecordSent(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tick(t).sent++
+	r.sent++
+}
+
+// RecordLatency notes a successful response observed during tick t.
+func (r *Recorder) RecordLatency(t int, d time.Duration) {
+	r.mu.Lock()
+	acc := r.tick(t)
+	acc.completed++
+	acc.hist.Record(d)
+	r.mu.Unlock()
+	r.overall.Record(d)
+}
+
+// RecordError notes a failed (timeout / HTTP error) response during tick t.
+func (r *Recorder) RecordError(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acc := r.tick(t)
+	acc.completed++
+	acc.errors++
+	r.errs++
+}
+
+// Overall returns the run-wide latency snapshot (successes only).
+func (r *Recorder) Overall() Snapshot {
+	return r.overall.Snapshot()
+}
+
+// Errors returns the run-wide error count.
+func (r *Recorder) Errors() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errs
+}
+
+// Sent returns the run-wide issued-request count.
+func (r *Recorder) Sent() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sent
+}
+
+// Series returns per-tick statistics in tick order.
+func (r *Recorder) Series() []TickStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	maxTick := -1
+	for t := range r.ticks {
+		if t > maxTick {
+			maxTick = t
+		}
+	}
+	out := make([]TickStats, 0, maxTick+1)
+	for t := 0; t <= maxTick; t++ {
+		acc, ok := r.ticks[t]
+		ts := TickStats{Tick: t}
+		if ok {
+			ts.Sent = acc.sent
+			ts.Completed = acc.completed
+			ts.Errors = acc.errors
+			ts.P50 = acc.hist.Quantile(0.5)
+			ts.P90 = acc.hist.Quantile(0.9)
+			ts.P99 = acc.hist.Quantile(0.99)
+		}
+		out = append(out, ts)
+	}
+	return out
+}

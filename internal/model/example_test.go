@@ -1,0 +1,55 @@
+package model_test
+
+import (
+	"fmt"
+
+	"etude/internal/model"
+)
+
+// Build a model, get recommendations, and switch to the JIT-compiled
+// execution plan.
+func ExampleNew() {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 1_000, Seed: 42, TopK: 3})
+	if err != nil {
+		panic(err)
+	}
+	session := []int64{17, 430, 99}
+	recs := m.Recommend(session)
+	fmt.Println("recommendations:", len(recs))
+
+	compiled := m.(model.JITCompilable).CompiledRecommend()
+	fast := compiled(session)
+	fmt.Println("jit matches eager:", fast[0].Item == recs[0].Item)
+	// Output:
+	// recommendations: 3
+	// jit matches eager: true
+}
+
+// Estimate deployment-relevant inference cost without materialising
+// gigabytes of weights.
+func ExampleEstimateCost() {
+	cost, err := model.EstimateCost("sasrec", model.Config{CatalogSize: 20_000_000, Seed: 1}, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("catalog scan dominates:", cost.MIPSFLOPs > 100*cost.EncoderFLOPs)
+	// Output: catalog scan dominates: true
+}
+
+// Ship weights through a byte archive: the deployment artifact the
+// inference server loads from the object store.
+func ExampleSaveWeights() {
+	donor, _ := model.New("stamp", model.Config{CatalogSize: 500, Seed: 42})
+	archive, err := model.SaveWeights(donor)
+	if err != nil {
+		panic(err)
+	}
+	replica, _ := model.New("stamp", model.Config{CatalogSize: 500, Seed: 7})
+	if err := model.LoadWeights(replica, archive); err != nil {
+		panic(err)
+	}
+	a := donor.Recommend([]int64{1, 2})
+	b := replica.Recommend([]int64{1, 2})
+	fmt.Println("replica matches donor:", a[0] == b[0])
+	// Output: replica matches donor: true
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"etude/internal/nn"
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+func init() {
+	Register("gru4rec", func(cfg Config) (Model, error) { return NewGRU4Rec(cfg) })
+}
+
+// GRU4Rec is the classic recurrent SBR model (Tan et al. 2016): item
+// embeddings are fed through a GRU and the final hidden state is the session
+// representation.
+type GRU4Rec struct {
+	base
+	gru  *nn.GRU
+	proj *nn.Linear // hidden → embedding space
+}
+
+// NewGRU4Rec builds a GRU4Rec model.
+func NewGRU4Rec(cfg Config) (*GRU4Rec, error) {
+	in := nn.NewInitializer(cfg.Seed)
+	b, err := newBase(cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	d := b.cfg.Dim
+	return &GRU4Rec{
+		base: b,
+		gru:  nn.NewGRU(in, d, d, 1),
+		proj: nn.NewLinear(in, d, d),
+	}, nil
+}
+
+// Name implements Model.
+func (m *GRU4Rec) Name() string { return "gru4rec" }
+
+// Recommend implements Model.
+func (m *GRU4Rec) Recommend(session []int64) []topk.Result {
+	return m.score(m.encode(session))
+}
+
+// Encode implements model.Encoder: it returns the session representation
+// the MIPS stage scores against the catalog.
+func (m *GRU4Rec) Encode(session []int64) *tensor.Tensor {
+	return m.encode(session)
+}
+
+func (m *GRU4Rec) encode(session []int64) *tensor.Tensor {
+	session, x := m.prepare(session)
+	if x == nil {
+		return m.zeroRep()
+	}
+	states := m.gru.Forward(x)
+	return m.proj.ForwardVec(states.Row(len(session) - 1))
+}
+
+// CompiledRecommend implements JITCompilable: GRU weights are pre-transposed
+// once and all per-step buffers are reused, eliminating the per-request
+// allocations of the eager path.
+func (m *GRU4Rec) CompiledRecommend() func(session []int64) []topk.Result {
+	d := m.cfg.Dim
+	cell := m.gru.Cells[0]
+	wiT := tensor.Transpose(cell.Wi)
+	whT := tensor.Transpose(cell.Wh)
+	projT := tensor.Transpose(m.proj.Weight)
+	h := tensor.New(d)
+	hNext := tensor.New(d)
+	gi := tensor.New(3 * d)
+	gh := tensor.New(3 * d)
+	rep := tensor.New(d)
+	scorer := m.compiledScorer()
+	return func(session []int64) []topk.Result {
+		session = truncate(session, m.cfg.MaxSessionLen)
+		if len(session) == 0 {
+			rep.Zero()
+			return scorer(rep)
+		}
+		h.Zero()
+		for _, id := range session {
+			cell.StepInto(hNext, m.emb.Weight.Row(int(id)), h, wiT, whT, gi, gh)
+			h.CopyFrom(hNext)
+		}
+		tensor.MatVecInto(rep, projT, h)
+		rep.AddInPlace(m.proj.Bias)
+		return scorer(rep)
+	}
+}
+
+// Cost implements Model. Per GRU step: input and hidden transforms are
+// 2·d·3d FLOPs each; the projection adds 2·d².
+func (m *GRU4Rec) Cost(sessionLen int) Cost {
+	d := float64(m.cfg.Dim)
+	l := float64(clampLen(sessionLen, m.cfg.MaxSessionLen))
+	c := mipsCost(m.cfg.CatalogSize, m.cfg.Dim, m.cfg.TopK)
+	c.EncoderFLOPs = l*12*d*d + 2*d*d
+	c.KernelLaunches = int(l)*2 + 3
+	return c
+}
+
+func clampLen(l, maxLen int) int {
+	if l > maxLen {
+		return maxLen
+	}
+	if l < 1 {
+		return 1
+	}
+	return l
+}

@@ -1,0 +1,112 @@
+package model
+
+import (
+	"etude/internal/nn"
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+func init() {
+	Register("lightsans", func(cfg Config) (Model, error) { return NewLightSANs(cfg) })
+}
+
+// LightSANs (Fan et al. 2021) replaces quadratic self-attention with
+// low-rank decomposed attention over k latent interests.
+//
+// LightSANs deliberately does NOT implement JITCompilable: the reference
+// implementation contains dynamic, data-dependent code paths that PyTorch's
+// JIT cannot trace, which the paper reports as "cannot be JIT-optimised ...
+// due to dynamic code paths". We reproduce that property by selecting the
+// attention variant at inference time based on the observed sequence length
+// (see encode), which makes the execution graph input-dependent.
+type LightSANs struct {
+	base
+	pos    *tensor.Tensor
+	blocks []*lightBlock
+	// shortAttn is the data-dependent alternative path used for very short
+	// sequences, making the execution graph dynamic.
+	shortAttn *nn.MultiHeadAttention
+}
+
+type lightBlock struct {
+	attn     *nn.LowRankAttention
+	ffn      *nn.FeedForward
+	ln1, ln2 *nn.LayerNorm
+}
+
+const (
+	lightsansLayers   = 2
+	lightsansInterest = 4
+	// lightsansShortCut: sessions at or below this length take the dense
+	// attention path — the dynamic branch that defeats JIT tracing.
+	lightsansShortCut = 2
+)
+
+// NewLightSANs builds a LightSANs model with two low-rank layers.
+func NewLightSANs(cfg Config) (*LightSANs, error) {
+	in := nn.NewInitializer(cfg.Seed)
+	b, err := newBase(cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	d := b.cfg.Dim
+	blocks := make([]*lightBlock, lightsansLayers)
+	for i := range blocks {
+		blocks[i] = &lightBlock{
+			attn: nn.NewLowRankAttention(in, d, lightsansInterest),
+			ffn:  nn.NewFeedForward(in, d, 4*d),
+			ln1:  nn.NewLayerNorm(in, d),
+			ln2:  nn.NewLayerNorm(in, d),
+		}
+	}
+	return &LightSANs{
+		base:      b,
+		pos:       positionTable(in, b.cfg.MaxSessionLen, d),
+		blocks:    blocks,
+		shortAttn: nn.NewMultiHeadAttention(in, d, 2),
+	}, nil
+}
+
+// Name implements Model.
+func (m *LightSANs) Name() string { return "lightsans" }
+
+// Recommend implements Model.
+func (m *LightSANs) Recommend(session []int64) []topk.Result {
+	return m.score(m.encode(session))
+}
+
+// Encode implements model.Encoder: it returns the session representation
+// the MIPS stage scores against the catalog.
+func (m *LightSANs) Encode(session []int64) *tensor.Tensor {
+	return m.encode(session)
+}
+
+func (m *LightSANs) encode(session []int64) *tensor.Tensor {
+	session, x := m.prepare(session)
+	if x == nil {
+		return m.zeroRep()
+	}
+	addPositions(x, m.pos)
+	if len(session) <= lightsansShortCut {
+		// Dynamic path: dense attention for short sequences.
+		x = tensor.Add(x, m.shortAttn.Forward(x, false))
+	} else {
+		for _, b := range m.blocks {
+			h := tensor.Add(x, b.attn.Forward(b.ln1.Forward(x)))
+			x = tensor.Add(h, b.ffn.Forward(b.ln2.Forward(h)))
+		}
+	}
+	return x.Row(len(session) - 1).Clone()
+}
+
+// Cost implements Model: low-rank attention costs 8·d² projections plus
+// 4·L·kLat·d for the two attention stages per layer.
+func (m *LightSANs) Cost(sessionLen int) Cost {
+	d := float64(m.cfg.Dim)
+	l := float64(clampLen(sessionLen, m.cfg.MaxSessionLen))
+	c := mipsCost(m.cfg.CatalogSize, m.cfg.Dim, m.cfg.TopK)
+	perLayer := l*(8*d*d+16*d*d) + 4*l*lightsansInterest*d
+	c.EncoderFLOPs = float64(lightsansLayers) * perLayer
+	c.KernelLaunches = lightsansLayers*12 + 3
+	return c
+}

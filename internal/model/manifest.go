@@ -1,0 +1,49 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Manifest is the serialised form of a deployable model — the analogue of
+// the TorchScript archives ETUDE deploys from Google storage buckets. Since
+// this reproduction initialises weights deterministically from a seed, the
+// manifest needs only the model name and configuration; loading a manifest
+// rebuilds bit-identical weights.
+type Manifest struct {
+	// Model is the registered model name.
+	Model string `json:"model"`
+	// Config is the full model configuration, including the seed.
+	Config Config `json:"config"`
+	// WeightsKey optionally locates a serialised weight archive (see
+	// SaveWeights) in the same bucket as the manifest. When set, deployment
+	// loads those weights instead of relying on seed regeneration — the
+	// full "serialised model in a storage bucket" flow of the paper.
+	WeightsKey string `json:"weights_key,omitempty"`
+}
+
+// MarshalManifest serialises a manifest for storage in a bucket.
+func MarshalManifest(m Manifest) ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("model: encoding manifest: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalManifest parses a stored manifest.
+func UnmarshalManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("model: decoding manifest: %w", err)
+	}
+	if m.Model == "" {
+		return Manifest{}, fmt.Errorf("model: manifest missing model name")
+	}
+	return m, nil
+}
+
+// Load instantiates the model a manifest describes.
+func (m Manifest) Load() (Model, error) {
+	return New(m.Model, m.Config)
+}

@@ -1,0 +1,443 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{CatalogSize: 200, Seed: 1}
+}
+
+func TestHeuristicDim(t *testing.T) {
+	cases := []struct{ c, want int }{
+		{10_000, 10},
+		{100_000, 18},
+		{1_000_000, 32},
+		{10_000_000, 58},
+		{20_000_000, 68},
+		{1, 2},
+		{16, 2},
+		{17, 4},
+	}
+	for _, tc := range cases {
+		if got := HeuristicDim(tc.c); got != tc.want {
+			t.Errorf("HeuristicDim(%d) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestNamesContainsAllTenModels(t *testing.T) {
+	want := []string{"core", "gcsan", "gru4rec", "lightsans", "narm", "repeatnet", "sasrec", "sine", "srgnn", "stamp"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewUnknownModel(t *testing.T) {
+	if _, err := New("nonexistent", testConfig()); err == nil {
+		t.Fatalf("expected error for unknown model")
+	}
+}
+
+func TestNewInvalidConfig(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := New(name, Config{CatalogSize: 0}); err == nil {
+			t.Errorf("%s: expected error for zero catalog", name)
+		}
+		if _, err := New(name, Config{CatalogSize: -5}); err == nil {
+			t.Errorf("%s: expected error for negative catalog", name)
+		}
+	}
+}
+
+// TestAllModelsRecommend is the core contract test: every registered model
+// must produce k unique, in-range, score-sorted recommendations for typical,
+// single-click, repeated-item and over-long sessions — without panicking.
+func TestAllModelsRecommend(t *testing.T) {
+	sessions := map[string][]int64{
+		"typical":  {3, 17, 42, 9},
+		"single":   {5},
+		"repeats":  {7, 7, 7, 7, 7},
+		"long":     longSession(120, 200),
+		"empty":    {},
+		"boundary": {0, 199},
+		"revisits": {1, 2, 1, 3, 2, 1},
+	}
+	for _, name := range Names() {
+		m, err := New(name, testConfig())
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("%s: Name() = %q", name, m.Name())
+		}
+		cfg := m.Config()
+		if cfg.TopK != DefaultTopK || cfg.Dim == 0 {
+			t.Errorf("%s: defaults not applied: %+v", name, cfg)
+		}
+		for label, session := range sessions {
+			recs := m.Recommend(session)
+			if len(recs) != cfg.TopK {
+				t.Fatalf("%s/%s: got %d recs, want %d", name, label, len(recs), cfg.TopK)
+			}
+			seen := make(map[int64]bool)
+			for i, r := range recs {
+				if r.Item < 0 || r.Item >= int64(cfg.CatalogSize) {
+					t.Fatalf("%s/%s: item %d out of range", name, label, r.Item)
+				}
+				if seen[r.Item] {
+					t.Fatalf("%s/%s: duplicate item %d", name, label, r.Item)
+				}
+				seen[r.Item] = true
+				if i > 0 && recs[i-1].Score < r.Score {
+					t.Fatalf("%s/%s: scores not descending at %d", name, label, i)
+				}
+			}
+		}
+	}
+}
+
+// TestModelsDeterministic: same seed and session ⇒ identical output;
+// different seeds ⇒ (almost surely) different top item ordering.
+func TestModelsDeterministic(t *testing.T) {
+	session := []int64{3, 17, 42, 9, 65}
+	for _, name := range Names() {
+		a, _ := New(name, testConfig())
+		b, _ := New(name, testConfig())
+		ra, rb := a.Recommend(session), b.Recommend(session)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%s: nondeterministic output at %d: %+v vs %+v", name, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestModelsSeedSensitivity(t *testing.T) {
+	session := []int64{3, 17, 42, 9, 65}
+	differs := 0
+	for _, name := range Names() {
+		a, _ := New(name, Config{CatalogSize: 200, Seed: 1})
+		b, _ := New(name, Config{CatalogSize: 200, Seed: 99})
+		if a.Recommend(session)[0] != b.Recommend(session)[0] {
+			differs++
+		}
+	}
+	if differs < len(Names())-2 {
+		t.Fatalf("only %d/%d models changed output with the seed", differs, len(Names()))
+	}
+}
+
+// TestCompiledMatchesEager: the JIT contract — the compiled path must return
+// exactly the same recommendations as eager execution. LightSANs must NOT be
+// compilable (the paper's finding).
+func TestCompiledMatchesEager(t *testing.T) {
+	sessions := [][]int64{{3, 17, 42, 9}, {5}, {1, 2, 1, 3, 2, 1}, {}}
+	for _, name := range Names() {
+		m, _ := New(name, testConfig())
+		jc, ok := m.(JITCompilable)
+		if name == "lightsans" {
+			if ok {
+				t.Fatalf("lightsans must not be JIT-compilable (dynamic code paths)")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s: expected JITCompilable", name)
+		}
+		compiled := jc.CompiledRecommend()
+		for _, session := range sessions {
+			eager := m.Recommend(session)
+			fast := compiled(session)
+			if len(eager) != len(fast) {
+				t.Fatalf("%s: compiled len %d != eager %d", name, len(fast), len(eager))
+			}
+			for i := range eager {
+				if eager[i].Item != fast[i].Item {
+					t.Fatalf("%s session %v pos %d: compiled item %d != eager %d",
+						name, session, i, fast[i].Item, eager[i].Item)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledReusableAcrossCalls guards against stale buffer state: calling
+// the compiled closure twice with different sessions must match eager each
+// time.
+func TestCompiledReusableAcrossCalls(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := New(name, testConfig())
+		jc, ok := m.(JITCompilable)
+		if !ok {
+			continue
+		}
+		compiled := jc.CompiledRecommend()
+		s1, s2 := []int64{1, 2, 3}, []int64{99, 98}
+		compiled(s1)
+		got := compiled(s2)
+		want := m.Recommend(s2)
+		if got[0].Item != want[0].Item {
+			t.Fatalf("%s: compiled state leaked across calls", name)
+		}
+	}
+}
+
+func TestCostScalesWithCatalog(t *testing.T) {
+	for _, name := range Names() {
+		small, _ := New(name, Config{CatalogSize: 1000, Seed: 1})
+		large, _ := New(name, Config{CatalogSize: 100_000, Seed: 1})
+		cs, cl := small.Cost(10), large.Cost(10)
+		if cl.MIPSFLOPs <= cs.MIPSFLOPs {
+			t.Errorf("%s: MIPS cost must grow with catalog", name)
+		}
+		// The catalog term must dominate for large C: the paper's central
+		// observation that inference time is linear in C.
+		if cl.MIPSFLOPs < 10*cs.MIPSFLOPs {
+			t.Errorf("%s: MIPS cost not linear in catalog: %v vs %v", name, cs.MIPSFLOPs, cl.MIPSFLOPs)
+		}
+		if cs.EncoderFLOPs <= 0 || cs.TotalFLOPs() <= 0 || cs.SharedBytes <= 0 || cs.PerRequestBytes <= 0 {
+			t.Errorf("%s: degenerate cost %+v", name, cs)
+		}
+		if cs.KernelLaunches <= 0 {
+			t.Errorf("%s: kernel launches must be positive", name)
+		}
+	}
+}
+
+func TestCostSessionLenClamped(t *testing.T) {
+	m, _ := New("gru4rec", testConfig())
+	atMax := m.Cost(m.Config().MaxSessionLen)
+	beyond := m.Cost(10 * m.Config().MaxSessionLen)
+	if atMax.EncoderFLOPs != beyond.EncoderFLOPs {
+		t.Fatalf("cost must clamp session length to MaxSessionLen")
+	}
+}
+
+func TestFaithfulVariantsCostMore(t *testing.T) {
+	cfgFix := Config{CatalogSize: 50_000, Seed: 1}
+	cfgBug := Config{CatalogSize: 50_000, Seed: 1, Faithful: true}
+
+	rn, _ := New("repeatnet", cfgFix)
+	rnBug, _ := New("repeatnet", cfgBug)
+	if rnBug.Cost(20).DenseOverheadFLOPs <= rn.Cost(20).DenseOverheadFLOPs {
+		t.Fatalf("faithful RepeatNet must carry dense-scatter overhead")
+	}
+	if rn.Cost(20).DenseOverheadFLOPs != 0 {
+		t.Fatalf("fixed RepeatNet must have zero dense overhead")
+	}
+	for _, name := range []string{"srgnn", "gcsan"} {
+		fix, _ := New(name, cfgFix)
+		bug, _ := New(name, cfgBug)
+		if bug.Cost(20).HostTransfers == 0 {
+			t.Fatalf("faithful %s must report host transfers", name)
+		}
+		if fix.Cost(20).HostTransfers != 0 {
+			t.Fatalf("fixed %s must report zero host transfers", name)
+		}
+	}
+}
+
+// TestRepeatNetFaithfulMatchesFixed: the dense and sparse scatter are
+// mathematically identical — the bug is performance, not correctness.
+func TestRepeatNetFaithfulMatchesFixed(t *testing.T) {
+	fix, _ := New("repeatnet", Config{CatalogSize: 300, Seed: 7})
+	bug, _ := New("repeatnet", Config{CatalogSize: 300, Seed: 7, Faithful: true})
+	for _, session := range [][]int64{{1, 2, 3}, {250, 4, 250}, {0}} {
+		rf, rb := fix.Recommend(session), bug.Recommend(session)
+		for i := range rf {
+			if rf[i].Item != rb[i].Item {
+				t.Fatalf("session %v pos %d: fixed %d != faithful %d", session, i, rf[i].Item, rb[i].Item)
+			}
+		}
+	}
+}
+
+// TestRepeatNetBoostsRepeats: a heavily repeated item should rank very high
+// thanks to the repeat mechanism, regardless of random weights.
+func TestRepeatNetBoostsRepeats(t *testing.T) {
+	m, _ := New("repeatnet", Config{CatalogSize: 500, Seed: 3})
+	session := []int64{123, 123, 123, 123, 123, 123}
+	recs := m.Recommend(session)
+	for i, r := range recs {
+		if r.Item == 123 {
+			if i > 3 {
+				t.Fatalf("repeated item ranked only %d-th", i)
+			}
+			return
+		}
+	}
+	t.Fatalf("repeated item not in top-%d at all", len(recs))
+}
+
+func TestBrokenAndTableIModelsPartition(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range BrokenModels() {
+		all[n] = true
+	}
+	for _, n := range TableIModels() {
+		if all[n] {
+			t.Fatalf("%s is in both broken and Table I lists", n)
+		}
+		all[n] = true
+	}
+	if len(all) != len(Names()) {
+		t.Fatalf("broken + tableI = %d models, want %d", len(all), len(Names()))
+	}
+}
+
+func TestTopKConfigRespected(t *testing.T) {
+	m, _ := New("core", Config{CatalogSize: 100, Seed: 1, TopK: 5})
+	if got := len(m.Recommend([]int64{1, 2})); got != 5 {
+		t.Fatalf("TopK=5 but got %d recs", got)
+	}
+}
+
+func TestTopKLargerThanCatalog(t *testing.T) {
+	m, _ := New("stamp", Config{CatalogSize: 10, Seed: 1, TopK: 50})
+	if got := len(m.Recommend([]int64{1, 2})); got != 10 {
+		t.Fatalf("k>C should return C recs, got %d", got)
+	}
+}
+
+// Property: for every model, any session over a small catalog yields valid
+// recommendations.
+func TestRecommendProperty(t *testing.T) {
+	models := make([]Model, 0, len(Names()))
+	for _, name := range Names() {
+		m, err := New(name, Config{CatalogSize: 64, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	f := func(raw []uint8) bool {
+		session := make([]int64, len(raw))
+		for i, r := range raw {
+			session[i] = int64(r % 64)
+		}
+		for _, m := range models {
+			recs := m.Recommend(session)
+			if len(recs) != m.Config().TopK {
+				return false
+			}
+			for _, r := range recs {
+				if r.Item < 0 || r.Item >= 64 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func longSession(n int, catalog int64) []int64 {
+	rng := rand.New(rand.NewSource(13))
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = rng.Int63n(catalog)
+	}
+	return s
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := Manifest{Model: "stamp", Config: Config{CatalogSize: 100, Seed: 7, TopK: 5}}
+	data, err := MarshalManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+	loaded, err := got.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded model must be bit-identical to a directly constructed one.
+	direct, _ := New("stamp", m.Config)
+	a, b := loaded.Recommend([]int64{1, 2}), direct.Recommend([]int64{1, 2})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("manifest load not reproducible at %d", i)
+		}
+	}
+}
+
+func TestManifestErrors(t *testing.T) {
+	if _, err := UnmarshalManifest([]byte("{")); err == nil {
+		t.Fatalf("bad JSON accepted")
+	}
+	if _, err := UnmarshalManifest([]byte("{}")); err == nil {
+		t.Fatalf("missing model name accepted")
+	}
+	if _, err := (Manifest{Model: "ghost", Config: Config{CatalogSize: 10}}).Load(); err == nil {
+		t.Fatalf("unknown model loaded")
+	}
+}
+
+func TestEstimateCostMatchesFullModel(t *testing.T) {
+	for _, name := range Names() {
+		cfg := Config{CatalogSize: 5000, Seed: 1}
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimateCost(name, cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est != m.Cost(7) {
+			t.Fatalf("%s: EstimateCost %+v != Cost %+v", name, est, m.Cost(7))
+		}
+	}
+}
+
+// TestGoldenRecommendations pins the exact top-3 items every model returns
+// for a fixed seed and session. Any change here means inference behaviour
+// changed — architectures, initialisation order or scoring — and must be a
+// conscious decision (regenerate the goldens when it is).
+func TestGoldenRecommendations(t *testing.T) {
+	golden := map[string][3]int64{
+		"core":      {71, 83, 17},
+		"gcsan":     {95, 13, 89},
+		"gru4rec":   {49, 128, 52},
+		"lightsans": {71, 50, 177},
+		"narm":      {50, 71, 70},
+		"repeatnet": {9, 42, 3},
+		"sasrec":    {148, 8, 168},
+		"sine":      {71, 50, 70},
+		"srgnn":     {71, 50, 70},
+		"stamp":     {97, 90, 54},
+	}
+	session := []int64{3, 17, 42, 9, 65}
+	for _, name := range Names() {
+		want, ok := golden[name]
+		if !ok {
+			t.Fatalf("no golden for %s — add one", name)
+		}
+		m, err := New(name, Config{CatalogSize: 200, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := m.Recommend(session)
+		got := [3]int64{recs[0].Item, recs[1].Item, recs[2].Item}
+		if got != want {
+			t.Errorf("%s: top-3 = %v, golden %v — inference behaviour changed", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"etude/internal/nn"
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+func init() {
+	Register("narm", func(cfg Config) (Model, error) { return NewNARM(cfg) })
+}
+
+// NARM (Li et al. 2017) is a neural attentive session-based model: a GRU
+// encoder produces hidden states, a global encoder takes the last state, a
+// local encoder computes an attention-weighted sum of all states with the
+// last state as query, and the concatenation is projected back into the
+// item-embedding space by a bilinear decoder.
+type NARM struct {
+	base
+	gru  *nn.GRU
+	attn *nn.AdditiveAttention
+	bili *nn.Linear // [2d] → [d] bilinear decoder B
+}
+
+// NewNARM builds a NARM model.
+func NewNARM(cfg Config) (*NARM, error) {
+	in := nn.NewInitializer(cfg.Seed)
+	b, err := newBase(cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	d := b.cfg.Dim
+	return &NARM{
+		base: b,
+		gru:  nn.NewGRU(in, d, d, 1),
+		attn: nn.NewAdditiveAttention(in, d),
+		bili: nn.NewLinearNoBias(in, 2*d, d),
+	}, nil
+}
+
+// Name implements Model.
+func (m *NARM) Name() string { return "narm" }
+
+// Recommend implements Model.
+func (m *NARM) Recommend(session []int64) []topk.Result {
+	return m.score(m.encode(session))
+}
+
+// Encode implements model.Encoder: it returns the session representation
+// the MIPS stage scores against the catalog.
+func (m *NARM) Encode(session []int64) *tensor.Tensor {
+	return m.encode(session)
+}
+
+func (m *NARM) encode(session []int64) *tensor.Tensor {
+	session, x := m.prepare(session)
+	if x == nil {
+		return m.zeroRep()
+	}
+	states := m.gru.Forward(x)
+	last := states.Row(len(session) - 1)
+
+	// Global encoder: the final hidden state.
+	global := last
+	// Local encoder: additive attention over all states, queried by last.
+	w := m.attn.Weights(last, states)
+	local := nn.Apply(w, states)
+
+	return m.bili.ForwardVec(tensor.Concat(global.Clone(), local))
+}
+
+// CompiledRecommend implements JITCompilable: the eager encoder is wrapped
+// with a pre-transposed decoder and a reusable score buffer.
+func (m *NARM) CompiledRecommend() func(session []int64) []topk.Result {
+	scorer := m.compiledScorer()
+	return func(session []int64) []topk.Result {
+		return scorer(m.encode(session))
+	}
+}
+
+// Cost implements Model: the GRU dominates (12·d² per step), attention adds
+// ~6·d² per step, the decoder 4·d².
+func (m *NARM) Cost(sessionLen int) Cost {
+	d := float64(m.cfg.Dim)
+	l := float64(clampLen(sessionLen, m.cfg.MaxSessionLen))
+	c := mipsCost(m.cfg.CatalogSize, m.cfg.Dim, m.cfg.TopK)
+	c.EncoderFLOPs = l*12*d*d + l*6*d*d + 4*d*d
+	c.KernelLaunches = int(l)*3 + 4
+	return c
+}

@@ -1,0 +1,104 @@
+package model
+
+import (
+	"etude/internal/nn"
+	"etude/internal/tensor"
+)
+
+// ParamSource is implemented by every model: the learnable parameters in a
+// deterministic order. This is what weight serialisation walks.
+type ParamSource = nn.ParamSource
+
+func (b *transformerBlock) params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	out = append(out, b.attn.Params()...)
+	out = append(out, b.ffn.Params()...)
+	out = append(out, b.ln1.Params()...)
+	out = append(out, b.ln2.Params()...)
+	return out
+}
+
+// Params implements ParamSource.
+func (m *GRU4Rec) Params() []*tensor.Tensor {
+	out := m.emb.Params()
+	out = append(out, m.gru.Params()...)
+	return append(out, m.proj.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *NARM) Params() []*tensor.Tensor {
+	out := m.emb.Params()
+	out = append(out, m.gru.Params()...)
+	out = append(out, m.attn.Params()...)
+	return append(out, m.bili.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *STAMP) Params() []*tensor.Tensor {
+	out := m.emb.Params()
+	for _, l := range []*nn.Linear{m.w1, m.w2, m.w3, m.mlpA, m.mlpB} {
+		out = append(out, l.Params()...)
+	}
+	return append(out, m.w0)
+}
+
+// Params implements ParamSource.
+func (m *SASRec) Params() []*tensor.Tensor {
+	out := append(m.emb.Params(), m.pos)
+	for _, b := range m.blocks {
+		out = append(out, b.params()...)
+	}
+	return out
+}
+
+// Params implements ParamSource.
+func (m *LightSANs) Params() []*tensor.Tensor {
+	out := append(m.emb.Params(), m.pos)
+	for _, b := range m.blocks {
+		out = append(out, b.attn.Params()...)
+		out = append(out, b.ffn.Params()...)
+		out = append(out, b.ln1.Params()...)
+		out = append(out, b.ln2.Params()...)
+	}
+	return append(out, m.shortAttn.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *CORE) Params() []*tensor.Tensor {
+	return append(m.emb.Params(), m.alpha.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *SINE) Params() []*tensor.Tensor {
+	out := append(m.emb.Params(), m.concepts)
+	out = append(out, m.selfAttn.Params()...)
+	return append(out, m.aggGate.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *RepeatNet) Params() []*tensor.Tensor {
+	out := m.emb.Params()
+	out = append(out, m.gru.Params()...)
+	out = append(out, m.repAttn.Params()...)
+	out = append(out, m.expAttn.Params()...)
+	out = append(out, m.gate.Params()...)
+	return append(out, m.exploreOut.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *SRGNN) Params() []*tensor.Tensor {
+	out := m.emb.Params()
+	out = append(out, m.ggnn.Params()...)
+	out = append(out, m.attn.Params()...)
+	return append(out, m.combine.Params()...)
+}
+
+// Params implements ParamSource.
+func (m *GCSAN) Params() []*tensor.Tensor {
+	out := m.emb.Params()
+	out = append(out, m.ggnn.Params()...)
+	for _, b := range m.blocks {
+		out = append(out, b.params()...)
+	}
+	return out
+}

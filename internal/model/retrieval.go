@@ -1,0 +1,81 @@
+package model
+
+import (
+	"fmt"
+
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+// Encoder is implemented by models whose inference decomposes into a
+// session encoder followed by a pure maximum-inner-product search over the
+// item-embedding matrix — nine of the ten models (RepeatNet mixes a
+// session-local repeat distribution into the scores and therefore cannot
+// swap its retrieval stage).
+//
+// Exposing the decomposition lets the paper's future-work techniques —
+// int8 quantisation and approximate nearest-neighbour search — replace the
+// exact retrieval stage without touching the encoders (see WithRetrieval).
+type Encoder interface {
+	Model
+	// Encode returns the d-dimensional session representation the MIPS
+	// stage scores against the catalog.
+	Encode(session []int64) *tensor.Tensor
+	// ItemEmbeddings returns the [C, d] catalog representation. Callers
+	// must not modify it.
+	ItemEmbeddings() *tensor.Tensor
+}
+
+// Retriever scores a session representation against the catalog and
+// returns the top-k items. Implementations: exact MIPS (the default inside
+// every model), int8 quantised scoring (internal/quant) and IVF search
+// (internal/ann), adapted via small closures.
+type Retriever interface {
+	Retrieve(query *tensor.Tensor, k int) ([]topk.Result, error)
+}
+
+// RetrieverFunc adapts a function to the Retriever interface.
+type RetrieverFunc func(query *tensor.Tensor, k int) ([]topk.Result, error)
+
+// Retrieve implements Retriever.
+func (f RetrieverFunc) Retrieve(query *tensor.Tensor, k int) ([]topk.Result, error) {
+	return f(query, k)
+}
+
+// WithRetrieval wraps an Encoder model, replacing its exact MIPS stage with
+// the given retriever. The wrapped model serves through internal/server
+// unchanged. Retrieval errors surface as empty recommendation lists (the
+// serving path cannot propagate them; construct-time validation should
+// prevent them).
+func WithRetrieval(m Encoder, r Retriever) (Model, error) {
+	if m == nil || r == nil {
+		return nil, fmt.Errorf("model: WithRetrieval requires a model and a retriever")
+	}
+	return &retrievalModel{enc: m, retriever: r}, nil
+}
+
+type retrievalModel struct {
+	enc       Encoder
+	retriever Retriever
+}
+
+// Name implements Model.
+func (m *retrievalModel) Name() string { return m.enc.Name() + "+retrieval" }
+
+// Config implements Model.
+func (m *retrievalModel) Config() Config { return m.enc.Config() }
+
+// Cost implements Model; the encoder cost carries over while the retrieval
+// stage differs per retriever — callers measuring approximate retrievers
+// should time them directly.
+func (m *retrievalModel) Cost(sessionLen int) Cost { return m.enc.Cost(sessionLen) }
+
+// Recommend implements Model.
+func (m *retrievalModel) Recommend(session []int64) []topk.Result {
+	rep := m.enc.Encode(session)
+	recs, err := m.retriever.Retrieve(rep, m.enc.Config().TopK)
+	if err != nil {
+		return nil
+	}
+	return recs
+}

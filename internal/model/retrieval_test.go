@@ -1,0 +1,114 @@
+package model
+
+import (
+	"testing"
+
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+// TestAllPureMIPSModelsAreEncoders: nine of the ten models expose their
+// encoder/catalog decomposition; RepeatNet does not (its repeat mechanism
+// mixes a session-local distribution into the scores).
+func TestAllPureMIPSModelsAreEncoders(t *testing.T) {
+	for _, name := range Names() {
+		m, err := New(name, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok := m.(Encoder)
+		if name == "repeatnet" {
+			if ok {
+				t.Fatalf("repeatnet must not be an Encoder (repeat/explore mixing)")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s: expected Encoder", name)
+		}
+	}
+}
+
+// TestEncodeMatchesRecommend: encoding then exact MIPS must equal the
+// model's own Recommend for every Encoder model.
+func TestEncodeMatchesRecommend(t *testing.T) {
+	session := []int64{3, 17, 42, 9}
+	for _, name := range Names() {
+		m, _ := New(name, testConfig())
+		enc, ok := m.(Encoder)
+		if !ok {
+			continue
+		}
+		rep := enc.Encode(session)
+		manual := topk.TopK(enc.ItemEmbeddings(), rep, m.Config().TopK)
+		direct := m.Recommend(session)
+		for i := range direct {
+			if manual[i].Item != direct[i].Item {
+				t.Fatalf("%s pos %d: manual %d != direct %d", name, i, manual[i].Item, direct[i].Item)
+			}
+		}
+	}
+}
+
+// TestWithRetrievalExactEquivalence: wrapping a model with an exact-MIPS
+// retriever reproduces its native recommendations.
+func TestWithRetrievalExactEquivalence(t *testing.T) {
+	m, _ := New("stamp", testConfig())
+	enc := m.(Encoder)
+	exact := RetrieverFunc(func(q *tensor.Tensor, k int) ([]topk.Result, error) {
+		return topk.TopK(enc.ItemEmbeddings(), q, k), nil
+	})
+	wrapped, err := WithRetrieval(enc, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Name() != "stamp+retrieval" {
+		t.Fatalf("name = %s", wrapped.Name())
+	}
+	if wrapped.Config() != m.Config() {
+		t.Fatalf("config not forwarded")
+	}
+	for _, session := range [][]int64{{1}, {5, 9, 13}, {}} {
+		a, b := m.Recommend(session), wrapped.Recommend(session)
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Item != b[i].Item {
+				t.Fatalf("session %v pos %d: %d != %d", session, i, a[i].Item, b[i].Item)
+			}
+		}
+	}
+}
+
+func TestWithRetrievalValidation(t *testing.T) {
+	m, _ := New("core", testConfig())
+	if _, err := WithRetrieval(nil, RetrieverFunc(nil)); err == nil {
+		t.Fatalf("nil model accepted")
+	}
+	if _, err := WithRetrieval(m.(Encoder), nil); err == nil {
+		t.Fatalf("nil retriever accepted")
+	}
+}
+
+// TestWithRetrievalErrorsYieldEmpty: a failing retriever degrades to an
+// empty recommendation list rather than a panic in the serving path.
+func TestWithRetrievalErrorsYieldEmpty(t *testing.T) {
+	m, _ := New("core", testConfig())
+	boom := RetrieverFunc(func(q *tensor.Tensor, k int) ([]topk.Result, error) {
+		return nil, errBoom
+	})
+	wrapped, err := WithRetrieval(m.(Encoder), boom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wrapped.Recommend([]int64{1}); got != nil {
+		t.Fatalf("failing retriever returned %v", got)
+	}
+}
+
+type boomErr struct{}
+
+func (boomErr) Error() string { return "boom" }
+
+var errBoom = boomErr{}

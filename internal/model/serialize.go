@@ -1,0 +1,132 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight archive format (all little-endian):
+//
+//	magic   uint32  0x45545544 ("ETUD")
+//	version uint32  1
+//	count   uint32  number of tensors
+//	per tensor:
+//	  dims  uint32, shape dims × uint32, data len(prod) × float32
+//
+// The archive carries no names: tensors are written and read in the
+// deterministic Params() order, which the manifest's model name and config
+// pin down. This mirrors how the paper ships serialised TorchScript
+// archives to buckets for the inference server to deploy.
+const (
+	weightsMagic   = 0x45545544
+	weightsVersion = 1
+)
+
+// SaveWeights serialises a model's parameters.
+func SaveWeights(m Model) ([]byte, error) {
+	src, ok := m.(ParamSource)
+	if !ok {
+		return nil, fmt.Errorf("model: %s does not expose parameters", m.Name())
+	}
+	params := src.Params()
+	var buf bytes.Buffer
+	w := func(v any) {
+		// bytes.Buffer writes cannot fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(uint32(weightsMagic))
+	w(uint32(weightsVersion))
+	w(uint32(len(params)))
+	for _, p := range params {
+		shape := p.Shape()
+		w(uint32(len(shape)))
+		for _, d := range shape {
+			w(uint32(d))
+		}
+		w(p.Data())
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadWeights restores serialised parameters into a model of the same
+// architecture and configuration. Any shape mismatch is an error and leaves
+// already-copied tensors modified — construct a fresh model on failure.
+func LoadWeights(m Model, data []byte) error {
+	src, ok := m.(ParamSource)
+	if !ok {
+		return fmt.Errorf("model: %s does not expose parameters", m.Name())
+	}
+	r := bytes.NewReader(data)
+	var magic, version, count uint32
+	if err := readU32s(r, &magic, &version, &count); err != nil {
+		return fmt.Errorf("model: weights header: %w", err)
+	}
+	if magic != weightsMagic {
+		return fmt.Errorf("model: bad weights magic %#x", magic)
+	}
+	if version != weightsVersion {
+		return fmt.Errorf("model: unsupported weights version %d", version)
+	}
+	params := src.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("model: archive has %d tensors, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		var dims uint32
+		if err := readU32s(r, &dims); err != nil {
+			return fmt.Errorf("model: tensor %d dims: %w", i, err)
+		}
+		if dims == 0 || dims > 8 {
+			return fmt.Errorf("model: tensor %d has implausible rank %d", i, dims)
+		}
+		shape := make([]int, dims)
+		elems := 1
+		for j := range shape {
+			var d uint32
+			if err := readU32s(r, &d); err != nil {
+				return fmt.Errorf("model: tensor %d shape: %w", i, err)
+			}
+			if d > math.MaxInt32 {
+				return fmt.Errorf("model: tensor %d dimension overflow", i)
+			}
+			shape[j] = int(d)
+			elems *= int(d)
+		}
+		want := p.Shape()
+		if !shapesEqual(shape, want) {
+			return fmt.Errorf("model: tensor %d shape %v, model expects %v", i, shape, want)
+		}
+		if err := binary.Read(r, binary.LittleEndian, p.Data()); err != nil {
+			return fmt.Errorf("model: tensor %d data: %w", i, err)
+		}
+		_ = elems
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("model: %d trailing bytes in weights archive", r.Len())
+	}
+	return nil
+}
+
+func readU32s(r io.Reader, out ...*uint32) error {
+	for _, o := range out {
+		if err := binary.Read(r, binary.LittleEndian, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math"
+
+	"etude/internal/tensor"
+)
+
+// MultiHeadAttention is standard scaled dot-product self-attention with h
+// heads over a [seqLen, dim] input, as used by SASRec, GC-SAN and CORE.
+type MultiHeadAttention struct {
+	WQ, WK, WV, WO *Linear
+	Heads          int
+	dim            int
+}
+
+// NewMultiHeadAttention returns an initialised attention block. dim must be
+// divisible by heads.
+func NewMultiHeadAttention(in *Initializer, dim, heads int) *MultiHeadAttention {
+	if heads <= 0 || dim%heads != 0 {
+		panic("nn: dim must be divisible by heads")
+	}
+	return &MultiHeadAttention{
+		WQ:    NewLinear(in, dim, dim),
+		WK:    NewLinear(in, dim, dim),
+		WV:    NewLinear(in, dim, dim),
+		WO:    NewLinear(in, dim, dim),
+		Heads: heads,
+		dim:   dim,
+	}
+}
+
+// Forward computes self-attention over x ([seqLen, dim]). If causal is true,
+// position i attends only to positions ≤ i (the SASRec masking).
+func (a *MultiHeadAttention) Forward(x *tensor.Tensor, causal bool) *tensor.Tensor {
+	seqLen := x.Dim(0)
+	q := a.WQ.Forward(x)
+	k := a.WK.Forward(x)
+	v := a.WV.Forward(x)
+
+	headDim := a.dim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(headDim)))
+	out := tensor.New(seqLen, a.dim)
+
+	scores := tensor.New(seqLen, seqLen)
+	for h := 0; h < a.Heads; h++ {
+		off := h * headDim
+		// scores[i][j] = q_i · k_j over this head's slice.
+		for i := 0; i < seqLen; i++ {
+			qi := q.Data()[i*a.dim+off : i*a.dim+off+headDim]
+			srow := scores.Data()[i*seqLen : (i+1)*seqLen]
+			for j := 0; j < seqLen; j++ {
+				if causal && j > i {
+					srow[j] = float32(math.Inf(-1))
+					continue
+				}
+				kj := k.Data()[j*a.dim+off : j*a.dim+off+headDim]
+				srow[j] = tensor.Dot(qi, kj) * scale
+			}
+		}
+		scores.SoftmaxRows()
+		// out slice = scores × v over this head's slice.
+		for i := 0; i < seqLen; i++ {
+			orow := out.Data()[i*a.dim+off : i*a.dim+off+headDim]
+			srow := scores.Data()[i*seqLen : (i+1)*seqLen]
+			for j := 0; j < seqLen; j++ {
+				w := srow[j]
+				if w == 0 {
+					continue
+				}
+				vj := v.Data()[j*a.dim+off : j*a.dim+off+headDim]
+				for c := range orow {
+					orow[c] += w * vj[c]
+				}
+			}
+		}
+	}
+	return a.WO.Forward(out)
+}
+
+// LowRankAttention implements the LightSANs-style low-rank decomposed
+// self-attention: instead of L×L attention, each position attends over kLat
+// learned latent interest vectors, reducing the quadratic term to L×kLat.
+type LowRankAttention struct {
+	WQ, WK, WV, WO *Linear
+	Latents        *tensor.Tensor // [kLat, dim] learned latent interests
+	dim            int
+}
+
+// NewLowRankAttention returns an initialised low-rank attention block with
+// kLat latent interests.
+func NewLowRankAttention(in *Initializer, dim, kLat int) *LowRankAttention {
+	return &LowRankAttention{
+		WQ:      NewLinear(in, dim, dim),
+		WK:      NewLinear(in, dim, dim),
+		WV:      NewLinear(in, dim, dim),
+		WO:      NewLinear(in, dim, dim),
+		Latents: in.Xavier(kLat, dim),
+		dim:     dim,
+	}
+}
+
+// Forward computes item-to-interest attention over x ([seqLen, dim]):
+// the sequence is first aggregated into the kLat latent interests (interest-
+// to-item attention), then each position attends over the aggregated
+// interests (item-to-interest attention).
+func (a *LowRankAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	k := a.WK.Forward(x)
+	v := a.WV.Forward(x)
+
+	// Interest aggregation: latents attend over the sequence.
+	aggScores := tensor.MatMul(a.Latents, tensor.Transpose(k)) // [kLat, seqLen]
+	aggScores.ScaleInPlace(float32(1 / math.Sqrt(float64(a.dim))))
+	aggScores.SoftmaxRows()
+	agg := tensor.MatMul(aggScores, v) // [kLat, dim]
+
+	// Item-to-interest attention: each position attends over agg.
+	q := a.WQ.Forward(x)
+	scores := tensor.MatMul(q, tensor.Transpose(agg)) // [seqLen, kLat]
+	scores.ScaleInPlace(float32(1 / math.Sqrt(float64(a.dim))))
+	scores.SoftmaxRows()
+	out := tensor.MatMul(scores, agg) // [seqLen, dim]
+	return a.WO.Forward(out)
+}
+
+// AdditiveAttention is the NARM/STAMP-style attention: score for each
+// position is vᵀ·σ(W1·q + W2·h_t) where q is a query vector and h_t the
+// sequence states.
+type AdditiveAttention struct {
+	W1, W2 *Linear
+	V      *tensor.Tensor // [dim]
+}
+
+// NewAdditiveAttention returns an initialised additive attention block.
+func NewAdditiveAttention(in *Initializer, dim int) *AdditiveAttention {
+	return &AdditiveAttention{
+		W1: NewLinearNoBias(in, dim, dim),
+		W2: NewLinearNoBias(in, dim, dim),
+		V:  in.Xavier(dim),
+	}
+}
+
+// Weights returns the unnormalised attention scores of query against each
+// row of states ([seqLen, dim]).
+func (a *AdditiveAttention) Weights(query *tensor.Tensor, states *tensor.Tensor) *tensor.Tensor {
+	seqLen := states.Dim(0)
+	wq := a.W1.ForwardVec(query)
+	ws := a.W2.Forward(states)
+	out := tensor.New(seqLen)
+	for t := 0; t < seqLen; t++ {
+		row := ws.Row(t).Clone()
+		row.AddInPlace(wq)
+		row.Sigmoid()
+		out.Data()[t] = tensor.Dot(a.V.Data(), row.Data())
+	}
+	return out
+}
+
+// Apply returns the weighted sum of states by the (already normalised or
+// unnormalised) weights w: Σ_t w_t · states_t.
+func Apply(w, states *tensor.Tensor) *tensor.Tensor {
+	dim := states.Dim(1)
+	out := tensor.New(dim)
+	oD := out.Data()
+	for t := 0; t < states.Dim(0); t++ {
+		wt := w.Data()[t]
+		row := states.Data()[t*dim : (t+1)*dim]
+		for c := range oD {
+			oD[c] += wt * row[c]
+		}
+	}
+	return out
+}
+
+func exp32(v float32) float32 {
+	return float32(math.Exp(float64(v)))
+}
+
+func tanh32(v float32) float32 {
+	return float32(math.Tanh(float64(v)))
+}

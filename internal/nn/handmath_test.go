@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"etude/internal/tensor"
+)
+
+// TestGRUCellHandComputed verifies the GRU recurrence against a fully
+// hand-computed 1-dimensional case:
+//
+//	r = σ(x·Wir + h·Whr)   z = σ(x·Wiz + h·Whz)
+//	n = tanh(x·Win + r·(h·Whn))   h' = (1−z)·n + z·h
+func TestGRUCellHandComputed(t *testing.T) {
+	cell := &GRUCell{
+		// Layout: [reset | update | new] along the 3*hidden axis.
+		Wi: tensor.FromSlice([]float32{0.5, -0.25, 1.0}, 1, 3),
+		Wh: tensor.FromSlice([]float32{0.2, 0.3, -0.4}, 1, 3),
+		Bi: tensor.New(3),
+		Bh: tensor.New(3),
+	}
+	cell.inDim, cell.hidden = 1, 1
+
+	x := tensor.FromSlice([]float32{2}, 1)
+	h := tensor.FromSlice([]float32{0.5}, 1)
+	got := cell.Step(x, h).At(0)
+
+	sig := func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+	r := sig(2*0.5 + 0.5*0.2)   // σ(1.1)
+	z := sig(2*-0.25 + 0.5*0.3) // σ(-0.35)
+	n := math.Tanh(2*1.0 + r*(0.5*-0.4))
+	want := (1-z)*n + z*0.5
+
+	if math.Abs(float64(got)-want) > 1e-5 {
+		t.Fatalf("GRU step = %v, hand-computed %v", got, want)
+	}
+}
+
+// TestMHAUniformAttention: with zero-initialised Q and K projections every
+// attention weight is uniform, so each output position is the mean of the
+// projected values (plus the output projection).
+func TestMHAUniformAttention(t *testing.T) {
+	in := NewInitializer(1)
+	const d = 4
+	mha := &MultiHeadAttention{
+		WQ:    &Linear{Weight: tensor.New(d, d), Bias: tensor.New(d)},
+		WK:    &Linear{Weight: tensor.New(d, d), Bias: tensor.New(d)},
+		WV:    &Linear{Weight: identity(d), Bias: tensor.New(d)},
+		WO:    &Linear{Weight: identity(d), Bias: tensor.New(d)},
+		Heads: 1,
+		dim:   d,
+	}
+	x := in.Normal(1, 3, d)
+	out := mha.Forward(x, false)
+
+	mean := tensor.New(d)
+	for i := 0; i < 3; i++ {
+		mean.AddInPlace(x.Row(i))
+	}
+	mean.ScaleInPlace(1.0 / 3)
+	for i := 0; i < 3; i++ {
+		if !out.Row(i).AllClose(mean, 1e-5) {
+			t.Fatalf("position %d: %v, want mean %v", i, out.Row(i).Data(), mean.Data())
+		}
+	}
+}
+
+// TestMHACausalFirstPositionSelfOnly: with a causal mask, position 0 can
+// only attend to itself, so (with identity V/O) its output equals its own
+// value regardless of Q/K.
+func TestMHACausalFirstPositionSelfOnly(t *testing.T) {
+	in := NewInitializer(2)
+	const d = 4
+	mha := &MultiHeadAttention{
+		WQ:    NewLinear(in, d, d),
+		WK:    NewLinear(in, d, d),
+		WV:    &Linear{Weight: identity(d), Bias: tensor.New(d)},
+		WO:    &Linear{Weight: identity(d), Bias: tensor.New(d)},
+		Heads: 2,
+		dim:   d,
+	}
+	x := in.Normal(1, 5, d)
+	out := mha.Forward(x, true)
+	if !out.Row(0).AllClose(x.Row(0), 1e-5) {
+		t.Fatalf("causal position 0 = %v, want its own value %v", out.Row(0).Data(), x.Row(0).Data())
+	}
+}
+
+// TestAdditiveAttentionZeroWeightsUniform: zero V vector gives zero scores
+// everywhere, so softmaxed application is the uniform mean.
+func TestAdditiveAttentionZeroV(t *testing.T) {
+	in := NewInitializer(3)
+	aa := &AdditiveAttention{
+		W1: NewLinearNoBias(in, 4, 4),
+		W2: NewLinearNoBias(in, 4, 4),
+		V:  tensor.New(4),
+	}
+	states := in.Normal(1, 6, 4)
+	w := aa.Weights(in.Normal(1, 4), states)
+	for _, v := range w.Data() {
+		if v != 0 {
+			t.Fatalf("zero V must give zero scores, got %v", w.Data())
+		}
+	}
+}
+
+// TestLowRankAttentionSinglePosition: with one position, item-to-interest
+// attention over any latents returns a convex combination of that single
+// value row, so the output equals WO(WV(x)) row exactly when aggregation
+// weights sum to 1.
+func TestLowRankAttentionSinglePosition(t *testing.T) {
+	in := NewInitializer(4)
+	const d = 4
+	lra := &LowRankAttention{
+		WQ:      NewLinear(in, d, d),
+		WK:      NewLinear(in, d, d),
+		WV:      &Linear{Weight: identity(d), Bias: tensor.New(d)},
+		WO:      &Linear{Weight: identity(d), Bias: tensor.New(d)},
+		Latents: in.Xavier(3, d),
+		dim:     d,
+	}
+	x := in.Normal(1, 1, d)
+	out := lra.Forward(x)
+	if !out.Row(0).AllClose(x.Row(0), 1e-5) {
+		t.Fatalf("single-position low-rank attention = %v, want %v", out.Row(0).Data(), x.Row(0).Data())
+	}
+}
+
+// TestGGNNSelfLoopFreeSingleNode: a single-node session graph has no edges,
+// so both message aggregates are the zero vector and the GRU gate decides
+// the update deterministically from zero input.
+func TestGGNNSingleNodeNoMessages(t *testing.T) {
+	in := NewInitializer(5)
+	cell := NewGGNNCell(in, 4)
+	g := BuildSessionGraph([]int64{42})
+	h := in.Normal(1, 1, 4)
+	got := cell.Propagate(g, h, 1)
+
+	zeroMsg := tensor.New(8)
+	want := cell.Gate.Step(zeroMsg, h.Row(0))
+	if !got.Row(0).AllClose(want, 1e-6) {
+		t.Fatalf("single node GGNN: %v, want gate(0, h) = %v", got.Row(0).Data(), want.Data())
+	}
+}
+
+func identity(d int) *tensor.Tensor {
+	m := tensor.New(d, d)
+	for i := 0; i < d; i++ {
+		m.Set(1, i, i)
+	}
+	return m
+}

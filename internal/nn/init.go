@@ -1,0 +1,77 @@
+// Package nn provides the neural-network layers used by the session-based
+// recommendation models in internal/model: embeddings, linear maps, GRUs,
+// multi-head and low-rank self-attention, feed-forward blocks, layer
+// normalisation and gated graph neural network cells.
+//
+// Layers hold their parameters as tensors and expose Forward methods that
+// operate on single sessions (2-D [seqLen, dim] inputs); there is no training
+// support because the paper — and this reproduction — measures inference
+// latency with randomly initialised weights.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"etude/internal/tensor"
+)
+
+// Initializer deterministically fills parameter tensors from a seeded PRNG.
+// All model weights in the repository flow from an Initializer so that every
+// experiment is reproducible from a single seed.
+type Initializer struct {
+	rng *rand.Rand
+}
+
+// NewInitializer returns an Initializer seeded with seed.
+func NewInitializer(seed int64) *Initializer {
+	return &Initializer{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Xavier fills a new tensor with Glorot-uniform values, the RecBole default
+// for embedding and projection weights.
+func (in *Initializer) Xavier(shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	fanIn, fanOut := fans(shape)
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	d := t.Data()
+	for i := range d {
+		d[i] = (in.rng.Float32()*2 - 1) * limit
+	}
+	return t
+}
+
+// Normal fills a new tensor with N(0, std²) values.
+func (in *Initializer) Normal(std float64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(in.rng.NormFloat64() * std)
+	}
+	return t
+}
+
+// Zeros returns a zero tensor (bias initialisation).
+func (in *Initializer) Zeros(shape ...int) *tensor.Tensor {
+	return tensor.New(shape...)
+}
+
+// Ones returns a tensor of ones (layer-norm gain initialisation).
+func (in *Initializer) Ones(shape ...int) *tensor.Tensor {
+	return tensor.Full(1, shape...)
+}
+
+func fans(shape []int) (fanIn, fanOut int) {
+	switch len(shape) {
+	case 1:
+		return shape[0], shape[0]
+	default:
+		fanIn = shape[len(shape)-2]
+		fanOut = shape[len(shape)-1]
+		for _, d := range shape[:len(shape)-2] {
+			fanIn *= d
+			fanOut *= d
+		}
+		return fanIn, fanOut
+	}
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+
+	"etude/internal/tensor"
+)
+
+// Embedding maps item ids to d-dimensional vectors. The weight matrix rows
+// double as the catalog representation scored by the final MIPS stage.
+type Embedding struct {
+	Weight *tensor.Tensor // [numItems, dim]
+}
+
+// NewEmbedding returns an Xavier-initialised embedding table.
+func NewEmbedding(in *Initializer, numItems, dim int) *Embedding {
+	return &Embedding{Weight: in.Xavier(numItems, dim)}
+}
+
+// NumItems returns the vocabulary size.
+func (e *Embedding) NumItems() int { return e.Weight.Dim(0) }
+
+// Dim returns the embedding dimension.
+func (e *Embedding) Dim() int { return e.Weight.Dim(1) }
+
+// Lookup gathers the rows for ids into a new [len(ids), dim] tensor.
+func (e *Embedding) Lookup(ids []int64) *tensor.Tensor {
+	d := e.Dim()
+	out := tensor.New(len(ids), d)
+	for i, id := range ids {
+		if id < 0 || id >= int64(e.NumItems()) {
+			panic(fmt.Sprintf("nn: embedding id %d out of range [0,%d)", id, e.NumItems()))
+		}
+		copy(out.Data()[i*d:(i+1)*d], e.Weight.Row(int(id)).Data())
+	}
+	return out
+}
+
+// LookupOne gathers a single row into a new length-dim tensor.
+func (e *Embedding) LookupOne(id int64) *tensor.Tensor {
+	return e.Weight.Row(int(id)).Clone()
+}
+
+// Linear is a dense affine map y = xW + b.
+type Linear struct {
+	Weight *tensor.Tensor // [in, out]
+	Bias   *tensor.Tensor // [out] or nil
+}
+
+// NewLinear returns an Xavier-initialised linear layer with bias.
+func NewLinear(in *Initializer, inDim, outDim int) *Linear {
+	return &Linear{Weight: in.Xavier(inDim, outDim), Bias: in.Zeros(outDim)}
+}
+
+// NewLinearNoBias returns an Xavier-initialised linear layer without bias.
+func NewLinearNoBias(in *Initializer, inDim, outDim int) *Linear {
+	return &Linear{Weight: in.Xavier(inDim, outDim)}
+}
+
+// Forward applies the layer to a [n, in] matrix, returning [n, out].
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.MatMul(x, l.Weight)
+	if l.Bias != nil {
+		out.AddRowVector(l.Bias)
+	}
+	return out
+}
+
+// ForwardVec applies the layer to a single length-in vector.
+func (l *Linear) ForwardVec(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.MatVec(tensor.Transpose(l.Weight), x)
+	if l.Bias != nil {
+		out.AddInPlace(l.Bias)
+	}
+	return out
+}
+
+// LayerNorm is layer normalisation with learned gain and bias.
+type LayerNorm struct {
+	Gamma *tensor.Tensor
+	Beta  *tensor.Tensor
+	Eps   float32
+}
+
+// NewLayerNorm returns a LayerNorm over vectors of length dim.
+func NewLayerNorm(in *Initializer, dim int) *LayerNorm {
+	return &LayerNorm{Gamma: in.Ones(dim), Beta: in.Zeros(dim), Eps: 1e-6}
+}
+
+// Forward normalises each row of x in a new tensor.
+func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	if out.Dims() == 1 {
+		out.LayerNorm(ln.Gamma, ln.Beta, ln.Eps)
+	} else {
+		out.LayerNormRows(ln.Gamma, ln.Beta, ln.Eps)
+	}
+	return out
+}
+
+// GRUCell is a single gated recurrent unit step.
+//
+//	r = σ(x·Wir + h·Whr + br)
+//	z = σ(x·Wiz + h·Whz + bz)
+//	n = tanh(x·Win + r ⊙ (h·Whn) + bn)
+//	h' = (1-z) ⊙ n + z ⊙ h
+type GRUCell struct {
+	Wi *tensor.Tensor // [in, 3*hidden]: reset | update | new
+	Wh *tensor.Tensor // [hidden, 3*hidden]
+	Bi *tensor.Tensor // [3*hidden]
+	Bh *tensor.Tensor // [3*hidden]
+
+	inDim, hidden int
+}
+
+// NewGRUCell returns an initialised GRU cell.
+func NewGRUCell(in *Initializer, inDim, hidden int) *GRUCell {
+	return &GRUCell{
+		Wi:     in.Xavier(inDim, 3*hidden),
+		Wh:     in.Xavier(hidden, 3*hidden),
+		Bi:     in.Zeros(3 * hidden),
+		Bh:     in.Zeros(3 * hidden),
+		inDim:  inDim,
+		hidden: hidden,
+	}
+}
+
+// Hidden returns the hidden-state size.
+func (g *GRUCell) Hidden() int { return g.hidden }
+
+// Step computes the next hidden state for input x (length inDim) and
+// previous hidden state h (length hidden).
+func (g *GRUCell) Step(x, h *tensor.Tensor) *tensor.Tensor {
+	gi := tensor.MatVec(tensor.Transpose(g.Wi), x)
+	gi.AddInPlace(g.Bi)
+	gh := tensor.MatVec(tensor.Transpose(g.Wh), h)
+	gh.AddInPlace(g.Bh)
+	return g.combine(gi, gh, h)
+}
+
+// StepInto is the pre-transposed fast path used by compiled plans: wiT and
+// whT are [3*hidden, in] and [3*hidden, hidden] transposed weights, and the
+// caller supplies scratch buffers to avoid allocation.
+func (g *GRUCell) StepInto(dst, x, h, wiT, whT, giBuf, ghBuf *tensor.Tensor) {
+	tensor.MatVecInto(giBuf, wiT, x)
+	giBuf.AddInPlace(g.Bi)
+	tensor.MatVecInto(ghBuf, whT, h)
+	ghBuf.AddInPlace(g.Bh)
+	hNew := g.combine(giBuf, ghBuf, h)
+	dst.CopyFrom(hNew)
+}
+
+func (g *GRUCell) combine(gi, gh, h *tensor.Tensor) *tensor.Tensor {
+	hd := g.hidden
+	giD, ghD, hD := gi.Data(), gh.Data(), h.Data()
+	out := tensor.New(hd)
+	oD := out.Data()
+	for j := 0; j < hd; j++ {
+		r := sigmoid32(giD[j] + ghD[j])
+		z := sigmoid32(giD[hd+j] + ghD[hd+j])
+		n := tanh32(giD[2*hd+j] + r*ghD[2*hd+j])
+		oD[j] = (1-z)*n + z*hD[j]
+	}
+	return out
+}
+
+// GRU runs one or more stacked GRU layers over a sequence.
+type GRU struct {
+	Cells []*GRUCell
+}
+
+// NewGRU returns numLayers stacked GRU cells; the first maps inDim→hidden,
+// the rest hidden→hidden.
+func NewGRU(in *Initializer, inDim, hidden, numLayers int) *GRU {
+	cells := make([]*GRUCell, numLayers)
+	for i := range cells {
+		d := hidden
+		if i == 0 {
+			d = inDim
+		}
+		cells[i] = NewGRUCell(in, d, hidden)
+	}
+	return &GRU{Cells: cells}
+}
+
+// Forward runs the stack over x ([seqLen, inDim]) and returns all top-layer
+// hidden states as [seqLen, hidden].
+func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	seqLen := x.Dim(0)
+	cur := x
+	for _, cell := range g.Cells {
+		states := tensor.New(seqLen, cell.Hidden())
+		h := tensor.New(cell.Hidden())
+		for t := 0; t < seqLen; t++ {
+			h = cell.Step(cur.Row(t), h)
+			copy(states.Data()[t*cell.Hidden():(t+1)*cell.Hidden()], h.Data())
+		}
+		cur = states
+	}
+	return cur
+}
+
+// FeedForward is the transformer position-wise two-layer MLP with GELU.
+type FeedForward struct {
+	W1, W2 *Linear
+}
+
+// NewFeedForward returns a dim → inner → dim feed-forward block.
+func NewFeedForward(in *Initializer, dim, inner int) *FeedForward {
+	return &FeedForward{W1: NewLinear(in, dim, inner), W2: NewLinear(in, inner, dim)}
+}
+
+// Forward applies the block row-wise to [n, dim].
+func (f *FeedForward) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := f.W1.Forward(x)
+	h.GELU()
+	return f.W2.Forward(h)
+}
+
+func sigmoid32(v float32) float32 {
+	return 1 / (1 + exp32(-v))
+}

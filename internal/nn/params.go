@@ -1,0 +1,76 @@
+package nn
+
+import "etude/internal/tensor"
+
+// ParamSource exposes a module's learnable parameters in a deterministic
+// order, which is the contract weight serialisation (internal/model's
+// SaveWeights/LoadWeights) relies on: saving and loading walk the same
+// parameter sequence.
+type ParamSource interface {
+	Params() []*tensor.Tensor
+}
+
+// Params implements ParamSource.
+func (e *Embedding) Params() []*tensor.Tensor { return []*tensor.Tensor{e.Weight} }
+
+// Params implements ParamSource. Biasless layers contribute one tensor.
+func (l *Linear) Params() []*tensor.Tensor {
+	if l.Bias == nil {
+		return []*tensor.Tensor{l.Weight}
+	}
+	return []*tensor.Tensor{l.Weight, l.Bias}
+}
+
+// Params implements ParamSource.
+func (ln *LayerNorm) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{ln.Gamma, ln.Beta}
+}
+
+// Params implements ParamSource.
+func (g *GRUCell) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{g.Wi, g.Wh, g.Bi, g.Bh}
+}
+
+// Params implements ParamSource.
+func (g *GRU) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, c := range g.Cells {
+		out = append(out, c.Params()...)
+	}
+	return out
+}
+
+// Params implements ParamSource.
+func (f *FeedForward) Params() []*tensor.Tensor {
+	return append(f.W1.Params(), f.W2.Params()...)
+}
+
+// Params implements ParamSource.
+func (a *MultiHeadAttention) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range []*Linear{a.WQ, a.WK, a.WV, a.WO} {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Params implements ParamSource.
+func (a *LowRankAttention) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range []*Linear{a.WQ, a.WK, a.WV, a.WO} {
+		out = append(out, l.Params()...)
+	}
+	return append(out, a.Latents)
+}
+
+// Params implements ParamSource.
+func (a *AdditiveAttention) Params() []*tensor.Tensor {
+	out := append(a.W1.Params(), a.W2.Params()...)
+	return append(out, a.V)
+}
+
+// Params implements ParamSource.
+func (c *GGNNCell) Params() []*tensor.Tensor {
+	out := append(c.WIn.Params(), c.WOut.Params()...)
+	return append(out, c.Gate.Params()...)
+}

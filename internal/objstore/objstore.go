@@ -1,0 +1,202 @@
+// Package objstore is the Google-Cloud-Storage stand-in of this
+// reproduction: a bucket abstraction that the benchmark uses exactly the way
+// ETUDE uses GCS — the inference server deploys serialised models from a
+// bucket, and experiment measurements are written to a bucket upon
+// termination.
+//
+// Two implementations are provided: an in-memory bucket for tests and
+// simulations, and a filesystem bucket for the CLI tools.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a key does not exist in the bucket.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// Bucket stores named byte objects.
+type Bucket interface {
+	// Put stores data under key, overwriting any existing object.
+	Put(key string, data []byte) error
+	// Get retrieves the object at key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// List returns all keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Delete removes the object at key (no error if absent).
+	Delete(key string) error
+}
+
+// MemBucket is an in-memory Bucket, safe for concurrent use. The zero value
+// is ready to use.
+type MemBucket struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemBucket returns an empty in-memory bucket.
+func NewMemBucket() *MemBucket {
+	return &MemBucket{objects: make(map[string][]byte)}
+}
+
+// Put implements Bucket.
+func (b *MemBucket) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.objects == nil {
+		b.objects = make(map[string][]byte)
+	}
+	b.objects[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Bucket.
+func (b *MemBucket) Get(key string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Bucket.
+func (b *MemBucket) List(prefix string) ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var keys []string
+	for k := range b.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Bucket.
+func (b *MemBucket) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.objects, key)
+	return nil
+}
+
+// FSBucket stores objects as files under a root directory. Keys may contain
+// forward slashes, which map to subdirectories.
+type FSBucket struct {
+	root string
+}
+
+// NewFSBucket returns a bucket rooted at dir, creating it if necessary.
+func NewFSBucket(dir string) (*FSBucket, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: creating bucket root: %w", err)
+	}
+	return &FSBucket{root: dir}, nil
+}
+
+func (b *FSBucket) path(key string) (string, error) {
+	if err := checkKey(key); err != nil {
+		return "", err
+	}
+	p := filepath.Join(b.root, filepath.FromSlash(key))
+	// Reject traversal outside the root.
+	rel, err := filepath.Rel(b.root, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("objstore: key %q escapes bucket root", key)
+	}
+	return p, nil
+}
+
+// Put implements Bucket.
+func (b *FSBucket) Put(key string, data []byte) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("objstore: creating object dir: %w", err)
+	}
+	// Write-then-rename for atomic replacement.
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("objstore: writing object: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("objstore: committing object: %w", err)
+	}
+	return nil
+}
+
+// Get implements Bucket.
+func (b *FSBucket) Get(key string) ([]byte, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("objstore: reading object: %w", err)
+	}
+	return data, nil
+}
+
+// List implements Bucket.
+func (b *FSBucket) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.Walk(b.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return err
+		}
+		rel, err := filepath.Rel(b.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("objstore: listing bucket: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Bucket.
+func (b *FSBucket) Delete(key string) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("objstore: deleting object: %w", err)
+	}
+	return nil
+}
+
+func checkKey(key string) error {
+	if key == "" {
+		return errors.New("objstore: empty key")
+	}
+	if strings.Contains(key, "..") {
+		return fmt.Errorf("objstore: key %q contains '..'", key)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package objstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func buckets(t *testing.T) map[string]Bucket {
+	t.Helper()
+	fs, err := NewFSBucket(filepath.Join(t.TempDir(), "bucket"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Bucket{
+		"mem": NewMemBucket(),
+		"fs":  fs,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, b := range buckets(t) {
+		if err := b.Put("results/run1.json", []byte("hello")); err != nil {
+			t.Fatalf("%s: Put: %v", name, err)
+		}
+		got, err := b.Get("results/run1.json")
+		if err != nil {
+			t.Fatalf("%s: Get: %v", name, err)
+		}
+		if string(got) != "hello" {
+			t.Fatalf("%s: got %q", name, got)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	for name, b := range buckets(t) {
+		_, err := b.Get("nope")
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("%s: want ErrNotFound, got %v", name, err)
+		}
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	for name, b := range buckets(t) {
+		mustPut(t, b, "k", "v1")
+		mustPut(t, b, "k", "v2")
+		got, _ := b.Get("k")
+		if string(got) != "v2" {
+			t.Fatalf("%s: got %q after overwrite", name, got)
+		}
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	for name, b := range buckets(t) {
+		mustPut(t, b, "models/gru4rec.json", "a")
+		mustPut(t, b, "models/stamp.json", "b")
+		mustPut(t, b, "results/x.json", "c")
+		keys, err := b.List("models/")
+		if err != nil {
+			t.Fatalf("%s: List: %v", name, err)
+		}
+		if len(keys) != 2 || keys[0] != "models/gru4rec.json" || keys[1] != "models/stamp.json" {
+			t.Fatalf("%s: List = %v", name, keys)
+		}
+		all, _ := b.List("")
+		if len(all) != 3 {
+			t.Fatalf("%s: List(\"\") = %v", name, all)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, b := range buckets(t) {
+		mustPut(t, b, "k", "v")
+		if err := b.Delete("k"); err != nil {
+			t.Fatalf("%s: Delete: %v", name, err)
+		}
+		if _, err := b.Get("k"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("%s: object survived delete", name)
+		}
+		// Deleting again is fine.
+		if err := b.Delete("k"); err != nil {
+			t.Fatalf("%s: idempotent delete: %v", name, err)
+		}
+	}
+}
+
+func TestBadKeys(t *testing.T) {
+	for name, b := range buckets(t) {
+		if err := b.Put("", []byte("x")); err == nil {
+			t.Fatalf("%s: empty key accepted", name)
+		}
+		if err := b.Put("../escape", []byte("x")); err == nil {
+			t.Fatalf("%s: traversal key accepted", name)
+		}
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	b := NewMemBucket()
+	mustPut(t, b, "k", "abc")
+	got, _ := b.Get("k")
+	got[0] = 'X'
+	again, _ := b.Get("k")
+	if string(again) != "abc" {
+		t.Fatalf("bucket contents mutated through returned slice")
+	}
+}
+
+func TestMemBucketConcurrent(t *testing.T) {
+	b := NewMemBucket()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			key := "k" + string('0'+id)
+			for i := 0; i < 200; i++ {
+				_ = b.Put(key, []byte{id})
+				if _, err := b.Get(key); err != nil {
+					t.Errorf("Get(%s): %v", key, err)
+					return
+				}
+				_, _ = b.List("")
+			}
+		}(byte(w))
+	}
+	wg.Wait()
+}
+
+func TestFSBucketPersistsAcrossOpens(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bucket")
+	b1, err := NewFSBucket(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, b1, "nested/deep/key.txt", "persisted")
+	b2, err := NewFSBucket(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Get("nested/deep/key.txt")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("reopen: %q %v", got, err)
+	}
+}
+
+func mustPut(t *testing.T, b Bucket, key, val string) {
+	t.Helper()
+	if err := b.Put(key, []byte(val)); err != nil {
+		t.Fatalf("Put(%s): %v", key, err)
+	}
+}
+
+func TestNewFSBucketOnFile(t *testing.T) {
+	// A root path that is an existing FILE must fail.
+	f := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFSBucket(f); err == nil {
+		t.Fatalf("file-as-root accepted")
+	}
+}
+
+func TestFSBucketGetDirectoryKey(t *testing.T) {
+	b, err := NewFSBucket(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, b, "dir/inner", "v")
+	// Reading the directory itself must error, not panic.
+	if _, err := b.Get("dir"); err == nil {
+		t.Fatalf("directory read accepted")
+	}
+}

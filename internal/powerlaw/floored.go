@@ -1,0 +1,69 @@
+package powerlaw
+
+import (
+	"errors"
+	"math"
+)
+
+// FitFlooredPareto estimates the exponent α of a power law whose samples
+// were produced by flooring continuous Pareto(α, xmin=1) draws to integers —
+// exactly how the workload generator produces session lengths and click
+// counts. For L = ⌊X⌋ with X ~ Pareto(α, 1), the pmf is
+//
+//	P(L = k) = k^(-β) − (k+1)^(-β),  β = α − 1, k = 1, 2, ...
+//
+// The maximum-likelihood β solves dℓ/dβ = 0 with
+//
+//	ℓ(β) = Σ_i ln( k_i^(-β) − (k_i+1)^(-β) )
+//
+// which has no closed form; we find the root of the (monotonically
+// decreasing) derivative by bisection. Samples below 1 are ignored.
+func FitFlooredPareto(samples []float64) (float64, error) {
+	ks := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if x >= 1 {
+			ks = append(ks, math.Floor(x))
+		}
+	}
+	if len(ks) < 2 {
+		return 0, errors.New("powerlaw: need at least two samples ≥ 1")
+	}
+	allOnes := true
+	for _, k := range ks {
+		if k != 1 {
+			allOnes = false
+			break
+		}
+	}
+	if allOnes {
+		return 0, errors.New("powerlaw: degenerate samples (all equal to 1)")
+	}
+
+	deriv := func(beta float64) float64 {
+		var s float64
+		for _, k := range ks {
+			a := math.Pow(k, -beta)
+			b := math.Pow(k+1, -beta)
+			// d/dβ ln(a-b) = (-ln(k)·a + ln(k+1)·b) / (a - b)
+			s += (-math.Log(k)*a + math.Log(k+1)*b) / (a - b)
+		}
+		return s
+	}
+
+	lo, hi := 1e-3, 64.0
+	if deriv(lo) <= 0 {
+		return 1 + lo, nil
+	}
+	if deriv(hi) >= 0 {
+		return 1 + hi, nil
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if deriv(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 1 + (lo+hi)/2, nil
+}

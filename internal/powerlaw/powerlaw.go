@@ -1,0 +1,184 @@
+// Package powerlaw provides discrete power-law sampling and exponent
+// estimation for the synthetic workload generator.
+//
+// ETUDE's workload model (paper §II, "Synthetic session generation") is fully
+// described by two power-law exponents: α_l for the distribution of session
+// lengths and α_c for the distribution of per-item click counts. This
+// package samples from such distributions via inverse-transform sampling and
+// recovers exponents from data with the standard Clauset-Shalizi-Newman
+// maximum-likelihood estimator, which is how the statistics are "estimated
+// once from a real click log and reused for experiments later".
+package powerlaw
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a power law P(x) ∝ x^(-alpha) over x ≥ xmin.
+type Dist struct {
+	Alpha float64
+	Xmin  float64
+}
+
+// New returns a power-law distribution. alpha must exceed 1 and xmin must be
+// positive for the distribution to normalise.
+func New(alpha, xmin float64) (Dist, error) {
+	if alpha <= 1 {
+		return Dist{}, errors.New("powerlaw: alpha must be > 1")
+	}
+	if xmin <= 0 {
+		return Dist{}, errors.New("powerlaw: xmin must be > 0")
+	}
+	return Dist{Alpha: alpha, Xmin: xmin}, nil
+}
+
+// Sample draws one continuous value via inverse-transform sampling:
+// x = xmin · (1-u)^(-1/(α-1)).
+func (d Dist) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	return d.Xmin * math.Pow(1-u, -1/(d.Alpha-1))
+}
+
+// SampleInt draws an integer value by flooring a continuous draw
+// (never below xmin).
+func (d Dist) SampleInt(rng *rand.Rand) int {
+	v := int(d.Sample(rng))
+	if m := int(d.Xmin); v < m {
+		return m
+	}
+	return v
+}
+
+// SampleIntCapped draws an integer value clamped to [xmin, cap].
+func (d Dist) SampleIntCapped(rng *rand.Rand, cap int) int {
+	v := d.SampleInt(rng)
+	if v > cap {
+		return cap
+	}
+	return v
+}
+
+// CCDF returns P(X ≥ x) for the continuous power law.
+func (d Dist) CCDF(x float64) float64 {
+	if x <= d.Xmin {
+		return 1
+	}
+	return math.Pow(x/d.Xmin, -(d.Alpha - 1))
+}
+
+// FitMLE estimates the exponent of a power law from samples with the
+// continuous maximum-likelihood estimator
+//
+//	α̂ = 1 + n / Σ ln(x_i / xmin)
+//
+// using the discrete correction xmin-0.5 when the data are integers drawn
+// from a discrete distribution (set discrete=true). Samples below xmin are
+// ignored. It returns an error when fewer than two usable samples remain or
+// the samples are degenerate (all equal to xmin).
+func FitMLE(samples []float64, xmin float64, discrete bool) (float64, error) {
+	if xmin <= 0 {
+		return 0, errors.New("powerlaw: xmin must be > 0")
+	}
+	ref := xmin
+	if discrete {
+		ref = xmin - 0.5
+	}
+	var sum float64
+	n := 0
+	for _, x := range samples {
+		if x < xmin {
+			continue
+		}
+		sum += math.Log(x / ref)
+		n++
+	}
+	if n < 2 {
+		return 0, errors.New("powerlaw: need at least two samples ≥ xmin")
+	}
+	if sum == 0 {
+		return 0, errors.New("powerlaw: degenerate samples (all at xmin)")
+	}
+	return 1 + float64(n)/sum, nil
+}
+
+// KSDistance returns the Kolmogorov–Smirnov distance between the empirical
+// CCDF of samples (restricted to x ≥ d.Xmin) and d's theoretical CCDF: the
+// validation statistic for "the achieved latencies resemble each other
+// closely"-style distribution comparisons.
+func (d Dist) KSDistance(samples []float64) float64 {
+	xs := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if x >= d.Xmin {
+			xs = append(xs, x)
+		}
+	}
+	if len(xs) == 0 {
+		return 1
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var worst float64
+	for i, x := range xs {
+		emp := 1 - float64(i)/n // empirical P(X ≥ x)
+		if diff := math.Abs(emp - d.CCDF(x)); diff > worst {
+			worst = diff
+		}
+	}
+	return worst
+}
+
+// EmpiricalCDF is a cumulative distribution over item indices built from
+// nonnegative weights (the "empirical CDF of C click counts" in Algorithm 1,
+// line 7). Sampling is an O(log C) binary search.
+type EmpiricalCDF struct {
+	cum []float64 // strictly the running sums; cum[len-1] is the total mass
+}
+
+// NewEmpiricalCDF builds a CDF from weights. It returns an error when the
+// total mass is not positive.
+func NewEmpiricalCDF(weights []float64) (*EmpiricalCDF, error) {
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, errors.New("powerlaw: negative weight")
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, errors.New("powerlaw: total weight must be positive")
+	}
+	return &EmpiricalCDF{cum: cum}, nil
+}
+
+// Len returns the number of categories.
+func (c *EmpiricalCDF) Len() int { return len(c.cum) }
+
+// Sample draws an index via inverse-transform sampling.
+func (c *EmpiricalCDF) Sample(rng *rand.Rand) int {
+	u := rng.Float64() * c.cum[len(c.cum)-1]
+	// Find the first cumulative weight exceeding u.
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of index i.
+func (c *EmpiricalCDF) Prob(i int) float64 {
+	total := c.cum[len(c.cum)-1]
+	if i == 0 {
+		return c.cum[0] / total
+	}
+	return (c.cum[i] - c.cum[i-1]) / total
+}

@@ -1,0 +1,300 @@
+package powerlaw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1.0, 1); err == nil {
+		t.Fatalf("alpha=1 must be rejected")
+	}
+	if _, err := New(0.5, 1); err == nil {
+		t.Fatalf("alpha<1 must be rejected")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Fatalf("xmin=0 must be rejected")
+	}
+	if _, err := New(2.5, 1); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestSampleAboveXmin(t *testing.T) {
+	d, _ := New(2.5, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if x := d.Sample(rng); x < 3 {
+			t.Fatalf("sample %v below xmin", x)
+		}
+	}
+}
+
+func TestSampleIntCapped(t *testing.T) {
+	d, _ := New(1.3, 1)
+	rng := rand.New(rand.NewSource(2))
+	sawCap := false
+	for i := 0; i < 5000; i++ {
+		v := d.SampleIntCapped(rng, 50)
+		if v < 1 || v > 50 {
+			t.Fatalf("capped sample %d outside [1,50]", v)
+		}
+		if v == 50 {
+			sawCap = true
+		}
+	}
+	// α=1.3 is heavy-tailed enough that the cap must bind sometimes.
+	if !sawCap {
+		t.Fatalf("cap never reached with heavy tail")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	d, _ := New(3, 2)
+	if got := d.CCDF(2); got != 1 {
+		t.Fatalf("CCDF(xmin) = %v, want 1", got)
+	}
+	if got := d.CCDF(1); got != 1 {
+		t.Fatalf("CCDF below xmin = %v, want 1", got)
+	}
+	// P(X ≥ 4) = (4/2)^-(3-1) = 0.25.
+	if got := d.CCDF(4); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("CCDF(4) = %v, want 0.25", got)
+	}
+}
+
+// TestFitMLERecoversExponent: the round trip at the heart of ETUDE's
+// workload model — sample from α, fit α̂, check they agree.
+func TestFitMLERecoversExponent(t *testing.T) {
+	for _, alpha := range []float64{1.5, 2.0, 2.8} {
+		d, _ := New(alpha, 1)
+		rng := rand.New(rand.NewSource(3))
+		samples := make([]float64, 20000)
+		for i := range samples {
+			samples[i] = d.Sample(rng)
+		}
+		got, err := FitMLE(samples, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-alpha) > 0.05 {
+			t.Errorf("FitMLE: α = %v, α̂ = %v", alpha, got)
+		}
+	}
+}
+
+func TestFitMLEErrors(t *testing.T) {
+	if _, err := FitMLE([]float64{1, 2, 3}, 0, false); err == nil {
+		t.Fatalf("xmin=0 must error")
+	}
+	if _, err := FitMLE([]float64{0.5}, 1, false); err == nil {
+		t.Fatalf("too few samples must error")
+	}
+	if _, err := FitMLE([]float64{1, 1, 1}, 1, false); err == nil {
+		t.Fatalf("degenerate samples must error")
+	}
+}
+
+func TestFitMLEIgnoresBelowXmin(t *testing.T) {
+	d, _ := New(2.2, 5)
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float64, 0, 11000)
+	for i := 0; i < 10000; i++ {
+		samples = append(samples, d.Sample(rng))
+	}
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, rng.Float64()) // noise below xmin
+	}
+	got, err := FitMLE(samples, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.2) > 0.1 {
+		t.Fatalf("fit contaminated by sub-xmin samples: %v", got)
+	}
+}
+
+func TestKSDistanceSelfConsistency(t *testing.T) {
+	d, _ := New(2.0, 1)
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = d.Sample(rng)
+	}
+	if ks := d.KSDistance(samples); ks > 0.02 {
+		t.Fatalf("KS distance of own samples = %v", ks)
+	}
+	// A very different exponent should be far away.
+	other, _ := New(5.0, 1)
+	if ks := other.KSDistance(samples); ks < 0.2 {
+		t.Fatalf("KS distance of mismatched dist = %v, want large", ks)
+	}
+}
+
+func TestKSDistanceEmpty(t *testing.T) {
+	d, _ := New(2.0, 10)
+	if ks := d.KSDistance([]float64{1, 2}); ks != 1 {
+		t.Fatalf("KS with no usable samples = %v, want 1", ks)
+	}
+}
+
+func TestEmpiricalCDFValidation(t *testing.T) {
+	if _, err := NewEmpiricalCDF([]float64{0, 0}); err == nil {
+		t.Fatalf("zero mass must error")
+	}
+	if _, err := NewEmpiricalCDF([]float64{1, -1}); err == nil {
+		t.Fatalf("negative weight must error")
+	}
+	if _, err := NewEmpiricalCDF(nil); err == nil {
+		t.Fatalf("empty weights must error")
+	}
+}
+
+func TestEmpiricalCDFSampleFrequencies(t *testing.T) {
+	cdf, err := NewEmpiricalCDF([]float64{1, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[cdf.Sample(rng)]++
+	}
+	wants := []float64{0.1, 0.2, 0.7}
+	for i, want := range wants {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency %v, want %v", i, got, want)
+		}
+		if p := cdf.Prob(i); math.Abs(p-want) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestEmpiricalCDFZeroWeightNeverSampled(t *testing.T) {
+	cdf, _ := NewEmpiricalCDF([]float64{0, 1, 0, 1, 0})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		s := cdf.Sample(rng)
+		if s != 1 && s != 3 {
+			t.Fatalf("sampled zero-weight category %d", s)
+		}
+	}
+}
+
+// Property: samples always land within [xmin, ∞) and FitMLE on enough of
+// them lands within a loose band of the true exponent.
+func TestSampleFitProperty(t *testing.T) {
+	f := func(seed int64, aRaw uint8) bool {
+		alpha := 1.2 + float64(aRaw%20)/10 // 1.2 .. 3.1
+		d, err := New(alpha, 1)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]float64, 5000)
+		for i := range samples {
+			samples[i] = d.Sample(rng)
+			if samples[i] < 1 {
+				return false
+			}
+		}
+		got, err := FitMLE(samples, 1, false)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-alpha) < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EmpiricalCDF sampling never returns an out-of-range index.
+func TestEmpiricalCDFRangeProperty(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			weights[i] = float64(r)
+			total += weights[i]
+		}
+		if total == 0 {
+			weights[0] = 1
+		}
+		cdf, err := NewEmpiricalCDF(weights)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			s := cdf.Sample(rng)
+			if s < 0 || s >= len(weights) {
+				return false
+			}
+			if weights[s] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFitFlooredParetoRecovers: floor Pareto draws and recover the exponent.
+func TestFitFlooredParetoRecovers(t *testing.T) {
+	for _, alpha := range []float64{1.6, 2.2, 3.0} {
+		d, _ := New(alpha, 1)
+		rng := rand.New(rand.NewSource(8))
+		samples := make([]float64, 30000)
+		for i := range samples {
+			samples[i] = math.Floor(d.Sample(rng))
+		}
+		got, err := FitFlooredPareto(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-alpha) > 0.08 {
+			t.Errorf("FitFlooredPareto: α = %v, α̂ = %v", alpha, got)
+		}
+	}
+}
+
+func TestFitFlooredParetoErrors(t *testing.T) {
+	if _, err := FitFlooredPareto([]float64{0.5, 0.2}); err == nil {
+		t.Fatalf("samples below 1 only must error")
+	}
+	if _, err := FitFlooredPareto([]float64{1, 1, 1}); err == nil {
+		t.Fatalf("degenerate samples must error")
+	}
+	if _, err := FitFlooredPareto([]float64{5}); err == nil {
+		t.Fatalf("single sample must error")
+	}
+}
+
+// FuzzFitFlooredPareto: arbitrary float inputs never panic the estimator,
+// and every successful fit returns α > 1.
+func FuzzFitFlooredPareto(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1.0, 1.0, 1.0, 1.0)
+	f.Add(-5.0, math.Inf(1), math.NaN(), 1e300)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		alpha, err := FitFlooredPareto([]float64{a, b, c, d})
+		if err != nil {
+			return
+		}
+		if !(alpha > 1) {
+			t.Fatalf("fit returned α = %v ≤ 1 without error", alpha)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package quant implements int8 post-training quantisation for the
+// maximum-inner-product search stage — one of the latency/quality
+// trade-off techniques the paper names as future work ("techniques to
+// trade-off prediction quality with inference latency, such as model
+// quantisation").
+//
+// The catalog embedding matrix is quantised symmetrically per row to int8
+// with one float32 scale per row; the query stays float32 and is quantised
+// once per request. Scoring then runs over int8 dot products (4× less
+// memory traffic than float32 — the resource that dominates large-catalog
+// inference), and the exact float32 score is recovered approximately as
+// rowScale · queryScale · int32Dot.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+// Table is an int8-quantised catalog embedding matrix.
+type Table struct {
+	dim    int
+	rows   int
+	codes  []int8    // rows × dim
+	scales []float32 // per-row dequantisation scale
+}
+
+// Quantize builds a Table from a [C, d] float32 embedding matrix.
+func Quantize(items *tensor.Tensor) (*Table, error) {
+	if items.Dims() != 2 {
+		return nil, fmt.Errorf("quant: want a 2-D embedding matrix, got %v", items.Shape())
+	}
+	rows, dim := items.Dim(0), items.Dim(1)
+	t := &Table{
+		dim:    dim,
+		rows:   rows,
+		codes:  make([]int8, rows*dim),
+		scales: make([]float32, rows),
+	}
+	for i := 0; i < rows; i++ {
+		row := items.Row(i).Data()
+		var maxAbs float32
+		for _, v := range row {
+			if a := abs32(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			t.scales[i] = 1
+			continue // codes stay zero
+		}
+		scale := maxAbs / 127
+		t.scales[i] = scale
+		inv := 1 / scale
+		out := t.codes[i*dim : (i+1)*dim]
+		for j, v := range row {
+			q := int32(math.RoundToEven(float64(v * inv)))
+			if q > 127 {
+				q = 127
+			}
+			if q < -127 {
+				q = -127
+			}
+			out[j] = int8(q)
+		}
+	}
+	return t, nil
+}
+
+// Rows returns the catalog size.
+func (t *Table) Rows() int { return t.rows }
+
+// Dim returns the embedding dimension.
+func (t *Table) Dim() int { return t.dim }
+
+// MemoryBytes returns the table's storage footprint (codes + scales):
+// roughly a quarter of the float32 original.
+func (t *Table) MemoryBytes() int {
+	return len(t.codes) + 4*len(t.scales)
+}
+
+// TopK scores all quantised rows against the float32 query and returns the
+// k best by approximate inner product, in descending order.
+func (t *Table) TopK(query *tensor.Tensor, k int) ([]topk.Result, error) {
+	if query.Dims() != 1 || query.Dim(0) != t.dim {
+		return nil, fmt.Errorf("quant: query shape %v, want [%d]", query.Shape(), t.dim)
+	}
+	qCodes, qScale := quantizeQuery(query.Data())
+	scores := make([]float32, t.rows)
+	for i := 0; i < t.rows; i++ {
+		row := t.codes[i*t.dim : (i+1)*t.dim]
+		scores[i] = t.scales[i] * qScale * float32(dotInt8(row, qCodes))
+	}
+	return topk.SelectFromScores(scores, k), nil
+}
+
+func quantizeQuery(q []float32) ([]int8, float32) {
+	var maxAbs float32
+	for _, v := range q {
+		if a := abs32(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return make([]int8, len(q)), 1
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	codes := make([]int8, len(q))
+	for i, v := range q {
+		c := int32(math.RoundToEven(float64(v * inv)))
+		if c > 127 {
+			c = 127
+		}
+		if c < -127 {
+			c = -127
+		}
+		codes[i] = int8(c)
+	}
+	return codes, scale
+}
+
+func dotInt8(a, b []int8) int32 {
+	var s0, s1 int32
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+	}
+	if i < len(a) {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Recall computes recall@k of approximate results against exact results:
+// the fraction of the exact top-k items present in the approximate top-k.
+// This is the prediction-quality side of the latency trade-off.
+func Recall(exact, approx []topk.Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	set := make(map[int64]bool, len(approx))
+	for _, r := range approx {
+		set[r.Item] = true
+	}
+	hit := 0
+	for _, r := range exact {
+		if set[r.Item] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// Retrieve adapts the table to the model.Retriever interface so quantised
+// scoring can replace a model's exact MIPS stage via model.WithRetrieval.
+func (t *Table) Retrieve(query *tensor.Tensor, k int) ([]topk.Result, error) {
+	return t.TopK(query, k)
+}

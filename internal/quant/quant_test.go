@@ -1,0 +1,156 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+func randMatrix(seed int64, rows, dim int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.New(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func TestQuantizeShapeValidation(t *testing.T) {
+	if _, err := Quantize(tensor.New(4)); err == nil {
+		t.Fatalf("1-D input accepted")
+	}
+}
+
+func TestQuantizeMemoryFootprint(t *testing.T) {
+	items := randMatrix(1, 1000, 32)
+	tab, err := Quantize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatBytes := 1000 * 32 * 4
+	if tab.MemoryBytes() >= floatBytes/3 {
+		t.Fatalf("quantised table %d bytes vs %d float32 — expected ≈4x shrink", tab.MemoryBytes(), floatBytes)
+	}
+	if tab.Rows() != 1000 || tab.Dim() != 32 {
+		t.Fatalf("dims lost: %d×%d", tab.Rows(), tab.Dim())
+	}
+}
+
+func TestQuantizedTopKHighRecall(t *testing.T) {
+	items := randMatrix(2, 5000, 32)
+	tab, err := Quantize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var totalRecall float64
+	const queries = 20
+	for q := 0; q < queries; q++ {
+		query := tensor.New(32)
+		for i := range query.Data() {
+			query.Data()[i] = float32(rng.NormFloat64())
+		}
+		exact := topk.TopK(items, query, 21)
+		approx, err := tab.TopK(query, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRecall += Recall(exact, approx)
+	}
+	if avg := totalRecall / queries; avg < 0.9 {
+		t.Fatalf("int8 recall@21 = %.3f, want ≥ 0.9", avg)
+	}
+}
+
+func TestQuantizedScoresApproximate(t *testing.T) {
+	items := randMatrix(4, 100, 16)
+	tab, _ := Quantize(items)
+	query := items.Row(7).Clone() // self-similarity: item 7 must win
+	approx, err := tab.TopK(query, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx[0].Item != 7 {
+		t.Fatalf("self query returned item %d", approx[0].Item)
+	}
+	exactScore := tensor.Dot(items.Row(7).Data(), query.Data())
+	rel := float64(approx[0].Score-exactScore) / float64(exactScore)
+	if rel > 0.05 || rel < -0.05 {
+		t.Fatalf("score error %.1f%%", rel*100)
+	}
+}
+
+func TestQuantizeZeroRows(t *testing.T) {
+	items := tensor.New(3, 4)
+	items.Set(1, 1, 0) // only row 1 is non-zero
+	tab, err := Quantize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := tensor.New(4)
+	query.Set(1, 0)
+	res, err := tab.TopK(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Item != 1 || res[0].Score <= 0 {
+		t.Fatalf("non-zero row must win: %+v", res)
+	}
+	if res[1].Score != 0 || res[2].Score != 0 {
+		t.Fatalf("zero rows must score zero: %+v", res)
+	}
+}
+
+func TestTopKQueryShapeValidation(t *testing.T) {
+	tab, _ := Quantize(randMatrix(5, 10, 8))
+	if _, err := tab.TopK(tensor.New(4), 3); err == nil {
+		t.Fatalf("wrong query dim accepted")
+	}
+	if _, err := tab.TopK(tensor.New(2, 4), 3); err == nil {
+		t.Fatalf("2-D query accepted")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	exact := []topk.Result{{Item: 1}, {Item: 2}, {Item: 3}, {Item: 4}}
+	approx := []topk.Result{{Item: 2}, {Item: 4}, {Item: 9}, {Item: 1}}
+	if got := Recall(exact, approx); got != 0.75 {
+		t.Fatalf("recall = %v, want 0.75", got)
+	}
+	if got := Recall(nil, approx); got != 1 {
+		t.Fatalf("empty exact recall = %v, want 1", got)
+	}
+	if got := Recall(exact, nil); got != 0 {
+		t.Fatalf("empty approx recall = %v, want 0", got)
+	}
+}
+
+// Property: the quantised top-1 result is contained in the exact top-3 —
+// int8 noise may swap near-ties but never surfaces a distant item.
+func TestNearExactTopProperty(t *testing.T) {
+	f := func(seed int64, rowRaw uint8) bool {
+		items := randMatrix(seed, 64, 16)
+		tab, err := Quantize(items)
+		if err != nil {
+			return false
+		}
+		query := items.Row(int(rowRaw % 64)).Clone()
+		approx, err := tab.TopK(query, 1)
+		if err != nil {
+			return false
+		}
+		exact := topk.TopK(items, query, 3)
+		for _, r := range exact {
+			if r.Item == approx[0].Item {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package report turns benchmark measurements into shareable artifacts:
+// CSV files (for plotting Figs 2–4 with any charting tool) and quick ASCII
+// charts for terminal inspection — the counterpart of the experiments.md
+// result sheets the paper's authors publish alongside their code.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"etude/internal/core"
+	"etude/internal/metrics"
+)
+
+// WriteSeriesCSV writes a per-tick time series as CSV with the columns
+// tick, sent, completed, errors, p50_ms, p90_ms, p99_ms.
+func WriteSeriesCSV(w io.Writer, series []metrics.TickStats) error {
+	if _, err := fmt.Fprintln(w, "tick,sent,completed,errors,p50_ms,p90_ms,p99_ms"); err != nil {
+		return fmt.Errorf("report: writing header: %w", err)
+	}
+	for _, ts := range series {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+			ts.Tick, ts.Sent, ts.Completed, ts.Errors,
+			ms(ts.P50), ms(ts.P90), ms(ts.P99))
+		if err != nil {
+			return fmt.Errorf("report: writing row: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteMeasurementsCSV writes experiment measurements as CSV with one row
+// per (model, instance) combination.
+func WriteMeasurementsCSV(w io.Writer, ms []core.Measurement) error {
+	if _, err := fmt.Fprintln(w, "experiment,model,instance,jit,replicas,target_rate,sent,errors,backpressured,p50_ms,p90_ms,p99_ms,meets_slo"); err != nil {
+		return fmt.Errorf("report: writing header: %w", err)
+	}
+	for _, m := range ms {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%t,%d,%.0f,%d,%d,%d,%.3f,%.3f,%.3f,%t\n",
+			m.Experiment, m.Model, m.Instance, m.JIT, m.Replicas, m.TargetRate,
+			m.Sent, m.Errors, m.Backpressured,
+			ms2(m.Latency.P50), ms2(m.Latency.P90), ms2(m.Latency.P99), m.MeetsSLO)
+		if err != nil {
+			return fmt.Errorf("report: writing row: %w", err)
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64  { return float64(d) / float64(time.Millisecond) }
+func ms2(d time.Duration) float64 { return ms(d) }
+
+// ASCIIChart renders a compact bar chart of one numeric series, one row per
+// point, scaled to width columns. Used for terminal-side inspection of
+// per-tick p90s and error counts.
+func ASCIIChart(title string, values []float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(values) == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	maxV := values[0]
+	for _, v := range values[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "%4d │%-*s %.2f\n", i, width, strings.Repeat("█", bar), v)
+	}
+	return b.String()
+}
+
+// P90Series extracts the per-tick p90 in milliseconds from a series.
+func P90Series(series []metrics.TickStats) []float64 {
+	out := make([]float64, len(series))
+	for i, ts := range series {
+		out[i] = ms(ts.P90)
+	}
+	return out
+}
+
+// ErrorSeries extracts the per-tick error counts from a series.
+func ErrorSeries(series []metrics.TickStats) []float64 {
+	out := make([]float64, len(series))
+	for i, ts := range series {
+		out[i] = float64(ts.Errors)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"etude/internal/core"
+	"etude/internal/metrics"
+)
+
+func sampleSeries() []metrics.TickStats {
+	return []metrics.TickStats{
+		{Tick: 0, Sent: 10, Completed: 10, Errors: 0, P50: time.Millisecond, P90: 2 * time.Millisecond, P99: 3 * time.Millisecond},
+		{Tick: 1, Sent: 20, Completed: 18, Errors: 2, P50: 2 * time.Millisecond, P90: 5 * time.Millisecond, P99: 9 * time.Millisecond},
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 rows", len(lines))
+	}
+	if lines[0] != "tick,sent,completed,errors,p50_ms,p90_ms,p99_ms" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,20,18,2,2.000,5.000,9.000" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteMeasurementsCSV(t *testing.T) {
+	ms := []core.Measurement{{
+		Experiment: "fig4",
+		Model:      "gru4rec",
+		Instance:   "gpu-t4",
+		JIT:        true,
+		Replicas:   5,
+		TargetRate: 1000,
+		Sent:       100,
+		Errors:     1,
+		Latency:    metrics.Snapshot{P50: time.Millisecond, P90: 4 * time.Millisecond, P99: 8 * time.Millisecond},
+		MeetsSLO:   true,
+	}}
+	var buf bytes.Buffer
+	if err := WriteMeasurementsCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig4,gru4rec,gpu-t4,true,5,1000,100,1,0,1.000,4.000,8.000,true") {
+		t.Fatalf("csv = %s", out)
+	}
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	w := &failAfter{limit: 10}
+	if err := WriteSeriesCSV(w, sampleSeries()); err == nil {
+		t.Fatalf("write error swallowed")
+	}
+	if err := WriteMeasurementsCSV(&failAfter{limit: 5}, []core.Measurement{{}}); err == nil {
+		t.Fatalf("write error swallowed")
+	}
+}
+
+type failAfter struct{ n, limit int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > f.limit {
+		return 0, errFull
+	}
+	return len(p), nil
+}
+
+type fullErr struct{}
+
+func (fullErr) Error() string { return "full" }
+
+var errFull = fullErr{}
+
+func TestASCIIChart(t *testing.T) {
+	out := ASCIIChart("p90 per tick (ms)", []float64{1, 2, 4}, 16)
+	if !strings.Contains(out, "p90 per tick") {
+		t.Fatalf("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The largest value gets the longest bar.
+	if strings.Count(lines[3], "█") <= strings.Count(lines[1], "█") {
+		t.Fatalf("bars not scaled:\n%s", out)
+	}
+	if got := ASCIIChart("empty", nil, 10); !strings.Contains(got, "(empty)") {
+		t.Fatalf("empty chart rendering: %q", got)
+	}
+	// All-zero values: no panic, no bars.
+	if got := ASCIIChart("zeros", []float64{0, 0}, 10); strings.Contains(got, "█") {
+		t.Fatalf("zero values produced bars")
+	}
+}
+
+func TestSeriesExtractors(t *testing.T) {
+	s := sampleSeries()
+	p90 := P90Series(s)
+	if len(p90) != 2 || p90[1] != 5 {
+		t.Fatalf("P90Series = %v", p90)
+	}
+	errs := ErrorSeries(s)
+	if len(errs) != 2 || errs[1] != 2 {
+		t.Fatalf("ErrorSeries = %v", errs)
+	}
+}

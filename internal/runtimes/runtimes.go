@@ -1,0 +1,141 @@
+// Package runtimes models alternative inference runtimes — the paper's
+// future-work plan "to extend ETUDE with more inference runtimes such as
+// ONNX or TensorRT".
+//
+// A runtime changes how a given model executes on a given device: how
+// efficiently the compute kernels run, how aggressively operators are
+// fused (kernel-launch count), and whether the model can be compiled at
+// all. The profiles below follow commonly reported efficiency ratios:
+//
+//   - TorchScript — the baseline this repository's device model is
+//     calibrated to (the paper serves TorchScript via tch-rs);
+//   - ONNX Runtime — faster CPU execution (graph-level optimisation,
+//     better threading) and mild GPU gains;
+//   - TensorRT — aggressive GPU kernel fusion and tuning, GPU-only, and —
+//     like PyTorch JIT — defeated by dynamic control flow and dynamic
+//     graph shapes (LightSANs; the session-graph models).
+package runtimes
+
+import (
+	"fmt"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+// Runtime is an inference-runtime performance profile.
+type Runtime struct {
+	// Name labels the runtime ("torchscript", "onnx", "tensorrt").
+	Name string
+	// CPUSpeedup multiplies the CPU execution rate (1 = TorchScript).
+	CPUSpeedup float64
+	// GPUSpeedup multiplies the accelerator compute rate.
+	GPUSpeedup float64
+	// FusionFactor multiplies the kernel-launch count (<1 = more fusion).
+	FusionFactor float64
+	// GPUOnly marks runtimes without a CPU backend.
+	GPUOnly bool
+	// rejects reports models the runtime cannot compile.
+	rejects func(modelName string) bool
+}
+
+// TorchScript returns the baseline runtime (the paper's deployment).
+func TorchScript() Runtime {
+	return Runtime{
+		Name:         "torchscript",
+		CPUSpeedup:   1,
+		GPUSpeedup:   1,
+		FusionFactor: 1,
+		rejects:      func(string) bool { return false },
+	}
+}
+
+// ONNX returns the ONNX Runtime profile: strong CPU graph optimisation,
+// modest GPU gains, and support for every exportable model (the dynamic
+// LightSANs graph does not export).
+func ONNX() Runtime {
+	return Runtime{
+		Name:         "onnx",
+		CPUSpeedup:   1.4,
+		GPUSpeedup:   1.15,
+		FusionFactor: 0.7,
+		rejects:      func(name string) bool { return name == "lightsans" },
+	}
+}
+
+// TensorRT returns the TensorRT profile: heavy GPU fusion and kernel
+// auto-tuning, no CPU backend, and no support for dynamic control flow or
+// per-request graph shapes (LightSANs, SR-GNN, GC-SAN).
+func TensorRT() Runtime {
+	dynamic := map[string]bool{"lightsans": true, "srgnn": true, "gcsan": true}
+	return Runtime{
+		Name:         "tensorrt",
+		CPUSpeedup:   1,
+		GPUSpeedup:   2.0,
+		FusionFactor: 0.3,
+		GPUOnly:      true,
+		rejects:      func(name string) bool { return dynamic[name] },
+	}
+}
+
+// All returns the three runtime profiles.
+func All() []Runtime {
+	return []Runtime{TorchScript(), ONNX(), TensorRT()}
+}
+
+// ByName resolves a runtime label.
+func ByName(name string) (Runtime, error) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Runtime{}, fmt.Errorf("runtimes: unknown runtime %q", name)
+}
+
+// Supports reports whether the runtime can execute the named model on the
+// given device kind.
+func (r Runtime) Supports(modelName string, kind device.Kind) bool {
+	if r.GPUOnly && kind == device.KindCPU {
+		return false
+	}
+	return !r.rejects(modelName)
+}
+
+// Apply returns a device spec whose execution rates reflect the runtime.
+// The catalog-scan and score-pass memory terms are unchanged: no runtime
+// makes DRAM faster, which is why runtime choice matters least exactly
+// where the paper's problem is hardest (huge catalogs).
+func (r Runtime) Apply(spec device.Spec) device.Spec {
+	out := spec
+	out.CoreFLOPs *= r.CPUSpeedup
+	out.FLOPs *= r.GPUSpeedup
+	return out
+}
+
+// AdjustCost returns the model cost under the runtime's operator fusion.
+func (r Runtime) AdjustCost(c model.Cost) model.Cost {
+	out := c
+	out.KernelLaunches = int(float64(c.KernelLaunches)*r.FusionFactor + 0.5)
+	if out.KernelLaunches < 1 {
+		out.KernelLaunches = 1
+	}
+	return out
+}
+
+// SerialInference returns the single-request latency of the model under
+// this runtime on the device (JIT-style compiled execution; runtimes are
+// ahead-of-time compilers). It returns false when the runtime cannot serve
+// the model on the device.
+func (r Runtime) SerialInference(spec device.Spec, modelName string, cfg model.Config, sessionLen int) (time.Duration, bool, error) {
+	if !r.Supports(modelName, spec.Kind) {
+		return 0, false, nil
+	}
+	cost, err := model.EstimateCost(modelName, cfg, sessionLen)
+	if err != nil {
+		return 0, false, err
+	}
+	d := r.Apply(spec).SerialInference(r.AdjustCost(cost), true)
+	return d, true, nil
+}

@@ -1,0 +1,129 @@
+package runtimes
+
+import (
+	"testing"
+
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"torchscript", "onnx", "tensorrt"} {
+		r, err := ByName(name)
+		if err != nil || r.Name != name {
+			t.Fatalf("ByName(%s) = %+v, %v", name, r, err)
+		}
+	}
+	if _, err := ByName("tvm"); err == nil {
+		t.Fatalf("unknown runtime accepted")
+	}
+	if len(All()) != 3 {
+		t.Fatalf("All() = %d", len(All()))
+	}
+}
+
+func TestSupportMatrix(t *testing.T) {
+	cases := []struct {
+		runtime string
+		model   string
+		kind    device.Kind
+		want    bool
+	}{
+		{"torchscript", "gru4rec", device.KindCPU, true},
+		{"torchscript", "lightsans", device.KindGPU, true}, // eager fallback exists
+		{"onnx", "gru4rec", device.KindCPU, true},
+		{"onnx", "lightsans", device.KindCPU, false}, // dynamic graph: no export
+		{"tensorrt", "gru4rec", device.KindCPU, false},
+		{"tensorrt", "gru4rec", device.KindGPU, true},
+		{"tensorrt", "lightsans", device.KindGPU, false},
+		{"tensorrt", "srgnn", device.KindGPU, false},
+		{"tensorrt", "gcsan", device.KindGPU, false},
+		{"tensorrt", "sasrec", device.KindGPU, true},
+	}
+	for _, tc := range cases {
+		r, err := ByName(tc.runtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Supports(tc.model, tc.kind); got != tc.want {
+			t.Errorf("%s/%s/kind=%d: Supports = %v, want %v", tc.runtime, tc.model, tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestONNXFasterOnCPU(t *testing.T) {
+	cfg := model.Config{CatalogSize: 1_000_000, Seed: 1}
+	base, ok, err := TorchScript().SerialInference(device.CPU(), "gru4rec", cfg, 3)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	onnx, ok, err := ONNX().SerialInference(device.CPU(), "gru4rec", cfg, 3)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if onnx >= base {
+		t.Fatalf("ONNX %v not faster than TorchScript %v on CPU", onnx, base)
+	}
+	speedup := float64(base) / float64(onnx)
+	if speedup < 1.2 || speedup > 1.6 {
+		t.Fatalf("ONNX CPU speedup %.2f outside the 1.2-1.6 band", speedup)
+	}
+}
+
+func TestTensorRTFastestOnGPUButBounded(t *testing.T) {
+	cfg := model.Config{CatalogSize: 10_000_000, Seed: 1}
+	ts, _, err := TorchScript().SerialInference(device.GPUT4(), "sasrec", cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trt, ok, err := TensorRT().SerialInference(device.GPUT4(), "sasrec", cfg, 3)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if trt >= ts {
+		t.Fatalf("TensorRT %v not faster than TorchScript %v", trt, ts)
+	}
+	// At huge catalogs the memory-bound MIPS dominates and no runtime can
+	// fix DRAM: the win must stay well under the 2× compute speedup.
+	if float64(ts)/float64(trt) > 1.5 {
+		t.Fatalf("TensorRT speedup %.2f at C=1e7 — memory wall should cap it", float64(ts)/float64(trt))
+	}
+}
+
+func TestTensorRTShinesAtSmallCatalogs(t *testing.T) {
+	// With a small catalog, launch overhead dominates and fusion pays.
+	cfg := model.Config{CatalogSize: 10_000, Seed: 1}
+	ts, _, _ := TorchScript().SerialInference(device.GPUT4(), "sasrec", cfg, 3)
+	trt, _, _ := TensorRT().SerialInference(device.GPUT4(), "sasrec", cfg, 3)
+	if float64(ts)/float64(trt) < 1.15 {
+		t.Fatalf("TensorRT speedup %.2f at C=1e4 — fusion should pay off", float64(ts)/float64(trt))
+	}
+}
+
+func TestUnsupportedReturnsNotOK(t *testing.T) {
+	cfg := model.Config{CatalogSize: 1000, Seed: 1}
+	if _, ok, err := TensorRT().SerialInference(device.CPU(), "core", cfg, 2); err != nil || ok {
+		t.Fatalf("TensorRT on CPU must be unsupported: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := ONNX().SerialInference(device.CPU(), "lightsans", cfg, 2); err != nil || ok {
+		t.Fatalf("ONNX lightsans must be unsupported: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAdjustCostFloorsAtOneLaunch(t *testing.T) {
+	c := model.Cost{KernelLaunches: 2}
+	if got := TensorRT().AdjustCost(c).KernelLaunches; got != 1 {
+		t.Fatalf("launches = %d, want floor 1", got)
+	}
+}
+
+func TestApplyLeavesMemoryAlone(t *testing.T) {
+	spec := device.GPUT4()
+	out := TensorRT().Apply(spec)
+	if out.MemBW != spec.MemBW || out.ScoreBW != spec.ScoreBW {
+		t.Fatalf("runtime must not change memory bandwidth")
+	}
+	if out.FLOPs <= spec.FLOPs {
+		t.Fatalf("TensorRT must raise GPU compute rate")
+	}
+}

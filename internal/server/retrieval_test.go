@@ -1,0 +1,89 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"etude/internal/ann"
+	"etude/internal/httpapi"
+	"etude/internal/model"
+	"etude/internal/quant"
+)
+
+// TestQuantizedModelServes: a model whose exact MIPS stage is replaced by
+// int8 quantised retrieval serves through the standard HTTP path and
+// produces nearly identical recommendations.
+func TestQuantizedModelServes(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 2_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.(model.Encoder)
+	table, err := quant.Quantize(enc.ItemEmbeddings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := model.WithRetrieval(enc, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(wrapped, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, out := predict(t, ts, httpapi.PredictRequest{Items: []int64{5, 9}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	exact := m.Recommend([]int64{5, 9})
+	hits := 0
+	exactSet := map[int64]bool{}
+	for _, r := range exact {
+		exactSet[r.Item] = true
+	}
+	for _, item := range out.Items {
+		if exactSet[item] {
+			hits++
+		}
+	}
+	if float64(hits)/float64(len(exact)) < 0.8 {
+		t.Fatalf("quantised serving recall %.2f — too lossy", float64(hits)/float64(len(exact)))
+	}
+}
+
+// TestANNModelServes: same composition with IVF retrieval at full probe
+// (which must be exact).
+func TestANNModelServes(t *testing.T) {
+	m, err := model.New("core", model.Config{CatalogSize: 1_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.(model.Encoder)
+	index, err := ann.Build(enc.ItemEmbeddings(), ann.Config{NLists: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := model.WithRetrieval(enc, model.RetrieverFunc(index.Retriever(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(wrapped, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, out := predict(t, ts, httpapi.PredictRequest{Items: []int64{7, 3}})
+	exact := m.Recommend([]int64{7, 3})
+	for i := range exact {
+		if out.Items[i] != exact[i].Item {
+			t.Fatalf("full-probe ANN serving differs at %d: %d != %d", i, out.Items[i], exact[i].Item)
+		}
+	}
+}

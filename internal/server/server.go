@@ -1,0 +1,222 @@
+// Package server implements ETUDE's lightweight inference server — the Go
+// analogue of the paper's Actix-based Rust runtime. It serves PyTorch-style
+// SBR models (internal/model) over HTTP with a bounded worker pool,
+// optional JIT-compiled execution paths, optional request batching
+// (internal/batching), model deployment from an object-store bucket, and
+// inference-duration metrics in response headers.
+//
+// The design goal is identical to the paper's: near-zero serving overhead.
+// Requests are decoded, dispatched to a worker slot, executed in-process and
+// encoded — no inter-process hand-off, no per-request interpreter, which is
+// precisely what the TorchServe baseline (internal/torchserve) pays for.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"etude/internal/batching"
+	"etude/internal/httpapi"
+	"etude/internal/model"
+	"etude/internal/objstore"
+	"etude/internal/topk"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent inference (default: GOMAXPROCS).
+	Workers int
+	// JIT serves JIT-compiled execution plans when the model supports them
+	// (buffer reuse, fused steps); models that cannot be compiled — in the
+	// paper, LightSANs — transparently fall back to eager execution.
+	JIT bool
+	// Batch enables request batching with the given config. Nil disables
+	// batching (the CPU serving configuration).
+	Batch *batching.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// predictor is one worker slot's inference function.
+type predictor func(session []int64) []topk.Result
+
+// Server serves one deployed model (or a static response) over HTTP.
+type Server struct {
+	opts    Options
+	mdl     model.Model // nil in static mode
+	pool    chan predictor
+	batcher *batching.Batcher[[]int64, []topk.Result]
+	ready   atomic.Bool
+	// JITActive reports whether compiled plans are actually in use (false
+	// when the model refused compilation).
+	JITActive bool
+}
+
+// New builds a server for m. The model is wrapped per worker: compiled
+// execution plans hold private buffers and must not be shared.
+func New(m model.Model, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("server: nil model")
+	}
+	opts = opts.withDefaults()
+	s := &Server{opts: opts, mdl: m, pool: make(chan predictor, opts.Workers)}
+	for i := 0; i < opts.Workers; i++ {
+		s.pool <- s.newPredictor()
+	}
+	if opts.Batch != nil {
+		b, err := batching.New(*opts.Batch, s.runBatch)
+		if err != nil {
+			return nil, err
+		}
+		s.batcher = b
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// NewStatic builds the "empty response, no computation" server used by the
+// infrastructure validation experiment (paper Fig 2).
+func NewStatic() *Server {
+	s := &Server{opts: Options{}.withDefaults()}
+	s.ready.Store(true)
+	return s
+}
+
+// LoadFromBucket deploys a model from a serialised manifest in a bucket —
+// the paper's "deploy serialised PyTorch models from Google storage
+// buckets".
+func LoadFromBucket(b objstore.Bucket, key string, opts Options) (*Server, error) {
+	data, err := b.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("server: fetching model artifact: %w", err)
+	}
+	manifest, err := model.UnmarshalManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	m, err := manifest.Load()
+	if err != nil {
+		return nil, err
+	}
+	if manifest.WeightsKey != "" {
+		weights, err := b.Get(manifest.WeightsKey)
+		if err != nil {
+			return nil, fmt.Errorf("server: fetching weights: %w", err)
+		}
+		if err := model.LoadWeights(m, weights); err != nil {
+			return nil, fmt.Errorf("server: loading weights: %w", err)
+		}
+	}
+	return New(m, opts)
+}
+
+func (s *Server) newPredictor() predictor {
+	if s.opts.JIT {
+		if jc, ok := s.mdl.(model.JITCompilable); ok {
+			s.JITActive = true
+			return jc.CompiledRecommend()
+		}
+	}
+	return s.mdl.Recommend
+}
+
+// Model returns the deployed model (nil in static mode).
+func (s *Server) Model() model.Model { return s.mdl }
+
+// runBatch executes a batch on a single worker slot, sequentially — the CPU
+// analogue of one fused accelerator kernel sequence.
+func (s *Server) runBatch(sessions [][]int64) [][]topk.Result {
+	p := <-s.pool
+	defer func() { s.pool <- p }()
+	out := make([][]topk.Result, len(sessions))
+	for i, session := range sessions {
+		out[i] = p(session)
+	}
+	return out
+}
+
+// Close releases the batcher, if any.
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+}
+
+// Handler returns the HTTP routes: POST /predictions and GET /ping.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(httpapi.ReadyPath, s.handlePing)
+	mux.HandleFunc(httpapi.PredictPath, s.handlePredict)
+	return mux
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "model loading", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write([]byte("pong")); err != nil {
+		return
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req httpapi.PredictRequest
+	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	var recs []topk.Result
+	batch := 1
+	switch {
+	case s.mdl == nil:
+		// Static mode: no inference at all.
+	case s.batcher != nil:
+		out, err := s.batcher.Submit(r.Context(), req.Items)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if err == context.Canceled || err == context.DeadlineExceeded {
+				status = http.StatusGatewayTimeout
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		recs = out
+	default:
+		p := <-s.pool
+		recs = p(req.Items)
+		s.pool <- p
+	}
+	inference := time.Since(start)
+
+	resp := httpapi.PredictResponse{
+		Items:  make([]int64, len(recs)),
+		Scores: make([]float32, len(recs)),
+	}
+	for i, rec := range recs {
+		resp.Items[i] = rec.Item
+		resp.Scores[i] = rec.Score
+	}
+	httpapi.SetDurationHeaders(w.Header(), inference, batch)
+	httpapi.WriteJSON(w, http.StatusOK, resp)
+}

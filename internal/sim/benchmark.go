@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/powerlaw"
+)
+
+// LoadConfig describes a simulated benchmark run, mirroring the live load
+// generator's Algorithm 2 parameters.
+type LoadConfig struct {
+	// TargetRate is r: requests/second reached at the end of the ramp.
+	TargetRate float64
+	// Duration is d: total run length in virtual time (paper: 10 minutes).
+	Duration time.Duration
+	// Timeout marks responses slower than this as errors (like the live
+	// generator's request timeout).
+	Timeout time.Duration
+	// NoRamp disables the time-proportional ramp-up and offers the target
+	// rate from the first tick — used by steady-state capacity probing.
+	NoRamp bool
+	// AlphaLength is the session-length power-law exponent used to sample
+	// per-request session lengths.
+	AlphaLength float64
+	// MaxSessionLen caps sampled lengths.
+	MaxSessionLen int
+	// Seed drives the session-length sampling.
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.AlphaLength == 0 {
+		c.AlphaLength = 2.2
+	}
+	if c.MaxSessionLen == 0 {
+		c.MaxSessionLen = 50
+	}
+	return c
+}
+
+// RunResult summarises a simulated benchmark.
+type RunResult struct {
+	// Recorder holds latency and error measurements (errors = timeouts).
+	Recorder *metrics.Recorder
+	// Backpressured counts scheduling slots skipped because too many
+	// requests were pending.
+	Backpressured int64
+	// Sent is the number of requests actually issued.
+	Sent int64
+	// Planned is the number of requests the ramp schedule wanted to issue.
+	Planned int64
+}
+
+// Meets reports whether the run satisfied a latency SLO at the offered
+// load: the p90 within budget, (almost) no timeouts, and (almost) no
+// backpressure-induced load shedding.
+func (r RunResult) Meets(p90Budget time.Duration) bool {
+	if r.Sent == 0 {
+		return false
+	}
+	okRatio := float64(r.Sent-r.Recorder.Errors()) / float64(r.Planned)
+	return r.Recorder.Overall().P90 <= p90Budget && okRatio >= 0.99
+}
+
+// RunBenchmark executes Algorithm 2's schedule in virtual time against a
+// fleet of instances with round-robin routing, and returns the measured
+// latencies. All instances must be registered on the same Engine.
+func RunBenchmark(eng *Engine, cfg LoadConfig, fleet []*Instance) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TargetRate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("sim: rate and duration must be positive: %+v", cfg)
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("sim: empty fleet")
+	}
+	for _, in := range fleet {
+		if !in.Fits() {
+			return nil, fmt.Errorf("sim: model does not fit instance %s", in.spec.Name)
+		}
+	}
+
+	lengths, err := powerlaw.New(cfg.AlphaLength, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sim: session length distribution: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &RunResult{Recorder: metrics.NewRecorder()}
+	pending := 0
+	next := 0 // round-robin index
+
+	ticks := int(cfg.Duration / time.Second)
+	if ticks < 1 {
+		ticks = 1
+	}
+	start := eng.Now()
+	for t := 0; t < ticks; t++ {
+		tick := t
+		frac := float64(t+1) / float64(ticks)
+		if cfg.NoRamp {
+			frac = 1
+		}
+		rc := int(cfg.TargetRate * frac)
+		if rc < 1 {
+			rc = 1
+		}
+		res.Planned += int64(rc)
+		gap := time.Second / time.Duration(rc)
+		for i := 0; i < rc; i++ {
+			at := start + time.Duration(tick)*time.Second + time.Duration(i)*gap
+			sessionLen := lengths.SampleIntCapped(rng, cfg.MaxSessionLen)
+			eng.Schedule(at-eng.Now(), func() {
+				// Backpressure: skip the slot when the fleet already has a
+				// tick's worth of work outstanding.
+				if pending >= rc {
+					res.Backpressured++
+					return
+				}
+				pending++
+				res.Sent++
+				res.Recorder.RecordSent(tick)
+				in := fleet[next%len(fleet)]
+				next++
+				in.Submit(sessionLen, func(latency time.Duration) {
+					pending--
+					if latency > cfg.Timeout {
+						res.Recorder.RecordError(tick)
+					} else {
+						res.Recorder.RecordLatency(tick, latency)
+					}
+				})
+			})
+		}
+	}
+	eng.Run(start + cfg.Duration)
+	eng.Drain()
+	return res, nil
+}
+
+// Capacity finds the highest request rate (requests/second) a single
+// instance of spec sustains for the model within the latency SLO, via
+// binary search over simulated runs. Zero means the model cannot be served
+// within the SLO at any rate (or does not fit).
+func Capacity(spec device.Spec, name string, cfg model.Config, jit bool, slo time.Duration) (float64, error) {
+	const (
+		lo0      = 1.0
+		hi0      = 8000.0
+		duration = 10 * time.Second
+	)
+	feasibleAt := func(rate float64) (bool, error) {
+		eng := NewEngine()
+		in, err := NewInstance(eng, spec, name, cfg, jit, 2*time.Millisecond, spec.MaxBatch)
+		if err != nil {
+			return false, err
+		}
+		if !in.Fits() {
+			return false, nil
+		}
+		res, err := RunBenchmark(eng, LoadConfig{
+			TargetRate: rate,
+			Duration:   duration,
+			NoRamp:     true,
+			Seed:       1,
+		}, []*Instance{in})
+		if err != nil {
+			return false, err
+		}
+		return res.Meets(slo), nil
+	}
+
+	ok, err := feasibleAt(lo0)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	lo, hi := lo0, hi0
+	if ok, err := feasibleAt(hi); err != nil {
+		return 0, err
+	} else if ok {
+		return hi, nil
+	}
+	for hi-lo > 1 && hi/lo > 1.05 {
+		mid := (lo + hi) / 2
+		ok, err := feasibleAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

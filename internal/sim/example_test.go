@@ -1,0 +1,34 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+// Simulate a paper-style end-to-end run in virtual time: a 60-second ramp
+// to 500 req/s against one T4 serving SASRec at a million-item catalog.
+func Example() {
+	eng := sim.NewEngine()
+	in, err := sim.NewInstance(eng, device.GPUT4(), "sasrec",
+		model.Config{CatalogSize: 1_000_000, Seed: 1}, true, 2*time.Millisecond, 1024)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.RunBenchmark(eng, sim.LoadConfig{
+		TargetRate: 500,
+		Duration:   60 * time.Second,
+		Seed:       1,
+	}, []*sim.Instance{in})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("errors:", res.Recorder.Errors())
+	fmt.Println("meets 50ms p90:", res.Meets(50*time.Millisecond))
+	// Output:
+	// errors: 0
+	// meets 50ms p90: true
+}

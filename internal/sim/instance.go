@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+// Request is one simulated recommendation request.
+type Request struct {
+	// SessionLen is the click-history length, which sets the encoder cost.
+	SessionLen int
+	// arrival is the virtual submission time.
+	arrival time.Duration
+	// done receives the end-to-end latency when the request completes.
+	done func(latency time.Duration)
+}
+
+// Instance simulates one serving machine: a device (CPU or GPU), a deployed
+// model (represented by its per-session-length cost table), optional JIT
+// execution, and — on GPUs — the 2ms/1024 request batcher.
+type Instance struct {
+	eng  *Engine
+	spec device.Spec
+	jit  bool
+
+	// costs[l] is the model's per-inference cost at session length l;
+	// index 0 is unused.
+	costs []model.Cost
+
+	// Batching state (GPU).
+	maxBatch   int
+	flushEvery time.Duration
+	buffer     []Request
+	flushArmed bool
+
+	// Service state.
+	busy  bool
+	queue []Request // CPU FIFO
+	// busyTotal accumulates device-busy virtual time (service durations),
+	// the utilisation signal consumed by the autoscaler.
+	busyTotal time.Duration
+}
+
+// NewInstance builds a simulated instance serving the named model.
+// flushEvery and maxBatch configure the batcher (paper defaults: 2ms, 1024,
+// further capped by accelerator memory); they are ignored on CPU instances.
+func NewInstance(eng *Engine, spec device.Spec, name string, cfg model.Config, jit bool, flushEvery time.Duration, maxBatch int) (*Instance, error) {
+	cfg = normalizeConfig(cfg)
+	costs := make([]model.Cost, cfg.MaxSessionLen+1)
+	for l := 1; l <= cfg.MaxSessionLen; l++ {
+		c, err := model.EstimateCost(name, cfg, l)
+		if err != nil {
+			return nil, err
+		}
+		costs[l] = c
+	}
+	eff := spec.EffectiveMaxBatch(costs[1])
+	if eff > maxBatch {
+		eff = maxBatch
+	}
+	if flushEvery <= 0 {
+		flushEvery = 2 * time.Millisecond
+	}
+	return &Instance{
+		eng:        eng,
+		spec:       spec,
+		jit:        jit,
+		costs:      costs,
+		maxBatch:   eff,
+		flushEvery: flushEvery,
+	}, nil
+}
+
+func normalizeConfig(cfg model.Config) model.Config {
+	if cfg.MaxSessionLen == 0 {
+		cfg.MaxSessionLen = 50
+	}
+	return cfg
+}
+
+// Fits reports whether the model fits the instance at all (GPU memory).
+func (in *Instance) Fits() bool {
+	return in.spec.Kind == device.KindCPU || in.maxBatch > 0
+}
+
+func (in *Instance) costFor(sessionLen int) model.Cost {
+	if sessionLen < 1 {
+		sessionLen = 1
+	}
+	if sessionLen >= len(in.costs) {
+		sessionLen = len(in.costs) - 1
+	}
+	return in.costs[sessionLen]
+}
+
+// Submit enqueues a request; done fires with the end-to-end latency.
+func (in *Instance) Submit(sessionLen int, done func(latency time.Duration)) {
+	req := Request{SessionLen: sessionLen, arrival: in.eng.Now(), done: done}
+	if in.spec.Kind == device.KindCPU {
+		in.queue = append(in.queue, req)
+		in.pumpCPU()
+		return
+	}
+	in.buffer = append(in.buffer, req)
+	if !in.busy && len(in.buffer) >= in.maxBatch {
+		in.startBatch()
+		return
+	}
+	if !in.flushArmed {
+		in.flushArmed = true
+		in.eng.Schedule(in.flushEvery, in.flushTimer)
+	}
+}
+
+// pumpCPU starts the next request on the (single, intra-op parallel)
+// executor when it is idle.
+func (in *Instance) pumpCPU() {
+	if in.busy || len(in.queue) == 0 {
+		return
+	}
+	req := in.queue[0]
+	in.queue = in.queue[1:]
+	in.busy = true
+	service := in.spec.ParallelInference(in.costFor(req.SessionLen), in.jit)
+	in.busyTotal += service
+	in.eng.Schedule(service, func() {
+		in.busy = false
+		req.done(in.eng.Now() - req.arrival)
+		in.pumpCPU()
+	})
+}
+
+func (in *Instance) flushTimer() {
+	in.flushArmed = false
+	if !in.busy && len(in.buffer) > 0 {
+		in.startBatch()
+	} else if len(in.buffer) > 0 {
+		// Device busy: try again when it frees up (completion re-pumps),
+		// but keep the periodic timer alive as a safety net.
+		in.flushArmed = true
+		in.eng.Schedule(in.flushEvery, in.flushTimer)
+	}
+}
+
+// startBatch launches up to maxBatch buffered requests on the accelerator.
+func (in *Instance) startBatch() {
+	n := len(in.buffer)
+	if n > in.maxBatch {
+		n = in.maxBatch
+	}
+	batch := make([]Request, n)
+	copy(batch, in.buffer)
+	in.buffer = in.buffer[n:]
+	in.busy = true
+
+	// The batch's service time uses the mean session length of its
+	// requests (the encoder runs per request; the catalog scan dominates
+	// and is shared).
+	totalLen := 0
+	for _, r := range batch {
+		totalLen += r.SessionLen
+	}
+	meanLen := totalLen / n
+	if meanLen < 1 {
+		meanLen = 1
+	}
+	service := in.spec.BatchInference(in.costFor(meanLen), n, in.jit)
+	in.busyTotal += service
+	in.eng.Schedule(service, func() {
+		in.busy = false
+		for _, r := range batch {
+			r.done(in.eng.Now() - r.arrival)
+		}
+		if len(in.buffer) >= in.maxBatch {
+			in.startBatch()
+		} else if len(in.buffer) > 0 && !in.flushArmed {
+			in.flushArmed = true
+			in.eng.Schedule(in.flushEvery, in.flushTimer)
+		}
+	})
+}
+
+// BusyTime returns the accumulated device-busy virtual time — the
+// utilisation signal the autoscaler divides by wall time.
+func (in *Instance) BusyTime() time.Duration { return in.busyTotal }
+
+// Pending returns the number of requests buffered or queued (not yet
+// completed) on this instance.
+func (in *Instance) Pending() int {
+	n := len(in.buffer) + len(in.queue)
+	if in.busy {
+		n++ // approximation: at least one request in service
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b element-wise as a new tensor.
+func Add(a, b *Tensor) *Tensor {
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// AddInPlace computes t += u element-wise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	checkSameLen(t, u, "Add")
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// Sub returns a - b element-wise as a new tensor.
+func Sub(a, b *Tensor) *Tensor {
+	checkSameLen(a, b, "Sub")
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product a ⊙ b.
+func Mul(a, b *Tensor) *Tensor {
+	out := a.Clone()
+	out.MulInPlace(b)
+	return out
+}
+
+// MulInPlace computes t ⊙= u element-wise.
+func (t *Tensor) MulInPlace(u *Tensor) {
+	checkSameLen(t, u, "Mul")
+	for i, v := range u.data {
+		t.data[i] *= v
+	}
+}
+
+// Scale returns s·a as a new tensor.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := a.Clone()
+	out.ScaleInPlace(s)
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScalar adds s to every element in place.
+func (t *Tensor) AddScalar(s float32) {
+	for i := range t.data {
+		t.data[i] += s
+	}
+}
+
+// AddRowVector adds a length-n vector v to every row of an [m,n] tensor in
+// place (broadcast add, the bias pattern).
+func (t *Tensor) AddRowVector(v *Tensor) {
+	if len(t.shape) != 2 || len(v.shape) != 1 || t.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVector %v += %v", t.shape, v.shape))
+	}
+	n := t.shape[1]
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j, b := range v.data {
+			row[j] += b
+		}
+	}
+}
+
+// Concat concatenates 1-D tensors into one longer 1-D tensor.
+func Concat(ts ...*Tensor) *Tensor {
+	n := 0
+	for _, t := range ts {
+		if len(t.shape) != 1 {
+			panic("tensor: Concat requires 1-D tensors")
+		}
+		n += t.shape[0]
+	}
+	out := New(n)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += len(t.data)
+	}
+	return out
+}
+
+// ConcatRows stacks 2-D tensors with equal column counts vertically.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows with no operands")
+	}
+	cols := ts[0].shape[1]
+	rows := 0
+	for _, t := range ts {
+		if len(t.shape) != 2 || t.shape[1] != cols {
+			panic("tensor: ConcatRows shape mismatch")
+		}
+		rows += t.shape[0]
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += len(t.data)
+	}
+	return out
+}
+
+// Apply returns a new tensor with f applied element-wise.
+func Apply(a *Tensor, f func(float32) float32) *Tensor {
+	out := a.Clone()
+	out.ApplyInPlace(f)
+	return out
+}
+
+// ApplyInPlace applies f to every element.
+func (t *Tensor) ApplyInPlace(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Sigmoid applies the logistic function element-wise in place.
+func (t *Tensor) Sigmoid() {
+	for i, v := range t.data {
+		t.data[i] = sigmoid(v)
+	}
+}
+
+// Tanh applies tanh element-wise in place.
+func (t *Tensor) Tanh() {
+	for i, v := range t.data {
+		t.data[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// ReLU applies max(0, x) element-wise in place.
+func (t *Tensor) ReLU() {
+	for i, v := range t.data {
+		if v < 0 {
+			t.data[i] = 0
+		}
+	}
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation)
+// element-wise in place.
+func (t *Tensor) GELU() {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range t.data {
+		x := float64(v)
+		t.data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1.0 / (1.0 + math.Exp(-float64(v))))
+}
+
+func checkSameLen(a, b *Tensor, op string) {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: %s operand sizes %d and %d", op, len(a.data), len(b.data)))
+	}
+}

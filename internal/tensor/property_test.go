@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: LayerNorm (γ=1, β=0) is invariant to affine transforms of its
+// input: LN(a·x + b) == LN(x) for a > 0.
+func TestLayerNormAffineInvarianceProperty(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		a := float32(aRaw%50)/10 + 0.1 // 0.1 .. 5.0
+		b := float32(bRaw%100) - 50    // -50 .. 49
+		rng := rand.New(rand.NewSource(seed))
+		x := randTensor(rng, 16)
+		gamma := Full(1, 16)
+		beta := New(16)
+
+		plain := x.Clone()
+		plain.LayerNorm(gamma, beta, 1e-9)
+
+		scaled := x.Clone()
+		scaled.ScaleInPlace(a)
+		scaled.AddScalar(b)
+		scaled.LayerNorm(gamma, beta, 1e-9)
+
+		return plain.AllClose(scaled, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatVec is linear: A(x+y) == Ax + Ay and A(c·x) == c·Ax.
+func TestMatVecLinearityProperty(t *testing.T) {
+	f := func(seed int64, cRaw uint8) bool {
+		c := float32(cRaw%10) - 5
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, 5, 7)
+		x := randTensor(rng, 7)
+		y := randTensor(rng, 7)
+
+		sum := MatVec(a, Add(x, y))
+		parts := Add(MatVec(a, x), MatVec(a, y))
+		if !sum.AllClose(parts, 1e-3) {
+			return false
+		}
+		scaled := MatVec(a, Scale(x, c))
+		scaledOut := Scale(MatVec(a, x), c)
+		return scaled.AllClose(scaledOut, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Outer(x, y)·z == x · (y·z) — outer product contracts correctly.
+func TestOuterContractionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randTensor(rng, 4)
+		y := randTensor(rng, 6)
+		z := randTensor(rng, 6)
+		left := MatVec(Outer(x, y), z)
+		right := Scale(x, Dot(y.Data(), z.Data()))
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullAndString(t *testing.T) {
+	a := Full(3, 2, 2)
+	for _, v := range a.Data() {
+		if v != 3 {
+			t.Fatalf("Full = %v", a.Data())
+		}
+	}
+	if s := a.String(); s == "" {
+		t.Fatalf("empty String")
+	}
+	big := New(100)
+	if s := big.String(); s == "" {
+		t.Fatalf("empty String for large tensor")
+	}
+}
+
+func TestCopyFromSizeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "CopyFrom size mismatch")
+	New(3).CopyFrom(New(4))
+}
+
+func TestRowsOutOfRangePanics(t *testing.T) {
+	defer expectPanic(t, "Rows out of range")
+	New(3, 2).Rows(1, 5)
+}
+
+func TestAddScalar(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	a.AddScalar(10)
+	if a.At(0) != 11 || a.At(1) != 12 {
+		t.Fatalf("AddScalar = %v", a.Data())
+	}
+}
+
+func TestZero(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	a.Zero()
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatalf("Zero left %v", a.Data())
+		}
+	}
+}
+
+func TestNormMatchesMath(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	if n := a.Norm(); math.Abs(float64(n)-5) > 1e-6 {
+		t.Fatalf("Norm = %v, want 5", n)
+	}
+}
+
+func TestApplyAndApplyInPlace(t *testing.T) {
+	a := FromSlice([]float32{1, 4, 9}, 3)
+	b := Apply(a, func(v float32) float32 { return v * 2 })
+	if b.At(1) != 8 {
+		t.Fatalf("Apply = %v", b.Data())
+	}
+	if a.At(1) != 4 {
+		t.Fatalf("Apply mutated the input")
+	}
+	a.ApplyInPlace(func(v float32) float32 { return -v })
+	if a.At(0) != -1 {
+		t.Fatalf("ApplyInPlace = %v", a.Data())
+	}
+}
+
+func TestMulAndScaleInPlaceAliasesSafe(t *testing.T) {
+	a := FromSlice([]float32{2, 3}, 2)
+	a.MulInPlace(a) // squaring through aliasing must work
+	if a.At(0) != 4 || a.At(1) != 9 {
+		t.Fatalf("self MulInPlace = %v", a.Data())
+	}
+}

@@ -1,0 +1,458 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	a := New(3, 4)
+	if got := a.Len(); got != 12 {
+		t.Fatalf("Len = %d, want 12", got)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if a.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromSliceAndAtSet(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if a.At(0, 0) != 1 || a.At(1, 2) != 6 {
+		t.Fatalf("row-major layout broken: %v", a.Data())
+	}
+	a.Set(42, 1, 1)
+	if a.At(1, 1) != 42 {
+		t.Fatalf("Set/At round trip failed")
+	}
+}
+
+func TestFromSliceShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "FromSlice with bad shape")
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer expectPanic(t, "At out of range")
+	New(2, 2).At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Reshape(4)
+	b.Set(9, 0)
+	if a.At(0, 0) != 9 {
+		t.Fatalf("Reshape must be a view")
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer expectPanic(t, "Reshape size change")
+	New(2, 2).Reshape(3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := a.Clone()
+	b.Set(7, 0)
+	if a.At(0) != 1 {
+		t.Fatalf("Clone must not share data")
+	}
+}
+
+func TestRowAndRowsViews(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	r := a.Row(1)
+	if r.At(0) != 3 || r.At(1) != 4 {
+		t.Fatalf("Row(1) = %v", r.Data())
+	}
+	rs := a.Rows(1, 3)
+	if rs.Dim(0) != 2 || rs.At(1, 1) != 6 {
+		t.Fatalf("Rows(1,3) wrong: %v", rs.Data())
+	}
+	r.Set(99, 0)
+	if a.At(1, 0) != 99 {
+		t.Fatalf("Row must be a view")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	if !c.AllClose(want, 1e-6) {
+		t.Fatalf("MatMul = %v, want %v", c.Data(), want.Data())
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 5, 5)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	if got := MatMul(a, id); !got.AllClose(a, 1e-6) {
+		t.Fatalf("A × I != A")
+	}
+	if got := MatMul(id, a); !got.AllClose(a, 1e-6) {
+		t.Fatalf("I × A != A")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "MatMul inner dim mismatch")
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randTensor(rng, 7, 4)
+	x := randTensor(rng, 4)
+	got := MatVec(a, x)
+	want := MatMul(a, x.Reshape(4, 1)).Reshape(7)
+	if !got.AllClose(want, 1e-5) {
+		t.Fatalf("MatVec disagrees with MatMul")
+	}
+}
+
+func TestDot(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5}
+	y := []float32{5, 4, 3, 2, 1}
+	if got := Dot(x, y); got != 35 {
+		t.Fatalf("Dot = %v, want 35", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randTensor(rng, 3, 5)
+	tt := Transpose(Transpose(a))
+	if !tt.AllClose(a, 0) {
+		t.Fatalf("Transpose(Transpose(a)) != a")
+	}
+	at := Transpose(a)
+	if at.Dim(0) != 5 || at.Dim(1) != 3 {
+		t.Fatalf("Transpose shape = %v", at.Shape())
+	}
+	if at.At(2, 1) != a.At(1, 2) {
+		t.Fatalf("Transpose element mismatch")
+	}
+}
+
+func TestOuter(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := FromSlice([]float32{3, 4, 5}, 3)
+	o := Outer(x, y)
+	want := FromSlice([]float32{3, 4, 5, 6, 8, 10}, 2, 3)
+	if !o.AllClose(want, 0) {
+		t.Fatalf("Outer = %v", o.Data())
+	}
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	if got := Add(a, b); !got.AllClose(FromSlice([]float32{5, 7, 9}, 3), 0) {
+		t.Fatalf("Add = %v", got.Data())
+	}
+	if got := Sub(b, a); !got.AllClose(FromSlice([]float32{3, 3, 3}, 3), 0) {
+		t.Fatalf("Sub = %v", got.Data())
+	}
+	if got := Mul(a, b); !got.AllClose(FromSlice([]float32{4, 10, 18}, 3), 0) {
+		t.Fatalf("Mul = %v", got.Data())
+	}
+	if got := Scale(a, 2); !got.AllClose(FromSlice([]float32{2, 4, 6}, 3), 0) {
+		t.Fatalf("Scale = %v", got.Data())
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	a.AddRowVector(FromSlice([]float32{10, 20}, 2))
+	want := FromSlice([]float32{11, 22, 13, 24}, 2, 2)
+	if !a.AllClose(want, 0) {
+		t.Fatalf("AddRowVector = %v", a.Data())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	c := Concat(FromSlice([]float32{1, 2}, 2), FromSlice([]float32{3}, 1))
+	if !c.AllClose(FromSlice([]float32{1, 2, 3}, 3), 0) {
+		t.Fatalf("Concat = %v", c.Data())
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 1, 2)
+	b := FromSlice([]float32{3, 4, 5, 6}, 2, 2)
+	c := ConcatRows(a, b)
+	if c.Dim(0) != 3 || c.At(2, 1) != 6 {
+		t.Fatalf("ConcatRows = %v %v", c.Shape(), c.Data())
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 4)
+	a.Softmax()
+	if s := a.Sum(); math.Abs(float64(s)-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+	// monotone: larger logits get larger probabilities
+	for i := 0; i < 3; i++ {
+		if a.At(i) >= a.At(i+1) {
+			t.Fatalf("softmax not monotone: %v", a.Data())
+		}
+	}
+}
+
+func TestSoftmaxNumericallyStable(t *testing.T) {
+	a := FromSlice([]float32{1000, 1001, 1002}, 3)
+	a.Softmax()
+	if a.HasNaN() {
+		t.Fatalf("softmax overflow: %v", a.Data())
+	}
+	if s := a.Sum(); math.Abs(float64(s)-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	a.SoftmaxRows()
+	for i := 0; i < 2; i++ {
+		if s := a.Row(i).Sum(); math.Abs(float64(s)-1) > 1e-5 {
+			t.Fatalf("row %d sum = %v", i, s)
+		}
+	}
+}
+
+func TestLayerNormZeroMeanUnitVar(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	gamma := Full(1, 8)
+	beta := New(8)
+	a.LayerNorm(gamma, beta, 1e-6)
+	if m := a.Mean(); math.Abs(float64(m)) > 1e-5 {
+		t.Fatalf("mean after LayerNorm = %v", m)
+	}
+	var varSum float64
+	for _, v := range a.Data() {
+		varSum += float64(v) * float64(v)
+	}
+	if v := varSum / 8; math.Abs(v-1) > 1e-3 {
+		t.Fatalf("variance after LayerNorm = %v", v)
+	}
+}
+
+func TestLayerNormAffine(t *testing.T) {
+	a := FromSlice([]float32{-1, 1}, 2)
+	gamma := FromSlice([]float32{2, 2}, 2)
+	beta := FromSlice([]float32{10, 10}, 2)
+	a.LayerNorm(gamma, beta, 1e-9)
+	if math.Abs(float64(a.At(0)-8)) > 1e-3 || math.Abs(float64(a.At(1)-12)) > 1e-3 {
+		t.Fatalf("LayerNorm affine = %v", a.Data())
+	}
+}
+
+func TestActivations(t *testing.T) {
+	a := FromSlice([]float32{-2, 0, 2}, 3)
+	r := a.Clone()
+	r.ReLU()
+	if r.At(0) != 0 || r.At(1) != 0 || r.At(2) != 2 {
+		t.Fatalf("ReLU = %v", r.Data())
+	}
+	s := a.Clone()
+	s.Sigmoid()
+	if math.Abs(float64(s.At(1))-0.5) > 1e-6 {
+		t.Fatalf("sigmoid(0) = %v", s.At(1))
+	}
+	if s.At(0) <= 0 || s.At(0) >= 0.5 || s.At(2) <= 0.5 || s.At(2) >= 1 {
+		t.Fatalf("sigmoid range broken: %v", s.Data())
+	}
+	th := a.Clone()
+	th.Tanh()
+	if math.Abs(float64(th.At(1))) > 1e-9 {
+		t.Fatalf("tanh(0) = %v", th.At(1))
+	}
+	g := a.Clone()
+	g.GELU()
+	if math.Abs(float64(g.At(1))) > 1e-9 {
+		t.Fatalf("gelu(0) = %v", g.At(1))
+	}
+	if g.At(2) <= 1.9 || g.At(2) >= 2 {
+		t.Fatalf("gelu(2) = %v, want just below 2", g.At(2))
+	}
+}
+
+func TestL2NormalizeRows(t *testing.T) {
+	a := FromSlice([]float32{3, 4, 0, 0}, 2, 2)
+	a.L2NormalizeRows()
+	if n := a.Row(0).Norm(); math.Abs(float64(n)-1) > 1e-5 {
+		t.Fatalf("row norm = %v", n)
+	}
+	if a.At(1, 0) != 0 || a.At(1, 1) != 0 {
+		t.Fatalf("zero row must stay zero: %v", a.Data())
+	}
+}
+
+func TestMaxAndArgSortDesc(t *testing.T) {
+	a := FromSlice([]float32{3, 1, 4, 1, 5, 9, 2, 6}, 8)
+	v, i := a.Max()
+	if v != 9 || i != 5 {
+		t.Fatalf("Max = %v at %d", v, i)
+	}
+	idx := a.ArgSortDesc()
+	for j := 1; j < len(idx); j++ {
+		if a.At(idx[j-1]) < a.At(idx[j]) {
+			t.Fatalf("ArgSortDesc not descending: %v", idx)
+		}
+	}
+	if idx[0] != 5 {
+		t.Fatalf("ArgSortDesc[0] = %d, want 5", idx[0])
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	if a.HasNaN() {
+		t.Fatalf("clean tensor reported NaN")
+	}
+	a.Set(float32(math.NaN()), 0)
+	if !a.HasNaN() {
+		t.Fatalf("NaN not detected")
+	}
+	a.Set(float32(math.Inf(1)), 0)
+	if !a.HasNaN() {
+		t.Fatalf("Inf not detected")
+	}
+}
+
+// Property: (A × B) × C == A × (B × C) within float tolerance.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, 4, 3)
+		b := randTensor(rng, 3, 5)
+		c := randTensor(rng, 5, 2)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A×(B+C) == A×B + A×C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, 3, 4)
+		b := randTensor(rng, 4, 3)
+		c := randTensor(rng, 4, 3)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax output is a probability distribution and is invariant to
+// a constant shift of the logits.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed int64, shift float32) bool {
+		if shift != shift || shift > 50 || shift < -50 { // NaN / huge shift guard
+			shift = 1.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, 16)
+		b := a.Clone()
+		b.AddScalar(shift)
+		a.Softmax()
+		b.Softmax()
+		if !a.AllClose(b, 1e-4) {
+			return false
+		}
+		sum := a.Sum()
+		if math.Abs(float64(sum)-1) > 1e-4 {
+			return false
+		}
+		for _, v := range a.Data() {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Transpose swaps operands: (A×B)ᵀ == Bᵀ×Aᵀ.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, 3, 4)
+		b := randTensor(rng, 4, 5)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return left.AllClose(right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ArgSortDesc returns a permutation with non-increasing values.
+func TestArgSortDescProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		size := int(n%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randTensor(rng, size)
+		idx := a.ArgSortDesc()
+		if len(idx) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, i := range idx {
+			if i < 0 || i >= size || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for j := 1; j < size; j++ {
+			if a.At(idx[j-1]) < a.At(idx[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("%s: expected panic", what)
+	}
+}

@@ -1,0 +1,33 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"etude/internal/tensor"
+	"etude/internal/topk"
+)
+
+// Score a session representation against a catalog embedding matrix and
+// take the best two items — the O(C(d+log k)) stage every SBR model ends
+// with.
+func ExampleTopK() {
+	catalog := tensor.FromSlice([]float32{
+		1, 0,
+		0, 1,
+		1, 1,
+	}, 3, 2)
+	session := tensor.FromSlice([]float32{2, 1}, 2)
+	for _, r := range topk.TopK(catalog, session, 2) {
+		fmt.Printf("item %d score %.0f\n", r.Item, r.Score)
+	}
+	// Output:
+	// item 2 score 3
+	// item 0 score 2
+}
+
+func ExampleSelectFromScores() {
+	scores := []float32{0.1, 0.9, 0.5}
+	best := topk.SelectFromScores(scores, 1)
+	fmt.Println(best[0].Item)
+	// Output: 1
+}

@@ -1,0 +1,191 @@
+// Package topk implements the maximum-inner-product search (MIPS) stage that
+// dominates inference latency in session-based recommendation models.
+//
+// Given the learned d-dimensional representations of all C catalog items and
+// a d-dimensional session representation, every model in this repository
+// scores all items with an inner product and returns the k best. This is the
+// O(C·(d + log k)) term from the paper's complexity analysis: C·d for the
+// scoring pass and C·log k for maintaining the best-k heap.
+package topk
+
+import (
+	"fmt"
+
+	"etude/internal/tensor"
+)
+
+// Result is one recommended item with its model score.
+type Result struct {
+	Item  int64   // catalog item identifier (row in the embedding matrix)
+	Score float32 // inner-product score
+}
+
+// TopK scores all rows of items (an [C,d] embedding matrix) against query (a
+// length-d vector) and returns the k highest-scoring items in descending
+// score order. If k exceeds C, all C items are returned.
+func TopK(items, query *tensor.Tensor, k int) []Result {
+	scores := tensor.MatVec(items, query)
+	return SelectFromScores(scores.Data(), k)
+}
+
+// SelectFromScores returns the k largest entries of scores in descending
+// order using a bounded min-heap: O(C log k) instead of O(C log C) for a full
+// sort. Ties are broken towards the lower item id for deterministic output.
+func SelectFromScores(scores []float32, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	h := newMinHeap(k)
+	for i, s := range scores {
+		h.offer(int64(i), s)
+	}
+	return h.drainDescending()
+}
+
+// SelectFromScoresSorted is the exhaustive baseline used by the top-k
+// ablation benchmark: it fully sorts the score vector (O(C log C)) and takes
+// the first k. Results are identical to SelectFromScores.
+func SelectFromScoresSorted(scores []float32, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	t := tensor.FromSlice(scores, len(scores))
+	idx := t.ArgSortDesc()
+	out := make([]Result, k)
+	for i := 0; i < k; i++ {
+		out[i] = Result{Item: int64(idx[i]), Score: scores[idx[i]]}
+	}
+	return out
+}
+
+// minHeap is a fixed-capacity binary min-heap over (item, score) pairs. The
+// root holds the current k-th best score, so a candidate only enters the heap
+// when it beats the root.
+type minHeap struct {
+	items  []int64
+	scores []float32
+	cap    int
+}
+
+func newMinHeap(k int) *minHeap {
+	return &minHeap{
+		items:  make([]int64, 0, k),
+		scores: make([]float32, 0, k),
+		cap:    k,
+	}
+}
+
+// less orders by score ascending with item id descending as tie-break, so
+// that for equal scores the larger item id is considered "worse" and evicted
+// first, yielding deterministic lowest-id-wins results.
+func (h *minHeap) less(a, b int) bool {
+	if h.scores[a] != h.scores[b] {
+		return h.scores[a] < h.scores[b]
+	}
+	return h.items[a] > h.items[b]
+}
+
+func (h *minHeap) swap(a, b int) {
+	h.items[a], h.items[b] = h.items[b], h.items[a]
+	h.scores[a], h.scores[b] = h.scores[b], h.scores[a]
+}
+
+func (h *minHeap) offer(item int64, score float32) {
+	if len(h.items) < h.cap {
+		h.items = append(h.items, item)
+		h.scores = append(h.scores, score)
+		h.up(len(h.items) - 1)
+		return
+	}
+	// Replace the root if the candidate is strictly better than the current
+	// k-th best (or equal with a smaller item id).
+	if score < h.scores[0] || (score == h.scores[0] && item > h.items[0]) {
+		return
+	}
+	h.items[0], h.scores[0] = item, score
+	h.down(0)
+}
+
+func (h *minHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *minHeap) down(i int) {
+	n := len(h.items)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && h.less(child+1, child) {
+			child++
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h.swap(i, child)
+		i = child
+	}
+}
+
+// drainDescending empties the heap into a slice sorted from best to worst.
+func (h *minHeap) drainDescending() []Result {
+	n := len(h.items)
+	out := make([]Result, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = Result{Item: h.items[0], Score: h.scores[0]}
+		last := len(h.items) - 1
+		h.swap(0, last)
+		h.items = h.items[:last]
+		h.scores = h.scores[:last]
+		h.down(0)
+	}
+	return out
+}
+
+// Sharded scores the catalog in shards and merges per-shard top-k results.
+// It is the building block for the sampled-shard serving mode used with very
+// large catalogs on simulated accelerators (see internal/device): scoring a
+// shard preserves the code path and result shape of full-catalog MIPS while
+// bounding real compute.
+func Sharded(items, query *tensor.Tensor, k, shardSize int) []Result {
+	if shardSize <= 0 {
+		panic(fmt.Sprintf("topk: non-positive shard size %d", shardSize))
+	}
+	c := items.Dim(0)
+	h := newMinHeap(min(k, c))
+	buf := tensor.New(min(shardSize, c))
+	for from := 0; from < c; from += shardSize {
+		to := min(from+shardSize, c)
+		shard := items.Rows(from, to)
+		dst := buf
+		if to-from != buf.Dim(0) {
+			dst = tensor.New(to - from)
+		}
+		tensor.MatVecInto(dst, shard, query)
+		for i, s := range dst.Data() {
+			h.offer(int64(from+i), s)
+		}
+	}
+	return h.drainDescending()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

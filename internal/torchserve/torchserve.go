@@ -1,0 +1,211 @@
+// Package torchserve is a behaviourally faithful simulator of the open
+// source TorchServe inference server, built to reproduce the paper's
+// infrastructure finding (Fig 2): TorchServe fails to handle 1,000
+// requests/second efficiently even when no model inference is performed.
+//
+// The simulator models the three architectural mechanisms the paper blames:
+//
+//   - a Java frontend that enqueues every request into a bounded job queue
+//     (immediate 503 when the queue is full);
+//   - a small, fixed pool of Python worker processes, each handling one
+//     request at a time (the GIL), with a per-request inter-process
+//     serialisation/dispatch overhead of several milliseconds;
+//   - an internal response timeout (default 100 ms): jobs that waited
+//     longer than the timeout in the queue are answered with an HTTP error.
+//
+// Under a ramping load, capacity saturates at workers/overhead requests per
+// second (≈330/s with the defaults); beyond that, queue waits climb to the
+// timeout, surviving requests land in the 100–200 ms band, and the error
+// rate explodes — exactly the measured behaviour in the paper.
+package torchserve
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/model"
+	"etude/internal/topk"
+)
+
+// Config controls the simulated TorchServe deployment.
+type Config struct {
+	// Workers is the number of Python worker processes (TorchServe default:
+	// one per vCPU; the paper's 2-vCPU machine gets 2).
+	Workers int
+	// PerRequestOverhead is the frontend↔worker IPC plus Python dispatch
+	// cost paid by every request, even for an empty model.
+	PerRequestOverhead time.Duration
+	// OverheadJitter adds uniform ±jitter to the overhead.
+	OverheadJitter time.Duration
+	// ResponseTimeout is TorchServe's internal timeout: requests whose
+	// queue wait exceeds it are answered with an error (default 100 ms, as
+	// in the paper).
+	ResponseTimeout time.Duration
+	// QueueSize bounds the frontend job queue (TorchServe default: 100).
+	QueueSize int
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration matching the paper's TorchServe
+// deployment on a 2-vCPU e2 machine.
+func DefaultConfig() Config {
+	return Config{
+		Workers:            2,
+		PerRequestOverhead: 6 * time.Millisecond,
+		OverheadJitter:     2 * time.Millisecond,
+		ResponseTimeout:    100 * time.Millisecond,
+		QueueSize:          100,
+		Seed:               1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.PerRequestOverhead <= 0 {
+		c.PerRequestOverhead = d.PerRequestOverhead
+	}
+	if c.ResponseTimeout <= 0 {
+		c.ResponseTimeout = d.ResponseTimeout
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = d.QueueSize
+	}
+	return c
+}
+
+// Server simulates a TorchServe deployment. Create with New (optionally
+// hosting a model; nil serves the empty Python handler of the paper's
+// infrastructure test), serve via Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	mdl   model.Model // nil: empty handler
+	queue chan job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+type job struct {
+	enqueued time.Time
+	session  []int64
+	reply    chan jobResult
+}
+
+type jobResult struct {
+	recs    []topk.Result
+	expired bool
+}
+
+// New starts the simulated worker processes.
+func New(mdl model.Model, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mdl:   mdl,
+		queue: make(chan job, cfg.QueueSize),
+		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close terminates the worker processes.
+func (s *Server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			wait := time.Since(j.enqueued)
+			if wait > s.cfg.ResponseTimeout {
+				// The frontend has already given up on this job.
+				j.reply <- jobResult{expired: true}
+				continue
+			}
+			// IPC + Python dispatch overhead, paid even with no model.
+			time.Sleep(s.overhead())
+			var recs []topk.Result
+			if s.mdl != nil {
+				recs = s.mdl.Recommend(j.session)
+			}
+			j.reply <- jobResult{recs: recs}
+		}
+	}
+}
+
+func (s *Server) overhead() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jitter := time.Duration(0)
+	if s.cfg.OverheadJitter > 0 {
+		jitter = time.Duration(s.rng.Int63n(int64(2*s.cfg.OverheadJitter))) - s.cfg.OverheadJitter
+	}
+	return s.cfg.PerRequestOverhead + jitter
+}
+
+// Handler returns the HTTP routes: POST /predictions and GET /ping.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(httpapi.ReadyPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc(httpapi.PredictPath, s.handlePredict)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req httpapi.PredictRequest
+	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j := job{enqueued: time.Now(), session: req.Items, reply: make(chan jobResult, 1)}
+	select {
+	case s.queue <- j:
+	default:
+		http.Error(w, "job queue full", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case res := <-j.reply:
+		if res.expired {
+			http.Error(w, fmt.Sprintf("worker timeout after %v", s.cfg.ResponseTimeout), http.StatusInternalServerError)
+			return
+		}
+		resp := httpapi.PredictResponse{
+			Items:  make([]int64, len(res.recs)),
+			Scores: make([]float32, len(res.recs)),
+		}
+		for i, rec := range res.recs {
+			resp.Items[i] = rec.Item
+			resp.Scores[i] = rec.Score
+		}
+		httpapi.WriteJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		http.Error(w, "client gone", http.StatusGatewayTimeout)
+	}
+}

@@ -1,0 +1,279 @@
+package torchserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/model"
+)
+
+func post(t *testing.T, url string, items []int64) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(httpapi.PredictRequest{Items: items})
+	resp, err := http.Post(url+httpapi.PredictPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestEmptyModelServing(t *testing.T) {
+	s := New(nil, Config{Workers: 2, PerRequestOverhead: time.Millisecond, ResponseTimeout: time.Second, QueueSize: 10, Seed: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts.URL, []int64{1, 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out httpapi.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 0 {
+		t.Fatalf("empty model must return no items")
+	}
+}
+
+func TestHostsRealModel(t *testing.T) {
+	m, err := model.New("core", model.Config{CatalogSize: 100, Seed: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, Config{Workers: 1, PerRequestOverhead: time.Millisecond, ResponseTimeout: time.Second, QueueSize: 10, Seed: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts.URL, []int64{1, 2, 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out httpapi.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 5 {
+		t.Fatalf("got %d items", len(out.Items))
+	}
+}
+
+// TestPerRequestOverheadPaid: even the empty model costs the IPC overhead.
+func TestPerRequestOverheadPaid(t *testing.T) {
+	s := New(nil, Config{Workers: 1, PerRequestOverhead: 20 * time.Millisecond, OverheadJitter: time.Nanosecond, ResponseTimeout: time.Second, QueueSize: 10, Seed: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	post(t, ts.URL, []int64{1})
+	if elapsed := time.Since(start); elapsed < 18*time.Millisecond {
+		t.Fatalf("request completed in %v despite 20ms IPC overhead", elapsed)
+	}
+}
+
+// TestSaturationCausesErrors is the essence of Fig 2: push far more load
+// than workers/overhead can absorb and observe queue-full and timeout
+// errors while the Actix-style server (tested in internal/server) stays
+// clean under the same load.
+func TestSaturationCausesErrors(t *testing.T) {
+	s := New(nil, Config{
+		Workers:            1,
+		PerRequestOverhead: 10 * time.Millisecond,
+		ResponseTimeout:    30 * time.Millisecond,
+		QueueSize:          5,
+		Seed:               1,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ok, errs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(httpapi.PredictRequest{Items: []int64{1}})
+			resp, err := http.Post(ts.URL+httpapi.PredictPath, "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ok.Add(1)
+			} else {
+				errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if errs.Load() == 0 {
+		t.Fatalf("60 concurrent requests at 100 req/s capacity produced no errors")
+	}
+	if ok.Load() == 0 {
+		t.Fatalf("no request survived at all — timeout model too harsh")
+	}
+}
+
+func TestQueueFullReturns503(t *testing.T) {
+	// One very slow worker, tiny queue.
+	s := New(nil, Config{
+		Workers:            1,
+		PerRequestOverhead: 200 * time.Millisecond,
+		ResponseTimeout:    5 * time.Second,
+		QueueSize:          1,
+		Seed:               1,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var got503 atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(httpapi.PredictRequest{Items: []int64{1}})
+			resp, err := http.Post(ts.URL+httpapi.PredictPath, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				got503.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if !got503.Load() {
+		t.Fatalf("overflowing a size-1 queue never returned 503")
+	}
+}
+
+func TestPingAlwaysUp(t *testing.T) {
+	s := New(nil, DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + httpapi.ReadyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ping = %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequestRejected(t *testing.T) {
+	s := New(nil, DefaultConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+httpapi.PredictPath, "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + httpapi.PredictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d", resp2.StatusCode)
+	}
+}
+
+func TestDefaultsMatchPaperDeployment(t *testing.T) {
+	c := DefaultConfig()
+	if c.Workers != 2 {
+		t.Errorf("workers = %d, paper deploys on a 2-vCPU machine", c.Workers)
+	}
+	if c.ResponseTimeout != 100*time.Millisecond {
+		t.Errorf("timeout = %v, paper reports the internal 100ms timeout", c.ResponseTimeout)
+	}
+	// Capacity must be well below 1,000 req/s so that Fig 2 reproduces.
+	capacity := float64(c.Workers) / c.PerRequestOverhead.Seconds()
+	if capacity >= 1000 {
+		t.Errorf("simulated capacity %.0f req/s — TorchServe must fail the 1,000 req/s ramp", capacity)
+	}
+}
+
+// TestRecoversAfterOverload: once the flood stops, the simulated TorchServe
+// drains its queue and serves new requests normally — the failure mode is
+// saturation, not permanent breakage.
+func TestRecoversAfterOverload(t *testing.T) {
+	s := New(nil, Config{
+		Workers:            1,
+		PerRequestOverhead: 5 * time.Millisecond,
+		ResponseTimeout:    20 * time.Millisecond,
+		QueueSize:          10,
+		Seed:               1,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Flood.
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(httpapi.PredictRequest{Items: []int64{1}})
+			resp, err := http.Post(ts.URL+httpapi.PredictPath, "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(100 * time.Millisecond) // drain
+
+	// Calm request must succeed.
+	resp := post(t, ts.URL, []int64{1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload request failed with %d", resp.StatusCode)
+	}
+}
+
+// TestOverheadJitterDeterministic: the same seed produces the same jitter
+// sequence (experiments are reproducible).
+func TestOverheadJitterDeterministic(t *testing.T) {
+	a := New(nil, Config{Workers: 1, PerRequestOverhead: 5 * time.Millisecond, OverheadJitter: 2 * time.Millisecond, ResponseTimeout: time.Second, QueueSize: 4, Seed: 9})
+	defer a.Close()
+	b := New(nil, Config{Workers: 1, PerRequestOverhead: 5 * time.Millisecond, OverheadJitter: 2 * time.Millisecond, ResponseTimeout: time.Second, QueueSize: 4, Seed: 9})
+	defer b.Close()
+	for i := 0; i < 20; i++ {
+		if a.overhead() != b.overhead() {
+			t.Fatalf("jitter diverged at draw %d", i)
+		}
+	}
+}
+
+func TestOverheadWithinJitterBand(t *testing.T) {
+	s := New(nil, Config{Workers: 1, PerRequestOverhead: 10 * time.Millisecond, OverheadJitter: 3 * time.Millisecond, ResponseTimeout: time.Second, QueueSize: 4, Seed: 2})
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		d := s.overhead()
+		if d < 7*time.Millisecond || d > 13*time.Millisecond {
+			t.Fatalf("overhead %v outside 10ms ± 3ms", d)
+		}
+	}
+}

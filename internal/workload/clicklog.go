@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteClicks serialises a click log as CSV lines "session,item,time". The
+// format is intentionally trivial: these logs move through the object store
+// (internal/objstore) between the workload generator and the load generator.
+func WriteClicks(w io.Writer, clicks []Click) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range clicks {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", c.Session, c.Item, c.Time); err != nil {
+			return fmt.Errorf("workload: writing click log: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadClicks parses a click log produced by WriteClicks. Blank lines are
+// ignored; any malformed line is an error that names the offending line.
+func ReadClicks(r io.Reader) ([]Click, error) {
+	var clicks []Click
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		var c Click
+		var err error
+		if c.Session, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: session: %w", lineNo, err)
+		}
+		if c.Item, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: item: %w", lineNo, err)
+		}
+		if c.Time, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: time: %w", lineNo, err)
+		}
+		clicks = append(clicks, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading click log: %w", err)
+	}
+	return clicks, nil
+}

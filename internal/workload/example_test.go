@@ -1,0 +1,46 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"etude/internal/workload"
+)
+
+// Generate a synthetic click workload from the two marginal statistics of a
+// click log (Algorithm 1) and fit the statistics back.
+func Example() {
+	alphaLength, alphaClicks := workload.BolMarginals()
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: 1_000,
+		NumClicks:   10_000,
+		AlphaLength: alphaLength,
+		AlphaClicks: alphaClicks,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	clicks := gen.Generate()
+	stats, err := workload.Fit(clicks)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clicks ≥ requested: %v\n", len(clicks) >= 10_000)
+	fmt.Printf("fitted α_l close to 2.2: %v\n", stats.AlphaLength > 1.9 && stats.AlphaLength < 2.5)
+	// Output:
+	// clicks ≥ requested: true
+	// fitted α_l close to 2.2: true
+}
+
+func ExampleGenerator_NextSession() {
+	gen, _ := workload.NewGenerator(workload.Spec{
+		CatalogSize: 100,
+		NumClicks:   1,
+		AlphaLength: 2.2,
+		AlphaClicks: 1.6,
+		Seed:        7,
+	})
+	s := gen.NextSession()
+	fmt.Println(len(s) >= 1 && len(s) <= 50)
+	// Output: true
+}

@@ -1,0 +1,262 @@
+// Package workload implements ETUDE's synthetic click workload generation
+// (paper Algorithm 1) and the click-log representation shared by the load
+// generator and the validation experiments.
+//
+// The generator preserves the two marginal statistics that characterise a
+// real click log — the power-law exponent α_l of the session-length
+// distribution and the exponent α_c of the per-item click-count distribution
+// — without ever replaying sensitive real-world data. Item popularity is
+// realised by sampling C click counts from the α_c power law once and then
+// drawing each click via inverse-transform sampling from the resulting
+// empirical CDF.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"etude/internal/powerlaw"
+)
+
+// Click is a single synthetic interaction: item Item was the Time-th click
+// overall and belongs to session Session.
+type Click struct {
+	Session int64
+	Item    int64
+	Time    int64
+}
+
+// Session is an ordered list of item ids clicked in one session.
+type Session []int64
+
+// Spec declares the statistics of a synthetic workload, mirroring the
+// declarative inputs ETUDE users provide.
+type Spec struct {
+	// CatalogSize is C, the number of distinct items.
+	CatalogSize int
+	// NumClicks is N, the total number of clicks to generate.
+	NumClicks int
+	// AlphaLength is α_l, the session-length power-law exponent.
+	AlphaLength float64
+	// AlphaClicks is α_c, the click-count power-law exponent.
+	AlphaClicks float64
+	// MaxSessionLen caps sampled session lengths (0 means 50).
+	MaxSessionLen int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.MaxSessionLen == 0 {
+		s.MaxSessionLen = 50
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.CatalogSize <= 0 {
+		return fmt.Errorf("workload: catalog size must be positive, got %d", s.CatalogSize)
+	}
+	if s.NumClicks < 0 {
+		return fmt.Errorf("workload: negative click count %d", s.NumClicks)
+	}
+	if s.AlphaLength <= 1 || s.AlphaClicks <= 1 {
+		return errors.New("workload: power-law exponents must exceed 1")
+	}
+	return nil
+}
+
+// BolMarginals returns workload statistics in the range of those fitted to
+// the bol.com click log discussed in the paper: a heavy-tailed session
+// length distribution (most sessions are short) and a strongly skewed item
+// popularity distribution.
+func BolMarginals() (alphaLength, alphaClicks float64) {
+	return 2.2, 1.6
+}
+
+// Generator produces synthetic sessions on demand. It is safe to create
+// once and reuse; it is not safe for concurrent use (wrap with a mutex or
+// use one per goroutine, seeded differently).
+type Generator struct {
+	spec    Spec
+	rng     *rand.Rand
+	lengths powerlaw.Dist
+	items   *powerlaw.EmpiricalCDF
+
+	nextSession int64
+	clock       int64
+}
+
+// NewGenerator prepares a generator: it samples the C click counts up front
+// (Algorithm 1, line 7) and builds the empirical CDF used for item draws.
+func NewGenerator(spec Spec) (*Generator, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	lengths, err := powerlaw.New(spec.AlphaLength, 1)
+	if err != nil {
+		return nil, fmt.Errorf("workload: session-length distribution: %w", err)
+	}
+	clicks, err := powerlaw.New(spec.AlphaClicks, 1)
+	if err != nil {
+		return nil, fmt.Errorf("workload: click-count distribution: %w", err)
+	}
+	counts := make([]float64, spec.CatalogSize)
+	for i := range counts {
+		counts[i] = clicks.Sample(rng)
+	}
+	cdf, err := powerlaw.NewEmpiricalCDF(counts)
+	if err != nil {
+		return nil, fmt.Errorf("workload: click-count CDF: %w", err)
+	}
+	return &Generator{spec: spec, rng: rng, lengths: lengths, items: cdf}, nil
+}
+
+// Spec returns the generator's (defaulted) spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// NextSession samples one synthetic session: a length l from the α_l power
+// law and l items from the empirical click-count CDF.
+func (g *Generator) NextSession() Session {
+	l := g.lengths.SampleIntCapped(g.rng, g.spec.MaxSessionLen)
+	s := make(Session, l)
+	for i := range s {
+		s[i] = int64(g.items.Sample(g.rng))
+	}
+	g.nextSession++
+	g.clock += int64(l)
+	return s
+}
+
+// Generate produces clicks until the spec's NumClicks is reached, exactly as
+// Algorithm 1: whole sessions are emitted, so the result may slightly exceed
+// N (the final session is not truncated).
+func (g *Generator) Generate() []Click {
+	clicks := make([]Click, 0, g.spec.NumClicks+g.spec.MaxSessionLen)
+	n := 0
+	for n < g.spec.NumClicks {
+		sid := g.nextSession
+		s := g.NextSession()
+		for _, item := range s {
+			g.clockTick()
+			clicks = append(clicks, Click{Session: sid, Item: item, Time: g.clock})
+		}
+		n += len(s)
+	}
+	return clicks
+}
+
+func (g *Generator) clockTick() { g.clock++ }
+
+// Sessions groups a click log back into ordered sessions. Click order within
+// a session follows the Time field order of appearance.
+func Sessions(clicks []Click) map[int64]Session {
+	out := make(map[int64]Session)
+	for _, c := range clicks {
+		out[c.Session] = append(out[c.Session], c.Item)
+	}
+	return out
+}
+
+// Stats summarises a click log with the two marginals ETUDE cares about.
+type Stats struct {
+	NumClicks   int
+	NumSessions int
+	// AlphaLength is the MLE power-law exponent of session lengths.
+	AlphaLength float64
+	// AlphaClicks is the MLE power-law exponent of per-item click counts.
+	AlphaClicks float64
+	// MeanSessionLen is the average session length.
+	MeanSessionLen float64
+	// DistinctItems is the number of items with at least one click.
+	DistinctItems int
+}
+
+// Fit estimates the marginal statistics of a click log — the "estimate once
+// from a real click log" step. It returns an error when the log is too small
+// or degenerate for MLE fitting.
+func Fit(clicks []Click) (Stats, error) {
+	if len(clicks) == 0 {
+		return Stats{}, errors.New("workload: empty click log")
+	}
+	sessions := Sessions(clicks)
+	lengths := make([]float64, 0, len(sessions))
+	var total int
+	for _, s := range sessions {
+		lengths = append(lengths, float64(len(s)))
+		total += len(s)
+	}
+	counts := make(map[int64]int)
+	for _, c := range clicks {
+		counts[c.Item]++
+	}
+	itemCounts := make([]float64, 0, len(counts))
+	for _, n := range counts {
+		itemCounts = append(itemCounts, float64(n))
+	}
+	// Session lengths and click counts are floored continuous power-law
+	// draws, so the floored-Pareto MLE is the matching estimator: exponents
+	// fitted here can be fed straight back into a Spec to regenerate a
+	// workload with the same marginals.
+	al, err := powerlaw.FitFlooredPareto(lengths)
+	if err != nil {
+		return Stats{}, fmt.Errorf("workload: fitting session lengths: %w", err)
+	}
+	ac, err := powerlaw.FitFlooredPareto(itemCounts)
+	if err != nil {
+		return Stats{}, fmt.Errorf("workload: fitting click counts: %w", err)
+	}
+	return Stats{
+		NumClicks:      len(clicks),
+		NumSessions:    len(sessions),
+		AlphaLength:    al,
+		AlphaClicks:    ac,
+		MeanSessionLen: float64(total) / float64(len(sessions)),
+		DistinctItems:  len(counts),
+	}, nil
+}
+
+// Replay yields the sessions of a recorded click log in their original
+// order, cycling when exhausted — the "replay a real click log" side of the
+// paper's synthetic-vs-real validation. It implements the load generator's
+// SessionSource contract.
+type Replay struct {
+	sessions []Session
+	i        int
+}
+
+// NewReplay builds a replayer from a click log. It returns an error for
+// empty logs.
+func NewReplay(clicks []Click) (*Replay, error) {
+	if len(clicks) == 0 {
+		return nil, errors.New("workload: cannot replay an empty click log")
+	}
+	byID := Sessions(clicks)
+	order := make([]int64, 0, len(byID))
+	seen := make(map[int64]bool, len(byID))
+	for _, c := range clicks {
+		if !seen[c.Session] {
+			seen[c.Session] = true
+			order = append(order, c.Session)
+		}
+	}
+	out := make([]Session, len(order))
+	for i, id := range order {
+		out[i] = byID[id]
+	}
+	return &Replay{sessions: out}, nil
+}
+
+// NumSessions returns the number of distinct sessions in the log.
+func (r *Replay) NumSessions() int { return len(r.sessions) }
+
+// NextSession implements the load generator's session source: original
+// order, cycling.
+func (r *Replay) NextSession() Session {
+	s := r.sessions[r.i%len(r.sessions)]
+	r.i++
+	return s
+}

@@ -1,0 +1,376 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() Spec {
+	return Spec{
+		CatalogSize: 1000,
+		NumClicks:   5000,
+		AlphaLength: 2.2,
+		AlphaClicks: 1.6,
+		Seed:        1,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{CatalogSize: 0, NumClicks: 10, AlphaLength: 2, AlphaClicks: 2},
+		{CatalogSize: 10, NumClicks: -1, AlphaLength: 2, AlphaClicks: 2},
+		{CatalogSize: 10, NumClicks: 10, AlphaLength: 1, AlphaClicks: 2},
+		{CatalogSize: 10, NumClicks: 10, AlphaLength: 2, AlphaClicks: 0.9},
+	}
+	for i, s := range bad {
+		if _, err := NewGenerator(s); err == nil {
+			t.Errorf("spec %d should be rejected: %+v", i, s)
+		}
+	}
+	if _, err := NewGenerator(testSpec()); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGenerateCoversRequestedClicks(t *testing.T) {
+	g, err := NewGenerator(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks := g.Generate()
+	if len(clicks) < 5000 {
+		t.Fatalf("generated %d clicks, want ≥ 5000", len(clicks))
+	}
+	// Whole sessions only: the overshoot is bounded by one session.
+	if len(clicks) >= 5000+51 {
+		t.Fatalf("overshoot too large: %d", len(clicks))
+	}
+}
+
+func TestGenerateItemRange(t *testing.T) {
+	g, _ := NewGenerator(testSpec())
+	for _, c := range g.Generate() {
+		if c.Item < 0 || c.Item >= 1000 {
+			t.Fatalf("item %d outside catalog", c.Item)
+		}
+	}
+}
+
+func TestGenerateTimesStrictlyIncreasing(t *testing.T) {
+	g, _ := NewGenerator(testSpec())
+	clicks := g.Generate()
+	for i := 1; i < len(clicks); i++ {
+		if clicks[i].Time <= clicks[i-1].Time {
+			t.Fatalf("time not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestGenerateSessionsContiguous(t *testing.T) {
+	g, _ := NewGenerator(testSpec())
+	clicks := g.Generate()
+	// Session ids must be non-decreasing and clicks of a session adjacent.
+	lastSession := int64(-1)
+	seen := map[int64]bool{}
+	for _, c := range clicks {
+		if c.Session != lastSession {
+			if seen[c.Session] {
+				t.Fatalf("session %d split into multiple runs", c.Session)
+			}
+			seen[c.Session] = true
+			lastSession = c.Session
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := NewGenerator(testSpec())
+	b, _ := NewGenerator(testSpec())
+	ca, cb := a.Generate(), b.Generate()
+	if len(ca) != len(cb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("click %d differs: %+v vs %+v", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestSessionLengthsBounded(t *testing.T) {
+	spec := testSpec()
+	spec.MaxSessionLen = 10
+	g, _ := NewGenerator(spec)
+	for sid, s := range Sessions(g.Generate()) {
+		if len(s) < 1 || len(s) > 10 {
+			t.Fatalf("session %d length %d outside [1,10]", sid, len(s))
+		}
+	}
+}
+
+// TestPopularitySkew: with a heavy-tailed α_c, the most popular item should
+// receive far more clicks than the median item.
+func TestPopularitySkew(t *testing.T) {
+	spec := testSpec()
+	spec.NumClicks = 50000
+	g, _ := NewGenerator(spec)
+	counts := make(map[int64]int)
+	for _, c := range g.Generate() {
+		counts[c.Item]++
+	}
+	maxCount := 0
+	for _, n := range counts {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	mean := float64(50000) / 1000
+	if float64(maxCount) < 5*mean {
+		t.Fatalf("popularity not skewed: max %d vs mean %.1f", maxCount, mean)
+	}
+}
+
+// TestFitRoundTrip is the paper's synthetic-generation validation: generate
+// with (α_l, α_c), fit the marginals back, regenerate with the fitted
+// values, and check the statistics agree.
+func TestFitRoundTrip(t *testing.T) {
+	spec := Spec{
+		CatalogSize: 2000,
+		NumClicks:   200000,
+		AlphaLength: 2.4,
+		AlphaClicks: 1.8,
+		Seed:        42,
+	}
+	g, _ := NewGenerator(spec)
+	stats, err := Fit(g.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session-length MLE sees the capped discrete distribution, so a
+	// generous band is appropriate; what matters is that regeneration from
+	// the fitted exponents reproduces the same workload character.
+	if math.Abs(stats.AlphaLength-spec.AlphaLength) > 0.5 {
+		t.Errorf("fitted α_l = %v, true %v", stats.AlphaLength, spec.AlphaLength)
+	}
+	if stats.AlphaClicks <= 1 {
+		t.Errorf("fitted α_c = %v, must exceed 1", stats.AlphaClicks)
+	}
+
+	spec2 := spec
+	spec2.AlphaLength, spec2.AlphaClicks = stats.AlphaLength, stats.AlphaClicks
+	spec2.Seed = 43
+	g2, err := NewGenerator(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := Fit(g2.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats2.MeanSessionLen-stats.MeanSessionLen) > 0.5 {
+		t.Errorf("regenerated mean session length %v vs %v", stats2.MeanSessionLen, stats.MeanSessionLen)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatalf("empty log must error")
+	}
+}
+
+func TestClickLogRoundTrip(t *testing.T) {
+	g, _ := NewGenerator(testSpec())
+	clicks := g.Generate()
+	var buf bytes.Buffer
+	if err := WriteClicks(&buf, clicks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClicks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(clicks) {
+		t.Fatalf("round trip length %d != %d", len(got), len(clicks))
+	}
+	for i := range clicks {
+		if got[i] != clicks[i] {
+			t.Fatalf("click %d: %+v != %+v", i, got[i], clicks[i])
+		}
+	}
+}
+
+func TestReadClicksMalformed(t *testing.T) {
+	cases := []string{
+		"1,2\n",
+		"a,2,3\n",
+		"1,b,3\n",
+		"1,2,c\n",
+		"1,2,3,4\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadClicks(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed input %q accepted", in)
+		}
+	}
+	// Blank lines are fine.
+	got, err := ReadClicks(strings.NewReader("\n1,2,3\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank-line handling: %v %v", got, err)
+	}
+}
+
+// Property: every generated session is non-empty, within the length cap,
+// and all items are in the catalog.
+func TestNextSessionProperty(t *testing.T) {
+	f := func(seed int64, cRaw uint16) bool {
+		c := int(cRaw%5000) + 1
+		g, err := NewGenerator(Spec{
+			CatalogSize: c, NumClicks: 1,
+			AlphaLength: 2.0, AlphaClicks: 1.5,
+			MaxSessionLen: 25, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			s := g.NextSession()
+			if len(s) < 1 || len(s) > 25 {
+				return false
+			}
+			for _, item := range s {
+				if item < 0 || item >= int64(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGenerate measures raw click generation throughput; the paper
+// reports >1M clicks/second on one core for a 10M-item catalog.
+func BenchmarkGenerate(b *testing.B) {
+	g, err := NewGenerator(Spec{
+		CatalogSize: 10_000_000,
+		NumClicks:   1,
+		AlphaLength: 2.2,
+		AlphaClicks: 1.6,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	clicks := 0
+	for i := 0; i < b.N; i++ {
+		clicks += len(g.NextSession())
+	}
+	b.ReportMetric(float64(clicks)/b.Elapsed().Seconds(), "clicks/s")
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 4096 {
+		return 0, errWriteFull
+	}
+	return len(p), nil
+}
+
+var errWriteFull = errors.New("disk full")
+
+func TestWriteClicksPropagatesErrors(t *testing.T) {
+	g, _ := NewGenerator(testSpec())
+	clicks := g.Generate()
+	if err := WriteClicks(&failingWriter{}, clicks); err == nil {
+		t.Fatalf("write failure swallowed")
+	}
+}
+
+// TestBolMarginalsSane: the documented bol.com-flavoured exponents generate
+// short heavy-tailed sessions (mean ≈2-4 clicks, as e-Commerce logs show).
+func TestBolMarginalsSane(t *testing.T) {
+	al, ac := BolMarginals()
+	g, err := NewGenerator(Spec{
+		CatalogSize: 10_000, NumClicks: 50_000,
+		AlphaLength: al, AlphaClicks: ac, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Fit(g.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanSessionLen < 1.5 || stats.MeanSessionLen > 5 {
+		t.Fatalf("mean session length %v outside the e-Commerce range", stats.MeanSessionLen)
+	}
+}
+
+func TestReplayPreservesOrderAndCycles(t *testing.T) {
+	clicks := []Click{
+		{Session: 1, Item: 10, Time: 1},
+		{Session: 1, Item: 11, Time: 2},
+		{Session: 2, Item: 20, Time: 3},
+	}
+	r, err := NewReplay(clicks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumSessions() != 2 {
+		t.Fatalf("sessions = %d", r.NumSessions())
+	}
+	first := r.NextSession()
+	if len(first) != 2 || first[0] != 10 || first[1] != 11 {
+		t.Fatalf("first session = %v", first)
+	}
+	second := r.NextSession()
+	if len(second) != 1 || second[0] != 20 {
+		t.Fatalf("second session = %v", second)
+	}
+	// Cycles back to the start.
+	again := r.NextSession()
+	if again[0] != 10 {
+		t.Fatalf("replay did not cycle: %v", again)
+	}
+}
+
+func TestNewReplayEmpty(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Fatalf("empty log accepted")
+	}
+}
+
+// FuzzReadClicks: arbitrary byte input never panics the click-log parser;
+// valid outputs round-trip.
+func FuzzReadClicks(f *testing.F) {
+	f.Add([]byte("1,2,3\n4,5,6\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,b,c\n"))
+	f.Add([]byte("9223372036854775807,0,1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clicks, err := ReadClicks(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteClicks(&buf, clicks); err != nil {
+			t.Fatalf("re-encoding parsed log failed: %v", err)
+		}
+		again, err := ReadClicks(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing encoded log failed: %v", err)
+		}
+		if len(again) != len(clicks) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(clicks))
+		}
+	})
+}
