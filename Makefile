@@ -9,7 +9,7 @@ DURATION ?= 30s
 EXPERIMENT ?= table1
 SCALE ?= test
 
-.PHONY: build test bench vet infra run_deployed_benchmark benchmark advise clean
+.PHONY: build test bench vet race infra run_deployed_benchmark benchmark advise clean
 
 build:
 	go build ./...
@@ -23,6 +23,13 @@ bench:
 vet:
 	go vet ./...
 
+# Static analysis plus the full suite under the race detector — the gate
+# for the concurrent resilience paths (admission control, retries,
+# balancer ejection).
+race:
+	go vet ./...
+	go test -race ./...
+
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.
 infra:
@@ -34,7 +41,11 @@ run_deployed_benchmark:
 	go run ./cmd/etude live -model $(MODEL) -catalog $(CATALOG) -rate $(RATE) \
 		-duration $(DURATION) -bucket $(BUCKET)
 
-# Regenerate a paper experiment: make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes
+# Regenerate a paper experiment:
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos
+# EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
+# (pod crash, slow node, degraded network, AZ outage) and reports
+# p50/p99/error-rate/degraded-fraction per scenario, deterministically.
 benchmark:
 	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE)
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale [-scale test|paper]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos [-scale test|paper]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -27,6 +27,7 @@ import (
 	"etude/internal/core"
 	"etude/internal/device"
 	"etude/internal/experiments"
+	"etude/internal/metrics"
 	"etude/internal/model"
 	"etude/internal/objstore"
 	rpt "etude/internal/report"
@@ -58,7 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale [-scale test|paper] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos [-scale test|paper] [-bucket DIR]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -81,7 +82,7 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale)")
+	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos)")
 	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
 	_ = fs.Parse(args)
@@ -187,6 +188,16 @@ func runExperiment(ctx context.Context, name string, paper bool) (string, error)
 			return "", err
 		}
 		return res.Render(), nil
+	case "chaos":
+		cfg := experiments.DefaultChaosCmpConfig()
+		if paper {
+			cfg.Duration = 10 * time.Minute
+		}
+		res, err := experiments.ChaosComparison(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	}
 	return "", fmt.Errorf("unknown experiment %q", name)
 }
@@ -245,6 +256,7 @@ func live(args []string) {
 		fmt.Printf("%s on %s: sent=%d errors=%d backpressured=%d meetsSLO=%v\n",
 			m.Model, m.Instance, m.Sent, m.Errors, m.Backpressured, m.MeetsSLO)
 		fmt.Printf("latency: %s\n", m.Latency)
+		fmt.Printf("outcomes: %s\n", m.Outcomes)
 	}
 	if *bucketDir != "" {
 		if err := core.SaveResults(bucket, "results/live.json", ms); err != nil {
@@ -295,6 +307,9 @@ func report(args []string) {
 		fmt.Printf("%-12s %-10s %8d %8d %12s %12s %5s\n",
 			m.Model, m.Instance, m.Sent, m.Errors,
 			m.Latency.P50.Round(time.Microsecond), m.Latency.P90.Round(time.Microsecond), slo)
+		if m.Outcomes != (metrics.OutcomeCounts{}) {
+			fmt.Printf("  outcomes: %s\n", m.Outcomes)
+		}
 	}
 	if *charts {
 		for _, m := range ms {

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,6 +54,13 @@ type Batcher[Req, Resp any] struct {
 	handler Handler[Req, Resp]
 	in      chan envelope[Req, Resp]
 	done    chan struct{}
+	pending atomic.Int64
+}
+
+// Pending returns the number of requests submitted but not yet answered —
+// the queue-depth signal graceful degradation watermarks consume.
+func (b *Batcher[Req, Resp]) Pending() int {
+	return int(b.pending.Load())
 }
 
 type envelope[Req, Resp any] struct {
@@ -83,6 +91,8 @@ func New[Req, Resp any](cfg Config, handler Handler[Req, Resp]) (*Batcher[Req, R
 // the context is cancelled, or the batcher is closed.
 func (b *Batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) {
 	var zero Resp
+	b.pending.Add(1)
+	defer b.pending.Add(-1)
 	env := envelope[Req, Resp]{req: req, reply: make(chan Resp, 1)}
 	select {
 	case b.in <- env:

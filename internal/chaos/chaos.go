@@ -1,0 +1,170 @@
+// Package chaos is the fault-injection and resilience layer of the
+// reproduction. The paper's framework measures session-based recommendation
+// serving on the happy path only; production recommendation serving is
+// dominated by how the system behaves when pods crash, nodes degrade and
+// networks drop packets. This package makes those degraded scenarios
+// first-class, measurable citizens on both execution substrates:
+//
+//   - simulated: a deterministic, seedable Injector arms fault events
+//     (crash/restart, slow node, network delay/drop, AZ outage) on the
+//     discrete-event engine, and RunSim replays Algorithm 2's schedule with
+//     the full resilience stack — health-aware routing with per-pod circuit
+//     breakers, client retries with exponential backoff and a retry budget,
+//     server-side admission control and graceful degradation;
+//   - live: the same scenario spec drives an http.RoundTripper wrapper
+//     (client-side network faults) and a pod middleware (crash windows answer
+//     503), hooked into internal/cluster's pod lifecycle.
+//
+// Everything is driven by explicit seeds and, in simulation, a virtual
+// clock, so a chaos experiment is exactly reproducible.
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// FaultPodCrash takes one pod down at At; it restarts (empty queue,
+	// readiness passed) after Duration. Duration 0 means no restart.
+	FaultPodCrash FaultKind = iota
+	// FaultSlowPod multiplies one pod's service times by Factor during
+	// [At, At+Duration) — a thermally throttled or noisy-neighbour node.
+	FaultSlowPod
+	// FaultNetworkDelay adds Delay to every request issued during
+	// [At, At+Duration).
+	FaultNetworkDelay
+	// FaultNetworkDrop drops each request issued during [At, At+Duration)
+	// with probability Prob (the client observes a reset/timeout).
+	FaultNetworkDrop
+	// FaultAZOutage takes every pod listed in Pods down during
+	// [At, At+Duration) — a full availability-zone outage window.
+	FaultAZOutage
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPodCrash:
+		return "pod-crash"
+	case FaultSlowPod:
+		return "slow-pod"
+	case FaultNetworkDelay:
+		return "net-delay"
+	case FaultNetworkDrop:
+		return "net-drop"
+	case FaultAZOutage:
+		return "az-outage"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. Times are offsets from the start of the run
+// (virtual time in simulation, wall time since Injector.Start in live mode).
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// At is when the fault begins.
+	At time.Duration `json:"at"`
+	// Duration is how long the fault lasts (see the kind for semantics).
+	Duration time.Duration `json:"duration"`
+	// Pod targets one pod index (FaultPodCrash, FaultSlowPod).
+	Pod int `json:"pod,omitempty"`
+	// Pods targets a pod group (FaultAZOutage).
+	Pods []int `json:"pods,omitempty"`
+	// Factor is the service-time multiplier (FaultSlowPod).
+	Factor float64 `json:"factor,omitempty"`
+	// Delay is the added per-request latency (FaultNetworkDelay).
+	Delay time.Duration `json:"delay,omitempty"`
+	// Prob is the per-request drop probability (FaultNetworkDrop).
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// active reports whether t falls inside the fault window.
+func (f Fault) active(t time.Duration) bool {
+	return t >= f.At && (f.Duration <= 0 || t < f.At+f.Duration)
+}
+
+// Scenario is a named set of faults injected into one benchmark run.
+type Scenario struct {
+	Name   string  `json:"name"`
+	Faults []Fault `json:"faults"`
+	// Seed drives the scenario's probabilistic faults (drops, jitter).
+	Seed int64 `json:"seed"`
+}
+
+// Validate rejects malformed scenarios before they are armed.
+func (s Scenario) Validate(pods int) error {
+	for i, f := range s.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("chaos: fault %d of %q starts at negative time %v", i, s.Name, f.At)
+		}
+		switch f.Kind {
+		case FaultPodCrash, FaultSlowPod:
+			if f.Pod < 0 || f.Pod >= pods {
+				return fmt.Errorf("chaos: fault %d of %q targets pod %d outside fleet of %d", i, s.Name, f.Pod, pods)
+			}
+			if f.Kind == FaultSlowPod && f.Factor <= 0 {
+				return fmt.Errorf("chaos: fault %d of %q has non-positive slowdown factor", i, s.Name)
+			}
+		case FaultAZOutage:
+			for _, p := range f.Pods {
+				if p < 0 || p >= pods {
+					return fmt.Errorf("chaos: fault %d of %q includes pod %d outside fleet of %d", i, s.Name, p, pods)
+				}
+			}
+		case FaultNetworkDrop:
+			if f.Prob < 0 || f.Prob > 1 {
+				return fmt.Errorf("chaos: fault %d of %q has drop probability %v outside [0,1]", i, s.Name, f.Prob)
+			}
+		case FaultNetworkDelay:
+			if f.Delay < 0 {
+				return fmt.Errorf("chaos: fault %d of %q has negative delay", i, s.Name)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d of %q has unknown kind %d", i, s.Name, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// Catalog returns the standard fault scenarios for a run of the given
+// length over a fleet of `pods` replicas, with fault windows placed
+// proportionally so the same scenario shapes replay at test and paper
+// scale:
+//
+//   - baseline: no faults (the control group);
+//   - pod-crash: pod 0 dies at 30% of the run and restarts 20% later;
+//   - slow-node: pod 1 serves 4× slower during the middle half;
+//   - network-degraded: +2ms delay and 2% drops during the middle half;
+//   - az-outage: the first half of the fleet is down from 40% to 60%.
+func Catalog(runLen time.Duration, pods int) []Scenario {
+	frac := func(x float64) time.Duration { return time.Duration(float64(runLen) * x) }
+	az := make([]int, 0, pods/2)
+	for i := 0; i < pods/2; i++ {
+		az = append(az, i)
+	}
+	slowPod := 0
+	if pods > 1 {
+		slowPod = 1
+	}
+	return []Scenario{
+		{Name: "baseline", Seed: 1},
+		{Name: "pod-crash", Seed: 1, Faults: []Fault{
+			{Kind: FaultPodCrash, At: frac(0.3), Duration: frac(0.2), Pod: 0},
+		}},
+		{Name: "slow-node", Seed: 1, Faults: []Fault{
+			{Kind: FaultSlowPod, At: frac(0.25), Duration: frac(0.5), Pod: slowPod, Factor: 4},
+		}},
+		{Name: "network-degraded", Seed: 1, Faults: []Fault{
+			{Kind: FaultNetworkDelay, At: frac(0.25), Duration: frac(0.5), Delay: 2 * time.Millisecond},
+			{Kind: FaultNetworkDrop, At: frac(0.25), Duration: frac(0.5), Prob: 0.02},
+		}},
+		{Name: "az-outage", Seed: 1, Faults: []Fault{
+			{Kind: FaultAZOutage, At: frac(0.4), Duration: frac(0.2), Pods: az},
+		}},
+	}
+}

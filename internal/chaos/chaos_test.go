@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+func newFleet(t *testing.T, eng *sim.Engine, n int) []*sim.Instance {
+	t.Helper()
+	fleet := make([]*sim.Instance, n)
+	for i := range fleet {
+		in, err := sim.NewInstance(eng, device.CPU(), "gru4rec",
+			model.Config{CatalogSize: 10_000, Seed: 1},
+			true, 2*time.Millisecond, device.CPU().MaxBatch)
+		if err != nil {
+			t.Fatalf("NewInstance: %v", err)
+		}
+		in.SetResilience(sim.Resilience{MaxQueue: 64, DegradeAt: 32})
+		fleet[i] = in
+	}
+	return fleet
+}
+
+func TestCatalogValidates(t *testing.T) {
+	for _, sc := range Catalog(60*time.Second, 4) {
+		if err := sc.Validate(4); err != nil {
+			t.Errorf("scenario %s: %v", sc.Name, err)
+		}
+	}
+	// A crash aimed at a pod outside the fleet must be rejected.
+	bad := Scenario{Name: "bad", Faults: []Fault{{Kind: FaultPodCrash, At: time.Second, Pod: 7}}}
+	if err := bad.Validate(4); err == nil {
+		t.Fatal("expected Validate to reject out-of-range pod")
+	}
+}
+
+func runScenario(t *testing.T, sc Scenario) *SimResult {
+	t.Helper()
+	eng := sim.NewEngine()
+	fleet := newFleet(t, eng, 4)
+	out, err := RunSim(eng, SimConfig{
+		TargetRate: 400,
+		Duration:   30 * time.Second,
+		Timeout:    time.Second,
+		Seed:       1,
+		Retry:      RetryPolicy{MaxAttempts: 3},
+	}, fleet, NewInjector(sc))
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	return out
+}
+
+// TestRunSimDeterministic re-runs the same faulty scenario and demands
+// identical outcomes — the property that makes chaos results reviewable.
+func TestRunSimDeterministic(t *testing.T) {
+	sc := Catalog(30*time.Second, 4)[3] // network-degraded: uses the RNG
+	a, b := runScenario(t, sc), runScenario(t, sc)
+	if a.Sent != b.Sent || a.Backpressured != b.Backpressured || a.NoBackend != b.NoBackend {
+		t.Fatalf("counts diverged: %+v vs %+v", a, b)
+	}
+	if a.Recorder.Outcomes() != b.Recorder.Outcomes() {
+		t.Fatalf("outcomes diverged:\n%v\n%v", a.Recorder.Outcomes(), b.Recorder.Outcomes())
+	}
+	if a.Recorder.Overall() != b.Recorder.Overall() {
+		t.Fatalf("latency diverged:\n%+v\n%+v", a.Recorder.Overall(), b.Recorder.Overall())
+	}
+}
+
+// TestPodCrashBoundedAndRecovers is the headline property: a crashed pod
+// costs a bounded sliver of traffic while breakers and probes converge, and
+// the tail of the run — after the restart — is clean.
+func TestPodCrashBoundedAndRecovers(t *testing.T) {
+	scs := Catalog(30*time.Second, 4)
+	base, crash := runScenario(t, scs[0]), runScenario(t, scs[1])
+	if crash.Sent != base.Sent {
+		t.Fatalf("crash run sent %d, baseline %d", crash.Sent, base.Sent)
+	}
+	if rate := crash.ErrorRate(); rate > 0.02 {
+		t.Fatalf("pod crash error rate %.4f exceeds 2%%", rate)
+	}
+	// The crash must actually be felt: requests routed into the dead pod
+	// get refused and retried (or, at worst, surface as errors).
+	felt := crash.Recorder.Outcomes().Retries + crash.Recorder.Errors()
+	if felt == 0 {
+		t.Fatal("pod crash was invisible: no retries and no errors")
+	}
+	// Recovery: the last fifth of the run (well past the restart) is clean.
+	series := crash.Recorder.Series()
+	for _, ts := range series[len(series)-len(series)/5:] {
+		if ts.Errors != 0 {
+			t.Fatalf("errors after recovery at tick %d: %d", ts.Tick, ts.Errors)
+		}
+	}
+}
+
+// TestAZOutageRefusesWithoutCollapse: with half the fleet down the
+// survivors absorb the load; client-visible errors stay bounded.
+func TestAZOutageRefusesWithoutCollapse(t *testing.T) {
+	scs := Catalog(30*time.Second, 4)
+	out := runScenario(t, scs[4])
+	if rate := out.ErrorRate(); rate > 0.05 {
+		t.Fatalf("az outage error rate %.4f exceeds 5%%", rate)
+	}
+	if out.Recorder.Outcomes().Retries == 0 && out.Recorder.Errors() == 0 {
+		t.Fatal("az outage was invisible")
+	}
+}
+
+func TestBreakerOpensAndHalfOpens(t *testing.T) {
+	br := &breaker{policy: BreakerPolicy{FailThreshold: 3, Cooldown: time.Second}}
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		if !br.allows(now) {
+			t.Fatalf("breaker opened after %d failures", i)
+		}
+		br.failure(now)
+	}
+	if br.allows(now) {
+		t.Fatal("breaker still closed after threshold")
+	}
+	// After the cooldown one probe is allowed; its failure reopens
+	// immediately instead of costing a fresh threshold's worth.
+	now += time.Second
+	if !br.allows(now) {
+		t.Fatal("breaker not half-open after cooldown")
+	}
+	br.failure(now)
+	if br.allows(now) {
+		t.Fatal("failed half-open probe did not reopen the breaker")
+	}
+	// A successful probe closes it fully.
+	now += time.Second
+	br.success()
+	br.failure(now)
+	if !br.allows(now) {
+		t.Fatal("single failure after recovery must not trip the breaker")
+	}
+}
+
+func TestRetryBackoffProgression(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}.withDefaults()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestNetworkFaultWindows(t *testing.T) {
+	sc := Scenario{Name: "net", Seed: 1, Faults: []Fault{
+		{Kind: FaultNetworkDelay, At: 10 * time.Second, Duration: 10 * time.Second, Delay: 3 * time.Millisecond},
+		{Kind: FaultNetworkDrop, At: 10 * time.Second, Duration: 10 * time.Second, Prob: 1},
+	}}
+	inj := NewInjector(sc)
+	if d, drop := inj.NetworkFault(5 * time.Second); d != 0 || drop {
+		t.Fatalf("fault active outside window: delay=%v drop=%v", d, drop)
+	}
+	if d, drop := inj.NetworkFault(15 * time.Second); d != 3*time.Millisecond || !drop {
+		t.Fatalf("fault inactive inside window: delay=%v drop=%v", d, drop)
+	}
+	if d, drop := inj.NetworkFault(20 * time.Second); d != 0 || drop {
+		t.Fatalf("window end is inclusive: delay=%v drop=%v", d, drop)
+	}
+}
+
+func TestPodDownWindows(t *testing.T) {
+	sc := Catalog(60*time.Second, 4)[1] // pod-crash: pod 0 down 18s–30s
+	inj := NewInjector(sc)
+	if inj.PodDown(0, 17*time.Second) {
+		t.Fatal("pod down before the crash")
+	}
+	if !inj.PodDown(0, 20*time.Second) {
+		t.Fatal("pod up inside the crash window")
+	}
+	if inj.PodDown(1, 20*time.Second) {
+		t.Fatal("wrong pod down")
+	}
+	if inj.PodDown(0, 31*time.Second) {
+		t.Fatal("pod down after the restart")
+	}
+}

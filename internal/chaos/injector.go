@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"etude/internal/sim"
+)
+
+// ErrDropped is the transport error surfaced for requests eaten by an
+// injected network drop in live mode.
+var ErrDropped = fmt.Errorf("chaos: request dropped by fault injection")
+
+// Injector evaluates one scenario deterministically. It serves both
+// substrates: Arm schedules the pod-lifecycle faults on a discrete-event
+// engine, NetworkFault answers per-request network faults (used by the sim
+// runner and by the live RoundTripper), PodDown gates the live middleware.
+//
+// The injector is safe for concurrent use in live mode; in simulation the
+// engine's single-threaded event loop serialises access anyway.
+type Injector struct {
+	sc Scenario
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	startOnce sync.Once
+	start     time.Time
+}
+
+// NewInjector builds an injector for the scenario.
+func NewInjector(sc Scenario) *Injector {
+	return &Injector{sc: sc, rng: rand.New(rand.NewSource(sc.Seed))}
+}
+
+// Scenario returns the scenario the injector replays.
+func (inj *Injector) Scenario() Scenario { return inj.sc }
+
+// Arm schedules every pod-lifecycle fault of the scenario on the engine
+// against the fleet: crashes, restarts, slowdown windows and AZ outages.
+// Network faults are not armed here — the benchmark runner consults
+// NetworkFault per request. Call once, at virtual time zero.
+func (inj *Injector) Arm(eng *sim.Engine, fleet []*sim.Instance) error {
+	if err := inj.sc.Validate(len(fleet)); err != nil {
+		return err
+	}
+	for _, f := range inj.sc.Faults {
+		f := f
+		switch f.Kind {
+		case FaultPodCrash:
+			pod := fleet[f.Pod]
+			eng.Schedule(f.At, pod.Crash)
+			if f.Duration > 0 {
+				eng.Schedule(f.At+f.Duration, pod.Restart)
+			}
+		case FaultSlowPod:
+			pod := fleet[f.Pod]
+			eng.Schedule(f.At, func() { pod.SetSlowdown(f.Factor) })
+			if f.Duration > 0 {
+				eng.Schedule(f.At+f.Duration, func() { pod.SetSlowdown(1) })
+			}
+		case FaultAZOutage:
+			for _, p := range f.Pods {
+				pod := fleet[p]
+				eng.Schedule(f.At, pod.Crash)
+				if f.Duration > 0 {
+					eng.Schedule(f.At+f.Duration, pod.Restart)
+				}
+			}
+		case FaultNetworkDelay, FaultNetworkDrop:
+			// Per-request faults; evaluated lazily by NetworkFault.
+		}
+	}
+	return nil
+}
+
+// NetworkFault returns the network fault applied to one request issued at
+// offset t: an added delay and whether the request is dropped outright.
+// Drop decisions consume the scenario's seeded RNG, so the same seed replays
+// the same drops.
+func (inj *Injector) NetworkFault(t time.Duration) (delay time.Duration, drop bool) {
+	for _, f := range inj.sc.Faults {
+		if !f.active(t) {
+			continue
+		}
+		switch f.Kind {
+		case FaultNetworkDelay:
+			delay += f.Delay
+		case FaultNetworkDrop:
+			inj.mu.Lock()
+			if inj.rng.Float64() < f.Prob {
+				drop = true
+			}
+			inj.mu.Unlock()
+		}
+	}
+	return delay, drop
+}
+
+// PodDown reports whether the scenario has pod down at offset t (crash
+// windows and AZ outages). A crash with Duration 0 never restarts.
+func (inj *Injector) PodDown(pod int, t time.Duration) bool {
+	for _, f := range inj.sc.Faults {
+		switch f.Kind {
+		case FaultPodCrash:
+			if f.Pod == pod && f.active(t) {
+				return true
+			}
+		case FaultAZOutage:
+			for _, p := range f.Pods {
+				if p == pod && f.active(t) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Start anchors the live-mode clock: fault offsets are measured from this
+// moment. Without an explicit call, the clock starts at the injector's
+// first live-mode use.
+func (inj *Injector) Start() { inj.startOnce.Do(func() { inj.start = time.Now() }) }
+
+func (inj *Injector) elapsed() time.Duration {
+	inj.Start()
+	return time.Since(inj.start)
+}
+
+// RoundTripper wraps base (nil: http.DefaultTransport) with client-side
+// network-fault injection for live benchmarks: requests inside a delay
+// window are held back before being sent, and dropped requests fail with
+// ErrDropped (the client-observable shape of a reset connection).
+func (inj *Injector) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{inj: inj, base: base}
+}
+
+type faultTransport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	delay, drop := t.inj.NetworkFault(t.inj.elapsed())
+	if drop {
+		return nil, ErrDropped
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	return t.base.RoundTrip(r)
+}
+
+// Middleware wraps a pod's handler with the scenario's crash windows: while
+// the pod is down, every request (including readiness probes) answers 503,
+// so health-aware balancers eject it exactly as they would a dead pod.
+// Intended for cluster.PodSpec.Middleware.
+func (inj *Injector) Middleware(pod int) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if inj.PodDown(pod, inj.elapsed()) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "chaos: pod down", http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,380 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"etude/internal/metrics"
+	"etude/internal/powerlaw"
+	"etude/internal/sim"
+)
+
+// RetryPolicy configures client-side retries in the resilient runner.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per logical request, including the
+	// first (1 = no retries).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (exponential backoff) up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Budget is the retry budget: at most Budget retries are spent per
+	// original request, fleet-wide (a token bucket earning Budget tokens
+	// per send). Prevents retry storms from amplifying an outage.
+	Budget float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Budget <= 0 {
+		p.Budget = 0.2
+	}
+	return p
+}
+
+// backoff returns the pre-jitter delay before retry number `retry` (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// BreakerPolicy configures the per-pod circuit breaker used for
+// health-aware balancing.
+type BreakerPolicy struct {
+	// FailThreshold is the consecutive-failure count that opens the
+	// breaker.
+	FailThreshold int
+	// Cooldown is how long an open breaker ejects the pod before the next
+	// request is allowed through as a probe (half-open).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 2 * time.Second
+	}
+	return p
+}
+
+// breaker is a per-pod circuit breaker over virtual time.
+type breaker struct {
+	policy    BreakerPolicy
+	fails     int
+	openUntil time.Duration
+	// half marks the half-open state: the breaker tripped and cooled down,
+	// and the next request through is the probe — one failure reopens
+	// immediately, no fresh threshold's worth of victims.
+	half bool
+}
+
+func (b *breaker) allows(now time.Duration) bool { return now >= b.openUntil }
+
+func (b *breaker) success() { b.fails = 0; b.half = false }
+
+func (b *breaker) failure(now time.Duration) {
+	b.fails++
+	if b.half || b.fails >= b.policy.FailThreshold {
+		b.openUntil = now + b.policy.Cooldown
+		b.fails = 0
+		b.half = true
+	}
+}
+
+// SimConfig describes one resilient simulated benchmark run. It mirrors
+// sim.LoadConfig plus the resilience knobs the faults exercise.
+type SimConfig struct {
+	// TargetRate is r: requests/second reached at the end of the ramp.
+	TargetRate float64
+	// Duration is d: total run length in virtual time.
+	Duration time.Duration
+	// Timeout is the client deadline: responses slower than this count as
+	// timeout errors.
+	Timeout time.Duration
+	// NoRamp offers the target rate from the first tick.
+	NoRamp bool
+	// AlphaLength is the session-length power-law exponent.
+	AlphaLength float64
+	// MaxSessionLen caps sampled lengths.
+	MaxSessionLen int
+	// Seed drives session-length sampling and retry jitter.
+	Seed int64
+	// Retry configures client-side retries.
+	Retry RetryPolicy
+	// Breaker configures per-pod circuit breaking.
+	Breaker BreakerPolicy
+	// ProbeInterval is the readiness-probe period: the balancer's view of
+	// which pods are up refreshes this often (default 1s), so crash
+	// detection and restart re-admission both lag by up to one period —
+	// the kubelet-probe delay a real cluster pays.
+	ProbeInterval time.Duration
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.AlphaLength == 0 {
+		c.AlphaLength = 2.2
+	}
+	if c.MaxSessionLen == 0 {
+		c.MaxSessionLen = 50
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	c.Retry = c.Retry.withDefaults()
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// SimResult summarises a resilient simulated run.
+type SimResult struct {
+	// Recorder holds latencies, errors by kind, degraded counts and retry
+	// counts.
+	Recorder *metrics.Recorder
+	// Sent counts logical requests issued (retries excluded).
+	Sent int64
+	// Planned counts the requests the ramp schedule wanted to issue.
+	Planned int64
+	// Backpressured counts scheduling slots skipped under backpressure.
+	Backpressured int64
+	// NoBackend counts attempts that found every pod ejected (down or
+	// breaker-open) — shed client-side without touching the network.
+	NoBackend int64
+}
+
+// ErrorRate is failed / issued requests (0 for an empty run).
+func (r *SimResult) ErrorRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Recorder.Errors()) / float64(r.Sent)
+}
+
+// DegradedRate is the fraction of issued requests answered by the fallback
+// responder.
+func (r *SimResult) DegradedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Recorder.Outcomes().Degraded) / float64(r.Sent)
+}
+
+// RunSim executes Algorithm 2's schedule in virtual time against the fleet
+// with the full resilience stack, under the injector's fault scenario:
+//
+//   - routing skips pods that are down (readiness ejection) or whose
+//     breaker is open, round-robin over the survivors;
+//   - refused attempts (pod down, queue shed, no backend) and network drops
+//     retry with exponential backoff + seeded jitter while the retry budget
+//     lasts, and are recorded per kind — retried traffic never inflates Sent;
+//   - responses slower than Timeout count as timeout errors; degraded
+//     (fallback) responses count as successes but are reported separately.
+//
+// Pass a nil injector (or one with an empty scenario) for a fault-free
+// control run. All instances must be registered on eng, and the caller
+// configures per-instance sim.Resilience before calling.
+func RunSim(eng *sim.Engine, cfg SimConfig, fleet []*sim.Instance, inj *Injector) (*SimResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TargetRate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("chaos: rate and duration must be positive: %+v", cfg)
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("chaos: empty fleet")
+	}
+	for _, in := range fleet {
+		if !in.Fits() {
+			return nil, fmt.Errorf("chaos: model does not fit an instance")
+		}
+	}
+	if inj == nil {
+		inj = NewInjector(Scenario{Name: "baseline"})
+	}
+	if err := inj.Arm(eng, fleet); err != nil {
+		return nil, err
+	}
+
+	lengths, err := powerlaw.New(cfg.AlphaLength, 1)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: session length distribution: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &SimResult{Recorder: metrics.NewRecorder()}
+	breakers := make([]*breaker, len(fleet))
+	for i := range breakers {
+		breakers[i] = &breaker{policy: cfg.Breaker}
+	}
+	pending := 0
+	next := 0     // round-robin index
+	budget := 0.0 // retry tokens
+	start := eng.Now()
+
+	// routable is the balancer's probe-delayed view of pod health: the
+	// client does not learn of a crash (or a restart) until the next
+	// readiness probe fires, so freshly dead pods still receive traffic —
+	// that window is what the circuit breaker and retries must cover.
+	routable := make([]bool, len(fleet))
+	for i := range routable {
+		routable[i] = fleet[i].Up()
+	}
+	var probe func()
+	probe = func() {
+		for i := range fleet {
+			routable[i] = fleet[i].Up()
+		}
+		if eng.Now()-start < cfg.Duration {
+			eng.Schedule(cfg.ProbeInterval, probe)
+		}
+	}
+	// Third-interval phase offset: kubelet probe cycles are not
+	// synchronised with failures, so a fault must not land exactly on a
+	// probe tick and be detected for free. A third (333ms at the default
+	// 1s period) cannot coincide with the catalog's fault times, which sit
+	// on a coarser decimal grid.
+	eng.Schedule(cfg.ProbeInterval/3, probe)
+
+	// pick returns the next routable pod index, or -1 when every pod is
+	// ejected (probe-down or breaker-open).
+	pick := func() int {
+		now := eng.Now()
+		for i := 0; i < len(fleet); i++ {
+			idx := next % len(fleet)
+			next++
+			if routable[idx] && breakers[idx].allows(now) {
+				return idx
+			}
+		}
+		return -1
+	}
+
+	// finish records the terminal outcome of one logical request.
+	finish := func(tick int, firstStart time.Duration, o sim.Outcome, kind metrics.ErrorKind, failed bool) {
+		pending--
+		total := eng.Now() - firstStart
+		switch {
+		case failed:
+			res.Recorder.RecordErrorKind(tick, kind)
+			res.Recorder.RecordStatus(tick, 503)
+		case total > cfg.Timeout:
+			res.Recorder.RecordErrorKind(tick, metrics.KindTimeout)
+		case o.Degraded:
+			res.Recorder.RecordDegraded(tick, total)
+			res.Recorder.RecordStatus(tick, 200)
+		default:
+			res.Recorder.RecordLatency(tick, total)
+			res.Recorder.RecordStatus(tick, 200)
+		}
+	}
+
+	// attempt issues try number `try` (1-based) of one logical request.
+	var attempt func(tick, sessionLen, try int, firstStart time.Duration)
+	attempt = func(tick, sessionLen, try int, firstStart time.Duration) {
+		now := eng.Now()
+		// A client past its deadline has hung up; whatever happens next is
+		// a timeout regardless of how this attempt would have fared.
+		if now-firstStart > cfg.Timeout {
+			finish(tick, firstStart, sim.Outcome{}, metrics.KindTimeout, true)
+			return
+		}
+		fail := func(kind metrics.ErrorKind) {
+			// Retry refused/dropped attempts with backoff + jitter while
+			// attempts and budget remain.
+			if try < cfg.Retry.MaxAttempts && budget >= 1 {
+				budget--
+				res.Recorder.RecordRetry(tick)
+				delay := cfg.Retry.backoff(try)
+				jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
+				eng.Schedule(delay+jitter, func() {
+					attempt(tick, sessionLen, try+1, firstStart)
+				})
+				return
+			}
+			finish(tick, firstStart, sim.Outcome{}, kind, true)
+		}
+
+		netDelay, drop := inj.NetworkFault(now)
+		if drop {
+			// The request vanished; the client notices at its deadline.
+			eng.Schedule(cfg.Timeout, func() { fail(metrics.KindTimeout) })
+			return
+		}
+		idx := pick()
+		if idx < 0 {
+			res.NoBackend++
+			fail(metrics.KindRefused)
+			return
+		}
+		in, br := fleet[idx], breakers[idx]
+		eng.Schedule(netDelay, func() {
+			in.SubmitOutcome(sessionLen, func(o sim.Outcome) {
+				if o.Err != nil {
+					br.failure(eng.Now())
+					fail(metrics.KindRefused)
+					return
+				}
+				br.success()
+				finish(tick, firstStart, o, 0, false)
+			})
+		})
+	}
+
+	ticks := int(cfg.Duration / time.Second)
+	if ticks < 1 {
+		ticks = 1
+	}
+	for t := 0; t < ticks; t++ {
+		tick := t
+		frac := float64(t+1) / float64(ticks)
+		if cfg.NoRamp {
+			frac = 1
+		}
+		rc := int(cfg.TargetRate * frac)
+		if rc < 1 {
+			rc = 1
+		}
+		res.Planned += int64(rc)
+		gap := time.Second / time.Duration(rc)
+		for i := 0; i < rc; i++ {
+			at := start + time.Duration(tick)*time.Second + time.Duration(i)*gap
+			sessionLen := lengths.SampleIntCapped(rng, cfg.MaxSessionLen)
+			eng.Schedule(at-eng.Now(), func() {
+				// Backpressure: skip the slot when the fleet already has a
+				// tick's worth of work outstanding.
+				if pending >= rc {
+					res.Backpressured++
+					return
+				}
+				pending++
+				res.Sent++
+				budget += cfg.Retry.Budget
+				res.Recorder.RecordSent(tick)
+				attempt(tick, sessionLen, 1, eng.Now())
+			})
+		}
+	}
+	eng.Run(start + cfg.Duration)
+	eng.Drain()
+	return res, nil
+}

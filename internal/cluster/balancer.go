@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/loadgen"
+)
+
+// BalancerConfig tunes the health-aware service balancer.
+type BalancerConfig struct {
+	// FailThreshold is the number of consecutive request failures after
+	// which a pod's circuit breaker opens and the pod is ejected from the
+	// rotation (default 3).
+	FailThreshold int
+	// ProbeInterval is how often an ejected pod's readiness endpoint is
+	// polled (default 50ms). The pod rejoins the rotation on the first 200.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each readiness probe (default 250ms).
+	ProbeTimeout time.Duration
+}
+
+func (c BalancerConfig) withDefaults() BalancerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 50 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 250 * time.Millisecond
+	}
+	return c
+}
+
+// podBreaker is one pod's circuit breaker: consecutive failures open it,
+// and a background readiness probe closes it again.
+type podBreaker struct {
+	mu      sync.Mutex
+	fails   int
+	open    bool
+	probing bool
+}
+
+// Balancer routes requests across a service's pods with per-pod circuit
+// breakers: a pod that fails FailThreshold requests in a row is ejected
+// from the round-robin rotation and only re-admitted once its readiness
+// probe answers again — the kube-proxy + kubelet interplay that plain
+// round-robin ignores. While a pod is ejected, its share of traffic flows
+// to the survivors instead of timing out against a dead backend.
+type Balancer struct {
+	cfg      BalancerConfig
+	targets  []*loadgen.HTTPTarget
+	urls     []string
+	breakers []*podBreaker
+	rr       atomic.Uint64
+	probe    *http.Client
+	done     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewBalancer builds a health-aware balancer over the given pod base URLs.
+func NewBalancer(urls []string, cfg BalancerConfig) *Balancer {
+	cfg = cfg.withDefaults()
+	b := &Balancer{
+		cfg:      cfg,
+		targets:  make([]*loadgen.HTTPTarget, len(urls)),
+		urls:     urls,
+		breakers: make([]*podBreaker, len(urls)),
+		probe:    &http.Client{Timeout: cfg.ProbeTimeout},
+		done:     make(chan struct{}),
+	}
+	for i, url := range urls {
+		b.targets[i] = loadgen.NewHTTPTarget(url)
+		b.breakers[i] = &podBreaker{}
+	}
+	return b
+}
+
+// Close stops any background readiness probes. Idempotent.
+func (b *Balancer) Close() {
+	b.once.Do(func() { close(b.done) })
+	b.wg.Wait()
+}
+
+// Ejected returns how many pods are currently out of the rotation.
+func (b *Balancer) Ejected() int {
+	n := 0
+	for _, br := range b.breakers {
+		br.mu.Lock()
+		if br.open {
+			n++
+		}
+		br.mu.Unlock()
+	}
+	return n
+}
+
+// pick returns the next routable pod index, or -1 when every breaker is
+// open. It scans at most one full rotation from the round-robin cursor.
+func (b *Balancer) pick() int {
+	start := b.rr.Add(1)
+	for off := 0; off < len(b.targets); off++ {
+		i := int(start+uint64(off)) % len(b.targets)
+		br := b.breakers[i]
+		br.mu.Lock()
+		open := br.open
+		br.mu.Unlock()
+		if !open {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *Balancer) onSuccess(i int) {
+	br := b.breakers[i]
+	br.mu.Lock()
+	br.fails = 0
+	br.mu.Unlock()
+}
+
+func (b *Balancer) onFailure(i int) {
+	br := b.breakers[i]
+	br.mu.Lock()
+	br.fails++
+	if br.fails >= b.cfg.FailThreshold && !br.open {
+		br.open = true
+		if !br.probing {
+			br.probing = true
+			b.wg.Add(1)
+			go b.reAdmit(i)
+		}
+	}
+	br.mu.Unlock()
+}
+
+// reAdmit polls an ejected pod's readiness endpoint until it answers 200,
+// then closes the breaker — readiness-probe-driven recovery, so a restarted
+// pod rejoins the rotation without operator action.
+func (b *Balancer) reAdmit(i int) {
+	defer b.wg.Done()
+	ticker := time.NewTicker(b.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-ticker.C:
+			resp, err := b.probe.Get(b.urls[i] + httpapi.ReadyPath)
+			if err != nil {
+				continue
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				continue
+			}
+			br := b.breakers[i]
+			br.mu.Lock()
+			br.open = false
+			br.fails = 0
+			br.probing = false
+			br.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Predict implements loadgen.Target.
+func (b *Balancer) Predict(ctx context.Context, req httpapi.PredictRequest) error {
+	_, err := b.PredictMeta(ctx, req)
+	return err
+}
+
+// PredictMeta implements loadgen.MetaTarget: route to a healthy pod, feed
+// the outcome back into its breaker. With every pod ejected the balancer
+// refuses fast (503) instead of dialing a dead backend — the client's retry
+// policy then backs off until a readiness probe re-admits someone.
+func (b *Balancer) PredictMeta(ctx context.Context, req httpapi.PredictRequest) (loadgen.Meta, error) {
+	i := b.pick()
+	if i < 0 {
+		return loadgen.Meta{Status: http.StatusServiceUnavailable},
+			&httpapi.StatusError{Code: http.StatusServiceUnavailable}
+	}
+	meta, err := b.targets[i].PredictMeta(ctx, req)
+	if err != nil && ctx.Err() == nil {
+		// Context cancellation is the client's doing, not the pod's.
+		b.onFailure(i)
+	} else {
+		b.onSuccess(i)
+	}
+	return meta, err
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/objstore"
+)
+
+// flakyPod is a stand-in backend whose health is flipped by the test:
+// while down, predictions and readiness probes both answer 503.
+type flakyPod struct {
+	down atomic.Bool
+	hits atomic.Int64
+}
+
+func (p *flakyPod) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(httpapi.ReadyPath, func(w http.ResponseWriter, r *http.Request) {
+		if p.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc(httpapi.PredictPath, func(w http.ResponseWriter, r *http.Request) {
+		if p.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		p.hits.Add(1)
+		httpapi.WriteJSON(w, http.StatusOK, httpapi.PredictResponse{})
+	})
+	return mux
+}
+
+func TestBalancerEjectsAndReadmits(t *testing.T) {
+	good, bad := &flakyPod{}, &flakyPod{}
+	bad.down.Store(true)
+	goodSrv := httptest.NewServer(good.handler())
+	defer goodSrv.Close()
+	badSrv := httptest.NewServer(bad.handler())
+	defer badSrv.Close()
+
+	b := NewBalancer([]string{goodSrv.URL, badSrv.URL}, BalancerConfig{
+		FailThreshold: 2,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	defer b.Close()
+
+	req := httpapi.PredictRequest{Items: []int64{1}}
+	ctx := context.Background()
+
+	// Drive requests until the bad pod's breaker opens; after that every
+	// request must land on the healthy pod.
+	for i := 0; i < 10; i++ {
+		_, _ = b.PredictMeta(ctx, req)
+	}
+	if b.Ejected() != 1 {
+		t.Fatalf("ejected = %d, want 1", b.Ejected())
+	}
+	before := good.hits.Load()
+	for i := 0; i < 6; i++ {
+		if _, err := b.PredictMeta(ctx, req); err != nil {
+			t.Fatalf("request with one ejected pod failed: %v", err)
+		}
+	}
+	if got := good.hits.Load() - before; got != 6 {
+		t.Fatalf("healthy pod served %d of 6 requests", got)
+	}
+
+	// Recovery: once the pod answers its readiness probe it rejoins.
+	bad.down.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Ejected() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovered pod never re-admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And receives traffic again within one rotation.
+	before = bad.hits.Load()
+	for i := 0; i < 4; i++ {
+		if _, err := b.PredictMeta(ctx, req); err != nil {
+			t.Fatalf("request after re-admission failed: %v", err)
+		}
+	}
+	if bad.hits.Load() == before {
+		t.Fatal("re-admitted pod received no traffic")
+	}
+}
+
+func TestBalancerAllEjectedRefusesFast(t *testing.T) {
+	bad := &flakyPod{}
+	bad.down.Store(true)
+	srv := httptest.NewServer(bad.handler())
+	defer srv.Close()
+
+	b := NewBalancer([]string{srv.URL}, BalancerConfig{FailThreshold: 1, ProbeInterval: time.Hour})
+	defer b.Close()
+
+	req := httpapi.PredictRequest{Items: []int64{1}}
+	_, _ = b.PredictMeta(context.Background(), req)
+	meta, err := b.PredictMeta(context.Background(), req)
+	se, ok := err.(*httpapi.StatusError)
+	if !ok || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 StatusError with every pod ejected, got %v", err)
+	}
+	if meta.Status != http.StatusServiceUnavailable {
+		t.Fatalf("meta.Status = %d", meta.Status)
+	}
+}
+
+// TestPodMiddleware verifies the PodSpec.Middleware hook wraps pod handlers
+// — the seam live-mode fault injection plugs into.
+func TestPodMiddleware(t *testing.T) {
+	c := New(objstore.NewMemBucket())
+	defer c.Teardown()
+
+	var wrapped atomic.Int64
+	spec := PodSpec{
+		Runtime: RuntimeEtudeStatic,
+		Middleware: func(replica int) func(http.Handler) http.Handler {
+			return func(next http.Handler) http.Handler {
+				return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					wrapped.Add(1)
+					next.ServeHTTP(w, r)
+				})
+			}
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	svc, err := c.Deploy(ctx, "mw", spec, 1)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if err := svc.Target().Predict(ctx, httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	// The middleware saw at least the readiness probes plus the prediction.
+	if wrapped.Load() < 2 {
+		t.Fatalf("middleware invoked %d times", wrapped.Load())
+	}
+}

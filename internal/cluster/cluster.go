@@ -51,6 +51,10 @@ type PodSpec struct {
 	Server server.Options
 	// TorchServe configures the baseline runtime.
 	TorchServe torchserve.Config
+	// Middleware optionally wraps each pod's handler, indexed by replica —
+	// the pod-lifecycle hook fault injection (internal/chaos) uses to
+	// impose crash windows. Nil leaves pods unwrapped.
+	Middleware func(replica int) func(http.Handler) http.Handler
 }
 
 // Pod is one running serving replica.
@@ -82,6 +86,9 @@ type Service struct {
 	name string
 	pods []*Pod
 	rr   atomic.Uint64
+
+	mu        sync.Mutex
+	balancers []*Balancer
 }
 
 // Name returns the deployment name the service fronts.
@@ -96,19 +103,37 @@ func (s *Service) Endpoint() string {
 	return s.pods[int(i)%len(s.pods)].URL()
 }
 
-// Target adapts the service to the load generator: each request goes to the
-// next pod in round-robin order, like kube-proxy's default ClusterIP
-// behaviour.
+// Target adapts the service to the load generator: a health-aware balancer
+// that starts as kube-proxy-style round robin but ejects pods whose circuit
+// breaker opens (consecutive failures) and re-admits them once their
+// readiness probe answers again. The balancer is released with the service.
 func (s *Service) Target() loadgen.Target {
-	targets := make([]*loadgen.HTTPTarget, len(s.pods))
+	return s.Balancer(BalancerConfig{})
+}
+
+// Balancer returns a health-aware balancer over the service's pods with
+// explicit breaker tuning. Its background probes stop when the service is
+// deleted or the cluster torn down.
+func (s *Service) Balancer(cfg BalancerConfig) *Balancer {
+	urls := make([]string, len(s.pods))
 	for i, p := range s.pods {
-		targets[i] = loadgen.NewHTTPTarget(p.URL())
+		urls[i] = p.URL()
 	}
-	var rr atomic.Uint64
-	return loadgen.FuncTarget(func(ctx context.Context, req httpapi.PredictRequest) error {
-		i := rr.Add(1)
-		return targets[int(i)%len(targets)].Predict(ctx, req)
-	})
+	b := NewBalancer(urls, cfg)
+	s.mu.Lock()
+	s.balancers = append(s.balancers, b)
+	s.mu.Unlock()
+	return b
+}
+
+func (s *Service) closeBalancers() {
+	s.mu.Lock()
+	balancers := s.balancers
+	s.balancers = nil
+	s.mu.Unlock()
+	for _, b := range balancers {
+		b.Close()
+	}
 }
 
 // Cluster manages deployments. Create with New (the `make infra` analogue),
@@ -144,7 +169,7 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 
 	svc := &Service{name: name}
 	for i := 0; i < replicas; i++ {
-		pod, err := c.startPod(spec)
+		pod, err := c.startPod(spec, i)
 		if err != nil {
 			for _, p := range svc.pods {
 				p.stop()
@@ -169,7 +194,7 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 	return svc, nil
 }
 
-func (c *Cluster) startPod(spec PodSpec) (*Pod, error) {
+func (c *Cluster) startPod(spec PodSpec, replica int) (*Pod, error) {
 	var handler http.Handler
 	var closeFn func()
 	switch spec.Runtime {
@@ -187,6 +212,12 @@ func (c *Cluster) startPod(spec PodSpec) (*Pod, error) {
 		handler, closeFn = ts.Handler(), ts.Close
 	default:
 		return nil, fmt.Errorf("cluster: unknown runtime %d", spec.Runtime)
+	}
+
+	if spec.Middleware != nil {
+		if wrap := spec.Middleware(replica); wrap != nil {
+			handler = wrap(handler)
+		}
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -248,6 +279,7 @@ func (c *Cluster) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("cluster: no deployment %q", name)
 	}
+	svc.closeBalancers()
 	for _, p := range svc.pods {
 		p.stop()
 	}
@@ -261,6 +293,7 @@ func (c *Cluster) Teardown() {
 	c.services = make(map[string]*Service)
 	c.mu.Unlock()
 	for _, svc := range services {
+		svc.closeBalancers()
 		for _, p := range svc.pods {
 			p.stop()
 		}

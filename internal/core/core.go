@@ -103,6 +103,11 @@ type Measurement struct {
 	Latency       metrics.Snapshot    `json:"latency"`
 	Errors        int64               `json:"errors"`
 	Backpressured int64               `json:"backpressured"`
+	// Outcomes breaks responses down by status class (2xx/4xx/5xx) and
+	// error kind (timeout/refused/server), plus degraded responses,
+	// retries and drain stragglers. Zero-valued for pre-existing stored
+	// results.
+	Outcomes metrics.OutcomeCounts `json:"outcomes"`
 	Sent          int64               `json:"sent"`
 	MeetsSLO      bool                `json:"meets_slo"`
 	Series        []metrics.TickStats `json:"series,omitempty"`
@@ -165,6 +170,7 @@ func runOneSim(spec Spec, modelName string, devSpec device.Spec) (Measurement, e
 	}
 	meas.Latency = res.Recorder.Overall()
 	meas.Errors = res.Recorder.Errors()
+	meas.Outcomes = res.Recorder.Outcomes()
 	meas.Backpressured = res.Backpressured
 	meas.Sent = res.Sent
 	meas.MeetsSLO = res.Meets(spec.LatencySLO)
@@ -255,6 +261,7 @@ func runOneLive(ctx context.Context, c *cluster.Cluster, spec Spec, modelName st
 		TargetRate:    spec.TargetRate,
 		Latency:       snap,
 		Errors:        res.Recorder.Errors(),
+		Outcomes:      res.Outcomes,
 		Backpressured: res.Backpressured,
 		Sent:          sent,
 		MeetsSLO:      snap.P90 <= spec.LatencySLO && okRatio >= 0.99,

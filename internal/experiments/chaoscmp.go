@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/chaos"
+	"etude/internal/device"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+// ChaosCmpConfig controls the resilience study: one fig4-style workload
+// replayed in the simulator under each fault scenario from the chaos
+// catalog, with the full resilience stack (admission control, degradation,
+// retries, circuit breaking) active.
+type ChaosCmpConfig struct {
+	// Device is the instance type (default CPU).
+	Device device.Spec
+	// Model and CatalogSize define the deployment.
+	Model       string
+	CatalogSize int
+	// Replicas sizes the fleet (default 4; the pod-crash and AZ-outage
+	// scenarios need survivors to absorb rerouted traffic).
+	Replicas int
+	// TargetRate and Duration shape the Algorithm 2 ramp.
+	TargetRate float64
+	Duration   time.Duration
+	// Timeout is the client deadline.
+	Timeout time.Duration
+	// Resilience tunes each instance's admission control and degradation
+	// watermarks. Zero values default to MaxQueue=64, DegradeAt=32.
+	Resilience sim.Resilience
+	// Retry and Breaker configure the client stack.
+	Retry   chaos.RetryPolicy
+	Breaker chaos.BreakerPolicy
+	// Scenarios overrides the default chaos catalog.
+	Scenarios []chaos.Scenario
+	// Seed drives sampling, jitter and drop decisions.
+	Seed int64
+}
+
+// DefaultChaosCmpConfig returns the standard study: gru4rec at C=100k on
+// CPUs, 4 replicas, 8,000 req/s over 60 virtual seconds, three retries.
+// The rate is chosen so the full fleet has headroom but half of it (the
+// AZ-outage survivors) runs past saturation — the regime where admission
+// control and graceful degradation earn their keep.
+func DefaultChaosCmpConfig() ChaosCmpConfig {
+	return ChaosCmpConfig{
+		Device:      device.CPU(),
+		Model:       "gru4rec",
+		CatalogSize: 100_000,
+		Replicas:    4,
+		TargetRate:  8000,
+		Duration:    60 * time.Second,
+		Timeout:     time.Second,
+		Resilience:  sim.Resilience{MaxQueue: 64, DegradeAt: 32},
+		Retry:       chaos.RetryPolicy{MaxAttempts: 3},
+		Seed:        1,
+	}
+}
+
+// ChaosRow is one scenario's outcome.
+type ChaosRow struct {
+	Scenario string `json:"scenario"`
+	Sent     int64  `json:"sent"`
+	// Latency summarises successful (incl. degraded) responses.
+	Latency metrics.Snapshot `json:"latency"`
+	// ErrorRate is failed / issued logical requests.
+	ErrorRate float64 `json:"error_rate"`
+	// TailErrorRate is the error rate over the final fifth of the run —
+	// near zero it shows the fleet recovered from mid-run faults.
+	TailErrorRate float64 `json:"tail_error_rate"`
+	// DegradedFraction is fallback responses / issued requests.
+	DegradedFraction float64 `json:"degraded_fraction"`
+	// Outcomes breaks results down by status class and error kind.
+	Outcomes metrics.OutcomeCounts `json:"outcomes"`
+	// Backpressured and NoBackend count client-side skips.
+	Backpressured int64 `json:"backpressured"`
+	NoBackend     int64 `json:"no_backend"`
+}
+
+// ChaosCmpResult holds the per-scenario rows.
+type ChaosCmpResult struct {
+	Rows []ChaosRow `json:"rows"`
+}
+
+// ChaosComparison replays the workload under every scenario. Runs are
+// deterministic: virtual time plus seeded sampling, so identical configs
+// yield identical rows.
+func ChaosComparison(cfg ChaosCmpConfig) (*ChaosCmpResult, error) {
+	if cfg.Model == "" || cfg.CatalogSize <= 0 {
+		return nil, fmt.Errorf("experiments: invalid chaos config %+v", cfg)
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 4
+	}
+	if cfg.Resilience == (sim.Resilience{}) {
+		cfg.Resilience = sim.Resilience{MaxQueue: 64, DegradeAt: 32}
+	}
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = chaos.Catalog(cfg.Duration, cfg.Replicas)
+	}
+	res := &ChaosCmpResult{}
+	for _, sc := range scenarios {
+		row, err := runChaosScenario(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos scenario %s: %w", sc.Name, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runChaosScenario(cfg ChaosCmpConfig, sc chaos.Scenario) (*ChaosRow, error) {
+	// Every scenario gets a fresh engine and fleet so fault state cannot
+	// leak between runs.
+	eng := sim.NewEngine()
+	fleet := make([]*sim.Instance, cfg.Replicas)
+	for i := range fleet {
+		in, err := sim.NewInstance(eng, cfg.Device, cfg.Model,
+			model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed},
+			true, 2*time.Millisecond, cfg.Device.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		in.SetResilience(cfg.Resilience)
+		fleet[i] = in
+	}
+	out, err := chaos.RunSim(eng, chaos.SimConfig{
+		TargetRate: cfg.TargetRate,
+		Duration:   cfg.Duration,
+		Timeout:    cfg.Timeout,
+		Seed:       cfg.Seed,
+		Retry:      cfg.Retry,
+		Breaker:    cfg.Breaker,
+	}, fleet, chaos.NewInjector(sc))
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosRow{
+		Scenario:         sc.Name,
+		Sent:             out.Sent,
+		Latency:          out.Recorder.Overall(),
+		ErrorRate:        out.ErrorRate(),
+		TailErrorRate:    tailErrorRate(out.Recorder),
+		DegradedFraction: out.DegradedRate(),
+		Outcomes:         out.Recorder.Outcomes(),
+		Backpressured:    out.Backpressured,
+		NoBackend:        out.NoBackend,
+	}, nil
+}
+
+// tailErrorRate is the error rate over the final fifth of the run's ticks —
+// the recovery signal: a mid-run fault that healed leaves the tail clean.
+func tailErrorRate(rec *metrics.Recorder) float64 {
+	series := rec.Series()
+	if len(series) == 0 {
+		return 0
+	}
+	from := len(series) - len(series)/5
+	if from >= len(series) {
+		from = len(series) - 1
+	}
+	var sent, errs int64
+	for _, ts := range series[from:] {
+		sent += ts.Sent
+		errs += ts.Errors
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(errs) / float64(sent)
+}
+
+// Render prints the per-scenario resilience table.
+func (r *ChaosCmpResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos — fault scenarios vs the resilience stack (sim, deterministic)\n")
+	fmt.Fprintf(&b, "%-18s %8s %10s %10s %8s %8s %10s %8s\n",
+		"scenario", "sent", "p50", "p99", "err%", "tail-err%", "degraded%", "retries")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %8d %10s %10s %7.2f%% %8.2f%% %9.2f%% %8d\n",
+			row.Scenario, row.Sent,
+			row.Latency.P50.Round(time.Microsecond), row.Latency.P99.Round(time.Microsecond),
+			row.ErrorRate*100, row.TailErrorRate*100, row.DegradedFraction*100,
+			row.Outcomes.Retries)
+	}
+	fmt.Fprintf(&b, "errors by kind: ")
+	for i, row := range r.Rows {
+		if i > 0 {
+			fmt.Fprintf(&b, "; ")
+		}
+		fmt.Fprintf(&b, "%s timeout=%d refused=%d server=%d",
+			row.Scenario, row.Outcomes.Timeouts, row.Outcomes.Refused, row.Outcomes.ServerErrors)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

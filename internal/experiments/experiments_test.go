@@ -507,3 +507,46 @@ func TestAutoscaleComparison(t *testing.T) {
 		t.Errorf("zero config accepted")
 	}
 }
+
+func TestChaosComparison(t *testing.T) {
+	cfg := DefaultChaosCmpConfig()
+	cfg.TargetRate = 400
+	cfg.Duration = 15 * time.Second
+	res, err := ChaosComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 scenario rows, got %d", len(res.Rows))
+	}
+	byName := map[string]ChaosRow{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+		if row.Sent == 0 {
+			t.Errorf("scenario %s issued no requests", row.Scenario)
+		}
+	}
+	if base := byName["baseline"]; base.ErrorRate != 0 {
+		t.Errorf("fault-free baseline has error rate %.4f", base.ErrorRate)
+	}
+	crash := byName["pod-crash"]
+	if crash.ErrorRate > 0.02 {
+		t.Errorf("pod crash error rate %.4f exceeds 2%%", crash.ErrorRate)
+	}
+	if crash.TailErrorRate != 0 {
+		t.Errorf("pod crash tail error rate %.4f: fleet never recovered", crash.TailErrorRate)
+	}
+	if crash.Outcomes.Retries == 0 && crash.Outcomes.Refused == 0 {
+		t.Errorf("pod crash left no trace: %v", crash.Outcomes)
+	}
+	out := res.Render()
+	for _, want := range []string{"pod-crash", "az-outage", "degraded%", "errors by kind"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Invalid config rejected.
+	if _, err := ChaosComparison(ChaosCmpConfig{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}

@@ -26,7 +26,31 @@ const (
 	// HeaderBatchSize carries the size of the batch the request was served
 	// in (1 for unbatched CPU serving).
 	HeaderBatchSize = "X-Batch-Size"
+	// HeaderDegraded is "1" on responses served by the cheap fallback
+	// responder instead of the model (graceful degradation under overload).
+	HeaderDegraded = "X-Degraded"
 )
+
+// StatusClientClosedRequest is the nginx-convention status for a request
+// abandoned by the client before the server answered. It is never written
+// to the wire successfully (the client is gone); it exists for logs and
+// metrics.
+const StatusClientClosedRequest = 499
+
+// StatusError reports a non-2xx HTTP response, preserving the status code
+// so clients can distinguish shed load (429/503, retryable) from client
+// errors (4xx, not retryable).
+type StatusError struct {
+	Code int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpapi: server returned HTTP %d", e.Code)
+}
+
+// Degraded reports whether a response was served by the fallback path.
+func Degraded(h http.Header) bool { return h.Get(HeaderDegraded) == "1" }
 
 // PredictRequest asks for next-item recommendations for an ongoing session.
 type PredictRequest struct {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package knn
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock performance assertions are meaningless under its ~10×
+// slowdown and skip themselves when it is on.
+const raceEnabled = false

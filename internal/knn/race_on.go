@@ -1,0 +1,5 @@
+//go:build race
+
+package knn
+
+const raceEnabled = true

@@ -156,6 +156,8 @@ func TestPlatformScaleOnCPU(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Real measured inference on this machine must be far below the SLO.
+	// The race detector slows execution an order of magnitude, so the
+	// wall-clock bound only applies to uninstrumented builds.
 	session := history[7]
 	start := time.Now()
 	const n = 50
@@ -163,7 +165,7 @@ func TestPlatformScaleOnCPU(t *testing.T) {
 		m.Recommend(session)
 	}
 	perReq := time.Since(start) / n
-	if perReq > 10*time.Millisecond {
+	if !raceEnabled && perReq > 10*time.Millisecond {
 		t.Fatalf("vsknn at C=2e7: %v per request — should be millisecond-scale", perReq)
 	}
 	// The cost model agrees: CPU serial latency far below the neural models'.

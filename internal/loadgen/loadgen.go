@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,54 @@ type Target interface {
 	// response arrives. A non-nil error counts as a failed request
 	// (timeout or HTTP error).
 	Predict(ctx context.Context, req httpapi.PredictRequest) error
+}
+
+// Meta describes one response beyond pass/fail.
+type Meta struct {
+	// Status is the HTTP status code (0 when the transport failed before a
+	// response arrived).
+	Status int
+	// Degraded marks a response served by the server's fallback path.
+	Degraded bool
+}
+
+// MetaTarget is an optional Target extension reporting response metadata;
+// the generator uses it to split outcomes by status class and to count
+// degraded responses. Targets without it are treated as 200-or-error.
+type MetaTarget interface {
+	Target
+	PredictMeta(ctx context.Context, req httpapi.PredictRequest) (Meta, error)
+}
+
+// Classify maps a request error to its metrics kind: deadline/cancellation
+// → timeout; 429/503 and transport-level failures (connection refused,
+// reset, injected drop) → refused; other 5xx → server; anything else →
+// other.
+func Classify(err error) metrics.ErrorKind {
+	var se *httpapi.StatusError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return metrics.KindTimeout
+	case errors.As(err, &se):
+		switch {
+		case se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable:
+			return metrics.KindRefused
+		case se.Code >= 500:
+			return metrics.KindServer
+		default:
+			return metrics.KindOther
+		}
+	default:
+		return metrics.KindRefused
+	}
+}
+
+// retryable reports whether a failed attempt is worth retrying: shed load
+// and transient server failures are; timeouts (the client already waited a
+// full deadline) and client errors are not.
+func retryable(err error) bool {
+	kind := Classify(err)
+	return kind == metrics.KindRefused || kind == metrics.KindServer
 }
 
 // SessionSource supplies the synthetic sessions to replay.
@@ -51,10 +101,64 @@ type Config struct {
 	// Tick is the scheduling quantum (paper: one second). Shorter ticks
 	// let tests run quickly.
 	Tick time.Duration
-	// RequestTimeout bounds each in-flight request.
+	// RequestTimeout bounds each in-flight request attempt.
 	RequestTimeout time.Duration
 	// DrainTimeout bounds the wait for stragglers after the last tick.
+	// Requests still outstanding when it expires are recorded as timeout
+	// failures (never dropped from the denominator).
 	DrainTimeout time.Duration
+	// Retry configures client-side retries (zero value: no retries).
+	Retry RetryConfig
+}
+
+// RetryConfig controls client-side retries of shed or transiently failed
+// requests.
+type RetryConfig struct {
+	// MaxAttempts bounds total attempts per request including the first;
+	// 0 or 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry, doubling per attempt
+	// (default 10ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth (default 500ms).
+	MaxBackoff time.Duration
+	// Budget caps retries at Budget×(requests sent) run-wide — a token
+	// bucket that stops retry storms from amplifying an outage (default
+	// 0.2 when retries are enabled).
+	Budget float64
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 1
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 10 * time.Millisecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 500 * time.Millisecond
+	}
+	if r.Budget <= 0 {
+		r.Budget = 0.2
+	}
+	return r
+}
+
+// backoff returns the pre-jitter wait before retry number `retry` (1-based).
+func (r RetryConfig) backoff(retry int) time.Duration {
+	d := r.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= r.MaxBackoff {
+			return r.MaxBackoff
+		}
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +171,7 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -84,6 +189,9 @@ func (c Config) validate() error {
 type Result struct {
 	// Recorder holds all latency and error measurements.
 	Recorder *metrics.Recorder
+	// Outcomes breaks responses down by status class, error kind, degraded
+	// flag, retries and stragglers (a copy of Recorder.Outcomes()).
+	Outcomes metrics.OutcomeCounts
 	// Backpressured counts scheduling slots skipped because too many
 	// requests were pending — the "graceful degradation" signal.
 	Backpressured int64
@@ -108,6 +216,54 @@ func Run(ctx context.Context, cfg Config, src SessionSource, target Target) (*Re
 	feed := newFeeder(src)
 	var pending atomic.Int64
 	var wg sync.WaitGroup
+
+	// flightCtx parents every request attempt; cancelling it at drain
+	// expiry aborts stragglers so they fail fast instead of leaking.
+	flightCtx, abortFlights := context.WithCancel(context.Background())
+	defer abortFlights()
+
+	// Each logical request records its outcome exactly once: either its
+	// goroutine finishes, or the drain sweep declares it a straggler —
+	// whoever flips `recorded` first wins.
+	type reqState struct {
+		tick     int
+		recorded atomic.Bool
+	}
+	var outMu sync.Mutex
+	outstanding := make(map[*reqState]struct{})
+
+	// Retry budget in fixed-point millionths: each original request earns
+	// Budget tokens; each retry spends one.
+	const tokenUnit = 1_000_000
+	var retryTokens atomic.Int64
+	earn := int64(cfg.Retry.Budget * tokenUnit)
+	spendToken := func() bool {
+		for {
+			cur := retryTokens.Load()
+			if cur < tokenUnit {
+				return false
+			}
+			if retryTokens.CompareAndSwap(cur, cur-tokenUnit) {
+				return true
+			}
+		}
+	}
+	var jitterMu sync.Mutex
+	jitterRng := rand.New(rand.NewSource(cfg.Retry.Seed))
+	jitter := func(d time.Duration) time.Duration {
+		jitterMu.Lock()
+		defer jitterMu.Unlock()
+		return time.Duration(jitterRng.Int63n(int64(d)/2 + 1))
+	}
+	predictMeta := func(ctx context.Context, req httpapi.PredictRequest) (Meta, error) {
+		if mt, ok := target.(MetaTarget); ok {
+			return mt.PredictMeta(ctx, req)
+		}
+		if err := target.Predict(ctx, req); err != nil {
+			return Meta{}, err
+		}
+		return Meta{Status: http.StatusOK}, nil
+	}
 
 	ticks := int(cfg.Duration / cfg.Tick)
 	if ticks < 1 {
@@ -153,17 +309,50 @@ mainLoop:
 			req, done := feed.next()
 			pending.Add(1)
 			rec.RecordSent(t)
+			retryTokens.Add(earn)
+			st := &reqState{tick: t}
+			outMu.Lock()
+			outstanding[st] = struct{}{}
+			outMu.Unlock()
 			wg.Add(1)
 			go func(tick int) { // SCHEDULE_REQUEST_ASYNC
 				defer wg.Done()
 				defer pending.Add(-1)
-				rctx, cancel := context.WithTimeout(context.Background(), cfg.RequestTimeout)
-				defer cancel()
+				defer func() {
+					outMu.Lock()
+					delete(outstanding, st)
+					outMu.Unlock()
+				}()
 				reqStart := time.Now()
-				err := target.Predict(rctx, req)
-				if err != nil {
-					rec.RecordError(tick)
-				} else {
+				var meta Meta
+				var err error
+				for attempt := 1; ; attempt++ {
+					rctx, cancel := context.WithTimeout(flightCtx, cfg.RequestTimeout)
+					meta, err = predictMeta(rctx, req)
+					cancel()
+					if err == nil || flightCtx.Err() != nil ||
+						attempt >= cfg.Retry.MaxAttempts || !retryable(err) || !spendToken() {
+						break
+					}
+					rec.RecordRetry(tick)
+					backoff := cfg.Retry.backoff(attempt)
+					select {
+					case <-time.After(backoff + jitter(backoff)):
+					case <-flightCtx.Done():
+					}
+				}
+				if !st.recorded.CompareAndSwap(false, true) {
+					return // the drain sweep already counted this straggler
+				}
+				if meta.Status != 0 {
+					rec.RecordStatus(tick, meta.Status)
+				}
+				switch {
+				case err != nil:
+					rec.RecordErrorKind(tick, Classify(err))
+				case meta.Degraded:
+					rec.RecordDegraded(tick, time.Since(reqStart))
+				default:
 					rec.RecordLatency(tick, time.Since(reqStart))
 				}
 				done(err == nil)
@@ -191,7 +380,10 @@ mainLoop:
 	}
 	res.Completed = ctx.Err() == nil
 
-	// Graceful shutdown: wait for stragglers, bounded.
+	// Graceful shutdown: wait for stragglers, bounded. Requests still
+	// outstanding when the drain window expires are aborted and recorded
+	// as timeout failures — they were sent, so they stay in the
+	// denominator instead of silently vanishing.
 	drained := make(chan struct{})
 	go func() {
 		wg.Wait()
@@ -200,7 +392,16 @@ mainLoop:
 	select {
 	case <-drained:
 	case <-time.After(cfg.DrainTimeout):
+		abortFlights()
+		outMu.Lock()
+		for st := range outstanding {
+			if st.recorded.CompareAndSwap(false, true) {
+				rec.RecordStraggler(st.tick)
+			}
+		}
+		outMu.Unlock()
 	}
+	res.Outcomes = rec.Outcomes()
 	return res, nil
 }
 

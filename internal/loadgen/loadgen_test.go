@@ -357,3 +357,58 @@ func TestInferenceDurationCollection(t *testing.T) {
 		t.Fatalf("server p50 %v exceeds end-to-end p50 %v", hist.Quantile(0.5), res.Recorder.Overall().P50)
 	}
 }
+
+// TestDrainTimeoutCountsStragglers pins the accounting contract of the
+// drain window: requests still in flight when it expires are recorded as
+// failures — they stay in the denominator instead of silently vanishing
+// from the run's totals.
+func TestDrainTimeoutCountsStragglers(t *testing.T) {
+	var sent atomic.Int64
+	tgt := FuncTarget(func(ctx context.Context, r httpapi.PredictRequest) error {
+		sent.Add(1)
+		<-ctx.Done() // hang until aborted: a server that never answers
+		return ctx.Err()
+	})
+	src := &fixedSessions{sessions: []workload.Session{{1, 2, 3}}}
+	cfg := Config{
+		TargetRate:     100,
+		Duration:       300 * time.Millisecond,
+		Tick:           50 * time.Millisecond,
+		RequestTimeout: time.Minute, // outlives the drain window
+		DrainTimeout:   100 * time.Millisecond,
+	}
+	start := time.Now()
+	res, err := Run(context.Background(), cfg, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > cfg.Duration+cfg.DrainTimeout+2*time.Second {
+		t.Fatalf("drain did not bound the run: took %v", elapsed)
+	}
+	if !res.Completed {
+		t.Fatal("run should complete despite stragglers")
+	}
+	n := sent.Load()
+	if n == 0 {
+		t.Fatal("no requests issued")
+	}
+	if got := res.Recorder.Errors(); got != n {
+		t.Fatalf("errors = %d, want every one of the %d hung requests", got, n)
+	}
+	// Every hung request is a timeout; at least one was swept by the drain
+	// expiry itself (the others may have raced their own abort first).
+	if res.Outcomes.Timeouts != n {
+		t.Fatalf("timeouts = %d, want %d\n%v", res.Outcomes.Timeouts, n, res.Outcomes)
+	}
+	if res.Outcomes.Stragglers == 0 {
+		t.Fatal("no stragglers recorded at drain expiry")
+	}
+	// The denominator is intact: sent == completed + errors.
+	var series int64
+	for _, ts := range res.Recorder.Series() {
+		series += ts.Sent
+	}
+	if series != n {
+		t.Fatalf("per-tick sent %d != issued %d", series, n)
+	}
+}

@@ -38,10 +38,19 @@ func (t *HTTPTarget) CollectInferenceDurations(h *metrics.Histogram) {
 // NewHTTPTarget returns a target for the server at baseURL (scheme + host +
 // port, no path).
 func NewHTTPTarget(baseURL string) *HTTPTarget {
-	transport := &http.Transport{
-		MaxIdleConns:        2048,
-		MaxIdleConnsPerHost: 2048,
-		IdleConnTimeout:     90 * time.Second,
+	return NewHTTPTargetTransport(baseURL, nil)
+}
+
+// NewHTTPTargetTransport is NewHTTPTarget with a custom transport — the
+// hook fault injection (internal/chaos) uses to wrap the wire with delays
+// and drops. A nil transport uses the default pooled one.
+func NewHTTPTargetTransport(baseURL string, transport http.RoundTripper) *HTTPTarget {
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        2048,
+			MaxIdleConnsPerHost: 2048,
+			IdleConnTimeout:     90 * time.Second,
+		}
 	}
 	return &HTTPTarget{
 		baseURL: baseURL,
@@ -51,33 +60,42 @@ func NewHTTPTarget(baseURL string) *HTTPTarget {
 
 // Predict implements Target.
 func (t *HTTPTarget) Predict(ctx context.Context, req httpapi.PredictRequest) error {
+	_, err := t.PredictMeta(ctx, req)
+	return err
+}
+
+// PredictMeta implements MetaTarget: it reports the HTTP status class and
+// the degraded flag alongside the error, so the load generator can count
+// shed vs degraded vs healthy responses separately.
+func (t *HTTPTarget) PredictMeta(ctx context.Context, req httpapi.PredictRequest) (Meta, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return fmt.Errorf("loadgen: encoding request: %w", err)
+		return Meta{}, fmt.Errorf("loadgen: encoding request: %w", err)
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.baseURL+httpapi.PredictPath, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("loadgen: building request: %w", err)
+		return Meta{}, fmt.Errorf("loadgen: building request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	resp, err := t.client.Do(httpReq)
 	if err != nil {
-		return fmt.Errorf("loadgen: request failed: %w", err)
+		return Meta{}, fmt.Errorf("loadgen: request failed: %w", err)
 	}
 	defer resp.Body.Close()
+	meta := Meta{Status: resp.StatusCode, Degraded: httpapi.Degraded(resp.Header)}
 	// Drain the body so the connection is reusable.
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return fmt.Errorf("loadgen: draining response: %w", err)
+		return meta, fmt.Errorf("loadgen: draining response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loadgen: server returned HTTP %d", resp.StatusCode)
+		return meta, &httpapi.StatusError{Code: resp.StatusCode}
 	}
 	if t.inference != nil {
 		if d := httpapi.InferenceDuration(resp.Header); d > 0 {
 			t.inference.Record(d)
 		}
 	}
-	return nil
+	return meta, nil
 }
 
 // WaitReady polls the target's readiness endpoint until it answers 200 or

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// ErrorKind classifies why a request failed, so that resilience experiments
+// can distinguish a saturated server shedding load (refused) from a hung one
+// (timeout) — the two look identical in a plain error count but demand
+// opposite operator responses.
+type ErrorKind int
+
+const (
+	// KindTimeout is a request that exceeded its latency deadline (client
+	// timeout, straggler at drain, simulated SLO bust).
+	KindTimeout ErrorKind = iota
+	// KindRefused is load actively shed before service: HTTP 429/503,
+	// connection refused, a down pod, or an open circuit breaker.
+	KindRefused
+	// KindServer is a server-side failure response (5xx other than 503).
+	KindServer
+	// KindOther is everything else (transport faults, bad requests, ...).
+	KindOther
+	numErrorKinds
+)
+
+// String names the kind for reports.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindTimeout:
+		return "timeout"
+	case KindRefused:
+		return "refused"
+	case KindServer:
+		return "server"
+	default:
+		return "other"
+	}
+}
+
+// OutcomeCounts aggregates response outcomes beyond the latency histogram:
+// HTTP status classes, error kinds, degraded (fallback) responses and retry
+// attempts. Retries are tracked separately from Sent so that retried traffic
+// does not silently inflate throughput.
+type OutcomeCounts struct {
+	// Status2xx..Status5xx count responses by HTTP status class. Requests
+	// that never produced a status (transport failure, timeout) are absent.
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	// Timeouts, Refused, ServerErrors and OtherErrors split the error count
+	// by kind; their sum equals the Recorder's error total.
+	Timeouts     int64 `json:"timeouts"`
+	Refused      int64 `json:"refused"`
+	ServerErrors int64 `json:"server_errors"`
+	OtherErrors  int64 `json:"other_errors"`
+	// Degraded counts successful responses served by the cheap fallback
+	// path (flagged by the server); they are included in the success count
+	// and latency histogram but must be reported separately — a run that
+	// "meets the SLO" by degrading 40% of answers did not really meet it.
+	Degraded int64 `json:"degraded"`
+	// Retries counts retry attempts (excluded from Sent).
+	Retries int64 `json:"retries"`
+	// Stragglers counts requests still outstanding when the drain window
+	// expired; they are also recorded as timeout errors.
+	Stragglers int64 `json:"stragglers"`
+}
+
+// String renders the counters compactly for logs and reports.
+func (o OutcomeCounts) String() string {
+	return fmt.Sprintf("2xx=%d 4xx=%d 5xx=%d timeout=%d refused=%d server=%d other=%d degraded=%d retries=%d stragglers=%d",
+		o.Status2xx, o.Status4xx, o.Status5xx,
+		o.Timeouts, o.Refused, o.ServerErrors, o.OtherErrors,
+		o.Degraded, o.Retries, o.Stragglers)
+}
+
+// RecordStatus notes the HTTP status class of a response observed during
+// tick t (call alongside RecordLatency / RecordErrorKind).
+func (r *Recorder) RecordStatus(t int, code int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case code >= 200 && code < 300:
+		r.outcomes.Status2xx++
+	case code >= 400 && code < 500:
+		r.outcomes.Status4xx++
+	case code >= 500 && code < 600:
+		r.outcomes.Status5xx++
+	}
+}
+
+// RecordErrorKind notes a failed request of the given kind during tick t.
+// It subsumes RecordError: the run-wide error count includes every kind.
+func (r *Recorder) RecordErrorKind(t int, kind ErrorKind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordErrorLocked(t)
+	switch kind {
+	case KindTimeout:
+		r.outcomes.Timeouts++
+	case KindRefused:
+		r.outcomes.Refused++
+	case KindServer:
+		r.outcomes.ServerErrors++
+	default:
+		r.outcomes.OtherErrors++
+	}
+}
+
+// RecordDegraded notes a successful response served by the degraded
+// (fallback) path during tick t, with its end-to-end latency.
+func (r *Recorder) RecordDegraded(t int, d time.Duration) {
+	r.mu.Lock()
+	acc := r.tick(t)
+	acc.completed++
+	acc.degraded++
+	acc.hist.Record(d)
+	r.outcomes.Degraded++
+	r.mu.Unlock()
+	r.overall.Record(d)
+}
+
+// RecordRetry notes one retry attempt issued during tick t. Retries are not
+// added to Sent.
+func (r *Recorder) RecordRetry(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tick(t).retries++
+	r.outcomes.Retries++
+}
+
+// RecordStraggler notes a request that was still outstanding when the drain
+// window expired: it counts as a timeout error (the client gave up) so that
+// stragglers stay in the denominator instead of silently vanishing.
+func (r *Recorder) RecordStraggler(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordErrorLocked(t)
+	r.outcomes.Timeouts++
+	r.outcomes.Stragglers++
+}
+
+// Outcomes returns the run-wide outcome counters.
+func (r *Recorder) Outcomes() OutcomeCounts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.outcomes
+}

@@ -13,6 +13,8 @@ type TickStats struct {
 	Sent      int64         `json:"sent"`
 	Completed int64         `json:"completed"`
 	Errors    int64         `json:"errors"`
+	Degraded  int64         `json:"degraded,omitempty"`
+	Retries   int64         `json:"retries,omitempty"`
 	P50       time.Duration `json:"p50"`
 	P90       time.Duration `json:"p90"`
 	P99       time.Duration `json:"p99"`
@@ -21,17 +23,20 @@ type TickStats struct {
 // Recorder collects per-tick statistics plus an overall histogram over a
 // whole benchmark run. It is safe for concurrent use.
 type Recorder struct {
-	mu      sync.Mutex
-	ticks   map[int]*tickAcc
-	overall *Histogram
-	errs    int64
-	sent    int64
+	mu       sync.Mutex
+	ticks    map[int]*tickAcc
+	overall  *Histogram
+	errs     int64
+	sent     int64
+	outcomes OutcomeCounts
 }
 
 type tickAcc struct {
 	sent      int64
 	completed int64
 	errors    int64
+	degraded  int64
+	retries   int64
 	hist      *Histogram
 }
 
@@ -68,9 +73,15 @@ func (r *Recorder) RecordLatency(t int, d time.Duration) {
 }
 
 // RecordError notes a failed (timeout / HTTP error) response during tick t.
+// Use RecordErrorKind when the failure mode is known.
 func (r *Recorder) RecordError(t int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.recordErrorLocked(t)
+	r.outcomes.OtherErrors++
+}
+
+func (r *Recorder) recordErrorLocked(t int) {
 	acc := r.tick(t)
 	acc.completed++
 	acc.errors++
@@ -114,6 +125,8 @@ func (r *Recorder) Series() []TickStats {
 			ts.Sent = acc.sent
 			ts.Completed = acc.completed
 			ts.Errors = acc.errors
+			ts.Degraded = acc.degraded
+			ts.Retries = acc.retries
 			ts.P50 = acc.hist.Quantile(0.5)
 			ts.P90 = acc.hist.Quantile(0.9)
 			ts.P99 = acc.hist.Quantile(0.99)

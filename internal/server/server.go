@@ -37,11 +37,25 @@ type Options struct {
 	// Batch enables request batching with the given config. Nil disables
 	// batching (the CPU serving configuration).
 	Batch *batching.Config
+	// MaxPending bounds requests admitted but not yet answered (admission
+	// control): requests beyond the bound are shed with 429 + Retry-After
+	// instead of queueing without limit. 0 defaults to 16× Workers;
+	// negative disables the bound (the original unbounded behaviour).
+	MaxPending int
+	// DegradeAt is the pending-request watermark at which prediction
+	// requests are answered from the precomputed fallback list instead of
+	// the model, flagged with the X-Degraded header (graceful
+	// degradation). 0 disables degradation. Set it below MaxPending so the
+	// server degrades before it sheds.
+	DegradeAt int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxPending == 0 {
+		o.MaxPending = 16 * o.Workers
 	}
 	return o
 }
@@ -56,6 +70,15 @@ type Server struct {
 	pool    chan predictor
 	batcher *batching.Batcher[[]int64, []topk.Result]
 	ready   atomic.Bool
+	// pending counts admitted-but-unanswered prediction requests — the
+	// admission-control and degradation-watermark signal.
+	pending atomic.Int64
+	// shed and degraded count resilience actions for tests and ops.
+	shed     atomic.Int64
+	degraded atomic.Int64
+	// fallback is the precomputed popularity-style response served while
+	// degraded (nil in static mode).
+	fallback []topk.Result
 	// JITActive reports whether compiled plans are actually in use (false
 	// when the model refused compilation).
 	JITActive bool
@@ -79,9 +102,21 @@ func New(m model.Model, opts Options) (*Server, error) {
 		}
 		s.batcher = b
 	}
+	// Precompute the degraded-mode fallback once: a popularity-style static
+	// recommendation list that costs a map lookup to serve, not a model
+	// execution.
+	if opts.DegradeAt > 0 {
+		s.fallback = m.Recommend([]int64{0})
+	}
 	s.ready.Store(true)
 	return s, nil
 }
+
+// Shed returns how many requests admission control refused (429).
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// DegradedCount returns how many responses the fallback responder served.
+func (s *Server) DegradedCount() int64 { return s.degraded.Load() }
 
 // NewStatic builds the "empty response, no computation" server used by the
 // infrastructure validation experiment (paper Fig 2).
@@ -170,11 +205,32 @@ func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// queueDepth returns the server's pending-work signal: the batcher queue
+// when batching, the admitted-request count otherwise.
+func (s *Server) queueDepth() int {
+	if s.batcher != nil {
+		return s.batcher.Pending()
+	}
+	return int(s.pending.Load())
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "use POST", http.StatusMethodNotAllowed)
 		return
 	}
+	// Admission control: past the pending bound the server sheds with 429 +
+	// Retry-After instead of queueing without limit — a saturated server
+	// answering "not now" fast beats one answering everything late.
+	if s.opts.MaxPending > 0 && s.pending.Load() >= int64(s.opts.MaxPending) {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+		return
+	}
+	s.pending.Add(1)
+	defer s.pending.Add(-1)
+
 	var req httpapi.PredictRequest
 	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -188,9 +244,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var recs []topk.Result
 	batch := 1
+	degraded := false
 	switch {
 	case s.mdl == nil:
 		// Static mode: no inference at all.
+	case s.opts.DegradeAt > 0 && s.queueDepth() > s.opts.DegradeAt:
+		// Graceful degradation: past the watermark, answer from the
+		// precomputed fallback list instead of joining the model queue.
+		recs = s.fallback
+		degraded = true
+		s.degraded.Add(1)
 	case s.batcher != nil:
 		out, err := s.batcher.Submit(r.Context(), req.Items)
 		if err != nil {
@@ -203,9 +266,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		recs = out
 	default:
-		p := <-s.pool
-		recs = p(req.Items)
-		s.pool <- p
+		// A disconnected client must not consume a worker slot: select on
+		// the request context while waiting for one, and bail out
+		// 499-style (nginx's "client closed request") if the client hung
+		// up first.
+		select {
+		case p := <-s.pool:
+			recs = p(req.Items)
+			s.pool <- p
+		case <-r.Context().Done():
+			w.WriteHeader(httpapi.StatusClientClosedRequest)
+			return
+		}
 	}
 	inference := time.Since(start)
 
@@ -218,5 +290,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Scores[i] = rec.Score
 	}
 	httpapi.SetDurationHeaders(w.Header(), inference, batch)
+	if degraded {
+		w.Header().Set(httpapi.HeaderDegraded, "1")
+	}
 	httpapi.WriteJSON(w, http.StatusOK, resp)
 }

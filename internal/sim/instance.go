@@ -1,11 +1,59 @@
 package sim
 
 import (
+	"errors"
 	"time"
 
 	"etude/internal/device"
 	"etude/internal/model"
 )
+
+// Fault outcomes a simulated instance can report for a request. They mirror
+// what a real client observes: a connection reset when the pod dies, and an
+// immediate refusal when admission control sheds the request.
+var (
+	// ErrPodDown is returned for requests routed to (or in flight on) a
+	// crashed pod.
+	ErrPodDown = errors.New("sim: pod down")
+	// ErrShed is returned when the instance's bounded queue is full and the
+	// request is refused instead of enqueued.
+	ErrShed = errors.New("sim: request shed (queue full)")
+)
+
+// Outcome describes one completed simulated request.
+type Outcome struct {
+	// Latency is the end-to-end virtual time from submission to completion
+	// (for failed requests: until the failure was observed).
+	Latency time.Duration
+	// Err is non-nil when the request failed (ErrPodDown, ErrShed).
+	Err error
+	// Degraded marks a response served by the cheap fallback responder
+	// instead of the model.
+	Degraded bool
+}
+
+// Resilience configures the server-side resilience mechanisms of a simulated
+// instance. The zero value reproduces the original unbounded happy-path
+// behaviour.
+type Resilience struct {
+	// MaxQueue bounds requests waiting or in service; submissions beyond it
+	// are refused with ErrShed (admission control). 0 = unbounded.
+	MaxQueue int
+	// DegradeAt is the pending-request watermark at which new requests are
+	// answered by the cheap popularity-style fallback responder instead of
+	// the model (graceful degradation). 0 disables degradation.
+	DegradeAt int
+	// DegradeCost is the service time of the fallback responder (default
+	// 200µs — a precomputed list lookup, no model execution).
+	DegradeCost time.Duration
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.DegradeCost <= 0 {
+		r.DegradeCost = 200 * time.Microsecond
+	}
+	return r
+}
 
 // Request is one simulated recommendation request.
 type Request struct {
@@ -13,13 +61,15 @@ type Request struct {
 	SessionLen int
 	// arrival is the virtual submission time.
 	arrival time.Duration
-	// done receives the end-to-end latency when the request completes.
-	done func(latency time.Duration)
+	// done receives the request outcome when it completes or fails.
+	done func(Outcome)
 }
 
 // Instance simulates one serving machine: a device (CPU or GPU), a deployed
 // model (represented by its per-session-length cost table), optional JIT
-// execution, and — on GPUs — the 2ms/1024 request batcher.
+// execution, and — on GPUs — the 2ms/1024 request batcher. Fault injection
+// (internal/chaos) can crash/restart it and dilate its service times;
+// Resilience bounds its queue and enables graceful degradation.
 type Instance struct {
 	eng  *Engine
 	spec device.Spec
@@ -41,6 +91,14 @@ type Instance struct {
 	// busyTotal accumulates device-busy virtual time (service durations),
 	// the utilisation signal consumed by the autoscaler.
 	busyTotal time.Duration
+
+	// Fault state (driven by the chaos injector).
+	down     bool
+	slowdown float64 // service-time multiplier; 1 = healthy
+	epoch    uint64  // bumped on every crash; stale completions are dropped
+	inflight []Request
+
+	res Resilience
 }
 
 // NewInstance builds a simulated instance serving the named model.
@@ -70,6 +128,7 @@ func NewInstance(eng *Engine, spec device.Spec, name string, cfg model.Config, j
 		costs:      costs,
 		maxBatch:   eff,
 		flushEvery: flushEvery,
+		slowdown:   1,
 	}, nil
 }
 
@@ -80,9 +139,51 @@ func normalizeConfig(cfg model.Config) model.Config {
 	return cfg
 }
 
+// SetResilience configures admission control and graceful degradation.
+func (in *Instance) SetResilience(r Resilience) { in.res = r.withDefaults() }
+
 // Fits reports whether the model fits the instance at all (GPU memory).
 func (in *Instance) Fits() bool {
 	return in.spec.Kind == device.KindCPU || in.maxBatch > 0
+}
+
+// Up reports whether the instance is serving (false after Crash until
+// Restart) — the readiness-probe signal for health-aware balancing.
+func (in *Instance) Up() bool { return !in.down }
+
+// Crash takes the instance down, failing every queued, buffered and
+// in-flight request with ErrPodDown (a dying pod resets its connections).
+// Subsequent submissions fail immediately until Restart.
+func (in *Instance) Crash() {
+	if in.down {
+		return
+	}
+	in.down = true
+	in.epoch++ // invalidate scheduled completions
+	in.busy = false
+	in.flushArmed = false
+	now := in.eng.Now()
+	failed := make([]Request, 0, len(in.queue)+len(in.buffer)+len(in.inflight))
+	failed = append(failed, in.inflight...)
+	failed = append(failed, in.queue...)
+	failed = append(failed, in.buffer...)
+	in.inflight, in.queue, in.buffer = nil, nil, nil
+	for _, r := range failed {
+		r.done(Outcome{Latency: now - r.arrival, Err: ErrPodDown})
+	}
+}
+
+// Restart brings a crashed instance back up with an empty queue (the
+// restarted pod passed its readiness probe).
+func (in *Instance) Restart() { in.down = false }
+
+// SetSlowdown sets the service-time multiplier (1 = healthy; 3 = a degraded
+// node running 3× slower). Non-positive values reset to 1.
+func (in *Instance) SetSlowdown(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	in.slowdown = factor
 }
 
 func (in *Instance) costFor(sessionLen int) model.Cost {
@@ -95,9 +196,48 @@ func (in *Instance) costFor(sessionLen int) model.Cost {
 	return in.costs[sessionLen]
 }
 
-// Submit enqueues a request; done fires with the end-to-end latency.
+func (in *Instance) scaled(service time.Duration) time.Duration {
+	if in.slowdown == 1 {
+		return service
+	}
+	return time.Duration(float64(service) * in.slowdown)
+}
+
+// Submit enqueues a request; done fires with the end-to-end latency. It
+// predates fault injection: failures (impossible without chaos/resilience
+// configured) surface only through SubmitOutcome.
 func (in *Instance) Submit(sessionLen int, done func(latency time.Duration)) {
+	in.SubmitOutcome(sessionLen, func(o Outcome) { done(o.Latency) })
+}
+
+// SubmitOutcome enqueues a request; done fires exactly once with the
+// outcome. Down instances and full queues fail the request immediately.
+func (in *Instance) SubmitOutcome(sessionLen int, done func(Outcome)) {
 	req := Request{SessionLen: sessionLen, arrival: in.eng.Now(), done: done}
+	if in.down {
+		done(Outcome{Err: ErrPodDown})
+		return
+	}
+	pending := in.Pending()
+	// Graceful degradation: past the watermark, answer from the cheap
+	// fallback responder, bypassing the model executor entirely.
+	if in.res.DegradeAt > 0 && pending >= in.res.DegradeAt {
+		epoch := in.epoch
+		in.eng.Schedule(in.res.DegradeCost, func() {
+			if in.epoch != epoch {
+				req.done(Outcome{Latency: in.eng.Now() - req.arrival, Err: ErrPodDown})
+				return
+			}
+			req.done(Outcome{Latency: in.eng.Now() - req.arrival, Degraded: true})
+		})
+		return
+	}
+	// Admission control: a bounded queue sheds instead of growing without
+	// limit.
+	if in.res.MaxQueue > 0 && pending >= in.res.MaxQueue {
+		done(Outcome{Err: ErrShed})
+		return
+	}
 	if in.spec.Kind == device.KindCPU {
 		in.queue = append(in.queue, req)
 		in.pumpCPU()
@@ -117,23 +257,32 @@ func (in *Instance) Submit(sessionLen int, done func(latency time.Duration)) {
 // pumpCPU starts the next request on the (single, intra-op parallel)
 // executor when it is idle.
 func (in *Instance) pumpCPU() {
-	if in.busy || len(in.queue) == 0 {
+	if in.busy || in.down || len(in.queue) == 0 {
 		return
 	}
 	req := in.queue[0]
 	in.queue = in.queue[1:]
 	in.busy = true
-	service := in.spec.ParallelInference(in.costFor(req.SessionLen), in.jit)
+	in.inflight = append(in.inflight[:0], req)
+	service := in.scaled(in.spec.ParallelInference(in.costFor(req.SessionLen), in.jit))
 	in.busyTotal += service
+	epoch := in.epoch
 	in.eng.Schedule(service, func() {
+		if in.epoch != epoch {
+			return // crashed mid-service; Crash already failed the request
+		}
 		in.busy = false
-		req.done(in.eng.Now() - req.arrival)
+		in.inflight = in.inflight[:0]
+		req.done(Outcome{Latency: in.eng.Now() - req.arrival})
 		in.pumpCPU()
 	})
 }
 
 func (in *Instance) flushTimer() {
 	in.flushArmed = false
+	if in.down {
+		return
+	}
 	if !in.busy && len(in.buffer) > 0 {
 		in.startBatch()
 	} else if len(in.buffer) > 0 {
@@ -154,6 +303,7 @@ func (in *Instance) startBatch() {
 	copy(batch, in.buffer)
 	in.buffer = in.buffer[n:]
 	in.busy = true
+	in.inflight = append(in.inflight[:0], batch...)
 
 	// The batch's service time uses the mean session length of its
 	// requests (the encoder runs per request; the catalog scan dominates
@@ -166,12 +316,17 @@ func (in *Instance) startBatch() {
 	if meanLen < 1 {
 		meanLen = 1
 	}
-	service := in.spec.BatchInference(in.costFor(meanLen), n, in.jit)
+	service := in.scaled(in.spec.BatchInference(in.costFor(meanLen), n, in.jit))
 	in.busyTotal += service
+	epoch := in.epoch
 	in.eng.Schedule(service, func() {
+		if in.epoch != epoch {
+			return // crashed mid-batch; Crash already failed the requests
+		}
 		in.busy = false
+		in.inflight = in.inflight[:0]
 		for _, r := range batch {
-			r.done(in.eng.Now() - r.arrival)
+			r.done(Outcome{Latency: in.eng.Now() - r.arrival})
 		}
 		if len(in.buffer) >= in.maxBatch {
 			in.startBatch()
