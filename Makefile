@@ -9,7 +9,7 @@ DURATION ?= 30s
 EXPERIMENT ?= table1
 SCALE ?= test
 
-.PHONY: build test bench vet race infra run_deployed_benchmark benchmark advise clean
+.PHONY: build test bench vet race check infra run_deployed_benchmark benchmark advise clean
 
 build:
 	go build ./...
@@ -30,6 +30,16 @@ race:
 	go vet ./...
 	go test -race ./...
 
+# The merge gate (also run by CI): build + vet + full suite, plus the race
+# detector on the packages with real concurrency — the cluster lifecycle
+# (drain/scale/rolling-update/supervisor), the server's admission control
+# and the load generator.
+check:
+	go build ./...
+	go vet ./...
+	go test ./...
+	go test -race ./internal/cluster ./internal/server ./internal/loadgen
+
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.
 infra:
@@ -42,10 +52,13 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
+# EXPERIMENT=rolling drives sustained live load through a rolling model swap
+# (drained vs. drainless) and a supervised pod crash, reporting error rate,
+# p99, degraded fraction, forced kills and MTTR per phase.
 benchmark:
 	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE)
 

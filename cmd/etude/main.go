@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos [-scale test|paper]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling [-scale test|paper]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -59,7 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos [-scale test|paper] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling [-scale test|paper] [-bucket DIR]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -82,7 +82,7 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos)")
+	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, rolling)")
 	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
 	_ = fs.Parse(args)
@@ -194,6 +194,18 @@ func runExperiment(ctx context.Context, name string, paper bool) (string, error)
 			cfg.Duration = 10 * time.Minute
 		}
 		res, err := experiments.ChaosComparison(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "rolling":
+		cfg := experiments.DefaultRollingConfig()
+		if paper {
+			cfg.Duration = 2 * time.Minute
+			cfg.TargetRate = 400
+			cfg.OpAfter = 30 * time.Second
+		}
+		res, err := experiments.Rolling(ctx, cfg)
 		if err != nil {
 			return "", err
 		}

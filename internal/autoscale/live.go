@@ -1,0 +1,297 @@
+package autoscale
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"etude/internal/cluster"
+	"etude/internal/metrics"
+)
+
+// LiveSignal is one control-loop observation of a live serving fleet.
+type LiveSignal struct {
+	// P90 is the recent-window 90th-percentile latency (zero with no
+	// completed requests in the window).
+	P90 time.Duration
+	// ErrorRate is failed / issued requests over the window.
+	ErrorRate float64
+	// Sent is how many requests the window saw; windows with no traffic
+	// never trigger scaling decisions.
+	Sent int64
+}
+
+// LiveConfig tunes a live autoscale controller — the reactive scaler from
+// the simulation study (Run) wired to a real fleet via a scale function.
+type LiveConfig struct {
+	// MinReplicas and MaxReplicas bound the fleet.
+	MinReplicas int
+	MaxReplicas int
+	// Interval is the control-loop period (default 1s).
+	Interval time.Duration
+	// SLO is the p90 target the controller defends (default 50ms): a
+	// window above it (or with errors) scales up.
+	SLO time.Duration
+	// DownFraction scales down only when the window's p90 sits below
+	// DownFraction×SLO (default 0.5) — a fleet barely meeting its SLO must
+	// not shrink.
+	DownFraction float64
+	// StabilizationWindow damps flapping (default 5×Interval): a
+	// scale-down is applied only when every recommendation inside the
+	// window agreed the fleet could be smaller, mirroring the HPA's
+	// downscale stabilization. Scale-ups apply immediately — capacity
+	// shortfalls hurt now, surplus only costs money.
+	StabilizationWindow time.Duration
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.SLO <= 0 {
+		c.SLO = 50 * time.Millisecond
+	}
+	if c.DownFraction <= 0 || c.DownFraction >= 1 {
+		c.DownFraction = 0.5
+	}
+	if c.StabilizationWindow <= 0 {
+		c.StabilizationWindow = 5 * c.Interval
+	}
+	return c
+}
+
+func (c LiveConfig) validate() error {
+	if c.MinReplicas < 1 || c.MaxReplicas < c.MinReplicas {
+		return fmt.Errorf("autoscale: need 1 ≤ MinReplicas ≤ MaxReplicas, got %d..%d", c.MinReplicas, c.MaxReplicas)
+	}
+	return nil
+}
+
+// LiveController runs a reactive scaling loop against a live fleet: it
+// samples a signal, computes a desired replica count, damps scale-downs
+// over a stabilization window, and applies changes through the provided
+// scale function (normally cluster.Scale via ClusterScaler).
+type LiveController struct {
+	cfg    LiveConfig
+	sample func() LiveSignal
+	scale  func(context.Context, int) error
+
+	mu       sync.Mutex
+	replicas int
+	// recommendations holds timestamped desired counts inside the
+	// stabilization window; scale-down uses their maximum.
+	recommendations []recommendation
+	scaleUps        int
+	scaleDowns      int
+	lastErr         error
+
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+type recommendation struct {
+	at      time.Time
+	desired int
+}
+
+// ClusterScaler adapts a cluster deployment to the controller's scale
+// function.
+func ClusterScaler(c *cluster.Cluster, name string) func(context.Context, int) error {
+	return func(ctx context.Context, replicas int) error {
+		return c.Scale(ctx, name, replicas)
+	}
+}
+
+// RecorderSignal samples a load generator's recorder over its trailing
+// `window` ticks — the glue between a live benchmark's measurements and the
+// controller.
+func RecorderSignal(rec *metrics.Recorder, window int) func() LiveSignal {
+	if window < 1 {
+		window = 1
+	}
+	return func() LiveSignal {
+		series := rec.Series()
+		if len(series) == 0 {
+			return LiveSignal{}
+		}
+		from := len(series) - window
+		if from < 0 {
+			from = 0
+		}
+		var sig LiveSignal
+		var errs int64
+		var worstP90 time.Duration
+		for _, ts := range series[from:] {
+			sig.Sent += ts.Sent
+			errs += ts.Errors
+			if ts.P90 > worstP90 {
+				worstP90 = ts.P90
+			}
+		}
+		sig.P90 = worstP90
+		if sig.Sent > 0 {
+			sig.ErrorRate = float64(errs) / float64(sig.Sent)
+		}
+		return sig
+	}
+}
+
+// NewLiveController builds a controller managing `initial` replicas. Call
+// Start to begin the loop.
+func NewLiveController(cfg LiveConfig, initial int, sample func() LiveSignal, scale func(context.Context, int) error) (*LiveController, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sample == nil || scale == nil {
+		return nil, fmt.Errorf("autoscale: nil sample or scale function")
+	}
+	if initial < cfg.MinReplicas {
+		initial = cfg.MinReplicas
+	}
+	if initial > cfg.MaxReplicas {
+		initial = cfg.MaxReplicas
+	}
+	return &LiveController{
+		cfg:      cfg,
+		sample:   sample,
+		scale:    scale,
+		replicas: initial,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the control loop; Stop ends it.
+func (lc *LiveController) Start(ctx context.Context) {
+	lc.wg.Add(1)
+	go func() {
+		defer lc.wg.Done()
+		ticker := time.NewTicker(lc.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-lc.done:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				lc.Tick(ctx, lc.sample(), time.Now())
+			}
+		}
+	}()
+}
+
+// Stop halts the control loop. Idempotent.
+func (lc *LiveController) Stop() {
+	lc.once.Do(func() { close(lc.done) })
+	lc.wg.Wait()
+}
+
+// Replicas returns the controller's current applied replica count.
+func (lc *LiveController) Replicas() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.replicas
+}
+
+// ScaleUps and ScaleDowns count applied control actions.
+func (lc *LiveController) ScaleUps() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.scaleUps
+}
+
+// ScaleDowns counts applied shrink actions.
+func (lc *LiveController) ScaleDowns() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.scaleDowns
+}
+
+// LastErr returns the most recent scale-function failure (nil when clean).
+func (lc *LiveController) LastErr() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.lastErr
+}
+
+// Tick runs one control iteration with an explicit signal and clock — the
+// loop calls it each interval; tests call it directly for determinism.
+func (lc *LiveController) Tick(ctx context.Context, sig LiveSignal, now time.Time) {
+	lc.mu.Lock()
+	current := lc.replicas
+	desired := lc.desire(sig, current)
+
+	// Record the recommendation and prune the stabilization window.
+	lc.recommendations = append(lc.recommendations, recommendation{at: now, desired: desired})
+	cutoff := now.Add(-lc.cfg.StabilizationWindow)
+	for len(lc.recommendations) > 0 && lc.recommendations[0].at.Before(cutoff) {
+		lc.recommendations = lc.recommendations[1:]
+	}
+
+	target := current
+	switch {
+	case desired > current:
+		// Capacity shortfall: act immediately.
+		target = desired
+	case desired < current:
+		// Flap damping: shrink only to the maximum desired count seen
+		// anywhere in the window — one optimistic sample must not kill a
+		// replica a traffic spike will want back next interval.
+		target = desired
+		for _, r := range lc.recommendations {
+			if r.desired > target {
+				target = r.desired
+			}
+		}
+	}
+	if target == current {
+		lc.mu.Unlock()
+		return
+	}
+	lc.mu.Unlock()
+
+	err := lc.scale(ctx, target)
+
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lastErr = err
+	if err != nil {
+		return
+	}
+	if target > lc.replicas {
+		lc.scaleUps++
+	} else if target < lc.replicas {
+		lc.scaleDowns++
+	}
+	lc.replicas = target
+}
+
+// desire maps a window's signal to the replica count it argues for. Callers
+// hold lc.mu.
+func (lc *LiveController) desire(sig LiveSignal, current int) int {
+	if sig.Sent == 0 {
+		return current // no traffic, no evidence
+	}
+	switch {
+	case sig.ErrorRate > 0 || sig.P90 > lc.cfg.SLO:
+		// Multiplicative growth (+50%, at least one), like the simulation
+		// scaler: catch steep spikes within a few intervals.
+		grow := current / 2
+		if grow < 1 {
+			grow = 1
+		}
+		desired := current + grow
+		if desired > lc.cfg.MaxReplicas {
+			desired = lc.cfg.MaxReplicas
+		}
+		return desired
+	case sig.P90 < time.Duration(float64(lc.cfg.SLO)*lc.cfg.DownFraction):
+		if current > lc.cfg.MinReplicas {
+			return current - 1
+		}
+	}
+	return current
+}

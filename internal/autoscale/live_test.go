@@ -1,0 +1,179 @@
+package autoscale
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"etude/internal/metrics"
+)
+
+// fakeFleet records the scale calls a controller makes.
+type fakeFleet struct {
+	replicas int
+	calls    []int
+	fail     bool
+}
+
+func (f *fakeFleet) scale(_ context.Context, n int) error {
+	if f.fail {
+		return fmt.Errorf("fake scale failure")
+	}
+	f.replicas = n
+	f.calls = append(f.calls, n)
+	return nil
+}
+
+func newTestController(t *testing.T, cfg LiveConfig, initial int, fleet *fakeFleet) *LiveController {
+	t.Helper()
+	lc, err := NewLiveController(cfg, initial, func() LiveSignal { return LiveSignal{} }, fleet.scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lc
+}
+
+func TestLiveControllerScalesUpOnSLOBreach(t *testing.T) {
+	fleet := &fakeFleet{replicas: 2}
+	lc := newTestController(t, LiveConfig{MinReplicas: 1, MaxReplicas: 8, SLO: 50 * time.Millisecond}, 2, fleet)
+	now := time.Now()
+
+	// p90 over SLO: multiplicative growth, applied immediately.
+	lc.Tick(context.Background(), LiveSignal{P90: 80 * time.Millisecond, Sent: 100}, now)
+	if lc.Replicas() != 3 || fleet.replicas != 3 {
+		t.Fatalf("replicas after SLO breach = %d (fleet %d), want 3", lc.Replicas(), fleet.replicas)
+	}
+	// Errors alone also scale up, even with good latency.
+	lc.Tick(context.Background(), LiveSignal{P90: 10 * time.Millisecond, ErrorRate: 0.05, Sent: 100}, now.Add(time.Second))
+	if lc.Replicas() != 4 {
+		t.Fatalf("replicas after errors = %d, want 4", lc.Replicas())
+	}
+	if lc.ScaleUps() != 2 {
+		t.Fatalf("scaleUps = %d, want 2", lc.ScaleUps())
+	}
+	// Growth respects MaxReplicas.
+	for i := 0; i < 6; i++ {
+		lc.Tick(context.Background(), LiveSignal{P90: 90 * time.Millisecond, Sent: 100}, now.Add(time.Duration(2+i)*time.Second))
+	}
+	if lc.Replicas() != 8 {
+		t.Fatalf("replicas at cap = %d, want 8", lc.Replicas())
+	}
+}
+
+func TestLiveControllerStabilizationDampsScaleDown(t *testing.T) {
+	fleet := &fakeFleet{replicas: 4}
+	cfg := LiveConfig{
+		MinReplicas:         1,
+		MaxReplicas:         8,
+		SLO:                 50 * time.Millisecond,
+		StabilizationWindow: 10 * time.Second,
+	}
+	lc := newTestController(t, cfg, 4, fleet)
+	now := time.Now()
+
+	// A spike recommendation enters the window.
+	lc.Tick(context.Background(), LiveSignal{P90: 90 * time.Millisecond, Sent: 100}, now)
+	if lc.Replicas() != 6 {
+		t.Fatalf("replicas after spike = %d, want 6", lc.Replicas())
+	}
+	// Idle samples inside the window must NOT shrink the fleet: the
+	// window still remembers wanting 6.
+	for i := 1; i <= 5; i++ {
+		lc.Tick(context.Background(), LiveSignal{P90: 5 * time.Millisecond, Sent: 100}, now.Add(time.Duration(i)*time.Second))
+	}
+	if lc.Replicas() != 6 {
+		t.Fatalf("replicas inside stabilization window = %d, want 6 (flapped)", lc.Replicas())
+	}
+	if lc.ScaleDowns() != 0 {
+		t.Fatalf("scaleDowns inside window = %d, want 0", lc.ScaleDowns())
+	}
+	// Once the spike recommendation ages out, the fleet shrinks one step
+	// per interval.
+	lc.Tick(context.Background(), LiveSignal{P90: 5 * time.Millisecond, Sent: 100}, now.Add(15*time.Second))
+	if lc.Replicas() != 5 {
+		t.Fatalf("replicas after window aged out = %d, want 5", lc.Replicas())
+	}
+	if lc.ScaleDowns() != 1 {
+		t.Fatalf("scaleDowns = %d, want 1", lc.ScaleDowns())
+	}
+}
+
+func TestLiveControllerQuietSignalsAndBounds(t *testing.T) {
+	fleet := &fakeFleet{replicas: 2}
+	lc := newTestController(t, LiveConfig{MinReplicas: 2, MaxReplicas: 4, SLO: 50 * time.Millisecond}, 2, fleet)
+	now := time.Now()
+
+	// No traffic: no evidence, no action.
+	lc.Tick(context.Background(), LiveSignal{Sent: 0, P90: 0}, now)
+	// Healthy but not idle: hold.
+	lc.Tick(context.Background(), LiveSignal{P90: 40 * time.Millisecond, Sent: 50}, now.Add(time.Second))
+	// Idle but already at MinReplicas: hold.
+	lc.Tick(context.Background(), LiveSignal{P90: 2 * time.Millisecond, Sent: 50}, now.Add(20*time.Second))
+	if len(fleet.calls) != 0 {
+		t.Fatalf("scale calls on hold paths: %v", fleet.calls)
+	}
+	if lc.Replicas() != 2 {
+		t.Fatalf("replicas drifted to %d", lc.Replicas())
+	}
+}
+
+func TestLiveControllerScaleFailureKeepsState(t *testing.T) {
+	fleet := &fakeFleet{replicas: 2, fail: true}
+	lc := newTestController(t, LiveConfig{MinReplicas: 1, MaxReplicas: 8, SLO: 50 * time.Millisecond}, 2, fleet)
+	lc.Tick(context.Background(), LiveSignal{P90: 90 * time.Millisecond, Sent: 100}, time.Now())
+	if lc.Replicas() != 2 {
+		t.Fatalf("replicas advanced to %d despite scale failure", lc.Replicas())
+	}
+	if lc.LastErr() == nil {
+		t.Fatal("scale failure not surfaced")
+	}
+}
+
+func TestLiveControllerConfigValidation(t *testing.T) {
+	if _, err := NewLiveController(LiveConfig{MinReplicas: 3, MaxReplicas: 1}, 1,
+		func() LiveSignal { return LiveSignal{} },
+		func(context.Context, int) error { return nil }); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := NewLiveController(LiveConfig{MinReplicas: 1, MaxReplicas: 2}, 1, nil, nil); err == nil {
+		t.Fatal("nil hooks accepted")
+	}
+}
+
+func TestRecorderSignalWindow(t *testing.T) {
+	rec := metrics.NewRecorder()
+	// Tick 0: slow and failing; ticks 1-2: healthy.
+	rec.RecordSent(0)
+	rec.RecordSent(0)
+	rec.RecordLatency(0, 200*time.Millisecond)
+	rec.RecordError(0)
+	for tick := 1; tick <= 2; tick++ {
+		rec.RecordSent(tick)
+		rec.RecordLatency(tick, 5*time.Millisecond)
+	}
+
+	full := RecorderSignal(rec, 10)()
+	if full.Sent != 4 {
+		t.Fatalf("full-window sent = %d, want 4", full.Sent)
+	}
+	if full.ErrorRate == 0 {
+		t.Fatal("full window lost the tick-0 error")
+	}
+	if full.P90 < 100*time.Millisecond {
+		t.Fatalf("full-window p90 = %v, should reflect slow tick", full.P90)
+	}
+
+	// A trailing window past the bad tick sees a healthy fleet.
+	recent := RecorderSignal(rec, 2)()
+	if recent.Sent != 2 || recent.ErrorRate != 0 {
+		t.Fatalf("recent window = %+v, want 2 sent / 0 errors", recent)
+	}
+	if recent.P90 > 50*time.Millisecond {
+		t.Fatalf("recent-window p90 = %v contaminated by old tick", recent.P90)
+	}
+
+	if empty := RecorderSignal(metrics.NewRecorder(), 3)(); empty.Sent != 0 {
+		t.Fatalf("empty recorder signal = %+v", empty)
+	}
+}

@@ -37,9 +37,14 @@ func (c BalancerConfig) withDefaults() BalancerConfig {
 	return c
 }
 
-// podBreaker is one pod's circuit breaker: consecutive failures open it,
-// and a background readiness probe closes it again.
-type podBreaker struct {
+// endpoint is one routable backend: its target, its circuit-breaker state
+// and a removal flag that tells a background re-admission probe to give up
+// when the endpoint has left the set (scale-down, rolling update).
+type endpoint struct {
+	url     string
+	target  *loadgen.HTTPTarget
+	removed atomic.Bool
+
 	mu      sync.Mutex
 	fails   int
 	open    bool
@@ -52,34 +57,75 @@ type podBreaker struct {
 // probe answers again — the kube-proxy + kubelet interplay that plain
 // round-robin ignores. While a pod is ejected, its share of traffic flows
 // to the survivors instead of timing out against a dead backend.
+//
+// The endpoint set is dynamic: Update replaces the URL list at runtime
+// (scale-out, scale-in, rolling update) while preserving breaker state for
+// endpoints present in both the old and new sets, so a half-open breaker is
+// not reset to healthy just because an unrelated pod joined the fleet.
 type Balancer struct {
-	cfg      BalancerConfig
-	targets  []*loadgen.HTTPTarget
-	urls     []string
-	breakers []*podBreaker
-	rr       atomic.Uint64
-	probe    *http.Client
-	done     chan struct{}
-	once     sync.Once
-	wg       sync.WaitGroup
+	cfg   BalancerConfig
+	mu    sync.RWMutex
+	eps   []*endpoint
+	rr    atomic.Uint64
+	probe *http.Client
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
 }
 
 // NewBalancer builds a health-aware balancer over the given pod base URLs.
 func NewBalancer(urls []string, cfg BalancerConfig) *Balancer {
 	cfg = cfg.withDefaults()
 	b := &Balancer{
-		cfg:      cfg,
-		targets:  make([]*loadgen.HTTPTarget, len(urls)),
-		urls:     urls,
-		breakers: make([]*podBreaker, len(urls)),
-		probe:    &http.Client{Timeout: cfg.ProbeTimeout},
-		done:     make(chan struct{}),
+		cfg:   cfg,
+		probe: &http.Client{Timeout: cfg.ProbeTimeout},
+		done:  make(chan struct{}),
 	}
-	for i, url := range urls {
-		b.targets[i] = loadgen.NewHTTPTarget(url)
-		b.breakers[i] = &podBreaker{}
+	for _, url := range urls {
+		b.eps = append(b.eps, &endpoint{url: url, target: loadgen.NewHTTPTarget(url)})
 	}
 	return b
+}
+
+// Update replaces the endpoint set with urls. Endpoints present in both the
+// old and new sets keep their breaker and connection state; removed
+// endpoints stop receiving picks immediately and their re-admission probes
+// exit; added endpoints join the rotation closed (routable). Safe to call
+// concurrently with Predict.
+func (b *Balancer) Update(urls []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	byURL := make(map[string]*endpoint, len(b.eps))
+	for _, ep := range b.eps {
+		byURL[ep.url] = ep
+	}
+	next := make([]*endpoint, 0, len(urls))
+	kept := make(map[string]bool, len(urls))
+	for _, url := range urls {
+		if ep, ok := byURL[url]; ok {
+			next = append(next, ep)
+			kept[url] = true
+			continue
+		}
+		next = append(next, &endpoint{url: url, target: loadgen.NewHTTPTarget(url)})
+	}
+	for _, ep := range b.eps {
+		if !kept[ep.url] {
+			ep.removed.Store(true)
+		}
+	}
+	b.eps = next
+}
+
+// URLs returns the current endpoint URLs in rotation order.
+func (b *Balancer) URLs() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	urls := make([]string, len(b.eps))
+	for i, ep := range b.eps {
+		urls[i] = ep.url
+	}
+	return urls
 }
 
 // Close stops any background readiness probes. Idempotent.
@@ -88,62 +134,74 @@ func (b *Balancer) Close() {
 	b.wg.Wait()
 }
 
+// snapshot returns the current endpoint slice without copying the breaker
+// state; the slice itself is never mutated after publication.
+func (b *Balancer) snapshot() []*endpoint {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.eps
+}
+
 // Ejected returns how many pods are currently out of the rotation.
 func (b *Balancer) Ejected() int {
 	n := 0
-	for _, br := range b.breakers {
-		br.mu.Lock()
-		if br.open {
+	for _, ep := range b.snapshot() {
+		ep.mu.Lock()
+		if ep.open {
 			n++
 		}
-		br.mu.Unlock()
+		ep.mu.Unlock()
 	}
 	return n
 }
 
-// pick returns the next routable pod index, or -1 when every breaker is
-// open. It scans at most one full rotation from the round-robin cursor.
-func (b *Balancer) pick() int {
+// pick returns the next routable endpoint, or nil when every breaker is
+// open (or the set is empty). It scans at most one full rotation from the
+// round-robin cursor.
+func (b *Balancer) pick() *endpoint {
+	eps := b.snapshot()
+	if len(eps) == 0 {
+		return nil
+	}
 	start := b.rr.Add(1)
-	for off := 0; off < len(b.targets); off++ {
-		i := int(start+uint64(off)) % len(b.targets)
-		br := b.breakers[i]
-		br.mu.Lock()
-		open := br.open
-		br.mu.Unlock()
+	for off := 0; off < len(eps); off++ {
+		ep := eps[int(start+uint64(off))%len(eps)]
+		ep.mu.Lock()
+		open := ep.open
+		ep.mu.Unlock()
 		if !open {
-			return i
+			return ep
 		}
 	}
-	return -1
+	return nil
 }
 
-func (b *Balancer) onSuccess(i int) {
-	br := b.breakers[i]
-	br.mu.Lock()
-	br.fails = 0
-	br.mu.Unlock()
+func (b *Balancer) onSuccess(ep *endpoint) {
+	ep.mu.Lock()
+	ep.fails = 0
+	ep.mu.Unlock()
 }
 
-func (b *Balancer) onFailure(i int) {
-	br := b.breakers[i]
-	br.mu.Lock()
-	br.fails++
-	if br.fails >= b.cfg.FailThreshold && !br.open {
-		br.open = true
-		if !br.probing {
-			br.probing = true
+func (b *Balancer) onFailure(ep *endpoint) {
+	ep.mu.Lock()
+	ep.fails++
+	if ep.fails >= b.cfg.FailThreshold && !ep.open {
+		ep.open = true
+		if !ep.probing {
+			ep.probing = true
 			b.wg.Add(1)
-			go b.reAdmit(i)
+			go b.reAdmit(ep)
 		}
 	}
-	br.mu.Unlock()
+	ep.mu.Unlock()
 }
 
 // reAdmit polls an ejected pod's readiness endpoint until it answers 200,
 // then closes the breaker — readiness-probe-driven recovery, so a restarted
-// pod rejoins the rotation without operator action.
-func (b *Balancer) reAdmit(i int) {
+// pod rejoins the rotation without operator action. The probe gives up when
+// the endpoint is removed from the set (the pod is gone for good) or the
+// balancer is closed.
+func (b *Balancer) reAdmit(ep *endpoint) {
 	defer b.wg.Done()
 	ticker := time.NewTicker(b.cfg.ProbeInterval)
 	defer ticker.Stop()
@@ -152,7 +210,10 @@ func (b *Balancer) reAdmit(i int) {
 		case <-b.done:
 			return
 		case <-ticker.C:
-			resp, err := b.probe.Get(b.urls[i] + httpapi.ReadyPath)
+			if ep.removed.Load() {
+				return
+			}
+			resp, err := b.probe.Get(ep.url + httpapi.ReadyPath)
 			if err != nil {
 				continue
 			}
@@ -160,12 +221,11 @@ func (b *Balancer) reAdmit(i int) {
 			if resp.StatusCode != http.StatusOK {
 				continue
 			}
-			br := b.breakers[i]
-			br.mu.Lock()
-			br.open = false
-			br.fails = 0
-			br.probing = false
-			br.mu.Unlock()
+			ep.mu.Lock()
+			ep.open = false
+			ep.fails = 0
+			ep.probing = false
+			ep.mu.Unlock()
 			return
 		}
 	}
@@ -182,17 +242,17 @@ func (b *Balancer) Predict(ctx context.Context, req httpapi.PredictRequest) erro
 // refuses fast (503) instead of dialing a dead backend — the client's retry
 // policy then backs off until a readiness probe re-admits someone.
 func (b *Balancer) PredictMeta(ctx context.Context, req httpapi.PredictRequest) (loadgen.Meta, error) {
-	i := b.pick()
-	if i < 0 {
+	ep := b.pick()
+	if ep == nil {
 		return loadgen.Meta{Status: http.StatusServiceUnavailable},
 			&httpapi.StatusError{Code: http.StatusServiceUnavailable}
 	}
-	meta, err := b.targets[i].PredictMeta(ctx, req)
+	meta, err := ep.target.PredictMeta(ctx, req)
 	if err != nil && ctx.Err() == nil {
 		// Context cancellation is the client's doing, not the pod's.
-		b.onFailure(i)
+		b.onFailure(ep)
 	} else {
-		b.onSuccess(i)
+		b.onSuccess(ep)
 	}
 	return meta, err
 }

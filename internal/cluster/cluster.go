@@ -8,6 +8,15 @@
 // Pods host either ETUDE's own inference server (internal/server) or the
 // TorchServe baseline (internal/torchserve); model artifacts are pulled
 // from an object-store bucket, mirroring the paper's deployment flow.
+//
+// Beyond static deployments, the package implements the fleet operations a
+// production recommendation service lives on: graceful drain (a pod marked
+// for removal fails its readiness probe, leaves the balancer rotation,
+// finishes in-flight work and only then shuts down — see Pod and
+// Service.drainPods), live scaling (Cluster.Scale), rolling updates with
+// max-surge/max-unavailable semantics (Cluster.RollingUpdate), and
+// liveness-probe-driven pod supervision with capped restart backoff
+// (Cluster.Supervise).
 package cluster
 
 import (
@@ -25,6 +34,18 @@ import (
 	"etude/internal/server"
 	"etude/internal/torchserve"
 )
+
+// DefaultDrainTimeout bounds a pod's graceful shutdown when the spec does
+// not set one: in-flight requests get this long to finish before the pod is
+// force-closed.
+const DefaultDrainTimeout = 5 * time.Second
+
+// drainSettle is the gap between leaving the rotation and closing the
+// listener — the preStop-sleep of real deployments. A request that picked
+// the pod an instant before the endpoint update must still be able to
+// establish its connection; closing the listener immediately would refuse
+// it and a "graceful" drain would still fail a handful of racing requests.
+const drainSettle = 100 * time.Millisecond
 
 // Runtime selects which serving engine a pod runs.
 type Runtime int
@@ -51,10 +72,30 @@ type PodSpec struct {
 	Server server.Options
 	// TorchServe configures the baseline runtime.
 	TorchServe torchserve.Config
+	// DrainTimeout bounds a pod's graceful shutdown: after BeginDrain and
+	// removal from the rotation, in-flight requests get this long to finish
+	// before the pod is force-closed (and the kill counted — see
+	// Cluster.ForcedKills). Zero means DefaultDrainTimeout; negative means
+	// no grace at all (immediate force-close).
+	DrainTimeout time.Duration
 	// Middleware optionally wraps each pod's handler, indexed by replica —
 	// the pod-lifecycle hook fault injection (internal/chaos) uses to
-	// impose crash windows. Nil leaves pods unwrapped.
+	// impose crash windows. Nil leaves pods unwrapped. Replica ordinals are
+	// never reused: a supervisor-restarted pod gets a fresh ordinal, so a
+	// fault pinned to a crashed pod's ordinal does not follow its
+	// replacement (a restarted pod is a new, healthy instance).
 	Middleware func(replica int) func(http.Handler) http.Handler
+}
+
+func (s PodSpec) drainTimeout() time.Duration {
+	switch {
+	case s.DrainTimeout == 0:
+		return DefaultDrainTimeout
+	case s.DrainTimeout < 0:
+		return 0
+	default:
+		return s.DrainTimeout
+	}
 }
 
 // Pod is one running serving replica.
@@ -63,6 +104,12 @@ type Pod struct {
 	http     *http.Server
 	listener net.Listener
 	closeFn  func()
+	// drainFn flips the runtime into its draining state (readiness 503,
+	// predictions still served); nil for runtimes without one, where the
+	// HTTP server's connection-level graceful shutdown is the only drain.
+	drainFn  func()
+	replica  int
+	draining atomic.Bool
 }
 
 // Addr returns the pod's host:port.
@@ -71,36 +118,107 @@ func (p *Pod) Addr() string { return p.addr }
 // URL returns the pod's base URL.
 func (p *Pod) URL() string { return "http://" + p.addr }
 
-func (p *Pod) stop() {
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-	defer cancel()
-	_ = p.http.Shutdown(ctx)
+// Replica returns the pod's ordinal within its deployment. Ordinals are
+// assigned at creation and never reused.
+func (p *Pod) Replica() int { return p.replica }
+
+// Draining reports whether the pod has begun a graceful drain.
+func (p *Pod) Draining() bool { return p.draining.Load() }
+
+// beginDrain makes the pod fail its readiness probe while continuing to
+// serve admitted (and racing) predictions — step one of the drain sequence.
+func (p *Pod) beginDrain() {
+	if p.draining.CompareAndSwap(false, true) && p.drainFn != nil {
+		p.drainFn()
+	}
+}
+
+// stop gracefully shuts the pod down: stop accepting connections, wait up
+// to gracePeriod for in-flight requests, then force-close whatever is left.
+// It reports whether the force path fired — a forced kill means work was
+// cut off mid-flight and should be visible in reports, not silent.
+func (p *Pod) stop(gracePeriod time.Duration) (forced bool) {
+	if gracePeriod > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), gracePeriod)
+		defer cancel()
+		if err := p.http.Shutdown(ctx); err != nil {
+			forced = true
+			_ = p.http.Close()
+		}
+	} else {
+		forced = true
+		_ = p.http.Close()
+	}
+	if p.closeFn != nil {
+		p.closeFn()
+	}
+	return forced
+}
+
+// forceStop kills the pod immediately, abandoning in-flight requests — the
+// "no drain" path a careless operator takes, kept for the rolling
+// experiment's control arm and for supervisors disposing of already-dead
+// pods.
+func (p *Pod) forceStop() {
+	_ = p.http.Close()
 	if p.closeFn != nil {
 		p.closeFn()
 	}
 }
 
 // Service is the ClusterIP analogue: it fans requests out to ready pods
-// round-robin.
+// round-robin. Its pod set is dynamic — Scale, RollingUpdate and the
+// supervisor change membership at runtime and push the new endpoint list to
+// every balancer created from the service.
 type Service struct {
-	name string
-	pods []*Pod
-	rr   atomic.Uint64
+	name    string
+	cluster *Cluster
+	rr      atomic.Uint64
 
-	mu        sync.Mutex
-	balancers []*Balancer
+	// opMu serialises fleet operations (scale, rolling update, supervised
+	// restart) so two operators cannot interleave membership changes.
+	opMu sync.Mutex
+
+	mu          sync.Mutex
+	spec        PodSpec
+	pods        []*Pod
+	balancers   []*Balancer
+	nextOrdinal int
 }
 
 // Name returns the deployment name the service fronts.
 func (s *Service) Name() string { return s.name }
 
-// Pods returns the backing pods.
-func (s *Service) Pods() []*Pod { return s.pods }
+// Pods returns a snapshot of the backing pods.
+func (s *Service) Pods() []*Pod {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Pod(nil), s.pods...)
+}
 
-// Endpoint returns the next pod URL round-robin.
+// Spec returns the pod spec the service currently deploys.
+func (s *Service) Spec() PodSpec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spec
+}
+
+// Endpoint returns the next non-draining pod URL round-robin (any pod URL
+// if every pod is draining).
 func (s *Service) Endpoint() string {
-	i := s.rr.Add(1)
-	return s.pods[int(i)%len(s.pods)].URL()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pods) == 0 {
+		return ""
+	}
+	start := s.rr.Add(1)
+	for off := 0; off < len(s.pods); off++ {
+		p := s.pods[int(start+uint64(off))%len(s.pods)]
+		if !p.Draining() {
+			return p.URL()
+		}
+	}
+	return s.pods[int(start)%len(s.pods)].URL()
 }
 
 // Target adapts the service to the load generator: a health-aware balancer
@@ -112,17 +230,18 @@ func (s *Service) Target() loadgen.Target {
 }
 
 // Balancer returns a health-aware balancer over the service's pods with
-// explicit breaker tuning. Its background probes stop when the service is
-// deleted or the cluster torn down.
+// explicit breaker tuning. The balancer tracks the service: scaling and
+// rolling updates push endpoint changes into it. Its background probes stop
+// when the service is deleted or the cluster torn down.
 func (s *Service) Balancer(cfg BalancerConfig) *Balancer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	urls := make([]string, len(s.pods))
 	for i, p := range s.pods {
 		urls[i] = p.URL()
 	}
 	b := NewBalancer(urls, cfg)
-	s.mu.Lock()
 	s.balancers = append(s.balancers, b)
-	s.mu.Unlock()
 	return b
 }
 
@@ -136,10 +255,88 @@ func (s *Service) closeBalancers() {
 	}
 }
 
+// updateEndpointsLocked pushes the current pod URL list to every balancer.
+// Callers hold s.mu.
+func (s *Service) updateEndpointsLocked() {
+	urls := make([]string, 0, len(s.pods))
+	for _, p := range s.pods {
+		if !p.Draining() {
+			urls = append(urls, p.URL())
+		}
+	}
+	for _, b := range s.balancers {
+		b.Update(urls)
+	}
+}
+
+// addPods appends ready pods to the rotation and publishes them to every
+// balancer.
+func (s *Service) addPods(pods []*Pod) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pods = append(s.pods, pods...)
+	s.updateEndpointsLocked()
+}
+
+// removePods takes pods out of the service's membership and rotation
+// without stopping them.
+func (s *Service) removePods(victims []*Pod) {
+	drop := make(map[*Pod]bool, len(victims))
+	for _, p := range victims {
+		drop[p] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.pods[:0]
+	for _, p := range s.pods {
+		if !drop[p] {
+			kept = append(kept, p)
+		}
+	}
+	s.pods = kept
+	s.updateEndpointsLocked()
+}
+
+// drainPods executes the graceful removal sequence on each pod,
+// concurrently: (1) fail the readiness probe, (2) leave the rotation so
+// balancers stop picking the pod, (3) wait up to the spec's DrainTimeout
+// for in-flight requests, (4) force-close the rest and count the kill.
+// Concurrency matters: draining N pods serially would make teardown
+// O(N·DrainTimeout) worst-case.
+func (s *Service) drainPods(victims []*Pod, gracePeriod time.Duration) {
+	if len(victims) == 0 {
+		return
+	}
+	for _, p := range victims {
+		p.beginDrain()
+	}
+	s.removePods(victims)
+	if gracePeriod > 0 {
+		// Let picks that raced the endpoint update reach the pods before
+		// their listeners close.
+		time.Sleep(drainSettle)
+	}
+	var wg sync.WaitGroup
+	for _, p := range victims {
+		wg.Add(1)
+		go func(p *Pod) {
+			defer wg.Done()
+			if p.stop(gracePeriod) {
+				s.cluster.forcedKills.Add(1)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
 // Cluster manages deployments. Create with New (the `make infra` analogue),
 // deploy with Deploy, and release all resources with Teardown.
 type Cluster struct {
 	bucket objstore.Bucket
+
+	// forcedKills counts pods whose drain deadline expired and were
+	// force-closed with requests still in flight.
+	forcedKills atomic.Int64
 
 	mu       sync.Mutex
 	services map[string]*Service
@@ -152,6 +349,11 @@ func New(bucket objstore.Bucket) *Cluster {
 
 // Bucket returns the cluster's artifact/results bucket.
 func (c *Cluster) Bucket() objstore.Bucket { return c.bucket }
+
+// ForcedKills returns how many pods were force-closed because their drain
+// deadline expired with work still in flight. Zero across a rolling update
+// is the "no request was harmed" signal.
+func (c *Cluster) ForcedKills() int64 { return c.forcedKills.Load() }
 
 // Deploy starts `replicas` pods for spec under `name`, waits for every
 // pod's readiness probe, and returns the fronting service. Deploying an
@@ -167,12 +369,12 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 	}
 	c.mu.Unlock()
 
-	svc := &Service{name: name}
+	svc := &Service{name: name, cluster: c, spec: spec, nextOrdinal: replicas}
 	for i := 0; i < replicas; i++ {
 		pod, err := c.startPod(spec, i)
 		if err != nil {
 			for _, p := range svc.pods {
-				p.stop()
+				p.forceStop()
 			}
 			return nil, fmt.Errorf("cluster: starting replica %d of %q: %w", i, name, err)
 		}
@@ -183,7 +385,7 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 	for _, pod := range svc.pods {
 		if err := waitReady(ctx, pod.URL()); err != nil {
 			for _, p := range svc.pods {
-				p.stop()
+				p.forceStop()
 			}
 			return nil, fmt.Errorf("cluster: readiness probe for %q: %w", name, err)
 		}
@@ -196,17 +398,17 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 
 func (c *Cluster) startPod(spec PodSpec, replica int) (*Pod, error) {
 	var handler http.Handler
-	var closeFn func()
+	var closeFn, drainFn func()
 	switch spec.Runtime {
 	case RuntimeEtude:
 		srv, err := server.LoadFromBucket(c.bucket, spec.ModelKey, spec.Server)
 		if err != nil {
 			return nil, err
 		}
-		handler, closeFn = srv.Handler(), srv.Close
+		handler, closeFn, drainFn = srv.Handler(), srv.Close, srv.BeginDrain
 	case RuntimeEtudeStatic:
 		srv := server.NewStatic()
-		handler, closeFn = srv.Handler(), srv.Close
+		handler, closeFn, drainFn = srv.Handler(), srv.Close, srv.BeginDrain
 	case RuntimeTorchServe:
 		ts := torchserve.New(nil, spec.TorchServe)
 		handler, closeFn = ts.Handler(), ts.Close
@@ -232,6 +434,8 @@ func (c *Cluster) startPod(spec PodSpec, replica int) (*Pod, error) {
 		http:     &http.Server{Handler: handler},
 		listener: ln,
 		closeFn:  closeFn,
+		drainFn:  drainFn,
+		replica:  replica,
 	}
 	go func() {
 		// ErrServerClosed is the normal shutdown path.
@@ -241,9 +445,13 @@ func (c *Cluster) startPod(spec PodSpec, replica int) (*Pod, error) {
 }
 
 func waitReady(ctx context.Context, url string) error {
+	return waitProbe(ctx, url+httpapi.ReadyPath)
+}
+
+func waitProbe(ctx context.Context, probeURL string) error {
 	client := &http.Client{Timeout: time.Second}
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+httpapi.ReadyPath, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, probeURL, nil)
 		if err != nil {
 			return err
 		}
@@ -270,7 +478,8 @@ func (c *Cluster) Service(name string) (*Service, bool) {
 	return svc, ok
 }
 
-// Delete stops a deployment's pods and removes its service.
+// Delete gracefully drains a deployment's pods (concurrently) and removes
+// its service.
 func (c *Cluster) Delete(name string) error {
 	c.mu.Lock()
 	svc, ok := c.services[name]
@@ -279,23 +488,30 @@ func (c *Cluster) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("cluster: no deployment %q", name)
 	}
+	svc.opMu.Lock()
+	defer svc.opMu.Unlock()
+	grace := svc.Spec().drainTimeout()
+	svc.drainPods(svc.Pods(), grace)
 	svc.closeBalancers()
-	for _, p := range svc.pods {
-		p.stop()
-	}
 	return nil
 }
 
-// Teardown stops every deployment.
+// Teardown gracefully drains every deployment, all pods concurrently.
 func (c *Cluster) Teardown() {
 	c.mu.Lock()
 	services := c.services
 	c.services = make(map[string]*Service)
 	c.mu.Unlock()
+	var wg sync.WaitGroup
 	for _, svc := range services {
-		svc.closeBalancers()
-		for _, p := range svc.pods {
-			p.stop()
-		}
+		wg.Add(1)
+		go func(svc *Service) {
+			defer wg.Done()
+			svc.opMu.Lock()
+			defer svc.opMu.Unlock()
+			svc.drainPods(svc.Pods(), svc.Spec().drainTimeout())
+			svc.closeBalancers()
+		}(svc)
 	}
+	wg.Wait()
 }

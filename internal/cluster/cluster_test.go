@@ -182,13 +182,18 @@ func TestTeardownStopsEverything(t *testing.T) {
 	c, key := newClusterWithModel(t)
 	svc1, _ := c.Deploy(ctx(t), "a", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1)
 	svc2, _ := c.Deploy(ctx(t), "b", PodSpec{Runtime: RuntimeEtudeStatic}, 1)
+	// Teardown empties service membership; capture the URLs first.
+	urls := map[string]string{
+		svc1.Name(): svc1.Pods()[0].URL(),
+		svc2.Name(): svc2.Pods()[0].URL(),
+	}
 	c.Teardown()
 	time.Sleep(50 * time.Millisecond)
 	client := &http.Client{Timeout: 200 * time.Millisecond}
-	for _, svc := range []*Service{svc1, svc2} {
-		if resp, err := client.Get(svc.Pods()[0].URL() + httpapi.ReadyPath); err == nil {
+	for name, url := range urls {
+		if resp, err := client.Get(url + httpapi.ReadyPath); err == nil {
 			resp.Body.Close()
-			t.Fatalf("pod of %s still up after teardown", svc.Name())
+			t.Fatalf("pod of %s still up after teardown", name)
 		}
 	}
 }

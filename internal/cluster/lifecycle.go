@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RolloutConfig tunes RollingUpdate's batching, mirroring a Kubernetes
+// Deployment's rollingUpdate strategy.
+type RolloutConfig struct {
+	// MaxSurge is how many replacement pods may run above the target
+	// replica count while old pods still exist (default 1). Larger surge
+	// finishes the rollout in fewer waves at the cost of peak capacity.
+	MaxSurge int
+	// MaxUnavailable is how many old pods may be taken down before their
+	// replacements are ready (default 0: capacity never dips — each wave
+	// starts and readies new pods first, then drains old ones).
+	MaxUnavailable int
+	// Drain controls whether old pods are gracefully drained (readiness
+	// fail → leave rotation → finish in-flight work) or force-closed on the
+	// spot. Disabling it is the experiment's control arm: it demonstrates
+	// the error spike a drainless rollout inflicts on live traffic.
+	// Default true.
+	Drain *bool
+	// EndpointLag applies only with Drain disabled: how long the rotation
+	// keeps routing to a force-closed pod before learning it is gone,
+	// modeling the asynchronous endpoint propagation (kube-proxy
+	// reprogramming) that the drain sequence sidesteps by leaving the
+	// rotation *before* shutting down. During the lag, picks of the dead
+	// pod fail until its breaker ejects it. Default 0 (immediate removal —
+	// still drainless for in-flight requests).
+	EndpointLag time.Duration
+}
+
+func (c RolloutConfig) withDefaults() RolloutConfig {
+	if c.MaxSurge <= 0 {
+		c.MaxSurge = 1
+	}
+	if c.MaxUnavailable < 0 {
+		c.MaxUnavailable = 0
+	}
+	if c.Drain == nil {
+		t := true
+		c.Drain = &t
+	}
+	return c
+}
+
+// Scale sets the deployment's replica count. Scaling up starts new pods,
+// waits for their readiness probes and only then adds them to the rotation;
+// scaling down gracefully drains the highest-ordinal pods, concurrently.
+// Scaling to the current count is a no-op.
+func (c *Cluster) Scale(ctx context.Context, name string, replicas int) error {
+	if replicas < 1 {
+		return fmt.Errorf("cluster: deployment %q cannot scale below one replica", name)
+	}
+	svc, ok := c.Service(name)
+	if !ok {
+		return fmt.Errorf("cluster: no deployment %q", name)
+	}
+	svc.opMu.Lock()
+	defer svc.opMu.Unlock()
+
+	svc.mu.Lock()
+	spec := svc.spec
+	current := len(svc.pods)
+	svc.mu.Unlock()
+
+	switch {
+	case replicas > current:
+		added, err := c.startReadyPods(ctx, svc, spec, replicas-current)
+		if err != nil {
+			return fmt.Errorf("cluster: scaling %q to %d: %w", name, replicas, err)
+		}
+		svc.addPods(added)
+	case replicas < current:
+		pods := svc.Pods()
+		svc.drainPods(pods[replicas:], spec.drainTimeout())
+	}
+	return nil
+}
+
+// RollingUpdate replaces the deployment's pods with pods running newSpec,
+// wave by wave, without ever dropping below replicas-MaxUnavailable ready
+// pods or exceeding replicas+MaxSurge total pods. With the defaults (surge
+// 1, unavailable 0, drain on) each wave starts one new pod, gates on its
+// readiness probe, admits it to the rotation, and then gracefully drains
+// one old pod — so a fleet under sustained load completes a full model swap
+// with zero failed requests.
+//
+// A wave that fails to start or ready its new pods aborts the rollout; the
+// service keeps the mixed pod set it had reached, all of it ready and
+// routable.
+func (c *Cluster) RollingUpdate(ctx context.Context, name string, newSpec PodSpec, cfg RolloutConfig) error {
+	cfg = cfg.withDefaults()
+	svc, ok := c.Service(name)
+	if !ok {
+		return fmt.Errorf("cluster: no deployment %q", name)
+	}
+	svc.opMu.Lock()
+	defer svc.opMu.Unlock()
+
+	old := svc.Pods()
+	grace := svc.Spec().drainTimeout()
+	svc.mu.Lock()
+	svc.spec = newSpec
+	svc.mu.Unlock()
+
+	for len(old) > 0 {
+		wave := cfg.MaxSurge
+		if cfg.MaxUnavailable > cfg.MaxSurge {
+			wave = cfg.MaxUnavailable
+		}
+		if wave > len(old) {
+			wave = len(old)
+		}
+		victims := old[:wave]
+		old = old[wave:]
+
+		// Surge-first (MaxUnavailable 0): replacements must be ready before
+		// any old pod leaves. Unavailable-first: old pods leave before their
+		// replacements exist — capacity dips, but no surge capacity is
+		// needed.
+		if cfg.MaxUnavailable == 0 {
+			added, err := c.startReadyPods(ctx, svc, newSpec, wave)
+			if err != nil {
+				return fmt.Errorf("cluster: rolling update of %q: %w", name, err)
+			}
+			svc.addPods(added)
+			c.retirePods(svc, victims, cfg, grace)
+		} else {
+			c.retirePods(svc, victims, cfg, grace)
+			added, err := c.startReadyPods(ctx, svc, newSpec, wave)
+			if err != nil {
+				return fmt.Errorf("cluster: rolling update of %q: %w", name, err)
+			}
+			svc.addPods(added)
+		}
+	}
+	return nil
+}
+
+// retirePods removes old pods either via the graceful drain sequence or —
+// drain disabled — by force-closing them first and only telling the
+// balancers afterwards (after EndpointLag), exactly the ordering mistake
+// that makes drainless rollouts visible as an error spike.
+func (c *Cluster) retirePods(svc *Service, victims []*Pod, cfg RolloutConfig, grace time.Duration) {
+	if *cfg.Drain {
+		svc.drainPods(victims, grace)
+		return
+	}
+	for _, p := range victims {
+		p.forceStop()
+		c.forcedKills.Add(1)
+	}
+	if cfg.EndpointLag > 0 {
+		time.Sleep(cfg.EndpointLag)
+	}
+	svc.removePods(victims)
+}
+
+// startReadyPods starts n pods with fresh ordinals and waits for each one's
+// readiness probe. On any failure it stops whatever it started and returns
+// the error — half a wave never reaches the rotation.
+func (c *Cluster) startReadyPods(ctx context.Context, svc *Service, spec PodSpec, n int) ([]*Pod, error) {
+	pods := make([]*Pod, 0, n)
+	fail := func(err error) ([]*Pod, error) {
+		for _, p := range pods {
+			p.forceStop()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		svc.mu.Lock()
+		ordinal := svc.nextOrdinal
+		svc.nextOrdinal++
+		svc.mu.Unlock()
+		pod, err := c.startPod(spec, ordinal)
+		if err != nil {
+			return fail(fmt.Errorf("starting replica %d: %w", ordinal, err))
+		}
+		pods = append(pods, pod)
+	}
+	for _, pod := range pods {
+		if err := waitReady(ctx, pod.URL()); err != nil {
+			return fail(fmt.Errorf("readiness probe for %s: %w", pod.Addr(), err))
+		}
+	}
+	return pods, nil
+}

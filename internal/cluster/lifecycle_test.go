@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+)
+
+// slowMiddleware returns a middleware holding every prediction for d —
+// in-flight work the drain sequence must wait on.
+func slowMiddleware(d time.Duration) func(replica int) func(http.Handler) http.Handler {
+	return func(replica int) func(http.Handler) http.Handler {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == httpapi.PredictPath {
+					time.Sleep(d)
+				}
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+}
+
+func TestScaleUpAndDown(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "scale", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := svc.Balancer(BalancerConfig{})
+	defer b.Close()
+
+	if err := c.Scale(ctx(t), "scale", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Pods()); got != 3 {
+		t.Fatalf("pods after scale-up = %d, want 3", got)
+	}
+	// The pre-existing balancer learned the new endpoints.
+	if got := len(b.URLs()); got != 3 {
+		t.Fatalf("balancer endpoints after scale-up = %d, want 3", got)
+	}
+	for i := 0; i < 6; i++ {
+		if err := b.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+			t.Fatalf("predict after scale-up: %v", err)
+		}
+	}
+
+	removed := svc.Pods()[1].URL()
+	if err := c.Scale(ctx(t), "scale", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Pods()); got != 1 {
+		t.Fatalf("pods after scale-down = %d, want 1", got)
+	}
+	if got := len(b.URLs()); got != 1 {
+		t.Fatalf("balancer endpoints after scale-down = %d, want 1", got)
+	}
+	// Drained pods really shut down.
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	if resp, err := client.Get(removed + httpapi.ReadyPath); err == nil {
+		resp.Body.Close()
+		t.Fatalf("scaled-down pod still answering")
+	}
+	if c.ForcedKills() != 0 {
+		t.Fatalf("idle scale-down forced %d kills", c.ForcedKills())
+	}
+
+	if err := c.Scale(ctx(t), "scale", 0); err == nil {
+		t.Fatalf("scale to zero accepted")
+	}
+	if err := c.Scale(ctx(t), "missing", 2); err == nil {
+		t.Fatalf("scale of unknown deployment accepted")
+	}
+}
+
+func TestDrainWaitsForInFlight(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "drain", PodSpec{
+		Runtime:      RuntimeEtudeStatic,
+		DrainTimeout: 2 * time.Second,
+		Middleware:   slowMiddleware(300 * time.Millisecond),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one slow request on each pod, then scale down: the drain must
+	// let both finish (no forced kill, request succeeds).
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for _, p := range svc.Pods() {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			tgt := NewBalancer([]string{url}, BalancerConfig{})
+			defer tgt.Close()
+			if err := tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+				failures.Add(1)
+			}
+		}(p.URL())
+	}
+	time.Sleep(100 * time.Millisecond) // let the requests reach the pods
+	if err := c.Scale(ctx(t), "drain", 1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d in-flight requests failed during drain", failures.Load())
+	}
+	if c.ForcedKills() != 0 {
+		t.Fatalf("drain forced %d kills despite finishing in time", c.ForcedKills())
+	}
+}
+
+func TestDrainDeadlineForcesKillAndCounts(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	_, err := c.Deploy(ctx(t), "stuck", PodSpec{
+		Runtime:      RuntimeEtudeStatic,
+		DrainTimeout: 100 * time.Millisecond,
+		Middleware:   slowMiddleware(5 * time.Second),
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := c.Service("stuck")
+	url := svc.Pods()[0].URL()
+
+	go func() {
+		tgt := NewBalancer([]string{url}, BalancerConfig{})
+		defer tgt.Close()
+		_ = tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}})
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	if err := c.Delete("stuck"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delete took %v despite 100ms drain deadline", elapsed)
+	}
+	if c.ForcedKills() != 1 {
+		t.Fatalf("forced kills = %d, want 1", c.ForcedKills())
+	}
+}
+
+func TestTeardownDrainsConcurrently(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	const hold = 400 * time.Millisecond
+	svc, err := c.Deploy(ctx(t), "par", PodSpec{
+		Runtime:      RuntimeEtudeStatic,
+		DrainTimeout: 2 * time.Second,
+		Middleware:   slowMiddleware(hold),
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One in-flight slow request per pod: a serial drain would cost
+	// 3×hold, a concurrent one ~1×hold.
+	var wg sync.WaitGroup
+	for _, p := range svc.Pods() {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			tgt := NewBalancer([]string{url}, BalancerConfig{})
+			defer tgt.Close()
+			_ = tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}})
+		}(p.URL())
+	}
+	time.Sleep(150 * time.Millisecond)
+	start := time.Now()
+	c.Teardown()
+	elapsed := time.Since(start)
+	wg.Wait()
+	if elapsed >= 2*hold {
+		t.Fatalf("teardown of 3 draining pods took %v — drains look serial", elapsed)
+	}
+}
+
+func TestRollingUpdateUnderLoadZeroErrors(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	spec := PodSpec{Runtime: RuntimeEtude, ModelKey: key, DrainTimeout: 2 * time.Second}
+	svc, err := c.Deploy(ctx(t), "roll", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldURLs := map[string]bool{}
+	for _, p := range svc.Pods() {
+		oldURLs[p.URL()] = true
+	}
+	b := svc.Balancer(BalancerConfig{})
+	defer b.Close()
+
+	// Sustained load across the whole rollout.
+	stop := make(chan struct{})
+	var sent, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sent.Add(1)
+				if err := b.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1, 2}}); err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	newSpec := spec
+	newSpec.Server.Workers = 2
+	if err := c.RollingUpdate(ctx(t), "roll", newSpec, RolloutConfig{}); err != nil {
+		t.Fatalf("rolling update: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d/%d requests failed during drained rolling update", failed.Load(), sent.Load())
+	}
+	if sent.Load() == 0 {
+		t.Fatal("no load generated")
+	}
+	// Every pod was replaced, fleet size preserved, spec updated.
+	pods := svc.Pods()
+	if len(pods) != 2 {
+		t.Fatalf("pods after rollout = %d, want 2", len(pods))
+	}
+	for _, p := range pods {
+		if oldURLs[p.URL()] {
+			t.Fatalf("old pod %s survived the rollout", p.URL())
+		}
+	}
+	if svc.Spec().Server.Workers != 2 {
+		t.Fatalf("service spec not updated after rollout")
+	}
+	if c.ForcedKills() != 0 {
+		t.Fatalf("drained rollout forced %d kills", c.ForcedKills())
+	}
+}
+
+func TestRollingUpdateMaxUnavailable(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	spec := PodSpec{Runtime: RuntimeEtude, ModelKey: key, DrainTimeout: time.Second}
+	svc, err := c.Deploy(ctx(t), "ru", spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RollingUpdate(ctx(t), "ru", spec, RolloutConfig{MaxUnavailable: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Pods()); got != 3 {
+		t.Fatalf("pods after unavailable-first rollout = %d, want 3", got)
+	}
+	tgt := svc.Target()
+	for i := 0; i < 6; i++ {
+		if err := tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+			t.Fatalf("predict after rollout: %v", err)
+		}
+	}
+}
+
+func TestRollingUpdateAbortsOnBadSpec(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	spec := PodSpec{Runtime: RuntimeEtude, ModelKey: key}
+	svc, err := c.Deploy(ctx(t), "abort", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := spec
+	bad.ModelKey = "models/missing.json"
+	if err := c.RollingUpdate(ctx(t), "abort", bad, RolloutConfig{}); err == nil {
+		t.Fatal("rollout to a missing model succeeded")
+	}
+	// The old fleet must still be intact and serving.
+	if got := len(svc.Pods()); got != 2 {
+		t.Fatalf("pods after aborted rollout = %d, want 2", got)
+	}
+	if err := svc.Target().Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+		t.Fatalf("predict after aborted rollout: %v", err)
+	}
+}
+
+// crashablePods simulates kill-switch-controlled pods: once tripped, a pod
+// answers 503 on everything, liveness included — a dead process as far as
+// probes can tell.
+type crashablePods struct {
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+func (cp *crashablePods) middleware(replica int) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			cp.mu.Lock()
+			down := cp.down[replica]
+			cp.mu.Unlock()
+			if down {
+				http.Error(w, "crashed", http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+func (cp *crashablePods) crash(replica int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.down[replica] = true
+}
+
+func TestSupervisorRestartsCrashedPod(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	cp := &crashablePods{down: map[int]bool{}}
+	svc, err := c.Deploy(ctx(t), "sup", PodSpec{
+		Runtime:    RuntimeEtudeStatic,
+		Middleware: cp.middleware,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := svc.Balancer(BalancerConfig{FailThreshold: 2, ProbeInterval: 10 * time.Millisecond})
+	defer b.Close()
+
+	sup, err := c.Supervise("sup", RestartPolicy{
+		ProbeInterval:  10 * time.Millisecond,
+		FailThreshold:  2,
+		InitialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	// Replica 0 dies for good: only the supervisor can bring capacity
+	// back, as a fresh ordinal the kill switch does not target.
+	cp.crash(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Restarts() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never restarted the crashed pod")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := len(svc.Pods()); got != 2 {
+		t.Fatalf("pods after supervised restart = %d, want 2", got)
+	}
+	for _, p := range svc.Pods() {
+		if p.Replica() == 0 {
+			t.Fatal("crashed ordinal still in the fleet")
+		}
+	}
+	if mttr := sup.MTTR(); mttr <= 0 {
+		t.Fatalf("MTTR = %v, want > 0", mttr)
+	}
+	// The full fleet serves again — including the replacement.
+	for i := 0; i < 8; i++ {
+		if err := b.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+			t.Fatalf("predict after restart: %v", err)
+		}
+	}
+}
+
+func TestSupervisorIgnoresDrainingPods(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "nodrain-restart", PodSpec{
+		Runtime:      RuntimeEtudeStatic,
+		DrainTimeout: time.Second,
+		Middleware:   slowMiddleware(300 * time.Millisecond),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise("nodrain-restart", RestartPolicy{
+		ProbeInterval:  10 * time.Millisecond,
+		FailThreshold:  2,
+		InitialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	// A graceful scale-down fails readiness on purpose; the supervisor
+	// must not mistake it for a crash and resurrect the pod.
+	if err := c.Scale(ctx(t), "nodrain-restart", 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := sup.Restarts(); got != 0 {
+		t.Fatalf("supervisor restarted %d draining pods", got)
+	}
+	if got := len(svc.Pods()); got != 1 {
+		t.Fatalf("pods = %d after scale-down under supervision, want 1", got)
+	}
+}
+
+func TestBalancerUpdatePreservesBreakerState(t *testing.T) {
+	good, bad := &flakyPod{}, &flakyPod{}
+	bad.down.Store(true)
+	goodSrv := httptest.NewServer(good.handler())
+	defer goodSrv.Close()
+	badSrv := httptest.NewServer(bad.handler())
+	defer badSrv.Close()
+	extra := &flakyPod{}
+	extraSrv := httptest.NewServer(extra.handler())
+	defer extraSrv.Close()
+
+	b := NewBalancer([]string{goodSrv.URL, badSrv.URL}, BalancerConfig{
+		FailThreshold: 2,
+		ProbeInterval: time.Hour, // re-admission effectively off
+	})
+	defer b.Close()
+
+	req := httpapi.PredictRequest{Items: []int64{1}}
+	for i := 0; i < 8; i++ {
+		_, _ = b.PredictMeta(context.Background(), req)
+	}
+	if b.Ejected() != 1 {
+		t.Fatalf("ejected = %d, want 1", b.Ejected())
+	}
+
+	// Adding an endpoint must not reset the bad pod's open breaker.
+	b.Update([]string{goodSrv.URL, badSrv.URL, extraSrv.URL})
+	if b.Ejected() != 1 {
+		t.Fatalf("ejected after additive update = %d, want 1 (breaker state lost)", b.Ejected())
+	}
+	before := bad.hits.Load()
+	for i := 0; i < 10; i++ {
+		if _, err := b.PredictMeta(context.Background(), req); err != nil {
+			t.Fatalf("predict with surviving breaker: %v", err)
+		}
+	}
+	if bad.hits.Load() != before {
+		t.Fatal("ejected pod received traffic after update")
+	}
+
+	// Removing endpoints takes them out of the rotation immediately.
+	b.Update([]string{extraSrv.URL})
+	gBefore, eBefore := good.hits.Load(), extra.hits.Load()
+	for i := 0; i < 10; i++ {
+		if _, err := b.PredictMeta(context.Background(), req); err != nil {
+			t.Fatalf("predict after removal: %v", err)
+		}
+	}
+	if good.hits.Load() != gBefore {
+		t.Fatal("removed endpoint still receiving picks")
+	}
+	if extra.hits.Load()-eBefore != 10 {
+		t.Fatalf("surviving endpoint served %d/10", extra.hits.Load()-eBefore)
+	}
+	if got := len(b.URLs()); got != 1 {
+		t.Fatalf("URLs() = %d entries, want 1", got)
+	}
+}
+
+func TestBalancerUpdateReleasesRemovedProber(t *testing.T) {
+	bad := &flakyPod{}
+	bad.down.Store(true)
+	srv := httptest.NewServer(bad.handler())
+	defer srv.Close()
+
+	b := NewBalancer([]string{srv.URL}, BalancerConfig{
+		FailThreshold: 1,
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	req := httpapi.PredictRequest{Items: []int64{1}}
+	_, _ = b.PredictMeta(context.Background(), req)
+	if b.Ejected() != 1 {
+		t.Fatalf("ejected = %d, want 1", b.Ejected())
+	}
+	// Removing the ejected endpoint must let its probe goroutine exit, so
+	// Close returns promptly instead of waiting on an orphan prober.
+	b.Update(nil)
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung: removed endpoint's probe goroutine leaked")
+	}
+}
+
+func TestServiceEndpointSkipsDrainingPods(t *testing.T) {
+	c, _ := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "ep", PodSpec{Runtime: RuntimeEtudeStatic}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods := svc.Pods()
+	pods[0].beginDrain()
+	for i := 0; i < 6; i++ {
+		if got := svc.Endpoint(); got != pods[1].URL() {
+			t.Fatalf("Endpoint() returned draining pod %s", got)
+		}
+	}
+}

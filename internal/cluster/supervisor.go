@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"etude/internal/httpapi"
+)
+
+// RestartPolicy tunes a deployment supervisor — the kubelet stand-in that
+// probes pod liveness and restarts pods that stop answering.
+type RestartPolicy struct {
+	// ProbeInterval is how often every pod's liveness endpoint is polled
+	// (default 50ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each liveness probe (default 250ms).
+	ProbeTimeout time.Duration
+	// FailThreshold is the number of consecutive liveness failures after
+	// which a pod is declared dead and restarted (default 3) — a single
+	// dropped probe must not bounce a healthy pod.
+	FailThreshold int
+	// InitialBackoff is the wait before the first restart attempt (default
+	// 100ms); it doubles per consecutive restart up to MaxBackoff
+	// (default 5s) — CrashLoopBackOff, capped.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// ReadyTimeout bounds the replacement pod's readiness wait (default
+	// 10s). A replacement that never readies counts as a failed restart and
+	// the supervisor retries after backoff.
+	ReadyTimeout time.Duration
+}
+
+func (p RestartPolicy) withDefaults() RestartPolicy {
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = 50 * time.Millisecond
+	}
+	if p.ProbeTimeout <= 0 {
+		p.ProbeTimeout = 250 * time.Millisecond
+	}
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = 3
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.ReadyTimeout <= 0 {
+		p.ReadyTimeout = 10 * time.Second
+	}
+	return p
+}
+
+// RestartEvent records one supervised pod restart.
+type RestartEvent struct {
+	// OldReplica and NewReplica are the dead pod's and replacement's
+	// ordinals.
+	OldReplica int
+	NewReplica int
+	// Downtime is the repair time: from the first failed liveness probe to
+	// the replacement answering its readiness probe — the per-incident MTTR
+	// sample.
+	Downtime time.Duration
+	// Err is non-nil when the restart attempt failed (the pod stays gone
+	// until the next attempt).
+	Err error
+}
+
+// Supervisor watches one deployment's pods via their liveness probes and
+// restarts dead ones: remove from rotation, start a replacement with a
+// fresh ordinal, gate on readiness, admit. It is the piece that turns a
+// chaos-crashed pod from "dead forever" into a measurable MTTR.
+//
+// The supervisor probes liveness (/live), not readiness (/ping): a pod
+// draining for a rolling update fails readiness on purpose, and restarting
+// it would turn every graceful operation into an outage.
+type Supervisor struct {
+	cluster *Cluster
+	svc     *Service
+	policy  RestartPolicy
+	probe   *http.Client
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	fails  map[*Pod]int
+	events []RestartEvent
+}
+
+// Supervise attaches a supervisor to the named deployment. Stop it with
+// Stop; it also stops observing pods that Delete/Teardown remove.
+func (c *Cluster) Supervise(name string, policy RestartPolicy) (*Supervisor, error) {
+	svc, ok := c.Service(name)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no deployment %q to supervise", name)
+	}
+	policy = policy.withDefaults()
+	s := &Supervisor{
+		cluster: c,
+		svc:     svc,
+		policy:  policy,
+		probe:   &http.Client{Timeout: policy.ProbeTimeout},
+		done:    make(chan struct{}),
+		fails:   make(map[*Pod]int),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Stop halts the supervision loop. Idempotent; in-progress restarts finish.
+func (s *Supervisor) Stop() {
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Events returns the restart log so far.
+func (s *Supervisor) Events() []RestartEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RestartEvent(nil), s.events...)
+}
+
+// Restarts returns how many successful restarts the supervisor performed.
+func (s *Supervisor) Restarts() int {
+	n := 0
+	for _, ev := range s.Events() {
+		if ev.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MTTR returns the mean repair time across successful restarts (zero with
+// none).
+func (s *Supervisor) MTTR() time.Duration {
+	var total time.Duration
+	n := 0
+	for _, ev := range s.Events() {
+		if ev.Err == nil {
+			total += ev.Downtime
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+func (s *Supervisor) loop() {
+	defer s.wg.Done()
+	backoff := s.policy.InitialBackoff
+	ticker := time.NewTicker(s.policy.ProbeInterval)
+	defer ticker.Stop()
+	// firstFail anchors each pod's downtime clock at the first missed
+	// probe, so MTTR covers detection latency, not just the restart.
+	firstFail := make(map[*Pod]time.Time)
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		restarted := false
+		for _, pod := range s.svc.Pods() {
+			if pod.Draining() {
+				continue // graceful removal in progress, not a crash
+			}
+			if s.alive(pod) {
+				delete(firstFail, pod)
+				s.mu.Lock()
+				delete(s.fails, pod)
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Lock()
+			s.fails[pod]++
+			n := s.fails[pod]
+			s.mu.Unlock()
+			if _, ok := firstFail[pod]; !ok {
+				firstFail[pod] = time.Now()
+			}
+			if n < s.policy.FailThreshold {
+				continue
+			}
+			// Dead: back off (capped), then replace.
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			ev := s.restart(pod, firstFail[pod])
+			delete(firstFail, pod)
+			s.mu.Lock()
+			delete(s.fails, pod)
+			s.events = append(s.events, ev)
+			s.mu.Unlock()
+			restarted = true
+		}
+		if restarted {
+			backoff *= 2
+			if backoff > s.policy.MaxBackoff {
+				backoff = s.policy.MaxBackoff
+			}
+		} else {
+			backoff = s.policy.InitialBackoff
+		}
+	}
+}
+
+func (s *Supervisor) alive(pod *Pod) bool {
+	resp, err := s.probe.Get(pod.URL() + httpapi.LivePath)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// restart replaces a dead pod: take it out of the rotation, dispose of the
+// corpse, start a fresh-ordinal replacement, gate on readiness, admit.
+func (s *Supervisor) restart(dead *Pod, downSince time.Time) RestartEvent {
+	s.svc.opMu.Lock()
+	defer s.svc.opMu.Unlock()
+
+	// The operation may have raced a scale-down that already removed the
+	// pod; re-check membership under the op lock.
+	member := false
+	for _, p := range s.svc.Pods() {
+		if p == dead {
+			member = true
+			break
+		}
+	}
+	if !member || dead.Draining() {
+		return RestartEvent{OldReplica: dead.Replica(), NewReplica: -1,
+			Err: fmt.Errorf("cluster: pod %s left the deployment before restart", dead.Addr())}
+	}
+	s.svc.removePods([]*Pod{dead})
+	dead.forceStop() // it is unresponsive; no drain to wait for
+
+	spec := s.svc.Spec()
+	ctx, cancel := context.WithTimeout(context.Background(), s.policy.ReadyTimeout)
+	defer cancel()
+	added, err := s.cluster.startReadyPods(ctx, s.svc, spec, 1)
+	if err != nil {
+		return RestartEvent{OldReplica: dead.Replica(), NewReplica: -1,
+			Err: fmt.Errorf("cluster: restarting pod %s: %w", dead.Addr(), err)}
+	}
+	s.svc.addPods(added)
+	return RestartEvent{
+		OldReplica: dead.Replica(),
+		NewReplica: added[0].Replica(),
+		Downtime:   time.Since(downSince),
+	}
+}

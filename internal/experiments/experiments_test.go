@@ -550,3 +550,63 @@ func TestChaosComparison(t *testing.T) {
 		t.Errorf("zero config accepted")
 	}
 }
+
+func TestRolling(t *testing.T) {
+	cfg := DefaultRollingConfig()
+	// Small scale: 2 replicas, short run, the operation firing early enough
+	// that the drained arm still covers the full swap.
+	cfg.Replicas = 2
+	cfg.TargetRate = 60
+	cfg.Duration = 4 * time.Second
+	cfg.OpAfter = time.Second
+	res, err := Rolling(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 phase rows, got %d", len(res.Rows))
+	}
+	byPhase := map[string]RollingRow{}
+	for _, row := range res.Rows {
+		byPhase[row.Phase] = row
+		if row.Sent == 0 {
+			t.Errorf("phase %s issued no requests", row.Phase)
+		}
+		if row.TailErrorRate != 0 {
+			t.Errorf("phase %s tail error rate %.4f: fleet never healed", row.Phase, row.TailErrorRate)
+		}
+	}
+	// The headline: a drained rolling update loses nothing.
+	if drained := byPhase["rolling-drained"]; drained.Errors != 0 {
+		t.Errorf("drained rollout failed %d/%d requests", drained.Errors, drained.Sent)
+	}
+	if drained := byPhase["rolling-drained"]; drained.ForcedKills != 0 {
+		t.Errorf("drained rollout forced %d kills", drained.ForcedKills)
+	}
+	// The drainless arm force-kills every old pod.
+	if un := byPhase["rolling-undrained"]; un.ForcedKills != int64(cfg.Replicas) {
+		t.Errorf("undrained rollout forced %d kills, want %d", un.ForcedKills, cfg.Replicas)
+	}
+	crash := byPhase["crash-supervised"]
+	if crash.Restarts < 1 {
+		t.Errorf("supervisor performed %d restarts, want >=1", crash.Restarts)
+	}
+	if crash.Restarts > 0 && crash.MTTR <= 0 {
+		t.Errorf("restarts happened but MTTR = %v", crash.MTTR)
+	}
+	out := res.Render()
+	for _, want := range []string{"rolling-drained", "rolling-undrained", "crash-supervised", "mttr", "errors by kind"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Invalid configs rejected: zero value, and a fleet too small to roll.
+	if _, err := Rolling(context.Background(), RollingConfig{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+	solo := DefaultRollingConfig()
+	solo.Replicas = 1
+	if _, err := Rolling(context.Background(), solo); err == nil {
+		t.Errorf("single-replica rolling config accepted")
+	}
+}

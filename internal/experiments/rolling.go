@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/chaos"
+	"etude/internal/cluster"
+	"etude/internal/loadgen"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/objstore"
+	"etude/internal/workload"
+)
+
+// RollingConfig controls the zero-downtime operations study: one sustained
+// live workload driven through (a) a rolling model swap with graceful drain,
+// (b) the same swap with drain disabled, and (c) a pod crash healed by the
+// supervisor. The headline claim is the first row's zero failed requests.
+type RollingConfig struct {
+	// Model and CatalogSize define the deployed model; the rolling update
+	// swaps it for a re-trained revision (same architecture, fresh
+	// weights).
+	Model       string
+	CatalogSize int
+	// Replicas sizes the fleet.
+	Replicas int
+	// TargetRate and Duration shape the Algorithm 2 ramp.
+	TargetRate float64
+	Duration   time.Duration
+	// Tick is the load generator's scheduling quantum.
+	Tick time.Duration
+	// Timeout is the client deadline.
+	Timeout time.Duration
+	// DrainTimeout is each pod's graceful-shutdown bound.
+	DrainTimeout time.Duration
+	// OpAfter is when the fleet operation (rollout start, crash) fires.
+	OpAfter time.Duration
+	// EndpointLag is the endpoint-propagation delay the drainless arm
+	// suffers (see cluster.RolloutConfig.EndpointLag).
+	EndpointLag time.Duration
+	// AlphaLength and AlphaClicks shape the synthetic sessions.
+	AlphaLength float64
+	AlphaClicks float64
+	// Seed drives workload sampling and model weights.
+	Seed int64
+}
+
+// DefaultRollingConfig returns the standard study: gru4rec at C=10k, 3
+// replicas under 150 req/s for 8 virtual-wall seconds, the operation firing
+// 2s in. Rates are far below saturation on purpose — the rows isolate
+// lifecycle-inflicted errors, not overload.
+func DefaultRollingConfig() RollingConfig {
+	return RollingConfig{
+		Model:        "gru4rec",
+		CatalogSize:  10_000,
+		Replicas:     3,
+		TargetRate:   150,
+		Duration:     8 * time.Second,
+		Tick:         500 * time.Millisecond,
+		Timeout:      time.Second,
+		DrainTimeout: 5 * time.Second,
+		OpAfter:      2 * time.Second,
+		EndpointLag:  500 * time.Millisecond,
+		AlphaLength:  2.2,
+		AlphaClicks:  1.6,
+		Seed:         1,
+	}
+}
+
+// RollingRow is one phase's outcome.
+type RollingRow struct {
+	Phase string `json:"phase"`
+	Sent  int64  `json:"sent"`
+	// Errors counts failed logical requests; ErrorRate divides by Sent.
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// TailErrorRate covers the final fifth of the run — near zero means
+	// the fleet healed.
+	TailErrorRate float64 `json:"tail_error_rate"`
+	// Latency summarises successful responses.
+	Latency metrics.Snapshot `json:"latency"`
+	// DegradedFraction is fallback responses / issued requests.
+	DegradedFraction float64 `json:"degraded_fraction"`
+	// Outcomes breaks results down by status class and error kind.
+	Outcomes metrics.OutcomeCounts `json:"outcomes"`
+	// ForcedKills counts pods whose drain deadline expired (or that were
+	// killed outright on the drainless arm).
+	ForcedKills int64 `json:"forced_kills"`
+	// Restarts and MTTR describe supervised recovery (crash phase only).
+	Restarts int           `json:"restarts"`
+	MTTR     time.Duration `json:"mttr"`
+}
+
+// RollingResult holds the per-phase rows.
+type RollingResult struct {
+	Rows []RollingRow `json:"rows"`
+}
+
+// Rolling runs the three lifecycle phases, each against a fresh in-process
+// cluster so state cannot leak between arms. Workload sampling is seeded;
+// the assertions the experiment supports (zero errors drained, a spike
+// undrained, finite MTTR supervised) are robust to wall-clock jitter.
+func Rolling(ctx context.Context, cfg RollingConfig) (*RollingResult, error) {
+	if cfg.Model == "" || cfg.CatalogSize <= 0 || cfg.Replicas < 2 {
+		return nil, fmt.Errorf("experiments: invalid rolling config %+v", cfg)
+	}
+	res := &RollingResult{}
+	for _, phase := range []string{"rolling-drained", "rolling-undrained", "crash-supervised"} {
+		row, err := runRollingPhase(ctx, cfg, phase)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rolling phase %s: %w", phase, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// publishRevision writes one model revision manifest to the bucket. The
+// seed offset makes rev2 a genuinely different weight set — a re-trained
+// model, not a no-op swap.
+func publishRevision(bucket objstore.Bucket, cfg RollingConfig, rev int) (string, error) {
+	manifest := model.Manifest{
+		Model:  cfg.Model,
+		Config: model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed + int64(rev)},
+	}
+	data, err := model.MarshalManifest(manifest)
+	if err != nil {
+		return "", err
+	}
+	key := fmt.Sprintf("models/%s-rev%d.json", cfg.Model, rev)
+	return key, bucket.Put(key, data)
+}
+
+func runRollingPhase(ctx context.Context, cfg RollingConfig, phase string) (*RollingRow, error) {
+	bucket := objstore.NewMemBucket()
+	key1, err := publishRevision(bucket, cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	key2, err := publishRevision(bucket, cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	c := cluster.New(bucket)
+	defer c.Teardown()
+
+	spec := cluster.PodSpec{
+		Runtime:      cluster.RuntimeEtude,
+		ModelKey:     key1,
+		InstanceType: "cpu",
+		DrainTimeout: cfg.DrainTimeout,
+	}
+
+	var inj *chaos.Injector
+	if phase == "crash-supervised" {
+		// Pod 0 crashes at OpAfter and never self-heals: only the
+		// supervisor can bring capacity back, which is what makes its MTTR
+		// measurable.
+		inj = chaos.NewInjector(chaos.Scenario{
+			Name: "crash", Seed: cfg.Seed,
+			Faults: []chaos.Fault{{Kind: chaos.FaultPodCrash, At: cfg.OpAfter, Pod: 0}},
+		})
+		spec.Middleware = inj.Middleware
+	}
+
+	const deployment = "rolling"
+	svc, err := c.Deploy(ctx, deployment, spec, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+
+	var sup *cluster.Supervisor
+	if phase == "crash-supervised" {
+		inj.Start()
+		sup, err = c.Supervise(deployment, cluster.RestartPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		defer sup.Stop()
+	}
+
+	// The fleet operation fires mid-run, concurrently with the load.
+	opErr := make(chan error, 1)
+	switch phase {
+	case "rolling-drained":
+		go func() {
+			time.Sleep(cfg.OpAfter)
+			newSpec := spec
+			newSpec.ModelKey = key2
+			opErr <- c.RollingUpdate(ctx, deployment, newSpec, cluster.RolloutConfig{})
+		}()
+	case "rolling-undrained":
+		go func() {
+			time.Sleep(cfg.OpAfter)
+			newSpec := spec
+			newSpec.ModelKey = key2
+			noDrain := false
+			opErr <- c.RollingUpdate(ctx, deployment, newSpec, cluster.RolloutConfig{
+				Drain:       &noDrain,
+				EndpointLag: cfg.EndpointLag,
+			})
+		}()
+	default:
+		opErr <- nil
+	}
+
+	gen, err := workload.NewGenerator(workload.Spec{
+		CatalogSize: cfg.CatalogSize,
+		NumClicks:   1,
+		AlphaLength: cfg.AlphaLength,
+		AlphaClicks: cfg.AlphaClicks,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	balancer := svc.Balancer(cluster.BalancerConfig{
+		FailThreshold: 3,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	// No retries: every lifecycle-inflicted failure stays visible instead
+	// of being quietly healed by the client — the drained arm's zero is a
+	// zero of raw attempts.
+	out, err := loadgen.Run(ctx, loadgen.Config{
+		TargetRate:     cfg.TargetRate,
+		Duration:       cfg.Duration,
+		Tick:           cfg.Tick,
+		RequestTimeout: cfg.Timeout,
+	}, gen, balancer)
+	if err != nil {
+		return nil, err
+	}
+	if oerr := <-opErr; oerr != nil {
+		return nil, fmt.Errorf("fleet operation: %w", oerr)
+	}
+
+	row := &RollingRow{
+		Phase:       phase,
+		Sent:        out.Recorder.Sent(),
+		Errors:      out.Recorder.Errors(),
+		Latency:     out.Recorder.Overall(),
+		Outcomes:    out.Outcomes,
+		ForcedKills: c.ForcedKills(),
+	}
+	if row.Sent > 0 {
+		row.ErrorRate = float64(row.Errors) / float64(row.Sent)
+		row.DegradedFraction = float64(row.Outcomes.Degraded) / float64(row.Sent)
+	}
+	row.TailErrorRate = tailErrorRate(out.Recorder)
+	if sup != nil {
+		sup.Stop()
+		row.Restarts = sup.Restarts()
+		row.MTTR = sup.MTTR()
+	}
+	return row, nil
+}
+
+// Render prints the per-phase lifecycle table.
+func (r *RollingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rolling — fleet operations under sustained load (live, seeded)\n")
+	fmt.Fprintf(&b, "%-18s %8s %7s %8s %10s %10s %10s %7s %9s %10s\n",
+		"phase", "sent", "errors", "err%", "p50", "p99", "degraded%", "forced", "restarts", "mttr")
+	for _, row := range r.Rows {
+		mttr := "-"
+		if row.Restarts > 0 {
+			mttr = row.MTTR.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-18s %8d %7d %7.2f%% %10s %10s %9.2f%% %7d %9d %10s\n",
+			row.Phase, row.Sent, row.Errors, row.ErrorRate*100,
+			row.Latency.P50.Round(time.Microsecond), row.Latency.P99.Round(time.Microsecond),
+			row.DegradedFraction*100, row.ForcedKills, row.Restarts, mttr)
+	}
+	fmt.Fprintf(&b, "errors by kind: ")
+	for i, row := range r.Rows {
+		if i > 0 {
+			fmt.Fprintf(&b, "; ")
+		}
+		fmt.Fprintf(&b, "%s timeout=%d refused=%d server=%d tail-err=%.2f%%",
+			row.Phase, row.Outcomes.Timeouts, row.Outcomes.Refused,
+			row.Outcomes.ServerErrors, row.TailErrorRate*100)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

@@ -18,8 +18,15 @@ import (
 const (
 	// PredictPath serves model inference.
 	PredictPath = "/predictions"
-	// ReadyPath answers readiness probes once the model is loaded.
+	// ReadyPath answers readiness probes once the model is loaded. A
+	// draining server fails this probe (503) so routers stop sending new
+	// work, even though the process is still alive and finishing requests.
 	ReadyPath = "/ping"
+	// LivePath answers liveness probes: 200 whenever the process is up and
+	// able to serve HTTP, including while draining. Supervisors restart a
+	// pod on liveness failure; they must NOT restart on readiness failure,
+	// or every graceful drain would look like a crash.
+	LivePath = "/live"
 	// HeaderInferenceDuration carries the server-side model execution time
 	// (excluding queueing and network) as a Go duration string.
 	HeaderInferenceDuration = "X-Inference-Duration"

@@ -70,6 +70,10 @@ type Server struct {
 	pool    chan predictor
 	batcher *batching.Batcher[[]int64, []topk.Result]
 	ready   atomic.Bool
+	// draining flips when BeginDrain is called: readiness probes answer 503
+	// (routers stop sending new work) while the process stays live and
+	// admitted predictions run to completion.
+	draining atomic.Bool
 	// pending counts admitted-but-unanswered prediction requests — the
 	// admission-control and degradation-watermark signal.
 	pending atomic.Int64
@@ -114,6 +118,20 @@ func New(m model.Model, opts Options) (*Server, error) {
 
 // Shed returns how many requests admission control refused (429).
 func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// BeginDrain moves the server into the draining state: the readiness probe
+// (/ping) starts answering 503 so balancers and service routers take the
+// pod out of rotation, while the liveness probe (/live) keeps answering 200
+// and prediction requests — including ones that race past the routing
+// change — are still served. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of admitted-but-unanswered prediction
+// requests — the quantity a graceful shutdown waits on.
+func (s *Server) InFlight() int64 { return s.pending.Load() }
 
 // DegradedCount returns how many responses the fallback responder served.
 func (s *Server) DegradedCount() int64 { return s.degraded.Load() }
@@ -186,15 +204,21 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the HTTP routes: POST /predictions and GET /ping.
+// Handler returns the HTTP routes: POST /predictions, GET /ping
+// (readiness) and GET /live (liveness).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(httpapi.ReadyPath, s.handlePing)
+	mux.HandleFunc(httpapi.LivePath, s.handleLive)
 	mux.HandleFunc(httpapi.PredictPath, s.handlePredict)
 	return mux
 }
 
 func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
 	if !s.ready.Load() {
 		http.Error(w, "model loading", http.StatusServiceUnavailable)
 		return
@@ -203,6 +227,14 @@ func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write([]byte("pong")); err != nil {
 		return
 	}
+}
+
+// handleLive is the liveness probe: 200 as long as the process serves HTTP,
+// draining or not. Only a dead process fails it — which is exactly the
+// signal a supervisor restarts on.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("alive"))
 }
 
 // queueDepth returns the server's pending-work signal: the batcher queue

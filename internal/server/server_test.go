@@ -442,3 +442,71 @@ func TestLoadFromBucketWithWeights(t *testing.T) {
 		t.Fatalf("corrupt weights archive accepted")
 	}
 }
+
+// TestDrainLifecycle pins the liveness/readiness split a graceful drain
+// relies on: BeginDrain fails the readiness probe (routers stop sending
+// work) while liveness stays green (supervisors must not restart) and
+// predictions — admitted or racing — still complete.
+func TestDrainLifecycle(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Before drain: both probes green.
+	if got := get(httpapi.ReadyPath); got != http.StatusOK {
+		t.Fatalf("ready before drain = %d", got)
+	}
+	if got := get(httpapi.LivePath); got != http.StatusOK {
+		t.Fatalf("live before drain = %d", got)
+	}
+	if s.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+
+	s.BeginDrain()
+	s.BeginDrain() // idempotent
+	if !s.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	if got := get(httpapi.ReadyPath); got != http.StatusServiceUnavailable {
+		t.Fatalf("ready during drain = %d, want 503", got)
+	}
+	if got := get(httpapi.LivePath); got != http.StatusOK {
+		t.Fatalf("live during drain = %d, want 200", got)
+	}
+	// Predictions still complete during drain.
+	resp, out := predict(t, ts, httpapi.PredictRequest{Items: []int64{3, 7}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict during drain = %d", resp.StatusCode)
+	}
+	if len(out.Items) == 0 {
+		t.Fatal("empty prediction during drain")
+	}
+}
+
+func TestInFlightGauge(t *testing.T) {
+	m := testModel(t)
+	s, err := New(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.InFlight() != 0 {
+		t.Fatalf("idle InFlight = %d", s.InFlight())
+	}
+}

@@ -163,10 +163,15 @@ func (s *Server) overhead() time.Duration {
 	return s.cfg.PerRequestOverhead + jitter
 }
 
-// Handler returns the HTTP routes: POST /predictions and GET /ping.
+// Handler returns the HTTP routes: POST /predictions, GET /ping
+// (readiness) and GET /live (liveness — the baseline has no drain state, so
+// both probes answer 200 whenever the process is up).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(httpapi.ReadyPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc(httpapi.LivePath, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc(httpapi.PredictPath, s.handlePredict)
