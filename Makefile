@@ -9,7 +9,7 @@ DURATION ?= 30s
 EXPERIMENT ?= table1
 SCALE ?= test
 
-.PHONY: build test bench vet race check infra run_deployed_benchmark benchmark advise clean
+.PHONY: build test bench vet race check infra run_deployed_benchmark benchmark profile advise clean
 
 build:
 	go build ./...
@@ -38,7 +38,7 @@ check:
 	go build ./...
 	go vet ./...
 	go test ./...
-	go test -race ./internal/cluster ./internal/server ./internal/loadgen
+	go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics
 
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.
@@ -52,15 +52,25 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
 # EXPERIMENT=rolling drives sustained live load through a rolling model swap
 # (drained vs. drainless) and a supervised pod crash, reporting error rate,
 # p99, degraded fraction, forced kills and MTTR per phase.
+# EXPERIMENT=breakdown traces every request through the serving path and
+# prints the per-stage latency table (queue-wait, admission, batch-assembly,
+# embedding-lookup, encoder-forward, mips-topk, serialize) per model and
+# catalog size, reconciling the stage sum against the end-to-end latency.
 benchmark:
 	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE)
+
+# Run an experiment under the CPU profiler and open the hot-path report:
+#   make profile EXPERIMENT=breakdown
+profile:
+	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE) -cpuprofile cpu.out
+	go tool pprof -top -nodecount 15 cpu.out
 
 # Automatic instance-type choice for a declarative workload.
 advise:

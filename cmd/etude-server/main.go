@@ -20,6 +20,7 @@ import (
 	"etude/internal/model"
 	"etude/internal/objstore"
 	"etude/internal/server"
+	"etude/internal/trace"
 )
 
 func main() {
@@ -33,13 +34,15 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		batch     = flag.Bool("batch", false, "enable request batching (1024 / 2ms)")
 		static    = flag.Bool("static", false, "serve empty responses without a model")
+		traced    = flag.Bool("trace", false, "record per-stage latency histograms (exposed at /metrics)")
+		profiled  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		bucketDir = flag.String("bucket", "", "filesystem bucket to load the model from")
 		key       = flag.String("key", "", "model manifest key within the bucket")
 		port      = flag.Int("port", 8080, "listen port")
 	)
 	flag.Parse()
 
-	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *batch, *static, *bucketDir, *key)
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *batch, *static, *traced, *profiled, *bucketDir, *key)
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
@@ -56,8 +59,11 @@ func main() {
 	}
 }
 
-func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers int, batch, static bool, bucketDir, key string) (*server.Server, error) {
-	opts := server.Options{Workers: workers, JIT: jit}
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers int, batch, static, traced, profiled bool, bucketDir, key string) (*server.Server, error) {
+	opts := server.Options{Workers: workers, JIT: jit, Profiling: profiled}
+	if traced {
+		opts.Tracer = trace.New(trace.Options{})
+	}
 	if batch {
 		cfg := batching.DefaultConfig()
 		opts.Batch = &cfg

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling [-scale test|paper]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown [-scale test|paper]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"time"
 
 	"etude/internal/advisor"
@@ -59,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling [-scale test|paper] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown [-scale test|paper] [-bucket DIR]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -82,14 +83,30 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, rolling)")
+	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, rolling, breakdown)")
 	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (inspect with `go tool pprof`)")
+	verbose := fs.Bool("v", false, "log cluster diagnostics (restarts, breaker trips, force-kills) to stderr")
 	_ = fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	paper := *scale == "paper"
+	if *verbose {
+		cluster.SetLogger(cluster.NewTextLogger(os.Stderr))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("etude benchmark: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("etude benchmark: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	out, err := runExperiment(ctx, *exp, paper)
 	if err != nil {
@@ -194,6 +211,16 @@ func runExperiment(ctx context.Context, name string, paper bool) (string, error)
 			cfg.Duration = 10 * time.Minute
 		}
 		res, err := experiments.ChaosComparison(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "breakdown":
+		cfg := experiments.DefaultBreakdownConfig()
+		if !paper {
+			cfg.Requests = 60
+		}
+		res, err := experiments.Breakdown(cfg)
 		if err != nil {
 			return "", err
 		}

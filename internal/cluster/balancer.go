@@ -9,6 +9,7 @@ import (
 
 	"etude/internal/httpapi"
 	"etude/internal/loadgen"
+	"etude/internal/metrics"
 )
 
 // BalancerConfig tunes the health-aware service balancer.
@@ -187,6 +188,7 @@ func (b *Balancer) onFailure(ep *endpoint) {
 	ep.fails++
 	if ep.fails >= b.cfg.FailThreshold && !ep.open {
 		ep.open = true
+		logEvent().Warn("circuit breaker opened", "endpoint", ep.url, "consecutive_fails", ep.fails)
 		if !ep.probing {
 			ep.probing = true
 			b.wg.Add(1)
@@ -226,9 +228,30 @@ func (b *Balancer) reAdmit(ep *endpoint) {
 			ep.fails = 0
 			ep.probing = false
 			ep.mu.Unlock()
+			logEvent().Info("circuit breaker closed", "endpoint", ep.url)
 			return
 		}
 	}
+}
+
+// WriteMetrics appends the balancer's breaker state to a Prometheus
+// exposition — one gauge per endpoint (1 = breaker open / ejected) plus the
+// ejected total. Plug it into server.Options.MetricsExtra or any other
+// PromBuilder-based scrape.
+func (b *Balancer) WriteMetrics(pb *metrics.PromBuilder) {
+	open := 0
+	for _, ep := range b.snapshot() {
+		ep.mu.Lock()
+		v := 0.0
+		if ep.open {
+			v = 1
+			open++
+		}
+		ep.mu.Unlock()
+		pb.Gauge("etude_breaker_open", "Circuit breaker state per endpoint (1 = open, pod ejected from rotation).",
+			v, metrics.Label{Name: "endpoint", Value: ep.url})
+	}
+	pb.Gauge("etude_breaker_ejected", "Number of pods currently ejected from the rotation.", float64(open))
 }
 
 // Predict implements loadgen.Target.

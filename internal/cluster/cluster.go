@@ -323,6 +323,8 @@ func (s *Service) drainPods(victims []*Pod, gracePeriod time.Duration) {
 			defer wg.Done()
 			if p.stop(gracePeriod) {
 				s.cluster.forcedKills.Add(1)
+				logEvent().Warn("drain deadline expired, pod force-killed",
+					"deployment", s.name, "replica", p.Replica(), "grace", gracePeriod)
 			}
 		}(p)
 	}

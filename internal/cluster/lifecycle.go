@@ -153,6 +153,8 @@ func (c *Cluster) retirePods(svc *Service, victims []*Pod, cfg RolloutConfig, gr
 	for _, p := range victims {
 		p.forceStop()
 		c.forcedKills.Add(1)
+		logEvent().Warn("drainless rollout force-killed pod",
+			"deployment", svc.Name(), "replica", p.Replica())
 	}
 	if cfg.EndpointLag > 0 {
 		time.Sleep(cfg.EndpointLag)

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The cluster emits structured diagnostics — supervisor restarts, drain
+// force-kills, circuit-breaker transitions — through one package-level
+// leveled logger. It discards everything by default so tests and benchmarks
+// stay quiet; the -v CLI flag routes it to stderr as key=value lines.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(discardLogger())
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// SetLogger routes the cluster's diagnostic events to l. A nil l restores
+// the default discarding logger. Safe to call concurrently with running
+// supervisors and balancers.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = discardLogger()
+	}
+	logger.Store(l)
+}
+
+// NewTextLogger returns a key=value logger writing to w at Info level — the
+// logger the CLI installs under -v.
+func NewTextLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// logEvent returns the current diagnostics logger.
+func logEvent() *slog.Logger { return logger.Load() }

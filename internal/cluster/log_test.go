@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+)
+
+// syncBuffer serialises writes: slog handlers may be called from the
+// balancer's request path and its re-admission probe concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDiagnosticsLogged: with a logger installed, breaker transitions come
+// out as key=value lines; with the default logger, nothing is emitted.
+func TestDiagnosticsLogged(t *testing.T) {
+	pod := &flakyPod{}
+	pod.down.Store(true)
+	srv := httptest.NewServer(pod.handler())
+	defer srv.Close()
+
+	var buf syncBuffer
+	SetLogger(NewTextLogger(&buf))
+	defer SetLogger(nil)
+
+	b := NewBalancer([]string{srv.URL}, BalancerConfig{
+		FailThreshold: 2,
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	defer b.Close()
+
+	req := httpapi.PredictRequest{Items: []int64{1}}
+	for i := 0; i < 2; i++ {
+		b.Predict(context.Background(), req)
+	}
+	if got := buf.String(); !strings.Contains(got, "circuit breaker opened") ||
+		!strings.Contains(got, "endpoint="+srv.URL) {
+		t.Fatalf("breaker trip not logged:\n%s", got)
+	}
+
+	// Recovery closes the breaker and logs it.
+	pod.down.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Ejected() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(buf.String(), "circuit breaker closed") {
+		t.Fatalf("breaker close not logged:\n%s", buf.String())
+	}
+}
+
+// TestQuietByDefault: with no logger installed the same transitions emit
+// nothing (the discard handler) — benchmarks and tests stay clean.
+func TestQuietByDefault(t *testing.T) {
+	SetLogger(nil)
+	pod := &flakyPod{}
+	pod.down.Store(true)
+	srv := httptest.NewServer(pod.handler())
+	defer srv.Close()
+	b := NewBalancer([]string{srv.URL}, BalancerConfig{FailThreshold: 1, ProbeInterval: time.Hour})
+	defer b.Close()
+	b.Predict(context.Background(), httpapi.PredictRequest{Items: []int64{1}})
+	if b.Ejected() != 1 {
+		t.Fatal("breaker did not trip")
+	}
+	// Nothing observable: the discard logger has no buffer to inspect; the
+	// assertion is simply that no panic or output side effects occur.
+}
+
+// TestBalancerWriteMetrics: breaker state comes out as parseable Prometheus
+// gauges.
+func TestBalancerWriteMetrics(t *testing.T) {
+	pod := &flakyPod{}
+	pod.down.Store(true)
+	srv := httptest.NewServer(pod.handler())
+	defer srv.Close()
+	b := NewBalancer([]string{srv.URL}, BalancerConfig{FailThreshold: 1, ProbeInterval: time.Hour})
+	defer b.Close()
+	b.Predict(context.Background(), httpapi.PredictRequest{Items: []int64{1}})
+
+	pb := metrics.NewPromBuilder()
+	b.WriteMetrics(pb)
+	samples, err := metrics.ParsePromText(strings.NewReader(pb.String()))
+	if err != nil {
+		t.Fatalf("breaker metrics not parseable: %v\n%s", err, pb.String())
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Name] = s.Value
+	}
+	if got["etude_breaker_open"] != 1 || got["etude_breaker_ejected"] != 1 {
+		t.Fatalf("breaker gauges = %v, want open=1 ejected=1\n%s", got, pb.String())
+	}
+}

@@ -197,6 +197,12 @@ func (s *Supervisor) loop() {
 			case <-time.After(backoff):
 			}
 			ev := s.restart(pod, firstFail[pod])
+			if ev.Err != nil {
+				logEvent().Warn("pod restart failed", "deployment", s.svc.Name(), "replica", ev.OldReplica, "err", ev.Err)
+			} else {
+				logEvent().Info("pod restarted", "deployment", s.svc.Name(),
+					"old_replica", ev.OldReplica, "new_replica", ev.NewReplica, "downtime", ev.Downtime)
+			}
 			delete(firstFail, pod)
 			s.mu.Lock()
 			delete(s.fails, pod)

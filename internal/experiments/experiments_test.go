@@ -610,3 +610,47 @@ func TestRolling(t *testing.T) {
 		t.Errorf("single-replica rolling config accepted")
 	}
 }
+
+// TestBreakdownShape: the stage decomposition runs end to end, covers every
+// cell of the sweep, and the per-stage p50 sum accounts for the end-to-end
+// p50 within 10% — the acceptance bar for the trace instrumentation.
+func TestBreakdownShape(t *testing.T) {
+	// Catalogs large enough that the ~tens-of-µs of untraced per-request
+	// overhead (mux dispatch, span bookkeeping) stays well under the 10% bar.
+	cfg := BreakdownConfig{
+		Models:       []string{"gru4rec", "stamp"},
+		CatalogSizes: []int{20_000, 100_000},
+		Requests:     40,
+		Seed:         1,
+	}
+	res, err := Breakdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Stages) < 4 {
+			t.Fatalf("%s: only %d stages traced", row.Model, len(row.Stages))
+		}
+		for _, st := range row.Stages {
+			if st.Stage == "batch-assembly" {
+				t.Fatalf("%s: batch-assembly recorded on the unbatched path", row.Model)
+			}
+		}
+		if row.TotalP50 <= 0 || row.StageSumP50 <= 0 {
+			t.Fatalf("%s: empty quantiles: %+v", row.Model, row)
+		}
+		if row.ReconcileErr > 0.10 {
+			t.Fatalf("%s C=%d: stage sum %v vs e2e %v — %.1f%% unaccounted (>10%%)",
+				row.Model, row.CatalogSize, row.StageSumP50, row.TotalP50, 100*row.ReconcileErr)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"mips-topk", "encoder-forward", "stage-sum p50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -36,6 +36,14 @@ const (
 	// HeaderDegraded is "1" on responses served by the cheap fallback
 	// responder instead of the model (graceful degradation under overload).
 	HeaderDegraded = "X-Degraded"
+	// HeaderRequestID carries the client-chosen request id. The server
+	// echoes it on every response — including 429/4xx/degraded paths — so
+	// chaos-run errors are attributable to a specific request trace, and
+	// retried attempts of one logical request share one id.
+	HeaderRequestID = "X-Request-ID"
+	// MetricsPath serves Prometheus text exposition: request/stage latency
+	// summaries, outcome counters, queue depth and drain state.
+	MetricsPath = "/metrics"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -64,6 +72,10 @@ type PredictRequest struct {
 	// SessionID identifies the visitor session (used for tracing; the
 	// models are stateless and receive the full item history every call).
 	SessionID int64 `json:"session_id"`
+	// RequestID identifies this logical request across retries. Clients
+	// usually send it in the X-Request-ID header; the body field is a
+	// fallback for transports that strip headers.
+	RequestID string `json:"request_id,omitempty"`
 	// Items is the session's click history, most recent last.
 	Items []int64 `json:"items"`
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"etude/internal/model"
 	"etude/internal/topk"
@@ -112,11 +113,44 @@ func (m *VSKNN) Config() model.Config {
 
 // Recommend implements model.Model: recency-weighted session-kNN scoring.
 func (m *VSKNN) Recommend(session []int64) []topk.Result {
+	session, neighbors := m.nearestSessions(session)
+	if len(neighbors) == 0 {
+		return nil
+	}
+	return m.scoreCandidates(session, neighbors)
+}
+
+// RecommendStaged implements model.StagedRecommender. The index probe +
+// neighbour selection plays the encoder's role in the decomposition (it
+// produces the "session representation" — the neighbour set); candidate
+// scoring + truncation is the top-k stage. Neither grows with the catalog.
+func (m *VSKNN) RecommendStaged(session []int64, now func() time.Duration) ([]topk.Result, model.StageTimings) {
+	var tm model.StageTimings
+	t0 := now()
+	session, neighbors := m.nearestSessions(session)
+	tm.Encoder = now() - t0
+	if len(neighbors) == 0 {
+		return nil, tm
+	}
+	t1 := now()
+	out := m.scoreCandidates(session, neighbors)
+	tm.TopK = now() - t1
+	return out, tm
+}
+
+type neighbor struct {
+	sid int32
+	sim float64
+}
+
+// nearestSessions truncates the session and returns the Neighbors most
+// similar historical sessions (steps 1–2 of VS-kNN).
+func (m *VSKNN) nearestSessions(session []int64) ([]int64, []neighbor) {
 	if len(session) > m.cfg.MaxSessionLen {
 		session = session[len(session)-m.cfg.MaxSessionLen:]
 	}
 	if len(session) == 0 {
-		return nil
+		return session, nil
 	}
 	// 1. Candidate sessions with recency-weighted overlap similarity:
 	// later clicks in the current session contribute more.
@@ -128,13 +162,9 @@ func (m *VSKNN) Recommend(session []int64) []topk.Result {
 		}
 	}
 	if len(sim) == 0 {
-		return nil
+		return session, nil
 	}
 	// 2. Keep the Neighbors most similar sessions.
-	type neighbor struct {
-		sid int32
-		sim float64
-	}
 	neighbors := make([]neighbor, 0, len(sim))
 	for sid, s := range sim {
 		neighbors = append(neighbors, neighbor{sid, s})
@@ -148,6 +178,12 @@ func (m *VSKNN) Recommend(session []int64) []topk.Result {
 	if len(neighbors) > m.cfg.Neighbors {
 		neighbors = neighbors[:m.cfg.Neighbors]
 	}
+	return session, neighbors
+}
+
+// scoreCandidates scores the neighbours' items and truncates to top-k
+// (steps 3–4 of VS-kNN).
+func (m *VSKNN) scoreCandidates(session []int64, neighbors []neighbor) []topk.Result {
 	// 3. Score candidate items from the neighbours, excluding items the
 	// visitor already clicked (next-item prediction).
 	clicked := make(map[int64]bool, len(session))

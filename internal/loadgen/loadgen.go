@@ -444,6 +444,10 @@ func (f *feeder) next() (httpapi.PredictRequest, func(ok bool)) {
 
 	req := httpapi.PredictRequest{
 		SessionID: c.id,
+		// One logical request = one trace: the retry loop reuses this req
+		// verbatim, so every attempt carries the same id and the server-side
+		// trace aggregates across attempts instead of splitting them.
+		RequestID: fmt.Sprintf("s%d-%d", c.id, c.pos),
 		Items:     append([]int64(nil), c.session[:c.pos+1]...),
 	}
 	done := func(ok bool) {

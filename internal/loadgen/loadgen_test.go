@@ -412,3 +412,68 @@ func TestDrainTimeoutCountsStragglers(t *testing.T) {
 		t.Fatalf("per-tick sent %d != issued %d", series, n)
 	}
 }
+
+// TestRequestIDSharedAcrossRetries: every request carries a non-empty
+// RequestID, and all retry attempts of one logical request reuse it — the
+// server-side trace then aggregates a retried request into one span instead
+// of splitting its attempts.
+func TestRequestIDSharedAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	tgt := FuncTarget(func(ctx context.Context, r httpapi.PredictRequest) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.RequestID == "" {
+			t.Error("request sent without a RequestID")
+			return nil
+		}
+		attempts[r.RequestID]++
+		if attempts[r.RequestID] == 1 {
+			return &httpapi.StatusError{Code: http.StatusServiceUnavailable} // retryable
+		}
+		return nil
+	})
+	src := &fixedSessions{sessions: []workload.Session{{1, 2, 3}}}
+	cfg := fastConfig(50)
+	cfg.Retry = RetryConfig{MaxAttempts: 3, BaseBackoff: time.Millisecond, Budget: 10}
+	if _, err := Run(context.Background(), cfg, src, tgt); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	retried := 0
+	for _, n := range attempts {
+		if n >= 2 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatalf("no logical request was retried under the same RequestID: %v", attempts)
+	}
+}
+
+// TestHTTPTargetSetsRequestIDHeader: the wire target forwards the request id
+// as the X-Request-ID header, and distinct clicks get distinct ids.
+func TestHTTPTargetSetsRequestIDHeader(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Header.Get(httpapi.HeaderRequestID)] = true
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	tgt := NewHTTPTarget(ts.URL)
+	for i, id := range []string{"s1-0", "s1-1"} {
+		req := httpapi.PredictRequest{SessionID: 1, RequestID: id, Items: []int64{int64(i)}}
+		if err := tgt.Predict(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !seen["s1-0"] || !seen["s1-1"] {
+		t.Fatalf("X-Request-ID headers not received, saw %v", seen)
+	}
+}

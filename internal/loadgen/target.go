@@ -77,6 +77,9 @@ func (t *HTTPTarget) PredictMeta(ctx context.Context, req httpapi.PredictRequest
 		return Meta{}, fmt.Errorf("loadgen: building request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if req.RequestID != "" {
+		httpReq.Header.Set(httpapi.HeaderRequestID, req.RequestID)
+	}
 	resp, err := t.client.Do(httpReq)
 	if err != nil {
 		return Meta{}, fmt.Errorf("loadgen: request failed: %w", err)

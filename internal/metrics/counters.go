@@ -91,19 +91,24 @@ func (r *Recorder) RecordStatus(t int, code int) {
 }
 
 // RecordErrorKind notes a failed request of the given kind during tick t.
-// It subsumes RecordError: the run-wide error count includes every kind.
+// It subsumes RecordError: the run-wide error count includes every kind,
+// and the kind is also attributed to tick t's series entry.
 func (r *Recorder) RecordErrorKind(t int, kind ErrorKind) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.recordErrorLocked(t)
+	acc := r.recordErrorLocked(t)
 	switch kind {
 	case KindTimeout:
+		acc.timeouts++
 		r.outcomes.Timeouts++
 	case KindRefused:
+		acc.refused++
 		r.outcomes.Refused++
 	case KindServer:
+		acc.serverErrs++
 		r.outcomes.ServerErrors++
 	default:
+		acc.otherErrs++
 		r.outcomes.OtherErrors++
 	}
 }
@@ -136,7 +141,7 @@ func (r *Recorder) RecordRetry(t int) {
 func (r *Recorder) RecordStraggler(t int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.recordErrorLocked(t)
+	r.recordErrorLocked(t).timeouts++
 	r.outcomes.Timeouts++
 	r.outcomes.Stragglers++
 }

@@ -85,9 +85,13 @@ func (h *Histogram) Mean() time.Duration {
 func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
 
 // Quantile returns the q-quantile latency (q in [0,1]), e.g. Quantile(0.9)
-// is the p90. It returns 0 when the histogram is empty.
+// is the p90. Edge cases return sentinels instead of panicking: an empty
+// histogram yields 0, out-of-range q is clamped into [0,1], and a quantile
+// resolving to the top overflow bucket — where observations beyond the
+// bucket range (~17 min) are clamped, so the quantised bucket bound could
+// under-report arbitrarily — yields the exact recorded Max.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {
@@ -102,12 +106,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		rank = 1
 	}
 	var seen int64
-	for i := 0; i < numBuckets; i++ {
+	for i := 0; i < numBuckets-1; i++ {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
 			return bucketUpper(i)
 		}
 	}
+	// Rank lands in the overflow bucket (or, under a racing Record, past the
+	// buckets counted so far): the exact max is the only honest answer.
 	return h.Max()
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -261,6 +262,103 @@ func TestMergeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Top-overflow sentinel: when the requested quantile resolves to the last
+// (overflow) bucket, where out-of-range values are clamped, Quantile must
+// report the exact Max rather than the quantised bucket bound — and never
+// panic.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Record(24 * time.Hour)
+	h.Record(48 * time.Hour)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 48*time.Hour {
+			t.Fatalf("q=%v = %v, want exact max 48h", q, got)
+		}
+	}
+	// Mixed: in-range median, overflow tail.
+	m := NewHistogram()
+	m.Record(time.Millisecond)
+	m.Record(time.Millisecond)
+	m.Record(time.Millisecond)
+	m.Record(24 * time.Hour)
+	if got := m.Quantile(0.5); !within(got, time.Millisecond, 0.03) {
+		t.Fatalf("median = %v, want ≈ 1ms", got)
+	}
+	if got := m.Quantile(1); got != 24*time.Hour {
+		t.Fatalf("p100 = %v, want exact 24h", got)
+	}
+}
+
+func TestQuantileNaN(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	if got := h.Quantile(math.NaN()); got == 0 {
+		t.Fatalf("NaN quantile must clamp to a sentinel, got 0")
+	}
+}
+
+// Property (bucket boundaries): for any duration, the bucket it lands in
+// brackets it — the previous bucket's upper bound lies below d (within one
+// growth step of float slack) and d never exceeds the bucket's own upper
+// bound by more than one growth step. Runs alongside TestMergeProperty as
+// the histogram's geometric contract.
+func TestBucketBoundaryProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		// Span nanoseconds up to ~2 hours, crossing both histogram edges.
+		d := time.Duration(raw % uint64(2*time.Hour))
+		i := bucketIndex(d)
+		if i < 0 || i >= numBuckets {
+			return false
+		}
+		upper := bucketUpper(i)
+		if float64(upper)*bucketGrowth < float64(d) && i != numBuckets-1 {
+			return false // bucket's upper bound must cover d (except overflow)
+		}
+		if i > 0 && d > minValue {
+			// d must lie above the previous bucket's upper bound (one growth
+			// step of slack for the log/pow float round trip).
+			if float64(d)*bucketGrowth < float64(bucketUpper(i-1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderErrorKindSeries(t *testing.T) {
+	r := NewRecorder()
+	r.RecordErrorKind(0, KindTimeout)
+	r.RecordErrorKind(0, KindRefused)
+	r.RecordErrorKind(1, KindServer)
+	r.RecordError(1)
+	r.RecordStraggler(2)
+	s := r.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length = %d", len(s))
+	}
+	if s[0].Timeouts != 1 || s[0].Refused != 1 || s[0].Errors != 2 {
+		t.Fatalf("tick 0 = %+v", s[0])
+	}
+	if s[1].ServerErrors != 1 || s[1].OtherErrors != 1 || s[1].Errors != 2 {
+		t.Fatalf("tick 1 = %+v", s[1])
+	}
+	if s[2].Timeouts != 1 || s[2].Errors != 1 {
+		t.Fatalf("tick 2 (straggler counts as timeout) = %+v", s[2])
+	}
+	for _, ts := range s {
+		if ts.Timeouts+ts.Refused+ts.ServerErrors+ts.OtherErrors != ts.Errors {
+			t.Fatalf("kinds must sum to Errors: %+v", ts)
+		}
+	}
+	o := r.Outcomes()
+	if o.Timeouts != 2 || o.Refused != 1 || o.ServerErrors != 1 || o.OtherErrors != 1 || o.Stragglers != 1 {
+		t.Fatalf("outcomes = %+v", o)
 	}
 }
 

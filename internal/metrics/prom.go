@@ -1,0 +1,278 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled because the
+// repo takes no external dependencies. The builder emits counters, gauges
+// and pre-aggregated summaries (quantiles from histogram Snapshots, in
+// seconds per Prometheus convention); ParsePromText is the strict
+// parse-it-back half used by the endpoint round-trip tests and available to
+// scrape-side tooling.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// PromBuilder accumulates an exposition document. Not safe for concurrent
+// use; build, render, discard.
+type PromBuilder struct {
+	b     strings.Builder
+	typed map[string]bool
+}
+
+// NewPromBuilder returns an empty builder.
+func NewPromBuilder() *PromBuilder {
+	return &PromBuilder{typed: make(map[string]bool)}
+}
+
+func (p *PromBuilder) header(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	fmt.Fprintf(&p.b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(&p.b, "# TYPE %s %s\n", name, typ)
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		v := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(l.Value)
+		parts[i] = fmt.Sprintf(`%s="%s"`, l.Name, v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (p *PromBuilder) sample(name string, labels []Label, v float64) {
+	fmt.Fprintf(&p.b, "%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// Counter emits a monotonically increasing cumulative value.
+func (p *PromBuilder) Counter(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "counter")
+	p.sample(name, labels, v)
+}
+
+// Gauge emits an instantaneous value.
+func (p *PromBuilder) Gauge(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "gauge")
+	p.sample(name, labels, v)
+}
+
+// Summary emits a latency distribution snapshot as a Prometheus summary:
+// φ-quantile samples (0.5/0.9/0.99) plus _sum and _count, with durations
+// converted to seconds. The snapshot's Sum is reconstructed as Mean×Count
+// (exact up to float rounding — Mean is itself Sum/Count).
+func (p *PromBuilder) Summary(name, help string, s Snapshot, labels ...Label) {
+	p.header(name, help, "summary")
+	quantile := func(q string, d time.Duration) {
+		ql := append(append([]Label(nil), labels...), Label{"quantile", q})
+		p.sample(name, ql, d.Seconds())
+	}
+	quantile("0.5", s.P50)
+	quantile("0.9", s.P90)
+	quantile("0.99", s.P99)
+	p.sample(name+"_sum", labels, s.Mean.Seconds()*float64(s.Count))
+	p.sample(name+"_count", labels, float64(s.Count))
+}
+
+// String renders the accumulated document.
+func (p *PromBuilder) String() string { return p.b.String() }
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample identity as name{k="v",...} with sorted label
+// names — convenient for test lookups.
+func (s PromSample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%q", k, s.Labels[k])
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParsePromText strictly parses a text exposition document: every sample
+// must have a valid metric name, well-formed labels, a parseable value, and
+// a preceding # TYPE declaration for its family (the _sum/_count/quantile
+// conventions of summaries are understood). It returns the samples in
+// document order.
+func ParsePromText(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	typed := map[string]string{}
+	var out []PromSample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !promMetricRe.MatchString(fields[2]) {
+				return nil, fmt.Errorf("line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := s.Name
+		if typed[family] == "" {
+			// Summary/histogram series carry the family name plus a suffix.
+			for _, suf := range []string{"_sum", "_count", "_bucket"} {
+				if base := strings.TrimSuffix(family, suf); base != family && typed[base] != "" {
+					family = base
+					break
+				}
+			}
+			if typed[family] == "" {
+				return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, s.Name)
+			}
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !promMetricRe.MatchString(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated labels in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for _, pair := range splitLabels(body) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			name := strings.TrimSpace(pair[:eq])
+			val := strings.TrimSpace(pair[eq+1:])
+			if !promLabelRe.MatchString(name) {
+				return s, fmt.Errorf("bad label name %q", name)
+			}
+			unquoted, err := strconv.Unquote(val)
+			if err != nil {
+				return s, fmt.Errorf("label value %s not quoted: %w", val, err)
+			}
+			s.Labels[name] = unquoted
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return s, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(body string) []string {
+	var parts []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range body {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return parts
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildSampleDoc() string {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	b := NewPromBuilder()
+	b.Counter("etude_requests_total", "Requests received.", 100)
+	b.Counter("etude_errors_total", "Errors by kind.", 3, Label{"kind", "timeout"})
+	b.Counter("etude_errors_total", "Errors by kind.", 1, Label{"kind", "refused"})
+	b.Gauge("etude_queue_depth", "Pending requests.", 7)
+	b.Summary("etude_request_seconds", "End-to-end latency.", h.Snapshot())
+	b.Summary("etude_stage_seconds", "Per-stage latency.", h.Snapshot(), Label{"stage", "mips-topk"})
+	return b.String()
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	doc := buildSampleDoc()
+	samples, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse-back failed: %v\ndoc:\n%s", err, doc)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if byKey["etude_requests_total"] != 100 {
+		t.Fatalf("requests_total = %v", byKey["etude_requests_total"])
+	}
+	if byKey[`etude_errors_total{kind="timeout"}`] != 3 {
+		t.Fatalf("timeout errors = %v (keys: %v)", byKey[`etude_errors_total{kind="timeout"}`], byKey)
+	}
+	if byKey["etude_queue_depth"] != 7 {
+		t.Fatalf("queue depth = %v", byKey["etude_queue_depth"])
+	}
+	if byKey["etude_request_seconds_count"] != 100 {
+		t.Fatalf("summary count = %v", byKey["etude_request_seconds_count"])
+	}
+	// Sum reconstructed as mean×count: 100 obs averaging 50.5ms = 5.05s.
+	if got := byKey["etude_request_seconds_sum"]; math.Abs(got-5.05) > 0.01 {
+		t.Fatalf("summary sum = %v, want ≈ 5.05", got)
+	}
+	p50 := byKey[`etude_request_seconds{quantile="0.5"}`]
+	p99 := byKey[`etude_request_seconds{quantile="0.99"}`]
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v", p50, p99)
+	}
+	if byKey[`etude_stage_seconds_count{stage="mips-topk"}`] != 100 {
+		t.Fatalf("labeled summary count missing: %v", byKey)
+	}
+}
+
+func TestPromTypeDeclaredOnce(t *testing.T) {
+	doc := buildSampleDoc()
+	if n := strings.Count(doc, "# TYPE etude_errors_total"); n != 1 {
+		t.Fatalf("TYPE for multi-sample family declared %d times, want 1", n)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	b := NewPromBuilder()
+	b.Gauge("g", "help", 1, Label{"path", `a"b\c`})
+	samples, err := ParsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, b.String())
+	}
+	if samples[0].Labels["path"] != `a"b\c` {
+		t.Fatalf("escaped label round-trip = %q", samples[0].Labels["path"])
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	for name, doc := range map[string]string{
+		"no type":       "orphan_metric 1\n",
+		"bad value":     "# TYPE m gauge\nm banana\n",
+		"bad name":      "# TYPE 9bad gauge\n9bad 1\n",
+		"unquoted":      "# TYPE m gauge\nm{a=b} 1\n",
+		"unterminated":  "# TYPE m gauge\nm{a=\"b\" 1\n",
+		"unknown type":  "# TYPE m widget\nm 1\n",
+		"malformed cmt": "# NOPE m gauge\n",
+	} {
+		if _, err := ParsePromText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, doc)
+		}
+	}
+}
+
+func TestPromInfValues(t *testing.T) {
+	b := NewPromBuilder()
+	b.Gauge("g", "help", math.Inf(1))
+	samples, err := ParsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !math.IsInf(samples[0].Value, 1) {
+		t.Fatalf("value = %v, want +Inf", samples[0].Value)
+	}
+}

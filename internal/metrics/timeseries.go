@@ -15,6 +15,12 @@ type TickStats struct {
 	Errors    int64         `json:"errors"`
 	Degraded  int64         `json:"degraded,omitempty"`
 	Retries   int64         `json:"retries,omitempty"`
+	// Errors split by kind (their sum equals Errors) so a time-series plot
+	// shows when the failure mode shifted, not just that errors occurred.
+	Timeouts     int64 `json:"timeouts,omitempty"`
+	Refused      int64 `json:"refused,omitempty"`
+	ServerErrors int64 `json:"server_errors,omitempty"`
+	OtherErrors  int64 `json:"other_errors,omitempty"`
 	P50       time.Duration `json:"p50"`
 	P90       time.Duration `json:"p90"`
 	P99       time.Duration `json:"p99"`
@@ -32,12 +38,16 @@ type Recorder struct {
 }
 
 type tickAcc struct {
-	sent      int64
-	completed int64
-	errors    int64
-	degraded  int64
-	retries   int64
-	hist      *Histogram
+	sent       int64
+	completed  int64
+	errors     int64
+	degraded   int64
+	retries    int64
+	timeouts   int64
+	refused    int64
+	serverErrs int64
+	otherErrs  int64
+	hist       *Histogram
 }
 
 // NewRecorder returns an empty Recorder.
@@ -77,15 +87,16 @@ func (r *Recorder) RecordLatency(t int, d time.Duration) {
 func (r *Recorder) RecordError(t int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.recordErrorLocked(t)
+	r.recordErrorLocked(t).otherErrs++
 	r.outcomes.OtherErrors++
 }
 
-func (r *Recorder) recordErrorLocked(t int) {
+func (r *Recorder) recordErrorLocked(t int) *tickAcc {
 	acc := r.tick(t)
 	acc.completed++
 	acc.errors++
 	r.errs++
+	return acc
 }
 
 // Overall returns the run-wide latency snapshot (successes only).
@@ -127,6 +138,10 @@ func (r *Recorder) Series() []TickStats {
 			ts.Errors = acc.errors
 			ts.Degraded = acc.degraded
 			ts.Retries = acc.retries
+			ts.Timeouts = acc.timeouts
+			ts.Refused = acc.refused
+			ts.ServerErrors = acc.serverErrs
+			ts.OtherErrors = acc.otherErrs
 			ts.P50 = acc.hist.Quantile(0.5)
 			ts.P90 = acc.hist.Quantile(0.9)
 			ts.P99 = acc.hist.Quantile(0.99)

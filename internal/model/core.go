@@ -54,6 +54,12 @@ func (m *CORE) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *CORE) encodeFrom(session []int64, x *tensor.Tensor) *tensor.Tensor {
 	// Weight each item embedding: alpha = softmax(MLP(x)).
 	logits := m.alpha.Forward(x).Reshape(len(session))
 	logits.Softmax()

@@ -53,6 +53,12 @@ func (m *GRU4Rec) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *GRU4Rec) encodeFrom(session []int64, x *tensor.Tensor) *tensor.Tensor {
 	states := m.gru.Forward(x)
 	return m.proj.ForwardVec(states.Row(len(session) - 1))
 }

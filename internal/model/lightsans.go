@@ -86,6 +86,12 @@ func (m *LightSANs) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *LightSANs) encodeFrom(session []int64, x *tensor.Tensor) *tensor.Tensor {
 	addPositions(x, m.pos)
 	if len(session) <= lightsansShortCut {
 		// Dynamic path: dense attention for short sequences.

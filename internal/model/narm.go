@@ -57,6 +57,12 @@ func (m *NARM) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *NARM) encodeFrom(session []int64, x *tensor.Tensor) *tensor.Tensor {
 	states := m.gru.Forward(x)
 	last := states.Row(len(session) - 1)
 

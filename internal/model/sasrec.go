@@ -80,6 +80,12 @@ func (m *SASRec) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *SASRec) encodeFrom(session []int64, x *tensor.Tensor) *tensor.Tensor {
 	addPositions(x, m.pos)
 	for _, b := range m.blocks {
 		x = b.forward(x, true)

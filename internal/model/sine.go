@@ -65,6 +65,12 @@ func (m *SINE) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *SINE) encodeFrom(session []int64, x *tensor.Tensor) *tensor.Tensor {
 	d := m.cfg.Dim
 
 	// Session summary via self-attention (query = mean of embeddings).

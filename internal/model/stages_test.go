@@ -1,0 +1,69 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+// tickClock returns a clock advancing 1ms per reading, so every stage gets a
+// distinct, deterministic duration.
+func tickClock() func() time.Duration {
+	var n time.Duration
+	return func() time.Duration {
+		n += time.Millisecond
+		return n
+	}
+}
+
+func TestRecommendStagedMatchesRecommend(t *testing.T) {
+	cfg := Config{CatalogSize: 500, Dim: 16, MaxSessionLen: 20, TopK: 5, Seed: 7}
+	session := []int64{3, 1, 4, 1, 5}
+	for _, name := range Names() {
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := m.Recommend(session)
+		got, tm := RecommendStaged(m, session, tickClock())
+		if len(got) != len(want) {
+			t.Fatalf("%s: staged returned %d results, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: staged result[%d] = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+		if tm.Encoder <= 0 {
+			t.Fatalf("%s: no encoder time measured: %+v", name, tm)
+		}
+	}
+}
+
+func TestRecommendStagedSplitsStages(t *testing.T) {
+	cfg := Config{CatalogSize: 500, Dim: 16, MaxSessionLen: 20, TopK: 5, Seed: 7}
+	m, err := New("gru4rec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(splitEncoder); !ok {
+		t.Fatal("gru4rec must satisfy splitEncoder")
+	}
+	_, tm := RecommendStaged(m, []int64{1, 2, 3}, tickClock())
+	if tm.EmbeddingLookup <= 0 || tm.Encoder <= 0 || tm.TopK <= 0 {
+		t.Fatalf("split encoder must time all three stages: %+v", tm)
+	}
+}
+
+func TestRecommendStagedEmptySession(t *testing.T) {
+	cfg := Config{CatalogSize: 100, Dim: 8, MaxSessionLen: 10, TopK: 3, Seed: 1}
+	for _, name := range Names() {
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := RecommendStaged(m, nil, tickClock())
+		if len(recs) != len(m.Recommend(nil)) {
+			t.Fatalf("%s: empty-session mismatch", name)
+		}
+	}
+}

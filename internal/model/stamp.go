@@ -59,6 +59,12 @@ func (m *STAMP) encode(session []int64) *tensor.Tensor {
 	if x == nil {
 		return m.zeroRep()
 	}
+	return m.encodeFrom(session, x)
+}
+
+// encodeFrom runs the architecture forward pass on the prepared embeddings
+// (the encoder-forward stage of the trace decomposition).
+func (m *STAMP) encodeFrom(_ []int64, x *tensor.Tensor) *tensor.Tensor {
 	seqLen, d := x.Dim(0), x.Dim(1)
 	xt := x.Row(seqLen - 1) // last click
 	// Session mean ms.

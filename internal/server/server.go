@@ -9,21 +9,33 @@
 // Requests are decoded, dispatched to a worker slot, executed in-process and
 // encoded — no inter-process hand-off, no per-request interpreter, which is
 // precisely what the TorchServe baseline (internal/torchserve) pays for.
+//
+// Observability: an optional trace.Tracer decomposes each request into
+// pipeline stages (admission, queue wait, batch assembly, embedding lookup,
+// encoder forward, MIPS top-k, serialize); /metrics exposes the stage and
+// end-to-end distributions plus outcome counters in Prometheus text format,
+// and Options.Profiling mounts net/http/pprof. With no tracer configured
+// the instrumentation costs one nil check per stage (see
+// BenchmarkTracingOverhead).
 package server
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"etude/internal/batching"
 	"etude/internal/httpapi"
+	"etude/internal/metrics"
 	"etude/internal/model"
 	"etude/internal/objstore"
 	"etude/internal/topk"
+	"etude/internal/trace"
 )
 
 // Options configures a Server.
@@ -48,6 +60,17 @@ type Options struct {
 	// degradation). 0 disables degradation. Set it below MaxPending so the
 	// server degrades before it sheds.
 	DegradeAt int
+	// Tracer records per-request stage spans when non-nil. Nil (the
+	// default) disables tracing at near-zero cost.
+	Tracer *trace.Tracer
+	// Profiling mounts net/http/pprof under /debug/pprof/ on the server's
+	// handler. Off by default: profiling endpoints on a production port are
+	// opt-in.
+	Profiling bool
+	// MetricsExtra, when non-nil, is invoked while rendering /metrics so
+	// surrounding infrastructure (e.g. the cluster balancer's breaker
+	// state) can append its own families to the exposition.
+	MetricsExtra func(*metrics.PromBuilder)
 }
 
 func (o Options) withDefaults() Options {
@@ -60,15 +83,33 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// predictor is one worker slot's inference function.
-type predictor func(session []int64) []topk.Result
+// predictor is one worker slot's inference function. The span is nil when
+// tracing is disabled; implementations must treat that as the fast path.
+type predictor func(session []int64, sp *trace.Span) []topk.Result
+
+// batchItem is one request travelling through the batcher: the session plus
+// its span and enqueue timestamp so the dispatcher can attribute
+// batch-assembly and head-of-line wait to the right request.
+type batchItem struct {
+	session []int64
+	sp      *trace.Span
+	enq     time.Duration
+}
+
+// batchOut carries a batched response plus the size of the batch it was
+// served in (for the X-Batch-Size header).
+type batchOut struct {
+	recs []topk.Result
+	size int
+}
 
 // Server serves one deployed model (or a static response) over HTTP.
 type Server struct {
 	opts    Options
 	mdl     model.Model // nil in static mode
+	tracer  *trace.Tracer
 	pool    chan predictor
-	batcher *batching.Batcher[[]int64, []topk.Result]
+	batcher *batching.Batcher[batchItem, batchOut]
 	ready   atomic.Bool
 	// draining flips when BeginDrain is called: readiness probes answer 503
 	// (routers stop sending new work) while the process stays live and
@@ -77,9 +118,11 @@ type Server struct {
 	// pending counts admitted-but-unanswered prediction requests — the
 	// admission-control and degradation-watermark signal.
 	pending atomic.Int64
-	// shed and degraded count resilience actions for tests and ops.
+	// shed and degraded count resilience actions for tests and ops; served
+	// counts completed 200s (the /metrics request counter).
 	shed     atomic.Int64
 	degraded atomic.Int64
+	served   atomic.Int64
 	// fallback is the precomputed popularity-style response served while
 	// degraded (nil in static mode).
 	fallback []topk.Result
@@ -95,7 +138,7 @@ func New(m model.Model, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: nil model")
 	}
 	opts = opts.withDefaults()
-	s := &Server{opts: opts, mdl: m, pool: make(chan predictor, opts.Workers)}
+	s := &Server{opts: opts, mdl: m, tracer: opts.Tracer, pool: make(chan predictor, opts.Workers)}
 	for i := 0; i < opts.Workers; i++ {
 		s.pool <- s.newPredictor()
 	}
@@ -135,6 +178,9 @@ func (s *Server) InFlight() int64 { return s.pending.Load() }
 
 // DegradedCount returns how many responses the fallback responder served.
 func (s *Server) DegradedCount() int64 { return s.degraded.Load() }
+
+// Tracer returns the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // NewStatic builds the "empty response, no computation" server used by the
 // infrastructure validation experiment (paper Fig 2).
@@ -176,23 +222,55 @@ func (s *Server) newPredictor() predictor {
 	if s.opts.JIT {
 		if jc, ok := s.mdl.(model.JITCompilable); ok {
 			s.JITActive = true
-			return jc.CompiledRecommend()
+			compiled := jc.CompiledRecommend()
+			return func(session []int64, sp *trace.Span) []topk.Result {
+				if sp == nil {
+					return compiled(session)
+				}
+				// Compiled plans fuse embedding lookup, encoder and scoring
+				// into one closure; the fused time is attributed to
+				// encoder-forward (run breakdowns with JIT off for the full
+				// split).
+				t0 := sp.Now()
+				out := compiled(session)
+				sp.ObserveSince(trace.StageEncoderForward, t0)
+				return out
+			}
 		}
 	}
-	return s.mdl.Recommend
+	m := s.mdl
+	return func(session []int64, sp *trace.Span) []topk.Result {
+		if sp == nil {
+			return m.Recommend(session)
+		}
+		out, tm := model.RecommendStaged(m, session, sp.Now)
+		sp.Observe(trace.StageEmbeddingLookup, tm.EmbeddingLookup)
+		sp.Observe(trace.StageEncoderForward, tm.Encoder)
+		sp.Observe(trace.StageMIPSTopK, tm.TopK)
+		return out
+	}
 }
 
 // Model returns the deployed model (nil in static mode).
 func (s *Server) Model() model.Model { return s.mdl }
 
 // runBatch executes a batch on a single worker slot, sequentially — the CPU
-// analogue of one fused accelerator kernel sequence.
-func (s *Server) runBatch(sessions [][]int64) [][]topk.Result {
+// analogue of one fused accelerator kernel sequence. Per item it attributes
+// batch-assembly (enqueue→flush) and queue-wait (head-of-line inside the
+// batch) before the model stages.
+func (s *Server) runBatch(items []batchItem) []batchOut {
 	p := <-s.pool
 	defer func() { s.pool <- p }()
-	out := make([][]topk.Result, len(sessions))
-	for i, session := range sessions {
-		out[i] = p(session)
+	s.tracer.ObserveBatchFlush(len(items))
+	flushStart := s.tracer.Now()
+	out := make([]batchOut, len(items))
+	for i, it := range items {
+		if it.sp != nil {
+			it.sp.Observe(trace.StageBatchAssembly, flushStart-it.enq)
+			it.sp.Observe(trace.StageQueueWait, it.sp.Now()-flushStart)
+			it.sp.SetBatchSize(len(items))
+		}
+		out[i] = batchOut{recs: p(it.session, it.sp), size: len(items)}
 	}
 	return out
 }
@@ -205,12 +283,21 @@ func (s *Server) Close() {
 }
 
 // Handler returns the HTTP routes: POST /predictions, GET /ping
-// (readiness) and GET /live (liveness).
+// (readiness), GET /live (liveness), GET /metrics (Prometheus text), and —
+// when Options.Profiling is set — /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(httpapi.ReadyPath, s.handlePing)
 	mux.HandleFunc(httpapi.LivePath, s.handleLive)
 	mux.HandleFunc(httpapi.PredictPath, s.handlePredict)
+	mux.HandleFunc(httpapi.MetricsPath, s.handleMetrics)
+	if s.opts.Profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -237,6 +324,45 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte("alive"))
 }
 
+// handleMetrics renders the Prometheus text exposition: request/stage
+// latency summaries (seconds), outcome counters, queue depth and drain
+// state, plus whatever Options.MetricsExtra contributes.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b := metrics.NewPromBuilder()
+	b.Counter("etude_requests_total", "Prediction requests answered 200.", float64(s.served.Load()))
+	b.Counter("etude_shed_total", "Requests refused by admission control (429).", float64(s.shed.Load()))
+	b.Counter("etude_degraded_total", "Responses served by the degraded fallback path.", float64(s.degraded.Load()))
+	b.Gauge("etude_pending_requests", "Admitted but unanswered prediction requests.", float64(s.pending.Load()))
+	b.Gauge("etude_queue_depth", "Server queue depth (batcher queue when batching).", float64(s.queueDepth()))
+	drain := 0.0
+	if s.draining.Load() {
+		drain = 1
+	}
+	b.Gauge("etude_draining", "1 while the server is draining (readiness failing).", drain)
+	if tr := s.tracer; tr != nil {
+		if total := tr.TotalSnapshot(); total.Count > 0 {
+			b.Summary("etude_request_seconds", "End-to-end request latency.", total)
+		}
+		for _, st := range trace.Stages() {
+			if snap := tr.StageSnapshot(st); snap.Count > 0 {
+				b.Summary("etude_stage_seconds", "Per-stage request latency.", snap,
+					metrics.Label{Name: "stage", Value: st.String()})
+			}
+		}
+		flushes, meanSize, maxSize := tr.BatchStats()
+		if flushes > 0 {
+			b.Counter("etude_batch_flushes_total", "Batch dispatches.", float64(flushes))
+			b.Gauge("etude_batch_size_mean", "Mean batch size at flush.", meanSize)
+			b.Gauge("etude_batch_size_max", "Largest batch dispatched.", float64(maxSize))
+		}
+	}
+	if s.opts.MetricsExtra != nil {
+		s.opts.MetricsExtra(b)
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	_, _ = io.WriteString(w, b.String())
+}
+
 // queueDepth returns the server's pending-work signal: the batcher queue
 // when batching, the admitted-request count otherwise.
 func (s *Server) queueDepth() int {
@@ -247,6 +373,13 @@ func (s *Server) queueDepth() int {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Echo the request id on every path — success, shed, malformed,
+	// cancelled — so any response in a chaos run is attributable to the
+	// client-side trace that produced it.
+	reqID := r.Header.Get(httpapi.HeaderRequestID)
+	if reqID != "" {
+		w.Header().Set(httpapi.HeaderRequestID, reqID)
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "use POST", http.StatusMethodNotAllowed)
 		return
@@ -263,15 +396,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.pending.Add(1)
 	defer s.pending.Add(-1)
 
+	sp := s.tracer.Start(reqID)
+	admStart := sp.Now()
+
 	var req httpapi.PredictRequest
 	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
+		sp.Discard()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if reqID == "" && req.RequestID != "" {
+		// Body-carried id (header-stripping transports): still echoed.
+		reqID = req.RequestID
+		w.Header().Set(httpapi.HeaderRequestID, reqID)
 	}
 	if err := req.Validate(); err != nil {
+		sp.Discard()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	sp.ObserveSince(trace.StageAdmission, admStart)
 
 	start := time.Now()
 	var recs []topk.Result
@@ -287,8 +431,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		degraded = true
 		s.degraded.Add(1)
 	case s.batcher != nil:
-		out, err := s.batcher.Submit(r.Context(), req.Items)
+		out, err := s.batcher.Submit(r.Context(), batchItem{session: req.Items, sp: sp, enq: sp.Now()})
 		if err != nil {
+			// The dispatcher may still hold the span (cancelled mid-flight):
+			// abandon it rather than recycle it under a racing writer.
+			sp = nil
 			status := http.StatusServiceUnavailable
 			if err == context.Canceled || err == context.DeadlineExceeded {
 				status = http.StatusGatewayTimeout
@@ -296,23 +443,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), status)
 			return
 		}
-		recs = out
+		recs = out.recs
+		batch = out.size
 	default:
 		// A disconnected client must not consume a worker slot: select on
 		// the request context while waiting for one, and bail out
 		// 499-style (nginx's "client closed request") if the client hung
 		// up first.
+		poolWait := sp.Now()
 		select {
 		case p := <-s.pool:
-			recs = p(req.Items)
+			sp.ObserveSince(trace.StageQueueWait, poolWait)
+			recs = p(req.Items, sp)
 			s.pool <- p
 		case <-r.Context().Done():
+			sp.Discard()
 			w.WriteHeader(httpapi.StatusClientClosedRequest)
 			return
 		}
 	}
 	inference := time.Since(start)
 
+	serStart := sp.Now()
 	resp := httpapi.PredictResponse{
 		Items:  make([]int64, len(recs)),
 		Scores: make([]float32, len(recs)),
@@ -326,4 +478,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(httpapi.HeaderDegraded, "1")
 	}
 	httpapi.WriteJSON(w, http.StatusOK, resp)
+	s.served.Add(1)
+	sp.ObserveSince(trace.StageSerialize, serStart)
+	sp.Finish()
 }

@@ -6,6 +6,7 @@ import (
 
 	"etude/internal/device"
 	"etude/internal/model"
+	"etude/internal/trace"
 )
 
 // Fault outcomes a simulated instance can report for a request. They mirror
@@ -63,6 +64,9 @@ type Request struct {
 	arrival time.Duration
 	// done receives the request outcome when it completes or fails.
 	done func(Outcome)
+	// sp is the request's trace span (nil when tracing is off or the
+	// request never reached the executor).
+	sp *trace.Span
 }
 
 // Instance simulates one serving machine: a device (CPU or GPU), a deployed
@@ -99,6 +103,10 @@ type Instance struct {
 	inflight []Request
 
 	res Resilience
+
+	// tracer, when set, records per-stage spans in virtual time. It must be
+	// built with the engine's clock (see SetTracer).
+	tracer *trace.Tracer
 }
 
 // NewInstance builds a simulated instance serving the named model.
@@ -142,6 +150,23 @@ func normalizeConfig(cfg model.Config) model.Config {
 // SetResilience configures admission control and graceful degradation.
 func (in *Instance) SetResilience(r Resilience) { in.res = r.withDefaults() }
 
+// SetTracer attaches a stage tracer. Pass a tracer built with the engine's
+// virtual clock — trace.New(trace.Options{Clock: eng.Now}) — so spans measure
+// simulated time, not wall time. A nil tracer turns tracing back off.
+func (in *Instance) SetTracer(t *trace.Tracer) { in.tracer = t }
+
+// splitService attributes a (virtual) service duration to the encoder-forward
+// and mips-topk stages proportionally to the model's FLOP breakdown — the
+// same decomposition the cost model itself uses.
+func splitService(c model.Cost, service time.Duration) (enc, mips time.Duration) {
+	total := c.EncoderFLOPs + c.MIPSFLOPs + c.TopKOps
+	if total <= 0 {
+		return service, 0
+	}
+	enc = time.Duration(float64(service) * c.EncoderFLOPs / total)
+	return enc, service - enc
+}
+
 // Fits reports whether the model fits the instance at all (GPU memory).
 func (in *Instance) Fits() bool {
 	return in.spec.Kind == device.KindCPU || in.maxBatch > 0
@@ -169,6 +194,7 @@ func (in *Instance) Crash() {
 	failed = append(failed, in.buffer...)
 	in.inflight, in.queue, in.buffer = nil, nil, nil
 	for _, r := range failed {
+		r.sp.Discard()
 		r.done(Outcome{Latency: now - r.arrival, Err: ErrPodDown})
 	}
 }
@@ -238,6 +264,7 @@ func (in *Instance) SubmitOutcome(sessionLen int, done func(Outcome)) {
 		done(Outcome{Err: ErrShed})
 		return
 	}
+	req.sp = in.tracer.Start("")
 	if in.spec.Kind == device.KindCPU {
 		in.queue = append(in.queue, req)
 		in.pumpCPU()
@@ -264,8 +291,10 @@ func (in *Instance) pumpCPU() {
 	in.queue = in.queue[1:]
 	in.busy = true
 	in.inflight = append(in.inflight[:0], req)
-	service := in.scaled(in.spec.ParallelInference(in.costFor(req.SessionLen), in.jit))
+	cost := in.costFor(req.SessionLen)
+	service := in.scaled(in.spec.ParallelInference(cost, in.jit))
 	in.busyTotal += service
+	req.sp.Observe(trace.StageQueueWait, in.eng.Now()-req.arrival)
 	epoch := in.epoch
 	in.eng.Schedule(service, func() {
 		if in.epoch != epoch {
@@ -273,7 +302,12 @@ func (in *Instance) pumpCPU() {
 		}
 		in.busy = false
 		in.inflight = in.inflight[:0]
-		req.done(Outcome{Latency: in.eng.Now() - req.arrival})
+		enc, mips := splitService(cost, service)
+		req.sp.Observe(trace.StageEncoderForward, enc)
+		req.sp.Observe(trace.StageMIPSTopK, mips)
+		total := in.eng.Now() - req.arrival
+		req.sp.FinishTotal(total)
+		req.done(Outcome{Latency: total})
 		in.pumpCPU()
 	})
 }
@@ -304,6 +338,12 @@ func (in *Instance) startBatch() {
 	in.buffer = in.buffer[n:]
 	in.busy = true
 	in.inflight = append(in.inflight[:0], batch...)
+	in.tracer.ObserveBatchFlush(n)
+	flushStart := in.eng.Now()
+	for _, r := range batch {
+		r.sp.Observe(trace.StageBatchAssembly, flushStart-r.arrival)
+		r.sp.SetBatchSize(n)
+	}
 
 	// The batch's service time uses the mean session length of its
 	// requests (the encoder runs per request; the catalog scan dominates
@@ -316,7 +356,8 @@ func (in *Instance) startBatch() {
 	if meanLen < 1 {
 		meanLen = 1
 	}
-	service := in.scaled(in.spec.BatchInference(in.costFor(meanLen), n, in.jit))
+	cost := in.costFor(meanLen)
+	service := in.scaled(in.spec.BatchInference(cost, n, in.jit))
 	in.busyTotal += service
 	epoch := in.epoch
 	in.eng.Schedule(service, func() {
@@ -325,8 +366,13 @@ func (in *Instance) startBatch() {
 		}
 		in.busy = false
 		in.inflight = in.inflight[:0]
+		enc, mips := splitService(cost, service)
 		for _, r := range batch {
-			r.done(Outcome{Latency: in.eng.Now() - r.arrival})
+			r.sp.Observe(trace.StageEncoderForward, enc)
+			r.sp.Observe(trace.StageMIPSTopK, mips)
+			total := in.eng.Now() - r.arrival
+			r.sp.FinishTotal(total)
+			r.done(Outcome{Latency: total})
 		}
 		if len(in.buffer) >= in.maxBatch {
 			in.startBatch()

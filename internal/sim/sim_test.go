@@ -7,6 +7,7 @@ import (
 	"etude/internal/costmodel"
 	"etude/internal/device"
 	"etude/internal/model"
+	"etude/internal/trace"
 )
 
 func TestEngineOrdering(t *testing.T) {
@@ -304,5 +305,89 @@ func TestDeterministicRuns(t *testing.T) {
 	if a.Sent != b.Sent || a.Backpressured != b.Backpressured ||
 		a.Recorder.Overall() != b.Recorder.Overall() {
 		t.Fatalf("simulation not deterministic: %+v vs %+v", a.Recorder.Overall(), b.Recorder.Overall())
+	}
+}
+
+// TestInstanceTracingVirtualTime: an instance with a tracer on the engine's
+// virtual clock records stage spans in simulated time — the GPU path gets
+// batch-assembly + encoder/mips splits that sum to the end-to-end latency.
+func TestInstanceTracingVirtualTime(t *testing.T) {
+	eng := NewEngine()
+	in, err := NewInstance(eng, device.GPUT4(), "gru4rec", model.Config{CatalogSize: 1_000_000, Seed: 1}, true, 2*time.Millisecond, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Options{Clock: eng.Now})
+	in.SetTracer(tr)
+	var lats []time.Duration
+	for i := 0; i < 10; i++ {
+		in.Submit(3, func(l time.Duration) { lats = append(lats, l) })
+	}
+	eng.Drain()
+	if len(lats) != 10 {
+		t.Fatalf("completed %d/10", len(lats))
+	}
+	total := tr.TotalSnapshot()
+	if total.Count != 10 {
+		t.Fatalf("traced %d requests, want 10", total.Count)
+	}
+	// Virtual clock: the recorded e2e max equals the simulated latency.
+	if total.Max != lats[0] {
+		t.Fatalf("traced total %v != simulated latency %v", total.Max, lats[0])
+	}
+	asm := tr.StageSnapshot(trace.StageBatchAssembly)
+	enc := tr.StageSnapshot(trace.StageEncoderForward)
+	mips := tr.StageSnapshot(trace.StageMIPSTopK)
+	if asm.Count != 10 || enc.Count != 10 {
+		t.Fatalf("stage counts: assembly %d encoder %d", asm.Count, enc.Count)
+	}
+	// All requests arrived at t=0, so assembly is the 2ms flush window and
+	// assembly + encoder + mips reconstructs the end-to-end latency exactly.
+	if asm.Max != 2*time.Millisecond {
+		t.Fatalf("batch-assembly %v, want the 2ms flush window", asm.Max)
+	}
+	if got := asm.Max + enc.Max + mips.Max; got != lats[0] {
+		t.Fatalf("stage sum %v != latency %v", got, lats[0])
+	}
+	flushes, mean, max := tr.BatchStats()
+	if flushes != 1 || mean != 10 || max != 10 {
+		t.Fatalf("batch stats = %d flushes mean %v max %d", flushes, mean, max)
+	}
+}
+
+// TestInstanceTracingCPUQueueWait: the CPU path attributes head-of-line
+// blocking to queue-wait in virtual time.
+func TestInstanceTracingCPUQueueWait(t *testing.T) {
+	eng := NewEngine()
+	in := cpuInstance(t, eng, 100_000)
+	tr := trace.New(trace.Options{Clock: eng.Now})
+	in.SetTracer(tr)
+	done := 0
+	for i := 0; i < 3; i++ {
+		in.Submit(3, func(time.Duration) { done++ })
+	}
+	eng.Drain()
+	if done != 3 {
+		t.Fatalf("completed %d/3", done)
+	}
+	service := device.CPU().ParallelInference(mustCost(t, "gru4rec", 100_000, 3), true)
+	// The first request starts service instantly (zero wait is not recorded);
+	// the two behind it queue.
+	qw := tr.StageSnapshot(trace.StageQueueWait)
+	if qw.Count != 2 {
+		t.Fatalf("queue-wait count %d, want 2", qw.Count)
+	}
+	// The third request waited exactly two service times.
+	if qw.Max != 2*service {
+		t.Fatalf("queue-wait max %v, want %v", qw.Max, 2*service)
+	}
+	enc := tr.StageSnapshot(trace.StageEncoderForward)
+	mips := tr.StageSnapshot(trace.StageMIPSTopK)
+	if enc.Count != 3 || mips.Count != 3 {
+		t.Fatalf("stage counts: encoder %d mips %d", enc.Count, mips.Count)
+	}
+	// The FLOP-proportional split conserves the service time.
+	if got := enc.Max + mips.Max; got != service {
+		t.Fatalf("encoder+mips %v != service %v", got, service)
 	}
 }

@@ -179,6 +179,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Echo the caller's correlation id on every outcome, including 503s and
+	// timeouts, so client traces line up with server-side ones.
+	if id := r.Header.Get(httpapi.HeaderRequestID); id != "" {
+		w.Header().Set(httpapi.HeaderRequestID, id)
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "use POST", http.StatusMethodNotAllowed)
 		return
@@ -187,6 +192,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if w.Header().Get(httpapi.HeaderRequestID) == "" && req.RequestID != "" {
+		w.Header().Set(httpapi.HeaderRequestID, req.RequestID)
 	}
 	j := job{enqueued: time.Now(), session: req.Items, reply: make(chan jobResult, 1)}
 	select {

@@ -277,3 +277,35 @@ func TestOverheadWithinJitterBand(t *testing.T) {
 		}
 	}
 }
+
+// TestRequestIDEchoed: the baseline echoes X-Request-ID on success and on
+// queue-full 503s, from the header or the body fallback.
+func TestRequestIDEchoed(t *testing.T) {
+	s := New(nil, Config{Workers: 1, PerRequestOverhead: time.Millisecond, ResponseTimeout: time.Second, QueueSize: 1, Seed: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	send := func(header, bodyID string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(httpapi.PredictRequest{RequestID: bodyID, Items: []int64{1}})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+httpapi.PredictPath, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if header != "" {
+			req.Header.Set(httpapi.HeaderRequestID, header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := send("rid-1", ""); resp.Header.Get(httpapi.HeaderRequestID) != "rid-1" {
+		t.Fatalf("header id not echoed: %q", resp.Header.Get(httpapi.HeaderRequestID))
+	}
+	if resp := send("", "rid-2"); resp.Header.Get(httpapi.HeaderRequestID) != "rid-2" {
+		t.Fatalf("body id not echoed: %q", resp.Header.Get(httpapi.HeaderRequestID))
+	}
+}

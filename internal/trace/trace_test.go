@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable virtual clock for deterministic tests.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *manualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start("r1")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// Every method must be a no-op, not a panic.
+	sp.Observe(StageMIPSTopK, time.Millisecond)
+	sp.ObserveSince(StageQueueWait, 0)
+	sp.SetBatchSize(4)
+	_ = sp.Now()
+	_ = sp.ID()
+	_ = sp.StageSum()
+	sp.Finish()
+	sp.FinishTotal(time.Second)
+	tr.ObserveBatchFlush(8)
+	_ = tr.Now()
+	if s := tr.StageSnapshot(StageMIPSTopK); s.Count != 0 {
+		t.Fatal("nil tracer has counts")
+	}
+	if s := tr.TotalSnapshot(); s.Count != 0 {
+		t.Fatal("nil tracer has total counts")
+	}
+	if ex := tr.Exemplars(); ex != nil {
+		t.Fatal("nil tracer has exemplars")
+	}
+	if f, m, mx := tr.BatchStats(); f != 0 || m != 0 || mx != 0 {
+		t.Fatal("nil tracer has batch stats")
+	}
+}
+
+func TestSpanStagesAggregate(t *testing.T) {
+	clk := &manualClock{}
+	tr := New(Options{Clock: clk.Now})
+	sp := tr.Start("r1")
+	start := sp.Now()
+	clk.Advance(2 * time.Millisecond)
+	sp.ObserveSince(StageQueueWait, start)
+	sp.Observe(StageEncoderForward, 3*time.Millisecond)
+	sp.Observe(StageMIPSTopK, 5*time.Millisecond)
+	clk.Advance(8 * time.Millisecond)
+	if got := sp.StageSum(); got != 10*time.Millisecond {
+		t.Fatalf("StageSum = %v, want 10ms", got)
+	}
+	sp.Finish()
+
+	if s := tr.StageSnapshot(StageQueueWait); s.Count != 1 {
+		t.Fatalf("queue-wait count = %d, want 1", s.Count)
+	}
+	enc := tr.StageSnapshot(StageEncoderForward)
+	if enc.Count != 1 || enc.Max < 3*time.Millisecond {
+		t.Fatalf("encoder snapshot = %+v", enc)
+	}
+	total := tr.TotalSnapshot()
+	if total.Count != 1 || total.Max != 10*time.Millisecond {
+		t.Fatalf("total snapshot = %+v, want count=1 max=10ms", total)
+	}
+	// Unused stages stay empty.
+	if s := tr.StageSnapshot(StageSerialize); s.Count != 0 {
+		t.Fatalf("serialize count = %d, want 0", s.Count)
+	}
+}
+
+func TestObserveAccumulatesAcrossAttempts(t *testing.T) {
+	tr := New(Options{Clock: (&manualClock{}).Now})
+	sp := tr.Start("r1")
+	sp.Observe(StageEncoderForward, time.Millisecond)
+	sp.Observe(StageEncoderForward, 2*time.Millisecond)
+	if got := sp.StageSum(); got != 3*time.Millisecond {
+		t.Fatalf("StageSum = %v, want 3ms (attempts must sum)", got)
+	}
+	sp.FinishTotal(3 * time.Millisecond)
+	if s := tr.StageSnapshot(StageEncoderForward); s.Count != 1 {
+		t.Fatalf("encoder count = %d, want 1 (one record per span)", s.Count)
+	}
+}
+
+func TestExemplarsKeepSlowest(t *testing.T) {
+	clk := &manualClock{}
+	tr := New(Options{Clock: clk.Now, Exemplars: 3})
+	for i := 1; i <= 10; i++ {
+		sp := tr.Start(fmt.Sprintf("r%d", i))
+		d := time.Duration(i) * time.Millisecond
+		sp.Observe(StageMIPSTopK, d)
+		sp.SetBatchSize(i)
+		sp.FinishTotal(d)
+	}
+	ex := tr.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3", len(ex))
+	}
+	// Slowest first: r10, r9, r8.
+	want := []string{"r10", "r9", "r8"}
+	for i, e := range ex {
+		if e.ID != want[i] {
+			t.Fatalf("exemplar[%d] = %s, want %s (all: %v)", i, e.ID, want[i], ex)
+		}
+	}
+	if ex[0].Total != 10*time.Millisecond || ex[0].Stages[StageMIPSTopK] != 10*time.Millisecond {
+		t.Fatalf("exemplar[0] = %+v", ex[0])
+	}
+	if ex[0].BatchSize != 10 {
+		t.Fatalf("exemplar batch size = %d, want 10", ex[0].BatchSize)
+	}
+	if ex[0].String() == "" {
+		t.Fatal("empty exemplar string")
+	}
+}
+
+func TestBatchStats(t *testing.T) {
+	tr := New(Options{Clock: (&manualClock{}).Now})
+	tr.ObserveBatchFlush(2)
+	tr.ObserveBatchFlush(6)
+	tr.ObserveBatchFlush(4)
+	f, mean, max := tr.BatchStats()
+	if f != 3 || mean != 4 || max != 6 {
+		t.Fatalf("BatchStats = %d %v %d, want 3 4 6", f, mean, max)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := New(Options{}) // wall clock
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.Start(fmt.Sprintf("w%d-%d", w, i))
+				sp.Observe(StageEncoderForward, time.Duration(i+1)*time.Microsecond)
+				sp.Observe(StageMIPSTopK, time.Duration(i+1)*time.Microsecond)
+				tr.ObserveBatchFlush(i%7 + 1)
+				sp.FinishTotal(time.Duration(2*(i+1)) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.TotalSnapshot().Count; got != workers*per {
+		t.Fatalf("total count = %d, want %d", got, workers*per)
+	}
+	if got := tr.StageSnapshot(StageMIPSTopK).Count; got != workers*per {
+		t.Fatalf("mips count = %d, want %d", got, workers*per)
+	}
+	if ex := tr.Exemplars(); len(ex) == 0 {
+		t.Fatal("no exemplars retained")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Stages() {
+		name := s.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("stage %d has bad name %q", s, name)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if Stage(-1).String() != "unknown" || Stage(NumStages).String() != "unknown" {
+		t.Fatal("out-of-range stages must stringify as unknown")
+	}
+}
+
+func TestVirtualClockFinishTotal(t *testing.T) {
+	clk := &manualClock{}
+	tr := New(Options{Clock: clk.Now})
+	sp := tr.Start("sim-1")
+	sp.Observe(StageQueueWait, 4*time.Millisecond)
+	sp.Observe(StageEncoderForward, time.Millisecond)
+	// Simulator computes end-to-end in virtual time independently.
+	sp.FinishTotal(5 * time.Millisecond)
+	total := tr.TotalSnapshot()
+	if total.Count != 1 || total.Max != 5*time.Millisecond {
+		t.Fatalf("total = %+v", total)
+	}
+}
