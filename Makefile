@@ -32,13 +32,14 @@ race:
 
 # The merge gate (also run by CI): build + vet + full suite, plus the race
 # detector on the packages with real concurrency — the cluster lifecycle
-# (drain/scale/rolling-update/supervisor), the server's admission control
-# and the load generator.
+# (drain/scale/rolling-update/supervisor), the server's admission control,
+# the load generator, and the scatter-gather retrieval tier (goroutine
+# fan-out, hedged sub-requests, partial top-k merge).
 check:
 	go build ./...
 	go vet ./...
 	go test ./...
-	go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics
+	go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk
 
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.
@@ -52,7 +53,7 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown|shard
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
@@ -63,6 +64,11 @@ run_deployed_benchmark:
 # prints the per-stage latency table (queue-wait, admission, batch-assembly,
 # embedding-lookup, encoder-forward, mips-topk, serialize) per model and
 # catalog size, reconciling the stage sum against the end-to-end latency.
+# EXPERIMENT=shard sweeps the catalog-sharded scatter-gather tier over
+# S ∈ {1,2,4,8}: verifies the sharded top-k is bit-identical to unsharded,
+# reports the p50 MIPS-latency speedup per shard count on large catalogs,
+# compares p99 with/without tail-latency hedging under a 10×-slow shard,
+# and prints the sharded deployment options from the cost model.
 benchmark:
 	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE)
 

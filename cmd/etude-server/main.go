@@ -33,6 +33,7 @@ func main() {
 		jit       = flag.Bool("jit", true, "serve the JIT-compiled execution plan")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		batch     = flag.Bool("batch", false, "enable request batching (1024 / 2ms)")
+		shards    = flag.Int("shards", 0, "catalog shards for in-process scatter-gather retrieval (0/1 = unsharded)")
 		static    = flag.Bool("static", false, "serve empty responses without a model")
 		traced    = flag.Bool("trace", false, "record per-stage latency histograms (exposed at /metrics)")
 		profiled  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -42,7 +43,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *batch, *static, *traced, *profiled, *bucketDir, *key)
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *batch, *static, *traced, *profiled, *bucketDir, *key)
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
@@ -59,8 +60,8 @@ func main() {
 	}
 }
 
-func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers int, batch, static, traced, profiled bool, bucketDir, key string) (*server.Server, error) {
-	opts := server.Options{Workers: workers, JIT: jit, Profiling: profiled}
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards int, batch, static, traced, profiled bool, bucketDir, key string) (*server.Server, error) {
+	opts := server.Options{Workers: workers, JIT: jit, Shards: shards, Profiling: profiled}
 	if traced {
 		opts.Tracer = trace.New(trace.Options{})
 	}

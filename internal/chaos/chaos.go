@@ -168,3 +168,15 @@ func Catalog(runLen time.Duration, pods int) []Scenario {
 		}},
 	}
 }
+
+// SlowShard returns the scatter-gather straggler scenario: one shard
+// worker's service times are multiplied by factor for the whole run. In a
+// sharded fleet (shard.SimFleet's flat pod order: shard s, replica r at
+// s·replicas+r) every request fans out to all shards, so a single slow
+// worker drags the whole fleet's tail — the fault class tail-latency
+// hedging exists to absorb.
+func SlowShard(runLen time.Duration, pod int, factor float64) Scenario {
+	return Scenario{Name: "slow-shard", Seed: 1, Faults: []Fault{
+		{Kind: FaultSlowPod, At: 0, Duration: runLen, Pod: pod, Factor: factor},
+	}}
+}

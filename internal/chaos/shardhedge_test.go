@@ -1,0 +1,115 @@
+package chaos_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"etude/internal/chaos"
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/shard"
+	"etude/internal/sim"
+)
+
+// runShardArm drives one arm of the slow-shard experiment: a 4-shard,
+// 2-replica simulated fleet under a large catalog, with one shard worker
+// optionally slowed 10× for the whole run. Arrivals are spaced far enough
+// apart that queueing never builds up, so the latency distribution isolates
+// the straggler effect hedging is meant to absorb.
+func runShardArm(t *testing.T, sc *chaos.Scenario, hedge bool) ([]time.Duration, *shard.SimFleet) {
+	t.Helper()
+	eng := sim.NewEngine()
+	f, err := shard.NewSimFleet(eng, shard.SimConfig{
+		Device:   device.CPU(),
+		Model:    "gru4rec",
+		ModelCfg: model.Config{CatalogSize: 1_000_000},
+		Shards:   4,
+		Replicas: 2,
+		Hedge:    shard.HedgeConfig{Enabled: hedge},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != nil {
+		if err := chaos.NewInjector(*sc).Arm(eng, f.Instances()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n, gap = 300, 80 * time.Millisecond
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		eng.Schedule(time.Duration(i)*gap, func() {
+			f.Submit(40, func(o sim.Outcome) {
+				if o.Err != nil {
+					t.Errorf("request failed: %v", o.Err)
+					return
+				}
+				lats = append(lats, o.Latency)
+			})
+		})
+	}
+	eng.Drain()
+	if len(lats) != n {
+		t.Fatalf("completed %d/%d requests", len(lats), n)
+	}
+	return lats, f
+}
+
+func p99Of(lats []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(0.99*float64(len(s)-1))]
+}
+
+// The resilience claim of the scatter-gather tier: under a 10×-slow shard
+// worker, hedging recovers p99 to within 2× of the fault-free run, while
+// the unhedged fleet's p99 degrades well past that bound — every request
+// fans out to all shards, so without a backup the slow worker holds half
+// the traffic hostage for its full 10× service time.
+func TestSlowShardHedgingRecoversP99(t *testing.T) {
+	runLen := 300 * 80 * time.Millisecond
+	sc := chaos.SlowShard(runLen, 0, 10) // shard 0, replica 0 in flat pod order
+	if err := sc.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+
+	faultFree, _ := runShardArm(t, nil, false)
+	unhedged, _ := runShardArm(t, &sc, false)
+	hedged, hf := runShardArm(t, &sc, true)
+
+	// The adaptive hedge timer needs ~2·MinSamples requests of winning
+	// primaries before its p95 estimate replaces the conservative fallback
+	// delay; compare steady state, after the warm-up window.
+	const warm = 80
+	ffP99, unP99, hP99 := p99Of(faultFree[warm:]), p99Of(unhedged[warm:]), p99Of(hedged[warm:])
+	t.Logf("p99: fault-free=%v unhedged=%v hedged=%v (hedges sent=%d wins=%d cancelled=%d)",
+		ffP99, unP99, hP99, hf.Stats().Sent(), hf.Stats().Wins(), hf.Stats().Cancelled())
+
+	if hP99 > 2*ffP99 {
+		t.Fatalf("hedged p99 %v exceeds 2× fault-free p99 %v", hP99, ffP99)
+	}
+	if unP99 <= 2*ffP99 {
+		t.Fatalf("unhedged p99 %v did not degrade past 2× fault-free p99 %v — the fault is too mild to test recovery", unP99, ffP99)
+	}
+	if hP99 >= unP99 {
+		t.Fatalf("hedged p99 %v not below unhedged p99 %v", hP99, unP99)
+	}
+	if hf.Stats().Sent() == 0 || hf.Stats().Wins() == 0 {
+		t.Fatalf("hedging never engaged: sent=%d wins=%d", hf.Stats().Sent(), hf.Stats().Wins())
+	}
+}
+
+func TestSlowShardScenarioShape(t *testing.T) {
+	sc := chaos.SlowShard(time.Minute, 3, 10)
+	if sc.Name != "slow-shard" || len(sc.Faults) != 1 {
+		t.Fatalf("unexpected scenario %+v", sc)
+	}
+	f := sc.Faults[0]
+	if f.Kind != chaos.FaultSlowPod || f.Pod != 3 || f.Factor != 10 || f.At != 0 || f.Duration != time.Minute {
+		t.Fatalf("unexpected fault %+v", f)
+	}
+	if err := sc.Validate(2); err == nil {
+		t.Fatal("pod 3 must be rejected for a 2-pod fleet")
+	}
+}

@@ -177,6 +177,36 @@ func (b *Balancer) pick() *endpoint {
 	return nil
 }
 
+// PickURL returns the next routable endpoint's base URL without issuing a
+// request — "" when every breaker is open or the set is empty. It is the
+// routing hook for external scatter tiers (internal/shard's gateway) that
+// own their HTTP calls but still want per-pod circuit breaking; pair every
+// pick with a Report so the breaker sees the outcome.
+func (b *Balancer) PickURL() string {
+	ep := b.pick()
+	if ep == nil {
+		return ""
+	}
+	return ep.url
+}
+
+// Report feeds the outcome of an externally issued request back into the
+// endpoint's breaker (the counterpart of PickURL). Unknown URLs are
+// ignored — the endpoint may have been removed by an Update in between.
+func (b *Balancer) Report(url string, ok bool) {
+	for _, ep := range b.snapshot() {
+		if ep.url != url {
+			continue
+		}
+		if ok {
+			b.onSuccess(ep)
+		} else {
+			b.onFailure(ep)
+		}
+		return
+	}
+}
+
 func (b *Balancer) onSuccess(ep *endpoint) {
 	ep.mu.Lock()
 	ep.fails = 0

@@ -61,12 +61,18 @@ type Option struct {
 	// Feasible is false when no fleet size can satisfy the scenario (the
 	// instance cannot serve the model within the latency SLO at all).
 	Feasible bool
+	// Shards is the catalog shard count of a scatter-gather deployment
+	// (internal/shard); 1 (or 0) means an unsharded fleet.
+	Shards int
 }
 
 // String renders the option as in Table I rows.
 func (o Option) String() string {
 	if !o.Feasible {
 		return fmt.Sprintf("%s: infeasible", o.Instance)
+	}
+	if o.Shards > 1 {
+		return fmt.Sprintf("%s ×%d, %d-way sharded ($%.0f/month)", o.Instance, o.Count, o.Shards, o.MonthlyUSD)
 	}
 	return fmt.Sprintf("%s ×%d ($%.0f/month)", o.Instance, o.Count, o.MonthlyUSD)
 }
@@ -89,6 +95,29 @@ func Plan(spec device.Spec, capacityPerInstance float64, sc Scenario) Option {
 		MonthlyUSD: float64(count) * spec.MonthlyCostUSD,
 		Feasible:   true,
 	}
+}
+
+// PlanSharded sizes a catalog-sharded scatter-gather fleet: the catalog is
+// split into `shards` partitions, every request fans out to one worker per
+// partition, so the fleet needs shards × ceil(rate / perShardCapacity)
+// instances. capacityPerShardInstance is one shard worker's sustainable
+// throughput under the SLO — higher than an unsharded instance's, because
+// each worker scans only C/S catalog rows. Sharding pays when the latency
+// win (the dominant MIPS term divides by S) is worth the fan-out in
+// instance count; on huge catalogs it is also the only way an instance type
+// becomes feasible at all under the SLO.
+func PlanSharded(spec device.Spec, capacityPerShardInstance float64, sc Scenario, shards int) Option {
+	if shards < 1 {
+		shards = 1
+	}
+	o := Plan(spec, capacityPerShardInstance, sc)
+	o.Shards = shards
+	if !o.Feasible {
+		return o
+	}
+	o.Count *= shards
+	o.MonthlyUSD = float64(o.Count) * spec.MonthlyCostUSD
+	return o
 }
 
 // Cheapest returns the lowest-cost feasible option, with ties broken by

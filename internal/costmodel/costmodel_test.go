@@ -50,6 +50,38 @@ func TestPlanSizing(t *testing.T) {
 	}
 }
 
+func TestPlanShardedSizing(t *testing.T) {
+	sc := Scenario{Name: "x", CatalogSize: 1_000_000, TargetRate: 1000}
+	// 4-way sharding: per-shard capacity 300 ⇒ ceil(1000/300) = 4 replicas
+	// per shard group ⇒ 16 instances total.
+	o := PlanSharded(device.CPU(), 300, sc, 4)
+	if !o.Feasible || o.Shards != 4 || o.Count != 16 {
+		t.Fatalf("PlanSharded = %+v", o)
+	}
+	if diff := o.MonthlyUSD - 16*108.09; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost = %v", o.MonthlyUSD)
+	}
+	// One shard degenerates to Plan with the shard count recorded.
+	one := PlanSharded(device.CPU(), 300, sc, 1)
+	plain := Plan(device.CPU(), 300, sc)
+	if one.Count != plain.Count || one.MonthlyUSD != plain.MonthlyUSD || one.Shards != 1 {
+		t.Fatalf("PlanSharded(1) = %+v, Plan = %+v", one, plain)
+	}
+	// Infeasible per-shard capacity stays infeasible, and renders as such.
+	inf := PlanSharded(device.CPU(), 0, sc, 4)
+	if inf.Feasible {
+		t.Fatalf("zero capacity must be infeasible: %+v", inf)
+	}
+	if s := inf.String(); s != "cpu: infeasible" {
+		t.Fatalf("infeasible sharded rendering: %q", s)
+	}
+	// Sharded rendering names the fan-out.
+	want := "cpu ×16, 4-way sharded ($1729/month)"
+	if s := PlanSharded(device.CPU(), 300, sc, 4).String(); s != want {
+		t.Fatalf("sharded rendering = %q, want %q", s, want)
+	}
+}
+
 func TestCheapestPrefersLowCost(t *testing.T) {
 	options := []Option{
 		{Instance: "gpu-a100", Count: 2, MonthlyUSD: 4017.6, Feasible: true},

@@ -551,6 +551,84 @@ func TestChaosComparison(t *testing.T) {
 	}
 }
 
+func TestShardStudy(t *testing.T) {
+	cfg := DefaultShardConfig()
+	// Downscale for test time: the shape — exactness, monotone speedup,
+	// hedging recovery — is scale-invariant.
+	cfg.Catalogs = []int{100_000, 1_000_000}
+	cfg.Requests = 150
+	cfg.Gap = 60 * time.Millisecond
+	cfg.LiveSessions = 10
+	res, err := Shard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Identity) != len(cfg.ShardCounts) {
+		t.Fatalf("want %d identity rows, got %d", len(cfg.ShardCounts), len(res.Identity))
+	}
+	for _, row := range res.Identity {
+		if !row.Identical {
+			t.Errorf("S=%d: sharded top-k diverged from unsharded", row.Shards)
+		}
+	}
+	if len(res.Sweep) != len(cfg.Catalogs)*len(cfg.ShardCounts) {
+		t.Fatalf("want %d sweep rows, got %d", len(cfg.Catalogs)*len(cfg.ShardCounts), len(res.Sweep))
+	}
+	// The acceptance criterion: on the largest catalog, p50 scatter→gather
+	// wait improves monotonically with the shard count.
+	largest := cfg.Catalogs[len(cfg.Catalogs)-1]
+	prev := time.Duration(1 << 62)
+	for _, row := range res.Sweep {
+		if row.Catalog != largest {
+			continue
+		}
+		if row.Wait.P50 <= 0 || row.Wait.P50 >= prev {
+			t.Errorf("C=%d S=%d: p50 wait %v not below previous %v", row.Catalog, row.Shards, row.Wait.P50, prev)
+		}
+		prev = row.Wait.P50
+		if row.Shards == 1 && row.Speedup != 1 {
+			t.Errorf("S=1 speedup = %.2f, want 1.00", row.Speedup)
+		}
+		if row.Shards > 1 && row.Speedup <= 1 {
+			t.Errorf("S=%d speedup = %.2f, want > 1", row.Shards, row.Speedup)
+		}
+	}
+	if len(res.Hedge) != 3 {
+		t.Fatalf("want 3 hedging arms, got %d", len(res.Hedge))
+	}
+	byArm := map[string]ShardHedgeRow{}
+	for _, row := range res.Hedge {
+		byArm[row.Arm] = row
+	}
+	hedged, unhedged := byArm["slow-shard hedged"], byArm["slow-shard unhedged"]
+	if hedged.Latency.P99 >= unhedged.Latency.P99 {
+		t.Errorf("hedged p99 %v not below unhedged %v", hedged.Latency.P99, unhedged.Latency.P99)
+	}
+	if hedged.Sent == 0 || hedged.Wins == 0 {
+		t.Errorf("hedging never engaged: %+v", hedged)
+	}
+	if unhedged.Sent != 0 {
+		t.Errorf("unhedged arm sent %d hedges", unhedged.Sent)
+	}
+	if len(res.Costs) != len(cfg.ShardCounts) {
+		t.Fatalf("want %d cost rows, got %d", len(cfg.ShardCounts), len(res.Costs))
+	}
+	for _, row := range res.Costs {
+		if !row.Option.Feasible {
+			t.Errorf("S=%d: expected a feasible CPU option at C=%d", row.Shards, largest)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"IDENTICAL", "speedup", "slow-shard hedged", "deployment options"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if _, err := Shard(ShardConfig{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}
+
 func TestRolling(t *testing.T) {
 	cfg := DefaultRollingConfig()
 	// Small scale: 2 replicas, short run, the operation firing early enough

@@ -1,0 +1,24 @@
+package knn
+
+import (
+	"strings"
+	"testing"
+
+	"etude/internal/server"
+	"etude/internal/shard"
+)
+
+// TestShardingDoesNotApply pins the design boundary with internal/shard:
+// VS-kNN has no catalog-proportional scan to split, so it does not
+// implement model.Encoder and both sharded serving modes must reject it
+// rather than silently serving unsharded.
+func TestShardingDoesNotApply(t *testing.T) {
+	m := trainedIndex(t)
+	if _, err := server.New(m, server.Options{Shards: 2}); err == nil || !strings.Contains(err.Error(), "encoder") {
+		t.Fatalf("Shards with a non-encoder model: got err %v, want encoder rejection", err)
+	}
+	part := shard.Partition{Index: 0, From: 0, To: 50}
+	if _, err := server.New(m, server.Options{Partition: &part}); err == nil || !strings.Contains(err.Error(), "encoder") {
+		t.Fatalf("Partition with a non-encoder model: got err %v, want encoder rejection", err)
+	}
+}

@@ -11,6 +11,13 @@
 // neighbours — no O(C·d) catalog scan. That is exactly why it undercuts
 // neural serving costs at platform-scale catalogs (see
 // BenchmarkNonNeuralBaseline).
+//
+// For the same reason the catalog-sharded retrieval tier (internal/shard)
+// does not apply here: there is no catalog-proportional scan to split, so
+// VSKNN does not implement model.Encoder and server.Options.Shards rejects
+// it (see TestShardingDoesNotApply). Sharding and the non-neural baseline
+// are two different answers to the same O(C·(d+log k)) bottleneck — divide
+// the scan, or avoid it entirely.
 package knn
 
 import (

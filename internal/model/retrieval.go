@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"time"
 
 	"etude/internal/tensor"
 	"etude/internal/topk"
@@ -78,4 +79,22 @@ func (m *retrievalModel) Recommend(session []int64) []topk.Result {
 		return nil
 	}
 	return recs
+}
+
+// RecommendStaged implements StagedRecommender: the encoder and the
+// substituted retrieval stage are measured separately, so a pod serving a
+// catalog shard (internal/shard's PartitionModel) still reports the
+// encoder-forward vs mips-topk split instead of one opaque blob.
+func (m *retrievalModel) RecommendStaged(session []int64, now func() time.Duration) ([]topk.Result, StageTimings) {
+	var tm StageTimings
+	t0 := now()
+	rep := m.enc.Encode(session)
+	t1 := now()
+	tm.Encoder = t1 - t0
+	recs, err := m.retriever.Retrieve(rep, m.enc.Config().TopK)
+	tm.TopK = now() - t1
+	if err != nil {
+		return nil, tm
+	}
+	return recs, tm
 }

@@ -12,7 +12,8 @@
 //
 // Observability: an optional trace.Tracer decomposes each request into
 // pipeline stages (admission, queue wait, batch assembly, embedding lookup,
-// encoder forward, MIPS top-k, serialize); /metrics exposes the stage and
+// encoder forward, MIPS top-k — or shard scatter/wait/merge when sharded
+// retrieval is enabled — serialize); /metrics exposes the stage and
 // end-to-end distributions plus outcome counters in Prometheus text format,
 // and Options.Profiling mounts net/http/pprof. With no tracer configured
 // the instrumentation costs one nil check per stage (see
@@ -34,6 +35,7 @@ import (
 	"etude/internal/metrics"
 	"etude/internal/model"
 	"etude/internal/objstore"
+	"etude/internal/shard"
 	"etude/internal/topk"
 	"etude/internal/trace"
 )
@@ -69,8 +71,24 @@ type Options struct {
 	Profiling bool
 	// MetricsExtra, when non-nil, is invoked while rendering /metrics so
 	// surrounding infrastructure (e.g. the cluster balancer's breaker
-	// state) can append its own families to the exposition.
+	// state, a shard gateway's hedge counters) can append its own families
+	// to the exposition.
 	MetricsExtra func(*metrics.PromBuilder)
+	// Shards, when greater than 1, serves retrieval through the in-process
+	// scatter-gather tier (internal/shard): the catalog embedding matrix
+	// is partitioned into Shards contiguous shards, each request's session
+	// representation is scored by one goroutine per shard, and the partial
+	// top-k lists are merged into the exact global top-k — bit-identical
+	// to unsharded serving. Requires a model exposing the encoder/MIPS
+	// decomposition (model.Encoder); the pool executes eagerly, so JIT is
+	// ignored on this path. Mutually exclusive with Partition.
+	Shards int
+	// Partition, when non-nil, makes this server one shard worker of a
+	// cross-pod scatter-gather fleet: the full encoder runs, but the MIPS
+	// stage scans only the partition's catalog rows (item ids stay
+	// global), and responses carry the partial top-k for a shard.Gateway
+	// to merge. Mutually exclusive with Shards.
+	Partition *shard.Partition
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +144,10 @@ type Server struct {
 	// fallback is the precomputed popularity-style response served while
 	// degraded (nil in static mode).
 	fallback []topk.Result
+	// shardPool and shardEnc are set when Options.Shards > 1: the in-process
+	// scatter-gather tier and the encoder whose catalog it partitions.
+	shardPool *shard.Pool
+	shardEnc  model.Encoder
 	// JITActive reports whether compiled plans are actually in use (false
 	// when the model refused compilation).
 	JITActive bool
@@ -138,7 +160,33 @@ func New(m model.Model, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: nil model")
 	}
 	opts = opts.withDefaults()
+	if opts.Shards > 1 && opts.Partition != nil {
+		return nil, fmt.Errorf("server: Shards and Partition are mutually exclusive")
+	}
+	if opts.Partition != nil {
+		enc, ok := m.(model.Encoder)
+		if !ok {
+			return nil, fmt.Errorf("server: model %s does not expose the encoder/MIPS decomposition needed for partition serving", m.Name())
+		}
+		pm, err := shard.PartitionModel(enc, *opts.Partition)
+		if err != nil {
+			return nil, err
+		}
+		m = pm
+	}
 	s := &Server{opts: opts, mdl: m, tracer: opts.Tracer, pool: make(chan predictor, opts.Workers)}
+	if opts.Shards > 1 {
+		enc, ok := m.(model.Encoder)
+		if !ok {
+			return nil, fmt.Errorf("server: model %s does not expose the encoder/MIPS decomposition needed for sharded retrieval", m.Name())
+		}
+		pool, err := shard.NewPool(enc.ItemEmbeddings(), opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		s.shardPool = pool
+		s.shardEnc = enc
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.pool <- s.newPredictor()
 	}
@@ -219,6 +267,22 @@ func LoadFromBucket(b objstore.Bucket, key string, opts Options) (*Server, error
 }
 
 func (s *Server) newPredictor() predictor {
+	if s.shardPool != nil {
+		// Sharded retrieval: encode on the worker, scatter the representation
+		// across the pool's shard goroutines, merge the exact global top-k.
+		// The pool executes eagerly (compiled plans fuse encoder and scoring,
+		// which a scatter cannot split), so JIT is ignored here.
+		enc, pool, k := s.shardEnc, s.shardPool, s.shardEnc.Config().TopK
+		return func(session []int64, sp *trace.Span) []topk.Result {
+			if sp == nil {
+				return pool.TopK(enc.Encode(session), k)
+			}
+			t0 := sp.Now()
+			rep := enc.Encode(session)
+			sp.ObserveSince(trace.StageEncoderForward, t0)
+			return pool.TopKSpan(rep, k, sp)
+		}
+	}
 	if s.opts.JIT {
 		if jc, ok := s.mdl.(model.JITCompilable); ok {
 			s.JITActive = true
@@ -339,6 +403,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		drain = 1
 	}
 	b.Gauge("etude_draining", "1 while the server is draining (readiness failing).", drain)
+	if s.shardPool != nil {
+		b.Gauge("etude_shards", "In-process retrieval shard count.", float64(s.shardPool.Shards()))
+	}
 	if tr := s.tracer; tr != nil {
 		if total := tr.TotalSnapshot(); total.Count > 0 {
 			b.Summary("etude_request_seconds", "End-to-end request latency.", total)

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/shard"
+	"etude/internal/trace"
+)
+
+// Sharded serving must be invisible to clients: the scatter-gather path
+// returns the same items, scores and order as the plain model.
+func TestShardedServerMatchesUnsharded(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 2_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, Options{Workers: 2, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, session := range [][]int64{{1}, {7, 900, 1999}, {3, 3, 250, 42}} {
+		resp, out := predict(t, ts, httpapi.PredictRequest{SessionID: 1, Items: session})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		want := m.Recommend(session)
+		if len(out.Items) != len(want) {
+			t.Fatalf("session %v: %d items, want %d", session, len(out.Items), len(want))
+		}
+		for i, rec := range want {
+			if out.Items[i] != rec.Item || out.Scores[i] != rec.Score {
+				t.Fatalf("session %v item %d: (%d, %v), want (%d, %v)",
+					session, i, out.Items[i], out.Scores[i], rec.Item, rec.Score)
+			}
+		}
+	}
+}
+
+// The sharded path's stages — scatter, wait, merge — and the hedge counters
+// must round-trip through the /metrics exposition.
+func TestShardedMetricsParseBack(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 2_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs shard.HedgeStats
+	hs.RecordSent()
+	hs.RecordSent()
+	hs.RecordWin()
+	hs.RecordCancelled()
+	tr := trace.New(trace.Options{})
+	s, err := New(m, Options{Workers: 2, Shards: 4, Tracer: tr, MetricsExtra: hs.WriteMetrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		resp := predictWithID(t, ts, "", httpapi.PredictRequest{Items: []int64{1, 2, 3}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + httpapi.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	samples, err := metrics.ParsePromText(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse back: %v", err)
+	}
+	byKey := map[string]float64{}
+	for _, smp := range samples {
+		byKey[smp.Key()] = smp.Value
+	}
+	for _, stage := range []string{"encoder-forward", "shard-scatter", "shard-wait", "shard-merge", "serialize"} {
+		key := `etude_stage_seconds_count{stage="` + stage + `"}`
+		if byKey[key] != n {
+			t.Fatalf("stage %s count = %v, want %d (keys: %v)", stage, byKey[key], n, keysOf(byKey))
+		}
+	}
+	if byKey["etude_shards"] != 4 {
+		t.Fatalf("etude_shards = %v, want 4", byKey["etude_shards"])
+	}
+	if byKey["etude_hedges_sent_total"] != 2 || byKey["etude_hedge_wins_total"] != 1 ||
+		byKey["etude_hedge_cancelled_total"] != 1 {
+		t.Fatalf("hedge counters = %v/%v/%v, want 2/1/1",
+			byKey["etude_hedges_sent_total"], byKey["etude_hedge_wins_total"], byKey["etude_hedge_cancelled_total"])
+	}
+}
+
+func TestShardOptionsValidation(t *testing.T) {
+	m, _ := model.New("gru4rec", model.Config{CatalogSize: 100, Seed: 1})
+	part := shard.Partition{Index: 0, From: 0, To: 50}
+	if _, err := New(m, Options{Shards: 2, Partition: &part}); err == nil {
+		t.Fatal("Shards and Partition together must be rejected")
+	}
+	// RepeatNet mixes a session-local repeat distribution into its scores —
+	// no encoder/MIPS decomposition, so it can neither shard nor partition.
+	rn, err := model.New("repeatnet", model.Config{CatalogSize: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(rn, Options{Shards: 2}); err == nil {
+		t.Fatal("sharding a non-Encoder model must be rejected")
+	}
+	if _, err := New(rn, Options{Partition: &part}); err == nil {
+		t.Fatal("partitioning a non-Encoder model must be rejected")
+	}
+}
+
+// A partition pod serves the full encoder but only its catalog rows: its
+// responses are exactly the partition-local slice of the global results.
+func TestPartitionServerServesPartialTopK(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 1_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.(model.Encoder)
+	part := shard.Partition{Index: 1, From: 500, To: 1_000}
+	s, err := New(m, Options{Workers: 1, Partition: &part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	session := []int64{12, 600, 999}
+	resp, out := predict(t, ts, httpapi.PredictRequest{SessionID: 1, Items: session})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	r, err := shard.PartitionRetriever(enc, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.Retrieve(enc.Encode(session), enc.Config().TopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, len(out.Items))
+	copy(got, out.Items)
+	wantItems := make([]int64, len(want))
+	for i, rec := range want {
+		wantItems[i] = rec.Item
+		if rec.Item < int64(part.From) || rec.Item >= int64(part.To) {
+			t.Fatalf("partition result %d outside [%d, %d)", rec.Item, part.From, part.To)
+		}
+	}
+	if !reflect.DeepEqual(got, wantItems) {
+		t.Fatalf("partition pod items = %v, want %v", got, wantItems)
+	}
+}

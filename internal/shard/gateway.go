@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+	"etude/internal/topk"
+	"etude/internal/trace"
+)
+
+// Picker routes one shard group's sub-requests across that group's replica
+// pods and accepts outcome feedback for its health state.
+// *cluster.Balancer implements it, so a gateway fans out through the same
+// per-pod circuit breakers ordinary traffic uses.
+type Picker interface {
+	// PickURL returns the next routable replica base URL, or "" when none
+	// is (every breaker open, or the set empty).
+	PickURL() string
+	// Report feeds the outcome of a request to url back into its breaker.
+	Report(url string, ok bool)
+}
+
+// GatewayConfig tunes the cross-pod scatter-gather frontend.
+type GatewayConfig struct {
+	// K is the number of recommendations requested per shard and returned
+	// after the merge (default model.DefaultTopK via the zero check: 21 is
+	// not imported here to keep the dependency surface small, so callers
+	// normally set it from their model's Config().TopK; 0 defaults to 21).
+	K int
+	// Hedge configures tail-latency hedging of shard sub-requests.
+	Hedge HedgeConfig
+	// Timeout bounds each sub-request attempt (default 1s).
+	Timeout time.Duration
+	// Transport overrides the HTTP transport (tests; nil uses the default).
+	Transport http.RoundTripper
+}
+
+// Gateway is the cross-pod scatter-gather frontend of a sharded fleet: one
+// Picker per shard group. Predict scatters the request to every shard,
+// optionally hedges stragglers with a backup sub-request to another
+// replica of the same shard (first response wins, loser cancelled via its
+// context), and merges the partial top-k lists into the exact global
+// top-k. Exactness requires every shard to answer: a shard whose every
+// attempt fails fails the whole request.
+type Gateway struct {
+	shards []Picker
+	cfg    GatewayConfig
+	client *http.Client
+	timer  *hedgeTimer
+	stats  HedgeStats
+	tracer *trace.Tracer
+}
+
+// NewGateway builds a gateway over one Picker per shard group.
+func NewGateway(shards []Picker, cfg GatewayConfig) (*Gateway, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: gateway needs at least one shard group")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 21
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	return &Gateway{
+		shards: shards,
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport},
+		timer:  newHedgeTimer(cfg.Hedge),
+	}, nil
+}
+
+// SetTracer attaches a stage tracer recording shard-scatter, shard-wait
+// and shard-merge spans per request. Nil turns tracing off.
+func (g *Gateway) SetTracer(t *trace.Tracer) { g.tracer = t }
+
+// Stats returns the gateway's hedge counters.
+func (g *Gateway) Stats() *HedgeStats { return &g.stats }
+
+// WriteMetrics appends the hedge counters to a Prometheus exposition.
+func (g *Gateway) WriteMetrics(pb *metrics.PromBuilder) { g.stats.WriteMetrics(pb) }
+
+// Predict scatters the request to every shard group, gathers the partial
+// top-k lists and merges them into the exact global top-k.
+func (g *Gateway) Predict(ctx context.Context, req httpapi.PredictRequest) ([]topk.Result, error) {
+	sp := g.tracer.Start(req.RequestID)
+	scatterStart := sp.Now()
+	type shardResult struct {
+		idx  int
+		recs []topk.Result
+		err  error
+	}
+	results := make(chan shardResult, len(g.shards))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := range g.shards {
+		go func(i int) {
+			recs, err := g.fetchShard(ctx, i, req)
+			results <- shardResult{idx: i, recs: recs, err: err}
+		}(i)
+	}
+	sp.ObserveSince(trace.StageShardScatter, scatterStart)
+	waitStart := sp.Now()
+	partials := make([][]topk.Result, len(g.shards))
+	var firstErr error
+	for range g.shards {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", r.idx, r.err)
+			cancel() // the other shards' work is moot
+		}
+		partials[r.idx] = r.recs
+	}
+	sp.ObserveSince(trace.StageShardWait, waitStart)
+	if firstErr != nil {
+		sp.Discard()
+		return nil, firstErr
+	}
+	mergeStart := sp.Now()
+	out := topk.MergePartial(partials, g.cfg.K)
+	sp.ObserveSince(trace.StageShardMerge, mergeStart)
+	sp.Finish()
+	return out, nil
+}
+
+// attempt is one sub-request's terminal state.
+type attempt struct {
+	recs   []topk.Result
+	err    error
+	backup bool
+}
+
+// fetchShard resolves one shard's partial top-k: a primary attempt, plus —
+// when hedging is on and the primary outlives the hedge delay — one backup
+// to another replica. First success wins and cancels the loser; the
+// request fails only when every launched attempt has failed.
+func (g *Gateway) fetchShard(ctx context.Context, shard int, req httpapi.PredictRequest) ([]topk.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the losing attempt the moment a winner returns
+	outcomes := make(chan attempt, 2)
+	launch := func(backup bool, avoid string) (string, bool) {
+		url := g.shards[shard].PickURL()
+		if url == "" {
+			return "", false
+		}
+		if backup && url == avoid {
+			// Round-robin may hand back the primary's replica; one re-pick
+			// is enough to land elsewhere in a ≥2-replica group.
+			if next := g.shards[shard].PickURL(); next != "" {
+				url = next
+			}
+		}
+		go func() {
+			start := time.Now()
+			recs, err := g.do(ctx, url, req)
+			if ctx.Err() == nil {
+				g.shards[shard].Report(url, err == nil)
+				if err == nil && !backup {
+					// Only winning primaries train the hedge delay: backups
+					// measure the hedge path and cancelled losers never
+					// finish, so anything else would drag the p95 upward.
+					g.timer.observe(time.Since(start))
+				}
+			}
+			outcomes <- attempt{recs: recs, err: err, backup: backup}
+		}()
+		return url, true
+	}
+	primaryURL, ok := launch(false, "")
+	if !ok {
+		return nil, &httpapi.StatusError{Code: http.StatusServiceUnavailable}
+	}
+	var hedgeC <-chan time.Time
+	if g.cfg.Hedge.Enabled {
+		timer := time.NewTimer(g.timer.delay())
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	outstanding := 1
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if _, ok := launch(true, primaryURL); ok {
+				g.stats.RecordSent()
+				outstanding++
+			}
+		case a := <-outcomes:
+			outstanding--
+			if a.err != nil {
+				if outstanding > 0 {
+					continue // the other attempt may still win
+				}
+				return nil, a.err
+			}
+			if outstanding > 0 {
+				g.stats.RecordCancelled() // the defer cancel() aborts the loser
+			}
+			if a.backup {
+				g.stats.RecordWin()
+			}
+			return a.recs, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// do issues one sub-request and parses the partial top-k out of the
+// response body — unlike loadgen's measurement client, the gateway needs
+// the items and scores, not just the status line.
+func (g *Gateway) do(ctx context.Context, baseURL string, req httpapi.PredictRequest) ([]topk.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
+	defer cancel()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+httpapi.PredictPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if req.RequestID != "" {
+		hreq.Header.Set(httpapi.HeaderRequestID, req.RequestID)
+	}
+	resp, err := g.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, &httpapi.StatusError{Code: resp.StatusCode}
+	}
+	var pr httpapi.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("shard: decoding sub-response: %w", err)
+	}
+	if len(pr.Items) != len(pr.Scores) {
+		return nil, fmt.Errorf("shard: sub-response items/scores length mismatch (%d vs %d)", len(pr.Items), len(pr.Scores))
+	}
+	recs := make([]topk.Result, len(pr.Items))
+	for i := range pr.Items {
+		recs[i] = topk.Result{Item: pr.Items[i], Score: pr.Scores[i]}
+	}
+	return recs, nil
+}

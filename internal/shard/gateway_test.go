@@ -1,0 +1,152 @@
+package shard_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"etude/internal/cluster"
+	"etude/internal/httpapi"
+	"etude/internal/model"
+	"etude/internal/server"
+	"etude/internal/shard"
+)
+
+// newPartitionPod deploys one shard worker: a full server whose MIPS stage
+// scans only the partition's catalog rows.
+func newPartitionPod(t *testing.T, m model.Model, part shard.Partition) *httptest.Server {
+	t.Helper()
+	s, err := server.New(m, server.Options{Workers: 2, Partition: &part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts
+}
+
+// The cross-pod tier's correctness property: scattering through real HTTP
+// pods (JSON round-trip included) and merging reproduces the unsharded
+// model bit for bit.
+func TestGatewayMatchesUnshardedModel(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 2_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := shard.Plan(2_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pickers := make([]shard.Picker, len(parts))
+	for i, part := range parts {
+		pod := newPartitionPod(t, m, part)
+		b := cluster.NewBalancer([]string{pod.URL}, cluster.BalancerConfig{})
+		t.Cleanup(b.Close)
+		pickers[i] = b
+	}
+	gw, err := shard.NewGateway(pickers, shard.GatewayConfig{K: m.Config().TopK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, session := range [][]int64{{1}, {5, 900, 1999}, {42, 42, 42, 17}, {1500, 3, 77, 256, 1024}} {
+		want := m.Recommend(session)
+		got, err := gw.Predict(context.Background(), httpapi.PredictRequest{SessionID: 1, Items: session})
+		if err != nil {
+			t.Fatalf("Predict(%v): %v", session, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("session %v: gateway top-k diverged\n got %v\nwant %v", session, got, want)
+		}
+	}
+}
+
+// scriptedPicker hands out URLs in a fixed order — a deterministic stand-in
+// for the balancer's round-robin, so a test can force the primary onto a
+// chosen replica.
+type scriptedPicker struct {
+	mu   sync.Mutex
+	urls []string
+	i    int
+}
+
+func (p *scriptedPicker) PickURL() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.urls) == 0 {
+		return ""
+	}
+	url := p.urls[p.i%len(p.urls)]
+	p.i++
+	return url
+}
+
+func (p *scriptedPicker) Report(string, bool) {}
+
+func TestGatewayHedgesSlowReplica(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := shard.Partition{Index: 0, From: 0, To: 500}
+	fast := newPartitionPod(t, m, full)
+	// The slow replica answers correctly, eventually — long after the hedge
+	// deadline, so the backup must win and the merge must not wait for it.
+	slowSrv, err := server.New(m, server.Options{Workers: 2, Partition: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowHandler := slowSrv.Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		slowHandler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { slow.Close(); slowSrv.Close() })
+
+	picker := &scriptedPicker{urls: []string{slow.URL, fast.URL}}
+	gw, err := shard.NewGateway([]shard.Picker{picker}, shard.GatewayConfig{
+		K:     m.Config().TopK,
+		Hedge: shard.HedgeConfig{Enabled: true, Delay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := []int64{7, 31, 499}
+	start := time.Now()
+	got, err := gw.Predict(context.Background(), httpapi.PredictRequest{SessionID: 2, Items: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedged request took %v: waited for the slow primary", elapsed)
+	}
+	if want := m.Recommend(session); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hedged result diverged\n got %v\nwant %v", got, want)
+	}
+	st := gw.Stats()
+	if st.Sent() != 1 || st.Wins() != 1 || st.Cancelled() != 1 {
+		t.Fatalf("hedge counters sent/wins/cancelled = %d/%d/%d, want 1/1/1",
+			st.Sent(), st.Wins(), st.Cancelled())
+	}
+}
+
+func TestGatewayFailsWhenShardUnavailable(t *testing.T) {
+	// Exactness over availability: a shard with no routable replica fails
+	// the whole request — a silently missing partition would return a
+	// plausible but wrong top-k.
+	m, _ := model.New("gru4rec", model.Config{CatalogSize: 100, Seed: 1})
+	ok := newPartitionPod(t, m, shard.Partition{Index: 0, From: 0, To: 50})
+	gw, err := shard.NewGateway([]shard.Picker{
+		&scriptedPicker{urls: []string{ok.URL}},
+		&scriptedPicker{}, // shard 1: every replica gone
+	}, shard.GatewayConfig{K: m.Config().TopK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Predict(context.Background(), httpapi.PredictRequest{SessionID: 3, Items: []int64{1}}); err == nil {
+		t.Fatal("expected the scatter to fail with shard 1 unavailable")
+	}
+}

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+
+	"etude/internal/metrics"
+)
+
+// HedgeConfig configures tail-latency hedging of shard sub-requests: after
+// a delay, a backup sub-request is sent to another replica of the same
+// shard; the first response wins and the loser is cancelled (live) or its
+// response discarded (sim — an in-flight catalog scan cannot be aborted,
+// so cancellation saves queue wait, not service).
+type HedgeConfig struct {
+	// Enabled turns hedging on. Off, a slow shard replica holds the whole
+	// scatter hostage — the straggler problem hedging exists to solve.
+	Enabled bool
+	// Delay is a fixed hedge delay. Zero selects the adaptive delay: the
+	// p95 of observed winning-primary sub-request latencies, the classic
+	// "defer to the 95th percentile" policy that bounds the extra load at
+	// a few percent of requests.
+	Delay time.Duration
+	// MinSamples is how many latencies the adaptive tracker needs before
+	// trusting its p95 (default 32); until then FallbackDelay applies.
+	MinSamples int
+	// FallbackDelay is the hedge delay used before the adaptive tracker
+	// warms up (default 2ms; sharded tiers that know their expected
+	// per-shard service time should set it relative to that).
+	FallbackDelay time.Duration
+}
+
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.FallbackDelay <= 0 {
+		c.FallbackDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// HedgeStats counts hedging outcomes. All methods are safe for concurrent
+// use.
+type HedgeStats struct {
+	sent      atomic.Int64
+	wins      atomic.Int64
+	cancelled atomic.Int64
+}
+
+// RecordSent notes one backup sub-request issued.
+func (h *HedgeStats) RecordSent() { h.sent.Add(1) }
+
+// RecordWin notes one backup that answered before its primary.
+func (h *HedgeStats) RecordWin() { h.wins.Add(1) }
+
+// RecordCancelled notes one losing sub-request cancelled (or its late
+// response discarded) after the winner answered.
+func (h *HedgeStats) RecordCancelled() { h.cancelled.Add(1) }
+
+// Sent returns how many backup sub-requests were issued.
+func (h *HedgeStats) Sent() int64 { return h.sent.Load() }
+
+// Wins returns how many backups answered first.
+func (h *HedgeStats) Wins() int64 { return h.wins.Load() }
+
+// Cancelled returns how many losing sub-requests were cancelled.
+func (h *HedgeStats) Cancelled() int64 { return h.cancelled.Load() }
+
+// WriteMetrics appends the hedge counters to a Prometheus exposition —
+// plug it into server.Options.MetricsExtra or any PromBuilder scrape.
+func (h *HedgeStats) WriteMetrics(pb *metrics.PromBuilder) {
+	pb.Counter("etude_hedges_sent_total",
+		"Backup shard sub-requests issued after the hedge delay.", float64(h.Sent()))
+	pb.Counter("etude_hedge_wins_total",
+		"Hedged shard sub-requests where the backup answered first.", float64(h.Wins()))
+	pb.Counter("etude_hedge_cancelled_total",
+		"Losing shard sub-requests cancelled after the winner answered.", float64(h.Cancelled()))
+}
+
+// hedgeTimer answers "how long to wait before hedging" from the observed
+// sub-request latency distribution. Only winning primary attempts are
+// observed: a backup's latency measures the hedge path itself and a
+// cancelled loser never completes, so folding either in would let the
+// estimator chase its own hedges upward instead of tracking the healthy
+// service distribution.
+type hedgeTimer struct {
+	cfg  HedgeConfig
+	hist *metrics.Histogram
+}
+
+func newHedgeTimer(cfg HedgeConfig) *hedgeTimer {
+	return &hedgeTimer{cfg: cfg.withDefaults(), hist: metrics.NewHistogram()}
+}
+
+// observe records one winning primary sub-request latency.
+func (t *hedgeTimer) observe(d time.Duration) {
+	if t.cfg.Delay > 0 {
+		return // fixed delay: no tracking needed
+	}
+	t.hist.Record(d)
+}
+
+// delay returns the current hedge delay.
+func (t *hedgeTimer) delay() time.Duration {
+	if t.cfg.Delay > 0 {
+		return t.cfg.Delay
+	}
+	if t.hist.Count() < int64(t.cfg.MinSamples) {
+		return t.cfg.FallbackDelay
+	}
+	return t.hist.Quantile(0.95)
+}

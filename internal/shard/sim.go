@@ -1,0 +1,295 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/sim"
+	"etude/internal/trace"
+)
+
+// SimConfig configures a simulated scatter-gather fleet.
+type SimConfig struct {
+	// Device is the instance type of the shard workers.
+	Device device.Spec
+	// Model and ModelCfg define the deployment; per-shard service times are
+	// the model's cost table sliced by the shard count (SliceCost).
+	Model    string
+	ModelCfg model.Config
+	// Shards is S, the number of shard groups; every request fans out to
+	// all of them.
+	Shards int
+	// Replicas is the number of workers per shard group (≥2 gives hedging
+	// a backup to send to).
+	Replicas int
+	// JIT serves compiled execution plans on the workers.
+	JIT bool
+	// FlushEvery and MaxBatch configure the workers' batcher (GPU kinds;
+	// defaults 2ms and the device's MaxBatch).
+	FlushEvery time.Duration
+	// MaxBatch caps the worker batcher (0 = the device's MaxBatch).
+	MaxBatch int
+	// Hedge configures tail-latency hedging. When the adaptive delay is
+	// selected with no FallbackDelay, the fallback defaults to 2× the
+	// expected per-shard service time from the cost model.
+	Hedge HedgeConfig
+}
+
+// SimFleet mirrors the live scatter-gather tier on the discrete-event
+// engine: a frontend that pays the session-encoder service time once,
+// scatters to one worker per shard group (per-shard service time = the
+// sliced cost model), gathers the partial top-k completions, pays the
+// explicit merge cost, and completes the request — with the same hedging
+// semantics as the live gateway (backup to another replica after a
+// p95-based delay, first response wins, the loser's response is discarded
+// and counted as cancelled; an in-flight catalog scan cannot be aborted,
+// so the loser still occupies its worker).
+//
+// The frontend is modelled as dedicated capacity (pure delay): the queued
+// resources are the shard workers, which is where sharding and hedging
+// change the latency distribution. Workers are plain sim.Instances, so the
+// chaos injector can crash or slow them individually — Instances exposes
+// them in flat order (shard s, replica r at index s·Replicas+r).
+type SimFleet struct {
+	eng    *sim.Engine
+	cfg    SimConfig
+	groups [][]*sim.Instance
+	rr     []int
+
+	fullCosts []model.Cost // per session length; the encoder-time source
+	mergeTime time.Duration
+
+	timer    *hedgeTimer
+	stats    HedgeStats
+	waitHist *metrics.Histogram
+	tracer   *trace.Tracer
+}
+
+// NewSimFleet builds the simulated tier: Shards × Replicas workers, each
+// serving the per-shard slice of the model's cost table.
+func NewSimFleet(eng *sim.Engine, cfg SimConfig) (*SimFleet, error) {
+	if cfg.Shards < 1 || cfg.Replicas < 1 {
+		return nil, fmt.Errorf("shard: fleet needs at least 1 shard and 1 replica, got %d×%d", cfg.Shards, cfg.Replicas)
+	}
+	if cfg.ModelCfg.CatalogSize < cfg.Shards {
+		return nil, fmt.Errorf("shard: cannot split catalog of %d into %d shards", cfg.ModelCfg.CatalogSize, cfg.Shards)
+	}
+	if cfg.ModelCfg.MaxSessionLen == 0 {
+		cfg.ModelCfg.MaxSessionLen = 50
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = cfg.Device.MaxBatch
+	}
+	fullCosts := make([]model.Cost, cfg.ModelCfg.MaxSessionLen+1)
+	sliced := make([]model.Cost, len(fullCosts))
+	for l := 1; l < len(fullCosts); l++ {
+		c, err := model.EstimateCost(cfg.Model, cfg.ModelCfg, l)
+		if err != nil {
+			return nil, err
+		}
+		fullCosts[l] = c
+		sliced[l] = SliceCost(c, cfg.Shards)
+	}
+	if cfg.Hedge.Enabled && cfg.Hedge.Delay == 0 && cfg.Hedge.FallbackDelay == 0 {
+		cfg.Hedge.FallbackDelay = 2 * cfg.Device.ParallelInference(sliced[1], cfg.JIT)
+	}
+	k := cfg.ModelCfg.TopK
+	if k == 0 {
+		k = model.DefaultTopK
+	}
+	f := &SimFleet{
+		eng:       eng,
+		cfg:       cfg,
+		groups:    make([][]*sim.Instance, cfg.Shards),
+		rr:        make([]int, cfg.Shards),
+		fullCosts: fullCosts,
+		mergeTime: time.Duration(MergeOps(cfg.Shards, k) / cfg.Device.CoreFLOPs * float64(time.Second)),
+		timer:     newHedgeTimer(cfg.Hedge),
+		waitHist:  metrics.NewHistogram(),
+	}
+	for s := range f.groups {
+		f.groups[s] = make([]*sim.Instance, cfg.Replicas)
+		for r := range f.groups[s] {
+			in, err := sim.NewInstanceFromCosts(eng, cfg.Device, sliced, cfg.JIT, cfg.FlushEvery, cfg.MaxBatch)
+			if err != nil {
+				return nil, err
+			}
+			f.groups[s][r] = in
+		}
+	}
+	return f, nil
+}
+
+// Instances returns the workers in flat order — shard s, replica r at
+// index s·Replicas+r — the pod indexing chaos scenarios target.
+func (f *SimFleet) Instances() []*sim.Instance {
+	out := make([]*sim.Instance, 0, len(f.groups)*f.cfg.Replicas)
+	for _, g := range f.groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Stats returns the fleet's hedge counters.
+func (f *SimFleet) Stats() *HedgeStats { return &f.stats }
+
+// WaitSnapshot summarises the per-request scatter→gather wait — the
+// sharded MIPS portion of the request, the term that divides by S.
+func (f *SimFleet) WaitSnapshot() metrics.Snapshot { return f.waitHist.Snapshot() }
+
+// SetTracer attaches a stage tracer (build it with the engine's clock:
+// trace.New(trace.Options{Clock: eng.Now})). Spans record encoder-forward,
+// shard-wait and shard-merge in virtual time; scatter is instantaneous in
+// the simulator and therefore absent.
+func (f *SimFleet) SetTracer(t *trace.Tracer) { f.tracer = t }
+
+// encTime is the frontend's encoder service time for a session length —
+// the C-independent term the shard workers no longer pay.
+func (f *SimFleet) encTime(sessionLen int) time.Duration {
+	if sessionLen < 1 {
+		sessionLen = 1
+	}
+	if sessionLen >= len(f.fullCosts) {
+		sessionLen = len(f.fullCosts) - 1
+	}
+	c := f.fullCosts[sessionLen]
+	encOnly := model.Cost{Catalog: c.Catalog, Dim: c.Dim, EncoderFLOPs: c.EncoderFLOPs}
+	return f.cfg.Device.ParallelInference(encOnly, f.cfg.JIT)
+}
+
+// pickReplica round-robins within a shard group, avoiding `avoid` when the
+// group has an alternative (a backup must land on a different replica).
+// Backup picks do not advance the rotation — otherwise a hedged request
+// consumes two cursor steps and, in a two-replica group, every primary
+// lands on the same replica forever.
+func (f *SimFleet) pickReplica(s int, avoid *sim.Instance) *sim.Instance {
+	group := f.groups[s]
+	if avoid != nil {
+		for _, in := range group {
+			if in != avoid {
+				return in
+			}
+		}
+		return group[0]
+	}
+	in := group[f.rr[s]%len(group)]
+	f.rr[s]++
+	return in
+}
+
+// Submit runs one request through the tier; done fires exactly once with
+// the end-to-end outcome.
+func (f *SimFleet) Submit(sessionLen int, done func(sim.Outcome)) {
+	t0 := f.eng.Now()
+	sp := f.tracer.Start("")
+	enc := f.encTime(sessionLen)
+	f.eng.Schedule(enc, func() {
+		sp.Observe(trace.StageEncoderForward, enc)
+		st := &gatherState{
+			f:           f,
+			t0:          t0,
+			scatterAt:   f.eng.Now(),
+			sessionLen:  sessionLen,
+			done:        done,
+			sp:          sp,
+			remaining:   len(f.groups),
+			shardDone:   make([]bool, len(f.groups)),
+			outstanding: make([]int, len(f.groups)),
+			primary:     make([]*sim.Instance, len(f.groups)),
+		}
+		for s := range f.groups {
+			st.launch(s, false)
+			if st.failed {
+				return // a down shard group failed the request synchronously
+			}
+			if f.cfg.Hedge.Enabled && len(f.groups[s]) > 1 && !st.shardDone[s] {
+				st.armHedge(s)
+			}
+		}
+	})
+}
+
+// gatherState tracks one request's scatter across the shard groups.
+type gatherState struct {
+	f          *SimFleet
+	t0         time.Duration
+	scatterAt  time.Duration
+	sessionLen int
+	done       func(sim.Outcome)
+	sp         *trace.Span
+
+	remaining   int
+	failed      bool
+	shardDone   []bool
+	outstanding []int
+	primary     []*sim.Instance
+}
+
+func (st *gatherState) launch(s int, backup bool) {
+	var avoid *sim.Instance
+	if backup {
+		avoid = st.primary[s]
+	}
+	in := st.f.pickReplica(s, avoid)
+	if !backup {
+		st.primary[s] = in
+	}
+	st.outstanding[s]++
+	start := st.f.eng.Now()
+	in.SubmitOutcome(st.sessionLen, func(o sim.Outcome) { st.complete(s, backup, start, o) })
+}
+
+func (st *gatherState) armHedge(s int) {
+	f := st.f
+	f.eng.Schedule(f.timer.delay(), func() {
+		if st.failed || st.shardDone[s] {
+			return
+		}
+		f.stats.RecordSent()
+		st.launch(s, true)
+	})
+}
+
+func (st *gatherState) complete(s int, backup bool, start time.Duration, o sim.Outcome) {
+	f := st.f
+	if st.failed || st.shardDone[s] {
+		return // a discarded loser (already counted) or a lost cause
+	}
+	st.outstanding[s]--
+	if o.Err != nil {
+		if st.outstanding[s] > 0 {
+			return // the hedged twin may still answer
+		}
+		st.failed = true
+		st.sp.Discard()
+		st.sp = nil
+		st.done(sim.Outcome{Latency: f.eng.Now() - st.t0, Err: o.Err})
+		return
+	}
+	st.shardDone[s] = true
+	if backup {
+		f.stats.RecordWin()
+	} else {
+		// Only winning primaries train the hedge delay (see hedgeTimer).
+		f.timer.observe(f.eng.Now() - start)
+	}
+	for i := 0; i < st.outstanding[s]; i++ {
+		f.stats.RecordCancelled()
+	}
+	st.remaining--
+	if st.remaining > 0 {
+		return
+	}
+	wait := f.eng.Now() - st.scatterAt
+	f.waitHist.Record(wait)
+	st.sp.Observe(trace.StageShardWait, wait)
+	f.eng.Schedule(f.mergeTime, func() {
+		st.sp.Observe(trace.StageShardMerge, f.mergeTime)
+		total := f.eng.Now() - st.t0
+		st.sp.FinishTotal(total)
+		st.done(sim.Outcome{Latency: total})
+	})
+}

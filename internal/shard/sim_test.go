@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+	"etude/internal/sim"
+)
+
+func testSimConfig(shards, replicas int, hedge HedgeConfig) SimConfig {
+	return SimConfig{
+		Device:   device.CPU(),
+		Model:    "gru4rec",
+		ModelCfg: model.Config{CatalogSize: 1_000_000},
+		Shards:   shards,
+		Replicas: replicas,
+		Hedge:    hedge,
+	}
+}
+
+// runFleet drives n requests at fixed arrival spacing through a fresh
+// fleet, optionally slowing one worker, and returns the end-to-end
+// latencies of the successes plus the fleet for counter inspection.
+func runFleet(t *testing.T, cfg SimConfig, n int, gap time.Duration, slowPod int, slowFactor float64) ([]time.Duration, *SimFleet) {
+	t.Helper()
+	eng := sim.NewEngine()
+	f, err := NewSimFleet(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowFactor > 1 {
+		f.Instances()[slowPod].SetSlowdown(slowFactor)
+	}
+	var lats []time.Duration
+	for i := 0; i < n; i++ {
+		eng.Schedule(time.Duration(i)*gap, func() {
+			f.Submit(10, func(o sim.Outcome) {
+				if o.Err != nil {
+					t.Errorf("request failed: %v", o.Err)
+					return
+				}
+				lats = append(lats, o.Latency)
+			})
+		})
+	}
+	eng.Drain()
+	if len(lats) != n {
+		t.Fatalf("completed %d/%d requests", len(lats), n)
+	}
+	return lats, f
+}
+
+func percentile(lats []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+func TestSimFleetDeterministic(t *testing.T) {
+	a, _ := runFleet(t, testSimConfig(4, 2, HedgeConfig{Enabled: true}), 50, 30*time.Millisecond, 0, 10)
+	b, _ := runFleet(t, testSimConfig(4, 2, HedgeConfig{Enabled: true}), 50, 30*time.Millisecond, 0, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %v vs %v — virtual-time run not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+// The tentpole scaling property in the simulator: the scatter→gather wait
+// (the sharded MIPS portion) drops monotonically with the shard count.
+func TestSimFleetWaitDropsWithShards(t *testing.T) {
+	prev := time.Duration(1 << 62)
+	for _, s := range []int{1, 2, 4, 8} {
+		_, f := runFleet(t, testSimConfig(s, 1, HedgeConfig{}), 40, 50*time.Millisecond, 0, 1)
+		p50 := f.WaitSnapshot().P50
+		if p50 <= 0 || p50 >= prev {
+			t.Fatalf("S=%d: p50 shard wait %v not below previous %v", s, p50, prev)
+		}
+		prev = p50
+	}
+}
+
+func TestSimFleetHedgingBeatsSlowShard(t *testing.T) {
+	const n, gap, slowFactor = 120, 30 * time.Millisecond, 10.0
+	unhedged, _ := runFleet(t, testSimConfig(4, 2, HedgeConfig{}), n, gap, 0, slowFactor)
+	hedged, f := runFleet(t, testSimConfig(4, 2, HedgeConfig{Enabled: true}), n, gap, 0, slowFactor)
+	up99, hp99 := percentile(unhedged, 0.99), percentile(hedged, 0.99)
+	if hp99 >= up99 {
+		t.Fatalf("hedged p99 %v not below unhedged p99 %v under a 10× slow shard", hp99, up99)
+	}
+	if f.Stats().Sent() == 0 || f.Stats().Wins() == 0 {
+		t.Fatalf("hedging never fired: sent=%d wins=%d", f.Stats().Sent(), f.Stats().Wins())
+	}
+	if f.Stats().Cancelled() == 0 {
+		t.Fatal("winning hedges must cancel their slow losers")
+	}
+}
+
+func TestSimFleetFailsWhenShardDown(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := NewSimFleet(eng, testSimConfig(2, 1, HedgeConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Instances()[0].Crash() // shard 0's only replica
+	var got sim.Outcome
+	calls := 0
+	f.Submit(10, func(o sim.Outcome) { got = o; calls++ })
+	eng.Drain()
+	if calls != 1 || got.Err == nil {
+		t.Fatalf("want exactly one failed outcome, got calls=%d err=%v", calls, got.Err)
+	}
+}
+
+func TestNewSimFleetValidates(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewSimFleet(eng, testSimConfig(0, 1, HedgeConfig{})); err == nil {
+		t.Fatal("expected error for zero shards")
+	}
+	cfg := testSimConfig(4, 1, HedgeConfig{})
+	cfg.ModelCfg.CatalogSize = 2
+	if _, err := NewSimFleet(eng, cfg); err == nil {
+		t.Fatal("expected error for catalog smaller than the shard count")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"etude/internal/device"
@@ -121,6 +122,20 @@ func NewInstance(eng *Engine, spec device.Spec, name string, cfg model.Config, j
 			return nil, err
 		}
 		costs[l] = c
+	}
+	return NewInstanceFromCosts(eng, spec, costs, jit, flushEvery, maxBatch)
+}
+
+// NewInstanceFromCosts builds an instance directly from a per-session-
+// length cost table: costs[l] is the per-inference cost at session length
+// l, index 0 unused. This is the entry point for workers whose cost is not
+// a registered model's whole inference — the sharded retrieval tier
+// (internal/shard) builds per-shard workers by slicing a model's cost
+// table, so each worker's service time is its shard's share of the catalog
+// scan.
+func NewInstanceFromCosts(eng *Engine, spec device.Spec, costs []model.Cost, jit bool, flushEvery time.Duration, maxBatch int) (*Instance, error) {
+	if len(costs) < 2 {
+		return nil, fmt.Errorf("sim: cost table must cover at least session length 1, got %d entries", len(costs))
 	}
 	eff := spec.EffectiveMaxBatch(costs[1])
 	if eff > maxBatch {

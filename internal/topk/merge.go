@@ -1,0 +1,73 @@
+package topk
+
+// MergePartial performs the k-way merge of per-shard top-k lists into the
+// exact global top-k — the gather half of the catalog-sharded retrieval
+// tier (internal/shard).
+//
+// Each partial must be sorted the way SelectFromScores emits results:
+// descending by score with ties broken towards the lower item id. Because a
+// shard's partial already contains its k best items, the merged list is
+// bit-identical to an unsharded top-k over the union of the shards — the
+// property the shard tier's correctness rests on (see the accompanying
+// property test). Items across partials are normally disjoint (contiguous
+// catalog partitions); duplicates, if present, are kept.
+//
+// Cost is O((P + k)·log P) for P partials — the explicit merge term of the
+// sharded cost model (shard.MergeOps).
+func MergePartial(partials [][]Result, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	// heap holds the indices of non-exhausted partials, ordered by their
+	// head element: best score first, lower item id on ties — the exact
+	// inverse of the selection heap's eviction order, so the merge pops
+	// results in SelectFromScores' output order.
+	heap := make([]int, 0, len(partials))
+	pos := make([]int, len(partials))
+	better := func(a, b int) bool {
+		ra, rb := partials[a][pos[a]], partials[b][pos[b]]
+		if ra.Score != rb.Score {
+			return ra.Score > rb.Score
+		}
+		return ra.Item < rb.Item
+	}
+	down := func(i int) {
+		for {
+			child := 2*i + 1
+			if child >= len(heap) {
+				return
+			}
+			if child+1 < len(heap) && better(heap[child+1], heap[child]) {
+				child++
+			}
+			if !better(heap[child], heap[i]) {
+				return
+			}
+			heap[i], heap[child] = heap[child], heap[i]
+			i = child
+		}
+	}
+	for i, p := range partials {
+		if len(p) > 0 {
+			heap = append(heap, i)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	if len(heap) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, k)
+	for len(heap) > 0 && len(out) < k {
+		src := heap[0]
+		out = append(out, partials[src][pos[src]])
+		pos[src]++
+		if pos[src] == len(partials[src]) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+	return out
+}

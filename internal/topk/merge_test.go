@@ -1,0 +1,83 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// splitScores partitions a score vector into contiguous shards, runs the
+// per-shard selection and rebases the local row indices into global item
+// ids — exactly what the shard tier's workers do.
+func splitScores(scores []float32, shards, k int) [][]Result {
+	partials := make([][]Result, 0, shards)
+	size := (len(scores) + shards - 1) / shards
+	for from := 0; from < len(scores); from += size {
+		to := from + size
+		if to > len(scores) {
+			to = len(scores)
+		}
+		part := SelectFromScores(scores[from:to], k)
+		for i := range part {
+			part[i].Item += int64(from)
+		}
+		partials = append(partials, part)
+	}
+	return partials
+}
+
+// The tentpole correctness property: for any catalog, any shard count and
+// any k, merging the per-shard top-k lists equals the unsharded top-k
+// exactly — same items, same scores, same order. Duplicate scores are the
+// interesting case (tie-break by lower item id must survive the merge), so
+// scores are drawn from a small discrete set to force collisions.
+func TestMergePartialEqualsUnshardedTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		c := 1 + rng.Intn(500)
+		scores := make([]float32, c)
+		for i := range scores {
+			// ~16 distinct values over up to 500 items: ties guaranteed.
+			scores[i] = float32(rng.Intn(16)) / 4
+		}
+		k := 1 + rng.Intn(40)
+		shards := 1 + rng.Intn(8)
+		want := SelectFromScores(scores, k)
+		got := MergePartial(splitScores(scores, shards, k), k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (C=%d k=%d shards=%d): merged sharded top-k diverged\n got %v\nwant %v",
+				trial, c, k, shards, got, want)
+		}
+	}
+}
+
+func TestMergePartialTieBreaksByItemID(t *testing.T) {
+	// Two shards whose heads tie on score: the lower item id must win.
+	partials := [][]Result{
+		{{Item: 7, Score: 1}, {Item: 9, Score: 0.5}},
+		{{Item: 3, Score: 1}, {Item: 4, Score: 1}},
+	}
+	got := MergePartial(partials, 3)
+	want := []Result{{Item: 3, Score: 1}, {Item: 4, Score: 1}, {Item: 7, Score: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie-break order = %v, want %v", got, want)
+	}
+}
+
+func TestMergePartialEdgeCases(t *testing.T) {
+	if got := MergePartial(nil, 5); got != nil {
+		t.Fatalf("merge of no partials = %v, want nil", got)
+	}
+	if got := MergePartial([][]Result{{}, {}}, 5); len(got) != 0 {
+		t.Fatalf("merge of empty partials = %v, want empty", got)
+	}
+	if got := MergePartial([][]Result{{{Item: 1, Score: 2}}}, 0); got != nil {
+		t.Fatalf("k=0 merge = %v, want nil", got)
+	}
+	// k larger than the union: everything comes back, still ordered.
+	got := MergePartial([][]Result{{{Item: 2, Score: 3}}, {{Item: 1, Score: 5}}}, 10)
+	want := []Result{{Item: 1, Score: 5}, {Item: 2, Score: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("k>union merge = %v, want %v", got, want)
+	}
+}

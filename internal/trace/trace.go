@@ -2,7 +2,9 @@
 // for the inference pipeline — the "where does the time go" layer the
 // latency reports are built on. A request's life is split into the stages
 // of the paper's serving pipeline (queue wait, admission, batch assembly,
-// embedding lookup, encoder forward pass, MIPS top-k, serialisation); each
+// embedding lookup, encoder forward pass, MIPS top-k, serialisation — plus,
+// on sharded deployments, the scatter/wait/merge stages of the
+// scatter-gather retrieval tier in internal/shard); each
 // stage aggregates into a latency histogram, and a bounded tail-exemplar
 // buffer retains the full span breakdown of the slowest requests so a p99
 // regression can be attributed to a specific stage, not just observed.
@@ -53,6 +55,17 @@ const (
 	// StageMIPSTopK is the maximum-inner-product scan over the catalog plus
 	// top-k selection — the O(C·(d+log k)) term that dominates at scale.
 	StageMIPSTopK
+	// StageShardScatter is the scatter half of the sharded retrieval tier
+	// (internal/shard): fanning the session representation out to the
+	// per-shard top-k workers.
+	StageShardScatter
+	// StageShardWait is the gather wait of the sharded tier: from scatter
+	// completion until the last partial top-k arrives — the straggler term
+	// that tail-latency hedging attacks.
+	StageShardWait
+	// StageShardMerge is the k-way merge of the partial top-k lists into
+	// the exact global top-k.
+	StageShardMerge
 	// StageSerialize is response encoding.
 	StageSerialize
 	// NumStages is the number of stages (array sizing).
@@ -61,7 +74,8 @@ const (
 
 var stageNames = [NumStages]string{
 	"queue-wait", "admission", "batch-assembly", "embedding-lookup",
-	"encoder-forward", "mips-topk", "serialize",
+	"encoder-forward", "mips-topk", "shard-scatter", "shard-wait",
+	"shard-merge", "serialize",
 }
 
 // String names the stage for reports and metric labels.
