@@ -33,13 +33,14 @@ race:
 # The merge gate (also run by CI): build + vet + full suite, plus the race
 # detector on the packages with real concurrency — the cluster lifecycle
 # (drain/scale/rolling-update/supervisor), the server's admission control,
-# the load generator, and the scatter-gather retrieval tier (goroutine
-# fan-out, hedged sub-requests, partial top-k merge).
+# the load generator, the scatter-gather retrieval tier (goroutine
+# fan-out, hedged sub-requests, partial top-k merge), and the overload
+# controllers (CoDel, AIMD limiter) hammered from many goroutines.
 check:
 	go build ./...
 	go vet ./...
 	go test ./...
-	go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk
+	go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload
 
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.
@@ -53,7 +54,7 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown|shard
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
@@ -64,6 +65,11 @@ run_deployed_benchmark:
 # prints the per-stage latency table (queue-wait, admission, batch-assembly,
 # embedding-lookup, encoder-forward, mips-topk, serialize) per model and
 # catalog size, reconciling the stage sum against the end-to-end latency.
+# EXPERIMENT=overload replays a deterministic 3× load spike against one
+# instance under three admission stacks — static bounded queue, + deadline
+# budgets (expired work dropped at dequeue, before the encoder), + CoDel and
+# the AIMD concurrency limiter — and reports goodput over the spike window,
+# admitted p50/p99, and the drop counters per arm.
 # EXPERIMENT=shard sweeps the catalog-sharded scatter-gather tier over
 # S ∈ {1,2,4,8}: verifies the sharded top-k is bit-identical to unsharded,
 # reports the p50 MIPS-latency speedup per shard count on large catalogs,

@@ -31,6 +31,7 @@ func main() {
 		alphaLength = flag.Float64("alpha-length", 2.2, "session-length power-law exponent α_l")
 		alphaClicks = flag.Float64("alpha-clicks", 1.6, "click-count power-law exponent α_c")
 		timeout     = flag.Duration("timeout", time.Second, "per-request timeout")
+		slo         = flag.Duration("slo", 0, "end-to-end SLO budget per logical request, shared across retries and propagated via the X-Deadline header (0 = off)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 		TargetRate:     *rate,
 		Duration:       *duration,
 		RequestTimeout: *timeout,
+		SLO:            *slo,
 	}, gen, target)
 	if err != nil {
 		log.Fatalf("etude-loadgen: %v", err)

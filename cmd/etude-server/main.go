@@ -15,10 +15,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"etude/internal/batching"
 	"etude/internal/model"
 	"etude/internal/objstore"
+	"etude/internal/overload"
 	"etude/internal/server"
 	"etude/internal/trace"
 )
@@ -33,6 +35,9 @@ func main() {
 		jit       = flag.Bool("jit", true, "serve the JIT-compiled execution plan")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		batch     = flag.Bool("batch", false, "enable request batching (1024 / 2ms)")
+		adaptive  = flag.Bool("adaptive", false, "enable the AIMD adaptive concurrency limiter and CoDel queue discipline")
+		codelTgt  = flag.Duration("codel-target", 0, "CoDel sojourn target (0 = default 5ms; implies CoDel even without -adaptive)")
+		codelIvl  = flag.Duration("codel-interval", 0, "CoDel observation interval (0 = default 100ms; implies CoDel even without -adaptive)")
 		shards    = flag.Int("shards", 0, "catalog shards for in-process scatter-gather retrieval (0/1 = unsharded)")
 		static    = flag.Bool("static", false, "serve empty responses without a model")
 		traced    = flag.Bool("trace", false, "record per-stage latency histograms (exposed at /metrics)")
@@ -43,7 +48,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *batch, *static, *traced, *profiled, *bucketDir, *key)
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *batch, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key)
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
@@ -60,7 +65,7 @@ func main() {
 	}
 }
 
-func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards int, batch, static, traced, profiled bool, bucketDir, key string) (*server.Server, error) {
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards int, batch, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string) (*server.Server, error) {
 	opts := server.Options{Workers: workers, JIT: jit, Shards: shards, Profiling: profiled}
 	if traced {
 		opts.Tracer = trace.New(trace.Options{})
@@ -68,6 +73,19 @@ func buildServer(modelName string, catalog int, seed int64, topK int, faithful, 
 	if batch {
 		cfg := batching.DefaultConfig()
 		opts.Batch = &cfg
+	}
+	if adaptive {
+		opts.Limiter = overload.NewLimiter(overload.DefaultLimiterConfig())
+	}
+	if adaptive || codelTarget > 0 || codelInterval > 0 {
+		cfg := overload.DefaultCoDelConfig()
+		if codelTarget > 0 {
+			cfg.Target = codelTarget
+		}
+		if codelInterval > 0 {
+			cfg.Interval = codelInterval
+		}
+		opts.CoDel = overload.NewCoDel(cfg, nil)
 	}
 	switch {
 	case static:

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown|shard [-scale test|paper]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard [-scale test|paper]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -60,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|rolling|breakdown|shard [-scale test|paper] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard [-scale test|paper] [-bucket DIR]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -83,7 +83,7 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, rolling, breakdown, shard)")
+	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, overload, rolling, breakdown, shard)")
 	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (inspect with `go tool pprof`)")
@@ -233,6 +233,16 @@ func runExperiment(ctx context.Context, name string, paper bool) (string, error)
 			cfg.OpAfter = 30 * time.Second
 		}
 		res, err := experiments.Rolling(ctx, cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "overload":
+		cfg := experiments.DefaultOverloadCmpConfig()
+		if paper {
+			cfg.Duration = 10 * time.Minute
+		}
+		res, err := experiments.OverloadComparison(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -12,10 +12,18 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"etude/internal/overload"
 )
 
 // ErrClosed is returned by Submit after the batcher is shut down.
 var ErrClosed = errors.New("batching: batcher closed")
+
+// ErrCoDelDropped is returned by Submit when the queue discipline sheds
+// the request at flush time: its sojourn in the buffer signalled a
+// standing queue. The caller should answer 503 — the request itself was
+// fine, the server is behind.
+var ErrCoDelDropped = errors.New("batching: shed by CoDel queue discipline")
 
 // Config controls batch formation.
 type Config struct {
@@ -23,6 +31,10 @@ type Config struct {
 	MaxBatch int
 	// FlushEvery flushes any non-empty buffer after this interval.
 	FlushEvery time.Duration
+	// CoDel, when set, sheds buffered requests whose sojourn time shows a
+	// standing queue (evaluated per entry at flush, in arrival order).
+	// Expired-context entries are always dropped at flush regardless.
+	CoDel *overload.CoDel
 }
 
 // DefaultConfig returns the paper's settings: up to 1,024 requests, flushed
@@ -65,7 +77,16 @@ func (b *Batcher[Req, Resp]) Pending() int {
 
 type envelope[Req, Resp any] struct {
 	req   Req
-	reply chan Resp
+	ctx   context.Context
+	enq   time.Time
+	reply chan result[Resp]
+}
+
+// result carries either a response or the reason the batcher refused to
+// compute one (expired context, CoDel shed, short handler reply).
+type result[Resp any] struct {
+	resp Resp
+	err  error
 }
 
 // New starts a batcher that feeds handler. Close must be called to stop the
@@ -88,12 +109,13 @@ func New[Req, Resp any](cfg Config, handler Handler[Req, Resp]) (*Batcher[Req, R
 }
 
 // Submit enqueues one request and blocks until its response is available,
-// the context is cancelled, or the batcher is closed.
+// the context is cancelled, the request is dropped at flush (expired
+// deadline or CoDel shed), or the batcher is closed.
 func (b *Batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) {
 	var zero Resp
 	b.pending.Add(1)
 	defer b.pending.Add(-1)
-	env := envelope[Req, Resp]{req: req, reply: make(chan Resp, 1)}
+	env := envelope[Req, Resp]{req: req, ctx: ctx, enq: time.Now(), reply: make(chan result[Resp], 1)}
 	select {
 	case b.in <- env:
 	case <-ctx.Done():
@@ -102,8 +124,8 @@ func (b *Batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) 
 		return zero, ErrClosed
 	}
 	select {
-	case resp := <-env.reply:
-		return resp, nil
+	case r := <-env.reply:
+		return r.resp, r.err
 	case <-ctx.Done():
 		return zero, ctx.Err()
 	case <-b.done:
@@ -139,16 +161,33 @@ func (b *Batcher[Req, Resp]) dispatch() {
 }
 
 // flush runs the handler on the buffered requests and fans responses out.
-// It returns the emptied (reusable) buffer.
+// Before the handler sees the batch, entries whose context already expired
+// are answered with their context error, and — in arrival order, so the
+// CoDel controller sees head-of-queue sojourns — entries the queue
+// discipline sheds are answered ErrCoDelDropped. Neither spends handler
+// FLOPs. It returns the emptied (reusable) buffer.
 func (b *Batcher[Req, Resp]) flush(buf []envelope[Req, Resp]) []envelope[Req, Resp] {
-	reqs := make([]Req, len(buf))
-	for i, env := range buf {
-		reqs[i] = env.req
+	now := time.Now()
+	reqs := make([]Req, 0, len(buf))
+	kept := make([]envelope[Req, Resp], 0, len(buf))
+	for _, env := range buf {
+		if err := env.ctx.Err(); err != nil {
+			env.reply <- result[Resp]{err: err}
+			continue
+		}
+		if b.cfg.CoDel.ShouldDrop(now.Sub(env.enq)) {
+			env.reply <- result[Resp]{err: ErrCoDelDropped}
+			continue
+		}
+		kept = append(kept, env)
+		reqs = append(reqs, env.req)
 	}
-	resps := b.handler(reqs)
-	for i, env := range buf {
-		if i < len(resps) {
-			env.reply <- resps[i]
+	if len(reqs) > 0 {
+		resps := b.handler(reqs)
+		for i, env := range kept {
+			if i < len(resps) {
+				env.reply <- result[Resp]{resp: resps[i]}
+			}
 		}
 	}
 	return buf[:0]

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"etude/internal/overload"
 )
 
 func TestConfigValidation(t *testing.T) {
@@ -145,6 +147,76 @@ func TestSubmitContextCancelled(t *testing.T) {
 	_, err := b.Submit(ctx, 2)
 	if err == nil {
 		t.Fatalf("expected context error")
+	}
+}
+
+func TestExpiredEntriesDroppedBeforeHandler(t *testing.T) {
+	// A request whose deadline passes while buffered must never reach the
+	// handler: the batcher answers its context error at flush time.
+	var seen atomic.Int64
+	block := make(chan struct{})
+	b, _ := New(Config{MaxBatch: 8, FlushEvery: time.Millisecond}, func(batch []int) []int {
+		seen.Add(int64(len(batch)))
+		<-block
+		return batch
+	})
+	defer b.Close()
+	defer close(block)
+
+	// First request occupies the dispatch goroutine in the handler...
+	go func() { _, _ = b.Submit(context.Background(), 1) }()
+	time.Sleep(5 * time.Millisecond)
+	// ...so this one sits buffered past its deadline until the next flush.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := b.Submit(ctx, 2)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Submit = %v, want context.DeadlineExceeded", err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the blocked flush drain
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("handler saw %d requests, want only the live one", got)
+	}
+}
+
+func TestCoDelShedsStandingQueue(t *testing.T) {
+	// A CoDel driven into its drop state (virtual clock, nanosecond
+	// target/interval so any measurable sojourn counts) must shed the
+	// request that sat buffered behind a slow flush, without the handler
+	// ever seeing it.
+	clk := time.Duration(0)
+	cd := overload.NewCoDel(overload.CoDelConfig{Target: time.Nanosecond, Interval: time.Nanosecond}, func() time.Duration {
+		clk += time.Millisecond
+		return clk
+	})
+
+	var seen atomic.Int64
+	b, _ := New(Config{MaxBatch: 8, FlushEvery: time.Millisecond, CoDel: cd}, func(batch []int) []int {
+		seen.Add(int64(len(batch)))
+		time.Sleep(10 * time.Millisecond)
+		return batch
+	})
+	defer b.Close()
+
+	// The first request's flush arms the excursion (its sojourn is above
+	// the nanosecond target) and parks the dispatcher in the sleeping
+	// handler.
+	go func() { _, _ = b.Submit(context.Background(), 1) }()
+	time.Sleep(3 * time.Millisecond)
+	// Tip the controller into its drop state while the second request sits
+	// buffered behind the slow flush.
+	if !cd.ShouldDrop(time.Second) || !cd.Dropping() {
+		t.Fatal("controller did not enter its drop state")
+	}
+	_, err := b.Submit(context.Background(), 2)
+	if err != ErrCoDelDropped {
+		t.Fatalf("Submit = %v, want ErrCoDelDropped", err)
+	}
+	if cd.Dropped() < 2 {
+		t.Fatalf("controller drops = %d, want ≥ 2", cd.Dropped())
+	}
+	if seen.Load() != 1 {
+		t.Fatalf("handler saw %d requests, want only the live one", seen.Load())
 	}
 }
 

@@ -43,6 +43,11 @@ const (
 	// FaultAZOutage takes every pod listed in Pods down during
 	// [At, At+Duration) — a full availability-zone outage window.
 	FaultAZOutage
+	// FaultLoadSpike multiplies the offered request rate by Factor during
+	// [At, At+Duration) — a flash crowd. Unlike the other kinds it faults
+	// the demand side, not the fleet: the load schedule consults
+	// Injector.LoadFactor when laying out each tick.
+	FaultLoadSpike
 )
 
 // String names the fault kind.
@@ -58,6 +63,8 @@ func (k FaultKind) String() string {
 		return "net-drop"
 	case FaultAZOutage:
 		return "az-outage"
+	case FaultLoadSpike:
+		return "load-spike"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -124,6 +131,10 @@ func (s Scenario) Validate(pods int) error {
 			if f.Delay < 0 {
 				return fmt.Errorf("chaos: fault %d of %q has negative delay", i, s.Name)
 			}
+		case FaultLoadSpike:
+			if f.Factor <= 0 {
+				return fmt.Errorf("chaos: fault %d of %q has non-positive load factor", i, s.Name)
+			}
 		default:
 			return fmt.Errorf("chaos: fault %d of %q has unknown kind %d", i, s.Name, int(f.Kind))
 		}
@@ -167,6 +178,20 @@ func Catalog(runLen time.Duration, pods int) []Scenario {
 			{Kind: FaultAZOutage, At: frac(0.4), Duration: frac(0.2), Pods: az},
 		}},
 	}
+}
+
+// Overload returns the overload scenario: the offered rate steps to 3× the
+// configured target during the middle [0.2, 0.8) of the run — warm-up at
+// nominal load first, so adaptive admission trains its no-load latency
+// baseline before the flash crowd hits. This is the scenario the
+// EXPERIMENT=overload comparison replays against static-bound and adaptive
+// (CoDel + AIMD + deadline budget) admission; it is deliberately not part
+// of Catalog, whose rows the standing chaos experiment depends on.
+func Overload(runLen time.Duration) Scenario {
+	frac := func(x float64) time.Duration { return time.Duration(float64(runLen) * x) }
+	return Scenario{Name: "overload", Seed: 1, Faults: []Fault{
+		{Kind: FaultLoadSpike, At: frac(0.2), Duration: frac(0.6), Factor: 3},
+	}}
 }
 
 // SlowShard returns the scatter-gather straggler scenario: one shard

@@ -169,6 +169,65 @@ func TestNetworkFaultWindows(t *testing.T) {
 	}
 }
 
+func TestLoadFactorWindows(t *testing.T) {
+	sc := Overload(60 * time.Second) // 3× spike during [12s, 48s)
+	if err := sc.Validate(4); err != nil {
+		t.Fatalf("Overload scenario invalid: %v", err)
+	}
+	inj := NewInjector(sc)
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{
+		{5 * time.Second, 1},
+		{12 * time.Second, 3},
+		{30 * time.Second, 3},
+		{48 * time.Second, 1},
+	} {
+		if got := inj.LoadFactor(tc.at); got != tc.want {
+			t.Errorf("LoadFactor(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	bad := Scenario{Name: "bad", Faults: []Fault{{Kind: FaultLoadSpike, At: 0, Duration: time.Second}}}
+	if err := bad.Validate(1); err == nil {
+		t.Fatal("expected Validate to reject zero load factor")
+	}
+}
+
+// TestLoadSpikeStressesSchedule: a load-spike scenario must lay out more
+// requests than its fault-free twin — the spiked ticks are planned at the
+// multiplied rate — and stay deterministic.
+func TestLoadSpikeStressesSchedule(t *testing.T) {
+	run := func(sc Scenario) *SimResult {
+		eng := sim.NewEngine()
+		fleet := newFleet(t, eng, 4)
+		out, err := RunSim(eng, SimConfig{
+			TargetRate: 100,
+			Duration:   20 * time.Second,
+			NoRamp:     true,
+			Timeout:    time.Second,
+			Seed:       1,
+		}, fleet, NewInjector(sc))
+		if err != nil {
+			t.Fatalf("RunSim: %v", err)
+		}
+		return out
+	}
+	base := run(Scenario{Name: "baseline", Seed: 1})
+	spike := run(Overload(20 * time.Second))
+	// 20 ticks at 100/s, 12 of them tripled: 8·100 + 12·300 = 4400 planned.
+	if want := int64(4400); spike.Planned != want {
+		t.Fatalf("spiked run planned %d requests, want %d", spike.Planned, want)
+	}
+	if spike.Planned <= base.Planned {
+		t.Fatalf("spike invisible: planned %d vs baseline %d", spike.Planned, base.Planned)
+	}
+	again := run(Overload(20 * time.Second))
+	if spike.Sent != again.Sent || spike.Recorder.Outcomes() != again.Recorder.Outcomes() {
+		t.Fatalf("load-spike run not deterministic")
+	}
+}
+
 func TestPodDownWindows(t *testing.T) {
 	sc := Catalog(60*time.Second, 4)[1] // pod-crash: pod 0 down 18s–30s
 	inj := NewInjector(sc)

@@ -70,8 +70,9 @@ func (inj *Injector) Arm(eng *sim.Engine, fleet []*sim.Instance) error {
 					eng.Schedule(f.At+f.Duration, pod.Restart)
 				}
 			}
-		case FaultNetworkDelay, FaultNetworkDrop:
-			// Per-request faults; evaluated lazily by NetworkFault.
+		case FaultNetworkDelay, FaultNetworkDrop, FaultLoadSpike:
+			// Demand-side / per-request faults; evaluated lazily by
+			// NetworkFault and LoadFactor.
 		}
 	}
 	return nil
@@ -98,6 +99,19 @@ func (inj *Injector) NetworkFault(t time.Duration) (delay time.Duration, drop bo
 		}
 	}
 	return delay, drop
+}
+
+// LoadFactor returns the offered-load multiplier at offset t: the product
+// of every active load-spike fault's Factor, 1 with none active. The load
+// schedule multiplies each tick's request count by it.
+func (inj *Injector) LoadFactor(t time.Duration) float64 {
+	factor := 1.0
+	for _, f := range inj.sc.Faults {
+		if f.Kind == FaultLoadSpike && f.active(t) {
+			factor *= f.Factor
+		}
+	}
+	return factor
 }
 
 // PodDown reports whether the scenario has pod down at offset t (crash

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -329,13 +330,28 @@ func RunSim(eng *sim.Engine, cfg SimConfig, fleet []*sim.Instance, inj *Injector
 		in, br := fleet[idx], breakers[idx]
 		eng.Schedule(netDelay, func() {
 			in.SubmitOutcome(sessionLen, func(o sim.Outcome) {
-				if o.Err != nil {
+				switch {
+				case o.Err == nil:
+					br.success()
+					finish(tick, firstStart, o, 0, false)
+				case errors.Is(o.Err, sim.ErrDeadlineExpired):
+					// The budget died in the pod's queue: the server answered
+					// 504 and there is nothing left to retry with. Not a
+					// breaker failure — the pod is overloaded, not dead.
+					pending--
+					res.Recorder.RecordErrorKind(tick, metrics.KindTimeout)
+					res.Recorder.RecordStatus(tick, 504)
+				case errors.Is(o.Err, sim.ErrCoDelDropped), errors.Is(o.Err, sim.ErrLimited):
+					// Flow-control refusals (the server's 503/429 +
+					// Retry-After): retryable, but deliberately not breaker
+					// failures — tripping breakers on shed load would eject a
+					// healthy-but-busy fleet wholesale and turn overload into
+					// an outage.
+					fail(metrics.KindRefused)
+				default:
 					br.failure(eng.Now())
 					fail(metrics.KindRefused)
-					return
 				}
-				br.success()
-				finish(tick, firstStart, o, 0, false)
 			})
 		})
 	}
@@ -350,7 +366,9 @@ func RunSim(eng *sim.Engine, cfg SimConfig, fleet []*sim.Instance, inj *Injector
 		if cfg.NoRamp {
 			frac = 1
 		}
-		rc := int(cfg.TargetRate * frac)
+		// Load-spike faults multiply the demand side: the factor is known at
+		// schedule-layout time, so the spiked ticks are laid out exactly.
+		rc := int(cfg.TargetRate * frac * inj.LoadFactor(time.Duration(t)*time.Second))
 		if rc < 1 {
 			rc = 1
 		}

@@ -551,6 +551,68 @@ func TestChaosComparison(t *testing.T) {
 	}
 }
 
+func TestOverloadComparison(t *testing.T) {
+	cfg := DefaultOverloadCmpConfig()
+	// Downscale for test time: a bigger catalog means slower service, lower
+	// capacity and far fewer simulated events; the overload physics (3×
+	// capacity offered) is rate-invariant.
+	cfg.CatalogSize = 1_000_000
+	cfg.Duration = 30 * time.Second
+	res, err := OverloadComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 3 {
+		t.Fatalf("want 3 arms, got %d", len(res.Arms))
+	}
+	if res.Capacity <= 0 {
+		t.Fatalf("capacity = %v", res.Capacity)
+	}
+	static, deadline, adaptive := res.Arm("static"), res.Arm("deadline"), res.Arm("adaptive")
+	if static == nil || deadline == nil || adaptive == nil {
+		t.Fatalf("missing arms: %+v", res.Arms)
+	}
+	// The headline claims: the hand-tuned static bound collapses under the
+	// spike while the adaptive stack keeps goodput at capacity with the
+	// admitted tail well inside the SLO.
+	if static.GoodputFraction >= 0.5 {
+		t.Errorf("static arm salvaged %.1f%% of capacity, want < 50%%", static.GoodputFraction*100)
+	}
+	if adaptive.GoodputFraction < 0.8 {
+		t.Errorf("adaptive arm salvaged %.1f%% of capacity, want >= 80%%", adaptive.GoodputFraction*100)
+	}
+	if adaptive.Latency.P99 > 2*cfg.SLO {
+		t.Errorf("adaptive admitted p99 %v exceeds 2×SLO %v", adaptive.Latency.P99, 2*cfg.SLO)
+	}
+	if adaptive.Limited == 0 {
+		t.Errorf("adaptive arm never engaged the limiter: %+v", adaptive)
+	}
+	// Deadline propagation visibly fires, and expired work never reaches
+	// the encoder: every encoder-forward span belongs to a served request.
+	if deadline.DeadlineExpired == 0 {
+		t.Errorf("deadline arm expired nothing under a 3× spike")
+	}
+	for _, a := range res.Arms {
+		if a.Sent == 0 {
+			t.Errorf("arm %s issued no requests", a.Name)
+		}
+		if a.EncoderSpans != a.ServedSpans {
+			t.Errorf("arm %s: %d encoder spans vs %d served requests — dropped work reached the encoder",
+				a.Name, a.EncoderSpans, a.ServedSpans)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"static", "deadline", "adaptive", "goodput", "expired", "encoder spans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Invalid config rejected.
+	if _, err := OverloadComparison(OverloadCmpConfig{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}
+
 func TestShardStudy(t *testing.T) {
 	cfg := DefaultShardConfig()
 	// Downscale for test time: the shape — exactness, monotone speedup,

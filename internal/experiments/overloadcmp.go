@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etude/internal/chaos"
+	"etude/internal/device"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/overload"
+	"etude/internal/sim"
+	"etude/internal/trace"
+)
+
+// OverloadCmpConfig controls the overload-control study: one instance
+// driven by the chaos.Overload scenario (offered load stepped to 3× the
+// nominal rate during the middle of the run), replayed once per admission
+// arm so the arms differ in nothing but their overload-control stack.
+type OverloadCmpConfig struct {
+	// Device is the instance type (default CPU).
+	Device device.Spec
+	// Model and CatalogSize define the deployment.
+	Model       string
+	CatalogSize int
+	// TargetRate is the nominal offered rate; the spike is 3× it. 0 derives
+	// it from the measured single-instance capacity at the SLO, so the
+	// spike is 3× capacity by construction.
+	TargetRate float64
+	// Duration is the run length; the spike occupies its middle 60%.
+	Duration time.Duration
+	// SLO is both the client deadline and the per-request server budget the
+	// deadline-propagating arms enforce (default 30ms).
+	SLO time.Duration
+	// StaticMaxQueue is the hand-tuned queue bound of the static arm, kept
+	// as the backstop in the others (default 1024 — deep enough that queue
+	// delay alone busts the SLO many times over, the failure mode the
+	// adaptive stack exists to prevent).
+	StaticMaxQueue int
+	// Seed drives sampling and jitter.
+	Seed int64
+}
+
+// DefaultOverloadCmpConfig returns the standard study: gru4rec at C=100k on
+// one CPU instance, 60 virtual seconds, a 30ms SLO, and the nominal rate
+// pinned to the measured capacity.
+func DefaultOverloadCmpConfig() OverloadCmpConfig {
+	return OverloadCmpConfig{
+		Device:         device.CPU(),
+		Model:          "gru4rec",
+		CatalogSize:    100_000,
+		Duration:       60 * time.Second,
+		SLO:            30 * time.Millisecond,
+		StaticMaxQueue: 1024,
+		Seed:           1,
+	}
+}
+
+// OverloadArm is one admission stack's outcome under the spike.
+type OverloadArm struct {
+	Name string `json:"name"`
+	Sent int64  `json:"sent"`
+	// Goodput is successful (in-SLO) responses per second over the spike
+	// window only; GoodputFraction normalises it by the measured capacity.
+	Goodput         float64 `json:"goodput"`
+	GoodputFraction float64 `json:"goodput_fraction"`
+	// Latency summarises successful responses (all within the SLO — the
+	// client hangs up at the deadline — so P99 here is the admitted p99).
+	Latency  metrics.Snapshot      `json:"latency"`
+	Outcomes metrics.OutcomeCounts `json:"outcomes"`
+	// Server-side overload-control counters.
+	DeadlineExpired int64 `json:"deadline_expired"`
+	CoDelDropped    int64 `json:"codel_dropped"`
+	Limited         int64 `json:"limited"`
+	// EncoderSpans counts encoder-forward stage spans; ServedSpans counts
+	// requests the executor finished. Equal counts prove expired work was
+	// dropped at dequeue, before the encoder ever ran for it.
+	EncoderSpans int64 `json:"encoder_spans"`
+	ServedSpans  int64 `json:"served_spans"`
+	// FinalLimit is the adaptive limiter's concurrency limit at run end (0
+	// for arms without a limiter).
+	FinalLimit int `json:"final_limit,omitempty"`
+}
+
+// OverloadCmpResult holds the per-arm rows plus the shared physics.
+type OverloadCmpResult struct {
+	// Capacity is the measured single-instance capacity (req/s at the SLO).
+	Capacity float64 `json:"capacity"`
+	// TargetRate is the nominal offered rate; the spike offers 3× it.
+	TargetRate float64       `json:"target_rate"`
+	Arms       []OverloadArm `json:"arms"`
+}
+
+// Arm returns the named arm, or nil.
+func (r *OverloadCmpResult) Arm(name string) *OverloadArm {
+	for i := range r.Arms {
+		if r.Arms[i].Name == name {
+			return &r.Arms[i]
+		}
+	}
+	return nil
+}
+
+// OverloadComparison measures what each admission stack salvages from a
+// sustained 3× overload:
+//
+//   - static: the hand-tuned bounded queue alone. Admitted requests wait
+//     behind up to StaticMaxQueue others — hundreds of ms against a 30ms
+//     SLO — so nearly everything admitted during the spike times out
+//     client-side: goodput collapses even though the server never idles.
+//   - deadline: the bounded queue plus per-request deadline budgets.
+//     Expired work is dropped at dequeue (cheaply, before the encoder), so
+//     the server wastes no forward passes on dead requests — but the queue
+//     still pins sojourns at the budget boundary, so goodput stays poor.
+//     Protecting the server is necessary, not sufficient.
+//   - adaptive: deadline budgets + CoDel queue discipline + the AIMD
+//     concurrency limiter. The limiter holds the standing queue near zero,
+//     so admitted requests finish well inside the SLO and goodput tracks
+//     capacity; the excess is refused immediately instead of queued to
+//     death.
+//
+// Runs are deterministic: virtual time plus seeded sampling.
+func OverloadComparison(cfg OverloadCmpConfig) (*OverloadCmpResult, error) {
+	if cfg.Model == "" || cfg.CatalogSize <= 0 {
+		return nil, fmt.Errorf("experiments: invalid overload config %+v", cfg)
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 30 * time.Millisecond
+	}
+	if cfg.StaticMaxQueue <= 0 {
+		cfg.StaticMaxQueue = 1024
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 60 * time.Second
+	}
+	mcfg := model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed}
+	capacity, err := sim.Capacity(cfg.Device, cfg.Model, mcfg, true, cfg.SLO)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: measuring capacity: %w", err)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("experiments: %s at C=%d has no capacity at SLO %v", cfg.Model, cfg.CatalogSize, cfg.SLO)
+	}
+	rate := cfg.TargetRate
+	if rate <= 0 {
+		rate = capacity
+	}
+
+	arms := []struct {
+		name  string
+		setup func(eng *sim.Engine) sim.Resilience
+	}{
+		{"static", func(*sim.Engine) sim.Resilience {
+			return sim.Resilience{MaxQueue: cfg.StaticMaxQueue}
+		}},
+		{"deadline", func(*sim.Engine) sim.Resilience {
+			return sim.Resilience{MaxQueue: cfg.StaticMaxQueue, Budget: cfg.SLO}
+		}},
+		{"adaptive", func(eng *sim.Engine) sim.Resilience {
+			return sim.Resilience{
+				MaxQueue: cfg.StaticMaxQueue,
+				Budget:   cfg.SLO,
+				CoDel:    overload.NewCoDel(overload.DefaultCoDelConfig(), eng.Now),
+				Limiter:  overload.NewLimiter(overload.DefaultLimiterConfig()),
+			}
+		}},
+	}
+	res := &OverloadCmpResult{Capacity: capacity, TargetRate: rate}
+	for _, arm := range arms {
+		row, err := runOverloadArm(cfg, rate, capacity, arm.name, arm.setup)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overload arm %s: %w", arm.name, err)
+		}
+		res.Arms = append(res.Arms, *row)
+	}
+	return res, nil
+}
+
+func runOverloadArm(cfg OverloadCmpConfig, rate, capacity float64, name string, setup func(*sim.Engine) sim.Resilience) (*OverloadArm, error) {
+	eng := sim.NewEngine()
+	in, err := sim.NewInstance(eng, cfg.Device, cfg.Model,
+		model.Config{CatalogSize: cfg.CatalogSize, Seed: cfg.Seed},
+		true, 2*time.Millisecond, cfg.Device.MaxBatch)
+	if err != nil {
+		return nil, err
+	}
+	resil := setup(eng)
+	in.SetResilience(resil)
+	tr := trace.New(trace.Options{Clock: eng.Now})
+	in.SetTracer(tr)
+	out, err := chaos.RunSim(eng, chaos.SimConfig{
+		TargetRate: rate,
+		Duration:   cfg.Duration,
+		NoRamp:     true, // the pre-spike phase is the warm-up, not a ramp
+		Timeout:    cfg.SLO,
+		Seed:       cfg.Seed,
+		Retry:      chaos.RetryPolicy{MaxAttempts: 3},
+		// The breaker is effectively disabled: this study isolates
+		// admission control, and a breaker that opens on shed load would
+		// turn the static arm's refusals into 2s client-side blackouts,
+		// conflating two mechanisms.
+		Breaker: chaos.BreakerPolicy{FailThreshold: 1 << 30},
+	}, []*sim.Instance{in}, chaos.NewInjector(chaos.Overload(cfg.Duration)))
+	if err != nil {
+		return nil, err
+	}
+	row := &OverloadArm{
+		Name:            name,
+		Sent:            out.Sent,
+		Goodput:         spikeGoodput(out.Recorder, cfg.Duration),
+		Latency:         out.Recorder.Overall(),
+		Outcomes:        out.Recorder.Outcomes(),
+		DeadlineExpired: in.DeadlineExpired(),
+		CoDelDropped:    in.CoDelDropped(),
+		Limited:         in.Limited(),
+		EncoderSpans:    tr.StageSnapshot(trace.StageEncoderForward).Count,
+		ServedSpans:     tr.TotalSnapshot().Count,
+	}
+	if capacity > 0 {
+		row.GoodputFraction = row.Goodput / capacity
+	}
+	if resil.Limiter != nil {
+		row.FinalLimit = resil.Limiter.Limit()
+	}
+	return row, nil
+}
+
+// spikeGoodput is successful responses per second over the spike window
+// ticks ([0.2, 0.8) of the run, matching chaos.Overload).
+func spikeGoodput(rec *metrics.Recorder, duration time.Duration) float64 {
+	series := rec.Series()
+	ticks := int(duration / time.Second)
+	if ticks < 1 {
+		ticks = 1
+	}
+	from, to := ticks*2/10, ticks*8/10
+	var completed int64
+	for _, ts := range series {
+		if ts.Tick >= from && ts.Tick < to {
+			// Completed counts every finished request, failures included;
+			// goodput is only the successes.
+			completed += ts.Completed - ts.Errors
+		}
+	}
+	window := to - from
+	if window < 1 {
+		window = 1
+	}
+	return float64(completed) / float64(window)
+}
+
+// Render prints the per-arm overload table.
+func (r *OverloadCmpResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Overload — admission stacks under a 3× load spike (sim, deterministic)\n")
+	fmt.Fprintf(&b, "capacity %.0f req/s at SLO; nominal %.0f req/s, spike %.0f req/s\n",
+		r.Capacity, r.TargetRate, 3*r.TargetRate)
+	fmt.Fprintf(&b, "%-10s %8s %9s %8s %10s %10s %9s %9s %9s %7s\n",
+		"arm", "sent", "goodput", "good%", "p50", "p99", "expired", "codel", "limited", "limit")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%-10s %8d %9.0f %7.1f%% %10s %10s %9d %9d %9d %7d\n",
+			a.Name, a.Sent, a.Goodput, a.GoodputFraction*100,
+			a.Latency.P50.Round(time.Microsecond), a.Latency.P99.Round(time.Microsecond),
+			a.DeadlineExpired, a.CoDelDropped, a.Limited, a.FinalLimit)
+	}
+	fmt.Fprintf(&b, "encoder spans == served requests in every arm (expired work never reaches the encoder): ")
+	for i, a := range r.Arms {
+		if i > 0 {
+			fmt.Fprintf(&b, "; ")
+		}
+		fmt.Fprintf(&b, "%s %d/%d", a.Name, a.EncoderSpans, a.ServedSpans)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

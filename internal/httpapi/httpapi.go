@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -41,6 +42,13 @@ const (
 	// chaos-run errors are attributable to a specific request trace, and
 	// retried attempts of one logical request share one id.
 	HeaderRequestID = "X-Request-ID"
+	// HeaderDeadline carries the request's absolute deadline as Unix
+	// nanoseconds. It is absolute, not a relative timeout, so it survives
+	// queueing and proxy hops unchanged, and retried attempts of one
+	// logical request share one deadline — the client's SLO budget does
+	// not reset per attempt. Servers drop work whose deadline has passed
+	// (504) instead of computing a response nobody is waiting for.
+	HeaderDeadline = "X-Deadline"
 	// MetricsPath serves Prometheus text exposition: request/stage latency
 	// summaries, outcome counters, queue depth and drain state.
 	MetricsPath = "/metrics"
@@ -130,4 +138,28 @@ func InferenceDuration(h http.Header) time.Duration {
 		return 0
 	}
 	return d
+}
+
+// SetDeadlineHeader stamps the request's absolute deadline. Zero deadlines
+// are not written.
+func SetDeadlineHeader(h http.Header, deadline time.Time) {
+	if deadline.IsZero() {
+		return
+	}
+	h.Set(HeaderDeadline, strconv.FormatInt(deadline.UnixNano(), 10))
+}
+
+// DeadlineHeader parses the deadline header; ok is false when the header
+// is absent or malformed (such requests have no deadline, not an expired
+// one).
+func DeadlineHeader(h http.Header) (time.Time, bool) {
+	v := h.Get(HeaderDeadline)
+	if v == "" {
+		return time.Time{}, false
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ns <= 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }

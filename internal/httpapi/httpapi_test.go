@@ -75,6 +75,36 @@ func TestDurationHeadersRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	h := http.Header{}
+	want := time.Unix(1722945600, 123456789)
+	SetDeadlineHeader(h, want)
+	got, ok := DeadlineHeader(h)
+	if !ok {
+		t.Fatal("deadline header not parsed back")
+	}
+	if !got.Equal(want) {
+		t.Fatalf("deadline = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlineHeaderAbsentOrMalformed(t *testing.T) {
+	h := http.Header{}
+	if _, ok := DeadlineHeader(h); ok {
+		t.Fatal("absent header parsed as a deadline")
+	}
+	SetDeadlineHeader(h, time.Time{})
+	if h.Get(HeaderDeadline) != "" {
+		t.Fatal("zero deadline must not be written")
+	}
+	for _, bad := range []string{"not-a-number", "-5", "0", "1.5e9"} {
+		h.Set(HeaderDeadline, bad)
+		if _, ok := DeadlineHeader(h); ok {
+			t.Fatalf("malformed header %q parsed as a deadline", bad)
+		}
+	}
+}
+
 func TestInferenceDurationMalformed(t *testing.T) {
 	h := http.Header{}
 	if got := InferenceDuration(h); got != 0 {

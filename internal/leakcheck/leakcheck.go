@@ -1,0 +1,42 @@
+// Package leakcheck is a hand-rolled goroutine-leak guard for tests: it
+// snapshots runtime.NumGoroutine at registration and, at cleanup, polls
+// until the count settles back to the starting level. Servers, drains and
+// gateways spawn goroutines per request — early-drop paths (deadline
+// expiry, CoDel sheds, adaptive-limit rejections) are exactly where a
+// forgotten worker slot or an unanswered reply channel would strand one.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check registers a cleanup that fails the test if the goroutine count has
+// not settled back to its value at the time of the Check call. Call it
+// first in the test, before anything under test starts goroutines.
+//
+// The settle loop tolerates goroutines that are still winding down when
+// the test body returns (HTTP keep-alives, drain completions): it polls
+// for up to two seconds before declaring a leak, and dumps all stacks on
+// failure so the stuck goroutine is identifiable.
+func Check(t testing.TB) {
+	t.Helper()
+	start := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= start {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				sz := runtime.Stack(buf, true)
+				t.Errorf("leakcheck: %d goroutines at start, %d after settle window\n%s", start, n, buf[:sz])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

@@ -53,9 +53,10 @@ type MetaTarget interface {
 }
 
 // Classify maps a request error to its metrics kind: deadline/cancellation
-// → timeout; 429/503 and transport-level failures (connection refused,
-// reset, injected drop) → refused; other 5xx → server; anything else →
-// other.
+// and 504 (the server dropped the request because its propagated deadline
+// expired in queue — the budget is spent either way) → timeout; 429/503
+// and transport-level failures (connection refused, reset, injected drop)
+// → refused; other 5xx → server; anything else → other.
 func Classify(err error) metrics.ErrorKind {
 	var se *httpapi.StatusError
 	switch {
@@ -65,6 +66,8 @@ func Classify(err error) metrics.ErrorKind {
 		switch {
 		case se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable:
 			return metrics.KindRefused
+		case se.Code == http.StatusGatewayTimeout:
+			return metrics.KindTimeout
 		case se.Code >= 500:
 			return metrics.KindServer
 		default:
@@ -103,6 +106,14 @@ type Config struct {
 	Tick time.Duration
 	// RequestTimeout bounds each in-flight request attempt.
 	RequestTimeout time.Duration
+	// SLO, when positive, is the overall latency budget of one logical
+	// request: an absolute deadline of first-attempt-start + SLO is shared
+	// across all retry attempts (the budget does not reset per attempt),
+	// propagated to the server in the X-Deadline header, and retries whose
+	// backoff cannot fit inside the remaining budget are abandoned as
+	// budget-exhausted instead of sleeping past the deadline. 0 disables
+	// the overall budget (attempts are bounded by RequestTimeout alone).
+	SLO time.Duration
 	// DrainTimeout bounds the wait for stragglers after the last tick.
 	// Requests still outstanding when it expires are recorded as timeout
 	// failures (never dropped from the denominator).
@@ -324,21 +335,48 @@ mainLoop:
 					outMu.Unlock()
 				}()
 				reqStart := time.Now()
+				// The SLO budget is one absolute deadline for the whole
+				// logical request: every retry attempt runs under it, so
+				// attempt N inherits whatever budget attempts 1..N-1 left.
+				overall := flightCtx
+				if cfg.SLO > 0 {
+					var cancelSLO context.CancelFunc
+					overall, cancelSLO = context.WithDeadline(flightCtx, reqStart.Add(cfg.SLO))
+					defer cancelSLO()
+				}
 				var meta Meta
 				var err error
+				budgetExhausted := false
 				for attempt := 1; ; attempt++ {
-					rctx, cancel := context.WithTimeout(flightCtx, cfg.RequestTimeout)
+					rctx, cancel := context.WithTimeout(overall, cfg.RequestTimeout)
 					meta, err = predictMeta(rctx, req)
 					cancel()
 					if err == nil || flightCtx.Err() != nil ||
-						attempt >= cfg.Retry.MaxAttempts || !retryable(err) || !spendToken() {
+						attempt >= cfg.Retry.MaxAttempts || !retryable(err) {
+						break
+					}
+					if overall.Err() != nil {
+						// The SLO deadline passed during the attempt.
+						budgetExhausted = cfg.SLO > 0
+						break
+					}
+					backoff := cfg.Retry.backoff(attempt)
+					sleep := backoff + jitter(backoff)
+					if dl, ok := overall.Deadline(); ok && time.Until(dl) <= sleep {
+						// Sleeping the backoff would outlive the budget: the
+						// next attempt could never be answered in time, so
+						// abandon now — before spending a retry token — and
+						// record the truth (out of time, not server error).
+						budgetExhausted = cfg.SLO > 0
+						break
+					}
+					if !spendToken() {
 						break
 					}
 					rec.RecordRetry(tick)
-					backoff := cfg.Retry.backoff(attempt)
 					select {
-					case <-time.After(backoff + jitter(backoff)):
-					case <-flightCtx.Done():
+					case <-time.After(sleep):
+					case <-overall.Done():
 					}
 				}
 				if !st.recorded.CompareAndSwap(false, true) {
@@ -348,6 +386,8 @@ mainLoop:
 					rec.RecordStatus(tick, meta.Status)
 				}
 				switch {
+				case err != nil && budgetExhausted:
+					rec.RecordBudgetExhausted(tick)
 				case err != nil:
 					rec.RecordErrorKind(tick, Classify(err))
 				case meta.Degraded:

@@ -452,6 +452,128 @@ func TestRequestIDSharedAcrossRetries(t *testing.T) {
 	}
 }
 
+// TestSLODeadlineSharedAcrossRetries: with Config.SLO set, every retry
+// attempt of one logical request runs under the same absolute deadline —
+// the budget does not reset per attempt.
+func TestSLODeadlineSharedAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	deadlines := map[string][]time.Time{}
+	tgt := FuncTarget(func(ctx context.Context, r httpapi.PredictRequest) error {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Error("attempt context carries no deadline despite SLO")
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		deadlines[r.RequestID] = append(deadlines[r.RequestID], dl)
+		if len(deadlines[r.RequestID]) == 1 {
+			return &httpapi.StatusError{Code: http.StatusServiceUnavailable}
+		}
+		return nil
+	})
+	src := &fixedSessions{sessions: []workload.Session{{1, 2, 3}}}
+	cfg := fastConfig(50)
+	cfg.SLO = 150 * time.Millisecond
+	cfg.RequestTimeout = 10 * time.Second // so the SLO is the binding deadline
+	cfg.Retry = RetryConfig{MaxAttempts: 3, BaseBackoff: time.Millisecond, Budget: 10}
+	if _, err := Run(context.Background(), cfg, src, tgt); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	shared := 0
+	for id, dls := range deadlines {
+		for i := 1; i < len(dls); i++ {
+			if !dls[i].Equal(dls[0]) {
+				t.Fatalf("request %s: attempt %d deadline %v differs from first %v — budget reset per attempt", id, i+1, dls[i], dls[0])
+			}
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no logical request was retried; the shared-deadline property went unexercised")
+	}
+}
+
+// TestBackoffClampedToBudget: when the retry backoff cannot fit inside the
+// remaining SLO budget, the request is abandoned as budget-exhausted — no
+// sleep past the deadline, no generic server-error accounting.
+func TestBackoffClampedToBudget(t *testing.T) {
+	var calls atomic.Int64
+	tgt := FuncTarget(func(ctx context.Context, r httpapi.PredictRequest) error {
+		calls.Add(1)
+		return &httpapi.StatusError{Code: http.StatusServiceUnavailable} // always retryable
+	})
+	src := &fixedSessions{sessions: []workload.Session{{1}}}
+	cfg := fastConfig(20)
+	cfg.SLO = 50 * time.Millisecond
+	// Backoff (200ms) always exceeds the 50ms budget: every failed request
+	// must stop after its first attempt with a budget-exhausted outcome.
+	cfg.Retry = RetryConfig{MaxAttempts: 5, BaseBackoff: 200 * time.Millisecond, MaxBackoff: 200 * time.Millisecond, Budget: 10}
+	start := time.Now()
+	res, err := Run(context.Background(), cfg, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes.BudgetExhausted == 0 {
+		t.Fatalf("no budget-exhausted outcomes recorded: %+v", res.Outcomes)
+	}
+	if res.Outcomes.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 (backoff can never fit the budget)", res.Outcomes.Retries)
+	}
+	if res.Outcomes.ServerErrors != 0 || res.Outcomes.Refused != 0 {
+		t.Fatalf("budget exhaustion misrecorded as generic errors: %+v", res.Outcomes)
+	}
+	if res.Outcomes.Timeouts != res.Outcomes.BudgetExhausted {
+		t.Fatalf("budget-exhausted requests must count as timeouts: %+v", res.Outcomes)
+	}
+	// The run must not have slept 200ms per request: total wall time stays
+	// near the configured duration + drain, not attempts × backoff.
+	if elapsed := time.Since(start); elapsed > cfg.Duration+cfg.DrainTimeout+time.Second {
+		t.Fatalf("run took %v — backoff slept past the budget", elapsed)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("target never called")
+	}
+}
+
+// TestHTTPTargetSetsDeadlineHeader: the wire target stamps the context
+// deadline as the X-Deadline header.
+func TestHTTPTargetSetsDeadlineHeader(t *testing.T) {
+	var mu sync.Mutex
+	var got []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dl, ok := httpapi.DeadlineHeader(r.Header); ok {
+			mu.Lock()
+			got = append(got, dl)
+			mu.Unlock()
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	tgt := NewHTTPTarget(ts.URL)
+
+	want := time.Now().Add(time.Minute)
+	ctx, cancel := context.WithDeadline(context.Background(), want)
+	defer cancel()
+	if err := tgt.Predict(ctx, httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// No deadline on the context → no header.
+	if err := tgt.Predict(context.Background(), httpapi.PredictRequest{Items: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("X-Deadline stamped on %d of 2 requests, want exactly the one with a deadline", len(got))
+	}
+	if !got[0].Equal(want) {
+		t.Fatalf("X-Deadline = %v, want %v", got[0], want)
+	}
+}
+
 // TestHTTPTargetSetsRequestIDHeader: the wire target forwards the request id
 // as the X-Request-ID header, and distinct clicks get distinct ids.
 func TestHTTPTargetSetsRequestIDHeader(t *testing.T) {

@@ -80,6 +80,13 @@ func (t *HTTPTarget) PredictMeta(ctx context.Context, req httpapi.PredictRequest
 	if req.RequestID != "" {
 		httpReq.Header.Set(httpapi.HeaderRequestID, req.RequestID)
 	}
+	// Deadline propagation: the context's absolute deadline (the SLO budget
+	// when Config.SLO is set, the per-attempt timeout otherwise) rides the
+	// X-Deadline header so the server can drop the request the moment it
+	// can no longer be answered in time.
+	if dl, ok := ctx.Deadline(); ok {
+		httpapi.SetDeadlineHeader(httpReq.Header, dl)
+	}
 	resp, err := t.client.Do(httpReq)
 	if err != nil {
 		return Meta{}, fmt.Errorf("loadgen: request failed: %w", err)

@@ -65,14 +65,19 @@ type OutcomeCounts struct {
 	// Stragglers counts requests still outstanding when the drain window
 	// expired; they are also recorded as timeout errors.
 	Stragglers int64 `json:"stragglers"`
+	// BudgetExhausted counts logical requests abandoned because the next
+	// retry could not fit inside the request's overall SLO budget; they are
+	// also recorded as timeout errors (the deadline, not the server,
+	// decided the outcome).
+	BudgetExhausted int64 `json:"budget_exhausted"`
 }
 
 // String renders the counters compactly for logs and reports.
 func (o OutcomeCounts) String() string {
-	return fmt.Sprintf("2xx=%d 4xx=%d 5xx=%d timeout=%d refused=%d server=%d other=%d degraded=%d retries=%d stragglers=%d",
+	return fmt.Sprintf("2xx=%d 4xx=%d 5xx=%d timeout=%d refused=%d server=%d other=%d degraded=%d retries=%d stragglers=%d budget_exhausted=%d",
 		o.Status2xx, o.Status4xx, o.Status5xx,
 		o.Timeouts, o.Refused, o.ServerErrors, o.OtherErrors,
-		o.Degraded, o.Retries, o.Stragglers)
+		o.Degraded, o.Retries, o.Stragglers, o.BudgetExhausted)
 }
 
 // RecordStatus notes the HTTP status class of a response observed during
@@ -144,6 +149,18 @@ func (r *Recorder) RecordStraggler(t int) {
 	r.recordErrorLocked(t).timeouts++
 	r.outcomes.Timeouts++
 	r.outcomes.Stragglers++
+}
+
+// RecordBudgetExhausted notes a logical request abandoned mid-retry because
+// its remaining SLO budget could not cover another attempt: a timeout error
+// (mirroring RecordStraggler), tracked separately so overload runs can tell
+// "server kept refusing" from "client ran out of time to keep asking".
+func (r *Recorder) RecordBudgetExhausted(t int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordErrorLocked(t).timeouts++
+	r.outcomes.Timeouts++
+	r.outcomes.BudgetExhausted++
 }
 
 // Outcomes returns the run-wide outcome counters.

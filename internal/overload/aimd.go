@@ -1,0 +1,238 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// LimiterConfig tunes the AIMD adaptive concurrency limiter.
+type LimiterConfig struct {
+	// Initial is the starting in-flight limit (default 16).
+	Initial int
+	// Min floors the limit (default 1; values below 1 are clamped — a limit
+	// of zero would deadlock admission with nothing in flight to release).
+	Min int
+	// Max caps additive growth (default 1024).
+	Max int
+	// Tolerance is the latency gradient that separates "healthy" from
+	// "congested": a window whose minimum latency exceeds Tolerance × the
+	// no-load baseline triggers a multiplicative decrease (default 1.1).
+	// The limiter therefore converges to the largest window at which
+	// latency stays within Tolerance of uncongested service — i.e. the
+	// serving capacity — rather than to a hand-picked queue length.
+	Tolerance float64
+	// Backoff is the multiplicative-decrease factor (default 0.9 — gentle,
+	// because the latency signal fires long before total collapse).
+	Backoff float64
+	// Window is the minimum completions aggregated per control decision
+	// (default 16). The effective window is max(Window, current limit):
+	// latency feedback lags by a full round of in-flight requests, so
+	// adjusting faster than once per round over-corrects and oscillates —
+	// the same reason TCP moves its window once per RTT, not per ACK.
+	Window int
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Initial <= 0 {
+		c.Initial = 16
+	}
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 1024
+	}
+	if c.Tolerance <= 1 {
+		c.Tolerance = 1.1
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.9
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	return c
+}
+
+// DefaultLimiterConfig returns the standard limiter tuning.
+func DefaultLimiterConfig() LimiterConfig {
+	return LimiterConfig{}.withDefaults()
+}
+
+// Limiter is an AIMD adaptive concurrency limiter: admission is bounded by
+// a limit trained on observed latency against a no-load baseline. Windows
+// of completions are aggregated; a window whose minimum latency stays
+// within Tolerance of the baseline — and that actually saturated the
+// current limit — earns an additive +1, while a congested window (minimum
+// above the gradient threshold, or any completion flagged dropped) pays a
+// multiplicative decrease. The baseline is the minimum latency ever
+// observed: the service with the queue ahead of it empty. Minima, not
+// means, on both sides make the gradient robust to heterogeneous request
+// costs — under a FIFO queue even the cheapest request pays the full
+// standing queue delay, so the window minimum isolates congestion from
+// per-request cost variance, and the limiter recovers even when it starts
+// far above capacity and never sees an uncongested *average*.
+//
+// The zero-latency dropped signal matters as much as the gradient: a
+// request that timed out, was deadline-dropped downstream, or was shed by
+// CoDel never produces an honest latency sample, but it is the strongest
+// possible congestion evidence.
+//
+// All methods are safe for concurrent use and never block.
+type Limiter struct {
+	mu  sync.Mutex
+	cfg LimiterConfig
+
+	limit    float64
+	inflight int
+
+	// Window accumulators, reset after every control decision.
+	winMin      time.Duration
+	winN        int
+	winDropped  bool
+	winMaxInUse int
+	sinceAdjust int
+
+	baseline time.Duration
+	rejected int64
+}
+
+// NewLimiter builds a limiter.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, limit: float64(cfg.Initial)}
+}
+
+// TryAcquire claims one in-flight slot. It reports false — without
+// blocking — when the adaptive limit is reached; the caller sheds the
+// request. Every successful TryAcquire must be paired with exactly one
+// Release.
+func (l *Limiter) TryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight >= l.intLimit() {
+		l.rejected++
+		return false
+	}
+	l.inflight++
+	if l.inflight > l.winMaxInUse {
+		l.winMaxInUse = l.inflight
+	}
+	return true
+}
+
+// Release returns a slot and feeds the control loop: latency is the
+// request's end-to-end time, and dropped marks completions that carry a
+// congestion signal instead of an honest latency (timeout, deadline
+// expiry, CoDel shed, downstream refusal).
+func (l *Limiter) Release(latency time.Duration, dropped bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight > 0 {
+		l.inflight--
+	}
+	if dropped {
+		l.winDropped = true
+	} else if latency > 0 {
+		if l.winN == 0 || latency < l.winMin {
+			l.winMin = latency
+		}
+		l.winN++
+		if l.baseline == 0 || latency < l.baseline {
+			l.baseline = latency
+		}
+	}
+	l.sinceAdjust++
+	win := l.cfg.Window
+	if n := l.intLimit(); n > win {
+		win = n
+	}
+	if l.sinceAdjust >= win {
+		l.adjust()
+	}
+}
+
+// adjust runs one AIMD control decision over the completed window.
+// Callers hold l.mu.
+func (l *Limiter) adjust() {
+	congested := l.winDropped
+	if l.winN > 0 && float64(l.winMin) > float64(l.baseline)*l.cfg.Tolerance {
+		congested = true
+	}
+	switch {
+	case congested:
+		l.limit *= l.cfg.Backoff
+		if l.limit < float64(l.cfg.Min) {
+			l.limit = float64(l.cfg.Min)
+		}
+	case l.winMaxInUse >= l.intLimit():
+		// Additive increase — but only when the window actually pressed
+		// against the limit; an idle server must not drift to Max.
+		l.limit++
+		if l.limit > float64(l.cfg.Max) {
+			l.limit = float64(l.cfg.Max)
+		}
+	}
+	l.winMin, l.winN = 0, 0
+	l.winDropped = false
+	l.winMaxInUse = l.inflight
+	l.sinceAdjust = 0
+}
+
+func (l *Limiter) intLimit() int {
+	n := int(l.limit)
+	if n < l.cfg.Min {
+		n = l.cfg.Min
+	}
+	return n
+}
+
+// Limit returns the current in-flight limit.
+func (l *Limiter) Limit() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.intLimit()
+}
+
+// Inflight returns the currently held slots.
+func (l *Limiter) Inflight() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Baseline returns the learned no-load latency (zero until the first
+// honest completion).
+func (l *Limiter) Baseline() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseline
+}
+
+// Rejected returns how many TryAcquire calls the limit refused.
+func (l *Limiter) Rejected() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejected
+}

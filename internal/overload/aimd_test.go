@@ -1,0 +1,183 @@
+package overload
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+// completionHeap orders simulated request completions by finish time.
+type completionHeap []completion
+
+type completion struct {
+	at     time.Duration // virtual completion time
+	submit time.Duration // virtual submit time
+}
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// driveLimiter runs a deterministic virtual-time simulation of a server
+// with `capacity` parallel workers, each taking `service` per request, fed
+// by a closed loop that keeps as many requests in flight as the limiter
+// admits. Returns the limit averaged over the second half of the run —
+// AIMD oscillates around its operating point by design, so the converged
+// value is the sawtooth's mean, not any one instantaneous sample.
+func driveLimiter(t *testing.T, cfg LimiterConfig, capacity int, service time.Duration, releases int) float64 {
+	t.Helper()
+	lim := NewLimiter(cfg)
+	workers := make([]time.Duration, capacity) // per-worker free-at time
+	var pending completionHeap
+	var now time.Duration
+
+	var limitSum float64
+	var limitN int
+	rng := uint64(12345)
+	for done := 0; done < releases; {
+		// Submit everything the limiter admits at the current instant.
+		for lim.TryAcquire() {
+			// Earliest-free worker serves this request FIFO.
+			wi := 0
+			for i := range workers {
+				if workers[i] < workers[wi] {
+					wi = i
+				}
+			}
+			start := workers[wi]
+			if start < now {
+				start = now
+			}
+			// ±5% deterministic service jitter: real completions are
+			// staggered; perfectly synchronized rounds would drain the
+			// queue every round and hide queue delay from the gradient.
+			rng = rng*6364136223846793005 + 1442695040888963407
+			cost := service * time.Duration(95+(rng>>33)%11) / 100
+			workers[wi] = start + cost
+			heap.Push(&pending, completion{at: start + cost, submit: now})
+		}
+		if pending.Len() == 0 {
+			t.Fatalf("limiter admitted nothing at t=%v (limit=%d, inflight=%d): deadlock", now, lim.Limit(), lim.Inflight())
+		}
+		c := heap.Pop(&pending).(completion)
+		now = c.at
+		lim.Release(c.at-c.submit, false)
+		done++
+		if done > releases/2 {
+			limitSum += float64(lim.Limit())
+			limitN++
+		}
+	}
+	return limitSum / float64(limitN)
+}
+
+// TestLimiterConvergesToCapacity is the convergence property: for a
+// simulated server with a known service rate, the trained limit must land
+// within ±20% of the true concurrency capacity — across capacities, service
+// times, and starting limits both below and above capacity.
+func TestLimiterConvergesToCapacity(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		service  time.Duration
+		initial  int
+	}{
+		{"grow-from-below", 20, time.Millisecond, 4},
+		{"shrink-from-above", 20, time.Millisecond, 400},
+		{"slow-service", 16, 10 * time.Millisecond, 16},
+		{"large-capacity", 50, 500 * time.Microsecond, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := driveLimiter(t, LimiterConfig{Initial: tc.initial}, tc.capacity, tc.service, 40_000)
+			lo := 0.8 * float64(tc.capacity)
+			hi := 1.2 * float64(tc.capacity)
+			if got < lo || got > hi {
+				t.Fatalf("limit converged to %.1f, want within ±20%% of capacity %d ([%.1f, %.1f])",
+					got, tc.capacity, lo, hi)
+			}
+		})
+	}
+}
+
+// TestLimiterNeverDeadlocksAtFloor drives nothing but congestion signals:
+// the limit must floor at 1, never 0, and admission must still make
+// progress one request at a time.
+func TestLimiterNeverDeadlocksAtFloor(t *testing.T) {
+	lim := NewLimiter(LimiterConfig{Initial: 64, Min: 0}) // Min=0 must clamp to 1
+	for i := 0; i < 10_000; i++ {
+		if lim.TryAcquire() {
+			lim.Release(0, true) // every completion is a drop signal
+		} else {
+			// Rejected with nothing in flight would be a deadlock.
+			if lim.Inflight() == 0 {
+				t.Fatalf("rejected at i=%d with zero in flight (limit=%d)", i, lim.Limit())
+			}
+		}
+	}
+	if lim.Limit() != 1 {
+		t.Fatalf("limit = %d after sustained congestion, want floor of 1", lim.Limit())
+	}
+	// Progress at the floor: acquire, saturate, release, acquire again.
+	if !lim.TryAcquire() {
+		t.Fatal("floor limit must still admit when idle")
+	}
+	if lim.TryAcquire() {
+		t.Fatal("second acquire should exceed the floor limit")
+	}
+	lim.Release(time.Millisecond, false)
+	if !lim.TryAcquire() {
+		t.Fatal("release must free the floor slot")
+	}
+	lim.Release(time.Millisecond, false)
+}
+
+func TestLimiterIdleDoesNotDrift(t *testing.T) {
+	// A server far from saturation (limit never binding) must not grow its
+	// limit toward Max on healthy latencies alone.
+	lim := NewLimiter(LimiterConfig{Initial: 16})
+	for i := 0; i < 1000; i++ {
+		if !lim.TryAcquire() {
+			t.Fatal("unsaturated limiter rejected")
+		}
+		lim.Release(time.Millisecond, false) // one at a time: never saturates
+	}
+	if got := lim.Limit(); got != 16 {
+		t.Fatalf("idle limit drifted to %d, want 16", got)
+	}
+}
+
+func TestLimiterRejectedCounter(t *testing.T) {
+	lim := NewLimiter(LimiterConfig{Initial: 1, Min: 1})
+	if !lim.TryAcquire() {
+		t.Fatal("first acquire should succeed")
+	}
+	for i := 0; i < 5; i++ {
+		if lim.TryAcquire() {
+			t.Fatal("acquire past the limit should fail")
+		}
+	}
+	if lim.Rejected() != 5 {
+		t.Fatalf("Rejected() = %d, want 5", lim.Rejected())
+	}
+	lim.Release(time.Millisecond, false)
+}
+
+func TestLimiterNilSafe(t *testing.T) {
+	var lim *Limiter
+	if !lim.TryAcquire() {
+		t.Fatal("nil limiter must admit everything")
+	}
+	lim.Release(time.Second, true)
+	if lim.Limit() != 0 || lim.Inflight() != 0 || lim.Baseline() != 0 || lim.Rejected() != 0 {
+		t.Fatal("nil limiter accessors must return zero values")
+	}
+}

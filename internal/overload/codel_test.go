@@ -1,0 +1,151 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced virtual clock.
+type fakeClock struct{ now time.Duration }
+
+func (f *fakeClock) clock() func() time.Duration {
+	return func() time.Duration { return f.now }
+}
+
+func TestCoDelBelowTargetNeverDrops(t *testing.T) {
+	clk := &fakeClock{}
+	cd := NewCoDel(DefaultCoDelConfig(), clk.clock())
+	for i := 0; i < 1000; i++ {
+		clk.now += time.Millisecond
+		if cd.ShouldDrop(2 * time.Millisecond) {
+			t.Fatalf("dropped at i=%d with sojourn under target", i)
+		}
+	}
+	if cd.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d, want 0", cd.Dropped())
+	}
+}
+
+func TestCoDelDropsAfterSustainedInterval(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := CoDelConfig{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond}
+	cd := NewCoDel(cfg, clk.clock())
+
+	// Above-target sojourns for less than an interval: no drops yet.
+	for i := 0; i < 9; i++ {
+		clk.now += 10 * time.Millisecond
+		if cd.ShouldDrop(20 * time.Millisecond) {
+			t.Fatalf("dropped %v into the excursion, before a full interval", clk.now)
+		}
+	}
+	// Crossing the interval boundary enters the drop state.
+	clk.now += 20 * time.Millisecond
+	if !cd.ShouldDrop(20 * time.Millisecond) {
+		t.Fatal("expected first drop after a sustained interval above target")
+	}
+	if !cd.Dropping() {
+		t.Fatal("controller should be in the drop state")
+	}
+}
+
+func TestCoDelDropRateIncreases(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := CoDelConfig{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond}
+	cd := NewCoDel(cfg, clk.clock())
+
+	// Enter the drop state.
+	cd.ShouldDrop(50 * time.Millisecond)
+	clk.now = 150 * time.Millisecond
+	if !cd.ShouldDrop(50 * time.Millisecond) {
+		t.Fatal("expected to enter drop state")
+	}
+
+	// Sweep another second of sustained congestion in 1ms steps and count
+	// drops in each half; the control law must shed faster in the second.
+	var first, second int
+	for i := 0; i < 1000; i++ {
+		clk.now += time.Millisecond
+		if cd.ShouldDrop(50 * time.Millisecond) {
+			if i < 500 {
+				first++
+			} else {
+				second++
+			}
+		}
+	}
+	if first == 0 || second <= first {
+		t.Fatalf("drop rate did not increase: first half %d, second half %d", first, second)
+	}
+}
+
+func TestCoDelRecoversWhenSojournFalls(t *testing.T) {
+	clk := &fakeClock{}
+	cd := NewCoDel(DefaultCoDelConfig(), clk.clock())
+
+	cd.ShouldDrop(50 * time.Millisecond)
+	clk.now = 150 * time.Millisecond
+	cd.ShouldDrop(50 * time.Millisecond) // enter drop state
+	clk.now += time.Millisecond
+	if cd.ShouldDrop(time.Millisecond) {
+		t.Fatal("below-target sojourn must never drop")
+	}
+	if cd.Dropping() {
+		t.Fatal("below-target sojourn must exit the drop state")
+	}
+	// A fresh excursion needs a fresh full interval before dropping again.
+	clk.now += time.Millisecond
+	if cd.ShouldDrop(50 * time.Millisecond) {
+		t.Fatal("new excursion dropped without a sustained interval")
+	}
+}
+
+func TestCoDelCountMemoryOnReentry(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := CoDelConfig{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond}
+	cd := NewCoDel(cfg, clk.clock())
+
+	// Drive a long congested spell to build up the drop count.
+	cd.ShouldDrop(50 * time.Millisecond)
+	for i := 0; i < 2000; i++ {
+		clk.now += time.Millisecond
+		cd.ShouldDrop(50 * time.Millisecond)
+	}
+	if cd.Dropped() < 10 {
+		t.Fatalf("expected a built-up drop count, got %d", cd.Dropped())
+	}
+
+	// Brief dip below target, then congestion returns immediately.
+	clk.now += time.Millisecond
+	cd.ShouldDrop(time.Millisecond)
+	base := cd.Dropped()
+	clk.now += time.Millisecond
+	cd.ShouldDrop(50 * time.Millisecond) // arms a new excursion
+	var reentryDrops int64
+	for i := 0; i < 200; i++ { // 200ms: one interval to re-enter + 100ms in-state
+		clk.now += time.Millisecond
+		cd.ShouldDrop(50 * time.Millisecond)
+	}
+	reentryDrops = cd.Dropped() - base
+	// With count memory the resumed state sheds much faster than a fresh
+	// one would (a fresh state manages ~2 drops in its first 100ms).
+	if reentryDrops < 4 {
+		t.Fatalf("re-entered drop state shed only %d in 100ms; count memory lost", reentryDrops)
+	}
+}
+
+func TestCoDelNilSafe(t *testing.T) {
+	var cd *CoDel
+	if cd.ShouldDrop(time.Hour) {
+		t.Fatal("nil CoDel must never drop")
+	}
+	if cd.Dropped() != 0 || cd.Dropping() || cd.Target() != 0 {
+		t.Fatal("nil CoDel accessors must return zero values")
+	}
+}
+
+func TestCoDelDefaults(t *testing.T) {
+	cfg := DefaultCoDelConfig()
+	if cfg.Target != 5*time.Millisecond || cfg.Interval != 100*time.Millisecond {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

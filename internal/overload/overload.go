@@ -1,0 +1,185 @@
+// Package overload implements ETUDE's self-tuning overload-control
+// primitives: a CoDel-style queue discipline that bounds queueing *delay*
+// rather than queue *length*, and an AIMD adaptive concurrency limiter that
+// learns the serving capacity from observed latency instead of relying on a
+// hand-tuned pending-request bound.
+//
+// Both primitives are substrate-agnostic by construction: they consume
+// explicit timestamps (offsets from an arbitrary epoch, like trace.Clock)
+// instead of reading the wall clock, so the live inference server drives
+// them with monotonic wall time while the discrete-event simulator
+// (internal/sim) drives the very same control laws with virtual time —
+// an overload chaos scenario therefore replays deterministically.
+//
+// The motivation is the congestion-collapse regime of capacity-driven
+// scale-out recommendation serving: past saturation, a FIFO queue bounded
+// only by length serves every admitted request late, spending encoder and
+// MIPS FLOPs on responses whose callers already timed out. CoDel sheds from
+// the head the moment sojourn time stays above target for an interval, and
+// the AIMD limiter shrinks the in-flight window until observed latency sits
+// near the no-load baseline — goodput plateaus near capacity instead of
+// collapsing.
+package overload
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// CoDelConfig tunes the controlled-delay queue discipline.
+type CoDelConfig struct {
+	// Target is the acceptable standing queue delay: sojourn times below it
+	// never trigger drops (default 5ms — CoDel's classic target, which also
+	// suits a sub-50ms serving SLO).
+	Target time.Duration
+	// Interval is how long the minimum sojourn must stay above Target
+	// before the controller starts dropping (default 100ms). It should
+	// cover at least a round-trip worth of normal latency variation.
+	Interval time.Duration
+}
+
+func (c CoDelConfig) withDefaults() CoDelConfig {
+	if c.Target <= 0 {
+		c.Target = 5 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// DefaultCoDelConfig returns the classic 5ms/100ms controller.
+func DefaultCoDelConfig() CoDelConfig {
+	return CoDelConfig{}.withDefaults()
+}
+
+// CoDel is the controlled-delay dropper, evaluated at dequeue time: the
+// caller computes each entry's sojourn (now − enqueue) and asks ShouldDrop.
+// While the minimum sojourn over an interval stays above target, entries
+// are shed from the head on the standard control-law schedule — the drop
+// rate increases with the square root of the drop count until the queue
+// delay falls back under target.
+//
+// All methods are safe for concurrent use; the clock must be monotone
+// non-decreasing across calls.
+type CoDel struct {
+	mu  sync.Mutex
+	cfg CoDelConfig
+	// clock supplies "now" as an offset from an arbitrary epoch.
+	clock func() time.Duration
+
+	// firstAbove is when the current above-target excursion would have
+	// lasted a full interval (0 = sojourn currently under target).
+	firstAbove time.Duration
+	// dropping marks the active drop state; dropNext schedules the next
+	// drop and count is the drops in the current state (control law:
+	// dropNext += interval/sqrt(count)).
+	dropping bool
+	dropNext time.Duration
+	count    int
+	// lastCount remembers count at state exit so a quickly re-entered drop
+	// state resumes at a higher drop rate instead of restarting gently.
+	lastCount int
+	exitedAt  time.Duration
+
+	dropped int64
+}
+
+// NewCoDel builds a controller. A nil clock reads the process monotonic
+// clock; the simulator passes its engine's virtual clock so drop decisions
+// replay deterministically.
+func NewCoDel(cfg CoDelConfig, clock func() time.Duration) *CoDel {
+	if clock == nil {
+		epoch := time.Now()
+		clock = func() time.Duration { return time.Since(epoch) }
+	}
+	return &CoDel{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// ShouldDrop reports whether the entry now at the head of the queue, having
+// waited sojourn, should be shed instead of served. Call it once per
+// dequeue, in queue order.
+func (c *CoDel) ShouldDrop(sojourn time.Duration) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+
+	if sojourn < c.cfg.Target {
+		// Queue delay is fine: leave the drop state and reset the excursion.
+		if c.dropping {
+			c.lastCount = c.count
+			c.exitedAt = now
+		}
+		c.dropping = false
+		c.firstAbove = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		// First above-target sojourn: arm the interval timer, don't drop yet.
+		c.firstAbove = now + c.cfg.Interval
+		return false
+	}
+	if now < c.firstAbove {
+		return false // above target, but not yet for a full interval
+	}
+	if !c.dropping {
+		c.dropping = true
+		// Re-entering shortly after exit resumes near the previous drop
+		// rate (the control law's "count memory"): congestion that never
+		// really went away should not get a fresh gentle start.
+		if c.lastCount > 2 && now-c.exitedAt < 8*c.cfg.Interval {
+			c.count = c.lastCount - 2
+		} else {
+			c.count = 1
+		}
+		c.dropNext = now + c.intervalFor(c.count)
+		c.dropped++
+		return true
+	}
+	if now >= c.dropNext {
+		c.count++
+		c.dropNext += c.intervalFor(c.count)
+		c.dropped++
+		return true
+	}
+	return false
+}
+
+// intervalFor is the control law: successive drops come interval/sqrt(n)
+// apart, so the shed rate grows until the standing queue dissolves.
+func (c *CoDel) intervalFor(n int) time.Duration {
+	return time.Duration(float64(c.cfg.Interval) / math.Sqrt(float64(n)))
+}
+
+// Dropped returns how many entries the controller has shed.
+func (c *CoDel) Dropped() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Dropping reports whether the controller is currently in the drop state
+// (sustained above-target queue delay).
+func (c *CoDel) Dropping() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropping
+}
+
+// Target returns the configured sojourn target.
+func (c *CoDel) Target() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.Target
+}

@@ -17,6 +17,7 @@ import (
 	"etude/internal/httpapi"
 	"etude/internal/metrics"
 	"etude/internal/model"
+	"etude/internal/overload"
 	"etude/internal/trace"
 )
 
@@ -189,6 +190,56 @@ func TestMetricsEndpointParsesBack(t *testing.T) {
 	}
 	if _, ok := byKey["etude_queue_depth"]; !ok {
 		t.Fatal("missing etude_queue_depth gauge")
+	}
+	// Overload-control families are always exposed, zero-valued when idle.
+	for _, fam := range []string{"etude_deadline_expired_total", "etude_codel_dropped_total", "etude_inflight_limit"} {
+		if v, ok := byKey[fam]; !ok || v != 0 {
+			t.Fatalf("%s = %v (present %v), want 0 on an idle unlimited server", fam, v, ok)
+		}
+	}
+}
+
+func TestMetricsExposeOverloadCounters(t *testing.T) {
+	lim := overload.NewLimiter(overload.LimiterConfig{Initial: 8})
+	s, _ := New(testModel(t), Options{Limiter: lim})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One expired request and one served request.
+	body, _ := json.Marshal(httpapi.PredictRequest{Items: []int64{1}})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+httpapi.PredictPath, bytes.NewReader(body))
+	httpapi.SetDeadlineHeader(hreq.Header, time.Now().Add(-time.Second))
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired request status = %d, want 504", resp.StatusCode)
+	}
+	if resp2 := predictWithID(t, ts, "", httpapi.PredictRequest{Items: []int64{1}}); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("live request status = %d", resp2.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + httpapi.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	samples, err := metrics.ParsePromText(mresp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse back: %v", err)
+	}
+	byKey := map[string]float64{}
+	for _, smp := range samples {
+		byKey[smp.Key()] = smp.Value
+	}
+	if byKey["etude_deadline_expired_total"] != 1 {
+		t.Fatalf("etude_deadline_expired_total = %v, want 1", byKey["etude_deadline_expired_total"])
+	}
+	if byKey["etude_inflight_limit"] != float64(lim.Limit()) || byKey["etude_inflight_limit"] == 0 {
+		t.Fatalf("etude_inflight_limit = %v, want current limit %d", byKey["etude_inflight_limit"], lim.Limit())
 	}
 }
 

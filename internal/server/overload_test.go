@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/leakcheck"
+	"etude/internal/overload"
+	"etude/internal/trace"
+)
+
+// predictWithDeadline posts a prediction stamped with an absolute deadline.
+func predictWithDeadline(t *testing.T, ts *httptest.Server, deadline time.Time, req httpapi.PredictRequest) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+httpapi.PredictPath, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpapi.SetDeadlineHeader(hreq.Header, deadline)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestExpiredDeadlineAnswered504BeforeEncoder(t *testing.T) {
+	leakcheck.Check(t)
+	tr := trace.New(trace.Options{})
+	s, _ := New(testModel(t), Options{Tracer: tr})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := predictWithDeadline(t, ts, time.Now().Add(-time.Second), httpapi.PredictRequest{Items: []int64{1, 2}})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 for an already-expired deadline", resp.StatusCode)
+	}
+	if got := s.DeadlineExpired(); got != 1 {
+		t.Fatalf("DeadlineExpired() = %d, want 1", got)
+	}
+	// The whole point of dropping expired work: zero encoder FLOPs spent.
+	if n := tr.StageSnapshot(trace.StageEncoderForward).Count; n != 0 {
+		t.Fatalf("encoder-forward spans = %d for an expired request, want 0", n)
+	}
+}
+
+func TestFutureDeadlineServesNormally(t *testing.T) {
+	leakcheck.Check(t)
+	s, _ := New(testModel(t), Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := predictWithDeadline(t, ts, time.Now().Add(10*time.Second), httpapi.PredictRequest{Items: []int64{1, 2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with budget to spare", resp.StatusCode)
+	}
+}
+
+func TestAdaptiveLimiterShedsAtLimit(t *testing.T) {
+	leakcheck.Check(t)
+	lim := overload.NewLimiter(overload.LimiterConfig{Initial: 1, Min: 1})
+	s, _ := New(testModel(t), Options{Limiter: lim})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Saturate the limit from outside the server, as a second in-flight
+	// request would.
+	if !lim.TryAcquire() {
+		t.Fatal("fresh limiter refused its first slot")
+	}
+	resp, _ := predict(t, ts, httpapi.PredictRequest{Items: []int64{1}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 past the adaptive limit", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("adaptive shed must carry Retry-After")
+	}
+	if s.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", s.Shed())
+	}
+	lim.Release(time.Millisecond, false)
+
+	// With the slot free the same request serves, and its latency trains
+	// the limiter's baseline.
+	resp, _ = predict(t, ts, httpapi.PredictRequest{Items: []int64{1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d after release, want 200", resp.StatusCode)
+	}
+	if lim.Inflight() != 0 {
+		t.Fatalf("Inflight() = %d after completion, want 0 (slot leaked)", lim.Inflight())
+	}
+}
+
+func TestLimiterReleasedOnEveryOutcome(t *testing.T) {
+	leakcheck.Check(t)
+	lim := overload.NewLimiter(overload.LimiterConfig{Initial: 4})
+	s, _ := New(testModel(t), Options{Limiter: lim})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Success, bad request, and expired deadline must all return their slot.
+	predict(t, ts, httpapi.PredictRequest{Items: []int64{1}})
+	predict(t, ts, httpapi.PredictRequest{Items: []int64{-5}})
+	predictWithDeadline(t, ts, time.Now().Add(-time.Second), httpapi.PredictRequest{Items: []int64{1}})
+	if lim.Inflight() != 0 {
+		t.Fatalf("Inflight() = %d after mixed outcomes, want 0", lim.Inflight())
+	}
+}

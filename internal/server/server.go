@@ -35,6 +35,7 @@ import (
 	"etude/internal/metrics"
 	"etude/internal/model"
 	"etude/internal/objstore"
+	"etude/internal/overload"
 	"etude/internal/shard"
 	"etude/internal/topk"
 	"etude/internal/trace"
@@ -55,7 +56,20 @@ type Options struct {
 	// control): requests beyond the bound are shed with 429 + Retry-After
 	// instead of queueing without limit. 0 defaults to 16× Workers;
 	// negative disables the bound (the original unbounded behaviour).
+	// When Limiter is set this static bound is only a backstop — the
+	// adaptive limit is the primary admission signal.
 	MaxPending int
+	// Limiter, when non-nil, is the AIMD adaptive concurrency limiter used
+	// as the primary admission signal: requests past the learned in-flight
+	// limit are shed with 429, and every admitted request's latency (or
+	// congestion outcome) trains the limit. Replaces hand-tuning MaxPending
+	// against the deployment's capacity.
+	Limiter *overload.Limiter
+	// CoDel, when non-nil, sheds queued work whose sojourn time shows a
+	// standing queue: worker-pool waits on the unbatched path, buffered
+	// entries at flush on the batching path (it is threaded into the
+	// batcher's config automatically). Shed requests answer 503.
+	CoDel *overload.CoDel
 	// DegradeAt is the pending-request watermark at which prediction
 	// requests are answered from the precomputed fallback list instead of
 	// the model, flagged with the X-Degraded header (graceful
@@ -141,6 +155,11 @@ type Server struct {
 	shed     atomic.Int64
 	degraded atomic.Int64
 	served   atomic.Int64
+	// deadlineExpired counts requests dropped because their propagated
+	// deadline passed while they queued (504); codelDropped counts requests
+	// shed by the CoDel queue discipline (503).
+	deadlineExpired atomic.Int64
+	codelDropped    atomic.Int64
 	// fallback is the precomputed popularity-style response served while
 	// degraded (nil in static mode).
 	fallback []topk.Result
@@ -191,7 +210,11 @@ func New(m model.Model, opts Options) (*Server, error) {
 		s.pool <- s.newPredictor()
 	}
 	if opts.Batch != nil {
-		b, err := batching.New(*opts.Batch, s.runBatch)
+		cfg := *opts.Batch
+		if cfg.CoDel == nil {
+			cfg.CoDel = opts.CoDel
+		}
+		b, err := batching.New(cfg, s.runBatch)
 		if err != nil {
 			return nil, err
 		}
@@ -209,6 +232,13 @@ func New(m model.Model, opts Options) (*Server, error) {
 
 // Shed returns how many requests admission control refused (429).
 func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// DeadlineExpired returns how many requests were dropped because their
+// propagated deadline passed while they queued (504).
+func (s *Server) DeadlineExpired() int64 { return s.deadlineExpired.Load() }
+
+// CoDelDropped returns how many requests the CoDel queue discipline shed.
+func (s *Server) CoDelDropped() int64 { return s.codelDropped.Load() }
 
 // BeginDrain moves the server into the draining state: the readiness probe
 // (/ping) starts answering 503 so balancers and service routers take the
@@ -396,6 +426,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.Counter("etude_requests_total", "Prediction requests answered 200.", float64(s.served.Load()))
 	b.Counter("etude_shed_total", "Requests refused by admission control (429).", float64(s.shed.Load()))
 	b.Counter("etude_degraded_total", "Responses served by the degraded fallback path.", float64(s.degraded.Load()))
+	b.Counter("etude_deadline_expired_total", "Requests dropped because their deadline passed while queued (504).", float64(s.deadlineExpired.Load()))
+	b.Counter("etude_codel_dropped_total", "Requests shed by the CoDel queue discipline.", float64(s.codelDropped.Load()))
+	limit := 0.0
+	if s.opts.Limiter != nil {
+		limit = float64(s.opts.Limiter.Limit())
+	}
+	b.Gauge("etude_inflight_limit", "Adaptive in-flight limit (0 = static admission only).", limit)
 	b.Gauge("etude_pending_requests", "Admitted but unanswered prediction requests.", float64(s.pending.Load()))
 	b.Gauge("etude_queue_depth", "Server queue depth (batcher queue when batching).", float64(s.queueDepth()))
 	drain := 0.0
@@ -451,6 +488,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "use POST", http.StatusMethodNotAllowed)
 		return
 	}
+	// Deadline propagation: the client's absolute X-Deadline joins the
+	// request context so every stage below — admission, batcher flush,
+	// worker dispatch — can check the remaining budget. Work whose caller
+	// has already given up is dropped with 504 instead of computed.
+	if dl, ok := httpapi.DeadlineHeader(r.Header); ok {
+		ctx, cancel := context.WithDeadline(r.Context(), dl)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if ctx.Err() == context.DeadlineExceeded {
+			s.deadlineExpired.Add(1)
+			http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
+			return
+		}
+	}
 	// Admission control: past the pending bound the server sheds with 429 +
 	// Retry-After instead of queueing without limit — a saturated server
 	// answering "not now" fast beats one answering everything late.
@@ -459,6 +510,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
 		return
+	}
+	// Adaptive admission: the AIMD limiter bounds in-flight work at the
+	// learned capacity; the static bound above is only its backstop.
+	// `congested` marks outcomes that feed the limiter a drop signal
+	// instead of an honest latency.
+	congested := false
+	if lim := s.opts.Limiter; lim != nil {
+		if !lim.TryAcquire() {
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded (adaptive limit), retry later", http.StatusTooManyRequests)
+			return
+		}
+		limStart := time.Now()
+		defer func() { lim.Release(time.Since(limStart), congested) }()
 	}
 	s.pending.Add(1)
 	defer s.pending.Add(-1)
@@ -504,8 +570,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// abandon it rather than recycle it under a racing writer.
 			sp = nil
 			status := http.StatusServiceUnavailable
-			if err == context.Canceled || err == context.DeadlineExceeded {
+			switch err {
+			case context.DeadlineExceeded:
 				status = http.StatusGatewayTimeout
+				s.deadlineExpired.Add(1)
+				congested = true
+			case context.Canceled:
+				status = http.StatusGatewayTimeout
+				congested = true
+			case batching.ErrCoDelDropped:
+				s.codelDropped.Add(1)
+				congested = true
+				w.Header().Set("Retry-After", "1")
 			}
 			http.Error(w, err.Error(), status)
 			return
@@ -518,13 +594,41 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// 499-style (nginx's "client closed request") if the client hung
 		// up first.
 		poolWait := sp.Now()
+		waitStart := time.Now()
 		select {
 		case p := <-s.pool:
 			sp.ObserveSince(trace.StageQueueWait, poolWait)
+			// Expired work must not reach the encoder: the budget check
+			// happens after the queue wait, right before dispatch.
+			if r.Context().Err() == context.DeadlineExceeded {
+				s.pool <- p
+				s.deadlineExpired.Add(1)
+				congested = true
+				sp.Discard()
+				http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
+				return
+			}
+			// CoDel on the worker-pool wait: a sustained standing queue in
+			// front of the workers sheds from the head here.
+			if s.opts.CoDel.ShouldDrop(time.Since(waitStart)) {
+				s.pool <- p
+				s.codelDropped.Add(1)
+				congested = true
+				sp.Discard()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "shed by queue discipline, retry later", http.StatusServiceUnavailable)
+				return
+			}
 			recs = p(req.Items, sp)
 			s.pool <- p
 		case <-r.Context().Done():
 			sp.Discard()
+			if r.Context().Err() == context.DeadlineExceeded {
+				s.deadlineExpired.Add(1)
+				congested = true
+				http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
+				return
+			}
 			w.WriteHeader(httpapi.StatusClientClosedRequest)
 			return
 		}

@@ -12,6 +12,7 @@ import (
 
 	"etude/internal/batching"
 	"etude/internal/httpapi"
+	"etude/internal/leakcheck"
 	"etude/internal/model"
 	"etude/internal/objstore"
 )
@@ -448,6 +449,7 @@ func TestLoadFromBucketWithWeights(t *testing.T) {
 // work) while liveness stays green (supervisors must not restart) and
 // predictions — admitted or racing — still complete.
 func TestDrainLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	m := testModel(t)
 	s, err := New(m, Options{Workers: 2})
 	if err != nil {

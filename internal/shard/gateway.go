@@ -188,6 +188,14 @@ func (g *Gateway) fetchShard(ctx context.Context, shard int, req httpapi.Predict
 		select {
 		case <-hedgeC:
 			hedgeC = nil
+			// A backup is expected to take about as long as the hedge delay
+			// (the p95 of healthy sub-requests). If the caller's deadline
+			// cannot cover that, the backup is wasted work: it would be
+			// killed by the deadline before it could win.
+			if dl, hasDL := ctx.Deadline(); hasDL && time.Until(dl) < g.timer.delay() {
+				g.stats.RecordSuppressed()
+				continue
+			}
 			if _, ok := launch(true, primaryURL); ok {
 				g.stats.RecordSent()
 				outstanding++
@@ -230,6 +238,12 @@ func (g *Gateway) do(ctx context.Context, baseURL string, req httpapi.PredictReq
 	hreq.Header.Set("Content-Type", "application/json")
 	if req.RequestID != "" {
 		hreq.Header.Set(httpapi.HeaderRequestID, req.RequestID)
+	}
+	// Propagate the effective deadline (the tighter of the caller's budget
+	// and the per-attempt timeout) so shard pods can shed expired work from
+	// their own queues instead of computing answers nobody is waiting for.
+	if dl, ok := ctx.Deadline(); ok {
+		httpapi.SetDeadlineHeader(hreq.Header, dl)
 	}
 	resp, err := g.client.Do(hreq)
 	if err != nil {

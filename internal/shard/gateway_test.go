@@ -11,6 +11,7 @@ import (
 
 	"etude/internal/cluster"
 	"etude/internal/httpapi"
+	"etude/internal/leakcheck"
 	"etude/internal/model"
 	"etude/internal/server"
 	"etude/internal/shard"
@@ -33,6 +34,7 @@ func newPartitionPod(t *testing.T, m model.Model, part shard.Partition) *httptes
 // pods (JSON round-trip included) and merging reproduces the unsharded
 // model bit for bit.
 func TestGatewayMatchesUnshardedModel(t *testing.T) {
+	leakcheck.Check(t)
 	m, err := model.New("gru4rec", model.Config{CatalogSize: 2_000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +89,7 @@ func (p *scriptedPicker) PickURL() string {
 func (p *scriptedPicker) Report(string, bool) {}
 
 func TestGatewayHedgesSlowReplica(t *testing.T) {
+	leakcheck.Check(t)
 	m, err := model.New("gru4rec", model.Config{CatalogSize: 500, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +136,55 @@ func TestGatewayHedgesSlowReplica(t *testing.T) {
 	}
 }
 
+// A hedge fired with less remaining deadline budget than the hedge delay
+// (the expected backup latency) is wasted work: the backup would be killed
+// by the deadline before it could win. The gateway must skip it and count
+// the suppression instead.
+func TestGatewayHedgeSuppressedOnExhaustedBudget(t *testing.T) {
+	leakcheck.Check(t)
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := shard.Partition{Index: 0, From: 0, To: 500}
+	fast := newPartitionPod(t, m, full)
+	slowSrv, err := server.New(m, server.Options{Workers: 2, Partition: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowHandler := slowSrv.Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		slowHandler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { slow.Close(); slowSrv.Close() })
+
+	// Primary lands on the slow replica; the hedge fires at 200ms with only
+	// ~50ms of the 250ms budget left — not enough for a 200ms backup.
+	picker := &scriptedPicker{urls: []string{slow.URL, fast.URL}}
+	gw, err := shard.NewGateway([]shard.Picker{picker}, shard.GatewayConfig{
+		K:     m.Config().TopK,
+		Hedge: shard.HedgeConfig{Enabled: true, Delay: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	if _, err := gw.Predict(ctx, httpapi.PredictRequest{SessionID: 4, Items: []int64{7, 31}}); err == nil {
+		t.Fatal("expected the deadline to expire with the hedge suppressed")
+	}
+	st := gw.Stats()
+	if st.Suppressed() != 1 {
+		t.Fatalf("Suppressed() = %d, want 1", st.Suppressed())
+	}
+	if st.Sent() != 0 {
+		t.Fatalf("Sent() = %d, want 0: the backup should never have launched", st.Sent())
+	}
+}
+
 func TestGatewayFailsWhenShardUnavailable(t *testing.T) {
+	leakcheck.Check(t)
 	// Exactness over availability: a shard with no routable replica fails
 	// the whole request — a silently missing partition would return a
 	// plausible but wrong top-k.

@@ -43,9 +43,10 @@ func (c HedgeConfig) withDefaults() HedgeConfig {
 // HedgeStats counts hedging outcomes. All methods are safe for concurrent
 // use.
 type HedgeStats struct {
-	sent      atomic.Int64
-	wins      atomic.Int64
-	cancelled atomic.Int64
+	sent       atomic.Int64
+	wins       atomic.Int64
+	cancelled  atomic.Int64
+	suppressed atomic.Int64
 }
 
 // RecordSent notes one backup sub-request issued.
@@ -58,6 +59,11 @@ func (h *HedgeStats) RecordWin() { h.wins.Add(1) }
 // response discarded) after the winner answered.
 func (h *HedgeStats) RecordCancelled() { h.cancelled.Add(1) }
 
+// RecordSuppressed notes one hedge skipped because the caller's remaining
+// deadline budget could not cover the expected backup latency — the backup
+// would have been wasted work.
+func (h *HedgeStats) RecordSuppressed() { h.suppressed.Add(1) }
+
 // Sent returns how many backup sub-requests were issued.
 func (h *HedgeStats) Sent() int64 { return h.sent.Load() }
 
@@ -66,6 +72,10 @@ func (h *HedgeStats) Wins() int64 { return h.wins.Load() }
 
 // Cancelled returns how many losing sub-requests were cancelled.
 func (h *HedgeStats) Cancelled() int64 { return h.cancelled.Load() }
+
+// Suppressed returns how many hedges were skipped for lack of deadline
+// budget.
+func (h *HedgeStats) Suppressed() int64 { return h.suppressed.Load() }
 
 // WriteMetrics appends the hedge counters to a Prometheus exposition —
 // plug it into server.Options.MetricsExtra or any PromBuilder scrape.
@@ -76,6 +86,8 @@ func (h *HedgeStats) WriteMetrics(pb *metrics.PromBuilder) {
 		"Hedged shard sub-requests where the backup answered first.", float64(h.Wins()))
 	pb.Counter("etude_hedge_cancelled_total",
 		"Losing shard sub-requests cancelled after the winner answered.", float64(h.Cancelled()))
+	pb.Counter("etude_hedges_suppressed_total",
+		"Hedges skipped because the remaining deadline budget could not cover the expected backup latency.", float64(h.Suppressed()))
 }
 
 // hedgeTimer answers "how long to wait before hedging" from the observed

@@ -7,6 +7,7 @@ import (
 
 	"etude/internal/device"
 	"etude/internal/model"
+	"etude/internal/overload"
 	"etude/internal/trace"
 )
 
@@ -20,6 +21,19 @@ var (
 	// ErrShed is returned when the instance's bounded queue is full and the
 	// request is refused instead of enqueued.
 	ErrShed = errors.New("sim: request shed (queue full)")
+	// ErrLimited is returned when the adaptive concurrency limiter refuses
+	// admission — the sim analogue of the server's 429 "adaptive limit"
+	// response; refused before any queueing, so retryable.
+	ErrLimited = errors.New("sim: request shed (adaptive concurrency limit)")
+	// ErrDeadlineExpired is returned for a request whose queue sojourn
+	// consumed its whole deadline budget: dropped at dequeue, before the
+	// executor, mirroring the server's 504 deadline-exceeded-in-queue. The
+	// budget is gone, so it is never retried.
+	ErrDeadlineExpired = errors.New("sim: deadline expired in queue")
+	// ErrCoDelDropped is returned for a request shed at dequeue by the CoDel
+	// queue discipline (standing queue above target); the client still has
+	// budget, so it is retryable like ErrShed.
+	ErrCoDelDropped = errors.New("sim: request shed (CoDel queue discipline)")
 )
 
 // Outcome describes one completed simulated request.
@@ -48,6 +62,21 @@ type Resilience struct {
 	// DegradeCost is the service time of the fallback responder (default
 	// 200µs — a precomputed list lookup, no model execution).
 	DegradeCost time.Duration
+	// Budget is the per-request deadline budget (the sim mirror of the
+	// X-Deadline header): a request whose queue sojourn reaches it is
+	// dropped at dequeue with ErrDeadlineExpired instead of occupying the
+	// executor with work nobody is waiting for. 0 disables.
+	Budget time.Duration
+	// CoDel, when non-nil, sheds from the head of the queue whenever the
+	// minimum sojourn has exceeded the CoDel target for a full interval.
+	// Build it with overload.NewCoDel(cfg, eng.Now) so its interval
+	// tracking runs in virtual time; a wall-clock CoDel would break
+	// determinism.
+	CoDel *overload.CoDel
+	// Limiter, when non-nil, is the AIMD adaptive concurrency limiter
+	// consulted at admission (after the MaxQueue backstop). Completions
+	// feed it observed virtual latencies; failed outcomes count as drops.
+	Limiter *overload.Limiter
 }
 
 func (r Resilience) withDefaults() Resilience {
@@ -104,6 +133,12 @@ type Instance struct {
 	inflight []Request
 
 	res Resilience
+
+	// Overload-control counters (the sim runs single-threaded inside the
+	// event loop, so plain ints suffice).
+	deadlineExpired int64
+	codelDropped    int64
+	limited         int64
 
 	// tracer, when set, records per-stage spans in virtual time. It must be
 	// built with the engine's clock (see SetTracer).
@@ -254,7 +289,7 @@ func (in *Instance) Submit(sessionLen int, done func(latency time.Duration)) {
 // SubmitOutcome enqueues a request; done fires exactly once with the
 // outcome. Down instances and full queues fail the request immediately.
 func (in *Instance) SubmitOutcome(sessionLen int, done func(Outcome)) {
-	req := Request{SessionLen: sessionLen, arrival: in.eng.Now(), done: done}
+	arrival := in.eng.Now()
 	if in.down {
 		done(Outcome{Err: ErrPodDown})
 		return
@@ -266,19 +301,35 @@ func (in *Instance) SubmitOutcome(sessionLen int, done func(Outcome)) {
 		epoch := in.epoch
 		in.eng.Schedule(in.res.DegradeCost, func() {
 			if in.epoch != epoch {
-				req.done(Outcome{Latency: in.eng.Now() - req.arrival, Err: ErrPodDown})
+				done(Outcome{Latency: in.eng.Now() - arrival, Err: ErrPodDown})
 				return
 			}
-			req.done(Outcome{Latency: in.eng.Now() - req.arrival, Degraded: true})
+			done(Outcome{Latency: in.eng.Now() - arrival, Degraded: true})
 		})
 		return
 	}
-	// Admission control: a bounded queue sheds instead of growing without
-	// limit.
+	// Admission control: the static bounded queue is the backstop, ahead of
+	// the adaptive limiter (mirroring the server's MaxPending ordering).
 	if in.res.MaxQueue > 0 && pending >= in.res.MaxQueue {
 		done(Outcome{Err: ErrShed})
 		return
 	}
+	if lim := in.res.Limiter; lim != nil {
+		if !lim.TryAcquire() {
+			in.limited++
+			done(Outcome{Err: ErrLimited})
+			return
+		}
+		// Wrap the completion so every admitted request releases its slot
+		// exactly once — drops (expired, CoDel, crash) feed the limiter
+		// congestion evidence, successes feed it honest latency.
+		inner := done
+		done = func(o Outcome) {
+			lim.Release(in.eng.Now()-arrival, o.Err != nil)
+			inner(o)
+		}
+	}
+	req := Request{SessionLen: sessionLen, arrival: arrival, done: done}
 	req.sp = in.tracer.Start("")
 	if in.spec.Kind == device.KindCPU {
 		in.queue = append(in.queue, req)
@@ -296,14 +347,45 @@ func (in *Instance) SubmitOutcome(sessionLen int, done func(Outcome)) {
 	}
 }
 
+// dropAtDequeue applies the dequeue-time overload checks to a request about
+// to leave the queue: deadline budget first (the request is already dead to
+// its caller), CoDel second (shedding keeps the standing queue at target).
+// It reports true after completing the request with the matching error.
+func (in *Instance) dropAtDequeue(req Request, sojourn time.Duration) bool {
+	if in.res.Budget > 0 && sojourn >= in.res.Budget {
+		in.deadlineExpired++
+		req.sp.Discard()
+		req.done(Outcome{Latency: sojourn, Err: ErrDeadlineExpired})
+		return true
+	}
+	if in.res.CoDel.ShouldDrop(sojourn) {
+		in.codelDropped++
+		req.sp.Discard()
+		req.done(Outcome{Latency: sojourn, Err: ErrCoDelDropped})
+		return true
+	}
+	return false
+}
+
 // pumpCPU starts the next request on the (single, intra-op parallel)
-// executor when it is idle.
+// executor when it is idle. Requests whose deadline budget expired in the
+// queue, and CoDel-shed heads, are dropped here — at dequeue, before the
+// executor — so expired work never reaches the encoder.
 func (in *Instance) pumpCPU() {
-	if in.busy || in.down || len(in.queue) == 0 {
+	if in.busy || in.down {
 		return
 	}
-	req := in.queue[0]
-	in.queue = in.queue[1:]
+	var req Request
+	for {
+		if len(in.queue) == 0 {
+			return
+		}
+		req = in.queue[0]
+		in.queue = in.queue[1:]
+		if !in.dropAtDequeue(req, in.eng.Now()-req.arrival) {
+			break
+		}
+	}
 	in.busy = true
 	in.inflight = append(in.inflight[:0], req)
 	cost := in.costFor(req.SessionLen)
@@ -343,14 +425,23 @@ func (in *Instance) flushTimer() {
 }
 
 // startBatch launches up to maxBatch buffered requests on the accelerator.
+// Deadline-expired and CoDel-shed entries are filtered out while the batch
+// assembles (the batcher's flush is the accelerator path's dequeue point),
+// so a stale buffer never wastes a forward pass.
 func (in *Instance) startBatch() {
-	n := len(in.buffer)
-	if n > in.maxBatch {
-		n = in.maxBatch
+	now := in.eng.Now()
+	batch := make([]Request, 0, in.maxBatch)
+	for len(in.buffer) > 0 && len(batch) < in.maxBatch {
+		r := in.buffer[0]
+		in.buffer = in.buffer[1:]
+		if !in.dropAtDequeue(r, now-r.arrival) {
+			batch = append(batch, r)
+		}
 	}
-	batch := make([]Request, n)
-	copy(batch, in.buffer)
-	in.buffer = in.buffer[n:]
+	n := len(batch)
+	if n == 0 {
+		return // every candidate was dropped; the next submit or flush re-pumps
+	}
 	in.busy = true
 	in.inflight = append(in.inflight[:0], batch...)
 	in.tracer.ObserveBatchFlush(n)
@@ -401,6 +492,17 @@ func (in *Instance) startBatch() {
 // BusyTime returns the accumulated device-busy virtual time — the
 // utilisation signal the autoscaler divides by wall time.
 func (in *Instance) BusyTime() time.Duration { return in.busyTotal }
+
+// DeadlineExpired returns how many requests were dropped at dequeue because
+// their deadline budget had already been consumed in the queue.
+func (in *Instance) DeadlineExpired() int64 { return in.deadlineExpired }
+
+// CoDelDropped returns how many requests the CoDel queue discipline shed.
+func (in *Instance) CoDelDropped() int64 { return in.codelDropped }
+
+// Limited returns how many submissions the adaptive concurrency limiter
+// refused.
+func (in *Instance) Limited() int64 { return in.limited }
 
 // Pending returns the number of requests buffered or queued (not yet
 // completed) on this instance.
