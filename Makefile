@@ -8,8 +8,16 @@ RATE ?= 100
 DURATION ?= 30s
 EXPERIMENT ?= table1
 SCALE ?= test
+# Pod substrate for cluster experiments: inproc (goroutine HTTP servers)
+# or proc (real etude-server processes behind the local control plane).
+PODS ?= inproc
 
 .PHONY: build test bench vet race check infra run_deployed_benchmark benchmark profile advise clean
+
+# Process tests exec a real etude-server; build it once here so every test
+# package shares one binary instead of each invoking `go build`.
+bin/etude-server: $(shell find cmd internal -name '*.go') go.mod
+	go build -o bin/etude-server ./cmd/etude-server
 
 build:
 	go build ./...
@@ -32,15 +40,17 @@ race:
 
 # The merge gate (also run by CI): build + vet + full suite, plus the race
 # detector on the packages with real concurrency — the cluster lifecycle
-# (drain/scale/rolling-update/supervisor), the server's admission control,
-# the load generator, the scatter-gather retrieval tier (goroutine
-# fan-out, hedged sub-requests, partial top-k merge), and the overload
-# controllers (CoDel, AIMD limiter) hammered from many goroutines.
-check:
+# (drain/scale/rolling-update/supervisor, the process runner and control
+# plane), the server's admission control, the load generator, the
+# scatter-gather retrieval tier (goroutine fan-out, hedged sub-requests,
+# partial top-k merge), the overload controllers (CoDel, AIMD limiter)
+# hammered from many goroutines, and the chaos drivers. Process tests use
+# the prebuilt bin/etude-server (skip them with `go test -short`).
+check: bin/etude-server
 	go build ./...
 	go vet ./...
-	go test ./...
-	go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test ./...
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload ./internal/chaos ./internal/leakcheck
 
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.
@@ -75,8 +85,14 @@ run_deployed_benchmark:
 # reports the p50 MIPS-latency speedup per shard count on large catalogs,
 # compares p99 with/without tail-latency hedging under a 10×-slow shard,
 # and prints the sharded deployment options from the cost model.
-benchmark:
-	go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE)
+# EXPERIMENT=procs re-runs the supervised-crash and rolling-update studies
+# against real etude-server processes (SIGKILL chaos, SIGTERM drains) and
+# compares measured MTTR against the in-process substrate, plus a
+# cold-start distribution from repeated real spawns.
+# PODS=proc runs the cluster-backed experiments (rolling) on real
+# processes instead of in-process pods.
+benchmark: bin/etude-server
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE) -pods $(PODS)
 
 # Run an experiment under the CPU profiler and open the hot-path report:
 #   make profile EXPERIMENT=breakdown
@@ -89,4 +105,4 @@ advise:
 	go run ./cmd/etude advise -model $(MODEL) -catalog $(CATALOG) -rate $(RATE)
 
 clean:
-	rm -rf $(BUCKET)
+	rm -rf $(BUCKET) bin

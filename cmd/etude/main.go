@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard [-scale test|paper]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|procs [-scale test|paper] [-pods inproc|proc]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -60,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard [-scale test|paper] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|procs [-scale test|paper] [-pods inproc|proc] [-bucket DIR]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -83,8 +83,9 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, overload, rolling, breakdown, shard)")
+	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, overload, rolling, breakdown, shard, procs)")
 	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
+	pods := fs.String("pods", "inproc", "pod substrate for cluster experiments: inproc (goroutine HTTP servers) or proc (real etude-server processes)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (inspect with `go tool pprof`)")
 	verbose := fs.Bool("v", false, "log cluster diagnostics (restarts, breaker trips, force-kills) to stderr")
@@ -93,6 +94,9 @@ func benchmark(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	paper := *scale == "paper"
+	if *pods != "inproc" && *pods != "proc" {
+		log.Fatalf("etude benchmark: -pods must be inproc or proc, got %q", *pods)
+	}
 	if *verbose {
 		cluster.SetLogger(cluster.NewTextLogger(os.Stderr))
 	}
@@ -108,7 +112,7 @@ func benchmark(args []string) {
 		defer pprof.StopCPUProfile()
 	}
 
-	out, err := runExperiment(ctx, *exp, paper)
+	out, err := runExperiment(ctx, *exp, paper, *pods)
 	if err != nil {
 		log.Fatalf("etude benchmark: %v", err)
 	}
@@ -126,7 +130,7 @@ func benchmark(args []string) {
 	}
 }
 
-func runExperiment(ctx context.Context, name string, paper bool) (string, error) {
+func runExperiment(ctx context.Context, name string, paper bool, pods string) (string, error) {
 	switch name {
 	case "fig2":
 		cfg := experiments.DefaultFig2Config()
@@ -227,12 +231,26 @@ func runExperiment(ctx context.Context, name string, paper bool) (string, error)
 		return res.Render(), nil
 	case "rolling":
 		cfg := experiments.DefaultRollingConfig()
+		cfg.Backend = pods
 		if paper {
 			cfg.Duration = 2 * time.Minute
 			cfg.TargetRate = 400
 			cfg.OpAfter = 30 * time.Second
 		}
 		res, err := experiments.Rolling(ctx, cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "procs":
+		cfg := experiments.DefaultProcsConfig()
+		if paper {
+			cfg.Rolling.Duration = time.Minute
+			cfg.Rolling.TargetRate = 200
+			cfg.Rolling.OpAfter = 10 * time.Second
+			cfg.ColdStartSamples = 20
+		}
+		res, err := experiments.Procs(ctx, cfg)
 		if err != nil {
 			return "", err
 		}

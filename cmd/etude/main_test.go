@@ -9,7 +9,7 @@ import (
 // TestRunExperimentIssues exercises the cheapest end of the benchmark
 // dispatcher (the issues study needs no servers or long ramps).
 func TestRunExperimentIssues(t *testing.T) {
-	out, err := runExperiment(context.Background(), "issues", false)
+	out, err := runExperiment(context.Background(), "issues", false, "inproc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +21,7 @@ func TestRunExperimentIssues(t *testing.T) {
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
-	if _, err := runExperiment(context.Background(), "fig9", false); err == nil {
+	if _, err := runExperiment(context.Background(), "fig9", false, "inproc"); err == nil {
 		t.Fatalf("unknown experiment accepted")
 	}
 }
@@ -30,7 +30,7 @@ func TestBuildServerVariants(t *testing.T) {
 	// The etude-server builder logic lives in cmd/etude-server; here we
 	// only check the dispatcher compiles and the usage paths guard against
 	// nonsense.
-	if _, err := runExperiment(context.Background(), "", false); err == nil {
+	if _, err := runExperiment(context.Background(), "", false, "inproc"); err == nil {
 		t.Fatalf("empty experiment accepted")
 	}
 }

@@ -1,0 +1,32 @@
+package chaos
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Chaos emits structured diagnostics — signals delivered, faults armed —
+// through one package-level logger, discarding by default so tests stay
+// quiet (the same convention as internal/cluster).
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(discardLogger())
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// SetLogger routes the package's diagnostic events to l. A nil l restores
+// the default discarding logger.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = discardLogger()
+	}
+	logger.Store(l)
+}
+
+// logEvent returns the current diagnostics logger.
+func logEvent() *slog.Logger { return logger.Load() }

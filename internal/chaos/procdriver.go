@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// This file routes scenario faults to real operating-system processes.
+// Against the in-process backend a "crash" is a middleware answering 503;
+// against the process backend the same Fault becomes an actual POSIX
+// signal against an actual PID:
+//
+//	FaultPodCrash  → SIGKILL        (the kernel tears the pod down;
+//	                                 recovery is whatever supervision
+//	                                 exists, not a scripted restart)
+//	FaultSlowPod   → SIGSTOP/SIGCONT duty-cycling (the pod only gets
+//	                                 1/Factor of wall time, so service
+//	                                 times stretch ~Factor×)
+//	FaultAZOutage  → group SIGKILL
+//
+// Network faults (delay, drop) and load spikes are deliberately not
+// routed: they are client-side by construction — Injector.RoundTripper
+// and the load schedule impose them identically on both backends.
+//
+// The driver addresses pods by replica ordinal through a narrow interface
+// so this package stays decoupled from internal/cluster; cluster.Service
+// satisfies it. Signals to departed ordinals are dropped by the target
+// (a fault must not follow a restarted pod's replacement), matching the
+// middleware semantics.
+
+// SignalTarget delivers a POSIX signal by name ("KILL", "STOP", "CONT",
+// "TERM") to the pod with the given replica ordinal. Missing ordinals are
+// not errors.
+type SignalTarget interface {
+	SignalPod(replica int, sig string) error
+}
+
+// slowPodPeriod is one SIGSTOP/SIGCONT duty cycle. Short enough that a
+// stopped interval delays requests rather than timing them out, long
+// enough that signal delivery overhead stays negligible.
+const slowPodPeriod = 40 * time.Millisecond
+
+// ProcDriver replays a scenario's fleet faults as signals against real
+// process pods. Create with NewProcDriver, arm with Start (fault offsets
+// are measured from that call), and always Stop — it cancels pending
+// faults and lifts any SIGSTOP still in force.
+type ProcDriver struct {
+	scenario Scenario
+	target   SignalTarget
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewProcDriver returns an unarmed driver for the scenario.
+func NewProcDriver(s Scenario, target SignalTarget) *ProcDriver {
+	return &ProcDriver{scenario: s, target: target, stop: make(chan struct{})}
+}
+
+// Start arms every routable fault, with At offsets measured from now.
+// Start is one-shot; further calls are no-ops.
+func (d *ProcDriver) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+
+	for _, f := range d.scenario.Faults {
+		f := f
+		switch f.Kind {
+		case FaultPodCrash:
+			d.after(f.At, func() { d.signal(f.Pod, "KILL") })
+		case FaultAZOutage:
+			d.after(f.At, func() {
+				for _, p := range f.Pods {
+					d.signal(p, "KILL")
+				}
+			})
+		case FaultSlowPod:
+			d.after(f.At, func() { d.dutyCycle(f) })
+		}
+	}
+}
+
+// Stop cancels pending faults and blocks until every in-flight fault
+// goroutine has finished — including each duty-cycler's final SIGCONT, so
+// no pod is left frozen.
+func (d *ProcDriver) Stop() {
+	d.mu.Lock()
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// after runs fn once delay has elapsed, unless stopped first.
+func (d *ProcDriver) after(delay time.Duration, fn func()) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			fn()
+		case <-d.stop:
+		}
+	}()
+}
+
+func (d *ProcDriver) signal(replica int, sig string) {
+	if err := d.target.SignalPod(replica, sig); err != nil {
+		logEvent().Warn("chaos signal failed", "replica", replica, "signal", sig, "err", err)
+	}
+}
+
+// dutyCycle throttles one pod to ~1/Factor of wall time by alternating
+// SIGSTOP and SIGCONT: each slowPodPeriod the pod is stopped for
+// (1 − 1/Factor) of the period and runnable for the rest. Runs for the
+// fault's Duration (forever if ≤ 0) or until Stop; either way the last
+// signal delivered is a SIGCONT.
+func (d *ProcDriver) dutyCycle(f Fault) {
+	stopFrac := 1 - 1/f.Factor
+	if stopFrac <= 0 {
+		return // Factor ≤ 1 slows nothing
+	}
+	stopped := time.Duration(float64(slowPodPeriod) * stopFrac)
+	running := slowPodPeriod - stopped
+
+	// The final CONT is unconditional: if Stop raced us mid-STOP the pod
+	// must still be thawed.
+	defer d.signal(f.Pod, "CONT")
+
+	var end <-chan time.Time
+	if f.Duration > 0 {
+		t := time.NewTimer(f.Duration)
+		defer t.Stop()
+		end = t.C
+	}
+	pause := func(dur time.Duration) bool {
+		t := time.NewTimer(dur)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-end:
+			return false
+		case <-d.stop:
+			return false
+		}
+	}
+	for {
+		d.signal(f.Pod, "STOP")
+		if !pause(stopped) {
+			return
+		}
+		d.signal(f.Pod, "CONT")
+		if running > 0 && !pause(running) {
+			return
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTarget records every signal the driver delivers.
+type fakeTarget struct {
+	mu      sync.Mutex
+	signals []struct {
+		Replica int
+		Sig     string
+	}
+}
+
+func (t *fakeTarget) SignalPod(replica int, sig string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.signals = append(t.signals, struct {
+		Replica int
+		Sig     string
+	}{replica, sig})
+	return nil
+}
+
+func (t *fakeTarget) count(replica int, sig string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, s := range t.signals {
+		if s.Replica == replica && s.Sig == sig {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *fakeTarget) last(replica int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := ""
+	for _, s := range t.signals {
+		if s.Replica == replica {
+			out = s.Sig
+		}
+	}
+	return out
+}
+
+func TestProcDriverCrashBecomesKill(t *testing.T) {
+	target := &fakeTarget{}
+	d := NewProcDriver(Scenario{Name: "crash", Faults: []Fault{
+		{Kind: FaultPodCrash, At: 5 * time.Millisecond, Pod: 2},
+		{Kind: FaultAZOutage, At: 5 * time.Millisecond, Pods: []int{0, 1}},
+	}}, target)
+	d.Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if target.count(2, "KILL") == 1 && target.count(0, "KILL") == 1 && target.count(1, "KILL") == 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("expected one KILL per targeted pod, got %+v", target.signals)
+}
+
+func TestProcDriverSlowPodDutyCycle(t *testing.T) {
+	target := &fakeTarget{}
+	d := NewProcDriver(Scenario{Name: "slow", Faults: []Fault{
+		{Kind: FaultSlowPod, At: 0, Duration: 500 * time.Millisecond, Pod: 1, Factor: 4},
+	}}, target)
+	d.Start()
+
+	// Several 40ms duty cycles fit in the window.
+	time.Sleep(200 * time.Millisecond)
+	d.Stop()
+
+	if got := target.count(1, "STOP"); got < 2 {
+		t.Fatalf("expected at least 2 STOPs during duty-cycling, got %d", got)
+	}
+	if got := target.last(1); got != "CONT" {
+		t.Fatalf("pod must be thawed after Stop: last signal = %q, want CONT", got)
+	}
+	if got := target.count(1, "KILL"); got != 0 {
+		t.Fatalf("slow-pod fault must not kill, got %d KILLs", got)
+	}
+}
+
+func TestProcDriverStopCancelsPendingFaults(t *testing.T) {
+	target := &fakeTarget{}
+	d := NewProcDriver(Scenario{Name: "late", Faults: []Fault{
+		{Kind: FaultPodCrash, At: 10 * time.Second, Pod: 0},
+	}}, target)
+	d.Start()
+	d.Stop()
+	if got := target.count(0, "KILL"); got != 0 {
+		t.Fatalf("cancelled fault must not fire, got %d KILLs", got)
+	}
+}
+
+func TestProcDriverIgnoresClientSideFaults(t *testing.T) {
+	target := &fakeTarget{}
+	d := NewProcDriver(Scenario{Name: "net", Faults: []Fault{
+		{Kind: FaultNetworkDelay, At: 0, Duration: time.Millisecond, Delay: time.Millisecond},
+		{Kind: FaultNetworkDrop, At: 0, Duration: time.Millisecond, Prob: 0.5},
+		{Kind: FaultLoadSpike, At: 0, Duration: time.Millisecond, Factor: 2},
+	}}, target)
+	d.Start()
+	time.Sleep(20 * time.Millisecond)
+	d.Stop()
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if len(target.signals) != 0 {
+		t.Fatalf("network/load faults must not reach the fleet, got %+v", target.signals)
+	}
+}
+
+// Factor ≤ 1 means "not slower": the duty-cycler must not freeze the pod.
+func TestProcDriverSlowPodFactorOne(t *testing.T) {
+	target := &fakeTarget{}
+	d := NewProcDriver(Scenario{Name: "noop", Faults: []Fault{
+		{Kind: FaultSlowPod, At: 0, Duration: 100 * time.Millisecond, Pod: 0, Factor: 1},
+	}}, target)
+	d.Start()
+	time.Sleep(50 * time.Millisecond)
+	d.Stop()
+	if got := target.count(0, "STOP"); got != 0 {
+		t.Fatalf("factor 1 must not STOP the pod, got %d", got)
+	}
+}

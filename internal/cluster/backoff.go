@@ -1,0 +1,63 @@
+package cluster
+
+import "time"
+
+// restartBackoff computes restart delays for crash-looping pods: capped
+// exponential growth while crashes come quickly, reset to the initial
+// delay once the pod has stayed healthy long enough — Kubernetes'
+// CrashLoopBackOff discipline. It is pure state + arithmetic driven by an
+// explicit clock, so tests assert the exact schedule without sleeping.
+//
+// Both repair loops share it: the deployment Supervisor (liveness-probe
+// driven, either backend) and the process runner's restart-on-crash path.
+type restartBackoff struct {
+	// Initial is the first delay (default 100ms).
+	Initial time.Duration
+	// Max caps the exponential growth (default 5s).
+	Max time.Duration
+	// HealthyReset is how long without a restart counts as "healthy": the
+	// next delay starts over at Initial (default 10s).
+	HealthyReset time.Duration
+
+	cur  time.Duration
+	last time.Time
+}
+
+func (b *restartBackoff) defaults() (initial, max, healthy time.Duration) {
+	initial, max, healthy = b.Initial, b.Max, b.HealthyReset
+	if initial <= 0 {
+		initial = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if healthy <= 0 {
+		healthy = 10 * time.Second
+	}
+	return initial, max, healthy
+}
+
+// Next returns the delay to wait before the restart happening at `now`,
+// and advances the schedule: consecutive restarts within HealthyReset of
+// each other double the delay up to Max; a restart after a healthy gap
+// starts over at Initial.
+func (b *restartBackoff) Next(now time.Time) time.Duration {
+	initial, max, healthy := b.defaults()
+	switch {
+	case b.last.IsZero() || now.Sub(b.last) > healthy:
+		b.cur = initial
+	default:
+		b.cur *= 2
+		if b.cur > max {
+			b.cur = max
+		}
+	}
+	b.last = now
+	return b.cur
+}
+
+// Reset forgets the schedule (the next delay will be Initial).
+func (b *restartBackoff) Reset() {
+	b.cur = 0
+	b.last = time.Time{}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The backoff schedule is pure arithmetic over an explicit clock, so the
+// exact CrashLoopBackOff discipline is assertable without sleeping: capped
+// doubling while crashes come quickly, reset to the initial delay after a
+// healthy stretch.
+func TestRestartBackoffSchedule(t *testing.T) {
+	b := restartBackoff{
+		Initial:      100 * time.Millisecond,
+		Max:          800 * time.Millisecond,
+		HealthyReset: 10 * time.Second,
+	}
+	now := time.Unix(1000, 0)
+
+	// Consecutive crashes 1s apart: double every time, capped at Max.
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(now); got != w {
+			t.Fatalf("crash %d: backoff = %v, want %v", i, got, w)
+		}
+		now = now.Add(time.Second)
+	}
+
+	// A crash after a healthy stretch starts the schedule over.
+	now = now.Add(b.HealthyReset + time.Second)
+	if got := b.Next(now); got != 100*time.Millisecond {
+		t.Fatalf("after healthy stretch: backoff = %v, want reset to %v", got, 100*time.Millisecond)
+	}
+	// ... and escalates again from there.
+	now = now.Add(time.Second)
+	if got := b.Next(now); got != 200*time.Millisecond {
+		t.Fatalf("second crash after reset: backoff = %v, want %v", got, 200*time.Millisecond)
+	}
+}
+
+// A crash exactly at the HealthyReset boundary still escalates (the reset
+// needs a strictly longer gap), pinning the boundary semantics.
+func TestRestartBackoffBoundary(t *testing.T) {
+	b := restartBackoff{Initial: time.Second, Max: time.Minute, HealthyReset: 10 * time.Second}
+	now := time.Unix(2000, 0)
+	b.Next(now)
+	if got := b.Next(now.Add(10 * time.Second)); got != 2*time.Second {
+		t.Fatalf("gap == HealthyReset: backoff = %v, want escalation to 2s", got)
+	}
+}
+
+func TestRestartBackoffDefaults(t *testing.T) {
+	var b restartBackoff
+	now := time.Unix(3000, 0)
+	if got := b.Next(now); got != 100*time.Millisecond {
+		t.Fatalf("zero-value initial = %v, want 100ms", got)
+	}
+	// Escalate to the default 5s cap.
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Second)
+		b.Next(now)
+	}
+	now = now.Add(time.Second)
+	if got := b.Next(now); got != 5*time.Second {
+		t.Fatalf("zero-value cap = %v, want 5s", got)
+	}
+}
+
+func TestRestartBackoffReset(t *testing.T) {
+	b := restartBackoff{Initial: time.Second, Max: time.Minute, HealthyReset: time.Hour}
+	now := time.Unix(4000, 0)
+	b.Next(now)
+	b.Next(now.Add(time.Second))
+	b.Reset()
+	if got := b.Next(now.Add(2 * time.Second)); got != time.Second {
+		t.Fatalf("after Reset: backoff = %v, want %v", got, time.Second)
+	}
+}

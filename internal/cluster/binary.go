@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ServerBinEnv names an etude-server binary to use instead of building
+// one — `make check` exports it so every process test shares one build.
+const ServerBinEnv = "ETUDE_SERVER_BIN"
+
+var (
+	serverBinOnce sync.Once
+	serverBinPath string
+	serverBinErr  error
+)
+
+// ServerBinary returns the path of an etude-server binary for process
+// pods: $ETUDE_SERVER_BIN when set (and existing), otherwise a one-time
+// `go build` of ./cmd/etude-server into a temp directory, cached for the
+// process lifetime. Building requires the go toolchain and the module
+// source tree — callers in stripped environments should set the env var.
+func ServerBinary() (string, error) {
+	serverBinOnce.Do(func() {
+		if bin := os.Getenv(ServerBinEnv); bin != "" {
+			if _, err := os.Stat(bin); err != nil {
+				serverBinErr = fmt.Errorf("cluster: $%s=%s: %w", ServerBinEnv, bin, err)
+				return
+			}
+			serverBinPath, serverBinErr = filepath.Abs(bin)
+			return
+		}
+		serverBinPath, serverBinErr = buildServerBinary()
+	})
+	return serverBinPath, serverBinErr
+}
+
+func buildServerBinary() (string, error) {
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("cluster: locating module root: %w", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	if root == "." || root == "" {
+		return "", fmt.Errorf("cluster: no module root (GOMOD=%q); set $%s", gomod, ServerBinEnv)
+	}
+	dir, err := os.MkdirTemp("", "etude-bin-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "etude-server")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/etude-server")
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("cluster: building etude-server: %v\n%s", err, out.String())
+	}
+	return bin, nil
+}

@@ -98,18 +98,52 @@ func (s PodSpec) drainTimeout() time.Duration {
 	}
 }
 
+// podHandle is the backend-specific lifecycle of one pod. The in-process
+// backend implements it over an http.Server; the process backend implements
+// it over the control-plane API (SIGTERM/SIGKILL against a real PID).
+type podHandle interface {
+	// beginDrain flips the runtime into its draining state: readiness 503,
+	// admitted predictions still served.
+	beginDrain()
+	// stop shuts the pod down gracefully, waiting up to gracePeriod for
+	// in-flight work; it reports whether the force path fired.
+	stop(gracePeriod time.Duration) (forced bool)
+	// forceStop kills the pod immediately, abandoning in-flight requests.
+	forceStop()
+	// signal delivers a POSIX signal by name ("KILL", "STOP", "CONT",
+	// "TERM") to a real process; the in-process backend returns
+	// ErrNoProcess.
+	signal(sig string) error
+	// coldStart reports how long the pod took from creation until it could
+	// serve HTTP at all.
+	coldStart() time.Duration
+}
+
+// startupReporter is an optional podHandle refinement for backends that
+// measure both startup phases themselves on a single clock (the process
+// runner's exec-anchored probes). Pod.WarmReady prefers it over the
+// deployment readiness gate's stamp: the gate's poll is independent of the
+// runner's and can observe readiness first, which would let a
+// gate-clocked warm-ready undercut a runner-clocked cold start.
+type startupReporter interface {
+	warmReady() (time.Duration, bool)
+}
+
+// ErrNoProcess is returned by Pod.Signal on backends whose pods are not
+// real operating-system processes.
+var ErrNoProcess = fmt.Errorf("cluster: pod is not a real process")
+
 // Pod is one running serving replica.
 type Pod struct {
-	addr     string
-	http     *http.Server
-	listener net.Listener
-	closeFn  func()
-	// drainFn flips the runtime into its draining state (readiness 503,
-	// predictions still served); nil for runtimes without one, where the
-	// HTTP server's connection-level graceful shutdown is the only drain.
-	drainFn  func()
-	replica  int
-	draining atomic.Bool
+	addr    string
+	handle  podHandle
+	replica int
+	// createdAt anchors the pod's startup-phase measurements; warmReady is
+	// the creation → readiness-probe-passed duration, recorded by the
+	// deployment's readiness gate.
+	createdAt time.Time
+	warmReady atomic.Int64
+	draining  atomic.Bool
 }
 
 // Addr returns the pod's host:port.
@@ -125,11 +159,36 @@ func (p *Pod) Replica() int { return p.replica }
 // Draining reports whether the pod has begun a graceful drain.
 func (p *Pod) Draining() bool { return p.draining.Load() }
 
+// ColdStart returns how long the pod took from creation until it could
+// serve HTTP at all (for process pods: exec → first /live 200; for
+// in-process pods this equals the model construction time, since the
+// listener only exists once the model is built).
+func (p *Pod) ColdStart() time.Duration { return p.handle.coldStart() }
+
+// WarmReady returns how long the pod took from creation until its
+// readiness probe passed (for process pods: exec → first /ping 200, i.e.
+// cold start plus model load, measured on the same clock as ColdStart).
+// Zero until the deployment's readiness gate has observed the pod ready.
+func (p *Pod) WarmReady() time.Duration {
+	if r, ok := p.handle.(startupReporter); ok {
+		if d, ok := r.warmReady(); ok {
+			return d
+		}
+	}
+	return time.Duration(p.warmReady.Load())
+}
+
+// Signal delivers a POSIX signal by name ("KILL", "STOP", "CONT", "TERM")
+// to the pod's operating-system process. Pods of the in-process backend
+// return ErrNoProcess — fault injectors fall back to simulated faults
+// there.
+func (p *Pod) Signal(sig string) error { return p.handle.signal(sig) }
+
 // beginDrain makes the pod fail its readiness probe while continuing to
 // serve admitted (and racing) predictions — step one of the drain sequence.
 func (p *Pod) beginDrain() {
-	if p.draining.CompareAndSwap(false, true) && p.drainFn != nil {
-		p.drainFn()
+	if p.draining.CompareAndSwap(false, true) {
+		p.handle.beginDrain()
 	}
 }
 
@@ -138,32 +197,77 @@ func (p *Pod) beginDrain() {
 // It reports whether the force path fired — a forced kill means work was
 // cut off mid-flight and should be visible in reports, not silent.
 func (p *Pod) stop(gracePeriod time.Duration) (forced bool) {
-	if gracePeriod > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), gracePeriod)
-		defer cancel()
-		if err := p.http.Shutdown(ctx); err != nil {
-			forced = true
-			_ = p.http.Close()
-		}
-	} else {
-		forced = true
-		_ = p.http.Close()
-	}
-	if p.closeFn != nil {
-		p.closeFn()
-	}
-	return forced
+	return p.handle.stop(gracePeriod)
 }
 
 // forceStop kills the pod immediately, abandoning in-flight requests — the
 // "no drain" path a careless operator takes, kept for the rolling
 // experiment's control arm and for supervisors disposing of already-dead
 // pods.
-func (p *Pod) forceStop() {
-	_ = p.http.Close()
-	if p.closeFn != nil {
-		p.closeFn()
+func (p *Pod) forceStop() { p.handle.forceStop() }
+
+// inprocHandle runs a pod as an http.Server on a goroutine inside this
+// process — the original, simulation-friendly backend.
+type inprocHandle struct {
+	http     *http.Server
+	listener net.Listener
+	closeFn  func()
+	// drainFn flips the runtime into its draining state (readiness 503,
+	// predictions still served); nil for runtimes without one, where the
+	// HTTP server's connection-level graceful shutdown is the only drain.
+	drainFn func()
+	// built is the model-construction + listener-setup time — the
+	// in-process stand-in for a cold start.
+	built time.Duration
+}
+
+func (h *inprocHandle) beginDrain() {
+	if h.drainFn != nil {
+		h.drainFn()
 	}
+}
+
+func (h *inprocHandle) stop(gracePeriod time.Duration) (forced bool) {
+	if gracePeriod > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), gracePeriod)
+		defer cancel()
+		if err := h.http.Shutdown(ctx); err != nil {
+			forced = true
+			_ = h.http.Close()
+		}
+	} else {
+		forced = true
+		_ = h.http.Close()
+	}
+	if h.closeFn != nil {
+		h.closeFn()
+	}
+	return forced
+}
+
+func (h *inprocHandle) forceStop() {
+	_ = h.http.Close()
+	if h.closeFn != nil {
+		h.closeFn()
+	}
+}
+
+func (h *inprocHandle) signal(string) error { return ErrNoProcess }
+
+func (h *inprocHandle) coldStart() time.Duration { return h.built }
+
+// podBackend is the substrate pods run on. The in-process backend hosts
+// them as goroutine HTTP servers (fast, deterministic, fault injection by
+// middleware); the process backend execs real etude-server binaries behind
+// the local control plane (real crash-kill chaos, real cold starts).
+type podBackend interface {
+	// start launches one pod for spec with the given replica ordinal. The
+	// pod is serving HTTP when start returns, but not necessarily ready.
+	start(spec PodSpec, replica int) (*Pod, error)
+	// name labels the backend in reports ("inproc", "proc").
+	name() string
+	// close releases backend-wide resources after the last pod stopped.
+	close()
 }
 
 // Service is the ClusterIP analogue: it fans requests out to ready pods
@@ -201,6 +305,21 @@ func (s *Service) Spec() PodSpec {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.spec
+}
+
+// SignalPod delivers a POSIX signal by name ("KILL", "STOP", "CONT",
+// "TERM") to the pod with the given replica ordinal — the hook real-process
+// chaos injection drives. A missing ordinal is not an error: faults pinned
+// to a crashed pod's ordinal must not follow its replacement, so a signal
+// aimed at a departed pod is silently dropped, matching the in-process
+// middleware's semantics.
+func (s *Service) SignalPod(replica int, sig string) error {
+	for _, p := range s.Pods() {
+		if p.Replica() == replica {
+			return p.Signal(sig)
+		}
+	}
+	return nil
 }
 
 // Endpoint returns the next non-draining pod URL round-robin (any pod URL
@@ -331,10 +450,12 @@ func (s *Service) drainPods(victims []*Pod, gracePeriod time.Duration) {
 	wg.Wait()
 }
 
-// Cluster manages deployments. Create with New (the `make infra` analogue),
-// deploy with Deploy, and release all resources with Teardown.
+// Cluster manages deployments. Create with New (the `make infra` analogue)
+// for in-process pods or NewProc for real-process pods, deploy with Deploy,
+// and release all resources with Teardown.
 type Cluster struct {
-	bucket objstore.Bucket
+	bucket  objstore.Bucket
+	backend podBackend
 
 	// forcedKills counts pods whose drain deadline expired and were
 	// force-closed with requests still in flight.
@@ -344,13 +465,20 @@ type Cluster struct {
 	services map[string]*Service
 }
 
-// New provisions a cluster backed by the given artifact bucket.
+// New provisions a cluster backed by the given artifact bucket, hosting
+// pods in-process.
 func New(bucket objstore.Bucket) *Cluster {
-	return &Cluster{bucket: bucket, services: make(map[string]*Service)}
+	c := &Cluster{bucket: bucket, services: make(map[string]*Service)}
+	c.backend = &inprocBackend{c: c}
+	return c
 }
 
 // Bucket returns the cluster's artifact/results bucket.
 func (c *Cluster) Bucket() objstore.Bucket { return c.bucket }
+
+// Backend reports which pod substrate the cluster runs on ("inproc" or
+// "proc").
+func (c *Cluster) Backend() string { return c.backend.name() }
 
 // ForcedKills returns how many pods were force-closed because their drain
 // deadline expired with work still in flight. Zero across a rolling update
@@ -373,7 +501,7 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 
 	svc := &Service{name: name, cluster: c, spec: spec, nextOrdinal: replicas}
 	for i := 0; i < replicas; i++ {
-		pod, err := c.startPod(spec, i)
+		pod, err := c.backend.start(spec, i)
 		if err != nil {
 			for _, p := range svc.pods {
 				p.forceStop()
@@ -385,7 +513,7 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 	// Readiness gate: the service only exists once every pod answers its
 	// probe, like a Kubernetes rollout.
 	for _, pod := range svc.pods {
-		if err := waitReady(ctx, pod.URL()); err != nil {
+		if err := waitPodReady(ctx, pod); err != nil {
 			for _, p := range svc.pods {
 				p.forceStop()
 			}
@@ -398,12 +526,21 @@ func (c *Cluster) Deploy(ctx context.Context, name string, spec PodSpec, replica
 	return svc, nil
 }
 
-func (c *Cluster) startPod(spec PodSpec, replica int) (*Pod, error) {
+// inprocBackend hosts pods as goroutine HTTP servers inside this process.
+type inprocBackend struct {
+	c *Cluster
+}
+
+func (b *inprocBackend) name() string { return "inproc" }
+func (b *inprocBackend) close()       {}
+
+func (b *inprocBackend) start(spec PodSpec, replica int) (*Pod, error) {
+	started := time.Now()
 	var handler http.Handler
 	var closeFn, drainFn func()
 	switch spec.Runtime {
 	case RuntimeEtude:
-		srv, err := server.LoadFromBucket(c.bucket, spec.ModelKey, spec.Server)
+		srv, err := server.LoadFromBucket(b.c.bucket, spec.ModelKey, spec.Server)
 		if err != nil {
 			return nil, err
 		}
@@ -431,23 +568,36 @@ func (c *Cluster) startPod(spec PodSpec, replica int) (*Pod, error) {
 		}
 		return nil, fmt.Errorf("cluster: allocating pod port: %w", err)
 	}
-	pod := &Pod{
-		addr:     ln.Addr().String(),
+	handle := &inprocHandle{
 		http:     &http.Server{Handler: handler},
 		listener: ln,
 		closeFn:  closeFn,
 		drainFn:  drainFn,
-		replica:  replica,
+		built:    time.Since(started),
+	}
+	pod := &Pod{
+		addr:      ln.Addr().String(),
+		handle:    handle,
+		replica:   replica,
+		createdAt: started,
 	}
 	go func() {
 		// ErrServerClosed is the normal shutdown path.
-		_ = pod.http.Serve(ln)
+		_ = handle.http.Serve(ln)
 	}()
 	return pod, nil
 }
 
-func waitReady(ctx context.Context, url string) error {
-	return waitProbe(ctx, url+httpapi.ReadyPath)
+// waitPodReady gates on the pod's readiness probe and records its
+// warm-ready timing (creation → first /ping 200) on success.
+func waitPodReady(ctx context.Context, pod *Pod) error {
+	if err := waitProbe(ctx, pod.URL()+httpapi.ReadyPath); err != nil {
+		return err
+	}
+	if pod.warmReady.Load() == 0 {
+		pod.warmReady.Store(int64(time.Since(pod.createdAt)))
+	}
+	return nil
 }
 
 func waitProbe(ctx context.Context, probeURL string) error {
@@ -516,4 +666,5 @@ func (c *Cluster) Teardown() {
 		}(svc)
 	}
 	wg.Wait()
+	c.backend.close()
 }

@@ -1,0 +1,363 @@
+// The local control plane: a daemon that supervises real etude-server
+// processes over an HTTP/JSON API — the buildkite/cleanroom shape (a
+// daemon owning isolated execution environments behind an RPC surface)
+// scaled down to one machine. The cluster's process backend is a client
+// of this API, never of the processes directly, so every lifecycle
+// transition (spawn → ready → drain → kill) crosses one auditable
+// chokepoint, and anything else — a CLI, a test, a chaos driver — can
+// drive the same fleet by speaking the same protocol.
+//
+// Pod state machine, as observed through the API:
+//
+//	spawn                 → starting   (exec'd; /live not yet up)
+//	/live 200             → starting   (cold-start recorded: exec → live)
+//	/ping 200             → ready      (warm-ready recorded: exec → ready)
+//	drain (SIGTERM)       → draining   (readiness fails, in-flight completes)
+//	exit 0                → exited     (graceful)
+//	drain deadline        → exited     (forced: server self-kills non-zero,
+//	                                    or the runner escalates to SIGKILL)
+//	kill / chaos SIGKILL  → exited     (exit code -1, killed by signal)
+//
+// GET /metrics exposes the fleet's restart counter, per-pod up gauges and
+// the cold-start/warm-ready distributions in Prometheus text format.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+)
+
+// Control-plane API paths. Pod-scoped routes take the pod ID as the
+// {id} path value.
+const (
+	cpPodsPath   = "/v1/pods"
+	cpDrainPath  = "/v1/pods/{id}/drain"
+	cpKillPath   = "/v1/pods/{id}/kill"
+	cpSignalPath = "/v1/pods/{id}/signal"
+	cpPodPath    = "/v1/pods/{id}"
+)
+
+// SpawnRequest asks the control plane to exec one server process.
+type SpawnRequest struct {
+	// Spec declares the binary, args, and restart policy. An empty
+	// Spec.Bin falls back to the daemon's default binary.
+	Spec ProcSpec `json:"spec"`
+}
+
+// drainRequest carries the runner-side SIGKILL escalation bound.
+type drainRequest struct {
+	EscalateAfter time.Duration `json:"escalate_after"`
+}
+
+// signalRequest names the POSIX signal to deliver.
+type signalRequest struct {
+	Signal string `json:"signal"`
+}
+
+// cpError is the wire shape of a control-plane failure.
+type cpError struct {
+	Error string `json:"error"`
+}
+
+// ControlPlane is the daemon: an HTTP server on loopback wrapping a
+// ProcRunner. Start with StartControlPlane, stop with Close (which reaps
+// every child).
+type ControlPlane struct {
+	runner     *ProcRunner
+	defaultBin string
+	http       *http.Server
+	addr       string
+}
+
+// StartControlPlane launches the daemon on a loopback port. defaultBin is
+// used for spawn requests that do not name a binary ("" forces every
+// request to be explicit).
+func StartControlPlane(defaultBin string) (*ControlPlane, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: control plane listen: %w", err)
+	}
+	cp := &ControlPlane{
+		runner:     NewProcRunner(),
+		defaultBin: defaultBin,
+		addr:       ln.Addr().String(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+cpPodsPath, cp.handleSpawn)
+	mux.HandleFunc("GET "+cpPodsPath, cp.handleList)
+	mux.HandleFunc("GET "+cpPodPath, cp.handleStatus)
+	mux.HandleFunc("DELETE "+cpPodPath, cp.handleForget)
+	mux.HandleFunc("POST "+cpDrainPath, cp.handleDrain)
+	mux.HandleFunc("POST "+cpKillPath, cp.handleKill)
+	mux.HandleFunc("POST "+cpSignalPath, cp.handleSignal)
+	mux.HandleFunc("GET "+httpapi.MetricsPath, cp.handleMetrics)
+	cp.http = &http.Server{Handler: mux}
+	go func() { _ = cp.http.Serve(ln) }()
+	return cp, nil
+}
+
+// Addr returns the daemon's host:port.
+func (cp *ControlPlane) Addr() string { return cp.addr }
+
+// Runner exposes the underlying process runner (tests, metrics).
+func (cp *ControlPlane) Runner() *ProcRunner { return cp.runner }
+
+// Client returns a client bound to this daemon.
+func (cp *ControlPlane) Client() *ControlPlaneClient {
+	return NewControlPlaneClient(cp.addr)
+}
+
+// Close shuts the API down and reaps every supervised process.
+func (cp *ControlPlane) Close() {
+	_ = cp.http.Close()
+	cp.runner.Close()
+}
+
+func cpWriteErr(w http.ResponseWriter, status int, err error) {
+	httpapi.WriteJSON(w, status, cpError{Error: err.Error()})
+}
+
+func (cp *ControlPlane) podID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		cpWriteErr(w, http.StatusBadRequest, fmt.Errorf("bad pod id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func (cp *ControlPlane) handleSpawn(w http.ResponseWriter, r *http.Request) {
+	var req SpawnRequest
+	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
+		cpWriteErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Spec.Bin == "" {
+		req.Spec.Bin = cp.defaultBin
+	}
+	st, err := cp.runner.Spawn(req.Spec)
+	if err != nil {
+		cpWriteErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, st)
+}
+
+func (cp *ControlPlane) handleList(w http.ResponseWriter, r *http.Request) {
+	httpapi.WriteJSON(w, http.StatusOK, cp.runner.List())
+}
+
+func (cp *ControlPlane) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, ok := cp.podID(w, r)
+	if !ok {
+		return
+	}
+	st, err := cp.runner.Status(id)
+	if err != nil {
+		cpWriteErr(w, http.StatusNotFound, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, st)
+}
+
+func (cp *ControlPlane) handleForget(w http.ResponseWriter, r *http.Request) {
+	id, ok := cp.podID(w, r)
+	if !ok {
+		return
+	}
+	if err := cp.runner.Forget(id); err != nil {
+		cpWriteErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cp *ControlPlane) handleDrain(w http.ResponseWriter, r *http.Request) {
+	id, ok := cp.podID(w, r)
+	if !ok {
+		return
+	}
+	var req drainRequest
+	// An empty body means "no escalation"; only reject malformed JSON.
+	if err := httpapi.ReadJSON(r.Body, &req); err != nil && !errors.Is(err, io.EOF) {
+		cpWriteErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := cp.runner.Drain(id, req.EscalateAfter); err != nil {
+		cpWriteErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cp *ControlPlane) handleKill(w http.ResponseWriter, r *http.Request) {
+	id, ok := cp.podID(w, r)
+	if !ok {
+		return
+	}
+	if err := cp.runner.Kill(id); err != nil {
+		cpWriteErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cp *ControlPlane) handleSignal(w http.ResponseWriter, r *http.Request) {
+	id, ok := cp.podID(w, r)
+	if !ok {
+		return
+	}
+	var req signalRequest
+	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
+		cpWriteErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := cp.runner.Signal(id, req.Signal); err != nil {
+		cpWriteErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cp *ControlPlane) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	pb := metrics.NewPromBuilder()
+	cp.runner.WriteMetrics(pb)
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	_, _ = io.WriteString(w, pb.String())
+}
+
+// ControlPlaneClient is the typed client of the daemon's HTTP/JSON API —
+// what the cluster's process backend and the chaos driver speak.
+type ControlPlaneClient struct {
+	base string
+	http *http.Client
+}
+
+// NewControlPlaneClient returns a client for the daemon at addr
+// (host:port).
+func NewControlPlaneClient(addr string) *ControlPlaneClient {
+	return &ControlPlaneClient{
+		base: "http://" + addr,
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *ControlPlaneClient) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: encoding control-plane request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: control plane unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ce cpError
+		if err := httpapi.ReadJSON(resp.Body, &ce); err == nil && ce.Error != "" {
+			return fmt.Errorf("cluster: control plane: %s", ce.Error)
+		}
+		return fmt.Errorf("cluster: control plane returned HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return httpapi.ReadJSON(resp.Body, out)
+}
+
+func podPath(id int, suffix string) string {
+	return "/v1/pods/" + strconv.Itoa(id) + suffix
+}
+
+// Spawn execs one server process.
+func (c *ControlPlaneClient) Spawn(spec ProcSpec) (ProcStatus, error) {
+	var st ProcStatus
+	err := c.do(http.MethodPost, cpPodsPath, SpawnRequest{Spec: spec}, &st)
+	return st, err
+}
+
+// Status fetches one pod's state.
+func (c *ControlPlaneClient) Status(id int) (ProcStatus, error) {
+	var st ProcStatus
+	err := c.do(http.MethodGet, podPath(id, ""), nil, &st)
+	return st, err
+}
+
+// List fetches every pod's state.
+func (c *ControlPlaneClient) List() ([]ProcStatus, error) {
+	var out []ProcStatus
+	err := c.do(http.MethodGet, cpPodsPath, nil, &out)
+	return out, err
+}
+
+// Drain begins a graceful shutdown (SIGTERM), optionally arming the
+// runner-side SIGKILL escalation.
+func (c *ControlPlaneClient) Drain(id int, escalate time.Duration) error {
+	return c.do(http.MethodPost, podPath(id, "/drain"), drainRequest{EscalateAfter: escalate}, nil)
+}
+
+// Kill SIGKILLs the pod.
+func (c *ControlPlaneClient) Kill(id int) error {
+	return c.do(http.MethodPost, podPath(id, "/kill"), nil, nil)
+}
+
+// Signal delivers a named POSIX signal (chaos: "KILL", "STOP", "CONT",
+// "TERM") without marking the pod stopped.
+func (c *ControlPlaneClient) Signal(id int, sig string) error {
+	return c.do(http.MethodPost, podPath(id, "/signal"), signalRequest{Signal: sig}, nil)
+}
+
+// Forget kills and removes the pod from the daemon's table.
+func (c *ControlPlaneClient) Forget(id int) error {
+	return c.do(http.MethodDelete, podPath(id, ""), nil, nil)
+}
+
+// WaitExit polls until the pod's process exits or timeout elapses; ok is
+// false on timeout.
+func (c *ControlPlaneClient) WaitExit(id int, timeout time.Duration) (ProcStatus, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, false
+		}
+		if st.State == ProcExited {
+			return st, true
+		}
+		if time.Now().After(deadline) {
+			return st, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Metrics fetches and parses the daemon's /metrics exposition.
+func (c *ControlPlaneClient) Metrics() ([]metrics.PromSample, error) {
+	resp, err := c.http.Get(c.base + httpapi.MetricsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return metrics.ParsePromText(resp.Body)
+}

@@ -178,14 +178,14 @@ func (c *Cluster) startReadyPods(ctx context.Context, svc *Service, spec PodSpec
 		ordinal := svc.nextOrdinal
 		svc.nextOrdinal++
 		svc.mu.Unlock()
-		pod, err := c.startPod(spec, ordinal)
+		pod, err := c.backend.start(spec, ordinal)
 		if err != nil {
 			return fail(fmt.Errorf("starting replica %d: %w", ordinal, err))
 		}
 		pods = append(pods, pod)
 	}
 	for _, pod := range pods {
-		if err := waitReady(ctx, pod.URL()); err != nil {
+		if err := waitPodReady(ctx, pod); err != nil {
 			return fail(fmt.Errorf("readiness probe for %s: %w", pod.Addr(), err))
 		}
 	}

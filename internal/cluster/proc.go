@@ -1,0 +1,595 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+)
+
+// This file is the process substrate underneath the control plane: a
+// runner that execs real etude-server binaries (one OS process per pod),
+// watches their lifecycle, measures their startup phases, delivers POSIX
+// signals, and reaps whatever is left when the benchmark ends. It is the
+// piece that turns "chaos kill" from a middleware answering 503 into an
+// actual SIGKILL against an actual PID — and MTTR from a simulated number
+// into a measured one (supervisor detection + exec + model load + ready).
+
+// Proc states, in lifecycle order. A restarting pod goes back to
+// ProcStarting with the same ID and port.
+const (
+	// ProcStarting: exec'd, HTTP not necessarily up yet.
+	ProcStarting = "starting"
+	// ProcReady: the readiness probe has passed at least once.
+	ProcReady = "ready"
+	// ProcDraining: SIGTERM delivered, in-flight work completing.
+	ProcDraining = "draining"
+	// ProcExited: the process is gone (ExitCode holds the status).
+	ProcExited = "exited"
+)
+
+// ProcSpec declares one real server process.
+type ProcSpec struct {
+	// Bin is the etude-server binary path.
+	Bin string `json:"bin"`
+	// Args are the command-line flags, excluding -port (the runner owns
+	// port assignment so restarts keep a stable address).
+	Args []string `json:"args"`
+	// Port fixes the listen port; 0 allocates a free one.
+	Port int `json:"port"`
+	// Restart enables runner-level restart-on-crash: an unexpected exit
+	// respawns the process on the same port after a capped exponential
+	// backoff. Leave false when a cluster Supervisor owns recovery —
+	// two repair loops fighting over one pod would double-restart.
+	Restart bool `json:"restart"`
+	// InitialBackoff, MaxBackoff and HealthyReset tune the restart
+	// backoff (defaults 100ms / 5s / 10s; see restartBackoff).
+	InitialBackoff time.Duration `json:"initial_backoff"`
+	MaxBackoff     time.Duration `json:"max_backoff"`
+	HealthyReset   time.Duration `json:"healthy_reset"`
+}
+
+// ProcStatus is one process's externally visible state — what the control
+// plane reports over its API.
+type ProcStatus struct {
+	ID   int    `json:"id"`
+	PID  int    `json:"pid"`
+	Addr string `json:"addr"`
+	// State is one of ProcStarting/ProcReady/ProcDraining/ProcExited.
+	State string `json:"state"`
+	// ColdStart is exec → first /live 200: process creation, runtime
+	// bootstrap, listener up. Zero until measured.
+	ColdStart time.Duration `json:"cold_start"`
+	// WarmReady is exec → first /ping 200: cold start plus model load and
+	// warmup. Zero until measured.
+	WarmReady time.Duration `json:"warm_ready"`
+	// Restarts counts runner-initiated respawns of this pod.
+	Restarts int `json:"restarts"`
+	// ExitCode is the last exit status (-1 while running). A non-zero code
+	// on a drained pod means its in-flight work outlived the drain bound
+	// and the server force-closed.
+	ExitCode int `json:"exit_code"`
+	// Forced reports that a drain escalated to SIGKILL or the server
+	// force-closed itself at its drain deadline.
+	Forced bool `json:"forced"`
+}
+
+// ProcRunner spawns and supervises real server processes. It backs the
+// control-plane daemon; everything here is also usable directly in tests.
+type ProcRunner struct {
+	// Log receives child stderr/stdout when non-nil (one writer shared by
+	// every child); nil discards. Set before the first Spawn.
+	Log interface{ Write([]byte) (int, error) }
+
+	probe *http.Client
+
+	mu     sync.Mutex
+	nextID int
+	procs  map[int]*managedProc
+	closed bool
+
+	restarts atomic.Int64
+	coldHist *metrics.Histogram
+	warmHist *metrics.Histogram
+	wg       sync.WaitGroup
+}
+
+// NewProcRunner returns an empty runner.
+func NewProcRunner() *ProcRunner {
+	return &ProcRunner{
+		probe:    &http.Client{Timeout: 500 * time.Millisecond},
+		procs:    make(map[int]*managedProc),
+		coldHist: metrics.NewHistogram(),
+		warmHist: metrics.NewHistogram(),
+	}
+}
+
+// managedProc is one supervised child process.
+type managedProc struct {
+	runner *ProcRunner
+	id     int
+	spec   ProcSpec
+	port   int
+	addr   string
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	state    string
+	execAt   time.Time
+	cold     time.Duration
+	warm     time.Duration
+	restarts int
+	exitCode int
+	// stopRequested marks an operator-initiated drain/kill: the waiter
+	// must not restart the process, whatever the exit code. A chaos
+	// signal (Signal) deliberately does NOT set it — a SIGKILL from the
+	// fault injector is exactly the crash restart-on-crash exists for.
+	stopRequested bool
+	forced        bool
+	backoff       restartBackoff
+}
+
+func (p *managedProc) status() ProcStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ProcStatus{
+		ID: p.id, Addr: p.addr, State: p.state,
+		ColdStart: p.cold, WarmReady: p.warm,
+		Restarts: p.restarts, ExitCode: -1, Forced: p.forced,
+	}
+	if p.cmd != nil && p.cmd.Process != nil {
+		st.PID = p.cmd.Process.Pid
+	}
+	if p.state == ProcExited {
+		st.ExitCode = p.exitCode
+	}
+	return st
+}
+
+// allocPort asks the kernel for a free TCP port. The listener is closed
+// before the child binds it, so a raced port is possible but vanishingly
+// rare on loopback; a bind failure surfaces as the child exiting before
+// ever answering /live, which the readiness gate turns into an error.
+func allocPort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	_ = ln.Close()
+	return port, nil
+}
+
+// Spawn execs one process for spec and begins supervising it. It returns
+// as soon as the process is started; readiness is the caller's probe loop
+// (the runner measures cold-start and warm-ready in the background either
+// way).
+func (r *ProcRunner) Spawn(spec ProcSpec) (ProcStatus, error) {
+	if spec.Bin == "" {
+		return ProcStatus{}, fmt.Errorf("cluster: proc spec needs a binary path")
+	}
+	port := spec.Port
+	if port == 0 {
+		var err error
+		if port, err = allocPort(); err != nil {
+			return ProcStatus{}, fmt.Errorf("cluster: allocating port: %w", err)
+		}
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ProcStatus{}, fmt.Errorf("cluster: runner closed")
+	}
+	id := r.nextID
+	r.nextID++
+	p := &managedProc{
+		runner: r,
+		id:     id,
+		spec:   spec,
+		port:   port,
+		addr:   fmt.Sprintf("127.0.0.1:%d", port),
+		backoff: restartBackoff{
+			Initial:      spec.InitialBackoff,
+			Max:          spec.MaxBackoff,
+			HealthyReset: spec.HealthyReset,
+		},
+	}
+	r.procs[id] = p
+	r.mu.Unlock()
+
+	p.mu.Lock()
+	err := p.startLocked()
+	p.mu.Unlock()
+	if err != nil {
+		r.mu.Lock()
+		delete(r.procs, id)
+		r.mu.Unlock()
+		return ProcStatus{}, err
+	}
+	return p.status(), nil
+}
+
+// startLocked execs the child and arms its watcher goroutines. Callers
+// hold p.mu.
+func (p *managedProc) startLocked() error {
+	args := append(append([]string(nil), p.spec.Args...), "-port", strconv.Itoa(p.port))
+	cmd := exec.Command(p.spec.Bin, args...)
+	if p.runner.Log != nil {
+		cmd.Stdout = p.runner.Log
+		cmd.Stderr = p.runner.Log
+	}
+	// The child dies with the runner (SIGKILL on parent death, linux):
+	// even a crashed benchmark harness leaves no orphaned servers behind.
+	setPdeathsig(cmd)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cluster: exec %s: %w", p.spec.Bin, err)
+	}
+	p.cmd = cmd
+	p.state = ProcStarting
+	p.execAt = time.Now()
+	p.cold, p.warm = 0, 0
+	p.forced = false
+
+	p.runner.wg.Add(2)
+	go p.probeStartup(cmd)
+	go p.wait(cmd)
+	return nil
+}
+
+// probeStartup measures the two startup phases: exec → /live (cold start:
+// the process can serve HTTP at all) and exec → /ping (warm ready: model
+// loaded). It gives up when the process exits first.
+func (p *managedProc) probeStartup(cmd *exec.Cmd) {
+	defer p.runner.wg.Done()
+	base := "http://" + p.addr
+	phase := func(path string) (time.Duration, bool) {
+		for {
+			p.mu.Lock()
+			gone := p.cmd != cmd || p.state == ProcExited
+			execAt := p.execAt
+			p.mu.Unlock()
+			if gone {
+				return 0, false
+			}
+			resp, err := p.runner.probe.Get(base + path)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return time.Since(execAt), true
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	cold, ok := phase(httpapi.LivePath)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	p.cold = cold
+	p.mu.Unlock()
+	p.runner.coldHist.Record(cold)
+
+	warm, ok := phase(httpapi.ReadyPath)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	p.warm = warm
+	if p.state == ProcStarting {
+		p.state = ProcReady
+	}
+	p.mu.Unlock()
+	p.runner.warmHist.Record(warm)
+}
+
+// wait reaps the child when it exits and — for unexpected deaths of
+// restart-enabled pods — respawns it on the same port after backoff.
+func (p *managedProc) wait(cmd *exec.Cmd) {
+	defer p.runner.wg.Done()
+	err := cmd.Wait()
+	code := 0
+	if err != nil {
+		code = -1
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		}
+	}
+
+	p.mu.Lock()
+	if p.cmd != cmd { // a restart already replaced this incarnation
+		p.mu.Unlock()
+		return
+	}
+	p.state = ProcExited
+	p.exitCode = code
+	requested := p.stopRequested
+	restart := p.spec.Restart && !requested
+	p.mu.Unlock()
+
+	logEvent().Info("process pod exited", "id", p.id, "addr", p.addr,
+		"exit_code", code, "requested", requested)
+	if !restart {
+		return
+	}
+	delay := p.backoff.Next(time.Now())
+	time.Sleep(delay)
+
+	p.runner.mu.Lock()
+	closed := p.runner.closed
+	p.runner.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if closed || p.stopRequested || p.cmd != cmd {
+		return
+	}
+	if err := p.startLocked(); err != nil {
+		logEvent().Warn("process pod restart failed", "id", p.id, "err", err)
+		return
+	}
+	p.restarts++
+	p.runner.restarts.Add(1)
+	logEvent().Info("process pod restarted", "id", p.id, "addr", p.addr,
+		"restarts", p.restarts, "backoff", delay)
+}
+
+func (r *ProcRunner) proc(id int) (*managedProc, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.procs[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no process pod %d", id)
+	}
+	return p, nil
+}
+
+// Status returns one pod's state.
+func (r *ProcRunner) Status(id int) (ProcStatus, error) {
+	p, err := r.proc(id)
+	if err != nil {
+		return ProcStatus{}, err
+	}
+	return p.status(), nil
+}
+
+// List returns every pod's state, ordered by ID.
+func (r *ProcRunner) List() []ProcStatus {
+	r.mu.Lock()
+	ids := make([]int, 0, len(r.procs))
+	for id := range r.procs {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	// Insertion sort; fleets are small.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]ProcStatus, 0, len(ids))
+	for _, id := range ids {
+		if p, err := r.proc(id); err == nil {
+			out = append(out, p.status())
+		}
+	}
+	return out
+}
+
+// Drain begins a graceful shutdown: SIGTERM (the server fails readiness,
+// finishes in-flight work bounded by its -drain-timeout, then exits).
+// When escalate > 0 the runner adds its own insurance: a still-running
+// process is SIGKILLed after that long. The pod will not be restarted.
+func (r *ProcRunner) Drain(id int, escalate time.Duration) error {
+	p, err := r.proc(id)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.stopRequested = true
+	cmd := p.cmd
+	if p.state != ProcExited {
+		p.state = ProcDraining
+	}
+	running := p.state == ProcDraining
+	p.mu.Unlock()
+	if !running || cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	if escalate > 0 {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			deadline := time.Now().Add(escalate)
+			for time.Now().Before(deadline) {
+				p.mu.Lock()
+				exited := p.state == ProcExited || p.cmd != cmd
+				p.mu.Unlock()
+				if exited {
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			p.mu.Lock()
+			stillHim := p.cmd == cmd && p.state != ProcExited
+			if stillHim {
+				p.forced = true
+			}
+			p.mu.Unlock()
+			if stillHim {
+				logEvent().Warn("drain escalated to SIGKILL", "id", p.id, "addr", p.addr)
+				_ = cmd.Process.Kill()
+			}
+		}()
+	}
+	return nil
+}
+
+// Kill terminates the pod immediately with SIGKILL — the operator's
+// force-stop. The pod will not be restarted.
+func (r *ProcRunner) Kill(id int) error {
+	p, err := r.proc(id)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.stopRequested = true
+	p.forced = p.forced || p.state != ProcExited
+	cmd := p.cmd
+	exited := p.state == ProcExited
+	p.mu.Unlock()
+	if exited || cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	return ignoreFinished(cmd.Process.Kill())
+}
+
+// Signal delivers a named POSIX signal ("KILL", "TERM", "STOP", "CONT")
+// to the pod — the chaos hook. Unlike Kill/Drain it does NOT mark the pod
+// stopped: a restart-enabled pod that a fault injector SIGKILLs is
+// respawned, which is precisely the recovery being measured.
+func (r *ProcRunner) Signal(id int, sig string) error {
+	p, err := r.proc(id)
+	if err != nil {
+		return err
+	}
+	s, err := sigFromName(sig)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	cmd := p.cmd
+	exited := p.state == ProcExited
+	p.mu.Unlock()
+	if exited || cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	return ignoreFinished(cmd.Process.Signal(s))
+}
+
+// WaitExit blocks until the pod's current process exits (or timeout
+// elapses) and returns its final status. ok is false on timeout.
+func (r *ProcRunner) WaitExit(id int, timeout time.Duration) (ProcStatus, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := r.Status(id)
+		if err != nil {
+			return st, false
+		}
+		if st.State == ProcExited {
+			return st, true
+		}
+		if time.Now().After(deadline) {
+			return st, false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Forget removes an exited pod from the runner's table (a still-running
+// pod is killed first).
+func (r *ProcRunner) Forget(id int) error {
+	if err := r.Kill(id); err != nil {
+		return err
+	}
+	r.WaitExit(id, 5*time.Second)
+	r.mu.Lock()
+	delete(r.procs, id)
+	r.mu.Unlock()
+	return nil
+}
+
+// Restarts returns the total number of runner-initiated respawns.
+func (r *ProcRunner) Restarts() int64 { return r.restarts.Load() }
+
+// Reap SIGKILLs every process still running — the orphan guard. It is
+// idempotent and safe to call at any time; Close calls it.
+func (r *ProcRunner) Reap() {
+	r.mu.Lock()
+	procs := make([]*managedProc, 0, len(r.procs))
+	for _, p := range r.procs {
+		procs = append(procs, p)
+	}
+	r.mu.Unlock()
+	for _, p := range procs {
+		p.mu.Lock()
+		p.stopRequested = true
+		cmd := p.cmd
+		running := p.state != ProcExited
+		p.mu.Unlock()
+		if running && cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+	for _, p := range procs {
+		r.WaitExit(p.id, 5*time.Second)
+	}
+}
+
+// Close reaps every child and waits for all supervision goroutines. After
+// Close the runner rejects spawns.
+func (r *ProcRunner) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.Reap()
+	r.wg.Wait()
+}
+
+// WriteMetrics appends the runner's fleet state to a Prometheus
+// exposition: restart counter, per-pod up/down gauges, and the cold-start
+// and warm-ready distributions (PR 3 conventions: summaries in seconds).
+func (r *ProcRunner) WriteMetrics(pb *metrics.PromBuilder) {
+	pb.Counter("etude_pod_restarts_total",
+		"Process pods respawned by the runner after an unexpected exit.",
+		float64(r.restarts.Load()))
+	for _, st := range r.List() {
+		up := 0.0
+		if st.State == ProcReady || st.State == ProcStarting || st.State == ProcDraining {
+			up = 1
+		}
+		pb.Gauge("etude_pod_up", "Process pod liveness (1 = process running).", up,
+			metrics.Label{Name: "pod", Value: strconv.Itoa(st.ID)},
+			metrics.Label{Name: "addr", Value: st.Addr})
+	}
+	if snap := r.coldHist.Snapshot(); snap.Count > 0 {
+		pb.Summary("etude_pod_coldstart_seconds",
+			"Process pod cold start: exec until /live answers.", snap)
+	}
+	if snap := r.warmHist.Snapshot(); snap.Count > 0 {
+		pb.Summary("etude_pod_warmready_seconds",
+			"Process pod warm ready: exec until /ping answers (cold start + model load).", snap)
+	}
+}
+
+// ignoreFinished drops the error a signal against an already-exited
+// process returns — racing a natural death is not a failure.
+func ignoreFinished(err error) error {
+	if err == nil || err.Error() == "os: process already finished" {
+		return nil
+	}
+	return err
+}
+
+// sigFromName maps a wire-protocol signal name to the POSIX signal.
+func sigFromName(name string) (syscall.Signal, error) {
+	switch name {
+	case "KILL":
+		return syscall.SIGKILL, nil
+	case "TERM":
+		return syscall.SIGTERM, nil
+	case "STOP":
+		return syscall.SIGSTOP, nil
+	case "CONT":
+		return syscall.SIGCONT, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown signal %q", name)
+}

@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/leakcheck"
+	"etude/internal/model"
+	"etude/internal/objstore"
+)
+
+// Process tests exec real etude-server binaries; they are skipped with
+// -short and guarded against both goroutine and child-process leaks.
+func serverBin(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("process tests skipped in -short mode")
+	}
+	bin, err := ServerBinary()
+	if err != nil {
+		t.Fatalf("no etude-server binary: %v", err)
+	}
+	return bin
+}
+
+func newProcClusterWithModel(t *testing.T) (*Cluster, string) {
+	t.Helper()
+	bin := serverBin(t)
+	leakcheck.NoChildProcs(t, "etude-server")
+	bucket, err := objstore.NewFSBucket(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := model.Manifest{Model: "gru4rec", Config: model.Config{CatalogSize: 2000, Seed: 1, TopK: 5}}
+	data, err := model.MarshalManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "models/gru4rec.json"
+	if err := bucket.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewProc(bucket, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Teardown)
+	return c, key
+}
+
+func TestProcRunnerSpawnDrain(t *testing.T) {
+	bin := serverBin(t)
+	leakcheck.Check(t)
+	leakcheck.NoChildProcs(t, "etude-server")
+
+	r := NewProcRunner()
+	defer r.Close()
+	st, err := r.Spawn(ProcSpec{Bin: bin, Args: []string{"-static", "-drain-timeout", "2s", "-drain-settle", "10ms"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PID <= 0 {
+		t.Fatalf("spawned pod has no PID: %+v", st)
+	}
+
+	// Readiness arrives; both startup phases get measured, in order.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ = r.Status(st.ID)
+		if st.State == ProcReady {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pod never became ready: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.ColdStart <= 0 || st.WarmReady < st.ColdStart {
+		t.Fatalf("startup phases out of order: cold=%v warm=%v", st.ColdStart, st.WarmReady)
+	}
+
+	// SIGTERM drains to a clean exit 0, unforced.
+	if err := r.Drain(st.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	final, exited := r.WaitExit(st.ID, 10*time.Second)
+	if !exited {
+		t.Fatalf("pod did not exit after drain: %+v", final)
+	}
+	if final.ExitCode != 0 || final.Forced {
+		t.Fatalf("drain was not graceful: %+v", final)
+	}
+}
+
+func TestProcRunnerRestartOnCrash(t *testing.T) {
+	bin := serverBin(t)
+	leakcheck.NoChildProcs(t, "etude-server")
+
+	r := NewProcRunner()
+	defer r.Close()
+	st, err := r.Spawn(ProcSpec{
+		Bin:            bin,
+		Args:           []string{"-static"},
+		Restart:        true,
+		InitialBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := st.Addr
+	if _, ok := waitProcReady(r, st.ID, 10*time.Second); !ok {
+		t.Fatal("pod never became ready")
+	}
+
+	// A chaos SIGKILL (Signal, not Kill) is an unexpected death: the
+	// runner must respawn the pod on the same address.
+	if err := r.Signal(st.ID, "KILL"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := r.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Restarts >= 1 && cur.State == ProcReady {
+			if cur.Addr != addr {
+				t.Fatalf("restart moved the pod: %s -> %s", addr, cur.Addr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pod was not respawned: %+v", cur)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if r.Restarts() < 1 {
+		t.Fatalf("runner restart counter = %d, want >= 1", r.Restarts())
+	}
+
+	// An operator Kill is final: no respawn.
+	if err := r.Kill(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, exited := r.WaitExit(st.ID, 10*time.Second)
+	if !exited {
+		t.Fatal("pod did not exit after Kill")
+	}
+	time.Sleep(100 * time.Millisecond) // give a buggy respawn time to happen
+	cur, _ := r.Status(st.ID)
+	if cur.State != ProcExited || cur.Restarts != final.Restarts {
+		t.Fatalf("operator kill must not respawn: %+v", cur)
+	}
+}
+
+func waitProcReady(r *ProcRunner, id int, timeout time.Duration) (ProcStatus, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := r.Status(id)
+		if err != nil {
+			return st, false
+		}
+		if st.State == ProcReady {
+			return st, true
+		}
+		if time.Now().After(deadline) {
+			return st, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestControlPlaneAPIAndMetrics(t *testing.T) {
+	bin := serverBin(t)
+	leakcheck.NoChildProcs(t, "etude-server")
+
+	cp, err := StartControlPlane(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	client := cp.Client()
+
+	st, err := client.Spawn(ProcSpec{Args: []string{"-static"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err = client.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == ProcReady {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pod never ready over the API: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	list, err := client.List()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("List = %v, %v; want 1 pod", list, err)
+	}
+
+	// The exposition carries the fleet metrics (PR 3 parse-back
+	// convention): restart counter, up gauge, startup summaries.
+	samples, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s.Value)
+	}
+	if got, ok := byName["etude_pod_restarts_total"]; !ok || got[0] != 0 {
+		t.Fatalf("etude_pod_restarts_total = %v, want [0]", got)
+	}
+	if got, ok := byName["etude_pod_up"]; !ok || got[0] != 1 {
+		t.Fatalf("etude_pod_up = %v, want [1]", got)
+	}
+	if _, ok := byName["etude_pod_coldstart_seconds_count"]; !ok {
+		t.Fatalf("missing etude_pod_coldstart_seconds summary; families: %v", keys(byName))
+	}
+	if _, ok := byName["etude_pod_warmready_seconds_count"]; !ok {
+		t.Fatalf("missing etude_pod_warmready_seconds summary; families: %v", keys(byName))
+	}
+
+	// Unknown pods are API errors, not crashes.
+	if _, err := client.Status(99); err == nil {
+		t.Fatal("Status(99) should fail")
+	}
+	if err := client.Signal(st.ID, "NOSUCH"); err == nil {
+		t.Fatal("bad signal name should fail")
+	}
+
+	if err := client.Forget(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if rest, err := client.List(); err != nil || len(rest) != 0 {
+		t.Fatalf("after Forget: List = %v, %v; want empty", rest, err)
+	}
+}
+
+func keys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// The full deployment flow on the process backend: Deploy readiness-gates
+// real processes, requests flow end to end, a SIGKILLed pod is repaired by
+// the same Supervisor that serves the in-process backend, and Teardown
+// leaves no orphans (the NoChildProcs guard asserts the last part).
+func TestProcClusterDeployServeSuperviseTeardown(t *testing.T) {
+	c, key := newProcClusterWithModel(t)
+	if c.Backend() != "proc" {
+		t.Fatalf("backend = %q, want proc", c.Backend())
+	}
+	svc, err := c.Deploy(ctx(t), "fleet", PodSpec{
+		Runtime:      RuntimeEtude,
+		ModelKey:     key,
+		DrainTimeout: 2 * time.Second,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pods := svc.Pods()
+	if len(pods) != 2 {
+		t.Fatalf("pods = %d", len(pods))
+	}
+	for _, p := range pods {
+		if p.ColdStart() <= 0 {
+			t.Fatalf("pod %d cold start unmeasured", p.Replica())
+		}
+		if p.WarmReady() < p.ColdStart() {
+			t.Fatalf("pod %d warm-ready %v < cold-start %v", p.Replica(), p.WarmReady(), p.ColdStart())
+		}
+	}
+
+	tgt := svc.Target()
+	for i := 0; i < 4; i++ {
+		if err := tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{1, 2, 3}}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// Real crash, real repair: SIGKILL one pod and let the supervisor
+	// bring a replacement to readiness.
+	sup, err := c.Supervise("fleet", RestartPolicy{
+		ProbeInterval:  25 * time.Millisecond,
+		FailThreshold:  2,
+		InitialBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	victim := pods[0]
+	if err := svc.SignalPod(victim.Replica(), "KILL"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sup.Restarts() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never repaired the SIGKILLed pod")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if mttr := sup.MTTR(); mttr <= 0 {
+		t.Fatalf("MTTR = %v, want > 0", mttr)
+	}
+	// The replacement is a ready process pod; requests flow again.
+	if err := tgt.Predict(ctx(t), httpapi.PredictRequest{Items: []int64{4, 5}}); err != nil {
+		t.Fatalf("request after repair: %v", err)
+	}
+	sup.Stop()
+
+	// Graceful delete: no forced kills on an idle fleet.
+	if err := c.Delete("fleet"); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.ForcedKills(); n != 0 {
+		t.Fatalf("forced kills on idle graceful delete = %d, want 0", n)
+	}
+}
+
+// Signals on the in-process backend fail with ErrNoProcess; through the
+// service they are dropped for departed ordinals on both backends.
+func TestSignalSemanticsPerBackend(t *testing.T) {
+	c, key := newClusterWithModel(t)
+	svc, err := c.Deploy(ctx(t), "sig", PodSpec{Runtime: RuntimeEtude, ModelKey: key}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Pods()[0].Signal("KILL"); err != ErrNoProcess {
+		t.Fatalf("inproc Signal = %v, want ErrNoProcess", err)
+	}
+	if err := svc.SignalPod(42, "KILL"); err != nil {
+		t.Fatalf("signal to departed ordinal = %v, want silent drop", err)
+	}
+}
+
+// A static process pod is ready almost immediately after it is live, while
+// a model-loading pod has a measurable gap — the distinction the
+// bootstrap-handler split exists to expose.
+func TestProcColdStartPrecedesModelLoad(t *testing.T) {
+	bin := serverBin(t)
+	leakcheck.NoChildProcs(t, "etude-server")
+	r := NewProcRunner()
+	defer r.Close()
+
+	st, err := r.Spawn(ProcSpec{Bin: bin, Args: []string{"-model", "gru4rec", "-catalog", "20000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready, ok := waitProcReady(r, st.ID, 20*time.Second)
+	if !ok {
+		t.Fatalf("model pod never ready: %+v", ready)
+	}
+	if ready.WarmReady <= ready.ColdStart {
+		t.Fatalf("model load should separate warm-ready (%v) from cold-start (%v)", ready.WarmReady, ready.ColdStart)
+	}
+
+	// While a (fresh) pod is loading its model, /live answers and /ping
+	// does not — probe the bootstrap window directly.
+	st2, err := r.Spawn(ProcSpec{Bin: bin, Args: []string{"-model", "gru4rec", "-catalog", "20000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &http.Client{Timeout: 200 * time.Millisecond}
+	sawBootstrap := false
+	bootDeadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(bootDeadline) {
+		live, errLive := probe.Get("http://" + st2.Addr + httpapi.LivePath)
+		if errLive == nil {
+			ready, errReady := probe.Get("http://" + st2.Addr + httpapi.ReadyPath)
+			liveOK := live.StatusCode == http.StatusOK
+			live.Body.Close()
+			if errReady == nil {
+				notReady := ready.StatusCode != http.StatusOK
+				ready.Body.Close()
+				if liveOK && notReady {
+					sawBootstrap = true
+				}
+				if liveOK && !notReady {
+					break // fully up
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawBootstrap {
+		t.Log("model loaded too fast to observe the bootstrap window (ok on fast machines)")
+	}
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"etude/internal/objstore"
+)
+
+// This file adapts the control plane to the cluster's podBackend interface:
+// a Cluster created with NewProc runs every pod as a real etude-server
+// process, yet Deploy/Scale/RollingUpdate/Supervise and the balancer work
+// unchanged — they only ever see Pod handles and HTTP endpoints. The
+// difference is what the handles do: beginDrain delivers SIGTERM, forceStop
+// delivers SIGKILL, and cold-start numbers come from a real exec.
+
+// dirBucket is the part of an object-store bucket a separate process can
+// reach: a filesystem directory. objstore.FSBucket implements it.
+type dirBucket interface {
+	objstore.Bucket
+	Dir() string
+}
+
+// NewProc provisions a cluster whose pods are real etude-server processes
+// supervised by a local control plane. The bucket must be filesystem-backed
+// (objstore.FSBucket) — child processes read model artifacts through the
+// -bucket flag, and an in-memory bucket has no path to hand them. serverBin
+// is the etude-server binary (see ServerBinary for the test-time builder).
+func NewProc(bucket objstore.Bucket, serverBin string) (*Cluster, error) {
+	db, ok := bucket.(dirBucket)
+	if !ok {
+		return nil, fmt.Errorf("cluster: process pods need a filesystem bucket (objstore.FSBucket), got %T", bucket)
+	}
+	if serverBin == "" {
+		return nil, fmt.Errorf("cluster: process pods need an etude-server binary path")
+	}
+	cp, err := StartControlPlane(serverBin)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{bucket: bucket, services: make(map[string]*Service)}
+	c.backend = &procBackend{
+		cp:        cp,
+		client:    cp.Client(),
+		bucketDir: db.Dir(),
+	}
+	return c, nil
+}
+
+// ControlPlane returns the cluster's control-plane daemon when the cluster
+// runs on the process backend, or nil on the in-process backend — the hook
+// experiments use to scrape fleet metrics and spawn out-of-band pods.
+func (c *Cluster) ControlPlane() *ControlPlane {
+	if pb, ok := c.backend.(*procBackend); ok {
+		return pb.cp
+	}
+	return nil
+}
+
+type procBackend struct {
+	cp        *ControlPlane
+	client    *ControlPlaneClient
+	bucketDir string
+}
+
+func (b *procBackend) name() string { return "proc" }
+func (b *procBackend) close()       { b.cp.Close() }
+
+func (b *procBackend) start(spec PodSpec, replica int) (*Pod, error) {
+	args, err := procArgs(spec, b.bucketDir)
+	if err != nil {
+		return nil, err
+	}
+	// Restart stays off: the cluster Supervisor owns recovery (liveness
+	// probes + startReadyPods), and two repair loops on one pod would
+	// double-restart.
+	st, err := b.client.Spawn(ProcSpec{Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return &Pod{
+		addr:      st.Addr,
+		handle:    &procHandle{client: b.client, id: st.ID},
+		replica:   replica,
+		createdAt: time.Now(),
+	}, nil
+}
+
+// procArgs maps a PodSpec onto etude-server command-line flags — the
+// process backend's equivalent of inprocBackend.start building a
+// server.Server from Options. Options that cannot cross a process boundary
+// are rejected, not silently dropped, with one deliberate exception:
+// Middleware is an in-process fault hook (it wraps an http.Handler), so the
+// process backend ignores it — real-process faults are injected as signals
+// through chaos.ProcDriver instead.
+func procArgs(spec PodSpec, bucketDir string) ([]string, error) {
+	var args []string
+	switch spec.Runtime {
+	case RuntimeEtude:
+		if spec.ModelKey == "" {
+			return nil, fmt.Errorf("cluster: process pod needs a model key")
+		}
+		args = append(args, "-bucket", bucketDir, "-key", spec.ModelKey)
+	case RuntimeEtudeStatic:
+		args = append(args, "-static")
+	case RuntimeTorchServe:
+		return nil, fmt.Errorf("cluster: the TorchServe simulator has no standalone binary; use the in-process backend")
+	default:
+		return nil, fmt.Errorf("cluster: unknown runtime %d", spec.Runtime)
+	}
+
+	o := spec.Server
+	// The flag defaults to true, the Options zero value to false — always
+	// pass it so both backends serve the same plan.
+	args = append(args, "-jit="+strconv.FormatBool(o.JIT))
+	if o.Workers > 0 {
+		args = append(args, "-workers", strconv.Itoa(o.Workers))
+	}
+	if o.Batch != nil {
+		args = append(args, "-batch")
+	}
+	if o.Limiter != nil {
+		args = append(args, "-adaptive")
+	}
+	if o.MaxPending != 0 {
+		args = append(args, "-max-pending", strconv.Itoa(o.MaxPending))
+	}
+	if o.DegradeAt > 0 {
+		args = append(args, "-degrade-at", strconv.Itoa(o.DegradeAt))
+	}
+	if o.Shards > 1 {
+		args = append(args, "-shards", strconv.Itoa(o.Shards))
+	}
+	if o.Partition != nil {
+		args = append(args, "-partition", fmt.Sprintf("%d:%d:%d",
+			o.Partition.Index, o.Partition.From, o.Partition.To))
+	}
+	if o.Tracer != nil {
+		args = append(args, "-trace")
+	}
+	if o.Profiling {
+		args = append(args, "-pprof")
+	}
+	// Live objects cannot be handed to another process; their flag-side
+	// equivalents cover the experiments, but a pre-built instance with
+	// custom tuning would silently lose it — refuse instead.
+	if o.CoDel != nil && o.Limiter == nil {
+		return nil, fmt.Errorf("cluster: process pods cannot adopt a pre-built CoDel instance; set Limiter (maps to -adaptive) or run in-process")
+	}
+	if o.MetricsExtra != nil {
+		return nil, fmt.Errorf("cluster: process pods cannot serve MetricsExtra callbacks; scrape the control plane's /metrics instead")
+	}
+
+	// The server owns its drain bound: SIGTERM → finish in-flight within
+	// -drain-timeout → exit, self-force-closing (exit 1) past the deadline.
+	args = append(args, "-drain-timeout", spec.drainTimeout().String())
+	return args, nil
+}
+
+// procHandle drives one real process pod through the control-plane client.
+type procHandle struct {
+	client *ControlPlaneClient
+	id     int
+
+	// drainSent dedupes the SIGTERM: beginDrain and stop may both run (the
+	// drain sequence), and the server treats a second SIGTERM as "exit
+	// now" — exactly what a graceful drain must not do.
+	drainSent bool
+	// cold/warm cache the measured startup phases once the control plane
+	// reports non-zero values (atomic: report writers race fleet
+	// operations).
+	cold atomic.Int64
+	warm atomic.Int64
+}
+
+func (h *procHandle) beginDrain() {
+	h.drainSent = true
+	if err := h.client.Drain(h.id, 0); err != nil {
+		logEvent().Warn("drain signal failed", "pod", h.id, "err", err)
+	}
+}
+
+// stop waits out the graceful shutdown the SIGTERM started: the server
+// itself enforces -drain-timeout, so a healthy pod exits 0 well within
+// gracePeriod and a wedged one self-force-closes with exit 1. The handle
+// adds a SIGKILL backstop slightly past the grace bound for processes too
+// broken to run their own signal handler.
+func (h *procHandle) stop(gracePeriod time.Duration) (forced bool) {
+	if gracePeriod <= 0 {
+		h.forceStop()
+		return true
+	}
+	if !h.drainSent {
+		h.beginDrain()
+	}
+	// The server's own deadline is gracePeriod (procArgs passed it as
+	// -drain-timeout); give it headroom to fire before the backstop.
+	st, exited := h.client.WaitExit(h.id, gracePeriod+time.Second)
+	if !exited {
+		_ = h.client.Kill(h.id)
+		st, _ = h.client.WaitExit(h.id, 5*time.Second)
+		return true
+	}
+	// A non-zero exit on a drained pod is the server reporting it had to
+	// cut work off at its deadline.
+	return st.Forced || st.ExitCode != 0
+}
+
+func (h *procHandle) forceStop() {
+	if err := h.client.Kill(h.id); err != nil {
+		logEvent().Warn("kill failed", "pod", h.id, "err", err)
+		return
+	}
+	h.client.WaitExit(h.id, 5*time.Second)
+}
+
+func (h *procHandle) signal(sig string) error {
+	return h.client.Signal(h.id, sig)
+}
+
+func (h *procHandle) coldStart() time.Duration {
+	return h.startupPhase(&h.cold, func(st ProcStatus) time.Duration { return st.ColdStart })
+}
+
+// warmReady reports the runner-measured exec → /ping duration, satisfying
+// the startupReporter refinement: both startup phases then come from the
+// same exec-anchored clock, so warm ≥ cold holds by construction.
+func (h *procHandle) warmReady() (time.Duration, bool) {
+	d := h.startupPhase(&h.warm, func(st ProcStatus) time.Duration { return st.WarmReady })
+	return d, d != 0
+}
+
+// startupPhase fetches one startup measurement from the control plane,
+// caching it once recorded. The runner's own probe loop can trail the
+// cluster's readiness gate by a probe interval, so a just-ready pod may
+// not have the phase recorded yet — wait it out briefly rather than
+// report a misleading zero. Gives up immediately once the pod is gone.
+func (h *procHandle) startupPhase(cached *atomic.Int64, get func(ProcStatus) time.Duration) time.Duration {
+	if v := cached.Load(); v != 0 {
+		return time.Duration(v)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := h.client.Status(h.id)
+		if err != nil {
+			return 0
+		}
+		if d := get(st); d != 0 {
+			cached.Store(int64(d))
+			return d
+		}
+		if st.State == ProcExited || time.Now().After(deadline) {
+			return 0
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build linux
+
+package cluster
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig makes the kernel SIGKILL the child if the runner process
+// dies — the last-resort orphan guard when the benchmark harness itself
+// crashes without running Reap.
+func setPdeathsig(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package cluster
+
+import "os/exec"
+
+// setPdeathsig is a no-op where parent-death signals are unavailable;
+// orphan reaping falls back to ProcRunner.Reap/Close.
+func setPdeathsig(cmd *exec.Cmd) {}

@@ -27,6 +27,10 @@ type RestartPolicy struct {
 	// (default 5s) — CrashLoopBackOff, capped.
 	InitialBackoff time.Duration
 	MaxBackoff     time.Duration
+	// HealthyReset is how long without any restart counts as "healthy
+	// again": the next restart's backoff starts over at InitialBackoff
+	// (default 10s) instead of continuing the escalation.
+	HealthyReset time.Duration
 	// ReadyTimeout bounds the replacement pod's readiness wait (default
 	// 10s). A replacement that never readies counts as a failed restart and
 	// the supervisor retries after backoff.
@@ -48,6 +52,9 @@ func (p RestartPolicy) withDefaults() RestartPolicy {
 	}
 	if p.MaxBackoff <= 0 {
 		p.MaxBackoff = 5 * time.Second
+	}
+	if p.HealthyReset <= 0 {
+		p.HealthyReset = 10 * time.Second
 	}
 	if p.ReadyTimeout <= 0 {
 		p.ReadyTimeout = 10 * time.Second
@@ -156,7 +163,11 @@ func (s *Supervisor) MTTR() time.Duration {
 
 func (s *Supervisor) loop() {
 	defer s.wg.Done()
-	backoff := s.policy.InitialBackoff
+	backoff := restartBackoff{
+		Initial:      s.policy.InitialBackoff,
+		Max:          s.policy.MaxBackoff,
+		HealthyReset: s.policy.HealthyReset,
+	}
 	ticker := time.NewTicker(s.policy.ProbeInterval)
 	defer ticker.Stop()
 	// firstFail anchors each pod's downtime clock at the first missed
@@ -168,7 +179,6 @@ func (s *Supervisor) loop() {
 			return
 		case <-ticker.C:
 		}
-		restarted := false
 		for _, pod := range s.svc.Pods() {
 			if pod.Draining() {
 				continue // graceful removal in progress, not a crash
@@ -190,11 +200,12 @@ func (s *Supervisor) loop() {
 			if n < s.policy.FailThreshold {
 				continue
 			}
-			// Dead: back off (capped), then replace.
+			// Dead: back off (CrashLoopBackOff — doubling while crashes
+			// come quickly, reset after a healthy stretch), then replace.
 			select {
 			case <-s.done:
 				return
-			case <-time.After(backoff):
+			case <-time.After(backoff.Next(time.Now())):
 			}
 			ev := s.restart(pod, firstFail[pod])
 			if ev.Err != nil {
@@ -208,15 +219,6 @@ func (s *Supervisor) loop() {
 			delete(s.fails, pod)
 			s.events = append(s.events, ev)
 			s.mu.Unlock()
-			restarted = true
-		}
-		if restarted {
-			backoff *= 2
-			if backoff > s.policy.MaxBackoff {
-				backoff = s.policy.MaxBackoff
-			}
-		} else {
-			backoff = s.policy.InitialBackoff
 		}
 	}
 }

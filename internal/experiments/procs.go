@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"etude/internal/cluster"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/objstore"
+)
+
+// EXPERIMENT=procs is the reality check on the robustness stack: every
+// prior chaos, drain and MTTR number was measured against in-process pods,
+// where a "crash" is a middleware answering 503 and a "kill" closes a
+// listener. This experiment re-runs the same fleet operations against real
+// etude-server processes behind the local control plane — SIGKILL against
+// a PID, SIGTERM-driven drains, exec-to-ready cold starts — and puts the
+// two substrates side by side:
+//
+//  1. crash-supervised on both backends: the in-process MTTR is the
+//     simulated prediction, the process MTTR is the measurement; the
+//     ratio column is the fidelity claim (the substrates agree when the
+//     ratio is near 1, and the process number is expected to sit a little
+//     higher — exec and model load are real there);
+//  2. rolling-drained vs rolling-undrained on the process backend: a
+//     drained update of real processes stays at zero errors while the
+//     undrained arm SIGKILLs pods out of the rotation and pays for it;
+//  3. a cold-start distribution from repeated real spawns: exec → /live
+//     (process up) vs exec → /ping (model loaded), the two phases
+//     Kubernetes readiness gating would see.
+
+// ProcsConfig controls the real-process study.
+type ProcsConfig struct {
+	// Rolling shapes the load and fleet for the crash and rolling phases
+	// (its Backend field is overridden per phase).
+	Rolling RollingConfig
+	// ColdStartSamples is how many real processes are spawned (serially)
+	// for the cold-start distribution.
+	ColdStartSamples int
+	// ServerBin is the etude-server binary; empty builds one.
+	ServerBin string
+}
+
+// DefaultProcsConfig returns the test-scale study: a small fleet under
+// modest load, enough spawns for a stable distribution.
+func DefaultProcsConfig() ProcsConfig {
+	r := DefaultRollingConfig()
+	r.Duration = 6 * time.Second
+	r.TargetRate = 100
+	r.OpAfter = 1500 * time.Millisecond
+	return ProcsConfig{
+		Rolling:          r,
+		ColdStartSamples: 8,
+	}
+}
+
+// ProcsMTTRRow is one backend's supervised-crash outcome.
+type ProcsMTTRRow struct {
+	Backend   string        `json:"backend"`
+	Sent      int64         `json:"sent"`
+	Errors    int64         `json:"errors"`
+	ErrorRate float64       `json:"error_rate"`
+	Restarts  int           `json:"restarts"`
+	MTTR      time.Duration `json:"mttr"`
+}
+
+// ProcsResult holds the three phases' outcomes.
+type ProcsResult struct {
+	// MTTR compares supervised crash recovery across substrates
+	// (inproc first, proc second).
+	MTTR []ProcsMTTRRow `json:"mttr"`
+	// Rolling holds the drained and undrained rows, both on the process
+	// backend.
+	Rolling []RollingRow `json:"rolling"`
+	// ColdStart and WarmReady summarise the spawn distribution.
+	ColdStart metrics.Snapshot `json:"cold_start"`
+	WarmReady metrics.Snapshot `json:"warm_ready"`
+}
+
+// MTTRRatio returns process MTTR / in-process MTTR (0 when either is
+// unmeasured) — the substrate-fidelity number.
+func (r *ProcsResult) MTTRRatio() float64 {
+	var inproc, proc time.Duration
+	for _, row := range r.MTTR {
+		switch row.Backend {
+		case "inproc":
+			inproc = row.MTTR
+		case "proc":
+			proc = row.MTTR
+		}
+	}
+	if inproc <= 0 || proc <= 0 {
+		return 0
+	}
+	return float64(proc) / float64(inproc)
+}
+
+// Procs runs the study. The process phases exec real binaries; expect a
+// few seconds of wall time per phase.
+func Procs(ctx context.Context, cfg ProcsConfig) (*ProcsResult, error) {
+	if cfg.ColdStartSamples <= 0 {
+		cfg.ColdStartSamples = 8
+	}
+	res := &ProcsResult{}
+
+	// Phase 1 — supervised crash on both substrates.
+	for _, backend := range []string{"inproc", "proc"} {
+		rcfg := cfg.Rolling
+		rcfg.Backend = backend
+		rcfg.ServerBin = cfg.ServerBin
+		row, err := runRollingPhase(ctx, rcfg, "crash-supervised")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: procs crash phase (%s): %w", backend, err)
+		}
+		res.MTTR = append(res.MTTR, ProcsMTTRRow{
+			Backend:   backend,
+			Sent:      row.Sent,
+			Errors:    row.Errors,
+			ErrorRate: row.ErrorRate,
+			Restarts:  row.Restarts,
+			MTTR:      row.MTTR,
+		})
+	}
+
+	// Phase 2 — drained vs undrained rolling update of real processes.
+	for _, phase := range []string{"rolling-drained", "rolling-undrained"} {
+		rcfg := cfg.Rolling
+		rcfg.Backend = "proc"
+		rcfg.ServerBin = cfg.ServerBin
+		row, err := runRollingPhase(ctx, rcfg, phase)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: procs %s: %w", phase, err)
+		}
+		res.Rolling = append(res.Rolling, *row)
+	}
+
+	// Phase 3 — cold-start distribution from repeated real spawns.
+	cold, warm, err := procColdStarts(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: procs cold-start phase: %w", err)
+	}
+	res.ColdStart, res.WarmReady = cold, warm
+	return res, nil
+}
+
+// procColdStarts spawns real model-serving processes one at a time and
+// collects their startup-phase timings. Serial spawning keeps the samples
+// honest on small machines — concurrent model loads would contend for CPU
+// and inflate each other.
+func procColdStarts(cfg ProcsConfig) (cold, warm metrics.Snapshot, err error) {
+	bin := cfg.ServerBin
+	if bin == "" {
+		if bin, err = cluster.ServerBinary(); err != nil {
+			return cold, warm, err
+		}
+	}
+	dir, err := os.MkdirTemp("", "etude-coldstart-")
+	if err != nil {
+		return cold, warm, err
+	}
+	defer os.RemoveAll(dir)
+	bucket, err := objstore.NewFSBucket(dir)
+	if err != nil {
+		return cold, warm, err
+	}
+	manifest := model.Manifest{
+		Model:  cfg.Rolling.Model,
+		Config: model.Config{CatalogSize: cfg.Rolling.CatalogSize, Seed: cfg.Rolling.Seed},
+	}
+	data, err := model.MarshalManifest(manifest)
+	if err != nil {
+		return cold, warm, err
+	}
+	const key = "models/coldstart.json"
+	if err := bucket.Put(key, data); err != nil {
+		return cold, warm, err
+	}
+
+	runner := cluster.NewProcRunner()
+	defer runner.Close()
+	coldHist, warmHist := metrics.NewHistogram(), metrics.NewHistogram()
+	for i := 0; i < cfg.ColdStartSamples; i++ {
+		st, err := runner.Spawn(cluster.ProcSpec{
+			Bin:  bin,
+			Args: []string{"-bucket", dir, "-key", key, "-drain-timeout", "2s", "-drain-settle", "10ms"},
+		})
+		if err != nil {
+			return cold, warm, err
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			cur, serr := runner.Status(st.ID)
+			if serr != nil {
+				return cold, warm, serr
+			}
+			if cur.State == cluster.ProcReady {
+				coldHist.Record(cur.ColdStart)
+				warmHist.Record(cur.WarmReady)
+				break
+			}
+			if cur.State == cluster.ProcExited {
+				return cold, warm, fmt.Errorf("spawn %d exited before ready (code %d)", i, cur.ExitCode)
+			}
+			if time.Now().After(deadline) {
+				return cold, warm, fmt.Errorf("spawn %d never became ready", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := runner.Forget(st.ID); err != nil {
+			return cold, warm, err
+		}
+	}
+	return coldHist.Snapshot(), warmHist.Snapshot(), nil
+}
+
+// Render prints the three tables.
+func (r *ProcsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Procs — real-process pods vs the in-process substrate (live, seeded)\n\n")
+
+	fmt.Fprintf(&b, "supervised SIGKILL crash: measured MTTR per substrate\n")
+	fmt.Fprintf(&b, "%-8s %8s %7s %8s %9s %12s\n", "backend", "sent", "errors", "err%", "restarts", "mttr")
+	for _, row := range r.MTTR {
+		fmt.Fprintf(&b, "%-8s %8d %7d %7.2f%% %9d %12s\n",
+			row.Backend, row.Sent, row.Errors, row.ErrorRate*100,
+			row.Restarts, row.MTTR.Round(time.Millisecond))
+	}
+	if ratio := r.MTTRRatio(); ratio > 0 {
+		fmt.Fprintf(&b, "proc/inproc MTTR ratio: %.2fx (substrates agree when near 1; the process side pays real exec + model load)\n", ratio)
+	}
+
+	fmt.Fprintf(&b, "\nrolling update of real processes: drained vs undrained\n")
+	fmt.Fprintf(&b, "%-18s %8s %7s %8s %10s %10s %7s\n",
+		"phase", "sent", "errors", "err%", "p50", "p99", "forced")
+	for _, row := range r.Rolling {
+		fmt.Fprintf(&b, "%-18s %8d %7d %7.2f%% %10s %10s %7d\n",
+			row.Phase, row.Sent, row.Errors, row.ErrorRate*100,
+			row.Latency.P50.Round(time.Microsecond), row.Latency.P99.Round(time.Microsecond),
+			row.ForcedKills)
+	}
+
+	fmt.Fprintf(&b, "\ncold start, %d real spawns (exec→/live = process up; exec→/ping = model loaded)\n", r.ColdStart.Count)
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s\n", "phase", "mean", "p50", "p90", "p99", "max")
+	for _, row := range []struct {
+		name string
+		s    metrics.Snapshot
+	}{{"cold-start", r.ColdStart}, {"warm-ready", r.WarmReady}} {
+		fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s\n", row.name,
+			row.s.Mean.Round(time.Millisecond), row.s.P50.Round(time.Millisecond),
+			row.s.P90.Round(time.Millisecond), row.s.P99.Round(time.Millisecond),
+			row.s.Max.Round(time.Millisecond))
+	}
+	return b.String()
+}

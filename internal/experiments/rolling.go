@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -46,6 +47,14 @@ type RollingConfig struct {
 	AlphaClicks float64
 	// Seed drives workload sampling and model weights.
 	Seed int64
+	// Backend selects the pod substrate: "inproc" (or empty) hosts pods as
+	// goroutine HTTP servers; "proc" execs real etude-server processes
+	// behind the local control plane, so the crash phase delivers an actual
+	// SIGKILL and the undrained arm kills real PIDs.
+	Backend string
+	// ServerBin is the etude-server binary for the proc backend; empty
+	// builds one with the go toolchain (cluster.ServerBinary).
+	ServerBin string
 }
 
 // DefaultRollingConfig returns the standard study: gru4rec at C=10k, 3
@@ -134,8 +143,45 @@ func publishRevision(bucket objstore.Bucket, cfg RollingConfig, rev int) (string
 	return key, bucket.Put(key, data)
 }
 
+// phaseCluster provisions the substrate one phase runs on: an in-process
+// cluster over a memory bucket, or a real-process cluster over a temporary
+// filesystem bucket (child processes read model artifacts via -bucket).
+func phaseCluster(cfg RollingConfig) (*cluster.Cluster, objstore.Bucket, func(), error) {
+	if cfg.Backend != "proc" {
+		bucket := objstore.NewMemBucket()
+		c := cluster.New(bucket)
+		return c, bucket, c.Teardown, nil
+	}
+	bin := cfg.ServerBin
+	if bin == "" {
+		var err error
+		if bin, err = cluster.ServerBinary(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	dir, err := os.MkdirTemp("", "etude-procs-")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bucket, err := objstore.NewFSBucket(dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	c, err := cluster.NewProc(bucket, bin)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	return c, bucket, func() { c.Teardown(); os.RemoveAll(dir) }, nil
+}
+
 func runRollingPhase(ctx context.Context, cfg RollingConfig, phase string) (*RollingRow, error) {
-	bucket := objstore.NewMemBucket()
+	c, bucket, cleanup, err := phaseCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	key1, err := publishRevision(bucket, cfg, 1)
 	if err != nil {
 		return nil, err
@@ -144,8 +190,6 @@ func runRollingPhase(ctx context.Context, cfg RollingConfig, phase string) (*Rol
 	if err != nil {
 		return nil, err
 	}
-	c := cluster.New(bucket)
-	defer c.Teardown()
 
 	spec := cluster.PodSpec{
 		Runtime:      cluster.RuntimeEtude,
@@ -154,15 +198,17 @@ func runRollingPhase(ctx context.Context, cfg RollingConfig, phase string) (*Rol
 		DrainTimeout: cfg.DrainTimeout,
 	}
 
+	// Pod 0 crashes at OpAfter and never self-heals: only the supervisor
+	// can bring capacity back, which is what makes its MTTR measurable.
+	// The same scenario drives both substrates — as a 503 middleware on
+	// in-process pods, as a real SIGKILL on process pods.
+	crash := chaos.Scenario{
+		Name: "crash", Seed: cfg.Seed,
+		Faults: []chaos.Fault{{Kind: chaos.FaultPodCrash, At: cfg.OpAfter, Pod: 0}},
+	}
 	var inj *chaos.Injector
-	if phase == "crash-supervised" {
-		// Pod 0 crashes at OpAfter and never self-heals: only the
-		// supervisor can bring capacity back, which is what makes its MTTR
-		// measurable.
-		inj = chaos.NewInjector(chaos.Scenario{
-			Name: "crash", Seed: cfg.Seed,
-			Faults: []chaos.Fault{{Kind: chaos.FaultPodCrash, At: cfg.OpAfter, Pod: 0}},
-		})
+	if phase == "crash-supervised" && cfg.Backend != "proc" {
+		inj = chaos.NewInjector(crash)
 		spec.Middleware = inj.Middleware
 	}
 
@@ -174,7 +220,13 @@ func runRollingPhase(ctx context.Context, cfg RollingConfig, phase string) (*Rol
 
 	var sup *cluster.Supervisor
 	if phase == "crash-supervised" {
-		inj.Start()
+		if inj != nil {
+			inj.Start()
+		} else {
+			driver := chaos.NewProcDriver(crash, svc)
+			driver.Start()
+			defer driver.Stop()
+		}
 		sup, err = c.Supervise(deployment, cluster.RestartPolicy{})
 		if err != nil {
 			return nil, err

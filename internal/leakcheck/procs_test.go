@@ -1,0 +1,47 @@
+package leakcheck
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestChildProcsDetectsLiveChild(t *testing.T) {
+	if !procfsAvailable() {
+		t.Skip("no /proc on this platform")
+	}
+	cmd := exec.Command("sleep", "60")
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot start helper child: %v", err)
+	}
+	pid := cmd.Process.Pid
+
+	found := false
+	for _, p := range childProcs(os.Getpid(), "sleep") {
+		if p == pid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("childProcs did not find live child %d", pid)
+	}
+
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	for _, p := range childProcs(os.Getpid(), "sleep") {
+		if p == pid {
+			t.Fatalf("childProcs still lists reaped child %d", pid)
+		}
+	}
+}
+
+// The guard itself must pass on a test that cleans up its children.
+func TestNoChildProcsCleanTest(t *testing.T) {
+	NoChildProcs(t, "sleep")
+	cmd := exec.Command("sleep", "60")
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot start helper child: %v", err)
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+}

@@ -106,6 +106,11 @@ func NewFSBucket(dir string) (*FSBucket, error) {
 	return &FSBucket{root: dir}, nil
 }
 
+// Dir returns the bucket's root directory, so a separate process can be
+// pointed at the same objects (the cluster's process backend passes it to
+// etude-server via -bucket).
+func (b *FSBucket) Dir() string { return b.root }
+
 func (b *FSBucket) path(key string) (string, error) {
 	if err := checkKey(key); err != nil {
 		return "", err
