@@ -43,9 +43,11 @@ race:
 # (drain/scale/rolling-update/supervisor, the process runner and control
 # plane), the server's admission control, the load generator, the
 # scatter-gather retrieval tier (goroutine fan-out, hedged sub-requests,
-# partial top-k merge), the overload controllers (CoDel, AIMD limiter)
-# hammered from many goroutines, and the chaos drivers. Process tests use
-# the prebuilt bin/etude-server (skip them with `go test -short`).
+# partial top-k merge, the partial-result policy and its group breakers),
+# the overload controllers (CoDel, AIMD limiter) hammered from many
+# goroutines, and the chaos drivers including the shard-blackout scenario.
+# Process tests (real SIGKILL blackouts included) use the prebuilt
+# bin/etude-server; skip them with `go test -short`.
 check: bin/etude-server
 	go build ./...
 	go vet ./...
@@ -64,7 +66,7 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
@@ -85,6 +87,11 @@ run_deployed_benchmark:
 # reports the p50 MIPS-latency speedup per shard count on large catalogs,
 # compares p99 with/without tail-latency hedging under a 10×-slow shard,
 # and prints the sharded deployment options from the cost model.
+# EXPERIMENT=blackout kills every replica of one of S=4 shard groups mid-run
+# (forever) and compares fail-fast vs partial-result serving: post-blackout
+# availability (~0% vs ~100% at (S-1)/S coverage), the degraded-response and
+# coverage accounting, and the measured recall@k loss of partial answers vs
+# the full-coverage oracle on a real model, per outage size.
 # EXPERIMENT=procs re-runs the supervised-crash and rolling-update studies
 # against real etude-server processes (SIGKILL chaos, SIGTERM drains) and
 # compares measured MTTR against the in-process substrate, plus a

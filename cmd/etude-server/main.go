@@ -63,6 +63,9 @@ func main() {
 		degradeAt  = flag.Int("degrade-at", 0, "pending-request watermark for degraded fallback responses (0 = off)")
 		shards     = flag.Int("shards", 0, "catalog shards for in-process scatter-gather retrieval (0/1 = unsharded)")
 		partition  = flag.String("partition", "", "serve one catalog partition as a shard worker, as index:from:to (e.g. 0:0:25000)")
+		gateway    = flag.String("gateway", "", "front a sharded fleet: shard groups separated by ';', replica URLs within a group by ',' (e.g. http://a:1,http://a:2;http://b:1)")
+		partial    = flag.Bool("partial", false, "serve partial results when shards fail (requires -gateway; responses carry X-Degraded/X-Coverage)")
+		minCov     = flag.Float64("min-coverage", 0.5, "minimum shard-coverage fraction under -partial; below it requests fail 503")
 		static     = flag.Bool("static", false, "serve empty responses without a model")
 		traced     = flag.Bool("trace", false, "record per-stage latency histograms (exposed at /metrics)")
 		profiled   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -94,7 +97,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
-	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *maxPending, *degradeAt, part, *batch, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key)
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *maxPending, *degradeAt, part, *gateway, *partial, *minCov, *batch, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key)
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
@@ -102,9 +105,13 @@ func main() {
 	real := srv.Handler()
 	handler.Store(&real)
 
-	if srv.Model() != nil {
+	switch {
+	case srv.Model() != nil:
 		log.Printf("serving %s (C=%d, jit=%v) on %s", srv.Model().Name(), srv.Model().Config().CatalogSize, srv.JITActive, addr)
-	} else {
+	case srv.Gateway() != nil:
+		log.Printf("serving scatter-gather gateway (%d shard groups, policy %s) on %s",
+			srv.Gateway().Shards(), srv.Gateway().Policy().Mode, addr)
+	default:
 		log.Printf("serving static responses on %s", addr)
 	}
 
@@ -176,7 +183,29 @@ func parsePartition(s string) (*shard.Partition, error) {
 	return &shard.Partition{Index: nums[0], From: nums[1], To: nums[2]}, nil
 }
 
-func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards, maxPending, degradeAt int, partition *shard.Partition, batch, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string) (*server.Server, error) {
+// parseGateway decodes the -gateway flag: shard groups separated by ';',
+// replica base URLs within a group by ','.
+func parseGateway(s string) ([]shard.Picker, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pickers []shard.Picker
+	for _, group := range strings.Split(s, ";") {
+		var urls []string
+		for _, u := range strings.Split(group, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("-gateway has an empty shard group in %q", s)
+		}
+		pickers = append(pickers, shard.NewStaticPicker(urls...))
+	}
+	return pickers, nil
+}
+
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards, maxPending, degradeAt int, partition *shard.Partition, gateway string, partial bool, minCoverage float64, batch, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string) (*server.Server, error) {
 	opts := server.Options{
 		Workers: workers, JIT: jit, Shards: shards, Profiling: profiled,
 		MaxPending: maxPending, DegradeAt: degradeAt, Partition: partition,
@@ -202,6 +231,21 @@ func buildServer(modelName string, catalog int, seed int64, topK int, faithful, 
 		opts.CoDel = overload.NewCoDel(cfg, nil)
 	}
 	switch {
+	case gateway != "":
+		pickers, err := parseGateway(gateway)
+		if err != nil {
+			return nil, err
+		}
+		var pol shard.Policy
+		if partial {
+			pol = shard.Policy{Mode: shard.PolicyPartial, MinCoverage: minCoverage}
+		}
+		gw, err := shard.NewGateway(pickers, shard.GatewayConfig{K: topK, Policy: pol})
+		if err != nil {
+			return nil, err
+		}
+		opts.Gateway = gw
+		return server.New(nil, opts)
 	case static:
 		return server.NewStatic(), nil
 	case bucketDir != "":

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|procs [-scale test|paper] [-pods inproc|proc]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|procs [-scale test|paper] [-pods inproc|proc]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -60,7 +60,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|procs [-scale test|paper] [-pods inproc|proc] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|procs [-scale test|paper] [-pods inproc|proc] [-bucket DIR]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -83,7 +83,7 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, overload, rolling, breakdown, shard, procs)")
+	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, overload, rolling, breakdown, shard, blackout, procs)")
 	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
 	pods := fs.String("pods", "inproc", "pod substrate for cluster experiments: inproc (goroutine HTTP servers) or proc (real etude-server processes)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
@@ -274,6 +274,19 @@ func runExperiment(ctx context.Context, name string, paper bool, pods string) (s
 			cfg.LiveSessions = 10
 		}
 		res, err := experiments.Shard(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "blackout":
+		cfg := experiments.DefaultBlackoutConfig()
+		if !paper {
+			cfg.Catalog = 100_000
+			cfg.Requests = 150
+			cfg.Gap = 60 * time.Millisecond
+			cfg.LiveSessions = 20
+		}
+		res, err := experiments.Blackout(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -205,3 +205,21 @@ func SlowShard(runLen time.Duration, pod int, factor float64) Scenario {
 		{Kind: FaultSlowPod, At: 0, Duration: runLen, Pod: pod, Factor: factor},
 	}}
 }
+
+// ShardBlackout returns the shard-group outage scenario: at time `at`,
+// every replica of shard group `group` goes down and never comes back
+// (Duration 0 = forever). Pod indices follow the fleet's flat order (shard
+// s, replica r at s·replicas+r), so the fault takes out pods
+// [group·replicas, (group+1)·replicas) — the failure mode that turns a
+// fail-fast scatter-gather tier's availability to ~0% while (S−1)/S of the
+// catalog is still perfectly healthy. On real-process fleets the
+// ProcDriver delivers it as SIGKILL to each pod in the group.
+func ShardBlackout(group, replicas int, at time.Duration) Scenario {
+	pods := make([]int, replicas)
+	for r := range pods {
+		pods[r] = group*replicas + r
+	}
+	return Scenario{Name: "shard-blackout", Seed: 1, Faults: []Fault{
+		{Kind: FaultAZOutage, At: at, Pods: pods},
+	}}
+}

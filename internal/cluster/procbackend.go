@@ -152,6 +152,9 @@ func procArgs(spec PodSpec, bucketDir string) ([]string, error) {
 	if o.MetricsExtra != nil {
 		return nil, fmt.Errorf("cluster: process pods cannot serve MetricsExtra callbacks; scrape the control plane's /metrics instead")
 	}
+	if o.Gateway != nil {
+		return nil, fmt.Errorf("cluster: process pods cannot adopt a pre-built shard.Gateway; pass replica URLs via the -gateway flag instead")
+	}
 
 	// The server owns its drain bound: SIGTERM → finish in-flight within
 	// -drain-timeout → exit, self-force-closing (exit 1) past the deadline.

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"etude/internal/chaos"
+	"etude/internal/device"
+	"etude/internal/metrics"
+	"etude/internal/model"
+	"etude/internal/shard"
+	"etude/internal/sim"
+)
+
+// BlackoutConfig controls the shard-blackout study: the availability
+// comparison of fail-fast vs partial-result serving when every replica of
+// one shard group dies mid-run, and the recall@k cost of the partial
+// answers measured against the full-coverage oracle on a real model.
+type BlackoutConfig struct {
+	// Device is the shard workers' instance type (default CPU).
+	Device device.Spec
+	// Model names the session encoder (default gru4rec).
+	Model string
+	// Catalog sizes the simulated fleet's catalog.
+	Catalog int
+	// Shards and Replicas shape the fleet; the blackout kills every replica
+	// of shard group 1.
+	Shards   int
+	Replicas int
+	// Requests and Gap shape each sim arm; the blackout lands mid-run, so
+	// half the requests see a healthy fleet and half a dead group.
+	Requests int
+	Gap      time.Duration
+	// SessionLen is the session length of every simulated request.
+	SessionLen int
+	// MinCoverage is the partial arm's coverage floor.
+	MinCoverage float64
+	// LiveCatalog and LiveSessions size the recall phase: a real model's
+	// partial top-k (shards progressively blacked out) scored against its
+	// full-coverage oracle.
+	LiveCatalog  int
+	LiveSessions int
+	// Seed drives the recall phase's session sampling.
+	Seed int64
+}
+
+// DefaultBlackoutConfig returns the paper-scale study: gru4rec over a
+// 1M-item catalog on a 4×2 fleet, 300 requests with the blackout at
+// mid-run, and recall measured over 50 sessions at C=2,000.
+func DefaultBlackoutConfig() BlackoutConfig {
+	return BlackoutConfig{
+		Device:       device.CPU(),
+		Model:        "gru4rec",
+		Catalog:      1_000_000,
+		Shards:       4,
+		Replicas:     2,
+		Requests:     300,
+		Gap:          80 * time.Millisecond,
+		SessionLen:   40,
+		MinCoverage:  0.5,
+		LiveCatalog:  2_000,
+		LiveSessions: 50,
+		Seed:         1,
+	}
+}
+
+// BlackoutArmRow is one serving policy's outcome under the blackout.
+type BlackoutArmRow struct {
+	Arm  string `json:"arm"`
+	Sent int    `json:"sent"`
+	OK   int    `json:"ok"`
+	// PartialServed counts successes merged from a strict shard subset.
+	PartialServed int `json:"partial_served"`
+	// Availability is OK/Sent over the whole run; PostAvailability is the
+	// same ratio over the post-blackout phase only — the headline number
+	// (fail-fast ≈ 0, partial ≈ 1).
+	Availability     float64 `json:"availability"`
+	PostAvailability float64 `json:"post_availability"`
+	// MeanCoverage averages the coverage fraction over the run's successes
+	// (full-coverage answers count 1).
+	MeanCoverage float64 `json:"mean_coverage"`
+	// Latency summarises the successes' end-to-end latency.
+	Latency metrics.Snapshot `json:"latency"`
+	// Skipped and FloorFailures are the partial-serving counters: scatters
+	// short-circuited by the open group breaker, and requests failed below
+	// the coverage floor.
+	Skipped       int64 `json:"skipped"`
+	FloorFailures int64 `json:"floor_failures"`
+}
+
+// BlackoutRecallRow is the measured quality loss at one outage size: the
+// exact partial top-k over the surviving slices, scored against the
+// full-coverage oracle.
+type BlackoutRecallRow struct {
+	DownShards int     `json:"down_shards"`
+	Coverage   float64 `json:"coverage"`
+	MeanRecall float64 `json:"mean_recall"`
+	MinRecall  float64 `json:"min_recall"`
+}
+
+// BlackoutResult aggregates both phases.
+type BlackoutResult struct {
+	Model    string `json:"model"`
+	Device   string `json:"device"`
+	Catalog  int    `json:"catalog"`
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+	// BlackoutAt is when every replica of shard group 1 dies (never to
+	// return) on the sim clock.
+	BlackoutAt  time.Duration       `json:"blackout_at"`
+	MinCoverage float64             `json:"min_coverage"`
+	Arms        []BlackoutArmRow    `json:"arms"`
+	LiveCatalog int                 `json:"live_catalog"`
+	Recall      []BlackoutRecallRow `json:"recall"`
+}
+
+// Blackout runs the shard-blackout study. Both phases are deterministic:
+// the sim arms run on virtual time, the recall phase on a seeded session
+// sample.
+func Blackout(cfg BlackoutConfig) (*BlackoutResult, error) {
+	if cfg.Model == "" || cfg.Shards < 2 || cfg.Replicas < 1 || cfg.Requests < 4 {
+		return nil, fmt.Errorf("experiments: invalid blackout config %+v", cfg)
+	}
+	res := &BlackoutResult{
+		Model: cfg.Model, Device: cfg.Device.Name, Catalog: cfg.Catalog,
+		Shards: cfg.Shards, Replicas: cfg.Replicas,
+		MinCoverage: cfg.MinCoverage, LiveCatalog: cfg.LiveCatalog,
+	}
+	// Mid-gap placement: the boundary request is cleanly on one side of the
+	// outage or the other.
+	res.BlackoutAt = time.Duration(cfg.Requests/2)*cfg.Gap + cfg.Gap/2
+
+	for _, arm := range []struct {
+		name string
+		pol  shard.Policy
+	}{
+		{"fail-fast", shard.Policy{Mode: shard.PolicyFailFast}},
+		{"partial", shard.Policy{Mode: shard.PolicyPartial, MinCoverage: cfg.MinCoverage}},
+	} {
+		row, err := runBlackoutArm(cfg, res.BlackoutAt, arm.name, arm.pol)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: blackout arm %s: %w", arm.name, err)
+		}
+		res.Arms = append(res.Arms, row)
+	}
+
+	recall, err := blackoutRecall(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: blackout recall: %w", err)
+	}
+	res.Recall = recall
+	return res, nil
+}
+
+// runBlackoutArm drives one policy arm: a Shards×Replicas fleet with every
+// replica of shard group 1 killed at `at` and never restarted.
+func runBlackoutArm(cfg BlackoutConfig, at time.Duration, name string, pol shard.Policy) (BlackoutArmRow, error) {
+	eng := sim.NewEngine()
+	fleet, err := shard.NewSimFleet(eng, shard.SimConfig{
+		Device:   cfg.Device,
+		Model:    cfg.Model,
+		ModelCfg: model.Config{CatalogSize: cfg.Catalog, Seed: cfg.Seed},
+		Shards:   cfg.Shards,
+		Replicas: cfg.Replicas,
+		Policy:   pol,
+	})
+	if err != nil {
+		return BlackoutArmRow{}, err
+	}
+	sc := chaos.ShardBlackout(1, cfg.Replicas, at)
+	if err := chaos.NewInjector(sc).Arm(eng, fleet.Instances()); err != nil {
+		return BlackoutArmRow{}, err
+	}
+	row := BlackoutArmRow{Arm: name, Sent: cfg.Requests}
+	totals := metrics.NewHistogram()
+	covSum := 0.0
+	postN, postOK := 0, 0
+	// One request can be mid-scatter when the group dies; judge the
+	// post-blackout phase from a small margin past the boundary.
+	postFrom := cfg.Requests/2 + 2
+	for i := 0; i < cfg.Requests; i++ {
+		i := i
+		eng.Schedule(time.Duration(i)*cfg.Gap, func() {
+			fleet.Submit(cfg.SessionLen, func(o sim.Outcome) {
+				if i >= postFrom {
+					postN++
+				}
+				if o.Err != nil {
+					return
+				}
+				row.OK++
+				if i >= postFrom {
+					postOK++
+				}
+				totals.Record(o.Latency)
+				if o.Partial {
+					row.PartialServed++
+					covSum += o.Coverage
+				} else {
+					covSum += 1
+				}
+			})
+		})
+	}
+	eng.Drain()
+	row.Latency = totals.Snapshot()
+	row.Availability = float64(row.OK) / float64(row.Sent)
+	if postN > 0 {
+		row.PostAvailability = float64(postOK) / float64(postN)
+	}
+	if row.OK > 0 {
+		row.MeanCoverage = covSum / float64(row.OK)
+	}
+	row.Skipped = fleet.PartialStats().Skipped()
+	row.FloorFailures = fleet.PartialStats().FloorFailures()
+	return row, nil
+}
+
+// blackoutRecall measures the quality contract of partial serving on a real
+// model: for each outage size d, the exact top-k over the surviving
+// catalog slices (groups 0..d-1 down) is scored against the full-coverage
+// oracle with RecallAtK, over a seeded session sample.
+func blackoutRecall(cfg BlackoutConfig) ([]BlackoutRecallRow, error) {
+	m, err := model.New(cfg.Model, model.Config{CatalogSize: cfg.LiveCatalog, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	enc, ok := m.(model.Encoder)
+	if !ok {
+		return nil, fmt.Errorf("model %s has no encoder/MIPS decomposition", cfg.Model)
+	}
+	pool, err := shard.NewPool(enc.ItemEmbeddings(), cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	k := enc.Config().TopK
+	rows := make([]BlackoutRecallRow, 0, cfg.Shards-1)
+	for d := 1; d < cfg.Shards; d++ {
+		down := make([]bool, cfg.Shards)
+		for g := 0; g < d; g++ {
+			down[g] = true
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		sum, min, n := 0.0, 1.0, 0
+		for i := 0; i < cfg.LiveSessions; i++ {
+			session := make([]int64, 1+rng.Intn(20))
+			for j := range session {
+				session[j] = int64(rng.Intn(cfg.LiveCatalog))
+			}
+			query := enc.Encode(session)
+			oracle := pool.TopK(query, k)
+			got, _ := pool.TopKPartial(query, k, down)
+			r := shard.RecallAtK(oracle, got)
+			sum += r
+			if r < min {
+				min = r
+			}
+			n++
+		}
+		rows = append(rows, BlackoutRecallRow{
+			DownShards: d,
+			Coverage:   float64(cfg.Shards-d) / float64(cfg.Shards),
+			MeanRecall: sum / float64(n),
+			MinRecall:  min,
+		})
+	}
+	return rows, nil
+}
+
+// Render prints both phases as one report.
+func (r *BlackoutResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Blackout — partial-result serving under a shard-group outage (%s on %s, C=%d, %d×%d fleet)\n",
+		r.Model, r.Device, r.Catalog, r.Shards, r.Replicas)
+	fmt.Fprintf(&b, "every replica of shard group 1 dies at %v and never restarts; coverage floor %.2f\n\n",
+		r.BlackoutAt.Round(time.Millisecond), r.MinCoverage)
+
+	fmt.Fprintf(&b, "availability (post = after the blackout):\n")
+	fmt.Fprintf(&b, "  %-10s %6s %6s %8s %12s %12s %10s %12s %12s %8s %6s\n",
+		"arm", "sent", "ok", "partial", "avail", "post-avail", "mean-cov", "p50", "p99", "skipped", "floor")
+	for _, row := range r.Arms {
+		fmt.Fprintf(&b, "  %-10s %6d %6d %8d %11.2f%% %11.2f%% %10.4f %12s %12s %8d %6d\n",
+			row.Arm, row.Sent, row.OK, row.PartialServed,
+			100*row.Availability, 100*row.PostAvailability, row.MeanCoverage,
+			row.Latency.P50.Round(time.Microsecond), row.Latency.P99.Round(time.Microsecond),
+			row.Skipped, row.FloorFailures)
+	}
+
+	fmt.Fprintf(&b, "\nrecall@k of partial answers vs the full-coverage oracle (%s, C=%d, %d shards):\n",
+		r.Model, r.LiveCatalog, r.Shards)
+	fmt.Fprintf(&b, "  %-12s %10s %12s %12s\n", "down shards", "coverage", "mean recall", "min recall")
+	for _, row := range r.Recall {
+		fmt.Fprintf(&b, "  %-12d %10.2f %12.4f %12.4f\n", row.DownShards, row.Coverage, row.MeanRecall, row.MinRecall)
+	}
+	return b.String()
+}

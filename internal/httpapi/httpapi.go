@@ -34,9 +34,18 @@ const (
 	// HeaderBatchSize carries the size of the batch the request was served
 	// in (1 for unbatched CPU serving).
 	HeaderBatchSize = "X-Batch-Size"
-	// HeaderDegraded is "1" on responses served by the cheap fallback
-	// responder instead of the model (graceful degradation under overload).
+	// HeaderDegraded marks a response that relaxed the quality contract:
+	// "1" when served by the cheap fallback responder instead of the model
+	// (graceful degradation under overload), DegradedPartial when merged
+	// from a strict subset of shard groups (partial-result serving).
 	HeaderDegraded = "X-Degraded"
+	// HeaderCoverage carries the fraction of shard groups that contributed
+	// to a scatter-gather response (e.g. "0.7500" when 3 of 4 answered).
+	// Full-coverage responses carry "1.0000"; unsharded servers omit it.
+	HeaderCoverage = "X-Coverage"
+	// DegradedPartial is the HeaderDegraded value for partial-coverage
+	// responses.
+	DegradedPartial = "partial"
 	// HeaderRequestID carries the client-chosen request id. The server
 	// echoes it on every response — including 429/4xx/degraded paths — so
 	// chaos-run errors are attributable to a specific request trace, and
@@ -72,8 +81,28 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("httpapi: server returned HTTP %d", e.Code)
 }
 
-// Degraded reports whether a response was served by the fallback path.
-func Degraded(h http.Header) bool { return h.Get(HeaderDegraded) == "1" }
+// Degraded reports whether a response relaxed the quality contract in any
+// way (fallback responder or partial shard coverage).
+func Degraded(h http.Header) bool { return h.Get(HeaderDegraded) != "" }
+
+// SetCoverageHeader stamps the shard-coverage fraction on a response.
+func SetCoverageHeader(h http.Header, frac float64) {
+	h.Set(HeaderCoverage, strconv.FormatFloat(frac, 'f', 4, 64))
+}
+
+// Coverage parses the coverage header; ok is false when absent or
+// malformed (unsharded responses have no coverage, not zero coverage).
+func Coverage(h http.Header) (float64, bool) {
+	v := h.Get(HeaderCoverage)
+	if v == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 || f > 1 {
+		return 0, false
+	}
+	return f, true
+}
 
 // PredictRequest asks for next-item recommendations for an ongoing session.
 type PredictRequest struct {

@@ -42,6 +42,10 @@ type Meta struct {
 	Status int
 	// Degraded marks a response served by the server's fallback path.
 	Degraded bool
+	// Coverage is the shard-coverage fraction reported via X-Coverage
+	// (0 when the response carried no coverage header; a value in (0, 1)
+	// marks a partial-coverage response).
+	Coverage float64
 }
 
 // MetaTarget is an optional Target extension reporting response metadata;
@@ -390,6 +394,11 @@ mainLoop:
 					rec.RecordBudgetExhausted(tick)
 				case err != nil:
 					rec.RecordErrorKind(tick, Classify(err))
+				case meta.Coverage > 0 && meta.Coverage < 1:
+					// Partial-coverage success: a distinct outcome from the
+					// fallback-responder degradation below — the model ran,
+					// just over less catalog.
+					rec.RecordPartial(tick, time.Since(reqStart), meta.Coverage)
 				case meta.Degraded:
 					rec.RecordDegraded(tick, time.Since(reqStart))
 				default:

@@ -93,6 +93,7 @@ func (t *HTTPTarget) PredictMeta(ctx context.Context, req httpapi.PredictRequest
 	}
 	defer resp.Body.Close()
 	meta := Meta{Status: resp.StatusCode, Degraded: httpapi.Degraded(resp.Header)}
+	meta.Coverage, _ = httpapi.Coverage(resp.Header)
 	// Drain the body so the connection is reusable.
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return meta, fmt.Errorf("loadgen: draining response: %w", err)

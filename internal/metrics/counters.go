@@ -60,6 +60,11 @@ type OutcomeCounts struct {
 	// and latency histogram but must be reported separately — a run that
 	// "meets the SLO" by degrading 40% of answers did not really meet it.
 	Degraded int64 `json:"degraded"`
+	// Partial counts successful responses merged from a strict subset of
+	// shard groups (X-Degraded: partial). Like Degraded, they are in the
+	// success count and latency histogram but reported separately: partial
+	// availability is availability with a quality asterisk.
+	Partial int64 `json:"partial"`
 	// Retries counts retry attempts (excluded from Sent).
 	Retries int64 `json:"retries"`
 	// Stragglers counts requests still outstanding when the drain window
@@ -74,10 +79,10 @@ type OutcomeCounts struct {
 
 // String renders the counters compactly for logs and reports.
 func (o OutcomeCounts) String() string {
-	return fmt.Sprintf("2xx=%d 4xx=%d 5xx=%d timeout=%d refused=%d server=%d other=%d degraded=%d retries=%d stragglers=%d budget_exhausted=%d",
+	return fmt.Sprintf("2xx=%d 4xx=%d 5xx=%d timeout=%d refused=%d server=%d other=%d degraded=%d partial=%d retries=%d stragglers=%d budget_exhausted=%d",
 		o.Status2xx, o.Status4xx, o.Status5xx,
 		o.Timeouts, o.Refused, o.ServerErrors, o.OtherErrors,
-		o.Degraded, o.Retries, o.Stragglers, o.BudgetExhausted)
+		o.Degraded, o.Partial, o.Retries, o.Stragglers, o.BudgetExhausted)
 }
 
 // RecordStatus notes the HTTP status class of a response observed during
@@ -127,6 +132,22 @@ func (r *Recorder) RecordDegraded(t int, d time.Duration) {
 	acc.degraded++
 	acc.hist.Record(d)
 	r.outcomes.Degraded++
+	r.mu.Unlock()
+	r.overall.Record(d)
+}
+
+// RecordPartial notes a successful partial-coverage response during tick t:
+// a sharded answer merged from coverage·S of S shard groups. It counts as a
+// success (it is one — the availability the partial policy buys) while the
+// per-tick coverage mean exposes the quality cost.
+func (r *Recorder) RecordPartial(t int, d time.Duration, coverage float64) {
+	r.mu.Lock()
+	acc := r.tick(t)
+	acc.completed++
+	acc.partial++
+	acc.covSum += coverage
+	acc.hist.Record(d)
+	r.outcomes.Partial++
 	r.mu.Unlock()
 	r.overall.Record(d)
 }

@@ -14,6 +14,11 @@ type TickStats struct {
 	Completed int64         `json:"completed"`
 	Errors    int64         `json:"errors"`
 	Degraded  int64         `json:"degraded,omitempty"`
+	// Partial counts successful partial-coverage responses; CoverageMean is
+	// the mean shard-coverage fraction over the tick's successes (1 when
+	// every answer saw the full catalog, 0 when the tick had no successes).
+	Partial      int64   `json:"partial,omitempty"`
+	CoverageMean float64 `json:"coverage_mean,omitempty"`
 	Retries   int64         `json:"retries,omitempty"`
 	// Errors split by kind (their sum equals Errors) so a time-series plot
 	// shows when the failure mode shifted, not just that errors occurred.
@@ -42,6 +47,8 @@ type tickAcc struct {
 	completed  int64
 	errors     int64
 	degraded   int64
+	partial    int64
+	covSum     float64 // sum of partial responses' coverage fractions
 	retries    int64
 	timeouts   int64
 	refused    int64
@@ -137,6 +144,12 @@ func (r *Recorder) Series() []TickStats {
 			ts.Completed = acc.completed
 			ts.Errors = acc.errors
 			ts.Degraded = acc.degraded
+			ts.Partial = acc.partial
+			// Mean coverage over the tick's successes: full-coverage answers
+			// contribute 1 each, partial answers their fraction.
+			if successes := acc.completed - acc.errors; successes > 0 {
+				ts.CoverageMean = (acc.covSum + float64(successes-acc.partial)) / float64(successes)
+			}
 			ts.Retries = acc.retries
 			ts.Timeouts = acc.timeouts
 			ts.Refused = acc.refused

@@ -15,17 +15,18 @@ import (
 )
 
 // WriteSeriesCSV writes a per-tick time series as CSV. Beyond the basic
-// counters and latency quantiles it carries the degraded-response and retry
-// counts plus the error split by kind (timeout/refused/server/other), so a
-// plot can show when the failure mode shifted, not just that errors rose.
+// counters and latency quantiles it carries the degraded-response,
+// partial-coverage and retry counts, the mean shard-coverage fraction, and
+// the error split by kind (timeout/refused/server/other), so a plot can
+// show when the failure mode shifted, not just that errors rose.
 func WriteSeriesCSV(w io.Writer, series []metrics.TickStats) error {
-	if _, err := fmt.Fprintln(w, "tick,sent,completed,errors,degraded,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms"); err != nil {
+	if _, err := fmt.Fprintln(w, "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms"); err != nil {
 		return fmt.Errorf("report: writing header: %w", err)
 	}
 	for _, ts := range series {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
 			ts.Tick, ts.Sent, ts.Completed, ts.Errors,
-			ts.Degraded, ts.Retries,
+			ts.Degraded, ts.Partial, ts.CoverageMean, ts.Retries,
 			ts.Timeouts, ts.Refused, ts.ServerErrors, ts.OtherErrors,
 			ms(ts.P50), ms(ts.P90), ms(ts.P99))
 		if err != nil {

@@ -14,6 +14,7 @@ func sampleSeries() []metrics.TickStats {
 	return []metrics.TickStats{
 		{Tick: 0, Sent: 10, Completed: 10, Errors: 0, P50: time.Millisecond, P90: 2 * time.Millisecond, P99: 3 * time.Millisecond},
 		{Tick: 1, Sent: 20, Completed: 18, Errors: 2, Degraded: 3, Retries: 1,
+			Partial: 2, CoverageMean: 0.9375,
 			Timeouts: 1, ServerErrors: 1,
 			P50: 2 * time.Millisecond, P90: 5 * time.Millisecond, P99: 9 * time.Millisecond},
 	}
@@ -28,10 +29,10 @@ func TestWriteSeriesCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("lines = %d, want header + 2 rows", len(lines))
 	}
-	if lines[0] != "tick,sent,completed,errors,degraded,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms" {
+	if lines[0] != "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[2] != "1,20,18,2,3,1,1,0,1,0,2.000,5.000,9.000" {
+	if lines[2] != "1,20,18,2,3,2,0.9375,1,1,0,1,0,2.000,5.000,9.000" {
 		t.Fatalf("row = %q", lines[2])
 	}
 }

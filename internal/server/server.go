@@ -22,6 +22,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -103,6 +104,13 @@ type Options struct {
 	// global), and responses carry the partial top-k for a shard.Gateway
 	// to merge. Mutually exclusive with Shards.
 	Partition *shard.Partition
+	// Gateway, when non-nil, makes this server the scatter-gather frontend
+	// of a cross-pod sharded fleet: /predictions fans out through the
+	// gateway instead of running a local model (pass a nil model), and
+	// responses carry the gateway's coverage metadata (X-Coverage, plus
+	// X-Degraded: partial under partial-result serving). Mutually exclusive
+	// with Shards, Partition and Batch.
+	Gateway *shard.Gateway
 }
 
 func (o Options) withDefaults() Options {
@@ -167,14 +175,34 @@ type Server struct {
 	// scatter-gather tier and the encoder whose catalog it partitions.
 	shardPool *shard.Pool
 	shardEnc  model.Encoder
+	// gw is the scatter-gather frontend when Options.Gateway is set; the
+	// server then serves merges, not a local model.
+	gw *shard.Gateway
 	// JITActive reports whether compiled plans are actually in use (false
 	// when the model refused compilation).
 	JITActive bool
 }
 
 // New builds a server for m. The model is wrapped per worker: compiled
-// execution plans hold private buffers and must not be shared.
+// execution plans hold private buffers and must not be shared. With
+// Options.Gateway set the model must be nil: the server fronts a sharded
+// fleet and every prediction is a gateway scatter-gather merge.
 func New(m model.Model, opts Options) (*Server, error) {
+	if opts.Gateway != nil {
+		if m != nil {
+			return nil, fmt.Errorf("server: Gateway mode fronts remote shard workers; pass a nil model")
+		}
+		if opts.Shards > 1 || opts.Partition != nil || opts.Batch != nil {
+			return nil, fmt.Errorf("server: Gateway is mutually exclusive with Shards, Partition and Batch")
+		}
+		opts = opts.withDefaults()
+		s := &Server{opts: opts, tracer: opts.Tracer, gw: opts.Gateway}
+		// The gateway traces the request (scatter/wait/merge stages); the
+		// handler must not open a second span per request on the same tracer.
+		s.gw.SetTracer(opts.Tracer)
+		s.ready.Store(true)
+		return s, nil
+	}
 	if m == nil {
 		return nil, fmt.Errorf("server: nil model")
 	}
@@ -348,6 +376,10 @@ func (s *Server) newPredictor() predictor {
 // Model returns the deployed model (nil in static mode).
 func (s *Server) Model() model.Model { return s.mdl }
 
+// Gateway returns the scatter-gather frontend (nil unless Options.Gateway
+// was set).
+func (s *Server) Gateway() *shard.Gateway { return s.gw }
+
 // runBatch executes a batch on a single worker slot, sequentially — the CPU
 // analogue of one fused accelerator kernel sequence. Per item it attributes
 // batch-assembly (enqueue→flush) and queue-wait (head-of-line inside the
@@ -443,6 +475,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.shardPool != nil {
 		b.Gauge("etude_shards", "In-process retrieval shard count.", float64(s.shardPool.Shards()))
 	}
+	if s.gw != nil {
+		b.Gauge("etude_shards", "Shard groups behind the scatter-gather gateway.", float64(s.gw.Shards()))
+		s.gw.WriteMetrics(b)
+	}
 	if tr := s.tracer; tr != nil {
 		if total := tr.TotalSnapshot(); total.Count > 0 {
 			b.Summary("etude_request_seconds", "End-to-end request latency.", total)
@@ -529,7 +565,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.pending.Add(1)
 	defer s.pending.Add(-1)
 
-	sp := s.tracer.Start(reqID)
+	// Gateway mode: the gateway opens the request's span itself (scatter,
+	// wait, merge, error outcomes); a handler span on the same tracer would
+	// double-count every request.
+	var sp *trace.Span
+	if s.gw == nil {
+		sp = s.tracer.Start(reqID)
+	}
 	admStart := sp.Now()
 
 	var req httpapi.PredictRequest
@@ -555,6 +597,32 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	batch := 1
 	degraded := false
 	switch {
+	case s.gw != nil:
+		pr, err := s.gw.PredictPartial(r.Context(), req)
+		if err != nil {
+			var ce *shard.CoverageError
+			var se *httpapi.StatusError
+			status := http.StatusBadGateway
+			switch {
+			case errors.As(err, &ce):
+				// Below the coverage floor: the fleet cannot honour even the
+				// relaxed contract — shed like an unavailable backend.
+				status = http.StatusServiceUnavailable
+			case errors.As(err, &se):
+				status = se.Code
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+				s.deadlineExpired.Add(1)
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		recs = pr.Recs
+		httpapi.SetCoverageHeader(w.Header(), pr.Coverage())
+		if pr.Partial() {
+			w.Header().Set(httpapi.HeaderDegraded, httpapi.DegradedPartial)
+			s.degraded.Add(1)
+		}
 	case s.mdl == nil:
 		// Static mode: no inference at all.
 	case s.opts.DegradeAt > 0 && s.queueDepth() > s.opts.DegradeAt:

@@ -123,6 +123,107 @@ func TestShardOptionsValidation(t *testing.T) {
 	}
 }
 
+// A gateway-front server relays the scatter-gather tier's coverage
+// metadata to clients: a partial merge answers 200 with
+// X-Degraded: partial and the X-Coverage fraction stamped, and the
+// /metrics exposition carries the partial-serving counters.
+func TestGatewayFrontServerStampsDegradedHeaders(t *testing.T) {
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 2_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := shard.Plan(2_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pickers := make([]shard.Picker, len(parts))
+	for i, part := range parts {
+		if i == 3 {
+			pickers[i] = shard.NewStaticPicker() // shard 3: blacked out
+			continue
+		}
+		pod, err := New(m, Options{Workers: 2, Partition: &part})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := httptest.NewServer(pod.Handler())
+		t.Cleanup(func() { pts.Close(); pod.Close() })
+		pickers[i] = shard.NewStaticPicker(pts.URL)
+	}
+	gw, err := shard.NewGateway(pickers, shard.GatewayConfig{
+		K:      m.Config().TopK,
+		Policy: shard.Policy{Mode: shard.PolicyPartial, MinCoverage: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nil, Options{Gateway: gw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, out := predict(t, ts, httpapi.PredictRequest{SessionID: 1, Items: []int64{7, 900}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 from a partial merge", resp.StatusCode)
+	}
+	if got := resp.Header.Get(httpapi.HeaderDegraded); got != httpapi.DegradedPartial {
+		t.Fatalf("X-Degraded = %q, want %q", got, httpapi.DegradedPartial)
+	}
+	cov, ok := httpapi.Coverage(resp.Header)
+	if !ok || cov != 0.75 {
+		t.Fatalf("X-Coverage = %v (ok=%v), want 0.75", cov, ok)
+	}
+	if len(out.Items) == 0 {
+		t.Fatal("partial response carried no recommendations")
+	}
+
+	mresp, err := http.Get(ts.URL + httpapi.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	samples, err := metrics.ParsePromText(mresp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse back: %v", err)
+	}
+	byKey := map[string]float64{}
+	for _, smp := range samples {
+		byKey[smp.Key()] = smp.Value
+	}
+	if byKey["etude_shards"] != 4 {
+		t.Fatalf("etude_shards = %v, want 4", byKey["etude_shards"])
+	}
+	if byKey["etude_partial_responses_total"] != 1 {
+		t.Fatalf("etude_partial_responses_total = %v, want 1", byKey["etude_partial_responses_total"])
+	}
+	if byKey["etude_coverage_last"] != 0.75 {
+		t.Fatalf("etude_coverage_last = %v, want 0.75", byKey["etude_coverage_last"])
+	}
+}
+
+// Gateway mode is a pure relay front: it must reject a local model or any
+// local scatter/partition/batching options alongside the gateway.
+func TestGatewayFrontOptionsValidation(t *testing.T) {
+	gw, err := shard.NewGateway([]shard.Picker{shard.NewStaticPicker("http://x")}, shard.GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := model.New("gru4rec", model.Config{CatalogSize: 100, Seed: 1})
+	if _, err := New(m, Options{Gateway: gw}); err == nil {
+		t.Fatal("a gateway front with a local model must be rejected")
+	}
+	if _, err := New(nil, Options{Gateway: gw, Shards: 2}); err == nil {
+		t.Fatal("Gateway with Shards must be rejected")
+	}
+	part := shard.Partition{Index: 0, From: 0, To: 50}
+	if _, err := New(nil, Options{Gateway: gw, Partition: &part}); err == nil {
+		t.Fatal("Gateway with Partition must be rejected")
+	}
+}
+
 // A partition pod serves the full encoder but only its catalog rows: its
 // responses are exactly the partition-local slice of the global results.
 func TestPartitionServerServesPartialTopK(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,11 @@ import (
 	"etude/internal/topk"
 	"etude/internal/trace"
 )
+
+// errShardSkipped marks a shard sub-request never sent because the group's
+// breaker was open — a miss for coverage accounting, but not a health
+// signal to feed back into the breaker.
+var errShardSkipped = errors.New("shard: skipped by open group breaker")
 
 // Picker routes one shard group's sub-requests across that group's replica
 // pods and accepts outcome feedback for its health state.
@@ -38,6 +44,9 @@ type GatewayConfig struct {
 	Hedge HedgeConfig
 	// Timeout bounds each sub-request attempt (default 1s).
 	Timeout time.Duration
+	// Policy is the partial-result serving policy (zero value: strict
+	// fail-fast, the exactness-preserving default).
+	Policy Policy
 	// Transport overrides the HTTP transport (tests; nil uses the default).
 	Transport http.RoundTripper
 }
@@ -47,15 +56,24 @@ type GatewayConfig struct {
 // optionally hedges stragglers with a backup sub-request to another
 // replica of the same shard (first response wins, loser cancelled via its
 // context), and merges the partial top-k lists into the exact global
-// top-k. Exactness requires every shard to answer: a shard whose every
-// attempt fails fails the whole request.
+// top-k.
+//
+// What a failed shard does is the Policy's call. Under PolicyFailFast
+// (default) exactness requires every shard to answer: a shard whose every
+// attempt fails fails the whole request. Under PolicyPartial the gateway
+// merges the survivors and reports the coverage, failing only below the
+// MinCoverage floor; per-shard-group breakers skip blacked-out shards
+// outright so a dead group costs nothing per request instead of a
+// sub-request timeout.
 type Gateway struct {
-	shards []Picker
-	cfg    GatewayConfig
-	client *http.Client
-	timer  *hedgeTimer
-	stats  HedgeStats
-	tracer *trace.Tracer
+	shards   []Picker
+	cfg      GatewayConfig
+	client   *http.Client
+	timer    *hedgeTimer
+	stats    HedgeStats
+	pstats   PartialStats
+	breakers []*groupBreaker
+	tracer   *trace.Tracer
 }
 
 // NewGateway builds a gateway over one Picker per shard group.
@@ -69,11 +87,17 @@ func NewGateway(shards []Picker, cfg GatewayConfig) (*Gateway, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = time.Second
 	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	breakers := make([]*groupBreaker, len(shards))
+	for i := range breakers {
+		breakers[i] = newGroupBreaker(cfg.Policy)
+	}
 	return &Gateway{
-		shards: shards,
-		cfg:    cfg,
-		client: &http.Client{Transport: cfg.Transport},
-		timer:  newHedgeTimer(cfg.Hedge),
+		shards:   shards,
+		cfg:      cfg,
+		client:   &http.Client{Transport: cfg.Transport},
+		timer:    newHedgeTimer(cfg.Hedge),
+		breakers: breakers,
 	}, nil
 }
 
@@ -81,26 +105,65 @@ func NewGateway(shards []Picker, cfg GatewayConfig) (*Gateway, error) {
 // and shard-merge spans per request. Nil turns tracing off.
 func (g *Gateway) SetTracer(t *trace.Tracer) { g.tracer = t }
 
+// Shards returns the number of shard groups behind the gateway.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
 // Stats returns the gateway's hedge counters.
 func (g *Gateway) Stats() *HedgeStats { return &g.stats }
 
-// WriteMetrics appends the hedge counters to a Prometheus exposition.
-func (g *Gateway) WriteMetrics(pb *metrics.PromBuilder) { g.stats.WriteMetrics(pb) }
+// PartialStats returns the gateway's partial-serving counters.
+func (g *Gateway) PartialStats() *PartialStats { return &g.pstats }
+
+// Policy returns the gateway's effective (defaulted) serving policy.
+func (g *Gateway) Policy() Policy { return g.cfg.Policy }
+
+// WriteMetrics appends the hedge and partial-serving counters to a
+// Prometheus exposition.
+func (g *Gateway) WriteMetrics(pb *metrics.PromBuilder) {
+	g.stats.WriteMetrics(pb)
+	g.pstats.WriteMetrics(pb)
+}
 
 // Predict scatters the request to every shard group, gathers the partial
-// top-k lists and merges them into the exact global top-k.
+// top-k lists and merges them — PredictPartial without the coverage
+// metadata, for callers that only want the list.
 func (g *Gateway) Predict(ctx context.Context, req httpapi.PredictRequest) ([]topk.Result, error) {
+	pr, err := g.PredictPartial(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Recs, nil
+}
+
+// PredictPartial scatters the request to every shard group, gathers the
+// partial top-k lists and merges them under the gateway's Policy. The
+// result carries the coverage metadata a frontend needs to stamp
+// X-Degraded/X-Coverage. Under PolicyFailFast any shard failure fails the
+// request (and the merged answer, when it exists, is bit-identical to the
+// unsharded top-k); under PolicyPartial the merge proceeds as long as
+// ⌈MinCoverage·S⌉ shards answered, and a CoverageError reports the floor
+// being missed.
+func (g *Gateway) PredictPartial(ctx context.Context, req httpapi.PredictRequest) (*PartialResult, error) {
+	partialMode := g.cfg.Policy.Mode == PolicyPartial
 	sp := g.tracer.Start(req.RequestID)
 	scatterStart := sp.Now()
 	type shardResult struct {
-		idx  int
-		recs []topk.Result
-		err  error
+		idx     int
+		recs    []topk.Result
+		err     error
+		skipped bool
 	}
 	results := make(chan shardResult, len(g.shards))
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for i := range g.shards {
+		if partialMode && !g.breakers[i].allow() {
+			// Brownout: a group whose breaker is open is a known miss — skip
+			// it for free instead of paying a sub-request timeout per request.
+			g.pstats.RecordSkipped()
+			results <- shardResult{idx: i, err: errShardSkipped, skipped: true}
+			continue
+		}
 		go func(i int) {
 			recs, err := g.fetchShard(ctx, i, req)
 			results <- shardResult{idx: i, recs: recs, err: err}
@@ -109,25 +172,55 @@ func (g *Gateway) Predict(ctx context.Context, req httpapi.PredictRequest) ([]to
 	sp.ObserveSince(trace.StageShardScatter, scatterStart)
 	waitStart := sp.Now()
 	partials := make([][]topk.Result, len(g.shards))
+	minShards := g.cfg.Policy.MinShards(len(g.shards))
+	answered, missed := 0, 0
 	var firstErr error
 	for range g.shards {
 		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("shard %d: %w", r.idx, r.err)
-			cancel() // the other shards' work is moot
+		if r.err != nil {
+			if !r.skipped && ctx.Err() == nil {
+				// Charge the group breaker only for genuine failures: a
+				// sub-request killed by our own cancel below is not shard
+				// health evidence.
+				g.breakers[r.idx].report(false)
+			}
+			missed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", r.idx, r.err)
+			}
+			if !partialMode {
+				cancel() // fail-fast: the other shards' work is moot
+			} else if len(g.shards)-missed < minShards {
+				cancel() // the coverage floor is unreachable; stop the rest
+			}
+			continue
 		}
+		g.breakers[r.idx].report(true)
+		answered++
 		partials[r.idx] = r.recs
 	}
 	sp.ObserveSince(trace.StageShardWait, waitStart)
-	if firstErr != nil {
-		sp.Discard()
+	if answered < minShards {
+		// The failed request still did (and traced) real scatter work — it
+		// must show up in the stage breakdown and error count, not vanish.
+		sp.FinishError()
+		if partialMode {
+			g.pstats.RecordFloorFailure()
+			return nil, &CoverageError{Answered: answered, Shards: len(g.shards), Min: minShards}
+		}
 		return nil, firstErr
 	}
 	mergeStart := sp.Now()
 	out := topk.MergePartial(partials, g.cfg.K)
-	sp.ObserveSince(trace.StageShardMerge, mergeStart)
+	if answered < len(g.shards) {
+		sp.ObserveSince(trace.StagePartialMerge, mergeStart)
+		g.pstats.RecordPartial(float64(answered) / float64(len(g.shards)))
+	} else {
+		sp.ObserveSince(trace.StageShardMerge, mergeStart)
+		g.pstats.RecordFull()
+	}
 	sp.Finish()
-	return out, nil
+	return &PartialResult{Recs: out, Answered: answered, Shards: len(g.shards)}, nil
 }
 
 // attempt is one sub-request's terminal state.
@@ -142,7 +235,21 @@ type attempt struct {
 // to another replica. First success wins and cancels the loser; the
 // request fails only when every launched attempt has failed.
 func (g *Gateway) fetchShard(ctx context.Context, shard int, req httpapi.PredictRequest) ([]topk.Result, error) {
-	ctx, cancel := context.WithCancel(ctx)
+	var cancel context.CancelFunc
+	if dl, ok := ctx.Deadline(); ok && g.cfg.Policy.Mode == PolicyPartial {
+		// Straggler sub-deadline: under partial serving a slow shard is
+		// dropped while there is still deadline budget left to merge the
+		// survivors — it must not drag the whole request to the wire and
+		// leave nothing to serve.
+		rem := time.Until(dl)
+		if rem > 0 {
+			sub := time.Duration(float64(rem) * g.cfg.Policy.StragglerFraction)
+			ctx, cancel = context.WithDeadline(ctx, time.Now().Add(sub))
+		}
+	}
+	if cancel == nil {
+		ctx, cancel = context.WithCancel(ctx)
+	}
 	defer cancel() // cancels the losing attempt the moment a winner returns
 	outcomes := make(chan attempt, 2)
 	launch := func(backup bool, avoid string) (string, bool) {
@@ -155,6 +262,13 @@ func (g *Gateway) fetchShard(ctx context.Context, shard int, req httpapi.Predict
 			// is enough to land elsewhere in a ≥2-replica group.
 			if next := g.shards[shard].PickURL(); next != "" {
 				url = next
+			}
+			if url == avoid {
+				// Single-replica group: every pick is the primary. A backup
+				// here would duplicate the request on the pod that is already
+				// slow — count the blind spot and skip it.
+				g.stats.RecordSameReplica()
+				return "", false
 			}
 		}
 		go func() {

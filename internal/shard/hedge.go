@@ -43,10 +43,11 @@ func (c HedgeConfig) withDefaults() HedgeConfig {
 // HedgeStats counts hedging outcomes. All methods are safe for concurrent
 // use.
 type HedgeStats struct {
-	sent       atomic.Int64
-	wins       atomic.Int64
-	cancelled  atomic.Int64
-	suppressed atomic.Int64
+	sent        atomic.Int64
+	wins        atomic.Int64
+	cancelled   atomic.Int64
+	suppressed  atomic.Int64
+	sameReplica atomic.Int64
 }
 
 // RecordSent notes one backup sub-request issued.
@@ -64,6 +65,12 @@ func (h *HedgeStats) RecordCancelled() { h.cancelled.Add(1) }
 // would have been wasted work.
 func (h *HedgeStats) RecordSuppressed() { h.suppressed.Add(1) }
 
+// RecordSameReplica notes one hedge skipped because the only replica the
+// picker could offer was the primary itself — a single-replica group, where
+// a backup would duplicate the exact request on the exact pod that is
+// already slow.
+func (h *HedgeStats) RecordSameReplica() { h.sameReplica.Add(1) }
+
 // Sent returns how many backup sub-requests were issued.
 func (h *HedgeStats) Sent() int64 { return h.sent.Load() }
 
@@ -77,6 +84,10 @@ func (h *HedgeStats) Cancelled() int64 { return h.cancelled.Load() }
 // budget.
 func (h *HedgeStats) Suppressed() int64 { return h.suppressed.Load() }
 
+// SameReplica returns how many hedges were skipped because the backup would
+// have landed on the primary's replica.
+func (h *HedgeStats) SameReplica() int64 { return h.sameReplica.Load() }
+
 // WriteMetrics appends the hedge counters to a Prometheus exposition —
 // plug it into server.Options.MetricsExtra or any PromBuilder scrape.
 func (h *HedgeStats) WriteMetrics(pb *metrics.PromBuilder) {
@@ -88,6 +99,8 @@ func (h *HedgeStats) WriteMetrics(pb *metrics.PromBuilder) {
 		"Losing shard sub-requests cancelled after the winner answered.", float64(h.Cancelled()))
 	pb.Counter("etude_hedges_suppressed_total",
 		"Hedges skipped because the remaining deadline budget could not cover the expected backup latency.", float64(h.Suppressed()))
+	pb.Counter("etude_hedges_same_replica_total",
+		"Hedges skipped because the backup would have landed on the primary's own replica (single-replica shard group).", float64(h.SameReplica()))
 }
 
 // hedgeTimer answers "how long to wait before hedging" from the observed

@@ -78,6 +78,26 @@ func (p *Pool) TopKSpan(query *tensor.Tensor, k int, sp *trace.Span) []topk.Resu
 	return out
 }
 
+// TopKPartial is the partial-result mirror of TopK: shards whose index is
+// marked down are excluded from the scan, and the exact top-k over the
+// surviving catalog slices is returned along with how many shards answered.
+// It is the in-process analogue of a gateway scatter under PolicyPartial —
+// and the oracle-vs-partial comparator the blackout experiment uses to
+// measure recall@k (TopKPartial with no shards down is bit-identical to
+// TopK).
+func (p *Pool) TopKPartial(query *tensor.Tensor, k int, down []bool) ([]topk.Result, int) {
+	partials := make([][]topk.Result, len(p.parts))
+	answered := 0
+	for i, part := range p.parts {
+		if i < len(down) && down[i] {
+			continue
+		}
+		partials[i] = searchPartition(p.items, part, query, k)
+		answered++
+	}
+	return topk.MergePartial(partials, k), answered
+}
+
 // searchPartition scores rows [From, To) against the query and returns the
 // partition's exact top-k with item ids rebased into the global id space.
 func searchPartition(items *tensor.Tensor, part Partition, query *tensor.Tensor, k int) []topk.Result {

@@ -36,6 +36,14 @@ type SimConfig struct {
 	// selected with no FallbackDelay, the fallback defaults to 2× the
 	// expected per-shard service time from the cost model.
 	Hedge HedgeConfig
+	// Policy is the partial-result serving policy, mirrored exactly from
+	// the live gateway (zero value: strict fail-fast).
+	Policy Policy
+	// ShardTimeout is the sim mirror of the gateway's straggler
+	// sub-deadline: under PolicyPartial a shard whose scatter is still
+	// unresolved after this long is declared missed and the gather proceeds
+	// without it (0 = no per-shard timeout).
+	ShardTimeout time.Duration
 }
 
 // SimFleet mirrors the live scatter-gather tier on the discrete-event
@@ -64,9 +72,13 @@ type SimFleet struct {
 
 	timer    *hedgeTimer
 	stats    HedgeStats
+	pstats   PartialStats
 	waitHist *metrics.Histogram
 	tracer   *trace.Tracer
 }
+
+// errShardTimeout marks a sim shard dropped by the straggler sub-deadline.
+var errShardTimeout = fmt.Errorf("shard: sub-request straggler deadline exceeded")
 
 // NewSimFleet builds the simulated tier: Shards × Replicas workers, each
 // serving the per-shard slice of the model's cost table.
@@ -96,6 +108,7 @@ func NewSimFleet(eng *sim.Engine, cfg SimConfig) (*SimFleet, error) {
 	if cfg.Hedge.Enabled && cfg.Hedge.Delay == 0 && cfg.Hedge.FallbackDelay == 0 {
 		cfg.Hedge.FallbackDelay = 2 * cfg.Device.ParallelInference(sliced[1], cfg.JIT)
 	}
+	cfg.Policy = cfg.Policy.withDefaults()
 	k := cfg.ModelCfg.TopK
 	if k == 0 {
 		k = model.DefaultTopK
@@ -135,6 +148,9 @@ func (f *SimFleet) Instances() []*sim.Instance {
 
 // Stats returns the fleet's hedge counters.
 func (f *SimFleet) Stats() *HedgeStats { return &f.stats }
+
+// PartialStats returns the fleet's partial-serving counters.
+func (f *SimFleet) PartialStats() *PartialStats { return &f.pstats }
 
 // WaitSnapshot summarises the per-request scatter→gather wait — the
 // sharded MIPS portion of the request, the term that divides by S.
@@ -197,16 +213,24 @@ func (f *SimFleet) Submit(sessionLen int, done func(sim.Outcome)) {
 			sp:          sp,
 			remaining:   len(f.groups),
 			shardDone:   make([]bool, len(f.groups)),
+			missed:      make([]bool, len(f.groups)),
 			outstanding: make([]int, len(f.groups)),
 			primary:     make([]*sim.Instance, len(f.groups)),
 		}
+		partialMode := f.cfg.Policy.Mode == PolicyPartial
 		for s := range f.groups {
 			st.launch(s, false)
-			if st.failed {
+			if st.finished {
 				return // a down shard group failed the request synchronously
 			}
-			if f.cfg.Hedge.Enabled && len(f.groups[s]) > 1 && !st.shardDone[s] {
+			if st.shardDone[s] || st.missed[s] {
+				continue // resolved synchronously; nothing to hedge or time out
+			}
+			if f.cfg.Hedge.Enabled && len(f.groups[s]) > 1 {
 				st.armHedge(s)
+			}
+			if partialMode && f.cfg.ShardTimeout > 0 {
+				st.armTimeout(s)
 			}
 		}
 	})
@@ -222,51 +246,73 @@ type gatherState struct {
 	sp         *trace.Span
 
 	remaining   int
-	failed      bool
+	finished    bool // terminal: done already fired (or is scheduled)
 	shardDone   []bool
+	missed      []bool
 	outstanding []int
 	primary     []*sim.Instance
 }
 
-func (st *gatherState) launch(s int, backup bool) {
+// launch sends one sub-request to shard s, reporting whether it was
+// actually sent (a backup whose only pick is the primary's replica is
+// skipped — the single-replica hedge blind spot).
+func (st *gatherState) launch(s int, backup bool) bool {
 	var avoid *sim.Instance
 	if backup {
 		avoid = st.primary[s]
 	}
 	in := st.f.pickReplica(s, avoid)
+	if backup && in == st.primary[s] {
+		st.f.stats.RecordSameReplica()
+		return false
+	}
 	if !backup {
 		st.primary[s] = in
 	}
 	st.outstanding[s]++
 	start := st.f.eng.Now()
 	in.SubmitOutcome(st.sessionLen, func(o sim.Outcome) { st.complete(s, backup, start, o) })
+	return true
 }
 
 func (st *gatherState) armHedge(s int) {
 	f := st.f
 	f.eng.Schedule(f.timer.delay(), func() {
-		if st.failed || st.shardDone[s] {
+		if st.finished || st.shardDone[s] || st.missed[s] {
 			return
 		}
-		f.stats.RecordSent()
-		st.launch(s, true)
+		if st.launch(s, true) {
+			f.stats.RecordSent()
+		}
+	})
+}
+
+// armTimeout schedules the straggler sub-deadline for shard s: if the shard
+// is still unresolved when it fires, the shard is declared missed and the
+// gather proceeds without it — a late completion then hits the missed guard
+// in complete and is dropped, exactly like the live gateway cancelling a
+// straggler's context.
+func (st *gatherState) armTimeout(s int) {
+	f := st.f
+	f.eng.Schedule(f.cfg.ShardTimeout, func() {
+		if st.finished || st.shardDone[s] || st.missed[s] {
+			return
+		}
+		st.shardFailed(s, errShardTimeout)
 	})
 }
 
 func (st *gatherState) complete(s int, backup bool, start time.Duration, o sim.Outcome) {
 	f := st.f
-	if st.failed || st.shardDone[s] {
-		return // a discarded loser (already counted) or a lost cause
+	if st.finished || st.shardDone[s] || st.missed[s] {
+		return // a discarded loser (already counted), a timed-out straggler, or a lost cause
 	}
 	st.outstanding[s]--
 	if o.Err != nil {
 		if st.outstanding[s] > 0 {
 			return // the hedged twin may still answer
 		}
-		st.failed = true
-		st.sp.Discard()
-		st.sp = nil
-		st.done(sim.Outcome{Latency: f.eng.Now() - st.t0, Err: o.Err})
+		st.shardFailed(s, o.Err)
 		return
 	}
 	st.shardDone[s] = true
@@ -280,16 +326,67 @@ func (st *gatherState) complete(s int, backup bool, start time.Duration, o sim.O
 		f.stats.RecordCancelled()
 	}
 	st.remaining--
-	if st.remaining > 0 {
+	if st.remaining == 0 {
+		st.finish()
+	}
+}
+
+// shardFailed resolves shard s as a miss. Under fail-fast that is terminal
+// for the request; under partial serving the gather continues and the floor
+// check happens when the last shard resolves.
+func (st *gatherState) shardFailed(s int, err error) {
+	f := st.f
+	if f.cfg.Policy.Mode != PolicyPartial {
+		st.finished = true
+		total := f.eng.Now() - st.t0
+		st.sp.FinishErrorTotal(total)
+		st.sp = nil
+		st.done(sim.Outcome{Latency: total, Err: err})
+		return
+	}
+	st.missed[s] = true
+	st.remaining--
+	if st.remaining == 0 {
+		st.finish()
+	}
+}
+
+// finish resolves the gather once every shard has answered or been declared
+// missed: below the coverage floor the request fails with a CoverageError;
+// otherwise the merge cost is paid and the outcome carries the coverage.
+func (st *gatherState) finish() {
+	f := st.f
+	st.finished = true
+	shards := len(f.groups)
+	answered := 0
+	for _, d := range st.shardDone {
+		if d {
+			answered++
+		}
+	}
+	if min := f.cfg.Policy.MinShards(shards); answered < min {
+		f.pstats.RecordFloorFailure()
+		total := f.eng.Now() - st.t0
+		st.sp.FinishErrorTotal(total)
+		st.sp = nil
+		st.done(sim.Outcome{Latency: total, Err: &CoverageError{Answered: answered, Shards: shards, Min: min}})
 		return
 	}
 	wait := f.eng.Now() - st.scatterAt
 	f.waitHist.Record(wait)
 	st.sp.Observe(trace.StageShardWait, wait)
+	coverage := float64(answered) / float64(shards)
+	partial := answered < shards
 	f.eng.Schedule(f.mergeTime, func() {
-		st.sp.Observe(trace.StageShardMerge, f.mergeTime)
+		if partial {
+			st.sp.Observe(trace.StagePartialMerge, f.mergeTime)
+			f.pstats.RecordPartial(coverage)
+		} else {
+			st.sp.Observe(trace.StageShardMerge, f.mergeTime)
+			f.pstats.RecordFull()
+		}
 		total := f.eng.Now() - st.t0
 		st.sp.FinishTotal(total)
-		st.done(sim.Outcome{Latency: total})
+		st.done(sim.Outcome{Latency: total, Partial: partial, Coverage: coverage})
 	})
 }

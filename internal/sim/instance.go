@@ -46,6 +46,13 @@ type Outcome struct {
 	// Degraded marks a response served by the cheap fallback responder
 	// instead of the model.
 	Degraded bool
+	// Partial marks a sharded response merged from a strict subset of shard
+	// groups (the sim mirror of X-Degraded: partial).
+	Partial bool
+	// Coverage is the fraction of shard groups that contributed to a
+	// sharded response (1 for full coverage, 0 when the submitter does not
+	// report coverage).
+	Coverage float64
 }
 
 // Resilience configures the server-side resilience mechanisms of a simulated

@@ -66,6 +66,12 @@ const (
 	// StageShardMerge is the k-way merge of the partial top-k lists into
 	// the exact global top-k.
 	StageShardMerge
+	// StagePartialMerge is the degraded variant of StageShardMerge: the
+	// k-way merge over a strict subset of shard groups after the
+	// partial-result policy dropped failed or straggling shards. Keeping it
+	// distinct from StageShardMerge lets the breakdown separate full-
+	// coverage merges from degraded ones.
+	StagePartialMerge
 	// StageSerialize is response encoding.
 	StageSerialize
 	// NumStages is the number of stages (array sizing).
@@ -75,7 +81,7 @@ const (
 var stageNames = [NumStages]string{
 	"queue-wait", "admission", "batch-assembly", "embedding-lookup",
 	"encoder-forward", "mips-topk", "shard-scatter", "shard-wait",
-	"shard-merge", "serialize",
+	"shard-merge", "partial-merge", "serialize",
 }
 
 // String names the stage for reports and metric labels.
@@ -131,6 +137,11 @@ type Tracer struct {
 	batchFlushes atomic.Int64
 	batchSum     atomic.Int64
 	batchMax     atomic.Int64
+
+	// errors counts spans finished with FinishError — requests that reached
+	// service but failed. Their stage costs still land in the aggregates
+	// (the work was done), unlike Discarded spans which never served.
+	errors atomic.Int64
 
 	// exemplarFloor caches the smallest total in the exemplar buffer so the
 	// hot path can skip the lock for ordinary requests.
@@ -232,6 +243,7 @@ type Exemplar struct {
 	ID        string        `json:"id"`
 	Total     time.Duration `json:"total"`
 	BatchSize int           `json:"batch_size,omitempty"`
+	Failed    bool          `json:"failed,omitempty"`
 	Stages    [NumStages]time.Duration
 }
 
@@ -241,6 +253,9 @@ func (e Exemplar) String() string {
 	fmt.Fprintf(&b, "%s total=%s", e.ID, e.Total.Round(time.Microsecond))
 	if e.BatchSize > 1 {
 		fmt.Fprintf(&b, " batch=%d", e.BatchSize)
+	}
+	if e.Failed {
+		b.WriteString(" FAILED")
 	}
 	for s, d := range e.Stages {
 		if d > 0 {
@@ -271,7 +286,7 @@ func (t *Tracer) offer(sp *Span, total time.Duration) {
 	if int64(total) <= t.exemplarFloor.Load() {
 		return // fast path: not a tail request
 	}
-	ex := Exemplar{ID: sp.id, Total: total, BatchSize: sp.batch, Stages: sp.stages}
+	ex := Exemplar{ID: sp.id, Total: total, BatchSize: sp.batch, Failed: sp.failed, Stages: sp.stages}
 	t.exMu.Lock()
 	if len(t.exemplars) < t.exemplarN {
 		t.exemplars = append(t.exemplars, ex)
@@ -312,10 +327,11 @@ func (t *Tracer) offer(sp *Span, total time.Duration) {
 // predict handler — so the dispatcher's late writes land on garbage, not on
 // a recycled span.
 type Span struct {
-	t     *Tracer
-	id    string
-	start time.Duration
-	batch int
+	t      *Tracer
+	id     string
+	start  time.Duration
+	batch  int
+	failed bool
 
 	stages [NumStages]time.Duration
 }
@@ -391,6 +407,37 @@ func (s *Span) FinishTotal(total time.Duration) {
 	}
 	*s = Span{}
 	t.pool.Put(s)
+}
+
+// FinishError closes the span as a failed request: stage costs and the
+// end-to-end time still fold into the aggregates — the work was done and a
+// tail analysis that silently drops failures lies about where time went —
+// and the tracer's error count increments. The exemplar, if retained, is
+// marked Failed. Like Finish, the span must not be touched after.
+func (s *Span) FinishError() {
+	if s == nil {
+		return
+	}
+	s.FinishErrorTotal(s.t.clock() - s.start)
+}
+
+// FinishErrorTotal is FinishError with an explicitly measured end-to-end
+// time (the simulator's entry point).
+func (s *Span) FinishErrorTotal(total time.Duration) {
+	if s == nil {
+		return
+	}
+	s.failed = true
+	s.t.errors.Add(1)
+	s.FinishTotal(total)
+}
+
+// ErrorCount returns how many spans finished with an error outcome.
+func (t *Tracer) ErrorCount() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.errors.Load()
 }
 
 // Discard recycles the span without recording anything — for requests that
