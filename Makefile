@@ -12,12 +12,18 @@ SCALE ?= test
 # or proc (real etude-server processes behind the local control plane).
 PODS ?= inproc
 
-.PHONY: build test bench vet race check infra run_deployed_benchmark benchmark profile advise clean
+.PHONY: build test bench vet race check reproduce baseline gate infra run_deployed_benchmark benchmark profile advise clean
 
 # Process tests exec a real etude-server; build it once here so every test
 # package shares one binary instead of each invoking `go build`.
 bin/etude-server: $(shell find cmd internal -name '*.go') go.mod
 	go build -o bin/etude-server ./cmd/etude-server
+
+# The bench harness runs from a built binary, not `go run`: only a real
+# `go build` embeds the VCS stamp that buildinfo turns into the git SHA on
+# every CSV and BENCH_*.json the harness writes.
+bin/etude: $(shell find cmd internal -name '*.go') go.mod
+	go build -o bin/etude ./cmd/etude
 
 build:
 	go build ./...
@@ -48,11 +54,34 @@ race:
 # goroutines, and the chaos drivers including the shard-blackout scenario.
 # Process tests (real SIGKILL blackouts included) use the prebuilt
 # bin/etude-server; skip them with `go test -short`.
-check: bin/etude-server
+# The final step is the perf-regression gate: it re-runs the smoke grid
+# (bench/smoke.json) and fails when any gated metric drifts beyond the
+# noise band of the committed baselines in results/baselines/, naming the
+# trace stage that moved with it.
+check: bin/etude-server bin/etude
 	go build ./...
 	go vet ./...
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test ./...
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload ./internal/chaos ./internal/leakcheck
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server bin/etude bench -grid bench/smoke.json
+
+# One-command reproduction of the paper: run every experiment in
+# bench/full.json three times (independent seeds) into a timestamped
+# directory under results/runs/, schema-validating every CSV and
+# aggregating the repeats into median+IQR BENCH_<experiment>.json
+# summaries stamped with the build identity (git SHA, go version, host).
+reproduce: bin/etude-server bin/etude
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server bin/etude bench -grid bench/full.json -no-gate
+
+# Refresh the committed perf baselines from the smoke grid. Run this on an
+# intentional perf change (or improvement) and commit the diff under
+# results/baselines/ — the gate compares every future run against it.
+baseline: bin/etude-server bin/etude
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server bin/etude bench -grid bench/smoke.json -update-baseline
+
+# The perf-regression gate on its own (also the last step of `make check`).
+gate: bin/etude-server bin/etude
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server bin/etude bench -grid bench/smoke.json
 
 # One-time infrastructure provisioning (the paper's `make infra`): creates
 # the local object-store bucket used for model artifacts and results.

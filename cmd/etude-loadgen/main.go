@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"etude/internal/loadgen"
+	"etude/internal/report"
 	"etude/internal/workload"
 )
 
@@ -33,6 +34,7 @@ func main() {
 		timeout     = flag.Duration("timeout", time.Second, "per-request timeout")
 		slo         = flag.Duration("slo", 0, "end-to-end SLO budget per logical request, shared across retries and propagated via the X-Deadline header (0 = off)")
 		seed        = flag.Int64("seed", 1, "workload seed")
+		seriesCSV   = flag.String("series-csv", "", "also write the per-tick series as a CSV (stamped with the build identity) to this file")
 	)
 	flag.Parse()
 
@@ -73,5 +75,19 @@ func main() {
 	fmt.Printf("%-6s %8s %8s %8s %12s\n", "tick", "sent", "done", "errors", "p90")
 	for _, ts := range res.Recorder.Series() {
 		fmt.Printf("%-6d %8d %8d %8d %12s\n", ts.Tick, ts.Sent, ts.Completed, ts.Errors, ts.P90.Round(time.Microsecond))
+	}
+	if *seriesCSV != "" {
+		f, err := os.Create(*seriesCSV)
+		if err != nil {
+			log.Fatalf("etude-loadgen: %v", err)
+		}
+		if err := report.WriteSeriesCSV(f, res.Recorder.Series()); err != nil {
+			f.Close()
+			log.Fatalf("etude-loadgen: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("etude-loadgen: %v", err)
+		}
+		log.Printf("series written to %s", *seriesCSV)
 	}
 }

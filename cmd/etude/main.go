@@ -7,6 +7,7 @@
 //
 //	etude infra -bucket ./bucket
 //	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|procs [-scale test|paper] [-pods inproc|proc]
+//	etude bench -grid bench/smoke.json [-update-baseline]
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"etude/internal/advisor"
+	"etude/internal/bench"
 	"etude/internal/cluster"
 	"etude/internal/core"
 	"etude/internal/device"
@@ -32,7 +34,6 @@ import (
 	"etude/internal/model"
 	"etude/internal/objstore"
 	rpt "etude/internal/report"
-	"etude/internal/torchserve"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 		infra(os.Args[2:])
 	case "benchmark":
 		benchmark(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
 	case "live":
 		live(os.Args[2:])
 	case "report":
@@ -61,6 +64,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
   etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|procs [-scale test|paper] [-pods inproc|proc] [-bucket DIR]
+  etude bench     -grid SPEC.json [-out DIR] [-baseline DIR] [-update-baseline] [-no-gate]
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]
@@ -83,8 +87,8 @@ func infra(args []string) {
 
 func benchmark(args []string) {
 	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
-	exp := fs.String("experiment", "", "experiment to run (fig2, fig3, fig4, table1, validation, issues, runtimes, autoscale, chaos, overload, rolling, breakdown, shard, blackout, procs)")
-	scale := fs.String("scale", "test", "test (seconds) or paper (paper-scale parameters)")
+	exp := fs.String("experiment", "", "experiment to run (see `etude benchmark -experiment list`)")
+	scale := fs.String("scale", "test", "smoke (fastest), test (seconds) or paper (paper-scale parameters)")
 	pods := fs.String("pods", "inproc", "pod substrate for cluster experiments: inproc (goroutine HTTP servers) or proc (real etude-server processes)")
 	bucketDir := fs.String("bucket", "", "optional bucket directory for JSON results")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (inspect with `go tool pprof`)")
@@ -93,7 +97,16 @@ func benchmark(args []string) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	paper := *scale == "paper"
+	if *exp == "list" {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		log.Fatalf("etude benchmark: %v", err)
+	}
 	if *pods != "inproc" && *pods != "proc" {
 		log.Fatalf("etude benchmark: -pods must be inproc or proc, got %q", *pods)
 	}
@@ -112,7 +125,7 @@ func benchmark(args []string) {
 		defer pprof.StopCPUProfile()
 	}
 
-	out, err := runExperiment(ctx, *exp, paper, *pods)
+	out, err := runExperimentAt(ctx, *exp, sc, *pods)
 	if err != nil {
 		log.Fatalf("etude benchmark: %v", err)
 	}
@@ -130,169 +143,97 @@ func benchmark(args []string) {
 	}
 }
 
+// benchCmd is the reproduction harness: it executes a declarative
+// experiment grid (every listed experiment, once per seed) into a fresh
+// timestamped results directory, schema-validating every CSV it writes
+// and aggregating the repeats into BENCH_<experiment>.json summaries.
+// Unless told otherwise it then gates those summaries against the
+// committed baselines and exits non-zero when a metric regressed beyond
+// its noise band, naming the trace stage that moved with it.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	gridPath := fs.String("grid", "bench/smoke.json", "experiment grid spec (JSON)")
+	outDir := fs.String("out", "results/runs", "parent directory for timestamped run directories")
+	baselineDir := fs.String("baseline", "results/baselines", "directory holding the committed BENCH_*.json baselines")
+	update := fs.Bool("update-baseline", false, "write this run's summaries into -baseline instead of gating against it")
+	noGate := fs.Bool("no-gate", false, "produce artifacts without comparing against baselines")
+	_ = fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	grid, err := bench.LoadGrid(*gridPath)
+	if err != nil {
+		log.Fatalf("etude bench: %v", err)
+	}
+	rep, err := bench.Run(ctx, bench.RunOptions{Grid: grid, OutDir: *outDir, Log: os.Stderr})
+	if err != nil {
+		log.Fatalf("etude bench: %v", err)
+	}
+	fmt.Printf("results: %s\n", rep.Dir)
+	if *update {
+		if err := os.MkdirAll(*baselineDir, 0o755); err != nil {
+			log.Fatalf("etude bench: %v", err)
+		}
+		for _, sum := range rep.Summaries {
+			path, err := bench.WriteSummary(*baselineDir, sum)
+			if err != nil {
+				log.Fatalf("etude bench: %v", err)
+			}
+			fmt.Printf("baseline updated: %s\n", path)
+		}
+		return
+	}
+	if *noGate {
+		return
+	}
+	findings, missing, err := bench.GateDir(*baselineDir, rep.Summaries, bench.DefaultGateConfig())
+	if err != nil {
+		log.Fatalf("etude bench: %v", err)
+	}
+	for _, exp := range missing {
+		fmt.Printf("no baseline for %s in %s (run with -update-baseline to create one)\n", exp, *baselineDir)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if regs := bench.Regressions(findings); len(regs) > 0 {
+		log.Fatalf("etude bench: %d metric(s) regressed beyond the noise band", len(regs))
+	}
+	fmt.Printf("gate passed: %d experiment summaries within the noise band of %s\n",
+		len(rep.Summaries)-len(missing), *baselineDir)
+}
+
+// runExperiment drives one registry experiment and renders its result.
+// paper=false runs the test scale; pods selects the cluster substrate.
 func runExperiment(ctx context.Context, name string, paper bool, pods string) (string, error) {
-	switch name {
-	case "fig2":
-		cfg := experiments.DefaultFig2Config()
-		if !paper {
-			cfg.TargetRate = 700
-			cfg.Duration = 10 * time.Second
-			cfg.Tick = 500 * time.Millisecond
-			cfg.TorchServe = torchserve.DefaultConfig()
-		}
-		res, err := experiments.Fig2(ctx, cfg)
-		if err != nil {
-			return "", err
-		}
-		out := res.Render()
-		// Plot-ready per-tick series accompany the summary.
-		for _, series := range []experiments.Fig2Series{res.Etude, res.TorchServe} {
+	scale := experiments.ScaleTest
+	if paper {
+		scale = experiments.ScalePaper
+	}
+	return runExperimentAt(ctx, name, scale, pods)
+}
+
+func runExperimentAt(ctx context.Context, name string, scale experiments.Scale, pods string) (string, error) {
+	def, ok := experiments.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+	res, err := def.Run(ctx, experiments.Params{Scale: scale, Pods: pods})
+	if err != nil {
+		return "", err
+	}
+	out := res.Render()
+	// Fig 2 ships its plot-ready per-tick series alongside the summary.
+	if f2, ok := res.(*experiments.Fig2Result); ok {
+		for _, series := range []experiments.Fig2Series{f2.Etude, f2.TorchServe} {
 			var csv bytes.Buffer
 			if err := rpt.WriteSeriesCSV(&csv, series.Series); err != nil {
 				return "", err
 			}
 			out += fmt.Sprintf("\n[series CSV: %s]\n%s", series.Server, csv.String())
 		}
-		return out, nil
-	case "fig3":
-		cfg := experiments.DefaultFig3Config()
-		if !paper {
-			cfg.Requests = 50
-		}
-		res, err := experiments.Fig3(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "fig4":
-		cfg := experiments.DefaultFig4Config()
-		if !paper {
-			cfg.Duration = 30 * time.Second
-		}
-		res, err := experiments.Fig4(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "table1":
-		res, err := experiments.Table1(experiments.DefaultTable1Config())
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "validation":
-		cfg := experiments.DefaultValidationConfig()
-		if !paper {
-			cfg.Duration = 10 * time.Second
-			cfg.RealClicks = 20_000
-		}
-		res, err := experiments.Validation(ctx, cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "issues":
-		res, err := experiments.Issues(experiments.DefaultIssuesConfig())
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "runtimes":
-		res, err := experiments.RuntimeComparison(experiments.DefaultRuntimeCmpConfig())
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "autoscale":
-		res, err := experiments.AutoscaleComparison(experiments.DefaultAutoscaleCmpConfig())
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "chaos":
-		cfg := experiments.DefaultChaosCmpConfig()
-		if paper {
-			cfg.Duration = 10 * time.Minute
-		}
-		res, err := experiments.ChaosComparison(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "breakdown":
-		cfg := experiments.DefaultBreakdownConfig()
-		if !paper {
-			cfg.Requests = 60
-		}
-		res, err := experiments.Breakdown(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "rolling":
-		cfg := experiments.DefaultRollingConfig()
-		cfg.Backend = pods
-		if paper {
-			cfg.Duration = 2 * time.Minute
-			cfg.TargetRate = 400
-			cfg.OpAfter = 30 * time.Second
-		}
-		res, err := experiments.Rolling(ctx, cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "procs":
-		cfg := experiments.DefaultProcsConfig()
-		if paper {
-			cfg.Rolling.Duration = time.Minute
-			cfg.Rolling.TargetRate = 200
-			cfg.Rolling.OpAfter = 10 * time.Second
-			cfg.ColdStartSamples = 20
-		}
-		res, err := experiments.Procs(ctx, cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "overload":
-		cfg := experiments.DefaultOverloadCmpConfig()
-		if paper {
-			cfg.Duration = 10 * time.Minute
-		}
-		res, err := experiments.OverloadComparison(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "shard":
-		cfg := experiments.DefaultShardConfig()
-		if !paper {
-			cfg.Catalogs = []int{100_000, 1_000_000}
-			cfg.Requests = 150
-			cfg.Gap = 60 * time.Millisecond
-			cfg.LiveSessions = 10
-		}
-		res, err := experiments.Shard(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
-	case "blackout":
-		cfg := experiments.DefaultBlackoutConfig()
-		if !paper {
-			cfg.Catalog = 100_000
-			cfg.Requests = 150
-			cfg.Gap = 60 * time.Millisecond
-			cfg.LiveSessions = 20
-		}
-		res, err := experiments.Blackout(cfg)
-		if err != nil {
-			return "", err
-		}
-		return res.Render(), nil
 	}
-	return "", fmt.Errorf("unknown experiment %q", name)
+	return out, nil
 }
 
 // live runs a declaratively specified benchmark against a real in-process

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"etude/internal/buildinfo"
+	"etude/internal/experiments"
+)
+
+func TestParseGridDefaultsAndValidation(t *testing.T) {
+	g, err := ParseGrid([]byte(`{"name":"smoke","scale":"smoke","smoke":true,"repeats":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Seeds) != 2 || g.Seeds[0] != 1 || g.Seeds[1] != 2 {
+		t.Fatalf("seeds = %v", g.Seeds)
+	}
+	want := map[string]bool{"breakdown": true, "shard": true, "overload": true, "blackout": true}
+	if len(g.Experiments) != len(want) {
+		t.Fatalf("smoke experiments = %v", g.Experiments)
+	}
+	for _, e := range g.Experiments {
+		if !want[e] {
+			t.Fatalf("unexpected smoke experiment %q", e)
+		}
+	}
+	if g.Pods != "inproc" {
+		t.Fatalf("pods default = %q", g.Pods)
+	}
+
+	for name, raw := range map[string]string{
+		"no name":        `{"scale":"test"}`,
+		"bad scale":      `{"name":"x","scale":"huge"}`,
+		"bad experiment": `{"name":"x","experiments":["warp"]}`,
+		"dup experiment": `{"name":"x","experiments":["shard","shard"]}`,
+		"dup seed":       `{"name":"x","seeds":[1,1]}`,
+		"bad seed":       `{"name":"x","seeds":[0]}`,
+		"bad pods":       `{"name":"x","pods":"vm"}`,
+		"not json":       `{`,
+	} {
+		if _, err := ParseGrid([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted %s", name, raw)
+		}
+	}
+}
+
+func TestAggregateMedianIQR(t *testing.T) {
+	sum, err := Aggregate("x", "test", true, []int64{1, 2, 3, 4},
+		[]map[string]float64{
+			{"a/p99_ms": 1, "only_first": 9},
+			{"a/p99_ms": 2},
+			{"a/p99_ms": 3},
+			{"a/p99_ms": 100},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sum.Metrics["a/p99_ms"]
+	if a.Median != 2.5 {
+		t.Fatalf("median = %v", a.Median)
+	}
+	// quartiles at positions 0.75 and 2.25: 1.75 and 27.25
+	if got := a.IQR; got != 25.5 {
+		t.Fatalf("IQR = %v", got)
+	}
+	if a.Min != 1 || a.Max != 100 || len(a.Values) != 4 {
+		t.Fatalf("summary = %+v", a)
+	}
+	if _, ok := sum.Metrics["only_first"]; ok {
+		t.Fatal("metric missing from some repeats must be dropped")
+	}
+	if sum.Build.GoVersion != buildinfo.Get().GoVersion {
+		t.Fatalf("summary missing build identity: %+v", sum.Build)
+	}
+	if _, err := Aggregate("x", "test", true, []int64{1}, nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+	if _, err := Aggregate("x", "test", true, []int64{1, 2}, []map[string]float64{{"a": 1}}); err == nil {
+		t.Fatal("seed/repeat mismatch accepted")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sum, err := Aggregate("overload", "smoke", true, []int64{1, 2},
+		[]map[string]float64{{"a/p99_ms": 1}, {"a/p99_ms": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := WriteSummary(dir, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_overload.json" {
+		t.Fatalf("summary file = %s", path)
+	}
+	back, err := LoadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "overload" || !back.Deterministic || len(back.Seeds) != 2 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Metrics["a/p99_ms"].Median != 1.5 {
+		t.Fatalf("metrics lost: %+v", back.Metrics)
+	}
+	if _, err := LoadSummary(filepath.Join(dir, "BENCH_nope.json")); err == nil {
+		t.Fatal("missing summary loaded")
+	}
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	os.WriteFile(bad, []byte(`{"experiment":""}`), 0o644)
+	if _, err := LoadSummary(bad); err == nil {
+		t.Fatal("empty summary accepted")
+	}
+}
+
+// TestRunGridEndToEnd drives the full harness over the cheapest
+// deterministic experiment: runs repeats, validates the emitted CSVs,
+// writes BENCH_*.json, and gates the run against its own output (which
+// must pass — nothing changed).
+func TestRunGridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment grid")
+	}
+	out := t.TempDir()
+	grid, err := ParseGrid([]byte(`{"name":"t","scale":"smoke","seeds":[1,2],"experiments":["issues"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunOptions{Grid: grid, OutDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) != 1 || rep.Summaries[0].Experiment != "issues" {
+		t.Fatalf("summaries = %+v", rep.Summaries)
+	}
+	// The timestamped directory holds per-seed artifacts + the summary.
+	for _, rel := range []string{
+		"issues/seed1.txt", "issues/seed1.metrics.csv",
+		"issues/seed2.txt", "issues/seed2.metrics.csv",
+		"BENCH_issues.json",
+	} {
+		if _, err := os.Stat(filepath.Join(rep.Dir, rel)); err != nil {
+			t.Fatalf("missing artifact %s: %v", rel, err)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(rep.Dir, "issues", "seed1.metrics.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MetricsSchema().Validate(strings.NewReader(string(raw))); err != nil {
+		t.Fatalf("emitted CSV fails schema: %v", err)
+	}
+	// Same tree, same seeds → gating the run against itself passes.
+	findings, missing, err := GateDir(rep.Dir, rep.Summaries, DefaultGateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 || len(missing) != 0 {
+		t.Fatalf("self-gate failed: findings=%v missing=%v", findings, missing)
+	}
+	// A baseline dir without the summary reports it as missing, not fatal.
+	findings, missing, err = GateDir(t.TempDir(), rep.Summaries, DefaultGateConfig())
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("missing baseline mishandled: %v %v", findings, err)
+	}
+	if len(missing) != 1 || missing[0] != "issues" {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+// TestGateCatchesInjectedStageRegression is the guard-the-guard test the
+// issue demands: inflate one stage's simulated service time, re-run the
+// overload experiment, and assert the gate fails AND names that stage.
+func TestGateCatchesInjectedStageRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full overload sims")
+	}
+	seeds := []int64{1}
+	run := func(inflate map[string]float64) map[string]float64 {
+		cfg := experiments.DefaultOverloadCmpConfig()
+		cfg.Duration = 30 * time.Second // ScaleSmoke-equivalent, virtual time
+		cfg.Inflate = inflate
+		res, err := experiments.OverloadComparison(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics()
+	}
+	baseline, err := Aggregate("overload", "smoke", true, seeds, []map[string]float64{run(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := Aggregate("overload", "smoke", true, seeds, []map[string]float64{
+		run(map[string]float64{"mips-topk": 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(Gate(baseline, current, DefaultGateConfig()))
+	if len(regs) == 0 {
+		t.Fatal("gate passed an injected 3× mips-topk regression")
+	}
+	var attributed bool
+	for _, f := range regs {
+		if f.Stage == "mips-topk" {
+			attributed = true
+		}
+		if f.Stage == "encoder-forward" {
+			t.Fatalf("regression misattributed to encoder-forward: %s", f.String())
+		}
+	}
+	if !attributed {
+		msgs := make([]string, len(regs))
+		for i, f := range regs {
+			msgs[i] = f.String()
+		}
+		t.Fatalf("no finding names mips-topk:\n%s", strings.Join(msgs, "\n"))
+	}
+	// The identical tree self-gates clean (deterministic, same seed).
+	if f := Gate(baseline, baseline, DefaultGateConfig()); len(f) != 0 {
+		t.Fatalf("self-gate found drift: %v", f)
+	}
+}

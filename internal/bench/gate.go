@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Polarity classifies how a metric's value relates to "better".
+type Polarity int
+
+const (
+	// Neutral metrics (counts, workload sizes) are never gated.
+	Neutral Polarity = iota
+	// LowerBetter fails the gate when the value rises beyond the band.
+	LowerBetter
+	// HigherBetter fails the gate when the value falls beyond the band.
+	HigherBetter
+)
+
+// lowerBetterSuffixes and higherBetterSuffixes classify a metric by the
+// last segment of its key. The convention is part of the Result contract
+// (see experiments.Result): emit a suffix from these lists and the gate
+// picks the metric up automatically.
+var lowerBetterSuffixes = []string{
+	"_ms", "_usd", "error_rate", "reconcile_err", "p90_ratio_diff",
+	"degraded_fraction", "floor_failures", "forced_kills",
+	"deadline_expired", "codel_dropped",
+}
+
+var higherBetterSuffixes = []string{
+	"availability", "goodput_rps", "goodput_fraction", "recall",
+	"speedup", "coverage", "coverage_mean", "saving_fraction",
+	"capacity_rps", "identical", "meets_slo", "supported", "feasible",
+}
+
+// MetricPolarity infers gate polarity from the quantity suffix of a key.
+func MetricPolarity(key string) Polarity {
+	last := key
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		last = key[i+1:]
+	}
+	for _, s := range lowerBetterSuffixes {
+		if strings.HasSuffix(last, s) {
+			return LowerBetter
+		}
+	}
+	for _, s := range higherBetterSuffixes {
+		if strings.HasSuffix(last, s) {
+			return HigherBetter
+		}
+	}
+	return Neutral
+}
+
+// dimensionless reports whether a metric is portable across machines:
+// rates, fractions, ratios and booleans — anything not measured in
+// milliseconds (or another per-host unit). Wall-clock experiments are
+// gated only on these.
+func dimensionless(key string) bool {
+	last := key
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		last = key[i+1:]
+	}
+	for _, unit := range []string{"_ms", "_rps", "_usd"} {
+		if strings.HasSuffix(last, unit) {
+			return false
+		}
+	}
+	return true
+}
+
+// absFloor widens the absolute noise floor for metrics whose run-to-run
+// jitter is absolute rather than proportional to their value. The trace
+// reconciliation error is computed from wall-clock stage timestamps, so
+// on a busy host it wobbles by scheduler noise independent of its
+// (near-zero) baseline; a genuine reconciliation break — stages no longer
+// summing to the end-to-end latency — shows up as tens of percent.
+func absFloor(key string, cfg GateConfig) float64 {
+	if strings.HasSuffix(key, "reconcile_err") {
+		return math.Max(cfg.AbsFloor, 0.05)
+	}
+	return cfg.AbsFloor
+}
+
+// GateConfig tunes the noise band: band = max(RelFloor·|baseline|,
+// IQRMult·IQR, AbsFloor). The IQR term adapts the band to each metric's
+// observed repeat variance; the floors keep near-zero and zero-IQR
+// (deterministic) metrics from tripping on rounding.
+type GateConfig struct {
+	RelFloor float64
+	IQRMult  float64
+	AbsFloor float64
+}
+
+// DefaultGateConfig returns the standard band: 10% relative, 3×IQR,
+// 0.005 absolute.
+func DefaultGateConfig() GateConfig {
+	return GateConfig{RelFloor: 0.10, IQRMult: 3, AbsFloor: 0.005}
+}
+
+// Finding is one gated metric that moved beyond its noise band.
+type Finding struct {
+	Experiment string  `json:"experiment"`
+	Key        string  `json:"key"`
+	Baseline   float64 `json:"baseline"`
+	Current    float64 `json:"current"`
+	Band       float64 `json:"band"`
+	// Regression is true when the move is in the metric's worse direction;
+	// false marks an improvement (worth a baseline refresh, not a failure).
+	Regression bool `json:"regression"`
+	// Stage names the trace stage whose drift best explains the move, when
+	// the experiment emits a stage breakdown for the same cell.
+	Stage string `json:"stage,omitempty"`
+	// StageDetail quantifies the attributed stage's own move.
+	StageDetail string `json:"stage_detail,omitempty"`
+}
+
+func (f Finding) String() string {
+	verdict := "IMPROVED"
+	if f.Regression {
+		verdict = "REGRESSED"
+	}
+	msg := fmt.Sprintf("%s: %s %s: baseline %.4g -> current %.4g (band ±%.4g)",
+		f.Experiment, f.Key, verdict, f.Baseline, f.Current, f.Band)
+	if f.Stage != "" {
+		msg += fmt.Sprintf(" — attributed to stage %q (%s)", f.Stage, f.StageDetail)
+	}
+	return msg
+}
+
+// Gate compares a current summary against its baseline and returns every
+// metric that moved beyond the noise band, regressions first, each
+// annotated with the trace stage that moved with it (when the experiment
+// emits stage metrics for that cell). Metrics present on only one side
+// are ignored: adding or retiring a metric is a code change, not a
+// regression. For non-deterministic (wall-clock) experiments only
+// dimensionless metrics are compared — absolute latencies are not
+// portable across hosts.
+func Gate(baseline, current *Summary, cfg GateConfig) []Finding {
+	var findings []Finding
+	for key, base := range baseline.Metrics {
+		cur, ok := current.Metrics[key]
+		if !ok {
+			continue
+		}
+		pol := MetricPolarity(key)
+		if pol == Neutral || isStageKey(key) {
+			continue // stages are attribution evidence, not gates
+		}
+		if !baseline.Deterministic && !dimensionless(key) {
+			continue
+		}
+		band := math.Max(cfg.RelFloor*math.Abs(base.Median), math.Max(cfg.IQRMult*base.IQR, absFloor(key, cfg)))
+		delta := cur.Median - base.Median
+		if math.Abs(delta) <= band {
+			continue
+		}
+		f := Finding{
+			Experiment: baseline.Experiment,
+			Key:        key,
+			Baseline:   base.Median,
+			Current:    cur.Median,
+			Band:       band,
+			Regression: (pol == LowerBetter && delta > 0) || (pol == HigherBetter && delta < 0),
+		}
+		f.Stage, f.StageDetail = attributeStage(baseline, current, key)
+		findings = append(findings, f)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Regression != findings[j].Regression {
+			return findings[i].Regression
+		}
+		return findings[i].Key < findings[j].Key
+	})
+	return findings
+}
+
+// isStageKey reports whether a key is a trace-stage metric (a segment of
+// the form "stage=<name>").
+func isStageKey(key string) bool { return strings.Contains(key, "stage=") }
+
+// attributeStage explains a drifted metric by the trace stage whose own
+// metric, in the same cell (shared key prefix), moved the most relative
+// to baseline. Returns empty strings when the experiment emits no stage
+// breakdown for the cell.
+func attributeStage(baseline, current *Summary, key string) (stage, detail string) {
+	quantity := key
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		quantity = key[i+1:]
+	}
+	// Stage latencies are milliseconds; when the drifted metric is not
+	// itself a latency (goodput, availability), diff the stage p99s.
+	if !strings.HasSuffix(quantity, "_ms") {
+		quantity = "p99_ms"
+	}
+	bestRel := 0.0
+	for sKey, base := range baseline.Metrics {
+		marker := strings.Index(sKey, "stage=")
+		if marker < 0 || !strings.HasSuffix(sKey, "/"+quantity) {
+			continue
+		}
+		// Same cell: the drifted key starts with everything before the
+		// stage= marker ("adaptive/" for "adaptive/stage=mips-topk/p99_ms").
+		if !strings.HasPrefix(key, sKey[:marker]) {
+			continue
+		}
+		cur, ok := current.Metrics[sKey]
+		if !ok {
+			continue
+		}
+		denom := math.Abs(base.Median)
+		if denom == 0 {
+			denom = 1
+		}
+		rel := math.Abs(cur.Median-base.Median) / denom
+		if rel > bestRel {
+			bestRel = rel
+			rest := sKey[marker+len("stage="):]
+			stage = rest[:strings.Index(rest, "/")]
+			detail = fmt.Sprintf("%s %.4g -> %.4g (%+.0f%%)",
+				quantity, base.Median, cur.Median, 100*(cur.Median-base.Median)/denom)
+		}
+	}
+	return stage, detail
+}
+
+// Regressions filters a finding list down to the gate-failing subset.
+func Regressions(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Regression {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package bench is the one-command reproduction harness: it runs a
+// declarative grid of registry experiments N independent times, validates
+// every emitted CSV against a per-experiment schema, aggregates the
+// repeats into median+IQR summaries (`BENCH_<experiment>.json`), and
+// gates the current tree against committed baselines — failing on
+// latency/goodput/availability drift beyond the baseline's own noise
+// band, and naming the trace stage that moved. The repeated, seeded,
+// schema-validated protocol follows the model-serving measurement
+// literature (InferBench; De Rosa et al.): one-off numbers are anecdotes,
+// trajectories are evidence.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"etude/internal/experiments"
+)
+
+// Grid is the declarative experiment-grid spec, loaded from JSON.
+type Grid struct {
+	// Name labels the grid in logs and the results directory.
+	Name string `json:"name"`
+	// Scale is the parameterisation: smoke, test or paper.
+	Scale string `json:"scale"`
+	// Repeats is how many independent runs each experiment gets. Ignored
+	// when Seeds is set (each seed is one repeat).
+	Repeats int `json:"repeats,omitempty"`
+	// Seeds pins the seed of each repeat. Empty derives 1..Repeats. The
+	// regression gate relies on baselines and gate runs using the same
+	// seed set: with equal seeds, deterministic experiments reproduce
+	// bit-identically unless the code changed.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Experiments names the registry experiments to run; empty means all.
+	Experiments []string `json:"experiments,omitempty"`
+	// Smoke restricts an empty Experiments list to the smoke grid.
+	Smoke bool `json:"smoke,omitempty"`
+	// Pods selects the cluster substrate for experiments that take one.
+	Pods string `json:"pods,omitempty"`
+}
+
+// LoadGrid reads and validates a grid spec from a JSON file.
+func LoadGrid(path string) (Grid, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Grid{}, fmt.Errorf("bench: reading grid: %w", err)
+	}
+	return ParseGrid(raw)
+}
+
+// ParseGrid parses and validates a grid spec.
+func ParseGrid(raw []byte) (Grid, error) {
+	var g Grid
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return Grid{}, fmt.Errorf("bench: parsing grid: %w", err)
+	}
+	if err := g.normalize(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// normalize fills defaults and validates every field against the registry.
+func (g *Grid) normalize() error {
+	if g.Name == "" {
+		return fmt.Errorf("bench: grid needs a name")
+	}
+	if g.Scale == "" {
+		g.Scale = string(experiments.ScaleTest)
+	}
+	if _, err := experiments.ParseScale(g.Scale); err != nil {
+		return err
+	}
+	if len(g.Seeds) == 0 {
+		if g.Repeats <= 0 {
+			g.Repeats = 3
+		}
+		for i := 1; i <= g.Repeats; i++ {
+			g.Seeds = append(g.Seeds, int64(i))
+		}
+	}
+	g.Repeats = len(g.Seeds)
+	seen := map[int64]bool{}
+	for _, s := range g.Seeds {
+		if s <= 0 {
+			return fmt.Errorf("bench: seeds must be positive, got %d", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("bench: duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	if len(g.Experiments) == 0 {
+		for _, d := range experiments.Registry() {
+			if !g.Smoke || d.Smoke {
+				g.Experiments = append(g.Experiments, d.Name)
+			}
+		}
+	}
+	dup := map[string]bool{}
+	for _, name := range g.Experiments {
+		if _, ok := experiments.Lookup(name); !ok {
+			return fmt.Errorf("bench: grid names unknown experiment %q", name)
+		}
+		if dup[name] {
+			return fmt.Errorf("bench: grid lists experiment %q twice", name)
+		}
+		dup[name] = true
+	}
+	if g.Pods == "" {
+		g.Pods = "inproc"
+	}
+	if g.Pods != "inproc" && g.Pods != "proc" {
+		return fmt.Errorf("bench: pods must be inproc or proc, got %q", g.Pods)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"etude/internal/experiments"
+	"etude/internal/report"
+)
+
+// RunOptions shape one grid execution.
+type RunOptions struct {
+	Grid Grid
+	// OutDir is the parent results directory; each run gets a fresh
+	// timestamped subdirectory under it.
+	OutDir string
+	// Log receives progress lines (nil discards them).
+	Log io.Writer
+	// now overrides the run timestamp in tests.
+	now func() time.Time
+}
+
+// RunReport is the outcome of one grid execution.
+type RunReport struct {
+	// Dir is the timestamped results directory.
+	Dir string
+	// Summaries holds one aggregated summary per experiment, in grid
+	// order, each also written to Dir as BENCH_<experiment>.json.
+	Summaries []*Summary
+}
+
+// Run executes the grid: every experiment, once per seed, rendering text
+// and metric CSVs into the run directory, schema-validating every CSV it
+// wrote, and aggregating the repeats into BENCH_<experiment>.json files.
+// The first failing experiment, unwritable file or invalid CSV aborts the
+// run — a reproduction harness that silently skips is worse than none.
+func Run(ctx context.Context, opts RunOptions) (*RunReport, error) {
+	if opts.OutDir == "" {
+		return nil, fmt.Errorf("bench: OutDir is required")
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	now := time.Now
+	if opts.now != nil {
+		now = opts.now
+	}
+	stamp := now().UTC().Format("20060102-150405")
+	dir := filepath.Join(opts.OutDir, fmt.Sprintf("%s-%s", stamp, opts.Grid.Name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: creating results dir: %w", err)
+	}
+	rep := &RunReport{Dir: dir}
+	scale := experiments.Scale(opts.Grid.Scale)
+	for _, name := range opts.Grid.Experiments {
+		def, ok := experiments.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown experiment %q", name)
+		}
+		expDir := filepath.Join(dir, name)
+		if err := os.MkdirAll(expDir, 0o755); err != nil {
+			return nil, fmt.Errorf("bench: creating %s dir: %w", name, err)
+		}
+		var repeats []map[string]float64
+		for i, seed := range opts.Grid.Seeds {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("bench: interrupted: %w", err)
+			}
+			logf("bench: %s repeat %d/%d (seed %d, scale %s)", name, i+1, len(opts.Grid.Seeds), seed, scale)
+			start := now()
+			res, err := def.Run(ctx, experiments.Params{Scale: scale, Pods: opts.Grid.Pods, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (seed %d): %w", name, seed, err)
+			}
+			logf("bench: %s repeat %d done in %v", name, i+1, now().Sub(start).Round(time.Millisecond))
+			m := res.Metrics()
+			if err := writeRepeat(expDir, seed, res, m); err != nil {
+				return nil, err
+			}
+			repeats = append(repeats, m)
+		}
+		sum, err := Aggregate(name, string(scale), def.Deterministic, opts.Grid.Seeds, repeats)
+		if err != nil {
+			return nil, err
+		}
+		sum.GeneratedAt = now().UTC().Format(time.RFC3339)
+		if _, err := WriteSummary(dir, sum); err != nil {
+			return nil, err
+		}
+		rep.Summaries = append(rep.Summaries, sum)
+	}
+	logf("bench: wrote %d summaries to %s", len(rep.Summaries), dir)
+	return rep, nil
+}
+
+// writeRepeat persists one repeat's artifacts: the rendered text view,
+// the schema-validated metrics CSV, and (for experiments that carry
+// per-tick series) schema-validated series CSVs.
+func writeRepeat(expDir string, seed int64, res experiments.Result, m map[string]float64) error {
+	base := fmt.Sprintf("seed%d", seed)
+	txt := filepath.Join(expDir, base+".txt")
+	if err := os.WriteFile(txt, []byte(res.Render()), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", txt, err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteMetricsCSV(&buf, m); err != nil {
+		return fmt.Errorf("bench: %s seed %d: %w", expDir, seed, err)
+	}
+	if err := MetricsSchema().Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		return fmt.Errorf("bench: %s seed %d failed its own schema: %w", expDir, seed, err)
+	}
+	csvPath := filepath.Join(expDir, base+".metrics.csv")
+	if err := os.WriteFile(csvPath, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", csvPath, err)
+	}
+	if f2, ok := res.(*experiments.Fig2Result); ok {
+		for _, series := range []experiments.Fig2Series{f2.Etude, f2.TorchServe} {
+			var sbuf bytes.Buffer
+			if err := report.WriteSeriesCSV(&sbuf, series.Series); err != nil {
+				return fmt.Errorf("bench: series CSV for %s: %w", series.Server, err)
+			}
+			if err := SeriesSchema().Validate(bytes.NewReader(sbuf.Bytes())); err != nil {
+				return fmt.Errorf("bench: %s series failed schema: %w", series.Server, err)
+			}
+			sPath := filepath.Join(expDir, fmt.Sprintf("%s.%s.series.csv", base, series.Server))
+			if err := os.WriteFile(sPath, sbuf.Bytes(), 0o644); err != nil {
+				return fmt.Errorf("bench: writing %s: %w", sPath, err)
+			}
+		}
+	}
+	return nil
+}
+
+// GateDir loads the committed baselines for every summary of a run and
+// gates them, returning all findings plus the list of experiments that
+// had no baseline (informational — a new experiment cannot regress).
+func GateDir(baselineDir string, summaries []*Summary, cfg GateConfig) (findings []Finding, missing []string, err error) {
+	for _, cur := range summaries {
+		path := filepath.Join(baselineDir, SummaryFileName(cur.Experiment))
+		base, lerr := LoadSummary(path)
+		if lerr != nil {
+			if errors.Is(lerr, os.ErrNotExist) {
+				missing = append(missing, cur.Experiment)
+				continue
+			}
+			return nil, nil, lerr
+		}
+		findings = append(findings, Gate(base, cur, cfg)...)
+	}
+	return findings, missing, nil
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"etude/internal/buildinfo"
+	"etude/internal/report"
+)
+
+// ColKind types one CSV column for validation.
+type ColKind int
+
+const (
+	// ColString admits any non-empty cell.
+	ColString ColKind = iota
+	// ColInt admits base-10 integers.
+	ColInt
+	// ColFloat admits finite floats — NaN and ±Inf are schema violations,
+	// not data.
+	ColFloat
+	// ColBool admits strconv.ParseBool values.
+	ColBool
+)
+
+// Column is one schema column.
+type Column struct {
+	Name string
+	Kind ColKind
+}
+
+// CSVSchema is the machine-checkable contract of one CSV artifact family.
+type CSVSchema struct {
+	Name string
+	// Stamped requires the buildinfo comment line before the header.
+	Stamped bool
+	Columns []Column
+}
+
+func cols(header string, kinds ...ColKind) []Column {
+	names := strings.Split(header, ",")
+	if len(names) != len(kinds) {
+		panic(fmt.Sprintf("bench: schema %q: %d names vs %d kinds", header, len(names), len(kinds)))
+	}
+	out := make([]Column, len(names))
+	for i, n := range names {
+		out[i] = Column{Name: n, Kind: kinds[i]}
+	}
+	return out
+}
+
+// SeriesSchema validates report.WriteSeriesCSV output — including the
+// partial/coverage_mean columns added for partial-result serving.
+func SeriesSchema() CSVSchema {
+	return CSVSchema{
+		Name:    "series",
+		Stamped: true,
+		Columns: cols(report.SeriesHeader,
+			ColInt, ColInt, ColInt, ColInt, ColInt, ColInt, ColFloat, ColInt,
+			ColInt, ColInt, ColInt, ColInt, ColFloat, ColFloat, ColFloat),
+	}
+}
+
+// MeasurementsSchema validates report.WriteMeasurementsCSV output.
+func MeasurementsSchema() CSVSchema {
+	return CSVSchema{
+		Name:    "measurements",
+		Stamped: true,
+		Columns: cols(report.MeasurementsHeader,
+			ColString, ColString, ColString, ColBool, ColInt, ColFloat, ColInt,
+			ColInt, ColInt, ColFloat, ColFloat, ColFloat, ColBool),
+	}
+}
+
+// MetricsSchema validates report.WriteMetricsCSV output (the per-repeat
+// flat metric dump).
+func MetricsSchema() CSVSchema {
+	return CSVSchema{
+		Name:    "metrics",
+		Stamped: true,
+		Columns: cols(report.MetricsHeader, ColString, ColFloat),
+	}
+}
+
+// Validate checks a CSV stream against the schema: build stamp (when
+// required), exact header, per-row field count, and per-cell parses with
+// finite floats. It returns the first violation.
+func (s CSVSchema) Validate(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		line++
+		return sc.Text(), true
+	}
+	first, ok := next()
+	if !ok {
+		return fmt.Errorf("bench: %s CSV is empty", s.Name)
+	}
+	if s.Stamped {
+		if _, ok := buildinfo.ParseCommentLine(first); !ok {
+			return fmt.Errorf("bench: %s CSV line 1 is not a build stamp: %q", s.Name, first)
+		}
+		first, ok = next()
+		if !ok {
+			return fmt.Errorf("bench: %s CSV has no header after the stamp", s.Name)
+		}
+	}
+	if want := s.header(); first != want {
+		return fmt.Errorf("bench: %s CSV header mismatch:\n got %q\nwant %q", s.Name, first, want)
+	}
+	rows := 0
+	for {
+		row, ok := next()
+		if !ok {
+			break
+		}
+		if row == "" {
+			continue // tolerate a trailing newline
+		}
+		rows++
+		if err := s.validateRow(row); err != nil {
+			return fmt.Errorf("bench: %s CSV line %d: %w", s.Name, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("bench: reading %s CSV: %w", s.Name, err)
+	}
+	if rows == 0 {
+		return fmt.Errorf("bench: %s CSV has a header but no rows", s.Name)
+	}
+	return nil
+}
+
+func (s CSVSchema) header() string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func (s CSVSchema) validateRow(row string) error {
+	fields := strings.Split(row, ",")
+	if len(fields) != len(s.Columns) {
+		return fmt.Errorf("has %d fields, schema wants %d: %q", len(fields), len(s.Columns), row)
+	}
+	for i, f := range fields {
+		col := s.Columns[i]
+		switch col.Kind {
+		case ColString:
+			if f == "" {
+				return fmt.Errorf("column %s is empty", col.Name)
+			}
+		case ColInt:
+			if _, err := strconv.ParseInt(f, 10, 64); err != nil {
+				return fmt.Errorf("column %s: %q is not an integer", col.Name, f)
+			}
+		case ColFloat:
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("column %s: %q is not a number", col.Name, f)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("column %s: %q is not finite", col.Name, f)
+			}
+		case ColBool:
+			if _, err := strconv.ParseBool(f); err != nil {
+				return fmt.Errorf("column %s: %q is not a bool", col.Name, f)
+			}
+		}
+	}
+	return nil
+}

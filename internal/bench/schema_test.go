@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"etude/internal/buildinfo"
+	"etude/internal/core"
+	"etude/internal/metrics"
+	"etude/internal/report"
+)
+
+var stampLine = buildinfo.Get().CommentLine()
+
+func seriesCSV(rows ...string) string {
+	return stampLine + "\n" + report.SeriesHeader + "\n" + strings.Join(rows, "\n") + "\n"
+}
+
+func TestSeriesSchemaAcceptsWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := report.WriteSeriesCSV(&buf, []metrics.TickStats{
+		{Tick: 0, Sent: 10, Completed: 9, Errors: 1, Partial: 2, CoverageMean: 0.9375,
+			P50: time.Millisecond, P90: 2 * time.Millisecond, P99: 3 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SeriesSchema().Validate(&buf); err != nil {
+		t.Fatalf("writer output rejected: %v", err)
+	}
+}
+
+func TestMeasurementsSchemaAcceptsWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := report.WriteMeasurementsCSV(&buf, []core.Measurement{{
+		Experiment: "fig4", Model: "gru4rec", Instance: "cpu", Replicas: 1,
+		TargetRate: 100, Sent: 10,
+		Latency: metrics.Snapshot{P50: time.Millisecond, P90: time.Millisecond, P99: time.Millisecond},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MeasurementsSchema().Validate(&buf); err != nil {
+		t.Fatalf("writer output rejected: %v", err)
+	}
+}
+
+func TestMetricsSchemaAcceptsWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteMetricsCSV(&buf, map[string]float64{"a/p99_ms": 1.5, "b/goodput_rps": 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MetricsSchema().Validate(&buf); err != nil {
+		t.Fatalf("writer output rejected: %v", err)
+	}
+}
+
+func TestSeriesSchemaRejections(t *testing.T) {
+	good := "0,10,9,1,0,2,0.9375,0,0,0,0,1,1.000,2.000,3.000"
+	cases := map[string]string{
+		"empty":            "",
+		"missing stamp":    report.SeriesHeader + "\n" + good + "\n",
+		"mangled stamp":    "# built by hand\n" + report.SeriesHeader + "\n" + good + "\n",
+		"header only":      stampLine + "\n" + report.SeriesHeader + "\n",
+		"missing column":   stampLine + "\n" + strings.TrimSuffix(report.SeriesHeader, ",p99_ms") + "\n" + good + "\n",
+		"short row":        seriesCSV("0,10,9"),
+		"long row":         seriesCSV(good + ",77"),
+		"text in int col":  seriesCSV(strings.Replace(good, "0,10", "0,ten", 1)),
+		"NaN latency":      seriesCSV(strings.Replace(good, "3.000", "NaN", 1)),
+		"Inf latency":      seriesCSV(strings.Replace(good, "3.000", "+Inf", 1)),
+		"NaN coverage":     seriesCSV(strings.Replace(good, "0.9375", "NaN", 1)),
+		"float in int col": seriesCSV(strings.Replace(good, "0,10", "0,10.5", 1)),
+	}
+	for name, csv := range cases {
+		if err := SeriesSchema().Validate(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, csv)
+		}
+	}
+	// The partial/coverage_mean columns must round-trip cleanly.
+	if err := SeriesSchema().Validate(strings.NewReader(seriesCSV(good))); err != nil {
+		t.Fatalf("good CSV rejected: %v", err)
+	}
+}
+
+func TestMetricsSchemaRejections(t *testing.T) {
+	head := stampLine + "\n" + report.MetricsHeader + "\n"
+	for name, csv := range map[string]string{
+		"NaN value":    head + "x/p99_ms,NaN\n",
+		"empty metric": head + ",1.5\n",
+		"no value":     head + "x/p99_ms\n",
+		"not a number": head + "x/p99_ms,fast\n",
+	} {
+		if err := MetricsSchema().Validate(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, csv)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package buildinfo resolves the identity of the running binary — git
+// revision, Go toolchain, host and GOMAXPROCS — so every measurement the
+// repo emits (the /metrics endpoint, loadgen CSV files, bench result JSON)
+// carries enough provenance to be compared across commits and machines.
+// The paper's numbers are only trustworthy because they say exactly what
+// was run where; this package is the local analogue.
+package buildinfo
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Info is the build identity stamped onto results.
+type Info struct {
+	// GitSHA is the VCS revision the binary was built from ("unknown" when
+	// the build carries no VCS metadata, e.g. `go test` binaries).
+	GitSHA string `json:"git_sha"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Host is the machine's hostname ("unknown" if unresolvable).
+	Host string `json:"host"`
+	// GOMAXPROCS is the scheduler width measurements ran under.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// OS and Arch locate the platform.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get resolves the running binary's identity. The result is cached: the
+// identity cannot change within one process.
+func Get() Info {
+	once.Do(func() {
+		cached = resolve()
+	})
+	return cached
+}
+
+func resolve() Info {
+	info := Info{
+		GitSHA:     "unknown",
+		GoVersion:  runtime.Version(),
+		Host:       "unknown",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		info.Host = h
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					info.GitSHA = s.Value
+				}
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// ShortSHA returns the first 12 characters of the revision (or the whole
+// value when shorter) — the length git itself abbreviates to in big repos.
+func (i Info) ShortSHA() string {
+	if len(i.GitSHA) > 12 {
+		return i.GitSHA[:12]
+	}
+	return i.GitSHA
+}
+
+// CommentLine renders the identity as a CSV comment line, e.g.
+//
+//	# build git_sha=3f2a… dirty=false go=go1.22.1 host=box gomaxprocs=8 os=linux arch=amd64
+//
+// Writers prepend it to CSV artifacts; ParseCommentLine is the inverse.
+// Values never contain spaces (hostnames and revisions cannot), so the
+// line splits on whitespace.
+func (i Info) CommentLine() string {
+	return fmt.Sprintf("# build git_sha=%s dirty=%t go=%s host=%s gomaxprocs=%d os=%s arch=%s",
+		sanitize(i.GitSHA), i.Dirty, sanitize(i.GoVersion), sanitize(i.Host), i.GOMAXPROCS, i.OS, i.Arch)
+}
+
+// sanitize guards the space-delimited comment format against exotic values.
+func sanitize(v string) string {
+	if v == "" {
+		return "unknown"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\r' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, v)
+}
+
+// ParseCommentLine parses a CommentLine back into an Info. It reports false
+// for lines that are not build stamps (other comments, headers, data rows).
+func ParseCommentLine(line string) (Info, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || fields[0] != "#" || fields[1] != "build" {
+		return Info{}, false
+	}
+	var info Info
+	seen := 0
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Info{}, false
+		}
+		switch k {
+		case "git_sha":
+			info.GitSHA = v
+		case "dirty":
+			info.Dirty = v == "true"
+		case "go":
+			info.GoVersion = v
+		case "host":
+			info.Host = v
+		case "gomaxprocs":
+			if _, err := fmt.Sscanf(v, "%d", &info.GOMAXPROCS); err != nil {
+				return Info{}, false
+			}
+		case "os":
+			info.OS = v
+		case "arch":
+			info.Arch = v
+		default:
+			continue // forward compatibility: unknown keys are ignored
+		}
+		seen++
+	}
+	return info, seen > 0
+}

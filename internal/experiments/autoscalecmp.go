@@ -118,3 +118,28 @@ func (r *AutoscaleCmpResult) Render() string {
 	fmt.Fprintf(&b, "saving: %.0f%% of instance-time at the same SLO\n", r.SavingFraction*100)
 	return b.String()
 }
+
+// Metrics emits the static-vs-autoscaled comparison: cost, control
+// actions and the headline saving fraction.
+func (r *AutoscaleCmpResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, fleet := range []struct {
+		name string
+		res  *autoscale.Result
+		usd  float64
+	}{
+		{"static", r.Static, r.StaticMonthlyUSD},
+		{"autoscaled", r.Auto, r.AutoMonthlyUSD},
+	} {
+		pre := fleet.name
+		putSnap(m, pre+"/latency", fleet.res.Recorder.Overall())
+		m[pre+"/monthly_usd"] = fleet.usd
+		m[pre+"/instance_seconds"] = fleet.res.InstanceSeconds
+		m[pre+"/peak_replicas"] = float64(fleet.res.PeakReplicas)
+		m[pre+"/scale_ups"] = float64(fleet.res.ScaleUps)
+		m[pre+"/scale_downs"] = float64(fleet.res.ScaleDowns)
+		m[pre+"/error_rate"] = ratio(float64(fleet.res.Recorder.Errors()), float64(fleet.res.Sent))
+	}
+	m["saving_fraction"] = r.SavingFraction
+	return m
+}

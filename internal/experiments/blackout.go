@@ -296,3 +296,25 @@ func (r *BlackoutResult) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics emits the shard-blackout study: per-arm availability, coverage
+// and latency, plus the recall-vs-coverage frontier of the live model.
+func (r *BlackoutResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Arms {
+		pre := keyify(row.Arm)
+		putSnap(m, pre+"/latency", row.Latency)
+		m[pre+"/availability"] = row.Availability
+		m[pre+"/post_availability"] = row.PostAvailability
+		m[pre+"/coverage_mean"] = row.MeanCoverage
+		m[pre+"/partial_served"] = float64(row.PartialServed)
+		m[pre+"/floor_failures"] = float64(row.FloorFailures)
+	}
+	for _, row := range r.Recall {
+		pre := fmt.Sprintf("recall/down%d", row.DownShards)
+		m[pre+"/coverage"] = row.Coverage
+		m[pre+"/mean_recall"] = row.MeanRecall
+		m[pre+"/min_recall"] = row.MinRecall
+	}
+	return m
+}

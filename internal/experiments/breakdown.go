@@ -179,3 +179,24 @@ func (r *BreakdownResult) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics emits the stage decomposition. Breakdown is wall-clock, so the
+// portable keys are the dimensionless reconciliation error and per-stage
+// latency shares; absolute stage latencies ride along (with `stage=`
+// markers) for same-host drift attribution.
+func (r *BreakdownResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := fmt.Sprintf("%s/c%d", keyify(row.Model), row.CatalogSize)
+		m[pre+"/total/p50_ms"] = msF(row.TotalP50)
+		m[pre+"/total/p99_ms"] = msF(row.TotalP99)
+		m[pre+"/reconcile_err"] = row.ReconcileErr
+		for _, st := range row.Stages {
+			spre := pre + "/stage=" + keyify(st.Stage)
+			m[spre+"/p50_ms"] = msF(st.P50)
+			m[spre+"/p99_ms"] = msF(st.P99)
+			m[spre+"/p50_share"] = ratio(msF(st.P50), msF(row.StageSumP50))
+		}
+	}
+	return m
+}

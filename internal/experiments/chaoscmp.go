@@ -200,3 +200,17 @@ func (r *ChaosCmpResult) Render() string {
 	fmt.Fprintf(&b, "\n")
 	return b.String()
 }
+
+// Metrics emits per-scenario availability under faults.
+func (r *ChaosCmpResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := keyify(row.Scenario)
+		putSnap(m, pre+"/latency", row.Latency)
+		m[pre+"/sent"] = float64(row.Sent)
+		m[pre+"/error_rate"] = row.ErrorRate
+		m[pre+"/tail_error_rate"] = row.TailErrorRate
+		m[pre+"/degraded_fraction"] = row.DegradedFraction
+	}
+	return m
+}

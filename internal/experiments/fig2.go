@@ -139,3 +139,19 @@ func (r *Fig2Result) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics flattens the comparison for the bench harness. Fig 2 is a
+// wall-clock experiment, so cross-machine gating keys off the
+// dimensionless ratios; absolute latencies are still recorded for
+// same-host trajectories.
+func (r *Fig2Result) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, s := range []Fig2Series{r.Etude, r.TorchServe} {
+		pre := keyify(s.Server)
+		putSnap(m, pre+"/latency", s.Overall)
+		m[pre+"/sent"] = float64(s.Sent)
+		m[pre+"/error_rate"] = ratio(float64(s.Errors), float64(s.Sent))
+	}
+	m["p90_ratio_torchserve_over_etude"] = ratio(msF(r.TorchServe.Overall.P90), msF(r.Etude.Overall.P90))
+	return m
+}

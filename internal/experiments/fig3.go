@@ -209,3 +209,15 @@ func (r *Fig3Result) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics emits one p90 per (model, catalog, device, exec) cell. Modeled
+// mode (the default) is analytic, hence deterministic across machines.
+func (r *Fig3Result) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := fmt.Sprintf("%s/c%d/%s/%s", keyify(row.Model), row.CatalogSize, keyify(row.Device), row.Exec)
+		m[pre+"/p90_ms"] = msF(row.P90)
+		m[pre+"/jit_supported"] = boolMetric(row.JITSupported)
+	}
+	return m
+}

@@ -134,3 +134,16 @@ func rowDurationSeconds(row Fig4Row) float64 {
 	}
 	return 1
 }
+
+// Metrics emits per-scenario end-to-end results from the simulator.
+func (r *Fig4Result) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := fmt.Sprintf("%s/%s/%s", keyify(row.Scenario), keyify(row.Model), keyify(row.Instance))
+		putSnap(m, pre+"/latency", row.Latency)
+		m[pre+"/sent"] = float64(row.Sent)
+		m[pre+"/error_rate"] = ratio(float64(row.Errors), float64(row.Sent))
+		m[pre+"/meets_slo"] = boolMetric(row.MeetsSLO)
+	}
+	return m
+}

@@ -128,3 +128,20 @@ func (r *IssuesResult) Render() string {
 		r.LightSANsJITSupported)
 	return b.String()
 }
+
+// Metrics emits, per broken model, the faithful vs fixed serial latency
+// and capacity, plus the speedup the fix buys (dimensionless).
+func (r *IssuesResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := keyify(row.Model) + "/" + keyify(row.Device)
+		m[pre+"/faithful_serial_ms"] = msF(row.FaithfulSerial)
+		m[pre+"/fixed_serial_ms"] = msF(row.FixedSerial)
+		m[pre+"/faithful_capacity_rps"] = row.FaithfulCapacity
+		m[pre+"/fixed_capacity_rps"] = row.FixedCapacity
+		m[pre+"/fix_speedup"] = ratio(msF(row.FaithfulSerial), msF(row.FixedSerial))
+	}
+	m["lightsans/jit_supported"] = boolMetric(r.LightSANsJITSupported)
+	m["lightsans/eager_serial_ms"] = msF(r.LightSANsEagerSerial)
+	return m
+}

@@ -40,6 +40,12 @@ type OverloadCmpConfig struct {
 	StaticMaxQueue int
 	// Seed drives sampling and jitter.
 	Seed int64
+	// Inflate maps a trace-stage name (e.g. "mips-topk") to a service-time
+	// multiplier applied to every instance in every arm — a deliberate,
+	// attributable regression. The bench regression gate's self-test uses
+	// it to prove an injected slowdown is detected AND blamed on the right
+	// stage; it has no place in a faithful run.
+	Inflate map[string]float64
 }
 
 // DefaultOverloadCmpConfig returns the standard study: gru4rec at C=100k on
@@ -81,6 +87,10 @@ type OverloadArm struct {
 	// FinalLimit is the adaptive limiter's concurrency limit at run end (0
 	// for arms without a limiter).
 	FinalLimit int `json:"final_limit,omitempty"`
+	// Stages is the arm's trace-stage breakdown (virtual time). The
+	// regression gate diffs these against the baseline to attribute an
+	// end-to-end drift to the stage that moved.
+	Stages []BreakdownStage `json:"stages,omitempty"`
 }
 
 // OverloadCmpResult holds the per-arm rows plus the shared physics.
@@ -187,6 +197,13 @@ func runOverloadArm(cfg OverloadCmpConfig, rate, capacity float64, name string, 
 	}
 	resil := setup(eng)
 	in.SetResilience(resil)
+	for stName, factor := range cfg.Inflate {
+		st, ok := trace.StageByName(stName)
+		if !ok {
+			return nil, fmt.Errorf("experiments: Inflate names unknown trace stage %q", stName)
+		}
+		in.InflateStage(st, factor)
+	}
 	tr := trace.New(trace.Options{Clock: eng.Now})
 	in.SetTracer(tr)
 	out, err := chaos.RunSim(eng, chaos.SimConfig{
@@ -222,6 +239,13 @@ func runOverloadArm(cfg OverloadCmpConfig, rate, capacity float64, name string, 
 	}
 	if resil.Limiter != nil {
 		row.FinalLimit = resil.Limiter.Limit()
+	}
+	for _, st := range trace.Stages() {
+		if snap := tr.StageSnapshot(st); snap.Count > 0 {
+			row.Stages = append(row.Stages, BreakdownStage{
+				Stage: st.String(), Count: snap.Count, P50: snap.P50, P99: snap.P99,
+			})
+		}
 	}
 	return row, nil
 }
@@ -273,4 +297,30 @@ func (r *OverloadCmpResult) Render() string {
 	}
 	fmt.Fprintf(&b, "\n")
 	return b.String()
+}
+
+// Metrics emits, per arm, the goodput and admitted-latency headline plus
+// the overload-control counters and the trace-stage breakdown (with
+// `stage=` markers, so the regression gate can attribute drift).
+func (r *OverloadCmpResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"capacity_rps":    r.Capacity,
+		"target_rate_rps": r.TargetRate,
+	}
+	for _, arm := range r.Arms {
+		pre := keyify(arm.Name)
+		putSnap(m, pre+"/latency", arm.Latency)
+		m[pre+"/sent"] = float64(arm.Sent)
+		m[pre+"/goodput_rps"] = arm.Goodput
+		m[pre+"/goodput_fraction"] = arm.GoodputFraction
+		m[pre+"/deadline_expired"] = float64(arm.DeadlineExpired)
+		m[pre+"/codel_dropped"] = float64(arm.CoDelDropped)
+		m[pre+"/limited"] = float64(arm.Limited)
+		for _, st := range arm.Stages {
+			spre := pre + "/stage=" + keyify(st.Stage)
+			m[spre+"/p50_ms"] = msF(st.P50)
+			m[spre+"/p99_ms"] = msF(st.P99)
+		}
+	}
+	return m
 }

@@ -256,3 +256,24 @@ func (r *ProcsResult) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics emits the substrate comparison: MTTR and error rates per
+// backend, rolling-deploy rows on real processes, and the spawn costs.
+func (r *ProcsResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.MTTR {
+		pre := "crash/" + keyify(row.Backend)
+		m[pre+"/error_rate"] = row.ErrorRate
+		m[pre+"/restarts"] = float64(row.Restarts)
+		m[pre+"/mttr_ms"] = msF(row.MTTR)
+	}
+	for _, row := range r.Rolling {
+		pre := "rolling/" + keyify(row.Phase)
+		m[pre+"/error_rate"] = row.ErrorRate
+		m[pre+"/forced_kills"] = float64(row.ForcedKills)
+	}
+	putSnap(m, "cold_start", r.ColdStart)
+	putSnap(m, "warm_ready", r.WarmReady)
+	m["mttr_ratio_proc_over_inproc"] = r.MTTRRatio()
+	return m
+}

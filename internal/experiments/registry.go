@@ -1,0 +1,371 @@
+// Registry: the declarative catalogue of every experiment the repo can
+// run. cmd/etude's `benchmark` switch and internal/bench's grid runner
+// both drive experiments through this table, so adding an experiment is
+// one entry here — the CLI, the reproduction harness and the regression
+// gate pick it up automatically.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"etude/internal/metrics"
+	"etude/internal/torchserve"
+)
+
+// Scale selects the parameterisation of an experiment run.
+type Scale string
+
+const (
+	// ScaleSmoke is the fastest useful parameterisation — the regression
+	// gate's grid, sized to keep `make check` within its budget.
+	ScaleSmoke Scale = "smoke"
+	// ScaleTest is the development default (seconds per experiment).
+	ScaleTest Scale = "test"
+	// ScalePaper reproduces the paper-scale parameters (minutes).
+	ScalePaper Scale = "paper"
+)
+
+// ParseScale validates a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case ScaleSmoke, ScaleTest, ScalePaper:
+		return Scale(s), nil
+	}
+	return "", fmt.Errorf("experiments: unknown scale %q (want smoke, test or paper)", s)
+}
+
+// Params shape one registry run. The zero value of Seed means "keep the
+// experiment's default seed".
+type Params struct {
+	Scale Scale
+	// Pods selects the pod substrate for cluster experiments: "inproc"
+	// (goroutine HTTP servers) or "proc" (real etude-server processes).
+	Pods string
+	Seed int64
+}
+
+// Result is what every experiment returns: a human-readable rendering and
+// a flat metric map the bench harness aggregates, baselines and gates on.
+//
+// Metric keys are slash-separated paths: leading segments identify the
+// cell (arm, model, catalog…), the last segment names the quantity. The
+// quantity suffix encodes the unit and polarity — `*_ms` and `*_usd` are
+// lower-is-better, `availability`/`goodput*`/`*recall`/`speedup`/
+// `coverage*` are higher-is-better (see internal/bench). A segment of the
+// form `stage=<name>` marks a trace-stage metric; the regression gate uses
+// those to attribute an end-to-end drift to the stage that moved.
+type Result interface {
+	Render() string
+	Metrics() map[string]float64
+}
+
+// Definition is one experiment in the registry.
+type Definition struct {
+	Name string
+	// Deterministic marks experiments that run entirely on the sim clock
+	// (or on analytic cost models): for a fixed seed their metrics are
+	// bit-identical across machines, so the regression gate may compare
+	// timing metrics against a committed baseline from another host.
+	// Non-deterministic (wall-clock) experiments are gated only on
+	// dimensionless metrics (rates, fractions, ratios).
+	Deterministic bool
+	// Smoke marks the experiments in the fast regression-gate grid.
+	Smoke bool
+	Run   func(ctx context.Context, p Params) (Result, error)
+}
+
+// Registry returns every experiment, ordered as the paper presents them.
+func Registry() []Definition {
+	return []Definition{
+		{Name: "fig2", Run: runFig2},
+		{Name: "fig3", Deterministic: true, Run: runFig3},
+		{Name: "fig4", Deterministic: true, Run: runFig4},
+		{Name: "table1", Deterministic: true, Run: runTable1},
+		{Name: "validation", Run: runValidation},
+		{Name: "issues", Deterministic: true, Run: runIssues},
+		{Name: "runtimes", Deterministic: true, Run: runRuntimes},
+		{Name: "autoscale", Deterministic: true, Run: runAutoscale},
+		{Name: "chaos", Deterministic: true, Run: runChaos},
+		{Name: "overload", Deterministic: true, Smoke: true, Run: runOverload},
+		{Name: "rolling", Run: runRolling},
+		{Name: "breakdown", Smoke: true, Run: runBreakdown},
+		{Name: "shard", Deterministic: true, Smoke: true, Run: runShard},
+		{Name: "blackout", Deterministic: true, Smoke: true, Run: runBlackout},
+		{Name: "procs", Run: runProcs},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Definition, bool) {
+	for _, d := range Registry() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Definition{}, false
+}
+
+// Names returns all experiment names in registry order.
+func Names() []string {
+	defs := Registry()
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+func runFig2(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultFig2Config()
+	if p.Scale != ScalePaper {
+		cfg.TargetRate = 700
+		cfg.Duration = 10 * time.Second
+		cfg.Tick = 500 * time.Millisecond
+		cfg.TorchServe = torchserve.DefaultConfig()
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.TargetRate = 300
+		cfg.Duration = 4 * time.Second
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Fig2(ctx, cfg)
+}
+
+func runFig3(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultFig3Config()
+	if p.Scale != ScalePaper {
+		cfg.Requests = 50
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Fig3(cfg)
+}
+
+func runFig4(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultFig4Config()
+	if p.Scale != ScalePaper {
+		cfg.Duration = 30 * time.Second
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Duration = 10 * time.Second
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Fig4(cfg)
+}
+
+func runTable1(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultTable1Config()
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Table1(cfg)
+}
+
+func runValidation(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultValidationConfig()
+	if p.Scale != ScalePaper {
+		cfg.Duration = 10 * time.Second
+		cfg.RealClicks = 20_000
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Duration = 4 * time.Second
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Validation(ctx, cfg)
+}
+
+func runIssues(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultIssuesConfig()
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Issues(cfg)
+}
+
+func runRuntimes(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultRuntimeCmpConfig()
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return RuntimeComparison(cfg)
+}
+
+func runAutoscale(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultAutoscaleCmpConfig()
+	if p.Scale == ScaleSmoke {
+		cfg.Days = 1
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return AutoscaleComparison(cfg)
+}
+
+func runChaos(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultChaosCmpConfig()
+	if p.Scale == ScalePaper {
+		cfg.Duration = 10 * time.Minute
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return ChaosComparison(cfg)
+}
+
+func runOverload(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultOverloadCmpConfig()
+	if p.Scale == ScalePaper {
+		cfg.Duration = 10 * time.Minute
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Duration = 30 * time.Second
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return OverloadComparison(cfg)
+}
+
+func runRolling(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultRollingConfig()
+	if p.Pods != "" {
+		cfg.Backend = p.Pods
+	}
+	if p.Scale == ScalePaper {
+		cfg.Duration = 2 * time.Minute
+		cfg.TargetRate = 400
+		cfg.OpAfter = 30 * time.Second
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Rolling(ctx, cfg)
+}
+
+func runBreakdown(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultBreakdownConfig()
+	if p.Scale != ScalePaper {
+		cfg.Requests = 60
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Requests = 40
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Breakdown(cfg)
+}
+
+func runShard(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultShardConfig()
+	if p.Scale != ScalePaper {
+		cfg.Catalogs = []int{100_000, 1_000_000}
+		cfg.Requests = 150
+		cfg.Gap = 60 * time.Millisecond
+		cfg.LiveSessions = 10
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Catalogs = []int{100_000}
+		cfg.Requests = 100
+		cfg.LiveSessions = 5
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Shard(cfg)
+}
+
+func runBlackout(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultBlackoutConfig()
+	if p.Scale != ScalePaper {
+		cfg.Catalog = 100_000
+		cfg.Requests = 150
+		cfg.Gap = 60 * time.Millisecond
+		cfg.LiveSessions = 20
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Requests = 100
+		cfg.LiveSessions = 10
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return Blackout(cfg)
+}
+
+func runProcs(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultProcsConfig()
+	if p.Scale == ScalePaper {
+		cfg.Rolling.Duration = time.Minute
+		cfg.Rolling.TargetRate = 200
+		cfg.Rolling.OpAfter = 10 * time.Second
+		cfg.ColdStartSamples = 20
+	}
+	if p.Seed != 0 {
+		cfg.Rolling.Seed = p.Seed
+	}
+	return Procs(ctx, cfg)
+}
+
+// --- metric map helpers (used by the Metrics() methods) ---
+
+// msF converts a duration into float milliseconds.
+func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// keyify makes a row identifier safe for slash-separated metric keys:
+// spaces, commas and slashes collapse to '-', so "Groceries (small)"
+// becomes "Groceries-(small)".
+func keyify(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', ',', '/', '\n', '\r', '\t':
+			return '-'
+		}
+		return r
+	}, s)
+}
+
+// putSnap flattens a latency snapshot under prefix.
+func putSnap(m map[string]float64, prefix string, s metrics.Snapshot) {
+	m[prefix+"/count"] = float64(s.Count)
+	m[prefix+"/mean_ms"] = msF(s.Mean)
+	m[prefix+"/p50_ms"] = msF(s.P50)
+	m[prefix+"/p90_ms"] = msF(s.P90)
+	m[prefix+"/p99_ms"] = msF(s.P99)
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ratio guards against zero denominators (NaN poisons serialization).
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// sortedKeys is a test/debug helper: the metric names of a Result.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"etude/internal/trace"
+)
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	defs := Registry()
+	if len(defs) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(defs))
+	}
+	seen := map[string]bool{}
+	smoke := 0
+	for _, d := range defs {
+		if d.Name == "" || d.Run == nil {
+			t.Fatalf("incomplete definition %+v", d)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate experiment %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Smoke {
+			smoke++
+		}
+	}
+	// The smoke grid is the committed-baseline set.
+	for _, name := range []string{"breakdown", "shard", "overload", "blackout"} {
+		d, ok := Lookup(name)
+		if !ok || !d.Smoke {
+			t.Fatalf("%s must be in the smoke grid (found=%v smoke=%v)", name, ok, d.Smoke)
+		}
+	}
+	if smoke != 4 {
+		t.Fatalf("smoke grid has %d experiments, want 4", smoke)
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+	if got := len(Names()); got != len(defs) {
+		t.Fatalf("Names() returned %d entries", got)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, ok := range []string{"smoke", "test", "paper"} {
+		if _, err := ParseScale(ok); err != nil {
+			t.Fatalf("ParseScale(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("ParseScale accepted an unknown scale")
+	}
+}
+
+// checkMetrics validates the Result contract: a non-empty map, finite
+// values, and slash-path keys without CSV-hostile characters.
+func checkMetrics(t *testing.T, name string, m map[string]float64) {
+	t.Helper()
+	if len(m) == 0 {
+		t.Fatalf("%s: Metrics() is empty", name)
+	}
+	for k, v := range m {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s: metric %q = %v", name, k, v)
+		}
+		if strings.ContainsAny(k, ", \n\r") {
+			t.Fatalf("%s: metric key %q contains forbidden characters", name, k)
+		}
+	}
+}
+
+// TestDeterministicMetricsReproduce runs the cheap deterministic
+// experiments twice through the registry and demands bit-identical metric
+// maps — the property the cross-machine regression gate stands on.
+func TestDeterministicMetricsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sims")
+	}
+	for _, name := range []string{"issues", "runtimes", "overload"} {
+		def, ok := Lookup(name)
+		if !ok || !def.Deterministic {
+			t.Fatalf("%s must be a deterministic registry entry", name)
+		}
+		p := Params{Scale: ScaleSmoke, Seed: 7}
+		a, err := def.Run(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s run 1: %v", name, err)
+		}
+		b, err := def.Run(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s run 2: %v", name, err)
+		}
+		ma, mb := a.Metrics(), b.Metrics()
+		checkMetrics(t, name, ma)
+		if len(ma) != len(mb) {
+			t.Fatalf("%s: metric sets differ in size: %d vs %d", name, len(ma), len(mb))
+		}
+		for k, v := range ma {
+			if mb[k] != v {
+				t.Fatalf("%s: metric %q not reproducible: %v vs %v", name, k, v, mb[k])
+			}
+		}
+		if a.Render() == "" {
+			t.Fatalf("%s: Render() is empty", name)
+		}
+	}
+}
+
+func TestStageByNameRoundTrip(t *testing.T) {
+	for _, st := range trace.Stages() {
+		got, ok := trace.StageByName(st.String())
+		if !ok || got != st {
+			t.Fatalf("StageByName(%q) = %v, %v", st.String(), got, ok)
+		}
+	}
+	if _, ok := trace.StageByName("warp-drive"); ok {
+		t.Fatal("StageByName accepted an unknown stage")
+	}
+}
+
+// TestOverloadInflateNamesStage injects a deliberate mips-topk slowdown
+// through the config knob and verifies (a) the arm's end-to-end latency
+// regresses, and (b) the per-stage breakdown pins the regression on
+// mips-topk while encoder-forward stays put — the attribution signal the
+// bench gate consumes.
+func TestOverloadInflateNamesStage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sims")
+	}
+	base := DefaultOverloadCmpConfig()
+	base.Duration = DefaultOverloadCmpConfig().Duration / 2
+	clean, err := OverloadComparison(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated := base
+	inflated.Inflate = map[string]float64{"mips-topk": 3}
+	slow, err := OverloadComparison(inflated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armStage := func(r *OverloadCmpResult, arm, stage string) *BreakdownStage {
+		a := r.Arm(arm)
+		if a == nil {
+			t.Fatalf("missing arm %q", arm)
+		}
+		for i := range a.Stages {
+			if a.Stages[i].Stage == stage {
+				return &a.Stages[i]
+			}
+		}
+		t.Fatalf("arm %q has no stage %q", arm, stage)
+		return nil
+	}
+	cm, sm := armStage(clean, "adaptive", "mips-topk"), armStage(slow, "adaptive", "mips-topk")
+	if float64(sm.P50) < 1.5*float64(cm.P50) {
+		t.Fatalf("mips-topk p50 did not inflate: %v -> %v", cm.P50, sm.P50)
+	}
+	ce, se := armStage(clean, "adaptive", "encoder-forward"), armStage(slow, "adaptive", "encoder-forward")
+	if float64(se.P50) > 1.2*float64(ce.P50) {
+		t.Fatalf("encoder-forward p50 moved under a mips-only inflation: %v -> %v", ce.P50, se.P50)
+	}
+	if slow.Arm("adaptive").Latency.P99 <= clean.Arm("adaptive").Latency.P99 {
+		t.Fatalf("end-to-end p99 did not regress: %v -> %v",
+			clean.Arm("adaptive").Latency.P99, slow.Arm("adaptive").Latency.P99)
+	}
+	if _, err := OverloadComparison(OverloadCmpConfig{
+		Model: "gru4rec", CatalogSize: 1000,
+		Inflate: map[string]float64{"not-a-stage": 2},
+	}); err == nil {
+		t.Fatal("unknown Inflate stage accepted")
+	}
+}

@@ -338,3 +338,20 @@ func (r *RollingResult) Render() string {
 	fmt.Fprintf(&b, "\n")
 	return b.String()
 }
+
+// Metrics emits per-phase deploy-safety results. Rolling drives a
+// wall-clock cluster, so cross-machine gating keys off the rates.
+func (r *RollingResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := keyify(row.Phase)
+		putSnap(m, pre+"/latency", row.Latency)
+		m[pre+"/error_rate"] = row.ErrorRate
+		m[pre+"/tail_error_rate"] = row.TailErrorRate
+		m[pre+"/degraded_fraction"] = row.DegradedFraction
+		m[pre+"/forced_kills"] = float64(row.ForcedKills)
+		m[pre+"/restarts"] = float64(row.Restarts)
+		m[pre+"/mttr_ms"] = msF(row.MTTR)
+	}
+	return m
+}

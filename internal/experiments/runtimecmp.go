@@ -100,3 +100,16 @@ func (r *RuntimeCmpResult) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics emits one serial latency per (model, device, runtime) cell.
+func (r *RuntimeCmpResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		pre := fmt.Sprintf("%s/c%d/%s/%s", keyify(row.Model), row.CatalogSize, keyify(row.Device), keyify(row.Runtime))
+		m[pre+"/supported"] = boolMetric(row.Supported)
+		if row.Supported {
+			m[pre+"/serial_ms"] = msF(row.Serial)
+		}
+	}
+	return m
+}

@@ -370,3 +370,31 @@ func (r *ShardResult) Render() string {
 	}
 	return b.String()
 }
+
+// Metrics emits the sharding study: live-tier exactness, the simulated
+// shard-count sweep (wait and end-to-end latency plus the headline
+// speedups), the hedging arms and the cost frontier.
+func (r *ShardResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Identity {
+		m[fmt.Sprintf("identity/s%d/identical", row.Shards)] = boolMetric(row.Identical)
+	}
+	for _, row := range r.Sweep {
+		pre := fmt.Sprintf("sweep/c%d/s%d", row.Catalog, row.Shards)
+		putSnap(m, pre+"/wait", row.Wait)
+		putSnap(m, pre+"/total", row.Total)
+		m[pre+"/speedup"] = row.Speedup
+	}
+	for _, row := range r.Hedge {
+		pre := "hedge/" + keyify(row.Arm)
+		putSnap(m, pre+"/latency", row.Latency)
+		m[pre+"/hedges_sent"] = float64(row.Sent)
+		m[pre+"/hedge_wins"] = float64(row.Wins)
+	}
+	for _, row := range r.Costs {
+		if row.Option.Feasible {
+			m[fmt.Sprintf("cost/s%d/monthly_usd", row.Shards)] = row.Option.MonthlyUSD
+		}
+	}
+	return m
+}

@@ -207,3 +207,25 @@ func modelColumns(r *Table1Result) []string {
 	}
 	return models
 }
+
+// Metrics emits the fleet-planning table: per (scenario, instance) cost
+// and feasibility, plus each scenario's cheapest option.
+func (r *Table1Result) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		sc := keyify(row.Scenario.Name)
+		for _, opt := range row.Options {
+			pre := sc + "/" + keyify(opt.Instance)
+			m[pre+"/feasible"] = boolMetric(opt.Feasible)
+			if !opt.Feasible {
+				continue
+			}
+			m[pre+"/monthly_usd"] = opt.MonthlyUSD
+			m[pre+"/instances"] = float64(opt.Count)
+			if opt.Cheapest {
+				m[sc+"/cheapest_monthly_usd"] = opt.MonthlyUSD
+			}
+		}
+	}
+	return m
+}

@@ -154,3 +154,14 @@ func (r *ValidationResult) Render() string {
 	fmt.Fprintf(&b, "p90 relative difference: %.1f%%\n", r.P90RatioDiff*100)
 	return b.String()
 }
+
+// Metrics emits the closeness of the synthetic workload to the real log.
+// The experiment is wall-clock; P90RatioDiff is its dimensionless
+// headline and the only cross-machine-gateable key.
+func (r *ValidationResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	putSnap(m, "real/latency", r.Real)
+	putSnap(m, "synthetic/latency", r.Synthetic)
+	m["p90_ratio_diff"] = r.P90RatioDiff
+	return m
+}

@@ -7,20 +7,46 @@ package report
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strings"
 	"time"
 
+	"etude/internal/buildinfo"
 	"etude/internal/core"
 	"etude/internal/metrics"
 )
 
-// WriteSeriesCSV writes a per-tick time series as CSV. Beyond the basic
+// SeriesHeader is the column header of WriteSeriesCSV, exported so CSV
+// schema validation (internal/bench) cannot drift from the writer.
+const SeriesHeader = "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms"
+
+// MeasurementsHeader is the column header of WriteMeasurementsCSV.
+const MeasurementsHeader = "experiment,model,instance,jit,replicas,target_rate,sent,errors,backpressured,p50_ms,p90_ms,p99_ms,meets_slo"
+
+// MetricsHeader is the column header of WriteMetricsCSV.
+const MetricsHeader = "metric,value"
+
+// stamp prepends the build-identity comment line so every CSV artifact
+// names the revision, toolchain and host that produced it.
+func stamp(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, buildinfo.Get().CommentLine()); err != nil {
+		return fmt.Errorf("report: writing build stamp: %w", err)
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes a per-tick time series as CSV, preceded by the
+// build-identity comment line. Beyond the basic
 // counters and latency quantiles it carries the degraded-response,
 // partial-coverage and retry counts, the mean shard-coverage fraction, and
 // the error split by kind (timeout/refused/server/other), so a plot can
 // show when the failure mode shifted, not just that errors rose.
 func WriteSeriesCSV(w io.Writer, series []metrics.TickStats) error {
-	if _, err := fmt.Fprintln(w, "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms"); err != nil {
+	if err := stamp(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, SeriesHeader); err != nil {
 		return fmt.Errorf("report: writing header: %w", err)
 	}
 	for _, ts := range series {
@@ -37,9 +63,12 @@ func WriteSeriesCSV(w io.Writer, series []metrics.TickStats) error {
 }
 
 // WriteMeasurementsCSV writes experiment measurements as CSV with one row
-// per (model, instance) combination.
+// per (model, instance) combination, preceded by the build stamp.
 func WriteMeasurementsCSV(w io.Writer, ms []core.Measurement) error {
-	if _, err := fmt.Fprintln(w, "experiment,model,instance,jit,replicas,target_rate,sent,errors,backpressured,p50_ms,p90_ms,p99_ms,meets_slo"); err != nil {
+	if err := stamp(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, MeasurementsHeader); err != nil {
 		return fmt.Errorf("report: writing header: %w", err)
 	}
 	for _, m := range ms {
@@ -48,6 +77,36 @@ func WriteMeasurementsCSV(w io.Writer, ms []core.Measurement) error {
 			m.Sent, m.Errors, m.Backpressured,
 			ms2(m.Latency.P50), ms2(m.Latency.P90), ms2(m.Latency.P99), m.MeetsSLO)
 		if err != nil {
+			return fmt.Errorf("report: writing row: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteMetricsCSV writes a flat metric→value map as a stamped two-column
+// CSV, rows sorted by metric name so diffs are stable. NaN and Inf values
+// are rejected up front: they would poison downstream aggregation and the
+// schema validator would (rightly) refuse the file.
+func WriteMetricsCSV(w io.Writer, m map[string]float64) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if math.IsNaN(m[k]) || math.IsInf(m[k], 0) {
+			return fmt.Errorf("report: metric %q is %v, refusing to serialize", k, m[k])
+		}
+		if strings.ContainsAny(k, ",\n\r") {
+			return fmt.Errorf("report: metric name %q contains CSV delimiters", k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := stamp(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, MetricsHeader); err != nil {
+		return fmt.Errorf("report: writing header: %w", err)
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s,%g\n", k, m[k]); err != nil {
 			return fmt.Errorf("report: writing row: %w", err)
 		}
 	}

@@ -2,10 +2,12 @@ package report
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"etude/internal/buildinfo"
 	"etude/internal/core"
 	"etude/internal/metrics"
 )
@@ -26,14 +28,21 @@ func TestWriteSeriesCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("lines = %d, want header + 2 rows", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want stamp + header + 2 rows", len(lines))
 	}
-	if lines[0] != "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms" {
-		t.Fatalf("header = %q", lines[0])
+	info, ok := buildinfo.ParseCommentLine(lines[0])
+	if !ok {
+		t.Fatalf("first line is not a build stamp: %q", lines[0])
 	}
-	if lines[2] != "1,20,18,2,3,2,0.9375,1,1,0,1,0,2.000,5.000,9.000" {
-		t.Fatalf("row = %q", lines[2])
+	if info.GoVersion != buildinfo.Get().GoVersion {
+		t.Fatalf("stamp carries wrong identity: %+v", info)
+	}
+	if lines[1] != SeriesHeader {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if lines[3] != "1,20,18,2,3,2,0.9375,1,1,0,1,0,2.000,5.000,9.000" {
+		t.Fatalf("row = %q", lines[3])
 	}
 }
 
@@ -57,6 +66,52 @@ func TestWriteMeasurementsCSV(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "fig4,gru4rec,gpu-t4,true,5,1000,100,1,0,1.000,4.000,8.000,true") {
 		t.Fatalf("csv = %s", out)
+	}
+	if _, ok := buildinfo.ParseCommentLine(strings.SplitN(out, "\n", 2)[0]); !ok {
+		t.Fatalf("measurements CSV not stamped: %s", out)
+	}
+}
+
+func TestWriteMetricsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	m := map[string]float64{"latency/p99_ms": 12.5, "availability": 0.999, "goodput_rps": 1800}
+	if err := WriteMetricsCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want stamp + header + 3 rows", len(lines))
+	}
+	if _, ok := buildinfo.ParseCommentLine(lines[0]); !ok {
+		t.Fatalf("metrics CSV not stamped: %q", lines[0])
+	}
+	if lines[1] != MetricsHeader {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// Rows come back sorted by metric name.
+	want := []string{"availability,0.999", "goodput_rps,1800", "latency/p99_ms,12.5"}
+	for i, w := range want {
+		if lines[2+i] != w {
+			t.Fatalf("row %d = %q, want %q", i, lines[2+i], w)
+		}
+	}
+}
+
+func TestWriteMetricsCSVRejectsBadValues(t *testing.T) {
+	for name, m := range map[string]map[string]float64{
+		"nan":       {"x": math.NaN()},
+		"inf":       {"x": math.Inf(1)},
+		"neg-inf":   {"x": math.Inf(-1)},
+		"comma-key": {"a,b": 1},
+		"newline":   {"a\nb": 1},
+	} {
+		var buf bytes.Buffer
+		if err := WriteMetricsCSV(&buf, m); err == nil {
+			t.Fatalf("%s: invalid metric accepted", name)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%s: partial output written before rejection", name)
+		}
 	}
 }
 

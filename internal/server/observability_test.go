@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"etude/internal/batching"
+	"etude/internal/buildinfo"
 	"etude/internal/httpapi"
 	"etude/internal/metrics"
 	"etude/internal/model"
@@ -196,6 +197,24 @@ func TestMetricsEndpointParsesBack(t *testing.T) {
 		if v, ok := byKey[fam]; !ok || v != 0 {
 			t.Fatalf("%s = %v (present %v), want 0 on an idle unlimited server", fam, v, ok)
 		}
+	}
+	// Build identity gauge parses back with the live binary's labels.
+	var found bool
+	for _, smp := range samples {
+		if smp.Name != "etude_build_info" {
+			continue
+		}
+		found = true
+		if smp.Value != 1 {
+			t.Fatalf("etude_build_info = %v, want 1", smp.Value)
+		}
+		bi := buildinfo.Get()
+		if smp.Labels["git_sha"] != bi.ShortSHA() || smp.Labels["go_version"] != bi.GoVersion {
+			t.Fatalf("build info labels %v do not match identity %+v", smp.Labels, bi)
+		}
+	}
+	if !found {
+		t.Fatal("missing etude_build_info gauge")
 	}
 }
 

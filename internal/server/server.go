@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"etude/internal/batching"
+	"etude/internal/buildinfo"
 	"etude/internal/httpapi"
 	"etude/internal/metrics"
 	"etude/internal/model"
@@ -455,6 +456,10 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 // state, plus whatever Options.MetricsExtra contributes.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b := metrics.NewPromBuilder()
+	bi := buildinfo.Get()
+	b.Gauge("etude_build_info", "Build identity of the serving binary (value is always 1).", 1,
+		metrics.Label{Name: "git_sha", Value: bi.ShortSHA()},
+		metrics.Label{Name: "go_version", Value: bi.GoVersion})
 	b.Counter("etude_requests_total", "Prediction requests answered 200.", float64(s.served.Load()))
 	b.Counter("etude_shed_total", "Requests refused by admission control (429).", float64(s.shed.Load()))
 	b.Counter("etude_degraded_total", "Responses served by the degraded fallback path.", float64(s.degraded.Load()))

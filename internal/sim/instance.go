@@ -136,6 +136,9 @@ type Instance struct {
 	// Fault state (driven by the chaos injector).
 	down     bool
 	slowdown float64 // service-time multiplier; 1 = healthy
+	// inflate multiplies the service-time component attributed to one
+	// compute stage (encoder-forward or mips-topk). Nil when unused.
+	inflate map[trace.Stage]float64
 	epoch    uint64  // bumped on every crash; stale completions are dropped
 	inflight []Request
 
@@ -222,6 +225,37 @@ func splitService(c model.Cost, service time.Duration) (enc, mips time.Duration)
 	}
 	enc = time.Duration(float64(service) * c.EncoderFLOPs / total)
 	return enc, service - enc
+}
+
+// InflateStage multiplies the simulated service time attributed to one
+// compute stage by factor — a controlled, attributable slowdown. Only
+// StageEncoderForward and StageMIPSTopK carry simulated compute, so only
+// those have an effect. The regression-gate test suite uses this to prove
+// the gate not only detects an injected latency regression but names the
+// stage that caused it. Factor ≤ 0 or 1 removes the inflation.
+func (in *Instance) InflateStage(st trace.Stage, factor float64) {
+	if factor <= 0 || factor == 1 {
+		delete(in.inflate, st)
+		return
+	}
+	if in.inflate == nil {
+		in.inflate = make(map[trace.Stage]float64)
+	}
+	in.inflate[st] = factor
+}
+
+// serviceSplit computes the encoder/MIPS decomposition of a service
+// duration with any configured stage inflation applied, returning the
+// components and the (possibly lengthened) total to schedule.
+func (in *Instance) serviceSplit(c model.Cost, service time.Duration) (enc, mips, total time.Duration) {
+	enc, mips = splitService(c, service)
+	if f, ok := in.inflate[trace.StageEncoderForward]; ok {
+		enc = time.Duration(float64(enc) * f)
+	}
+	if f, ok := in.inflate[trace.StageMIPSTopK]; ok {
+		mips = time.Duration(float64(mips) * f)
+	}
+	return enc, mips, enc + mips
 }
 
 // Fits reports whether the model fits the instance at all (GPU memory).
@@ -396,7 +430,7 @@ func (in *Instance) pumpCPU() {
 	in.busy = true
 	in.inflight = append(in.inflight[:0], req)
 	cost := in.costFor(req.SessionLen)
-	service := in.scaled(in.spec.ParallelInference(cost, in.jit))
+	enc, mips, service := in.serviceSplit(cost, in.scaled(in.spec.ParallelInference(cost, in.jit)))
 	in.busyTotal += service
 	req.sp.Observe(trace.StageQueueWait, in.eng.Now()-req.arrival)
 	epoch := in.epoch
@@ -406,7 +440,6 @@ func (in *Instance) pumpCPU() {
 		}
 		in.busy = false
 		in.inflight = in.inflight[:0]
-		enc, mips := splitService(cost, service)
 		req.sp.Observe(trace.StageEncoderForward, enc)
 		req.sp.Observe(trace.StageMIPSTopK, mips)
 		total := in.eng.Now() - req.arrival
@@ -470,7 +503,7 @@ func (in *Instance) startBatch() {
 		meanLen = 1
 	}
 	cost := in.costFor(meanLen)
-	service := in.scaled(in.spec.BatchInference(cost, n, in.jit))
+	enc, mips, service := in.serviceSplit(cost, in.scaled(in.spec.BatchInference(cost, n, in.jit)))
 	in.busyTotal += service
 	epoch := in.epoch
 	in.eng.Schedule(service, func() {
@@ -479,7 +512,6 @@ func (in *Instance) startBatch() {
 		}
 		in.busy = false
 		in.inflight = in.inflight[:0]
-		enc, mips := splitService(cost, service)
 		for _, r := range batch {
 			r.sp.Observe(trace.StageEncoderForward, enc)
 			r.sp.Observe(trace.StageMIPSTopK, mips)

@@ -101,6 +101,18 @@ func Stages() []Stage {
 	return out
 }
 
+// StageByName is the inverse of Stage.String — it resolves a stage from
+// its metric-label name (e.g. "mips-topk"), for callers that address
+// stages from configuration or serialized metric keys.
+func StageByName(name string) (Stage, bool) {
+	for i, n := range stageNames {
+		if n == name {
+			return Stage(i), true
+		}
+	}
+	return 0, false
+}
+
 // Clock supplies monotonic timestamps as offsets from an arbitrary epoch.
 // The live server uses WallClock; the simulator plugs in its virtual-time
 // engine.
