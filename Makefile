@@ -62,7 +62,7 @@ check: bin/etude-server bin/etude
 	go build ./...
 	go vet ./...
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test ./...
-	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload ./internal/chaos ./internal/leakcheck
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload ./internal/chaos ./internal/leakcheck ./internal/sched ./internal/workload
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server bin/etude bench -grid bench/smoke.json
 
 # One-command reproduction of the paper: run every experiment in
@@ -95,7 +95,7 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|tenant
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
@@ -121,6 +121,11 @@ run_deployed_benchmark:
 # availability (~0% vs ~100% at (S-1)/S coverage), the degraded-response and
 # coverage accounting, and the measured recall@k loss of partial answers vs
 # the full-coverage oracle on a real model, per outage size.
+# EXPERIMENT=tenant replays tenant A's 5× flash crowd against tenant B's
+# steady SLO-bound traffic through the WDRR multi-tenant scheduler vs a
+# shared queue: B's served p99 stays at its quiet baseline behind WDRR
+# while the shared queue blows through the SLO, and a saturation arm shows
+# served shares tracking the 3:1 weights within ±10%. Deterministic.
 # EXPERIMENT=procs re-runs the supervised-crash and rolling-update studies
 # against real etude-server processes (SIGKILL chaos, SIGTERM drains) and
 # compares measured MTTR against the in-process substrate, plus a

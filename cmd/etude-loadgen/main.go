@@ -33,6 +33,7 @@ func main() {
 		alphaClicks = flag.Float64("alpha-clicks", 1.6, "click-count power-law exponent α_c")
 		timeout     = flag.Duration("timeout", time.Second, "per-request timeout")
 		slo         = flag.Duration("slo", 0, "end-to-end SLO budget per logical request, shared across retries and propagated via the X-Deadline header (0 = off)")
+		tenant      = flag.String("tenant", "", "tenant label stamped on every request (X-Tenant header + body field; retries reuse it); empty = anonymous")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		seriesCSV   = flag.String("series-csv", "", "also write the per-tick series as a CSV (stamped with the build identity) to this file")
 	)
@@ -64,6 +65,7 @@ func main() {
 		Duration:       *duration,
 		RequestTimeout: *timeout,
 		SLO:            *slo,
+		Tenant:         *tenant,
 	}, gen, target)
 	if err != nil {
 		log.Fatalf("etude-loadgen: %v", err)

@@ -41,6 +41,7 @@ import (
 	"etude/internal/model"
 	"etude/internal/objstore"
 	"etude/internal/overload"
+	"etude/internal/sched"
 	"etude/internal/server"
 	"etude/internal/shard"
 	"etude/internal/trace"
@@ -56,6 +57,8 @@ func main() {
 		jit        = flag.Bool("jit", true, "serve the JIT-compiled execution plan")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		batch      = flag.Bool("batch", false, "enable request batching (1024 / 2ms)")
+		tenants    = flag.String("tenants", "", "enable the SLO-aware multi-tenant scheduler with these tenant contracts, as comma-separated name:weight[:priority] entries (e.g. \"a:3,b:1\"); requests label themselves via the X-Tenant header, unknown tenants get an isolated weight-1 queue")
+		schedQueue = flag.Int("sched-queue", 256, "per-tenant queue bound under -tenants; enqueues beyond it shed with 429 (0 = unbounded)")
 		adaptive   = flag.Bool("adaptive", false, "enable the AIMD adaptive concurrency limiter and CoDel queue discipline")
 		codelTgt   = flag.Duration("codel-target", 0, "CoDel sojourn target (0 = default 5ms; implies CoDel even without -adaptive)")
 		codelIvl   = flag.Duration("codel-interval", 0, "CoDel observation interval (0 = default 100ms; implies CoDel even without -adaptive)")
@@ -97,7 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
-	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *maxPending, *degradeAt, part, *gateway, *partial, *minCov, *batch, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key)
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *maxPending, *degradeAt, part, *gateway, *partial, *minCov, *batch, *tenants, *schedQueue, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key)
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
@@ -205,7 +208,7 @@ func parseGateway(s string) ([]shard.Picker, error) {
 	return pickers, nil
 }
 
-func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards, maxPending, degradeAt int, partition *shard.Partition, gateway string, partial bool, minCoverage float64, batch, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string) (*server.Server, error) {
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards, maxPending, degradeAt int, partition *shard.Partition, gateway string, partial bool, minCoverage float64, batch bool, tenants string, schedQueue int, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string) (*server.Server, error) {
 	opts := server.Options{
 		Workers: workers, JIT: jit, Shards: shards, Profiling: profiled,
 		MaxPending: maxPending, DegradeAt: degradeAt, Partition: partition,
@@ -216,6 +219,19 @@ func buildServer(modelName string, catalog int, seed int64, topK int, faithful, 
 	if batch {
 		cfg := batching.DefaultConfig()
 		opts.Batch = &cfg
+	}
+	if tenants != "" {
+		tcs, err := sched.ParseTenants(tenants)
+		if err != nil {
+			return nil, err
+		}
+		bat := batching.DefaultConfig()
+		opts.Sched = &sched.Config{
+			Tenants:    tcs,
+			MaxBatch:   bat.MaxBatch,
+			FlushEvery: bat.FlushEvery,
+			MaxQueue:   schedQueue,
+		}
 	}
 	if adaptive {
 		opts.Limiter = overload.NewLimiter(overload.DefaultLimiterConfig())

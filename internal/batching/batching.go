@@ -1,9 +1,12 @@
 // Package batching implements the request-batching plugin of the inference
 // server — the Go analogue of the batched-fn Rust crate the paper uses for
 // GPU inference. Incoming requests accumulate in a buffer that is flushed to
-// a batch handler when either the maximum batch size is reached (paper
-// setting: 1,024 requests) or the flush interval elapses (paper setting: two
-// milliseconds), whichever comes first.
+// a batch handler when the maximum batch size is reached (paper setting:
+// 1,024 requests), the flush interval elapses (paper setting: two
+// milliseconds), or — new to this implementation — the tightest propagated
+// deadline among the buffered requests would otherwise pass. The flush
+// decision itself lives in Assembly so the multi-tenant scheduler
+// (internal/sched) and the discrete-event simulator apply the same policy.
 package batching
 
 import (
@@ -25,15 +28,39 @@ var ErrClosed = errors.New("batching: batcher closed")
 // fine, the server is behind.
 var ErrCoDelDropped = errors.New("batching: shed by CoDel queue discipline")
 
+// ErrDeadlineExpired is returned by Submit when the request's propagated
+// deadline passed while it sat in the buffer: the entry is dropped at
+// flush time instead of spending handler FLOPs on a response nobody is
+// waiting for. The caller should answer 504. It matches
+// errors.Is(err, context.DeadlineExceeded) so budget-generic callers need
+// no special case.
+var ErrDeadlineExpired error = deadlineExpiredError{}
+
+type deadlineExpiredError struct{}
+
+func (deadlineExpiredError) Error() string {
+	return "batching: deadline expired while buffered"
+}
+
+func (deadlineExpiredError) Is(target error) bool {
+	return target == context.DeadlineExceeded
+}
+
 // Config controls batch formation.
 type Config struct {
 	// MaxBatch flushes the buffer when this many requests are pending.
 	MaxBatch int
-	// FlushEvery flushes any non-empty buffer after this interval.
+	// FlushEvery flushes any non-empty buffer after this interval. A
+	// buffered request whose deadline is tighter than the interval pulls
+	// the flush earlier (see Assembly.FlushAt).
 	FlushEvery time.Duration
+	// DeadlineSlack is the headroom reserved before the tightest member
+	// deadline when pulling a flush early (see Assembly.DeadlineSlack).
+	// Zero picks a default of FlushEvery/4 capped at 5ms.
+	DeadlineSlack time.Duration
 	// CoDel, when set, sheds buffered requests whose sojourn time shows a
 	// standing queue (evaluated per entry at flush, in arrival order).
-	// Expired-context entries are always dropped at flush regardless.
+	// Expired-deadline entries are always dropped at flush regardless.
 	CoDel *overload.CoDel
 }
 
@@ -53,6 +80,24 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Assembly returns the batch-formation policy the config describes. A
+// zero DeadlineSlack defaults to FlushEvery/4 capped at 5ms — enough
+// headroom to dispatch before the deadline without noticeably shrinking
+// the batching window; negative disables the slack.
+func (c Config) Assembly() Assembly {
+	slack := c.DeadlineSlack
+	if slack == 0 {
+		slack = c.FlushEvery / 4
+		if slack > 5*time.Millisecond {
+			slack = 5 * time.Millisecond
+		}
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	return Assembly{MaxBatch: c.MaxBatch, FlushEvery: c.FlushEvery, DeadlineSlack: slack}
+}
+
 // Handler processes one batch of requests and returns one response per
 // request, in order. It runs on the batcher's dispatch goroutine: at most
 // one batch is in flight at a time, which models an accelerator executing
@@ -63,10 +108,15 @@ type Handler[Req, Resp any] func(batch []Req) []Resp
 // with Submit, and release resources with Close.
 type Batcher[Req, Resp any] struct {
 	cfg     Config
+	asm     Assembly
 	handler Handler[Req, Resp]
 	in      chan envelope[Req, Resp]
 	done    chan struct{}
 	pending atomic.Int64
+	expired atomic.Int64
+	// now is the batcher's monotonic clock (offsets from construction
+	// time); tests may swap it before the first Submit.
+	now func() time.Duration
 }
 
 // Pending returns the number of requests submitted but not yet answered —
@@ -75,15 +125,24 @@ func (b *Batcher[Req, Resp]) Pending() int {
 	return int(b.pending.Load())
 }
 
+// ExpiredDrops returns how many buffered requests were dropped at flush
+// because their deadline had already passed.
+func (b *Batcher[Req, Resp]) ExpiredDrops() int64 { return b.expired.Load() }
+
 type envelope[Req, Resp any] struct {
-	req   Req
-	ctx   context.Context
-	enq   time.Time
-	reply chan result[Resp]
+	req Req
+	ctx context.Context
+	enq time.Duration
+	// deadline is the request's absolute deadline on the batcher's clock
+	// (zero = none), captured at Submit so the flush path can drop dead
+	// entries without touching the context.
+	deadline time.Duration
+	reply    chan result[Resp]
 }
 
 // result carries either a response or the reason the batcher refused to
-// compute one (expired context, CoDel shed, short handler reply).
+// compute one (expired deadline, cancelled context, CoDel shed, short
+// handler reply).
 type result[Resp any] struct {
 	resp Resp
 	err  error
@@ -98,11 +157,14 @@ func New[Req, Resp any](cfg Config, handler Handler[Req, Resp]) (*Batcher[Req, R
 	if handler == nil {
 		return nil, errors.New("batching: nil handler")
 	}
+	epoch := time.Now()
 	b := &Batcher[Req, Resp]{
 		cfg:     cfg,
+		asm:     cfg.Assembly(),
 		handler: handler,
 		in:      make(chan envelope[Req, Resp], cfg.MaxBatch),
 		done:    make(chan struct{}),
+		now:     func() time.Duration { return time.Since(epoch) },
 	}
 	go b.dispatch()
 	return b, nil
@@ -115,7 +177,10 @@ func (b *Batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) 
 	var zero Resp
 	b.pending.Add(1)
 	defer b.pending.Add(-1)
-	env := envelope[Req, Resp]{req: req, ctx: ctx, enq: time.Now(), reply: make(chan result[Resp], 1)}
+	env := envelope[Req, Resp]{req: req, ctx: ctx, enq: b.now(), reply: make(chan result[Resp], 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		env.deadline = env.enq + time.Until(dl)
+	}
 	select {
 	case b.in <- env:
 	case <-ctx.Done():
@@ -138,44 +203,93 @@ func (b *Batcher[Req, Resp]) Close() {
 	close(b.done)
 }
 
+// dispatch is the single batch-formation goroutine. The buffer's flush
+// instant is tracked explicitly (Assembly.FlushAt over the buffered
+// entries) and a timer is armed to exactly that instant: an empty buffer
+// holds no timer at all, the first entry arms it, and a tighter arriving
+// deadline re-arms it earlier. The instant only ever moves earlier while
+// the buffer fills — enqueue order makes the oldest entry's bound the
+// loosest FlushEvery term — so re-arming on shrink is the only timer
+// traffic.
 func (b *Batcher[Req, Resp]) dispatch() {
-	ticker := time.NewTicker(b.cfg.FlushEvery)
-	defer ticker.Stop()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	rearm := func(at time.Duration) {
+		if armed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		d := at - b.now()
+		if d < 0 {
+			d = 0
+		}
+		timer.Reset(d)
+		armed = true
+	}
+	disarm := func() {
+		if armed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	var flushAt time.Duration
 	buf := make([]envelope[Req, Resp], 0, b.cfg.MaxBatch)
 	for {
 		select {
 		case env := <-b.in:
-			buf = append(buf, env)
-			if len(buf) >= b.cfg.MaxBatch {
-				buf = b.flush(buf)
-				ticker.Reset(b.cfg.FlushEvery)
+			bound := b.asm.FlushAt(env.enq, env.deadline)
+			if len(buf) == 0 || bound < flushAt {
+				flushAt = bound
 			}
-		case <-ticker.C:
+			buf = append(buf, env)
+			if b.asm.Full(len(buf)) {
+				buf = b.flush(buf)
+				disarm()
+				continue
+			}
+			rearm(flushAt)
+		case <-timer.C:
+			armed = false
 			if len(buf) > 0 {
 				buf = b.flush(buf)
 			}
 		case <-b.done:
+			disarm()
 			return
 		}
 	}
 }
 
 // flush runs the handler on the buffered requests and fans responses out.
-// Before the handler sees the batch, entries whose context already expired
-// are answered with their context error, and — in arrival order, so the
-// CoDel controller sees head-of-queue sojourns — entries the queue
-// discipline sheds are answered ErrCoDelDropped. Neither spends handler
-// FLOPs. It returns the emptied (reusable) buffer.
+// Before the handler sees the batch, entries whose deadline already passed
+// are answered ErrDeadlineExpired, entries whose context is otherwise done
+// are answered their context error, and — in arrival order, so the CoDel
+// controller sees head-of-queue sojourns — entries the queue discipline
+// sheds are answered ErrCoDelDropped. None of them spends handler FLOPs.
+// It returns the emptied (reusable) buffer.
 func (b *Batcher[Req, Resp]) flush(buf []envelope[Req, Resp]) []envelope[Req, Resp] {
-	now := time.Now()
+	now := b.now()
 	reqs := make([]Req, 0, len(buf))
 	kept := make([]envelope[Req, Resp], 0, len(buf))
 	for _, env := range buf {
+		if b.asm.Expired(env.deadline, now) {
+			b.expired.Add(1)
+			env.reply <- result[Resp]{err: ErrDeadlineExpired}
+			continue
+		}
 		if err := env.ctx.Err(); err != nil {
 			env.reply <- result[Resp]{err: err}
 			continue
 		}
-		if b.cfg.CoDel.ShouldDrop(now.Sub(env.enq)) {
+		if b.cfg.CoDel.ShouldDrop(now - env.enq) {
 			env.reply <- result[Resp]{err: ErrCoDelDropped}
 			continue
 		}

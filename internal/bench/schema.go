@@ -61,7 +61,8 @@ func SeriesSchema() CSVSchema {
 		Stamped: true,
 		Columns: cols(report.SeriesHeader,
 			ColInt, ColInt, ColInt, ColInt, ColInt, ColInt, ColFloat, ColInt,
-			ColInt, ColInt, ColInt, ColInt, ColFloat, ColFloat, ColFloat),
+			ColInt, ColInt, ColInt, ColInt, ColFloat, ColFloat, ColFloat,
+			ColString),
 	}
 }
 

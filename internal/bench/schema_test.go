@@ -58,15 +58,16 @@ func TestMetricsSchemaAcceptsWriterOutput(t *testing.T) {
 }
 
 func TestSeriesSchemaRejections(t *testing.T) {
-	good := "0,10,9,1,0,2,0.9375,0,0,0,0,1,1.000,2.000,3.000"
+	good := "0,10,9,1,0,2,0.9375,0,0,0,0,1,1.000,2.000,3.000,a"
 	cases := map[string]string{
 		"empty":            "",
 		"missing stamp":    report.SeriesHeader + "\n" + good + "\n",
 		"mangled stamp":    "# built by hand\n" + report.SeriesHeader + "\n" + good + "\n",
 		"header only":      stampLine + "\n" + report.SeriesHeader + "\n",
-		"missing column":   stampLine + "\n" + strings.TrimSuffix(report.SeriesHeader, ",p99_ms") + "\n" + good + "\n",
+		"missing column":   stampLine + "\n" + strings.TrimSuffix(report.SeriesHeader, ",tenant") + "\n" + good + "\n",
 		"short row":        seriesCSV("0,10,9"),
 		"long row":         seriesCSV(good + ",77"),
+		"empty tenant":     seriesCSV(strings.TrimSuffix(good, "a")),
 		"text in int col":  seriesCSV(strings.Replace(good, "0,10", "0,ten", 1)),
 		"NaN latency":      seriesCSV(strings.Replace(good, "3.000", "NaN", 1)),
 		"Inf latency":      seriesCSV(strings.Replace(good, "3.000", "+Inf", 1)),

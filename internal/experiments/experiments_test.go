@@ -794,3 +794,76 @@ func TestBreakdownShape(t *testing.T) {
 		}
 	}
 }
+
+// TestTenantComparison checks the multi-tenant isolation contract: under
+// tenant A's 5× flash crowd, B's served p99 stays within its SLO and
+// within 1.25× the quiet baseline behind WDRR, the shared-queue baseline
+// violates the same contract, and served shares under saturation track
+// the 3:1 weights within ±10%.
+func TestTenantComparison(t *testing.T) {
+	res, err := TenantComparison(DefaultTenantCmpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 4 {
+		t.Fatalf("want 4 arms, got %d", len(res.Arms))
+	}
+	cfg := DefaultTenantCmpConfig()
+	if res.QuietP99 <= 0 || res.IsolatedP99 <= 0 || res.ExposedP99 <= 0 {
+		t.Fatalf("missing victim quantiles: %+v", res)
+	}
+	if !res.IsolationMeetsSLO {
+		t.Errorf("WDRR victim p99 %v (quiet %v, SLO %v) — isolation failed",
+			res.IsolatedP99, res.QuietP99, cfg.SLO)
+	}
+	if res.IsolatedP99 > cfg.SLO {
+		t.Errorf("WDRR victim p99 %v exceeds SLO %v", res.IsolatedP99, cfg.SLO)
+	}
+	if float64(res.IsolatedP99) > 1.25*float64(res.QuietP99) {
+		t.Errorf("WDRR victim p99 %v exceeds 1.25× quiet %v", res.IsolatedP99, res.QuietP99)
+	}
+	if !res.BaselineViolates {
+		t.Errorf("shared-queue victim p99 %v — baseline should break the SLO contract", res.ExposedP99)
+	}
+	if res.ExposedP99 <= cfg.SLO {
+		t.Errorf("shared-queue victim p99 %v within SLO %v — crowd too weak to prove anything", res.ExposedP99, cfg.SLO)
+	}
+	// WDRR shares track the configured 3:1 weights within ±10%.
+	if res.ShareErr > 0.10 {
+		t.Errorf("served share A = %.3f, want 0.75 ± 0.10", res.ShareA)
+	}
+	// The crowd really saturates: tenant A sheds in the wdrr arm, and the
+	// fairness arm sheds on both sides.
+	wdrr := res.Arm("wdrr")
+	if wdrr.Tenant("a").Shed == 0 {
+		t.Errorf("flash crowd never hit the queue bound: %+v", wdrr.Tenant("a"))
+	}
+	if wdrr.Tenant("b").GoodputFraction() < 0.99 {
+		t.Errorf("victim goodput %.3f under WDRR, want ~1", wdrr.Tenant("b").GoodputFraction())
+	}
+	fair := res.Arm("fairness")
+	if fair.Tenant("a").Shed == 0 || fair.Tenant("b").Shed == 0 {
+		t.Errorf("fairness arm not saturated: %+v", fair.Tenants)
+	}
+	// Scheduling metrics carry the stage marker for drift attribution.
+	m := res.Metrics()
+	for _, k := range []string{
+		"wdrr/tenant=b/latency/p99_ms", "shared/tenant=b/latency/p99_ms",
+		"wdrr/isolation_meets_slo", "shared/baseline_violates",
+		"wdrr/stage=sched-wait/p99_ms", "fairness/tenant=a/goodput_fraction",
+		"fairness/share_a",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("metric %q missing (have %v)", k, sortedKeys(m))
+		}
+	}
+	if m["wdrr/isolation_meets_slo"] != 1 || m["shared/baseline_violates"] != 1 {
+		t.Errorf("headline verdicts: %v / %v", m["wdrr/isolation_meets_slo"], m["shared/baseline_violates"])
+	}
+	out := res.Render()
+	for _, want := range []string{"wdrr", "shared", "fairness", "isolation meets SLO: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -95,6 +95,7 @@ func Registry() []Definition {
 		{Name: "breakdown", Smoke: true, Run: runBreakdown},
 		{Name: "shard", Deterministic: true, Smoke: true, Run: runShard},
 		{Name: "blackout", Deterministic: true, Smoke: true, Run: runBlackout},
+		{Name: "tenant", Deterministic: true, Smoke: true, Run: runTenant},
 		{Name: "procs", Run: runProcs},
 	}
 }
@@ -302,6 +303,26 @@ func runBlackout(ctx context.Context, p Params) (Result, error) {
 		cfg.Seed = p.Seed
 	}
 	return Blackout(cfg)
+}
+
+func runTenant(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultTenantCmpConfig()
+	if p.Scale == ScalePaper {
+		cfg.Horizon = time.Second
+		cfg.CrowdStart = 300 * time.Millisecond
+		cfg.CrowdLen = 400 * time.Millisecond
+		cfg.FairnessHorizon = 500 * time.Millisecond
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Horizon = 200 * time.Millisecond
+		cfg.CrowdStart = 60 * time.Millisecond
+		cfg.CrowdLen = 80 * time.Millisecond
+		cfg.FairnessHorizon = 120 * time.Millisecond
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return TenantComparison(cfg)
 }
 
 func runProcs(ctx context.Context, p Params) (Result, error) {

@@ -51,6 +51,13 @@ const (
 	// chaos-run errors are attributable to a specific request trace, and
 	// retried attempts of one logical request share one id.
 	HeaderRequestID = "X-Request-ID"
+	// HeaderTenant names the tenant (customer / model owner) a request is
+	// billed to. The scheduler keys its per-tenant queues and WDRR weights
+	// on it; the server echoes it on every response — including shed,
+	// degraded and partial paths — mirroring HeaderRequestID, so per-tenant
+	// client-side series stay attributable even for refused work. Absent
+	// means the anonymous default tenant.
+	HeaderTenant = "X-Tenant"
 	// HeaderDeadline carries the request's absolute deadline as Unix
 	// nanoseconds. It is absolute, not a relative timeout, so it survives
 	// queueing and proxy hops unchanged, and retried attempts of one
@@ -113,6 +120,11 @@ type PredictRequest struct {
 	// usually send it in the X-Request-ID header; the body field is a
 	// fallback for transports that strip headers.
 	RequestID string `json:"request_id,omitempty"`
+	// Tenant names the tenant the request is billed to. Clients usually
+	// send it in the X-Tenant header; the body field is the same
+	// stripped-header fallback RequestID has. Empty means the default
+	// tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Items is the session's click history, most recent last.
 	Items []int64 `json:"items"`
 }

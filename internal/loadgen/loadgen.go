@@ -118,6 +118,12 @@ type Config struct {
 	// budget-exhausted instead of sleeping past the deadline. 0 disables
 	// the overall budget (attempts are bounded by RequestTimeout alone).
 	SLO time.Duration
+	// Tenant labels every request with an X-Tenant value (header and body)
+	// so the server's multi-tenant scheduler can key its queues, and labels
+	// the recorder's per-tick series. Retries reuse the original request,
+	// so all attempts of one logical request carry the same tenant. Empty
+	// means anonymous (the scheduler's default queue).
+	Tenant string
 	// DrainTimeout bounds the wait for stragglers after the last tick.
 	// Requests still outstanding when it expires are recorded as timeout
 	// failures (never dropped from the denominator).
@@ -227,6 +233,7 @@ func Run(ctx context.Context, cfg Config, src SessionSource, target Target) (*Re
 	}
 
 	rec := metrics.NewRecorder()
+	rec.SetTenant(cfg.Tenant)
 	res := &Result{Recorder: rec}
 	feed := newFeeder(src)
 	var pending atomic.Int64
@@ -322,6 +329,7 @@ mainLoop:
 			}
 
 			req, done := feed.next()
+			req.Tenant = cfg.Tenant
 			pending.Add(1)
 			rec.RecordSent(t)
 			retryTokens.Add(earn)

@@ -80,6 +80,12 @@ func (t *HTTPTarget) PredictMeta(ctx context.Context, req httpapi.PredictRequest
 	if req.RequestID != "" {
 		httpReq.Header.Set(httpapi.HeaderRequestID, req.RequestID)
 	}
+	// The tenant label rides both the header (the scheduler's queue key)
+	// and the body (already marshalled above), so it survives
+	// header-stripping hops; retries reuse the same req and keep it.
+	if req.Tenant != "" {
+		httpReq.Header.Set(httpapi.HeaderTenant, req.Tenant)
+	}
 	// Deadline propagation: the context's absolute deadline (the SLO budget
 	// when Config.SLO is set, the per-attempt timeout otherwise) rides the
 	// X-Deadline header so the server can drop the request the moment it

@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"etude/internal/httpapi"
+	"etude/internal/workload"
+)
+
+// Every request of a tenant-labelled run carries the tenant — including
+// all retry attempts of one logical request — and the recorder's per-tick
+// series is labelled with it.
+func TestTenantStampedOnRequestsAndRetries(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	tenants := map[string]bool{}
+	tgt := FuncTarget(func(ctx context.Context, r httpapi.PredictRequest) error {
+		mu.Lock()
+		defer mu.Unlock()
+		tenants[r.Tenant] = true
+		attempts[r.RequestID]++
+		if attempts[r.RequestID] == 1 {
+			return &httpapi.StatusError{Code: http.StatusServiceUnavailable} // retryable
+		}
+		return nil
+	})
+	src := &fixedSessions{sessions: []workload.Session{{1, 2, 3}}}
+	cfg := fastConfig(50)
+	cfg.Tenant = "acme"
+	cfg.Retry = RetryConfig{MaxAttempts: 3, BaseBackoff: time.Millisecond, Budget: 10}
+	res, err := Run(context.Background(), cfg, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(tenants) != 1 || !tenants["acme"] {
+		t.Fatalf("requests carried tenants %v, want only %q (retries included)", tenants, "acme")
+	}
+	mu.Unlock()
+	series := res.Recorder.Series()
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	for _, ts := range series {
+		if ts.Tenant != "acme" {
+			t.Fatalf("tick %d tenant = %q, want %q", ts.Tick, ts.Tenant, "acme")
+		}
+	}
+}
+
+// The HTTP target forwards the tenant as the X-Tenant header alongside the
+// body copy.
+func TestHTTPTargetSetsTenantHeader(t *testing.T) {
+	var mu sync.Mutex
+	headers := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers[r.Header.Get(httpapi.HeaderTenant)]++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"items":[],"scores":[]}`))
+	}))
+	defer srv.Close()
+	tgt := NewHTTPTarget(srv.URL)
+	for i := 0; i < 3; i++ {
+		req := httpapi.PredictRequest{SessionID: 1, Items: []int64{int64(i)}, Tenant: "acme"}
+		if err := tgt.Predict(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tgt.Predict(context.Background(), httpapi.PredictRequest{SessionID: 2, Items: []int64{9}}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if headers["acme"] != 3 {
+		t.Fatalf("X-Tenant=acme on %d requests, want 3 (saw %v)", headers["acme"], headers)
+	}
+	if headers[""] != 1 {
+		t.Fatalf("untenanted request count = %d, want 1 with no header", headers[""])
+	}
+}

@@ -29,6 +29,10 @@ type TickStats struct {
 	P50       time.Duration `json:"p50"`
 	P90       time.Duration `json:"p90"`
 	P99       time.Duration `json:"p99"`
+	// Tenant labels the workload the recorder measured (the X-Tenant value
+	// the load generator stamped on its requests); empty for single-tenant
+	// runs.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Recorder collects per-tick statistics plus an overall histogram over a
@@ -39,6 +43,7 @@ type Recorder struct {
 	overall  *Histogram
 	errs     int64
 	sent     int64
+	tenant   string
 	outcomes OutcomeCounts
 }
 
@@ -69,6 +74,14 @@ func (r *Recorder) tick(t int) *tickAcc {
 		r.ticks[t] = acc
 	}
 	return acc
+}
+
+// SetTenant labels every tick of this recorder with a tenant name — the
+// per-tenant CSV series of a multi-tenant run use one recorder per tenant.
+func (r *Recorder) SetTenant(tenant string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tenant = tenant
 }
 
 // RecordSent notes that a request was issued during tick t.
@@ -138,7 +151,7 @@ func (r *Recorder) Series() []TickStats {
 	out := make([]TickStats, 0, maxTick+1)
 	for t := 0; t <= maxTick; t++ {
 		acc, ok := r.ticks[t]
-		ts := TickStats{Tick: t}
+		ts := TickStats{Tick: t, Tenant: r.tenant}
 		if ok {
 			ts.Sent = acc.sent
 			ts.Completed = acc.completed

@@ -19,7 +19,7 @@ import (
 
 // SeriesHeader is the column header of WriteSeriesCSV, exported so CSV
 // schema validation (internal/bench) cannot drift from the writer.
-const SeriesHeader = "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms"
+const SeriesHeader = "tick,sent,completed,errors,degraded,partial,coverage_mean,retries,timeouts,refused,server_errors,other_errors,p50_ms,p90_ms,p99_ms,tenant"
 
 // MeasurementsHeader is the column header of WriteMeasurementsCSV.
 const MeasurementsHeader = "experiment,model,instance,jit,replicas,target_rate,sent,errors,backpressured,p50_ms,p90_ms,p99_ms,meets_slo"
@@ -50,11 +50,17 @@ func WriteSeriesCSV(w io.Writer, series []metrics.TickStats) error {
 		return fmt.Errorf("report: writing header: %w", err)
 	}
 	for _, ts := range series {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+		// Single-tenant series carry "-" rather than an empty cell: the CSV
+		// schema (bench.SeriesSchema) types the column as non-empty string.
+		tenant := ts.Tenant
+		if tenant == "" {
+			tenant = "-"
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%s\n",
 			ts.Tick, ts.Sent, ts.Completed, ts.Errors,
 			ts.Degraded, ts.Partial, ts.CoverageMean, ts.Retries,
 			ts.Timeouts, ts.Refused, ts.ServerErrors, ts.OtherErrors,
-			ms(ts.P50), ms(ts.P90), ms(ts.P99))
+			ms(ts.P50), ms(ts.P90), ms(ts.P99), tenant)
 		if err != nil {
 			return fmt.Errorf("report: writing row: %w", err)
 		}

@@ -18,7 +18,8 @@ func sampleSeries() []metrics.TickStats {
 		{Tick: 1, Sent: 20, Completed: 18, Errors: 2, Degraded: 3, Retries: 1,
 			Partial: 2, CoverageMean: 0.9375,
 			Timeouts: 1, ServerErrors: 1,
-			P50: 2 * time.Millisecond, P90: 5 * time.Millisecond, P99: 9 * time.Millisecond},
+			P50: 2 * time.Millisecond, P90: 5 * time.Millisecond, P99: 9 * time.Millisecond,
+			Tenant: "b"},
 	}
 }
 
@@ -41,7 +42,12 @@ func TestWriteSeriesCSV(t *testing.T) {
 	if lines[1] != SeriesHeader {
 		t.Fatalf("header = %q", lines[1])
 	}
-	if lines[3] != "1,20,18,2,3,2,0.9375,1,1,0,1,0,2.000,5.000,9.000" {
+	// Row 2 (tick 0) has no tenant → the placeholder "-" keeps the cell
+	// non-empty; row 3 carries its tenant label.
+	if !strings.HasSuffix(lines[2], ",-") {
+		t.Fatalf("untenanted row = %q, want trailing \",-\"", lines[2])
+	}
+	if lines[3] != "1,20,18,2,3,2,0.9375,1,1,0,1,0,2.000,5.000,9.000,b" {
 		t.Fatalf("row = %q", lines[3])
 	}
 }

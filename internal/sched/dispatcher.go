@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler processes one assembled batch and returns one response per
+// request, in order. It runs on the dispatcher's goroutine: at most one
+// batch is in flight at a time, modelling an accelerator executing one
+// kernel sequence at a time.
+type Handler[Req, Resp any] func(batch []Req) []Resp
+
+// Dispatcher drives a Core from the wall clock: Submit enqueues into the
+// caller's tenant queue and blocks for the response; a single dispatch
+// goroutine arms a timer to the core's next flush instant (re-armed
+// whenever an arrival tightens it), assembles WDRR batches, answers
+// expired entries ErrExpired, and runs the handler.
+type Dispatcher[Req, Resp any] struct {
+	// mu guards the core. Contention is one short critical section per
+	// enqueue and per flush — the handler runs outside the lock.
+	mu   sync.Mutex
+	core *Core[envelope[Req, Resp]]
+
+	handler Handler[Req, Resp]
+	now     func() time.Duration
+	// kick wakes the dispatch goroutine when an arrival makes the buffer
+	// ready or tightens its flush instant (capacity 1: wake-ups coalesce).
+	kick    chan struct{}
+	done    chan struct{}
+	closed  sync.Once
+	pending atomic.Int64
+	flushes atomic.Int64
+}
+
+type envelope[Req, Resp any] struct {
+	req    Req
+	tenant string
+	enq    time.Duration
+	reply  chan result[Resp]
+}
+
+type result[Resp any] struct {
+	resp Resp
+	err  error
+}
+
+// NewDispatcher starts a dispatcher over the given scheduling config.
+// Close must be called to stop the dispatch goroutine.
+func NewDispatcher[Req, Resp any](cfg Config, handler Handler[Req, Resp]) (*Dispatcher[Req, Resp], error) {
+	if handler == nil {
+		return nil, errors.New("sched: nil handler")
+	}
+	core, err := NewCore[envelope[Req, Resp]](cfg)
+	if err != nil {
+		return nil, err
+	}
+	epoch := time.Now()
+	d := &Dispatcher[Req, Resp]{
+		core:    core,
+		handler: handler,
+		now:     func() time.Duration { return time.Since(epoch) },
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go d.dispatch()
+	return d, nil
+}
+
+// Pending returns requests submitted but not yet answered — the
+// queue-depth signal degradation watermarks consume.
+func (d *Dispatcher[Req, Resp]) Pending() int { return int(d.pending.Load()) }
+
+// Flushes returns how many batches the dispatcher has assembled.
+func (d *Dispatcher[Req, Resp]) Flushes() int64 { return d.flushes.Load() }
+
+// Stats snapshots every tenant's scheduling counters.
+func (d *Dispatcher[Req, Resp]) Stats() []TenantStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.core.Stats()
+}
+
+// Submit enqueues one request under its tenant and blocks until the
+// response is available, the tenant queue sheds it (ErrShed), its
+// deadline expires (ErrExpired from assembly, or the context error if the
+// caller gives up first), or the dispatcher closes.
+func (d *Dispatcher[Req, Resp]) Submit(ctx context.Context, tenant string, req Req) (Resp, error) {
+	var zero Resp
+	select {
+	case <-d.done:
+		return zero, ErrClosed
+	default:
+	}
+	d.pending.Add(1)
+	defer d.pending.Add(-1)
+
+	env := envelope[Req, Resp]{req: req, tenant: tenant, enq: d.now(), reply: make(chan result[Resp], 1)}
+	var deadline time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = env.enq + time.Until(dl)
+	}
+	d.mu.Lock()
+	err := d.core.Enqueue(env.enq, tenant, deadline, env)
+	d.mu.Unlock()
+	if err != nil {
+		return zero, err
+	}
+	// Wake the dispatcher: the new entry may have made the buffer ready or
+	// tightened its flush instant.
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+	select {
+	case r := <-env.reply:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-d.done:
+		return zero, ErrClosed
+	}
+}
+
+// Close stops the dispatch goroutine. Blocked Submits receive ErrClosed.
+func (d *Dispatcher[Req, Resp]) Close() {
+	d.closed.Do(func() { close(d.done) })
+}
+
+// dispatch is the single batch-formation goroutine: sleep until the
+// core's next flush instant (or a kick), then assemble and run batches
+// while the core is ready.
+func (d *Dispatcher[Req, Resp]) dispatch() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	for {
+		// Flush everything due, then compute the next sleep under one lock.
+		var wait time.Duration
+		haveWork := false
+		for {
+			now := d.now()
+			d.mu.Lock()
+			if !d.core.Ready(now) {
+				if at, ok := d.core.NextFlushAt(); ok {
+					wait = at - now
+					if wait < 0 {
+						wait = 0
+					}
+					haveWork = true
+				}
+				d.mu.Unlock()
+				break
+			}
+			batch, expired := d.core.Assemble(now)
+			d.mu.Unlock()
+			for _, env := range expired {
+				env.reply <- result[Resp]{err: ErrExpired}
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			d.flushes.Add(1)
+			reqs := make([]Req, len(batch))
+			for i, env := range batch {
+				reqs[i] = env.req
+			}
+			resps := d.handler(reqs)
+			for i, env := range batch {
+				if i < len(resps) {
+					env.reply <- result[Resp]{resp: resps[i]}
+				}
+			}
+		}
+		disarm()
+		if haveWork {
+			timer.Reset(wait)
+			armed = true
+		}
+		select {
+		case <-d.kick:
+		case <-timer.C:
+			armed = false
+		case <-d.done:
+			disarm()
+			return
+		}
+	}
+}

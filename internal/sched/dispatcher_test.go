@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDispatcherServesAndEchoesOrder(t *testing.T) {
+	d, err := NewDispatcher(Config{MaxBatch: 8, FlushEvery: time.Millisecond}, func(batch []int) []int {
+		out := make([]int, len(batch))
+		for i, v := range batch {
+			out[i] = v * v
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 1; i <= 32; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			got, err := d.Submit(context.Background(), "t", v)
+			if err != nil {
+				t.Errorf("Submit(%d): %v", v, err)
+				return
+			}
+			if got != v*v {
+				t.Errorf("Submit(%d) = %d, want %d", v, got, v*v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.Flushes() == 0 {
+		t.Fatal("no flushes recorded")
+	}
+}
+
+func TestDispatcherBatches(t *testing.T) {
+	var calls atomic.Int64
+	d, err := NewDispatcher(Config{MaxBatch: 64, FlushEvery: 20 * time.Millisecond}, func(batch []int) []int {
+		calls.Add(1)
+		return batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = d.Submit(context.Background(), "t", 1)
+		}()
+	}
+	wg.Wait()
+	if calls.Load() > 8 {
+		t.Fatalf("32 requests used %d handler calls — not batching", calls.Load())
+	}
+}
+
+func TestDispatcherShedsAtQueueBound(t *testing.T) {
+	release := make(chan struct{})
+	d, err := NewDispatcher(Config{MaxBatch: 1, FlushEvery: time.Millisecond, MaxQueue: 2}, func(batch []int) []int {
+		<-release
+		return batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	defer close(release)
+
+	// Park the handler, then fill tenant t's queue past its bound.
+	go func() { _, _ = d.Submit(context.Background(), "t", 0) }()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		go func() { _, _ = d.Submit(context.Background(), "t", 1) }()
+	}
+	time.Sleep(5 * time.Millisecond)
+	_, err = d.Submit(context.Background(), "t", 2)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("over-bound Submit = %v, want ErrShed", err)
+	}
+	// A different tenant still gets in: the bound is per tenant.
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Submit(context.Background(), "other", 3)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("other tenant returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+		// still queued, not shed — good
+	}
+}
+
+func TestDispatcherExpiresDeadEntries(t *testing.T) {
+	release := make(chan struct{})
+	first := make(chan struct{}, 1)
+	d, err := NewDispatcher(Config{MaxBatch: 8, FlushEvery: time.Hour}, func(batch []int) []int {
+		select {
+		case first <- struct{}{}:
+			<-release
+		default:
+		}
+		return batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Park the dispatcher in the first flush: a 1ms budget against the
+	// default 5ms slack makes the flush immediate, so request 1 is alone
+	// in the stuck batch.
+	ctx1, cancel1 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel1()
+	go func() { _, _ = d.Submit(ctx1, "t", 1) }()
+	time.Sleep(10 * time.Millisecond)
+	// ...queue a request that dies while the handler is stuck...
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := d.Submit(ctx2, "t", 2)
+		errc <- err
+	}()
+	time.Sleep(40 * time.Millisecond)
+	close(release)
+	err = <-errc
+	// The dead entry is answered ErrExpired at assembly (or the context
+	// error if the caller's select won the race); either way it matches
+	// the generic budget error.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dead entry Submit = %v, want a deadline error", err)
+	}
+	var st TenantStats
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range d.Stats() {
+			if s.Tenant == "t" {
+				st = s
+			}
+		}
+		if st.Expired == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Expired != 1 {
+		t.Fatalf("tenant stats = %+v, want Expired 1", st)
+	}
+}
+
+func TestDispatcherSubmitAfterClose(t *testing.T) {
+	d, err := NewDispatcher(Config{MaxBatch: 1, FlushEvery: time.Millisecond}, func(batch []int) []int { return batch })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if _, err := d.Submit(context.Background(), "t", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDispatcherStatsSnapshot(t *testing.T) {
+	d, err := NewDispatcher(Config{
+		Tenants:    []TenantConfig{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}},
+		MaxBatch:   8,
+		FlushEvery: time.Millisecond,
+	}, func(batch []string) []string { return batch })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		tenant := "a"
+		if i%2 == 0 {
+			tenant = "b"
+		}
+		go func(tn string) {
+			defer wg.Done()
+			_, _ = d.Submit(context.Background(), tn, "x")
+		}(tenant)
+	}
+	wg.Wait()
+	var servedA, servedB int64
+	for _, s := range d.Stats() {
+		switch s.Tenant {
+		case "a":
+			servedA = s.Served
+		case "b":
+			servedB = s.Served
+		}
+	}
+	if servedA != 3 || servedB != 3 {
+		t.Fatalf("served a=%d b=%d, want 3 each", servedA, servedB)
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"math"
+	"time"
+
+	"etude/internal/device"
+	"etude/internal/model"
+)
+
+// DefaultAmortizationEps is the default knee criterion for AmortizedBatch:
+// stop growing the batch once the per-request share of the fixed batch
+// overhead falls below 5% of the per-request marginal cost.
+const DefaultAmortizationEps = 0.05
+
+// AmortizedBatch picks a target batch size from the device cost model's
+// amortisation curve instead of a fixed MaxBatch. The accelerator batch
+// latency is affine, T(B) = fixed + B·perReq (device.Spec.BatchInference),
+// so the per-request cost fixed/B + perReq decays hyperbolically: almost
+// all of the amortisation win is captured at the knee where
+// fixed/B ≤ eps·B·... — precisely, the smallest B with
+// fixed/(B·perReq) ≤ eps. Past the knee, every extra slot buys <eps
+// relative throughput but a full perReq of head-of-line latency for the
+// requests already in the buffer.
+//
+// The result is capped by the accelerator's memory-bound EffectiveMaxBatch
+// and floored at 1. eps ≤ 0 defaults to DefaultAmortizationEps. On CPU
+// specs (no batch amortisation: T(B) = B·T(1)) it returns 1.
+func AmortizedBatch(spec device.Spec, cost model.Cost, jit bool, eps float64) int {
+	if eps <= 0 {
+		eps = DefaultAmortizationEps
+	}
+	memCap := spec.EffectiveMaxBatch(cost)
+	if memCap < 1 {
+		memCap = 1
+	}
+	if spec.Kind == device.KindCPU {
+		return 1
+	}
+	// Recover the affine decomposition from two points on the curve:
+	// T(1) = fixed + perReq, T(2) = fixed + 2·perReq.
+	t1 := spec.BatchInference(cost, 1, jit)
+	t2 := spec.BatchInference(cost, 2, jit)
+	perReq := t2 - t1
+	if perReq <= 0 {
+		return memCap
+	}
+	fixed := t1 - perReq
+	if fixed <= 0 {
+		return 1
+	}
+	// Smallest B with fixed/(B·perReq) ≤ eps ⇒ B = ⌈fixed/(eps·perReq)⌉.
+	b := int(math.Ceil(float64(fixed) / (eps * float64(perReq))))
+	if b < 1 {
+		b = 1
+	}
+	if b > memCap {
+		b = memCap
+	}
+	return b
+}
+
+// ServiceTime returns the cost model's latency for a batch of the given
+// size — the DeadlineSlack a scheduler should reserve so a deadline-bound
+// flush still has time to execute.
+func ServiceTime(spec device.Spec, cost model.Cost, batch int, jit bool) time.Duration {
+	return spec.BatchInference(cost, batch, jit)
+}

@@ -38,6 +38,7 @@ import (
 	"etude/internal/model"
 	"etude/internal/objstore"
 	"etude/internal/overload"
+	"etude/internal/sched"
 	"etude/internal/shard"
 	"etude/internal/topk"
 	"etude/internal/trace"
@@ -54,6 +55,12 @@ type Options struct {
 	// Batch enables request batching with the given config. Nil disables
 	// batching (the CPU serving configuration).
 	Batch *batching.Config
+	// Sched enables the SLO-aware multi-tenant scheduler (internal/sched)
+	// in place of the plain batcher: requests are keyed by their X-Tenant
+	// header into per-tenant queues drained by weighted deficit round
+	// robin, with deadline-aware flush timing and an amortisation-driven
+	// target batch size. Mutually exclusive with Batch and Gateway.
+	Sched *sched.Config
 	// MaxPending bounds requests admitted but not yet answered (admission
 	// control): requests beyond the bound are shed with 429 + Retry-After
 	// instead of queueing without limit. 0 defaults to 16× Workers;
@@ -151,6 +158,10 @@ type Server struct {
 	tracer  *trace.Tracer
 	pool    chan predictor
 	batcher *batching.Batcher[batchItem, batchOut]
+	// sched replaces the batcher when Options.Sched is set: the same
+	// batch-executing worker path, but batches are assembled by the
+	// multi-tenant WDRR scheduler instead of a single FIFO buffer.
+	sched *sched.Dispatcher[batchItem, batchOut]
 	ready   atomic.Bool
 	// draining flips when BeginDrain is called: readiness probes answer 503
 	// (routers stop sending new work) while the process stays live and
@@ -193,8 +204,8 @@ func New(m model.Model, opts Options) (*Server, error) {
 		if m != nil {
 			return nil, fmt.Errorf("server: Gateway mode fronts remote shard workers; pass a nil model")
 		}
-		if opts.Shards > 1 || opts.Partition != nil || opts.Batch != nil {
-			return nil, fmt.Errorf("server: Gateway is mutually exclusive with Shards, Partition and Batch")
+		if opts.Shards > 1 || opts.Partition != nil || opts.Batch != nil || opts.Sched != nil {
+			return nil, fmt.Errorf("server: Gateway is mutually exclusive with Shards, Partition, Batch and Sched")
 		}
 		opts = opts.withDefaults()
 		s := &Server{opts: opts, tracer: opts.Tracer, gw: opts.Gateway}
@@ -238,6 +249,9 @@ func New(m model.Model, opts Options) (*Server, error) {
 	for i := 0; i < opts.Workers; i++ {
 		s.pool <- s.newPredictor()
 	}
+	if opts.Batch != nil && opts.Sched != nil {
+		return nil, fmt.Errorf("server: Batch and Sched are mutually exclusive — the scheduler does its own batching")
+	}
 	if opts.Batch != nil {
 		cfg := *opts.Batch
 		if cfg.CoDel == nil {
@@ -248,6 +262,13 @@ func New(m model.Model, opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.batcher = b
+	}
+	if opts.Sched != nil {
+		d, err := sched.NewDispatcher(*opts.Sched, s.runSchedBatch)
+		if err != nil {
+			return nil, err
+		}
+		s.sched = d
 	}
 	// Precompute the degraded-mode fallback once: a popularity-style static
 	// recommendation list that costs a map lookup to serve, not a model
@@ -402,10 +423,43 @@ func (s *Server) runBatch(items []batchItem) []batchOut {
 	return out
 }
 
-// Close releases the batcher, if any.
+// runSchedBatch is runBatch's scheduled-path twin: batches arrive from the
+// multi-tenant WDRR scheduler, so the enqueue→flush wait is attributed to
+// the sched-wait stage (distinct from plain batch-assembly, letting tenant
+// experiments pin tail movement on scheduling).
+func (s *Server) runSchedBatch(items []batchItem) []batchOut {
+	p := <-s.pool
+	defer func() { s.pool <- p }()
+	s.tracer.ObserveBatchFlush(len(items))
+	flushStart := s.tracer.Now()
+	out := make([]batchOut, len(items))
+	for i, it := range items {
+		if it.sp != nil {
+			it.sp.Observe(trace.StageSchedWait, flushStart-it.enq)
+			it.sp.Observe(trace.StageQueueWait, it.sp.Now()-flushStart)
+			it.sp.SetBatchSize(len(items))
+		}
+		out[i] = batchOut{recs: p(it.session, it.sp), size: len(items)}
+	}
+	return out
+}
+
+// TenantStats snapshots the scheduler's per-tenant counters (nil when
+// Options.Sched is unset).
+func (s *Server) TenantStats() []sched.TenantStats {
+	if s.sched == nil {
+		return nil
+	}
+	return s.sched.Stats()
+}
+
+// Close releases the batcher and scheduler, if any.
 func (s *Server) Close() {
 	if s.batcher != nil {
 		s.batcher.Close()
+	}
+	if s.sched != nil {
+		s.sched.Close()
 	}
 }
 
@@ -477,6 +531,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		drain = 1
 	}
 	b.Gauge("etude_draining", "1 while the server is draining (readiness failing).", drain)
+	if s.sched != nil {
+		for _, st := range s.sched.Stats() {
+			lbl := metrics.Label{Name: "tenant", Value: st.Tenant}
+			b.Counter("etude_tenant_served_total", "Requests served, by tenant (scheduler goodput).", float64(st.Served), lbl)
+			b.Counter("etude_tenant_shed_total", "Requests refused at the tenant queue bound (429), by tenant.", float64(st.Shed), lbl)
+			b.Counter("etude_tenant_deadline_miss_total", "Requests dropped at batch assembly after their deadline passed (504), by tenant.", float64(st.Expired), lbl)
+			b.Gauge("etude_tenant_pending", "Queued requests, by tenant.", float64(st.Pending), lbl)
+			b.Gauge("etude_tenant_weight", "Configured WDRR weight, by tenant.", float64(st.Weight), lbl)
+		}
+	}
 	if s.shardPool != nil {
 		b.Gauge("etude_shards", "In-process retrieval shard count.", float64(s.shardPool.Shards()))
 	}
@@ -514,6 +578,9 @@ func (s *Server) queueDepth() int {
 	if s.batcher != nil {
 		return s.batcher.Pending()
 	}
+	if s.sched != nil {
+		return s.sched.Pending()
+	}
 	return int(s.pending.Load())
 }
 
@@ -524,6 +591,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	reqID := r.Header.Get(httpapi.HeaderRequestID)
 	if reqID != "" {
 		w.Header().Set(httpapi.HeaderRequestID, reqID)
+	}
+	// The tenant label is echoed the same way, on every response path —
+	// success, shed, degraded, partial — so per-tenant accounting on the
+	// client side never loses a response.
+	tenant := r.Header.Get(httpapi.HeaderTenant)
+	if tenant != "" {
+		w.Header().Set(httpapi.HeaderTenant, tenant)
 	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "use POST", http.StatusMethodNotAllowed)
@@ -590,6 +664,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		reqID = req.RequestID
 		w.Header().Set(httpapi.HeaderRequestID, reqID)
 	}
+	if tenant == "" && req.Tenant != "" {
+		// Body-carried tenant label: same header-stripping fallback.
+		tenant = req.Tenant
+		w.Header().Set(httpapi.HeaderTenant, tenant)
+	}
 	if err := req.Validate(); err != nil {
 		sp.Discard()
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -636,6 +715,34 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		recs = s.fallback
 		degraded = true
 		s.degraded.Add(1)
+	case s.sched != nil:
+		out, err := s.sched.Submit(r.Context(), tenant, batchItem{session: req.Items, sp: sp, enq: sp.Now()})
+		if err != nil {
+			// As on the batcher path: the dispatcher may still hold the span.
+			sp = nil
+			status := http.StatusServiceUnavailable
+			switch {
+			case errors.Is(err, sched.ErrShed):
+				// Tenant queue at its bound: the scheduler's per-tenant
+				// admission control, answered like the global one.
+				status = http.StatusTooManyRequests
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, context.DeadlineExceeded):
+				// Covers both sched.ErrExpired (dropped at assembly) and the
+				// request context's own deadline firing first.
+				status = http.StatusGatewayTimeout
+				s.deadlineExpired.Add(1)
+				congested = true
+			case errors.Is(err, context.Canceled):
+				status = http.StatusGatewayTimeout
+				congested = true
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		recs = out.recs
+		batch = out.size
 	case s.batcher != nil:
 		out, err := s.batcher.Submit(r.Context(), batchItem{session: req.Items, sp: sp, enq: sp.Now()})
 		if err != nil {

@@ -47,6 +47,13 @@ const (
 	// long the request sat in the batcher's buffer before the batch was
 	// dispatched (bounded by the flush interval).
 	StageBatchAssembly
+	// StageSchedWait is the enqueue→flush wait of the scheduled path
+	// (internal/sched): how long the request sat in its tenant queue before
+	// the WDRR scheduler assembled it into a batch. It is the scheduled
+	// counterpart of StageBatchAssembly, kept distinct so tenant-isolation
+	// experiments can attribute tail movement to scheduling rather than
+	// plain batching.
+	StageSchedWait
 	// StageEmbeddingLookup is the session-item embedding gather.
 	StageEmbeddingLookup
 	// StageEncoderForward is the architecture-specific session encoder —
@@ -79,7 +86,7 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"queue-wait", "admission", "batch-assembly", "embedding-lookup",
+	"queue-wait", "admission", "batch-assembly", "sched-wait", "embedding-lookup",
 	"encoder-forward", "mips-topk", "shard-scatter", "shard-wait",
 	"shard-merge", "partial-merge", "serialize",
 }

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RateSchedule gives a time-varying offered request rate, the traffic-shape
+// side of a workload (the click-log side — what each request contains — is
+// the Generator/Replay session sources). Rates are requests per second.
+//
+// Schedules compose: FlashCrowd wraps any base schedule, so "diurnal
+// baseline with a 5× flash crowd at 14:00" is a two-line literal.
+type RateSchedule interface {
+	// RateAt returns the instantaneous rate at elapsed time t, in req/s.
+	RateAt(t time.Duration) float64
+	// MaxRate returns an upper bound on RateAt over all t — the envelope
+	// rate the thinning sampler draws candidate arrivals at.
+	MaxRate() float64
+}
+
+// ConstantRate is a flat schedule of the given req/s — the paper's
+// fixed-rate load phases.
+type ConstantRate float64
+
+// RateAt implements RateSchedule.
+func (r ConstantRate) RateAt(time.Duration) float64 { return float64(r) }
+
+// MaxRate implements RateSchedule.
+func (r ConstantRate) MaxRate() float64 { return float64(r) }
+
+// Diurnal is a sinusoidal day/night traffic pattern:
+//
+//	rate(t) = Mean · (1 + Swing·cos(2π·(t−Peak)/Period))
+//
+// Mean is the average rate, Swing ∈ [0,1] the relative peak-to-mean
+// excursion (0.6 means peaks at 1.6× and troughs at 0.4× the mean), Period
+// one full cycle (24h for a real diurnal curve; experiments compress it to
+// seconds), and Peak the elapsed time of the first maximum.
+type Diurnal struct {
+	Mean   float64
+	Swing  float64
+	Period time.Duration
+	Peak   time.Duration
+}
+
+// RateAt implements RateSchedule.
+func (d Diurnal) RateAt(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Mean
+	}
+	phase := 2 * math.Pi * float64(t-d.Peak) / float64(d.Period)
+	r := d.Mean * (1 + d.Swing*math.Cos(phase))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// MaxRate implements RateSchedule.
+func (d Diurnal) MaxRate() float64 {
+	s := d.Swing
+	if s < 0 {
+		s = -s
+	}
+	return d.Mean * (1 + s)
+}
+
+// FlashCrowd multiplies a base schedule by Factor during the window
+// [Start, Start+Length) — one tenant's sudden surge. Factor < 1 models a
+// partial outage of the traffic source instead.
+type FlashCrowd struct {
+	Base   RateSchedule
+	Start  time.Duration
+	Length time.Duration
+	Factor float64
+}
+
+// RateAt implements RateSchedule.
+func (f FlashCrowd) RateAt(t time.Duration) float64 {
+	r := f.Base.RateAt(t)
+	if t >= f.Start && t < f.Start+f.Length {
+		return r * f.Factor
+	}
+	return r
+}
+
+// MaxRate implements RateSchedule.
+func (f FlashCrowd) MaxRate() float64 {
+	m := f.Base.MaxRate()
+	if f.Factor > 1 {
+		return m * f.Factor
+	}
+	return m
+}
+
+// Arrivals samples a non-homogeneous Poisson arrival process following a
+// rate schedule, deterministically from a seed, by Lewis–Shedler thinning:
+// candidate arrivals are drawn from a homogeneous process at the envelope
+// MaxRate and each is kept with probability RateAt(t)/MaxRate. The result
+// is exact (no per-tick discretisation) and deterministic — the simulator
+// and the load generator can replay the identical arrival sequence.
+type Arrivals struct {
+	sch RateSchedule
+	rng *rand.Rand
+	max float64
+	t   time.Duration
+}
+
+// NewArrivals builds a sampler over the schedule. It returns an error when
+// the schedule's envelope rate is not positive (no arrivals could ever be
+// generated).
+func NewArrivals(sch RateSchedule, seed int64) (*Arrivals, error) {
+	max := sch.MaxRate()
+	if max <= 0 || math.IsNaN(max) || math.IsInf(max, 0) {
+		return nil, fmt.Errorf("workload: schedule envelope rate must be positive and finite, got %v", max)
+	}
+	return &Arrivals{sch: sch, rng: rand.New(rand.NewSource(seed)), max: max}, nil
+}
+
+// Next returns the next arrival instant (elapsed time from zero, strictly
+// increasing). The process is unbounded; callers stop at their horizon.
+func (a *Arrivals) Next() time.Duration {
+	for {
+		// Exponential inter-arrival at the envelope rate, then thin. The
+		// gap is floored at 1ns so arrival instants are strictly
+		// increasing even when the envelope rate approaches clock
+		// resolution.
+		gap := time.Duration(a.rng.ExpFloat64() / a.max * float64(time.Second))
+		if gap < 1 {
+			gap = 1
+		}
+		a.t += gap
+		if a.rng.Float64()*a.max <= a.sch.RateAt(a.t) {
+			return a.t
+		}
+	}
+}
+
+// Times materialises every arrival before the horizon — the convenient form
+// for pre-scheduling a simulation's submit events.
+func Times(sch RateSchedule, seed int64, horizon time.Duration) ([]time.Duration, error) {
+	a, err := NewArrivals(sch, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []time.Duration
+	for {
+		t := a.Next()
+		if t >= horizon {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func countIn(times []time.Duration, from, to time.Duration) int {
+	n := 0
+	for _, t := range times {
+		if t >= from && t < to {
+			n++
+		}
+	}
+	return n
+}
+
+func TestConstantRateArrivalCount(t *testing.T) {
+	times, err := Times(ConstantRate(1000), 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(10 000): ±4σ = ±400.
+	if n := len(times); n < 9600 || n > 10400 {
+		t.Fatalf("arrivals = %d, want ≈10000", n)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, times[i-1], times[i])
+		}
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	sch := FlashCrowd{Base: Diurnal{Mean: 500, Swing: 0.5, Period: 4 * time.Second}, Start: time.Second, Length: time.Second, Factor: 3}
+	a, err := Times(sch, 42, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Times(sch, 42, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, err := Times(sch, 43, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Mean: 1000, Swing: 0.6, Period: 10 * time.Second, Peak: 0}
+	if r := d.RateAt(0); math.Abs(r-1600) > 1e-9 {
+		t.Fatalf("peak rate = %v, want 1600", r)
+	}
+	if r := d.RateAt(5 * time.Second); math.Abs(r-400) > 1e-9 {
+		t.Fatalf("trough rate = %v, want 400", r)
+	}
+	if m := d.MaxRate(); math.Abs(m-1600) > 1e-9 {
+		t.Fatalf("MaxRate = %v, want 1600", m)
+	}
+	times, err := Times(d, 7, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The half-cycle around the peak must carry far more traffic than the
+	// half-cycle around the trough.
+	peak := countIn(times, 0, 2500*time.Millisecond) + countIn(times, 7500*time.Millisecond, 10*time.Second)
+	trough := countIn(times, 2500*time.Millisecond, 7500*time.Millisecond)
+	if float64(peak) < 1.3*float64(trough) {
+		t.Fatalf("peak half %d vs trough half %d — no diurnal shape", peak, trough)
+	}
+}
+
+func TestFlashCrowdWindow(t *testing.T) {
+	sch := FlashCrowd{Base: ConstantRate(400), Start: 2 * time.Second, Length: time.Second, Factor: 5}
+	if r := sch.RateAt(2500 * time.Millisecond); r != 2000 {
+		t.Fatalf("in-window rate = %v, want 2000", r)
+	}
+	if r := sch.RateAt(3 * time.Second); r != 400 {
+		t.Fatalf("post-window rate = %v, want 400", r)
+	}
+	times, err := Times(sch, 11, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countIn(times, time.Second, 2*time.Second)
+	during := countIn(times, 2*time.Second, 3*time.Second)
+	ratio := float64(during) / float64(before)
+	if ratio < 4 || ratio > 6 {
+		t.Fatalf("crowd ratio = %.2f (before=%d during=%d), want ≈5", ratio, before, during)
+	}
+}
+
+func TestNewArrivalsRejectsEmptyEnvelope(t *testing.T) {
+	if _, err := NewArrivals(ConstantRate(0), 1); err == nil {
+		t.Fatal("zero-rate schedule accepted")
+	}
+	if _, err := NewArrivals(Diurnal{Mean: math.Inf(1), Period: time.Second}, 1); err == nil {
+		t.Fatal("infinite-rate schedule accepted")
+	}
+}
+
+func TestDiurnalNeverNegative(t *testing.T) {
+	d := Diurnal{Mean: 100, Swing: 1.5, Period: time.Second} // over-swung
+	for ms := 0; ms < 1000; ms += 10 {
+		if r := d.RateAt(time.Duration(ms) * time.Millisecond); r < 0 {
+			t.Fatalf("negative rate %v at %dms", r, ms)
+		}
+	}
+}
