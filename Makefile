@@ -62,7 +62,7 @@ check: bin/etude-server bin/etude
 	go build ./...
 	go vet ./...
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test ./...
-	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload ./internal/chaos ./internal/leakcheck ./internal/sched ./internal/workload
+	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go test -race ./internal/cluster ./internal/server ./internal/loadgen ./internal/trace ./internal/metrics ./internal/shard ./internal/topk ./internal/overload ./internal/chaos ./internal/leakcheck ./internal/sched ./internal/workload ./internal/deploy
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server bin/etude bench -grid bench/smoke.json
 
 # One-command reproduction of the paper: run every experiment in
@@ -95,7 +95,7 @@ run_deployed_benchmark:
 		-duration $(DURATION) -bucket $(BUCKET)
 
 # Regenerate a paper experiment:
-#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|tenant
+#   make benchmark EXPERIMENT=fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|deploy|breakdown|shard|blackout|tenant
 # EXPERIMENT=chaos replays a fig4-style workload under each fault scenario
 # (pod crash, slow node, degraded network, AZ outage) and reports
 # p50/p99/error-rate/degraded-fraction per scenario, deterministically.
@@ -126,11 +126,17 @@ run_deployed_benchmark:
 # shared queue: B's served p99 stays at its quiet baseline behind WDRR
 # while the shared queue blows through the SLO, and a saturation arm shows
 # served shares tracking the 3:1 weights within ±10%. Deterministic.
+# EXPERIMENT=deploy drives three model-release rollouts through the
+# SLO-guarded canary controller under live load: a good release promotes
+# fleet-wide via hot swap (zero dropped requests), a latency-regressing
+# release is caught on the canary slice and auto-rolled-back (blast radius
+# = canary-served fraction), and a bit-flipped release fails checksum
+# verification on every pod and is quarantined without serving a byte.
 # EXPERIMENT=procs re-runs the supervised-crash and rolling-update studies
 # against real etude-server processes (SIGKILL chaos, SIGTERM drains) and
 # compares measured MTTR against the in-process substrate, plus a
 # cold-start distribution from repeated real spawns.
-# PODS=proc runs the cluster-backed experiments (rolling) on real
+# PODS=proc runs the cluster-backed experiments (rolling, deploy) on real
 # processes instead of in-process pods.
 benchmark: bin/etude-server
 	ETUDE_SERVER_BIN=$(CURDIR)/bin/etude-server go run ./cmd/etude benchmark -experiment $(EXPERIMENT) -scale $(SCALE) -pods $(PODS)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"etude/internal/batching"
+	"etude/internal/deploy"
 	"etude/internal/httpapi"
 	"etude/internal/model"
 	"etude/internal/objstore"
@@ -74,6 +75,9 @@ func main() {
 		profiled   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		bucketDir  = flag.String("bucket", "", "filesystem bucket to load the model from")
 		key        = flag.String("key", "", "model manifest key within the bucket")
+		releases   = flag.Bool("releases", false, "deploy from the bucket's versioned release store (releases/ namespace) instead of a raw -key manifest; enables the /admin/deploy hot-swap endpoint")
+		modelVer   = flag.Int("model-version", 0, "release version to serve under -releases (0 = the store's CURRENT pointer); canary pods pin a version here")
+		watchRel   = flag.Duration("watch-releases", 0, "poll the release store at this interval and hot-swap onto newly promoted versions (0 = off)")
 		port       = flag.Int("port", 8080, "listen port")
 		drainTO    = flag.Duration("drain-timeout", 5*time.Second, "bound on in-flight work during graceful shutdown")
 		drainStl   = flag.Duration("drain-settle", 200*time.Millisecond, "pause between failing readiness and closing the listener (lets racing picks connect)")
@@ -100,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
-	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *maxPending, *degradeAt, part, *gateway, *partial, *minCov, *batch, *tenants, *schedQueue, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key)
+	srv, err := buildServer(*modelName, *catalog, *seed, *topK, *faithful, *jit, *workers, *shards, *maxPending, *degradeAt, part, *gateway, *partial, *minCov, *batch, *tenants, *schedQueue, *static, *traced, *profiled, *adaptive, *codelTgt, *codelIvl, *bucketDir, *key, *releases, *modelVer, *watchRel)
 	if err != nil {
 		log.Fatalf("etude-server: %v", err)
 	}
@@ -109,8 +113,11 @@ func main() {
 	handler.Store(&real)
 
 	switch {
+	case srv.ModelVersion() > 0:
+		log.Printf("serving %s release v%d (C=%d, jit=%v, watch=%v) on %s",
+			srv.Model().Name(), srv.ModelVersion(), srv.Model().Config().CatalogSize, srv.JITActive(), *watchRel, addr)
 	case srv.Model() != nil:
-		log.Printf("serving %s (C=%d, jit=%v) on %s", srv.Model().Name(), srv.Model().Config().CatalogSize, srv.JITActive, addr)
+		log.Printf("serving %s (C=%d, jit=%v) on %s", srv.Model().Name(), srv.Model().Config().CatalogSize, srv.JITActive(), addr)
 	case srv.Gateway() != nil:
 		log.Printf("serving scatter-gather gateway (%d shard groups, policy %s) on %s",
 			srv.Gateway().Shards(), srv.Gateway().Policy().Mode, addr)
@@ -208,7 +215,7 @@ func parseGateway(s string) ([]shard.Picker, error) {
 	return pickers, nil
 }
 
-func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards, maxPending, degradeAt int, partition *shard.Partition, gateway string, partial bool, minCoverage float64, batch bool, tenants string, schedQueue int, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string) (*server.Server, error) {
+func buildServer(modelName string, catalog int, seed int64, topK int, faithful, jit bool, workers, shards, maxPending, degradeAt int, partition *shard.Partition, gateway string, partial bool, minCoverage float64, batch bool, tenants string, schedQueue int, static, traced, profiled, adaptive bool, codelTarget, codelInterval time.Duration, bucketDir, key string, releases bool, modelVersion int, watchReleases time.Duration) (*server.Server, error) {
 	opts := server.Options{
 		Workers: workers, JIT: jit, Shards: shards, Profiling: profiled,
 		MaxPending: maxPending, DegradeAt: degradeAt, Partition: partition,
@@ -264,6 +271,15 @@ func buildServer(modelName string, catalog int, seed int64, topK int, faithful, 
 		return server.New(nil, opts)
 	case static:
 		return server.NewStatic(), nil
+	case releases:
+		if bucketDir == "" {
+			return nil, fmt.Errorf("-releases requires -bucket")
+		}
+		bucket, err := objstore.NewFSBucket(bucketDir)
+		if err != nil {
+			return nil, err
+		}
+		return server.LoadFromReleases(deploy.NewStore(bucket), modelVersion, watchReleases, opts)
 	case bucketDir != "":
 		if key == "" {
 			return nil, fmt.Errorf("-bucket requires -key")

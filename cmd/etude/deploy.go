@@ -1,0 +1,191 @@
+// The deploy subcommand is the operator face of the release store
+// (internal/deploy): it publishes checksummed model releases into a
+// bucket, moves the fleet-wide CURRENT pointer, and rolls a bad
+// promotion back to the preserved PREVIOUS release. Servers started
+// with `-releases` and `-watch-releases` pick the pointer moves up
+// live, without a restart — publishing from this CLI while a fleet is
+// serving is the manual analogue of the canary controller's flow.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"etude/internal/deploy"
+	"etude/internal/model"
+	"etude/internal/objstore"
+)
+
+func deployCmd(args []string) {
+	if len(args) < 1 {
+		deployUsage()
+	}
+	action, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("deploy "+action, flag.ExitOnError)
+	bucketDir := fs.String("bucket", "./etude-bucket", "bucket directory holding the release store")
+	switch action {
+	case "publish":
+		var (
+			modelName = fs.String("model", "gru4rec", "model architecture to publish")
+			catalog   = fs.Int("catalog", 10_000, "catalog size C")
+			seed      = fs.Int64("seed", 1, "weight-initialisation seed")
+			notes     = fs.String("notes", "", "free-form release notes")
+			promote   = fs.Bool("promote", false, "move the CURRENT pointer to the new release immediately")
+		)
+		_ = fs.Parse(rest)
+		store := openReleaseStore(*bucketDir)
+		cfg := model.Config{CatalogSize: *catalog, Seed: *seed}
+		m, err := model.New(*modelName, cfg)
+		if err != nil {
+			log.Fatalf("etude deploy publish: %v", err)
+		}
+		weights, err := model.SaveWeights(m)
+		if err != nil {
+			log.Fatalf("etude deploy publish: %v", err)
+		}
+		rel, err := store.Publish(model.Manifest{Model: *modelName, Config: cfg}, weights, *notes)
+		if err != nil {
+			log.Fatalf("etude deploy publish: %v", err)
+		}
+		fmt.Printf("published v%d: %s C=%d (%d artifacts, %d bytes)\n",
+			rel.Version, rel.Model, *catalog, len(rel.Artifacts), releaseBytes(rel))
+		if *promote {
+			if err := store.Promote(rel.Version); err != nil {
+				log.Fatalf("etude deploy publish: %v", err)
+			}
+			fmt.Printf("promoted v%d: CURRENT pointer moved\n", rel.Version)
+		} else {
+			fmt.Printf("staged only — run `etude deploy promote -bucket %s -version %d` to serve it\n",
+				*bucketDir, rel.Version)
+		}
+
+	case "promote":
+		version := fs.Int("version", 0, "staged release version to promote")
+		_ = fs.Parse(rest)
+		if *version <= 0 {
+			log.Fatal("etude deploy promote: -version is required")
+		}
+		store := openReleaseStore(*bucketDir)
+		if err := store.Promote(*version); err != nil {
+			log.Fatalf("etude deploy promote: %v", err)
+		}
+		fmt.Printf("promoted v%d: CURRENT pointer moved\n", *version)
+
+	case "rollback":
+		reason := fs.String("reason", "operator rollback", "quarantine reason recorded against the rolled-back release")
+		_ = fs.Parse(rest)
+		store := openReleaseStore(*bucketDir)
+		from, to, err := rollbackRelease(store, *reason)
+		if err != nil {
+			log.Fatalf("etude deploy rollback: %v", err)
+		}
+		fmt.Printf("rolled back v%d -> v%d (v%d quarantined: %s)\n", from, to, from, *reason)
+
+	case "list":
+		_ = fs.Parse(rest)
+		store := openReleaseStore(*bucketDir)
+		rels, err := store.List()
+		if err != nil {
+			log.Fatalf("etude deploy list: %v", err)
+		}
+		cur, curErr := store.Current()
+		fmt.Printf("%-8s %-10s %10s %-12s %s\n", "version", "model", "bytes", "status", "notes")
+		for _, rel := range rels {
+			status := "staged"
+			if curErr == nil && rel.Version == cur.Version {
+				status = "current"
+			}
+			if reason, q := store.QuarantineReason(rel.Version); q {
+				status = "quarantined(" + reason + ")"
+			}
+			fmt.Printf("%-8s %-10s %10d %-12s %s\n",
+				fmt.Sprintf("v%d", rel.Version), rel.Model, releaseBytes(rel), status, rel.Notes)
+		}
+
+	case "status":
+		_ = fs.Parse(rest)
+		store := openReleaseStore(*bucketDir)
+		cur, err := store.Current()
+		switch {
+		case errors.Is(err, deploy.ErrNoCurrent):
+			fmt.Println("current: none (nothing promoted yet)")
+		case err != nil:
+			log.Fatalf("etude deploy status: %v", err)
+		default:
+			verdict := "verified"
+			if verr := store.Verify(cur); verr != nil {
+				verdict = "CORRUPT: " + verr.Error()
+			}
+			fmt.Printf("current:  v%d (%s, %d bytes) — %s\n", cur.Version, cur.Model, releaseBytes(cur), verdict)
+		}
+		if prev, err := store.Previous(); err == nil {
+			if reason, q := store.QuarantineReason(prev.Version); q {
+				fmt.Printf("previous: v%d (%s) — quarantined (%s), not a rollback target\n", prev.Version, prev.Model, reason)
+			} else {
+				fmt.Printf("previous: v%d (%s) — rollback target\n", prev.Version, prev.Model)
+			}
+		} else {
+			fmt.Println("previous: none")
+		}
+		if latest, err := store.Latest(); err == nil {
+			fmt.Printf("latest:   v%d staged\n", latest)
+		}
+
+	default:
+		deployUsage()
+	}
+}
+
+// rollbackRelease moves CURRENT back to the preserved PREVIOUS release
+// and quarantines the release it replaced. Promotion happens first so a
+// failing rollback (previous release corrupt or quarantined) leaves the
+// store untouched rather than quarantining the only serving release.
+func rollbackRelease(store *deploy.Store, reason string) (from, to int, err error) {
+	cur, err := store.Current()
+	if err != nil {
+		return 0, 0, fmt.Errorf("resolving current release: %w", err)
+	}
+	prev, err := store.Previous()
+	if err != nil {
+		return 0, 0, fmt.Errorf("no previous release to roll back to: %w", err)
+	}
+	if prev.Version == cur.Version {
+		return 0, 0, fmt.Errorf("PREVIOUS and CURRENT both name v%d; nothing to roll back to", cur.Version)
+	}
+	if err := store.Promote(prev.Version); err != nil {
+		return 0, 0, fmt.Errorf("re-promoting v%d: %w", prev.Version, err)
+	}
+	if err := store.Quarantine(cur.Version, reason); err != nil {
+		return 0, 0, fmt.Errorf("quarantining v%d: %w", cur.Version, err)
+	}
+	return cur.Version, prev.Version, nil
+}
+
+func releaseBytes(rel deploy.Release) int {
+	total := 0
+	for _, a := range rel.Artifacts {
+		total += a.Bytes
+	}
+	return total
+}
+
+func openReleaseStore(dir string) *deploy.Store {
+	b, err := objstore.NewFSBucket(dir)
+	if err != nil {
+		log.Fatalf("etude deploy: %v", err)
+	}
+	return deploy.NewStore(b)
+}
+
+func deployUsage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  etude deploy publish  -bucket DIR -model NAME -catalog C [-seed N] [-notes S] [-promote]
+  etude deploy promote  -bucket DIR -version N
+  etude deploy rollback -bucket DIR [-reason S]
+  etude deploy list     -bucket DIR
+  etude deploy status   -bucket DIR`)
+	os.Exit(2)
+}

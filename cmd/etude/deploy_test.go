@@ -1,0 +1,108 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"etude/internal/deploy"
+	"etude/internal/model"
+	"etude/internal/objstore"
+)
+
+func publishTestRelease(t *testing.T, store *deploy.Store, seed int64) deploy.Release {
+	t.Helper()
+	cfg := model.Config{CatalogSize: 500, Seed: seed}
+	m, err := model.New("gru4rec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := model.SaveWeights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := store.Publish(model.Manifest{Model: "gru4rec", Config: cfg}, weights, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// TestRollbackRelease drives the CLI's rollback orchestration: CURRENT
+// returns to PREVIOUS, the bad release is quarantined, and a second
+// rollback refuses because the only remaining predecessor is the
+// quarantined release itself.
+func TestRollbackRelease(t *testing.T) {
+	store := deploy.NewStore(objstore.NewMemBucket())
+	v1 := publishTestRelease(t, store, 1)
+	v2 := publishTestRelease(t, store, 2)
+	if err := store.Promote(v1.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Promote(v2.Version); err != nil {
+		t.Fatal(err)
+	}
+
+	from, to, err := rollbackRelease(store, "latency regression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != v2.Version || to != v1.Version {
+		t.Fatalf("rollback moved v%d -> v%d, want v%d -> v%d", from, to, v2.Version, v1.Version)
+	}
+	cur, err := store.Current()
+	if err != nil || cur.Version != v1.Version {
+		t.Fatalf("current after rollback = v%d, %v", cur.Version, err)
+	}
+	reason, q := store.QuarantineReason(v2.Version)
+	if !q || reason != "latency regression" {
+		t.Fatalf("v2 quarantine = %q, %v", reason, q)
+	}
+
+	// PREVIOUS now names the quarantined v2; rolling back again must fail
+	// without moving the pointer.
+	if _, _, err := rollbackRelease(store, "again"); err == nil {
+		t.Fatal("rollback onto a quarantined release accepted")
+	}
+	if cur, err := store.Current(); err != nil || cur.Version != v1.Version {
+		t.Fatalf("failed rollback moved the pointer: v%d, %v", cur.Version, err)
+	}
+}
+
+func TestRollbackReleaseRequiresHistory(t *testing.T) {
+	store := deploy.NewStore(objstore.NewMemBucket())
+	if _, _, err := rollbackRelease(store, "x"); !errors.Is(err, deploy.ErrNoCurrent) {
+		t.Fatalf("rollback on empty store = %v, want ErrNoCurrent", err)
+	}
+	v1 := publishTestRelease(t, store, 1)
+	if err := store.Promote(v1.Version); err != nil {
+		t.Fatal(err)
+	}
+	// One promotion, no predecessor.
+	if _, _, err := rollbackRelease(store, "x"); err == nil {
+		t.Fatal("rollback without a previous release accepted")
+	}
+}
+
+// TestStorePrevious pins the accessor the CLI stands on: absent before
+// any second promotion, then tracking the superseded release.
+func TestStorePrevious(t *testing.T) {
+	store := deploy.NewStore(objstore.NewMemBucket())
+	if _, err := store.Previous(); !errors.Is(err, deploy.ErrNoCurrent) {
+		t.Fatalf("Previous on empty store = %v, want ErrNoCurrent", err)
+	}
+	v1 := publishTestRelease(t, store, 1)
+	v2 := publishTestRelease(t, store, 2)
+	if err := store.Promote(v1.Version); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Previous(); !errors.Is(err, deploy.ErrNoCurrent) {
+		t.Fatalf("Previous after first promotion = %v, want ErrNoCurrent", err)
+	}
+	if err := store.Promote(v2.Version); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := store.Previous()
+	if err != nil || prev.Version != v1.Version {
+		t.Fatalf("Previous = v%d, %v; want v%d", prev.Version, err, v1.Version)
+	}
+}

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	etude infra -bucket ./bucket
-//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|procs [-scale test|paper] [-pods inproc|proc]
+//	etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|deploy|breakdown|shard|blackout|tenant|procs [-scale test|paper] [-pods inproc|proc]
 //	etude bench -grid bench/smoke.json [-update-baseline]
+//	etude deploy publish|promote|rollback|list|status -bucket ./bucket
 //	etude live -model gru4rec -catalog 10000 -rate 100 -duration 30s [-bucket ./bucket]
 //	etude report -bucket ./bucket -key results/live.json
 //	etude advise -model gru4rec -catalog 10000000 -rate 1000
@@ -47,6 +48,8 @@ func main() {
 		benchmark(os.Args[2:])
 	case "bench":
 		benchCmd(os.Args[2:])
+	case "deploy":
+		deployCmd(os.Args[2:])
 	case "live":
 		live(os.Args[2:])
 	case "report":
@@ -63,8 +66,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   etude infra     -bucket DIR
-  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|breakdown|shard|blackout|procs [-scale test|paper] [-pods inproc|proc] [-bucket DIR]
+  etude benchmark -experiment fig2|fig3|fig4|table1|validation|issues|runtimes|autoscale|chaos|overload|rolling|deploy|breakdown|shard|blackout|tenant|procs [-scale test|paper] [-pods inproc|proc] [-bucket DIR]
   etude bench     -grid SPEC.json [-out DIR] [-baseline DIR] [-update-baseline] [-no-gate]
+  etude deploy    publish  -bucket DIR -model NAME -catalog C [-seed N] [-notes S] [-promote]
+  etude deploy    promote  -bucket DIR -version N
+  etude deploy    rollback -bucket DIR [-reason S]
+  etude deploy    list     -bucket DIR
+  etude deploy    status   -bucket DIR
   etude live      -model NAME -catalog C -rate R -duration D [-bucket DIR] [-replicas N]
   etude report    -bucket DIR -key KEY
   etude advise    -model NAME -catalog C -rate R [-slo D]

@@ -41,7 +41,7 @@ func main() {
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fmt.Println("\nserving on", ts.URL, "(JIT active:", srv.JITActive, ")")
+	fmt.Println("\nserving on", ts.URL, "(JIT active:", srv.JITActive(), ")")
 
 	// 4. Generate a synthetic click workload from two power-law marginals
 	// (Algorithm 1) and ramp the load to 200 req/s (Algorithm 2).

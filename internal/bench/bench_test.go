@@ -20,7 +20,7 @@ func TestParseGridDefaultsAndValidation(t *testing.T) {
 	if len(g.Seeds) != 2 || g.Seeds[0] != 1 || g.Seeds[1] != 2 {
 		t.Fatalf("seeds = %v", g.Seeds)
 	}
-	want := map[string]bool{"breakdown": true, "shard": true, "overload": true, "blackout": true, "tenant": true}
+	want := map[string]bool{"breakdown": true, "shard": true, "overload": true, "blackout": true, "tenant": true, "deploy": true}
 	if len(g.Experiments) != len(want) {
 		t.Fatalf("smoke experiments = %v", g.Experiments)
 	}

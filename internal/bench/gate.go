@@ -27,12 +27,14 @@ var lowerBetterSuffixes = []string{
 	"_ms", "_usd", "error_rate", "reconcile_err", "p90_ratio_diff",
 	"degraded_fraction", "floor_failures", "forced_kills",
 	"deadline_expired", "codel_dropped",
+	"blast_radius", "stall_ratio", "bad_serve_fraction", "dropped_fraction",
 }
 
 var higherBetterSuffixes = []string{
 	"availability", "goodput_rps", "goodput_fraction", "recall",
 	"speedup", "coverage", "coverage_mean", "saving_fraction",
 	"capacity_rps", "identical", "meets_slo", "supported", "feasible",
+	"rolled_back", "promoted", "quarantined",
 }
 
 // MetricPolarity infers gate polarity from the quantity suffix of a key.

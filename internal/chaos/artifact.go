@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"fmt"
+)
+
+// This file injects storage-plane faults: damaging release artifacts in the
+// shared object-store bucket. Pod faults differ per substrate (middleware
+// 503s in-process, POSIX signals for real processes); artifact faults do
+// not — both substrates read the same bucket, so one corruption primitive
+// serves the simulated engine (Injector.Arm), the live wall-clock driver
+// (ProcDriver) and direct use by experiments.
+
+// Artifact corruption modes.
+const (
+	// CorruptBitflip flips one bit of the object — silent media or transfer
+	// corruption. Length and key survive; only the checksum can tell.
+	CorruptBitflip = "bitflip"
+	// CorruptTruncate cuts the object to half its length — a copy or upload
+	// that stopped early but still committed.
+	CorruptTruncate = "truncate"
+	// CorruptTorn deletes the object outright — a publish that died between
+	// writing the manifest and the artifact it promises.
+	CorruptTorn = "torn"
+)
+
+// ValidCorruptMode reports whether mode names a known corruption mode.
+func ValidCorruptMode(mode string) bool {
+	switch mode {
+	case CorruptBitflip, CorruptTruncate, CorruptTorn:
+		return true
+	}
+	return false
+}
+
+// BucketTarget is the slice of an object-store bucket corruption needs.
+// objstore.Bucket satisfies it; the narrow interface keeps this package
+// decoupled from internal/objstore the same way SignalTarget decouples it
+// from internal/cluster.
+type BucketTarget interface {
+	Get(key string) ([]byte, error)
+	Put(key string, data []byte) error
+	Delete(key string) error
+}
+
+// CorruptArtifact damages the object at key in the given mode. The damage
+// is deterministic in seed (bitflip picks its byte and bit from it), so a
+// seeded scenario replays the identical corruption. Torn mode tolerates a
+// missing object — deleting what a torn publish never wrote is a no-op —
+// while bitflip and truncate need bytes to damage and fail without them.
+func CorruptArtifact(b BucketTarget, key, mode string, seed int64) error {
+	switch mode {
+	case CorruptTorn:
+		return b.Delete(key)
+	case CorruptBitflip, CorruptTruncate:
+	default:
+		return fmt.Errorf("chaos: unknown corruption mode %q", mode)
+	}
+	blob, err := b.Get(key)
+	if err != nil {
+		return fmt.Errorf("chaos: corrupting %s: %w", key, err)
+	}
+	if len(blob) == 0 {
+		return fmt.Errorf("chaos: corrupting %s: object is empty", key)
+	}
+	if seed < 0 {
+		seed = -seed
+	}
+	switch mode {
+	case CorruptBitflip:
+		blob[seed%int64(len(blob))] ^= 1 << (seed % 8)
+	case CorruptTruncate:
+		blob = blob[:len(blob)/2]
+	}
+	return b.Put(key, blob)
+}

@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"etude/internal/deploy"
+	"etude/internal/model"
+	"etude/internal/objstore"
+	"etude/internal/sim"
+)
+
+func TestCorruptArtifactBitflip(t *testing.T) {
+	b := objstore.NewMemBucket()
+	orig := []byte("the weights of a recommendation model")
+	if err := b.Put("w", orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptArtifact(b, "w", CorruptBitflip, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("bitflip changed length %d -> %d", len(orig), len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+			if x := got[i] ^ orig[i]; x&(x-1) != 0 {
+				t.Fatalf("byte %d differs by more than one bit: %08b", i, x)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bitflip changed %d bytes, want exactly 1", diff)
+	}
+
+	// Same seed, same damage: replay determinism.
+	b2 := objstore.NewMemBucket()
+	_ = b2.Put("w", orig)
+	if err := CorruptArtifact(b2, "w", CorruptBitflip, 7); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := b2.Get("w")
+	if !bytes.Equal(got, got2) {
+		t.Fatal("same seed produced different corruption")
+	}
+}
+
+func TestCorruptArtifactTruncate(t *testing.T) {
+	b := objstore.NewMemBucket()
+	orig := make([]byte, 100)
+	if err := b.Put("w", orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptArtifact(b, "w", CorruptTruncate, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Get("w")
+	if len(got) != 50 {
+		t.Fatalf("truncate left %d bytes, want 50", len(got))
+	}
+}
+
+func TestCorruptArtifactTorn(t *testing.T) {
+	b := objstore.NewMemBucket()
+	if err := b.Put("w", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptArtifact(b, "w", CorruptTorn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("w"); err == nil {
+		t.Fatal("torn artifact still readable")
+	}
+	// Tearing what was never written is how a torn publish looks: no error.
+	if err := CorruptArtifact(b, "w", CorruptTorn, 1); err != nil {
+		t.Fatalf("torn on missing key: %v", err)
+	}
+}
+
+func TestCorruptArtifactErrors(t *testing.T) {
+	b := objstore.NewMemBucket()
+	if err := CorruptArtifact(b, "w", "gamma-ray", 1); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := CorruptArtifact(b, "missing", CorruptBitflip, 1); err == nil {
+		t.Fatal("bitflip on missing key succeeded")
+	}
+	_ = b.Put("empty", nil)
+	if err := CorruptArtifact(b, "empty", CorruptBitflip, 1); err == nil {
+		t.Fatal("bitflip on empty object succeeded")
+	}
+}
+
+func TestValidateArtifactFault(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"valid", Fault{Kind: FaultArtifactCorrupt, Artifact: "k", Mode: CorruptBitflip}, true},
+		{"no key", Fault{Kind: FaultArtifactCorrupt, Mode: CorruptTorn}, false},
+		{"bad mode", Fault{Kind: FaultArtifactCorrupt, Artifact: "k", Mode: "rot13"}, false},
+	}
+	for _, tc := range cases {
+		err := Scenario{Name: tc.name, Faults: []Fault{tc.f}}.Validate(0)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestInjectorArmsArtifactCorruption(t *testing.T) {
+	sc := CorruptedPublish("w", CorruptTruncate, 10*time.Millisecond)
+	eng := sim.NewEngine()
+
+	// Without a bucket the scenario is unroutable — Arm must say so.
+	if err := NewInjector(sc).Arm(eng, nil); err == nil {
+		t.Fatal("Arm accepted an artifact fault with no bucket")
+	}
+
+	b := objstore.NewMemBucket()
+	_ = b.Put("w", make([]byte, 64))
+	inj := NewInjector(sc)
+	inj.SetBucket(b)
+	if err := inj.Arm(eng, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5 * time.Millisecond)
+	if got, _ := b.Get("w"); len(got) != 64 {
+		t.Fatal("artifact damaged before the fault's At offset")
+	}
+	eng.Run(20 * time.Millisecond)
+	if got, _ := b.Get("w"); len(got) != 32 {
+		t.Fatalf("artifact has %d bytes after fault window, want 32", len(got))
+	}
+}
+
+func TestProcDriverCorruptsArtifact(t *testing.T) {
+	b := objstore.NewMemBucket()
+	_ = b.Put("w", make([]byte, 64))
+	sc := CorruptedPublish("w", CorruptTorn, 0)
+	d := NewProcDriver(sc, nil).SetBucket(b)
+	d.Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := b.Get("w"); err != nil {
+			return // torn: the object is gone
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("driver never applied the artifact fault")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCorruptedReleaseFailsVerify ties the fault to its defence: a release
+// damaged by any corruption mode must fail the store's checksum
+// verification and refuse to load.
+func TestCorruptedReleaseFailsVerify(t *testing.T) {
+	for _, mode := range []string{CorruptBitflip, CorruptTruncate, CorruptTorn} {
+		t.Run(mode, func(t *testing.T) {
+			bucket := objstore.NewMemBucket()
+			store := deploy.NewStore(bucket)
+			cfg := model.Config{CatalogSize: 100, Seed: 1}
+			m, err := model.New("gru4rec", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weights, err := model.SaveWeights(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := store.Publish(model.Manifest{Model: "gru4rec", Config: cfg}, weights, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CorruptArtifact(bucket, rel.Artifacts[0].Key, mode, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Verify(rel); err == nil {
+				t.Fatal("corrupted release passed verification")
+			}
+			if _, err := store.Load(rel); err == nil {
+				t.Fatal("corrupted release loaded")
+			}
+		})
+	}
+}

@@ -48,6 +48,13 @@ const (
 	// the demand side, not the fleet: the load schedule consults
 	// Injector.LoadFactor when laying out each tick.
 	FaultLoadSpike
+	// FaultArtifactCorrupt damages one object in the shared release bucket
+	// at At: Artifact names the key and Mode how it breaks (CorruptBitflip,
+	// CorruptTruncate, CorruptTorn). Unlike the pod faults it targets the
+	// storage plane — both substrates share the bucket, so the same fault
+	// hits in-process and real-process fleets identically. Duration is
+	// meaningless: corruption does not heal.
+	FaultArtifactCorrupt
 )
 
 // String names the fault kind.
@@ -65,6 +72,8 @@ func (k FaultKind) String() string {
 		return "az-outage"
 	case FaultLoadSpike:
 		return "load-spike"
+	case FaultArtifactCorrupt:
+		return "artifact-corrupt"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -88,6 +97,11 @@ type Fault struct {
 	Delay time.Duration `json:"delay,omitempty"`
 	// Prob is the per-request drop probability (FaultNetworkDrop).
 	Prob float64 `json:"prob,omitempty"`
+	// Artifact is the bucket key to damage (FaultArtifactCorrupt).
+	Artifact string `json:"artifact,omitempty"`
+	// Mode is how the artifact breaks (FaultArtifactCorrupt): one of
+	// CorruptBitflip, CorruptTruncate, CorruptTorn.
+	Mode string `json:"mode,omitempty"`
 }
 
 // active reports whether t falls inside the fault window.
@@ -134,6 +148,13 @@ func (s Scenario) Validate(pods int) error {
 		case FaultLoadSpike:
 			if f.Factor <= 0 {
 				return fmt.Errorf("chaos: fault %d of %q has non-positive load factor", i, s.Name)
+			}
+		case FaultArtifactCorrupt:
+			if f.Artifact == "" {
+				return fmt.Errorf("chaos: fault %d of %q names no artifact key", i, s.Name)
+			}
+			if !ValidCorruptMode(f.Mode) {
+				return fmt.Errorf("chaos: fault %d of %q has unknown corruption mode %q", i, s.Name, f.Mode)
 			}
 		default:
 			return fmt.Errorf("chaos: fault %d of %q has unknown kind %d", i, s.Name, int(f.Kind))
@@ -221,5 +242,17 @@ func ShardBlackout(group, replicas int, at time.Duration) Scenario {
 	}
 	return Scenario{Name: "shard-blackout", Seed: 1, Faults: []Fault{
 		{Kind: FaultAZOutage, At: at, Pods: pods},
+	}}
+}
+
+// CorruptedPublish returns the supply-chain-gone-wrong scenario: the
+// artifact at `key` is damaged in mode `mode` at time `at` — a bit rotted
+// on the wire, a copy cut short, or a publish that died between artifact
+// and manifest. The release store's per-artifact checksums are the defence
+// this scenario exists to exercise: a corrupted release must quarantine,
+// never serve.
+func CorruptedPublish(key, mode string, at time.Duration) Scenario {
+	return Scenario{Name: "corrupted-publish", Seed: 1, Faults: []Fault{
+		{Kind: FaultArtifactCorrupt, At: at, Artifact: key, Mode: mode},
 	}}
 }

@@ -24,6 +24,10 @@ var ErrDropped = fmt.Errorf("chaos: request dropped by fault injection")
 type Injector struct {
 	sc Scenario
 
+	// bucket receives artifact-corruption faults (SetBucket). Nil when the
+	// scenario has none.
+	bucket BucketTarget
+
 	mu  sync.Mutex
 	rng *rand.Rand
 
@@ -38,6 +42,11 @@ func NewInjector(sc Scenario) *Injector {
 
 // Scenario returns the scenario the injector replays.
 func (inj *Injector) Scenario() Scenario { return inj.sc }
+
+// SetBucket attaches the object-store bucket artifact-corruption faults
+// apply to. Arm rejects scenarios carrying FaultArtifactCorrupt until one
+// is attached.
+func (inj *Injector) SetBucket(b BucketTarget) { inj.bucket = b }
 
 // Arm schedules every pod-lifecycle fault of the scenario on the engine
 // against the fleet: crashes, restarts, slowdown windows and AZ outages.
@@ -73,6 +82,15 @@ func (inj *Injector) Arm(eng *sim.Engine, fleet []*sim.Instance) error {
 		case FaultNetworkDelay, FaultNetworkDrop, FaultLoadSpike:
 			// Demand-side / per-request faults; evaluated lazily by
 			// NetworkFault and LoadFactor.
+		case FaultArtifactCorrupt:
+			if inj.bucket == nil {
+				return fmt.Errorf("chaos: scenario %q corrupts artifacts but no bucket is attached (SetBucket)", inj.sc.Name)
+			}
+			eng.Schedule(f.At, func() {
+				if err := CorruptArtifact(inj.bucket, f.Artifact, f.Mode, inj.sc.Seed); err != nil {
+					logEvent().Warn("artifact corruption failed", "key", f.Artifact, "mode", f.Mode, "err", err)
+				}
+			})
 		}
 	}
 	return nil

@@ -21,6 +21,10 @@ import (
 // Network faults (delay, drop) and load spikes are deliberately not
 // routed: they are client-side by construction — Injector.RoundTripper
 // and the load schedule impose them identically on both backends.
+// Artifact-corruption faults are storage-side: attach the shared bucket
+// with SetBucket and the driver damages the named objects on schedule —
+// real processes observe the corruption through the same filesystem
+// bucket the driver writes.
 //
 // The driver addresses pods by replica ordinal through a narrow interface
 // so this package stays decoupled from internal/cluster; cluster.Service
@@ -47,6 +51,7 @@ const slowPodPeriod = 40 * time.Millisecond
 type ProcDriver struct {
 	scenario Scenario
 	target   SignalTarget
+	bucket   BucketTarget
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -57,6 +62,15 @@ type ProcDriver struct {
 // NewProcDriver returns an unarmed driver for the scenario.
 func NewProcDriver(s Scenario, target SignalTarget) *ProcDriver {
 	return &ProcDriver{scenario: s, target: target, stop: make(chan struct{})}
+}
+
+// SetBucket attaches the object-store bucket artifact-corruption faults
+// apply to, returning the driver for chaining. Scenarios carrying
+// FaultArtifactCorrupt need one before Start; without it those faults are
+// skipped with a warning.
+func (d *ProcDriver) SetBucket(b BucketTarget) *ProcDriver {
+	d.bucket = b
+	return d
 }
 
 // Start arms every routable fault, with At offsets measured from now.
@@ -83,6 +97,16 @@ func (d *ProcDriver) Start() {
 			})
 		case FaultSlowPod:
 			d.after(f.At, func() { d.dutyCycle(f) })
+		case FaultArtifactCorrupt:
+			if d.bucket == nil {
+				logEvent().Warn("artifact fault skipped: no bucket attached", "key", f.Artifact)
+				continue
+			}
+			d.after(f.At, func() {
+				if err := CorruptArtifact(d.bucket, f.Artifact, f.Mode, d.scenario.Seed); err != nil {
+					logEvent().Warn("artifact corruption failed", "key", f.Artifact, "mode", f.Mode, "err", err)
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"etude/internal/deploy"
+	"etude/internal/httpapi"
+	"etude/internal/metrics"
+)
+
+// This file implements the SLO-guarded canary rollout: a new release is
+// deployed to a small slice of a service's pods, its per-version error rate
+// and p99 are compared against the baseline cohort over an observation
+// window, and the verdict (deploy.Decide — the same pure function the
+// discrete-event simulator applies) either promotes the release fleet-wide
+// through the store's CURRENT pointer or rolls the canary pods back and
+// quarantines the release. The blast radius of a bad release is bounded by
+// construction: only the canary slice ever serves it.
+
+// CanaryConfig tunes one rollout.
+type CanaryConfig struct {
+	// CanaryPods is the slice size pinned to the candidate (default 1; must
+	// leave at least one baseline pod).
+	CanaryPods int
+	// Observe is the pause between verdict evaluations (default 100ms).
+	Observe time.Duration
+	// Timeout bounds the whole rollout; expiring without a verdict rolls
+	// back — an unjudgeable canary is treated as a failed one (default 30s).
+	Timeout time.Duration
+	// Thresholds are the SLO guardrails (zero fields take
+	// deploy.DefaultThresholds).
+	Thresholds deploy.Thresholds
+}
+
+func (c CanaryConfig) withDefaults() CanaryConfig {
+	if c.CanaryPods <= 0 {
+		c.CanaryPods = 1
+	}
+	if c.Observe <= 0 {
+		c.Observe = 100 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// CanaryOutcome reports how a rollout ended.
+type CanaryOutcome struct {
+	// Version is the candidate release.
+	Version int
+	// Promoted means the candidate met the SLO and now serves fleet-wide.
+	Promoted bool
+	// RolledBack means a guardrail breached (or the rollout timed out): the
+	// canary pods were re-pinned to the baseline version and the candidate
+	// quarantined.
+	RolledBack bool
+	// Quarantined means the candidate failed artifact verification on the
+	// canary pods and never served a single request.
+	Quarantined bool
+	// Reason explains the verdict.
+	Reason string
+	// BaselineVersion is the version the baseline cohort served throughout.
+	BaselineVersion int
+	// CanaryP99/BaselineP99 are the cohort latencies at verdict time.
+	CanaryP99, BaselineP99 time.Duration
+	// CanaryErrorRate is the canary cohort's error rate at verdict time.
+	CanaryErrorRate float64
+	// CanaryServed counts requests the candidate answered before the
+	// verdict — the rollback blast radius in requests.
+	CanaryServed int64
+	// Decided is the time from canary deploy to verdict.
+	Decided time.Duration
+}
+
+// CanaryController drives SLO-guarded rollouts against a release store.
+// Safe for use from one goroutine per service.
+type CanaryController struct {
+	store      *deploy.Store
+	promotions atomic.Int64
+	rollbacks  atomic.Int64
+}
+
+// NewCanaryController returns a controller promoting and quarantining
+// through store.
+func NewCanaryController(store *deploy.Store) *CanaryController {
+	return &CanaryController{store: store}
+}
+
+// Promotions returns how many releases this controller promoted fleet-wide.
+func (cc *CanaryController) Promotions() int64 { return cc.promotions.Load() }
+
+// Rollbacks returns how many releases this controller rolled back.
+func (cc *CanaryController) Rollbacks() int64 { return cc.rollbacks.Load() }
+
+// WriteMetrics appends the controller's counters to a Prometheus builder.
+func (cc *CanaryController) WriteMetrics(b *metrics.PromBuilder) {
+	b.Counter("etude_deploy_promotions_total", "Releases promoted fleet-wide after a clean canary.", float64(cc.promotions.Load()))
+	b.Counter("etude_deploy_rollbacks_total", "Releases rolled back by the canary guardrails.", float64(cc.rollbacks.Load()))
+}
+
+// Rollout canaries release `version` on svc: deploy it to the canary slice,
+// observe per-version health against the baseline cohort, then promote
+// fleet-wide or roll back and quarantine. The service's pods must run the
+// ETUDE runtime with PodSpec.Releases — the controller talks to their
+// /admin/deploy endpoints and scrapes their /metrics.
+func (cc *CanaryController) Rollout(ctx context.Context, svc *Service, version int, cfg CanaryConfig) (CanaryOutcome, error) {
+	cfg = cfg.withDefaults()
+	out := CanaryOutcome{Version: version}
+
+	pods := svc.Pods()
+	if len(pods) <= cfg.CanaryPods {
+		return out, fmt.Errorf("cluster: canary needs more than %d pods, service has %d", cfg.CanaryPods, len(pods))
+	}
+	canary, baseline := pods[:cfg.CanaryPods], pods[cfg.CanaryPods:]
+
+	// The baseline version anchors both the comparison cohort and the
+	// rollback target; read it off a baseline pod's gauge.
+	bv, err := scrapeModelVersion(baseline[0].URL())
+	if err != nil {
+		return out, fmt.Errorf("cluster: reading baseline version: %w", err)
+	}
+	if bv == version {
+		return out, fmt.Errorf("cluster: candidate v%d is already the baseline", version)
+	}
+	out.BaselineVersion = bv
+
+	// Deploy the candidate to the canary slice. A pod refusing it (422
+	// checksum failure, 409 quarantined) means the release must not serve:
+	// the pod has already quarantined it in the store, the incumbent keeps
+	// serving, and the rollout is over without a single candidate response.
+	started := time.Now()
+	for _, p := range canary {
+		code, err := postDeploy(ctx, p.URL(), version)
+		if err != nil {
+			return out, fmt.Errorf("cluster: deploying canary to replica %d: %w", p.Replica(), err)
+		}
+		if code != http.StatusOK {
+			out.Quarantined = true
+			out.Reason = fmt.Sprintf("canary pod refused release (HTTP %d)", code)
+			out.Decided = time.Since(started)
+			cc.rollbacks.Add(1)
+			// Re-pin any canary pods an earlier iteration already swapped.
+			cc.repin(ctx, canary, bv)
+			return out, nil
+		}
+	}
+
+	deadline := time.Now().Add(cfg.Timeout)
+	for {
+		select {
+		case <-ctx.Done():
+			cc.repin(ctx, canary, bv)
+			return out, ctx.Err()
+		case <-time.After(cfg.Observe):
+		}
+		cstats := scrapeCohort(canary, version)
+		bstats := scrapeCohort(baseline, bv)
+		verdict, reason := deploy.Decide(cstats, bstats, cfg.Thresholds)
+		if verdict == deploy.VerdictWait && time.Now().Before(deadline) {
+			continue
+		}
+		out.Reason = reason
+		out.CanaryP99, out.BaselineP99 = cstats.P99, bstats.P99
+		out.CanaryErrorRate = cstats.ErrorRate()
+		out.CanaryServed = cstats.Requests
+		out.Decided = time.Since(started)
+
+		if verdict == deploy.VerdictPromote {
+			if err := cc.store.Promote(version); err != nil {
+				cc.repin(ctx, canary, bv)
+				return out, fmt.Errorf("cluster: promoting v%d: %w", version, err)
+			}
+			// Watchers converge on CURRENT on their own; the direct deploy
+			// below makes promotion immediate for pods polling slowly (or
+			// not at all).
+			cc.repin(ctx, baseline, version)
+			out.Promoted = true
+			cc.promotions.Add(1)
+			return out, nil
+		}
+		// Rollback: a timed-out canary lands here too — an unjudgeable
+		// release does not get promoted.
+		if verdict == deploy.VerdictWait {
+			out.Reason = "observation timeout: " + reason
+		}
+		cc.repin(ctx, canary, bv)
+		if qerr := cc.store.Quarantine(version, out.Reason); qerr != nil {
+			logEvent().Warn("quarantine after rollback failed", "version", version, "err", qerr)
+		}
+		out.RolledBack = true
+		cc.rollbacks.Add(1)
+		return out, nil
+	}
+}
+
+// repin points pods at a version, best-effort: rollback must make progress
+// even if one pod is mid-restart.
+func (cc *CanaryController) repin(ctx context.Context, pods []*Pod, version int) {
+	for _, p := range pods {
+		if code, err := postDeploy(ctx, p.URL(), version); err != nil || code != http.StatusOK {
+			logEvent().Warn("re-pinning pod failed", "replica", p.Replica(), "version", version, "code", code, "err", err)
+		}
+	}
+}
+
+// postDeploy POSTs a hot-swap request to one pod's admin endpoint.
+func postDeploy(ctx context.Context, podURL string, version int) (int, error) {
+	body, _ := json.Marshal(httpapi.DeployRequest{Version: version})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, podURL+httpapi.DeployPath, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// scrapeCohort aggregates one cohort's per-version health: requests and
+// errors sum across pods, p99 is the worst pod's (a single slow canary pod
+// must not hide behind a fast sibling).
+func scrapeCohort(pods []*Pod, version int) deploy.CohortStats {
+	var agg deploy.CohortStats
+	for _, p := range pods {
+		st, err := scrapeVersionStats(p.URL(), version)
+		if err != nil {
+			continue
+		}
+		agg.Requests += st.Requests
+		agg.Errors += st.Errors
+		if st.P99 > agg.P99 {
+			agg.P99 = st.P99
+		}
+	}
+	return agg
+}
+
+// scrapeVersionStats reads one pod's version-scoped health families.
+func scrapeVersionStats(podURL string, version int) (deploy.CohortStats, error) {
+	samples, err := scrapeMetrics(podURL)
+	if err != nil {
+		return deploy.CohortStats{}, err
+	}
+	vs := strconv.Itoa(version)
+	var st deploy.CohortStats
+	for _, s := range samples {
+		if s.Labels["version"] != vs {
+			continue
+		}
+		switch s.Name {
+		case "etude_version_requests_total":
+			st.Requests = int64(s.Value)
+		case "etude_version_errors_total":
+			st.Errors = int64(s.Value)
+		case "etude_version_request_seconds":
+			if s.Labels["quantile"] == "0.99" {
+				st.P99 = time.Duration(s.Value * float64(time.Second))
+			}
+		}
+	}
+	return st, nil
+}
+
+// scrapeModelVersion reads a pod's etude_model_version gauge.
+func scrapeModelVersion(podURL string) (int, error) {
+	samples, err := scrapeMetrics(podURL)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range samples {
+		if s.Name == "etude_model_version" {
+			return int(s.Value), nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: pod exposes no etude_model_version gauge")
+}
+
+func scrapeMetrics(podURL string) ([]metrics.PromSample, error) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(podURL + httpapi.MetricsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: metrics scrape returned HTTP %d", resp.StatusCode)
+	}
+	return metrics.ParsePromText(resp.Body)
+}

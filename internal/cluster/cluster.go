@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"etude/internal/deploy"
 	"etude/internal/httpapi"
 	"etude/internal/loadgen"
 	"etude/internal/objstore"
@@ -66,6 +67,18 @@ type PodSpec struct {
 	// ModelKey locates the model manifest in the cluster's bucket (ignored
 	// by the static runtime; optional for TorchServe).
 	ModelKey string
+	// Releases deploys the ETUDE runtime from the bucket's versioned release
+	// store (internal/deploy) instead of a raw ModelKey manifest: the pod
+	// serves ModelVersion (0 = the store's CURRENT pointer) and exposes the
+	// /admin/deploy hot-swap endpoint the canary controller drives.
+	Releases bool
+	// ModelVersion pins the release version under Releases; canary pods are
+	// pinned to the candidate while the baseline cohort stays on CURRENT.
+	ModelVersion int
+	// WatchReleases, when > 0 under Releases, makes each pod poll the store
+	// at this interval and hot-swap onto newly promoted versions — fleet-wide
+	// promotion without contacting pods individually.
+	WatchReleases time.Duration
 	// InstanceType labels the machine type for reporting ("cpu", ...).
 	InstanceType string
 	// Server configures the ETUDE runtime.
@@ -540,7 +553,13 @@ func (b *inprocBackend) start(spec PodSpec, replica int) (*Pod, error) {
 	var closeFn, drainFn func()
 	switch spec.Runtime {
 	case RuntimeEtude:
-		srv, err := server.LoadFromBucket(b.c.bucket, spec.ModelKey, spec.Server)
+		var srv *server.Server
+		var err error
+		if spec.Releases {
+			srv, err = server.LoadFromReleases(deploy.NewStore(b.c.bucket), spec.ModelVersion, spec.WatchReleases, spec.Server)
+		} else {
+			srv, err = server.LoadFromBucket(b.c.bucket, spec.ModelKey, spec.Server)
+		}
 		if err != nil {
 			return nil, err
 		}

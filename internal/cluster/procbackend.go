@@ -99,10 +99,20 @@ func procArgs(spec PodSpec, bucketDir string) ([]string, error) {
 	var args []string
 	switch spec.Runtime {
 	case RuntimeEtude:
-		if spec.ModelKey == "" {
+		switch {
+		case spec.Releases:
+			args = append(args, "-bucket", bucketDir, "-releases")
+			if spec.ModelVersion > 0 {
+				args = append(args, "-model-version", strconv.Itoa(spec.ModelVersion))
+			}
+			if spec.WatchReleases > 0 {
+				args = append(args, "-watch-releases", spec.WatchReleases.String())
+			}
+		case spec.ModelKey == "":
 			return nil, fmt.Errorf("cluster: process pod needs a model key")
+		default:
+			args = append(args, "-bucket", bucketDir, "-key", spec.ModelKey)
 		}
-		args = append(args, "-bucket", bucketDir, "-key", spec.ModelKey)
 	case RuntimeEtudeStatic:
 		args = append(args, "-static")
 	case RuntimeTorchServe:

@@ -1,0 +1,490 @@
+// Package deploy is the versioned, content-checksummed model release store
+// — the missing half of the paper's "deploy serialised models from storage
+// buckets" flow. The bucket already loads one unversioned blob at startup;
+// this package adds what a fleet that retrains daily actually needs: a
+// monotonic release history, per-artifact SHA-256 so a corrupted archive is
+// detected before it ever serves, a publish protocol whose `current`
+// pointer is written atomically last (a crash mid-publish can never expose
+// a half-written release), and a quarantine ledger for releases the fleet
+// has rejected.
+//
+// Bucket layout:
+//
+//	releases/v00000001/manifest.json   model manifest (artifact, checksummed)
+//	releases/v00000001/weights.bin     optional weight archive (artifact)
+//	releases/v00000001/release.json    release record: version + artifact SHAs
+//	releases/v00000001/quarantine.json quarantine marker (reason), if rejected
+//	releases/PREVIOUS                  prior pointer, kept for torn recovery
+//	releases/CURRENT                   {version, sha256(release.json)} — LAST
+//
+// Publish order is artifacts → release.json → (Promote:) PREVIOUS →
+// CURRENT. Readers treat a version directory without a release.json as
+// nonexistent, and a CURRENT whose embedded checksum does not match the
+// release record it points at as torn — recovery falls back to PREVIOUS.
+// Combined with objstore.FSBucket's fsync-then-rename Put, a crash at any
+// byte of the protocol leaves the store serving the last good release.
+package deploy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"etude/internal/model"
+	"etude/internal/objstore"
+)
+
+const (
+	// Prefix is the bucket namespace the store owns.
+	Prefix = "releases/"
+	// currentKey is the fleet-wide promotion pointer, written atomically
+	// last in every publish.
+	currentKey = Prefix + "CURRENT"
+	// previousKey holds the pointer CURRENT replaced, for torn recovery.
+	previousKey = Prefix + "PREVIOUS"
+
+	manifestName   = "manifest.json"
+	weightsName    = "weights.bin"
+	recordName     = "release.json"
+	quarantineName = "quarantine.json"
+)
+
+// Store errors.
+var (
+	// ErrNoCurrent means no release has ever been promoted.
+	ErrNoCurrent = errors.New("deploy: no current release")
+	// ErrNotFound means the requested version has no (complete) release.
+	ErrNotFound = errors.New("deploy: release not found")
+	// ErrQuarantined refuses loading or promoting a quarantined release.
+	ErrQuarantined = errors.New("deploy: release is quarantined")
+	// ErrTornPointer marks a CURRENT pointer that does not validate against
+	// the release record it names — the signature of a torn publish.
+	ErrTornPointer = errors.New("deploy: torn current pointer")
+)
+
+// VerifyError reports a content-checksum mismatch on one release artifact.
+type VerifyError struct {
+	Version int
+	Key     string
+	Want    string
+	Got     string
+	Cause   error
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("deploy: release v%d artifact %s: %v", e.Version, e.Key, e.Cause)
+	}
+	return fmt.Sprintf("deploy: release v%d artifact %s checksum mismatch: want %.12s, got %.12s",
+		e.Version, e.Key, e.Want, e.Got)
+}
+
+// Unwrap exposes the underlying bucket error, if any.
+func (e *VerifyError) Unwrap() error { return e.Cause }
+
+// Artifact is one checksummed object of a release.
+type Artifact struct {
+	// Key locates the object in the bucket.
+	Key string `json:"key"`
+	// SHA256 is the hex digest of the object's content.
+	SHA256 string `json:"sha256"`
+	// Bytes is the object's size, for reload-cost reporting.
+	Bytes int `json:"bytes"`
+}
+
+// Release is one immutable published model version.
+type Release struct {
+	// Version is the monotonic release number (1-based).
+	Version int `json:"version"`
+	// Model names the architecture, for listings.
+	Model string `json:"model"`
+	// ManifestKey locates the model manifest artifact.
+	ManifestKey string `json:"manifest_key"`
+	// Artifacts lists every object of the release with its checksum.
+	Artifacts []Artifact `json:"artifacts"`
+	// Notes is free-form operator context ("retrain 2024-06-01").
+	Notes string `json:"notes,omitempty"`
+}
+
+// pointer is the CURRENT/PREVIOUS record: the promoted version plus the
+// checksum of its release record, so a reader can detect a pointer that
+// survived a crash the record did not (or vice versa).
+type pointer struct {
+	Version int    `json:"version"`
+	SHA256  string `json:"sha256"`
+}
+
+// Quarantine is the persisted rejection marker of a release.
+type Quarantine struct {
+	Version int    `json:"version"`
+	Reason  string `json:"reason"`
+}
+
+// Store is a release store over a bucket. Methods are safe for concurrent
+// readers; publishing is single-writer (one CI/CD pipeline), as in the
+// paper's deployment flow.
+type Store struct {
+	bucket objstore.Bucket
+}
+
+// NewStore returns a release store over b.
+func NewStore(b objstore.Bucket) *Store { return &Store{bucket: b} }
+
+// Bucket returns the underlying bucket.
+func (s *Store) Bucket() objstore.Bucket { return s.bucket }
+
+// dir returns a version's directory prefix ("releases/v00000042/").
+func dir(version int) string { return fmt.Sprintf("%sv%08d/", Prefix, version) }
+
+// recordKey returns the release-record key of a version.
+func recordKey(version int) string { return dir(version) + recordName }
+
+func sha(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Publish stages a new release: the next monotonic version is allocated,
+// artifacts are written first, the checksummed release record last. The
+// release becomes visible to Get/List/Latest but does NOT serve anywhere
+// until Promote moves the CURRENT pointer (or a canary controller deploys
+// it to a slice of pods directly). A crash at any point of Publish leaves
+// at worst an invisible, incomplete version directory that the next
+// Publish simply skips past.
+func (s *Store) Publish(m model.Manifest, weights []byte, notes string) (Release, error) {
+	if m.Model == "" {
+		return Release{}, fmt.Errorf("deploy: manifest missing model name")
+	}
+	latest, err := s.Latest()
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return Release{}, err
+	}
+	version := latest + 1
+
+	rel := Release{
+		Version:     version,
+		Model:       m.Model,
+		ManifestKey: dir(version) + manifestName,
+		Notes:       notes,
+	}
+	if len(weights) > 0 {
+		wk := dir(version) + weightsName
+		if err := s.bucket.Put(wk, weights); err != nil {
+			return Release{}, fmt.Errorf("deploy: writing weights: %w", err)
+		}
+		rel.Artifacts = append(rel.Artifacts, Artifact{Key: wk, SHA256: sha(weights), Bytes: len(weights)})
+		// The stored manifest points at the release's own weight archive so
+		// the release directory is self-contained.
+		m.WeightsKey = wk
+	}
+	mdata, err := model.MarshalManifest(m)
+	if err != nil {
+		return Release{}, err
+	}
+	if err := s.bucket.Put(rel.ManifestKey, mdata); err != nil {
+		return Release{}, fmt.Errorf("deploy: writing manifest: %w", err)
+	}
+	rel.Artifacts = append(rel.Artifacts, Artifact{Key: rel.ManifestKey, SHA256: sha(mdata), Bytes: len(mdata)})
+
+	rdata, err := json.MarshalIndent(rel, "", "  ")
+	if err != nil {
+		return Release{}, fmt.Errorf("deploy: encoding release record: %w", err)
+	}
+	// The record is the commit point of the stage: before this Put the
+	// version does not exist, after it the version is complete.
+	if err := s.bucket.Put(recordKey(version), rdata); err != nil {
+		return Release{}, fmt.Errorf("deploy: writing release record: %w", err)
+	}
+	return rel, nil
+}
+
+// Promote makes a staged release the fleet-wide current version. The
+// release is verified first (a corrupted release must not be promotable),
+// the outgoing pointer is preserved as PREVIOUS, and CURRENT itself is
+// written atomically last — the only mutation a reader's view of "what
+// serves" depends on.
+func (s *Store) Promote(version int) error {
+	rel, raw, err := s.getRaw(version)
+	if err != nil {
+		return err
+	}
+	if reason, q := s.QuarantineReason(version); q {
+		return fmt.Errorf("%w: v%d (%s)", ErrQuarantined, version, reason)
+	}
+	if err := s.Verify(rel); err != nil {
+		return fmt.Errorf("deploy: refusing to promote: %w", err)
+	}
+	// Preserve the outgoing pointer for torn-CURRENT recovery — but only a
+	// pointer that itself resolves. Blindly copying a torn CURRENT into
+	// PREVIOUS would destroy the one good fallback; a missing CURRENT
+	// (first promotion) has nothing to preserve.
+	if _, err := s.resolvePointer(currentKey); err == nil {
+		cur, err := s.bucket.Get(currentKey)
+		if err != nil {
+			return fmt.Errorf("deploy: rereading current pointer: %w", err)
+		}
+		if err := s.bucket.Put(previousKey, cur); err != nil {
+			return fmt.Errorf("deploy: preserving previous pointer: %w", err)
+		}
+	}
+	ptr, err := json.Marshal(pointer{Version: version, SHA256: sha(raw)})
+	if err != nil {
+		return fmt.Errorf("deploy: encoding pointer: %w", err)
+	}
+	if err := s.bucket.Put(currentKey, ptr); err != nil {
+		return fmt.Errorf("deploy: publishing current pointer: %w", err)
+	}
+	return nil
+}
+
+// Current resolves the promoted release. A CURRENT pointer that is
+// unreadable, malformed, or whose checksum does not match the release
+// record it names is treated as torn; recovery falls back to the PREVIOUS
+// pointer so the fleet keeps resolving the last good release. Only when
+// both pointers fail does Current surface ErrTornPointer.
+func (s *Store) Current() (Release, error) {
+	rel, err := s.resolvePointer(currentKey)
+	if err == nil {
+		return rel, nil
+	}
+	if errors.Is(err, ErrNoCurrent) {
+		return Release{}, err
+	}
+	// Torn CURRENT: recover through the preserved predecessor.
+	if prev, perr := s.resolvePointer(previousKey); perr == nil {
+		return prev, nil
+	}
+	return Release{}, fmt.Errorf("%w: %v", ErrTornPointer, err)
+}
+
+// Previous resolves the PREVIOUS pointer — the release that was serving
+// before the last promotion, and therefore the target of an operator
+// rollback. Returns ErrNoCurrent when no promotion has ever been
+// superseded (there is nothing to roll back to).
+func (s *Store) Previous() (Release, error) {
+	return s.resolvePointer(previousKey)
+}
+
+// resolvePointer reads one pointer object and validates it against the
+// release record it names.
+func (s *Store) resolvePointer(key string) (Release, error) {
+	data, err := s.bucket.Get(key)
+	if err != nil {
+		if errors.Is(err, objstore.ErrNotFound) {
+			return Release{}, ErrNoCurrent
+		}
+		return Release{}, fmt.Errorf("deploy: reading pointer: %w", err)
+	}
+	var ptr pointer
+	if err := json.Unmarshal(data, &ptr); err != nil {
+		return Release{}, fmt.Errorf("deploy: pointer undecodable: %w", err)
+	}
+	if ptr.Version <= 0 {
+		return Release{}, fmt.Errorf("deploy: pointer names invalid version %d", ptr.Version)
+	}
+	rel, raw, err := s.getRaw(ptr.Version)
+	if err != nil {
+		return Release{}, fmt.Errorf("deploy: pointer names v%d: %w", ptr.Version, err)
+	}
+	if got := sha(raw); got != ptr.SHA256 {
+		return Release{}, fmt.Errorf("deploy: pointer checksum %.12s does not match release record %.12s", ptr.SHA256, got)
+	}
+	return rel, nil
+}
+
+// Get returns a staged release by version.
+func (s *Store) Get(version int) (Release, error) {
+	rel, _, err := s.getRaw(version)
+	return rel, err
+}
+
+func (s *Store) getRaw(version int) (Release, []byte, error) {
+	raw, err := s.bucket.Get(recordKey(version))
+	if err != nil {
+		if errors.Is(err, objstore.ErrNotFound) {
+			return Release{}, nil, fmt.Errorf("%w: v%d", ErrNotFound, version)
+		}
+		return Release{}, nil, fmt.Errorf("deploy: reading release record: %w", err)
+	}
+	var rel Release
+	if err := json.Unmarshal(raw, &rel); err != nil {
+		return Release{}, nil, fmt.Errorf("deploy: release record v%d undecodable: %w", version, err)
+	}
+	if rel.Version != version {
+		return Release{}, nil, fmt.Errorf("deploy: release record at v%d claims version %d", version, rel.Version)
+	}
+	return rel, raw, nil
+}
+
+// List returns every complete (record-committed) release, oldest first.
+// Version directories without a release record — the residue of a crashed
+// publish — are invisible.
+func (s *Store) List() ([]Release, error) {
+	keys, err := s.bucket.List(Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: listing releases: %w", err)
+	}
+	var rels []Release
+	for _, k := range keys {
+		v, ok := versionOfRecord(k)
+		if !ok {
+			continue
+		}
+		rel, _, err := s.getRaw(v)
+		if err != nil {
+			// A record deleted between List and Get, or one that fails its
+			// own sanity checks: skip rather than fail the whole listing.
+			continue
+		}
+		rels = append(rels, rel)
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Version < rels[j].Version })
+	return rels, nil
+}
+
+// versionOfRecord parses "releases/v<NNNNNNNN>/release.json" into its
+// version number.
+func versionOfRecord(key string) (int, bool) {
+	rest, ok := strings.CutPrefix(key, Prefix+"v")
+	if !ok {
+		return 0, false
+	}
+	num, ok := strings.CutSuffix(rest, "/"+recordName)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.Atoi(num)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Latest returns the highest complete release version, or ErrNotFound when
+// nothing has been published.
+func (s *Store) Latest() (int, error) {
+	keys, err := s.bucket.List(Prefix)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: listing releases: %w", err)
+	}
+	latest := 0
+	for _, k := range keys {
+		if v, ok := versionOfRecord(k); ok && v > latest {
+			latest = v
+		}
+	}
+	if latest == 0 {
+		return 0, ErrNotFound
+	}
+	return latest, nil
+}
+
+// Verify re-reads every artifact of a release and checks its SHA-256. The
+// error (a *VerifyError) pins the first artifact that is missing or whose
+// content drifted — a bit-flip, a truncation, a torn write.
+func (s *Store) Verify(rel Release) error {
+	for _, a := range rel.Artifacts {
+		data, err := s.bucket.Get(a.Key)
+		if err != nil {
+			return &VerifyError{Version: rel.Version, Key: a.Key, Want: a.SHA256, Cause: err}
+		}
+		if got := sha(data); got != a.SHA256 {
+			return &VerifyError{Version: rel.Version, Key: a.Key, Want: a.SHA256, Got: got}
+		}
+	}
+	return nil
+}
+
+// Load verifies a release and materialises its model: checksums first, so
+// a corrupted artifact is rejected before a single byte of it is
+// interpreted; then manifest decode, model build, and weight restore —
+// each failure typed (model.ErrWeightsCorrupt et al.), none panicking.
+func (s *Store) Load(rel Release) (model.Model, error) {
+	if reason, q := s.QuarantineReason(rel.Version); q {
+		return nil, fmt.Errorf("%w: v%d (%s)", ErrQuarantined, rel.Version, reason)
+	}
+	if err := s.Verify(rel); err != nil {
+		return nil, err
+	}
+	mdata, err := s.bucket.Get(rel.ManifestKey)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: reading manifest: %w", err)
+	}
+	manifest, err := model.UnmarshalManifest(mdata)
+	if err != nil {
+		return nil, err
+	}
+	m, err := manifest.Load()
+	if err != nil {
+		return nil, err
+	}
+	if manifest.WeightsKey != "" {
+		weights, err := s.bucket.Get(manifest.WeightsKey)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: reading weights: %w", err)
+		}
+		if err := model.LoadWeights(m, weights); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// LoadVersion resolves and loads one version (0 = current).
+func (s *Store) LoadVersion(version int) (model.Model, Release, error) {
+	var rel Release
+	var err error
+	if version == 0 {
+		rel, err = s.Current()
+	} else {
+		rel, err = s.Get(version)
+	}
+	if err != nil {
+		return nil, Release{}, err
+	}
+	m, err := s.Load(rel)
+	if err != nil {
+		return nil, rel, err
+	}
+	return m, rel, nil
+}
+
+// Quarantine persists a rejection marker for a release: Load and Promote
+// refuse it from now on, and rollback tooling lists why. Quarantining is
+// idempotent; the first reason wins.
+func (s *Store) Quarantine(version int, reason string) error {
+	if _, _, err := s.getRaw(version); err != nil {
+		return err
+	}
+	if _, q := s.QuarantineReason(version); q {
+		return nil
+	}
+	data, err := json.Marshal(Quarantine{Version: version, Reason: reason})
+	if err != nil {
+		return fmt.Errorf("deploy: encoding quarantine: %w", err)
+	}
+	if err := s.bucket.Put(dir(version)+quarantineName, data); err != nil {
+		return fmt.Errorf("deploy: writing quarantine: %w", err)
+	}
+	return nil
+}
+
+// QuarantineReason reports whether a version is quarantined and why.
+func (s *Store) QuarantineReason(version int) (string, bool) {
+	data, err := s.bucket.Get(dir(version) + quarantineName)
+	if err != nil {
+		return "", false
+	}
+	var q Quarantine
+	if err := json.Unmarshal(data, &q); err != nil {
+		// An undecodable marker still means "someone rejected this".
+		return "unreadable quarantine marker", true
+	}
+	return q.Reason, true
+}

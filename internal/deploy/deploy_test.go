@@ -1,0 +1,458 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etude/internal/model"
+	"etude/internal/objstore"
+)
+
+func testManifest(seed int64) model.Manifest {
+	return model.Manifest{Model: "gru4rec", Config: model.Config{CatalogSize: 200, Seed: seed}}
+}
+
+func testWeights(t *testing.T, seed int64) []byte {
+	t.Helper()
+	m, err := model.New("gru4rec", model.Config{CatalogSize: 200, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := model.SaveWeights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// Both substrates run the same store suite — the parity the conformance
+// tests in internal/objstore pin down is exactly what lets the release
+// store trust either.
+func stores(t *testing.T) map[string]*Store {
+	fs, err := objstore.NewFSBucket(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Store{
+		"mem": NewStore(objstore.NewMemBucket()),
+		"fs":  NewStore(fs),
+	}
+}
+
+func TestPublishPromoteCurrent(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Current(); !errors.Is(err, ErrNoCurrent) {
+				t.Fatalf("Current on empty store = %v, want ErrNoCurrent", err)
+			}
+			rel1, err := s.Publish(testManifest(1), testWeights(t, 1), "first")
+			if err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+			if rel1.Version != 1 {
+				t.Fatalf("first version = %d, want 1", rel1.Version)
+			}
+			if len(rel1.Artifacts) != 2 {
+				t.Fatalf("artifacts = %+v, want weights+manifest", rel1.Artifacts)
+			}
+			// Staged ≠ promoted: CURRENT must not move on Publish.
+			if _, err := s.Current(); !errors.Is(err, ErrNoCurrent) {
+				t.Fatalf("Publish moved CURRENT: %v", err)
+			}
+			if err := s.Promote(1); err != nil {
+				t.Fatalf("Promote: %v", err)
+			}
+			cur, err := s.Current()
+			if err != nil || cur.Version != 1 {
+				t.Fatalf("Current = %+v, %v", cur, err)
+			}
+
+			rel2, err := s.Publish(testManifest(2), testWeights(t, 2), "second")
+			if err != nil {
+				t.Fatalf("Publish v2: %v", err)
+			}
+			if rel2.Version != 2 {
+				t.Fatalf("second version = %d, want 2", rel2.Version)
+			}
+			if err := s.Promote(2); err != nil {
+				t.Fatalf("Promote v2: %v", err)
+			}
+			cur, err = s.Current()
+			if err != nil || cur.Version != 2 {
+				t.Fatalf("Current after promote = %+v, %v", cur, err)
+			}
+			rels, err := s.List()
+			if err != nil || len(rels) != 2 {
+				t.Fatalf("List = %+v, %v", rels, err)
+			}
+			if rels[0].Version != 1 || rels[1].Version != 2 {
+				t.Fatalf("List order = %+v", rels)
+			}
+		})
+	}
+}
+
+func TestLoadRebuildsExactModel(t *testing.T) {
+	s := NewStore(objstore.NewMemBucket())
+	// Weights from seed 7, manifest claiming seed 1: a loaded model must
+	// recommend like the seed-7 original (true weight transport through the
+	// release), not like a seed-1 rebuild.
+	if _, err := s.Publish(testManifest(1), testWeights(t, 7), ""); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Load(rel)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want, _ := model.New("gru4rec", model.Config{CatalogSize: 200, Seed: 7})
+	session := []int64{5, 9, 31}
+	got, exp := m.Recommend(session), want.Recommend(session)
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("loaded model differs at %d: %+v vs %+v", i, got[i], exp[i])
+		}
+	}
+}
+
+func TestVerifyCatchesBitFlipAndTruncation(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			rel, err := s.Publish(testManifest(1), testWeights(t, 1), "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(rel); err != nil {
+				t.Fatalf("pristine release fails verify: %v", err)
+			}
+			wkey := rel.Artifacts[0].Key
+			if !strings.HasSuffix(wkey, weightsName) {
+				t.Fatalf("first artifact = %s, want weights", wkey)
+			}
+			orig, _ := s.Bucket().Get(wkey)
+
+			// Bit-flip.
+			flipped := append([]byte(nil), orig...)
+			flipped[len(flipped)/2] ^= 0x10
+			if err := s.Bucket().Put(wkey, flipped); err != nil {
+				t.Fatal(err)
+			}
+			var ve *VerifyError
+			if err := s.Verify(rel); !errors.As(err, &ve) {
+				t.Fatalf("bit-flip not caught: %v", err)
+			} else if ve.Key != wkey {
+				t.Fatalf("verify blamed %s, want %s", ve.Key, wkey)
+			}
+			if _, err := s.Load(rel); err == nil {
+				t.Fatalf("Load served a bit-flipped artifact")
+			}
+
+			// Truncation.
+			if err := s.Bucket().Put(wkey, orig[:len(orig)/2]); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(rel); !errors.As(err, &ve) {
+				t.Fatalf("truncation not caught: %v", err)
+			}
+
+			// Missing artifact (torn publish residue).
+			if err := s.Bucket().Delete(wkey); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(rel); !errors.As(err, &ve) {
+				t.Fatalf("missing artifact not caught: %v", err)
+			} else if !errors.Is(ve, objstore.ErrNotFound) {
+				t.Fatalf("missing artifact cause = %v", ve.Cause)
+			}
+		})
+	}
+}
+
+// A publish that crashes before the release record commits leaves only an
+// invisible partial directory: not listed, not the latest, not promotable,
+// and the next publish allocates a fresh version past it.
+func TestCrashMidPublishInvisible(t *testing.T) {
+	s := NewStore(objstore.NewMemBucket())
+	if _, err := s.Publish(testManifest(1), testWeights(t, 1), ""); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: artifacts of v2 written, record never committed.
+	b := s.Bucket()
+	if err := b.Put(dir(2)+weightsName, []byte("partial weights")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(dir(2)+manifestName, []byte("{\"model\":\"gru4rec\"")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Latest(); err != nil || v != 1 {
+		t.Fatalf("Latest = %d, %v; want 1 (partial v2 invisible)", v, err)
+	}
+	rels, err := s.List()
+	if err != nil || len(rels) != 1 {
+		t.Fatalf("List = %+v, %v; want only v1", rels, err)
+	}
+	if _, err := s.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(2) = %v, want ErrNotFound", err)
+	}
+	if err := s.Promote(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Promote(2) = %v, want ErrNotFound", err)
+	}
+	// Recovery: the next publish reclaims the never-committed slot, and the
+	// fresh release verifies even over the debris (the record lists only
+	// the artifacts this publish wrote).
+	rel2, err := s.Publish(testManifest(3), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Version != 2 {
+		t.Fatalf("post-crash publish got version %d, want 2 (reclaimed slot)", rel2.Version)
+	}
+	if err := s.Verify(rel2); err != nil {
+		t.Fatalf("reclaimed release fails verify: %v", err)
+	}
+	if err := s.Promote(2); err != nil {
+		t.Fatalf("reclaimed release fails promote: %v", err)
+	}
+}
+
+// A torn CURRENT pointer — garbage bytes, a checksum that does not match
+// its record, or a pointer to a vanished record — must fall back to the
+// preserved PREVIOUS pointer, keeping the fleet on the last good release.
+func TestTornCurrentFallsBackToPrevious(t *testing.T) {
+	// Fresh store per subcase: CURRENT=v2, PREVIOUS=v1, then tear CURRENT.
+	setup := func(t *testing.T) *Store {
+		s := NewStore(objstore.NewMemBucket())
+		for v := int64(1); v <= 2; v++ {
+			if _, err := s.Publish(testManifest(v), testWeights(t, v), ""); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Promote(int(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	cases := []struct {
+		name string
+		tear func(t *testing.T, s *Store)
+	}{
+		{"garbage-pointer", func(t *testing.T, s *Store) {
+			if err := s.Bucket().Put(currentKey, []byte("{{torn")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"checksum-mismatch", func(t *testing.T, s *Store) {
+			if err := s.Bucket().Put(currentKey, []byte(`{"version":2,"sha256":"deadbeef"}`)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"dangling-version", func(t *testing.T, s *Store) {
+			if err := s.Bucket().Put(currentKey, []byte(`{"version":9,"sha256":"deadbeef"}`)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := setup(t)
+			tc.tear(t, s)
+			cur, err := s.Current()
+			if err != nil {
+				t.Fatalf("Current with torn pointer = %v, want PREVIOUS fallback", err)
+			}
+			if cur.Version != 1 {
+				t.Fatalf("fallback resolved v%d, want v1", cur.Version)
+			}
+			// A promotion over the torn pointer must not let the garbage
+			// displace the good PREVIOUS: after promoting v2 again, both
+			// pointers resolve.
+			if err := s.Promote(2); err != nil {
+				t.Fatalf("Promote over torn pointer: %v", err)
+			}
+			if cur, err := s.Current(); err != nil || cur.Version != 2 {
+				t.Fatalf("Current after repair = %+v, %v", cur, err)
+			}
+		})
+	}
+
+	// Both pointers torn: only then does resolution fail, loudly.
+	s := setup(t)
+	if err := s.Bucket().Put(currentKey, []byte("{{")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bucket().Put(previousKey, []byte("{{")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Current(); !errors.Is(err, ErrTornPointer) {
+		t.Fatalf("Current with both pointers torn = %v, want ErrTornPointer", err)
+	}
+}
+
+func TestQuarantineBlocksLoadAndPromote(t *testing.T) {
+	s := NewStore(objstore.NewMemBucket())
+	rel, err := s.Publish(testManifest(1), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(1, "canary rollback: p99 breach"); err != nil {
+		t.Fatal(err)
+	}
+	if reason, q := s.QuarantineReason(1); !q || !strings.Contains(reason, "p99") {
+		t.Fatalf("QuarantineReason = %q, %v", reason, q)
+	}
+	if _, err := s.Load(rel); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Load quarantined = %v", err)
+	}
+	if err := s.Promote(1); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Promote quarantined = %v", err)
+	}
+	// Idempotent; first reason sticks.
+	if err := s.Quarantine(1, "other"); err != nil {
+		t.Fatal(err)
+	}
+	if reason, _ := s.QuarantineReason(1); !strings.Contains(reason, "p99") {
+		t.Fatalf("second quarantine overwrote reason: %q", reason)
+	}
+	// Quarantining a nonexistent release is an error.
+	if err := s.Quarantine(9, "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Quarantine(9) = %v", err)
+	}
+}
+
+func TestPromoteRefusesCorruptRelease(t *testing.T) {
+	s := NewStore(objstore.NewMemBucket())
+	rel, err := s.Publish(testManifest(1), testWeights(t, 1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := s.Bucket().Get(rel.Artifacts[0].Key)
+	data[0] ^= 0xFF
+	if err := s.Bucket().Put(rel.Artifacts[0].Key, data); err != nil {
+		t.Fatal(err)
+	}
+	var ve *VerifyError
+	if err := s.Promote(1); !errors.As(err, &ve) {
+		t.Fatalf("Promote of corrupt release = %v, want VerifyError", err)
+	}
+}
+
+func TestWatcherAppliesPromotionsAndPoisonsFailures(t *testing.T) {
+	s := NewStore(objstore.NewMemBucket())
+	if _, err := s.Publish(testManifest(1), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var serving atomic.Int64
+	serving.Store(1)
+	applied := make(chan Release, 8)
+	w := Watch(s, 5*time.Millisecond,
+		func() int { return int(serving.Load()) },
+		func(rel Release) error {
+			if rel.Version == 2 {
+				return fmt.Errorf("synthetic verify failure")
+			}
+			serving.Store(int64(rel.Version))
+			applied <- rel
+			return nil
+		})
+	defer w.Close()
+
+	// v2 fails to apply: the watcher must poison it, not hot-loop it.
+	if _, err := s.Publish(testManifest(2), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for len(w.Failed()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("watcher never recorded the failed apply")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// v3 supersedes the poisoned version and applies cleanly.
+	if _, err := s.Publish(testManifest(3), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(3); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rel := <-applied:
+		if rel.Version != 3 {
+			t.Fatalf("watcher applied v%d, want 3", rel.Version)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("watcher never applied v3")
+	}
+	if got := len(applied); got != 0 {
+		t.Fatalf("watcher applied %d extra releases", got+1)
+	}
+	if _, bad := w.Failed()[2]; !bad {
+		t.Fatalf("Failed() lost the poisoned version: %+v", w.Failed())
+	}
+}
+
+func TestDecideVerdicts(t *testing.T) {
+	th := Thresholds{MaxP99Ratio: 2, MaxErrorRate: 0.02, MinSamples: 20}
+	base := CohortStats{Requests: 500, P99: 10 * time.Millisecond}
+	cases := []struct {
+		name   string
+		canary CohortStats
+		want   Verdict
+	}{
+		{"too-few-samples", CohortStats{Requests: 5, P99: time.Second}, VerdictWait},
+		{"healthy", CohortStats{Requests: 100, P99: 12 * time.Millisecond}, VerdictPromote},
+		{"boundary-ok", CohortStats{Requests: 100, P99: 20 * time.Millisecond}, VerdictPromote},
+		{"latency-breach", CohortStats{Requests: 100, P99: 21 * time.Millisecond}, VerdictRollback},
+		{"error-breach", CohortStats{Requests: 97, Errors: 3, P99: 5 * time.Millisecond}, VerdictRollback},
+		{"errors-count-toward-samples", CohortStats{Errors: 30}, VerdictRollback},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, reason := Decide(tc.canary, base, th)
+			if got != tc.want {
+				t.Fatalf("Decide = %v (%s), want %v", got, reason, tc.want)
+			}
+		})
+	}
+	// No baseline traffic: latency guardrail is unjudgeable, errors still are.
+	if v, _ := Decide(CohortStats{Requests: 100, P99: time.Second}, CohortStats{}, th); v != VerdictPromote {
+		t.Fatalf("no-baseline latency verdict = %v, want promote", v)
+	}
+}
+
+func TestVersionOfRecord(t *testing.T) {
+	cases := map[string]struct {
+		v  int
+		ok bool
+	}{
+		"releases/v00000001/release.json":  {1, true},
+		"releases/v00000042/release.json":  {42, true},
+		"releases/v00000042/weights.bin":   {0, false},
+		"releases/v00000042/manifest.json": {0, false},
+		"releases/CURRENT":                 {0, false},
+		"releases/vABC/release.json":       {0, false},
+		"releases/v00000000/release.json":  {0, false},
+		"models/gru4rec.json":              {0, false},
+	}
+	for key, want := range cases {
+		v, ok := versionOfRecord(key)
+		if v != want.v || ok != want.ok {
+			t.Errorf("versionOfRecord(%s) = %d,%v; want %d,%v", key, v, ok, want.v, want.ok)
+		}
+	}
+}

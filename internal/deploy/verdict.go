@@ -1,0 +1,104 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+)
+
+// The canary verdict is a pure function over two cohort observations, kept
+// here — not in the cluster controller — so the live controller
+// (internal/cluster) and the discrete-event mirror (internal/sim) apply
+// bit-identical promotion rules.
+
+// CohortStats is one cohort's health over an observation window: the
+// requests it answered, the errors charged to it, and its p99 latency.
+type CohortStats struct {
+	Requests int64
+	Errors   int64
+	P99      time.Duration
+}
+
+// ErrorRate returns errors / (requests + errors), 0 with no traffic.
+func (c CohortStats) ErrorRate() float64 {
+	total := c.Requests + c.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Errors) / float64(total)
+}
+
+// Thresholds are the SLO guardrails of a canary rollout.
+type Thresholds struct {
+	// MaxP99Ratio bounds canary p99 / baseline p99; above it the canary is
+	// a latency regression.
+	MaxP99Ratio float64
+	// MaxErrorRate bounds the canary cohort's error rate.
+	MaxErrorRate float64
+	// MinSamples is the minimum canary request count before any verdict —
+	// a p99 over five requests is noise, not a signal.
+	MinSamples int64
+}
+
+// DefaultThresholds returns the standard guardrails: canary p99 at most 2×
+// the baseline cohort, at most 2% errors, 20 samples minimum.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxP99Ratio: 2.0, MaxErrorRate: 0.02, MinSamples: 20}
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.MaxP99Ratio <= 0 {
+		t.MaxP99Ratio = d.MaxP99Ratio
+	}
+	if t.MaxErrorRate <= 0 {
+		t.MaxErrorRate = d.MaxErrorRate
+	}
+	if t.MinSamples <= 0 {
+		t.MinSamples = d.MinSamples
+	}
+	return t
+}
+
+// Verdict is a canary health decision.
+type Verdict int
+
+const (
+	// VerdictWait means the canary has not served enough to judge.
+	VerdictWait Verdict = iota
+	// VerdictPromote means the canary met the SLO against its baseline.
+	VerdictPromote
+	// VerdictRollback means the canary breached a guardrail.
+	VerdictRollback
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictWait:
+		return "wait"
+	case VerdictPromote:
+		return "promote"
+	case VerdictRollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Decide applies the guardrails to one observation window. The reason
+// string explains a rollback (or the pending sample count) for reports.
+func Decide(canary, baseline CohortStats, th Thresholds) (Verdict, string) {
+	th = th.withDefaults()
+	if canary.Requests+canary.Errors < th.MinSamples {
+		return VerdictWait, fmt.Sprintf("canary has %d samples, need %d",
+			canary.Requests+canary.Errors, th.MinSamples)
+	}
+	if er := canary.ErrorRate(); er > th.MaxErrorRate {
+		return VerdictRollback, fmt.Sprintf("canary error rate %.2f%% breaches %.2f%%",
+			er*100, th.MaxErrorRate*100)
+	}
+	if baseline.P99 > 0 && canary.P99 > time.Duration(float64(baseline.P99)*th.MaxP99Ratio) {
+		return VerdictRollback, fmt.Sprintf("canary p99 %v breaches %.1fx baseline p99 %v",
+			canary.P99, th.MaxP99Ratio, baseline.P99)
+	}
+	return VerdictPromote, "canary within SLO"
+}

@@ -1,0 +1,107 @@
+package deploy
+
+import (
+	"sync"
+	"time"
+)
+
+// Watcher polls a store's CURRENT pointer and applies newly promoted
+// releases — the pod-side half of fleet-wide promotion. The canary
+// controller moves the pointer once; every pod watching the store converges
+// onto the new version without being contacted individually.
+type Watcher struct {
+	store *Store
+	every time.Duration
+	// current reports the version the owner is serving right now; apply
+	// swaps the owner onto a release. Both are called from the watcher
+	// goroutine only.
+	current func() int
+	apply   func(Release) error
+
+	mu sync.Mutex
+	// failed remembers versions whose apply failed (checksum mismatch,
+	// undecodable weights): the watcher must not hot-loop a poisoned
+	// release every tick. A failed version is retried only after CURRENT
+	// moves somewhere else first.
+	failed map[int]error
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Watch starts polling the store every interval. current() is the version
+// being served; apply() performs the swap and returns an error to leave the
+// fleet on the old version (the watcher then quarantines that version
+// locally). Close stops the watcher.
+func Watch(s *Store, every time.Duration, current func() int, apply func(Release) error) *Watcher {
+	if every <= 0 {
+		every = time.Second
+	}
+	w := &Watcher{
+		store:   s,
+		every:   every,
+		current: current,
+		apply:   apply,
+		failed:  make(map[int]error),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+func (w *Watcher) run() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.tick()
+		}
+	}
+}
+
+func (w *Watcher) tick() {
+	rel, err := w.store.Current()
+	if err != nil {
+		// No promotion yet, or a torn pointer both its records failed to
+		// recover from: nothing actionable, keep serving what we serve.
+		return
+	}
+	if rel.Version == w.current() {
+		return
+	}
+	w.mu.Lock()
+	_, poisoned := w.failed[rel.Version]
+	w.mu.Unlock()
+	if poisoned {
+		return
+	}
+	if err := w.apply(rel); err != nil {
+		w.mu.Lock()
+		w.failed[rel.Version] = err
+		w.mu.Unlock()
+	}
+}
+
+// Failed snapshots the versions this watcher refused after a failed apply,
+// with the error that condemned each.
+func (w *Watcher) Failed() map[int]error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int]error, len(w.failed))
+	for v, err := range w.failed {
+		out[v] = err
+	}
+	return out
+}
+
+// Close stops the watcher and waits for its goroutine to exit.
+func (w *Watcher) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -751,6 +751,78 @@ func TestRolling(t *testing.T) {
 	}
 }
 
+// TestDeployStudy: the three release arms end as the safety story demands —
+// a good re-train promotes, a latency regression rolls back with its blast
+// radius confined to the canary slice, and a corrupted release quarantines
+// without serving a single request.
+func TestDeployStudy(t *testing.T) {
+	cfg := DefaultDeployStudyConfig()
+	cfg.TargetRate = 100
+	cfg.Duration = 3 * time.Second
+	cfg.RolloutAfter = 700 * time.Millisecond
+	res, err := DeployStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 arm rows, got %d", len(res.Rows))
+	}
+	byArm := map[string]DeployRow{}
+	for _, row := range res.Rows {
+		byArm[row.Arm] = row
+		if row.Sent == 0 {
+			t.Errorf("arm %s issued no requests", row.Arm)
+		}
+	}
+	good := byArm["good"]
+	if !good.Promoted || good.Errors != 0 {
+		t.Errorf("good arm promoted=%v errors=%d, want promoted with zero drops (%s)",
+			good.Promoted, good.Errors, good.Reason)
+	}
+	regress := byArm["regress"]
+	if !regress.RolledBack || regress.Promoted {
+		t.Errorf("regress arm rolled_back=%v promoted=%v (%s)", regress.RolledBack, regress.Promoted, regress.Reason)
+	}
+	if !regress.StoreQuarantined {
+		t.Error("rolled-back release not quarantined in the store")
+	}
+	// The bad release's blast radius is bounded by the canary slice: with 1
+	// of 3 pods canaried for part of the run, nowhere near half the traffic.
+	if regress.BlastRadius <= 0 || regress.BlastRadius > 0.5 {
+		t.Errorf("regress blast radius %.3f outside (0, 0.5]", regress.BlastRadius)
+	}
+	corrupt := byArm["corrupted"]
+	if !corrupt.Quarantined || corrupt.CanaryServed != 0 {
+		t.Errorf("corrupted arm quarantined=%v served=%d, want quarantined with zero served (%s)",
+			corrupt.Quarantined, corrupt.CanaryServed, corrupt.Reason)
+	}
+	if corrupt.VerifyFailures < 1 {
+		t.Errorf("corrupted arm verify failures = %v, want >= 1", corrupt.VerifyFailures)
+	}
+	out := res.Render()
+	for _, want := range []string{"good", "regress", "corrupted", "quarantine", "rollback", "stall-ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	m := res.Metrics()
+	for _, key := range []string{"good/promoted", "good/stall_ratio", "regress/rolled_back",
+		"regress/blast_radius", "corrupted/quarantined", "corrupted/bad_serve_fraction"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if m["corrupted/bad_serve_fraction"] != 0 {
+		t.Errorf("corrupted arm served %.4f of traffic, want 0", m["corrupted/bad_serve_fraction"])
+	}
+	// Invalid config rejected: no baseline cohort left after the canary.
+	bad := DefaultDeployStudyConfig()
+	bad.Replicas = 1
+	if _, err := DeployStudy(context.Background(), bad); err == nil {
+		t.Errorf("canary-only fleet accepted")
+	}
+}
+
 // TestBreakdownShape: the stage decomposition runs end to end, covers every
 // cell of the sweep, and the per-stage p50 sum accounts for the end-to-end
 // p50 within 10% — the acceptance bar for the trace instrumentation.

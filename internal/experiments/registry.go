@@ -92,6 +92,7 @@ func Registry() []Definition {
 		{Name: "chaos", Deterministic: true, Run: runChaos},
 		{Name: "overload", Deterministic: true, Smoke: true, Run: runOverload},
 		{Name: "rolling", Run: runRolling},
+		{Name: "deploy", Smoke: true, Run: runDeploy},
 		{Name: "breakdown", Smoke: true, Run: runBreakdown},
 		{Name: "shard", Deterministic: true, Smoke: true, Run: runShard},
 		{Name: "blackout", Deterministic: true, Smoke: true, Run: runBlackout},
@@ -323,6 +324,27 @@ func runTenant(ctx context.Context, p Params) (Result, error) {
 		cfg.Seed = p.Seed
 	}
 	return TenantComparison(cfg)
+}
+
+func runDeploy(ctx context.Context, p Params) (Result, error) {
+	cfg := DefaultDeployStudyConfig()
+	if p.Pods != "" {
+		cfg.Backend = p.Pods
+	}
+	if p.Scale == ScalePaper {
+		cfg.Duration = time.Minute
+		cfg.TargetRate = 300
+		cfg.RolloutAfter = 5 * time.Second
+		cfg.Thresholds.MinSamples = 50
+	}
+	if p.Scale == ScaleSmoke {
+		cfg.Duration = 3 * time.Second
+		cfg.RolloutAfter = 700 * time.Millisecond
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return DeployStudy(ctx, cfg)
 }
 
 func runProcs(ctx context.Context, p Params) (Result, error) {

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	defs := Registry()
-	if len(defs) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(defs))
+	if len(defs) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(defs))
 	}
 	seen := map[string]bool{}
 	smoke := 0
@@ -29,14 +29,14 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 		}
 	}
 	// The smoke grid is the committed-baseline set.
-	for _, name := range []string{"breakdown", "shard", "overload", "blackout", "tenant"} {
+	for _, name := range []string{"breakdown", "shard", "overload", "blackout", "tenant", "deploy"} {
 		d, ok := Lookup(name)
 		if !ok || !d.Smoke {
 			t.Fatalf("%s must be in the smoke grid (found=%v smoke=%v)", name, ok, d.Smoke)
 		}
 	}
-	if smoke != 5 {
-		t.Fatalf("smoke grid has %d experiments, want 5", smoke)
+	if smoke != 6 {
+		t.Fatalf("smoke grid has %d experiments, want 6", smoke)
 	}
 	if _, ok := Lookup("no-such"); ok {
 		t.Fatal("Lookup accepted an unknown name")

@@ -147,12 +147,20 @@ func publishRevision(bucket objstore.Bucket, cfg RollingConfig, rev int) (string
 // cluster over a memory bucket, or a real-process cluster over a temporary
 // filesystem bucket (child processes read model artifacts via -bucket).
 func phaseCluster(cfg RollingConfig) (*cluster.Cluster, objstore.Bucket, func(), error) {
-	if cfg.Backend != "proc" {
+	return provisionCluster(cfg.Backend, cfg.ServerBin)
+}
+
+// provisionCluster builds the pod substrate every cluster experiment runs
+// on. backend "proc" execs real etude-server processes over a temporary
+// filesystem bucket; anything else hosts pods in-process over a memory
+// bucket. The returned cleanup tears the cluster (and any temp dir) down.
+func provisionCluster(backend, serverBin string) (*cluster.Cluster, objstore.Bucket, func(), error) {
+	if backend != "proc" {
 		bucket := objstore.NewMemBucket()
 		c := cluster.New(bucket)
 		return c, bucket, c.Teardown, nil
 	}
-	bin := cfg.ServerBin
+	bin := serverBin
 	if bin == "" {
 		var err error
 		if bin, err = cluster.ServerBinary(); err != nil {

@@ -68,6 +68,16 @@ const (
 	// MetricsPath serves Prometheus text exposition: request/stage latency
 	// summaries, outcome counters, queue depth and drain state.
 	MetricsPath = "/metrics"
+	// HeaderModelVersion carries the release version that served a
+	// prediction (absent when the model did not come from a release store).
+	// The canary controller's blast-radius accounting — "which responses did
+	// the bad version touch" — reads this header client-side.
+	HeaderModelVersion = "X-Model-Version"
+	// DeployPath is the admin endpoint for hot-swapping the serving model:
+	// POST {"version": N} loads, verifies and atomically swaps onto release
+	// N (0 = the store's CURRENT pointer). A release failing checksum or
+	// deserialisation answers 422 and never serves a single request.
+	DeployPath = "/admin/deploy"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -127,6 +137,17 @@ type PredictRequest struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Items is the session's click history, most recent last.
 	Items []int64 `json:"items"`
+}
+
+// DeployRequest asks a server to hot-swap onto a release version.
+type DeployRequest struct {
+	// Version is the release to deploy; 0 means the store's CURRENT pointer.
+	Version int `json:"version"`
+}
+
+// DeployResponse reports the version serving after a deploy request.
+type DeployResponse struct {
+	Version int `json:"version"`
 }
 
 // PredictResponse carries the top-k recommendation list.

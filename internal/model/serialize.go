@@ -3,6 +3,7 @@ package model
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -24,6 +25,38 @@ const (
 	weightsMagic   = 0x45545544
 	weightsVersion = 1
 )
+
+// Typed decode errors. Every LoadWeights failure wraps ErrWeightsCorrupt
+// plus one of the specific sentinels below, so deployment code can both ask
+// the broad question ("is this artifact bad?" — quarantine it) and report
+// the narrow one ("how?"). None of these paths panic, and none return nil
+// after a partial tensor copy.
+var (
+	// ErrWeightsCorrupt is the class of every archive-decode failure.
+	ErrWeightsCorrupt = errors.New("model: corrupt weights archive")
+	// ErrWeightsMagic marks an archive that does not start with "ETUD".
+	ErrWeightsMagic = fmt.Errorf("%w: bad magic", ErrWeightsCorrupt)
+	// ErrWeightsVersion marks an unsupported archive format version.
+	ErrWeightsVersion = fmt.Errorf("%w: unsupported version", ErrWeightsCorrupt)
+	// ErrWeightsTruncated marks an archive that ended mid-field.
+	ErrWeightsTruncated = fmt.Errorf("%w: truncated", ErrWeightsCorrupt)
+	// ErrWeightsCount marks a tensor count that disagrees with the model.
+	ErrWeightsCount = fmt.Errorf("%w: tensor count mismatch", ErrWeightsCorrupt)
+	// ErrWeightsShape marks a tensor whose rank or shape disagrees with the
+	// model the archive is being loaded into.
+	ErrWeightsShape = fmt.Errorf("%w: tensor shape mismatch", ErrWeightsCorrupt)
+	// ErrWeightsTrailing marks bytes left over after the last tensor.
+	ErrWeightsTrailing = fmt.Errorf("%w: trailing bytes", ErrWeightsCorrupt)
+)
+
+// truncated maps an io read error onto the truncation sentinel: a reader
+// hitting EOF mid-field means the archive stopped early.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrWeightsTruncated
+	}
+	return fmt.Errorf("%w: %v", ErrWeightsCorrupt, err)
+}
 
 // SaveWeights serialises a model's parameters.
 func SaveWeights(m Model) ([]byte, error) {
@@ -62,50 +95,47 @@ func LoadWeights(m Model, data []byte) error {
 	r := bytes.NewReader(data)
 	var magic, version, count uint32
 	if err := readU32s(r, &magic, &version, &count); err != nil {
-		return fmt.Errorf("model: weights header: %w", err)
+		return fmt.Errorf("weights header: %w", truncated(err))
 	}
 	if magic != weightsMagic {
-		return fmt.Errorf("model: bad weights magic %#x", magic)
+		return fmt.Errorf("%w %#x", ErrWeightsMagic, magic)
 	}
 	if version != weightsVersion {
-		return fmt.Errorf("model: unsupported weights version %d", version)
+		return fmt.Errorf("%w %d", ErrWeightsVersion, version)
 	}
 	params := src.Params()
 	if int(count) != len(params) {
-		return fmt.Errorf("model: archive has %d tensors, model has %d", count, len(params))
+		return fmt.Errorf("%w: archive has %d tensors, model has %d", ErrWeightsCount, count, len(params))
 	}
 	for i, p := range params {
 		var dims uint32
 		if err := readU32s(r, &dims); err != nil {
-			return fmt.Errorf("model: tensor %d dims: %w", i, err)
+			return fmt.Errorf("tensor %d dims: %w", i, truncated(err))
 		}
 		if dims == 0 || dims > 8 {
-			return fmt.Errorf("model: tensor %d has implausible rank %d", i, dims)
+			return fmt.Errorf("%w: tensor %d has implausible rank %d", ErrWeightsShape, i, dims)
 		}
 		shape := make([]int, dims)
-		elems := 1
 		for j := range shape {
 			var d uint32
 			if err := readU32s(r, &d); err != nil {
-				return fmt.Errorf("model: tensor %d shape: %w", i, err)
+				return fmt.Errorf("tensor %d shape: %w", i, truncated(err))
 			}
 			if d > math.MaxInt32 {
-				return fmt.Errorf("model: tensor %d dimension overflow", i)
+				return fmt.Errorf("%w: tensor %d dimension overflow", ErrWeightsShape, i)
 			}
 			shape[j] = int(d)
-			elems *= int(d)
 		}
 		want := p.Shape()
 		if !shapesEqual(shape, want) {
-			return fmt.Errorf("model: tensor %d shape %v, model expects %v", i, shape, want)
+			return fmt.Errorf("%w: tensor %d shape %v, model expects %v", ErrWeightsShape, i, shape, want)
 		}
 		if err := binary.Read(r, binary.LittleEndian, p.Data()); err != nil {
-			return fmt.Errorf("model: tensor %d data: %w", i, err)
+			return fmt.Errorf("tensor %d data: %w", i, truncated(err))
 		}
-		_ = elems
 	}
 	if r.Len() != 0 {
-		return fmt.Errorf("model: %d trailing bytes in weights archive", r.Len())
+		return fmt.Errorf("%w: %d bytes after the last tensor", ErrWeightsTrailing, r.Len())
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// Table-driven negative suite for LoadWeights: every malformed archive —
+// truncated at each structural boundary, bit-flipped headers, wrong-shape
+// and wrong-architecture tensors, trailing garbage — must come back as a
+// typed error wrapping ErrWeightsCorrupt plus the specific sentinel, with
+// no panic and no silent partial load. This is the contract the release
+// store's verify-then-swap path depends on.
+func TestLoadWeightsTypedErrors(t *testing.T) {
+	fresh := func() Model {
+		m, err := New("core", Config{CatalogSize: 50, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	good, err := SaveWeights(fresh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	wrongArch := func() []byte {
+		m, err := New("stamp", Config{CatalogSize: 50, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := SaveWeights(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrWeightsTruncated},
+		{"truncated-mid-magic", good[:2], ErrWeightsTruncated},
+		{"truncated-mid-header", good[:9], ErrWeightsTruncated},
+		{"truncated-after-header", good[:12], ErrWeightsTruncated},
+		{"truncated-mid-shape", good[:14], ErrWeightsTruncated},
+		{"truncated-mid-data", good[:len(good)/2], ErrWeightsTruncated},
+		{"truncated-last-byte", good[:len(good)-1], ErrWeightsTruncated},
+		{"bitflip-magic", mut(func(b []byte) []byte { b[0] ^= 0x01; return b }), ErrWeightsMagic},
+		{"bitflip-version", mut(func(b []byte) []byte { b[4] ^= 0x80; return b }), ErrWeightsVersion},
+		{"bitflip-count", mut(func(b []byte) []byte { b[8] ^= 0x04; return b }), ErrWeightsCount},
+		{"zero-rank", mut(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 0)
+			return b
+		}), ErrWeightsShape},
+		{"huge-rank", mut(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 99)
+			return b
+		}), ErrWeightsShape},
+		{"overflow-dim", mut(func(b []byte) []byte {
+			// First tensor keeps its rank but claims a dimension beyond
+			// MaxInt32.
+			binary.LittleEndian.PutUint32(b[16:], 0xFFFFFFFF)
+			return b
+		}), ErrWeightsShape},
+		{"wrong-shape", mut(func(b []byte) []byte {
+			// Perturb the first tensor's first dimension by one: plausible
+			// rank, wrong extent.
+			d := binary.LittleEndian.Uint32(b[16:])
+			binary.LittleEndian.PutUint32(b[16:], d+1)
+			return b
+		}), ErrWeightsShape},
+		{"wrong-architecture", wrongArch(), ErrWeightsCorrupt},
+		{"trailing-bytes", append(append([]byte(nil), good...), 0xDE, 0xAD), ErrWeightsTrailing},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := LoadWeights(fresh(), tc.data)
+			if err == nil {
+				t.Fatalf("corrupt archive accepted")
+			}
+			if !errors.Is(err, ErrWeightsCorrupt) {
+				t.Fatalf("error %v does not wrap ErrWeightsCorrupt", err)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not wrap the expected sentinel %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// A bit-flip inside the tensor payload cannot be caught by the structural
+// decoder (any float bit pattern is a valid float) — that is exactly why
+// the release store checksums artifacts. Document the division of labour:
+// the flip loads fine here and must be caught one layer up by SHA-256.
+func TestLoadWeightsPayloadBitFlipIsStructurallyValid(t *testing.T) {
+	m, _ := New("core", Config{CatalogSize: 50, Seed: 1})
+	good, err := SaveWeights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-3] ^= 0x40
+	fresh, _ := New("core", Config{CatalogSize: 50, Seed: 1})
+	if err := LoadWeights(fresh, flipped); err != nil {
+		t.Fatalf("payload bit-flip unexpectedly caught structurally: %v", err)
+	}
+}

@@ -1,0 +1,204 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The conformance suite pins MemBucket and FSBucket to one observable
+// contract, so code layered on the Bucket interface — most demandingly the
+// release store (internal/deploy), which trusts Put/Get round-trips for
+// checksummed artifacts — can swap substrates without behavioural drift.
+
+func TestBucketConformance(t *testing.T) {
+	impls := []struct {
+		name string
+		make func(t *testing.T) Bucket
+	}{
+		{"mem", func(t *testing.T) Bucket { return NewMemBucket() }},
+		{"mem-zero", func(t *testing.T) Bucket { return &MemBucket{} }},
+		{"fs", func(t *testing.T) Bucket {
+			b, err := NewFSBucket(t.TempDir())
+			if err != nil {
+				t.Fatalf("NewFSBucket: %v", err)
+			}
+			return b
+		}},
+	}
+	for _, impl := range impls {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			runBucketConformance(t, impl.make)
+		})
+	}
+}
+
+func runBucketConformance(t *testing.T, mk func(t *testing.T) Bucket) {
+	t.Run("put-get-roundtrip", func(t *testing.T) {
+		b := mk(t)
+		want := []byte("hello bucket")
+		if err := b.Put("a/b/c.bin", want); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, err := b.Get("a/b/c.bin")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Get = %q, want %q", got, want)
+		}
+	})
+
+	t.Run("get-missing", func(t *testing.T) {
+		b := mk(t)
+		if _, err := b.Get("absent"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		b := mk(t)
+		if err := b.Put("k", []byte("v1")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := b.Put("k", []byte("v2 longer than before")); err != nil {
+			t.Fatalf("Put overwrite: %v", err)
+		}
+		got, err := b.Get("k")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if string(got) != "v2 longer than before" {
+			t.Fatalf("Get after overwrite = %q", got)
+		}
+		if err := b.Put("k", []byte("v3")); err != nil {
+			t.Fatalf("Put shrink: %v", err)
+		}
+		got, err = b.Get("k")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if string(got) != "v3" {
+			t.Fatalf("Get after shrinking overwrite = %q (stale bytes?)", got)
+		}
+	})
+
+	t.Run("defensive-copies", func(t *testing.T) {
+		b := mk(t)
+		src := []byte("original")
+		if err := b.Put("k", src); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		// Mutating the caller's slice after Put must not change the object.
+		copy(src, "XXXXXXXX")
+		got, err := b.Get("k")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if string(got) != "original" {
+			t.Fatalf("Put aliased the caller's slice: Get = %q", got)
+		}
+		// Mutating a Get result must not change the stored object either.
+		copy(got, "YYYYYYYY")
+		again, err := b.Get("k")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if string(again) != "original" {
+			t.Fatalf("Get aliased the stored object: second Get = %q", again)
+		}
+	})
+
+	t.Run("empty-value", func(t *testing.T) {
+		b := mk(t)
+		if err := b.Put("empty", nil); err != nil {
+			t.Fatalf("Put(nil): %v", err)
+		}
+		got, err := b.Get("empty")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("Get(empty) = %q, want empty", got)
+		}
+	})
+
+	t.Run("list-prefix-sorted", func(t *testing.T) {
+		b := mk(t)
+		// Note: no key may double as a directory prefix of another (e.g.
+		// "m" next to "m/1") — the filesystem substrate cannot represent
+		// that, so it is outside the Bucket contract.
+		for _, k := range []string{"m/2", "m/1", "m/10", "other/x", "n"} {
+			if err := b.Put(k, []byte(k)); err != nil {
+				t.Fatalf("Put(%s): %v", k, err)
+			}
+		}
+		keys, err := b.List("m/")
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		want := []string{"m/1", "m/10", "m/2"}
+		if !reflect.DeepEqual(keys, want) {
+			t.Fatalf("List(m/) = %v, want %v", keys, want)
+		}
+		all, err := b.List("")
+		if err != nil {
+			t.Fatalf("List(\"\"): %v", err)
+		}
+		if len(all) != 5 {
+			t.Fatalf("List(\"\") = %v, want 5 keys", all)
+		}
+	})
+
+	t.Run("delete", func(t *testing.T) {
+		b := mk(t)
+		if err := b.Put("k", []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := b.Delete("k"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, err := b.Get("k"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+		}
+		// Deleting an absent key is not an error.
+		if err := b.Delete("k"); err != nil {
+			t.Fatalf("Delete(absent): %v", err)
+		}
+	})
+
+	t.Run("key-validation", func(t *testing.T) {
+		b := mk(t)
+		if err := b.Put("", []byte("v")); err == nil {
+			t.Fatalf("Put(\"\") accepted an empty key")
+		}
+		if err := b.Put("../escape", []byte("v")); err == nil {
+			t.Fatalf("Put(../escape) accepted a traversal key")
+		}
+	})
+
+	t.Run("many-keys", func(t *testing.T) {
+		b := mk(t)
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("releases/v%04d/release.json", i)
+			if err := b.Put(key, []byte(fmt.Sprintf("rel-%d", i))); err != nil {
+				t.Fatalf("Put(%s): %v", key, err)
+			}
+		}
+		keys, err := b.List("releases/")
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		if len(keys) != 20 {
+			t.Fatalf("List(releases/) = %d keys, want 20", len(keys))
+		}
+		// Zero-padded version directories must list in version order.
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("List not sorted: %q >= %q", keys[i-1], keys[i])
+			}
+		}
+	})
+}

@@ -133,14 +133,50 @@ func (b *FSBucket) Put(key string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("objstore: creating object dir: %w", err)
 	}
-	// Write-then-rename for atomic replacement.
+	// Write, fsync, rename, fsync the directory: the rename makes the
+	// replacement atomic against concurrent readers, and the two syncs make
+	// it atomic against a host crash — without the file sync a crash after
+	// the rename can surface a truncated "atomically written" object (the
+	// rename is a metadata operation and can reach disk before the data
+	// writeback), and without the directory sync the rename itself can be
+	// lost. The release store (internal/deploy) leans on exactly this
+	// guarantee when it publishes its `current` pointer last.
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("objstore: writing object: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("objstore: writing object: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("objstore: syncing object: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("objstore: closing object: %w", err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("objstore: committing object: %w", err)
 	}
+	return syncDir(filepath.Dir(p))
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a host
+// crash. Filesystems that reject directory fsync (some network and overlay
+// mounts) degrade to the old rename-only guarantee rather than failing the
+// write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
 	return nil
 }
 

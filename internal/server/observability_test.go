@@ -109,8 +109,8 @@ func TestRequestIDEchoedOnClientCancel(t *testing.T) {
 	defer s.Close()
 	// Hold the only worker so the handler parks in the pool select, then
 	// arrive with an already-cancelled context: the 499 path.
-	p := <-s.pool
-	defer func() { s.pool <- p }()
+	p := <-s.rt.Load().pool
+	defer func() { s.rt.Load().pool <- p }()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -391,8 +391,8 @@ func TestTracingDisabledOverheadGuard(t *testing.T) {
 	}
 	s, _ := New(m, Options{Workers: 1})
 	defer s.Close()
-	p := <-s.pool
-	defer func() { s.pool <- p }()
+	p := <-s.rt.Load().pool
+	defer func() { s.rt.Load().pool <- p }()
 	session := []int64{3, 17, 42, 8, 99, 7}
 
 	for i := 0; i < 20; i++ { // warm caches on both paths
@@ -441,7 +441,7 @@ func BenchmarkPredictorTracingOff(b *testing.B) {
 	m, _ := model.New("gru4rec", model.Config{CatalogSize: 10000, Seed: 1})
 	s, _ := New(m, Options{Workers: 1})
 	defer s.Close()
-	p := <-s.pool
+	p := <-s.rt.Load().pool
 	session := []int64{3, 17, 42, 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -454,7 +454,7 @@ func BenchmarkPredictorTracingOn(b *testing.B) {
 	tr := trace.New(trace.Options{})
 	s, _ := New(m, Options{Workers: 1, Tracer: tr})
 	defer s.Close()
-	p := <-s.pool
+	p := <-s.rt.Load().pool
 	session := []int64{3, 17, 42, 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -28,11 +28,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"etude/internal/batching"
 	"etude/internal/buildinfo"
+	"etude/internal/deploy"
 	"etude/internal/httpapi"
 	"etude/internal/metrics"
 	"etude/internal/model"
@@ -151,18 +154,56 @@ type batchOut struct {
 	size int
 }
 
+// modelRuntime is one loaded model version and everything derived from it:
+// the per-worker predictor pool (compiled plans hold private buffers and
+// must not be shared), the degraded-mode fallback, the in-process shard
+// tier, and the version-scoped health counters a canary controller reads.
+// Hot-swapping a release installs a whole fresh runtime behind one atomic
+// pointer: requests in flight keep the runtime they loaded (its pool
+// outlives the swap and is reclaimed by GC once they drain), new requests
+// see the new one — zero dropped requests and no lock on the serving path.
+type modelRuntime struct {
+	mdl       model.Model // nil in static and gateway modes
+	pool      chan predictor
+	fallback  []topk.Result
+	shardPool *shard.Pool
+	shardEnc  model.Encoder
+	jitActive bool
+	// version is the release serving through this runtime (0 when the model
+	// did not come from a release store).
+	version int
+	// served/errs/lat are charged to this runtime only: a swap opens a
+	// fresh observation window, so canary health compares versions without
+	// the incumbent's history diluting the signal.
+	served atomic.Int64
+	errs   atomic.Int64
+	lat    *metrics.Histogram
+}
+
 // Server serves one deployed model (or a static response) over HTTP.
 type Server struct {
-	opts    Options
-	mdl     model.Model // nil in static mode
-	tracer  *trace.Tracer
-	pool    chan predictor
+	opts   Options
+	tracer *trace.Tracer
+	// rt is the serving runtime — model, worker pool, version counters —
+	// swapped atomically by ApplyRelease. Never nil after construction.
+	rt      atomic.Pointer[modelRuntime]
 	batcher *batching.Batcher[batchItem, batchOut]
 	// sched replaces the batcher when Options.Sched is set: the same
 	// batch-executing worker path, but batches are assembled by the
 	// multi-tenant WDRR scheduler instead of a single FIFO buffer.
 	sched *sched.Dispatcher[batchItem, batchOut]
-	ready   atomic.Bool
+	// releases is the versioned store behind ApplyRelease (nil unless the
+	// server was built by LoadFromReleases); watcher polls it for fleet-wide
+	// promotions; swapMu serialises swaps (the serving path never takes it).
+	releases *deploy.Store
+	watcher  *deploy.Watcher
+	swapMu   sync.Mutex
+	// swaps counts successful hot-swaps; verifyFailures counts releases
+	// rejected at load time (checksum mismatch, undecodable weights) — each
+	// such release is quarantined in the store and never serves.
+	swaps          atomic.Int64
+	verifyFailures atomic.Int64
+	ready          atomic.Bool
 	// draining flips when BeginDrain is called: readiness probes answer 503
 	// (routers stop sending new work) while the process stays live and
 	// admitted predictions run to completion.
@@ -180,19 +221,9 @@ type Server struct {
 	// shed by the CoDel queue discipline (503).
 	deadlineExpired atomic.Int64
 	codelDropped    atomic.Int64
-	// fallback is the precomputed popularity-style response served while
-	// degraded (nil in static mode).
-	fallback []topk.Result
-	// shardPool and shardEnc are set when Options.Shards > 1: the in-process
-	// scatter-gather tier and the encoder whose catalog it partitions.
-	shardPool *shard.Pool
-	shardEnc  model.Encoder
 	// gw is the scatter-gather frontend when Options.Gateway is set; the
 	// server then serves merges, not a local model.
 	gw *shard.Gateway
-	// JITActive reports whether compiled plans are actually in use (false
-	// when the model refused compilation).
-	JITActive bool
 }
 
 // New builds a server for m. The model is wrapped per worker: compiled
@@ -200,6 +231,10 @@ type Server struct {
 // Options.Gateway set the model must be nil: the server fronts a sharded
 // fleet and every prediction is a gateway scatter-gather merge.
 func New(m model.Model, opts Options) (*Server, error) {
+	return newServer(m, opts, 0)
+}
+
+func newServer(m model.Model, opts Options, version int) (*Server, error) {
 	if opts.Gateway != nil {
 		if m != nil {
 			return nil, fmt.Errorf("server: Gateway mode fronts remote shard workers; pass a nil model")
@@ -209,6 +244,7 @@ func New(m model.Model, opts Options) (*Server, error) {
 		}
 		opts = opts.withDefaults()
 		s := &Server{opts: opts, tracer: opts.Tracer, gw: opts.Gateway}
+		s.rt.Store(&modelRuntime{lat: metrics.NewHistogram()})
 		// The gateway traces the request (scatter/wait/merge stages); the
 		// handler must not open a second span per request on the same tracer.
 		s.gw.SetTracer(opts.Tracer)
@@ -219,36 +255,12 @@ func New(m model.Model, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: nil model")
 	}
 	opts = opts.withDefaults()
-	if opts.Shards > 1 && opts.Partition != nil {
-		return nil, fmt.Errorf("server: Shards and Partition are mutually exclusive")
+	s := &Server{opts: opts, tracer: opts.Tracer}
+	rt, err := buildRuntime(m, opts, version)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Partition != nil {
-		enc, ok := m.(model.Encoder)
-		if !ok {
-			return nil, fmt.Errorf("server: model %s does not expose the encoder/MIPS decomposition needed for partition serving", m.Name())
-		}
-		pm, err := shard.PartitionModel(enc, *opts.Partition)
-		if err != nil {
-			return nil, err
-		}
-		m = pm
-	}
-	s := &Server{opts: opts, mdl: m, tracer: opts.Tracer, pool: make(chan predictor, opts.Workers)}
-	if opts.Shards > 1 {
-		enc, ok := m.(model.Encoder)
-		if !ok {
-			return nil, fmt.Errorf("server: model %s does not expose the encoder/MIPS decomposition needed for sharded retrieval", m.Name())
-		}
-		pool, err := shard.NewPool(enc.ItemEmbeddings(), opts.Shards)
-		if err != nil {
-			return nil, err
-		}
-		s.shardPool = pool
-		s.shardEnc = enc
-	}
-	for i := 0; i < opts.Workers; i++ {
-		s.pool <- s.newPredictor()
-	}
+	s.rt.Store(rt)
 	if opts.Batch != nil && opts.Sched != nil {
 		return nil, fmt.Errorf("server: Batch and Sched are mutually exclusive — the scheduler does its own batching")
 	}
@@ -270,14 +282,58 @@ func New(m model.Model, opts Options) (*Server, error) {
 		}
 		s.sched = d
 	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// buildRuntime materialises the full serving state for one model: partition
+// wrapping, the in-process shard tier, the per-worker predictor pool, and
+// the degraded-mode fallback. New uses it once at startup; ApplyRelease
+// uses it to construct the replacement runtime off the serving path before
+// a single atomic swap installs it.
+func buildRuntime(m model.Model, opts Options, version int) (*modelRuntime, error) {
+	if opts.Shards > 1 && opts.Partition != nil {
+		return nil, fmt.Errorf("server: Shards and Partition are mutually exclusive")
+	}
+	if opts.Partition != nil {
+		enc, ok := m.(model.Encoder)
+		if !ok {
+			return nil, fmt.Errorf("server: model %s does not expose the encoder/MIPS decomposition needed for partition serving", m.Name())
+		}
+		pm, err := shard.PartitionModel(enc, *opts.Partition)
+		if err != nil {
+			return nil, err
+		}
+		m = pm
+	}
+	rt := &modelRuntime{
+		mdl:     m,
+		pool:    make(chan predictor, opts.Workers),
+		version: version,
+		lat:     metrics.NewHistogram(),
+	}
+	if opts.Shards > 1 {
+		enc, ok := m.(model.Encoder)
+		if !ok {
+			return nil, fmt.Errorf("server: model %s does not expose the encoder/MIPS decomposition needed for sharded retrieval", m.Name())
+		}
+		pool, err := shard.NewPool(enc.ItemEmbeddings(), opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		rt.shardPool = pool
+		rt.shardEnc = enc
+	}
+	for i := 0; i < opts.Workers; i++ {
+		rt.pool <- rt.newPredictor(opts.JIT)
+	}
 	// Precompute the degraded-mode fallback once: a popularity-style static
 	// recommendation list that costs a map lookup to serve, not a model
 	// execution.
 	if opts.DegradeAt > 0 {
-		s.fallback = m.Recommend([]int64{0})
+		rt.fallback = m.Recommend([]int64{0})
 	}
-	s.ready.Store(true)
-	return s, nil
+	return rt, nil
 }
 
 // Shed returns how many requests admission control refused (429).
@@ -314,6 +370,7 @@ func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 // infrastructure validation experiment (paper Fig 2).
 func NewStatic() *Server {
 	s := &Server{opts: Options{}.withDefaults()}
+	s.rt.Store(&modelRuntime{lat: metrics.NewHistogram()})
 	s.ready.Store(true)
 	return s
 }
@@ -346,13 +403,77 @@ func LoadFromBucket(b objstore.Bucket, key string, opts Options) (*Server, error
 	return New(m, opts)
 }
 
-func (s *Server) newPredictor() predictor {
-	if s.shardPool != nil {
+// LoadFromReleases deploys from a versioned release store: version 0 loads
+// the store's CURRENT pointer, a positive version pins a specific release
+// (canary pods are deployed this way). When watch > 0 the server polls the
+// store at that interval and hot-swaps onto newly promoted releases — the
+// pod-side half of fleet-wide promotion.
+func LoadFromReleases(store *deploy.Store, version int, watch time.Duration, opts Options) (*Server, error) {
+	m, rel, err := store.LoadVersion(version)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newServer(m, opts, rel.Version)
+	if err != nil {
+		return nil, err
+	}
+	s.releases = store
+	if watch > 0 {
+		s.watcher = deploy.Watch(store, watch,
+			func() int { return s.rt.Load().version },
+			func(rel deploy.Release) error { return s.ApplyRelease(rel.Version) })
+	}
+	return s, nil
+}
+
+// ApplyRelease loads release version (0 = CURRENT) from the server's
+// release store, verifies every artifact checksum, builds a complete
+// replacement runtime off the serving path, and installs it with one atomic
+// swap: requests in flight finish on the runtime they started with, new
+// requests see the new version — zero dropped requests. On any
+// verification or deserialisation failure the incumbent keeps serving, the
+// failure is counted, and the release is quarantined in the store
+// (best-effort) so no watcher elsewhere retries the same poison.
+func (s *Server) ApplyRelease(version int) error {
+	if s.releases == nil {
+		return fmt.Errorf("server: no release store configured")
+	}
+	// Serialise swaps; the serving path never takes this lock.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	m, rel, err := s.releases.LoadVersion(version)
+	if err != nil {
+		// A release whose record exists but whose content failed to verify
+		// or decode is poison: quarantine it so the rest of the fleet stops
+		// retrying it. Absent releases and already-quarantined ones are not
+		// new failures.
+		if rel.Version != 0 && !errors.Is(err, deploy.ErrQuarantined) {
+			s.verifyFailures.Add(1)
+			_ = s.releases.Quarantine(rel.Version, err.Error())
+		}
+		return err
+	}
+	if rel.Version == s.rt.Load().version {
+		return nil
+	}
+	rt, err := buildRuntime(m, s.opts, rel.Version)
+	if err != nil {
+		s.verifyFailures.Add(1)
+		_ = s.releases.Quarantine(rel.Version, err.Error())
+		return err
+	}
+	s.rt.Store(rt)
+	s.swaps.Add(1)
+	return nil
+}
+
+func (rt *modelRuntime) newPredictor(jit bool) predictor {
+	if rt.shardPool != nil {
 		// Sharded retrieval: encode on the worker, scatter the representation
 		// across the pool's shard goroutines, merge the exact global top-k.
 		// The pool executes eagerly (compiled plans fuse encoder and scoring,
 		// which a scatter cannot split), so JIT is ignored here.
-		enc, pool, k := s.shardEnc, s.shardPool, s.shardEnc.Config().TopK
+		enc, pool, k := rt.shardEnc, rt.shardPool, rt.shardEnc.Config().TopK
 		return func(session []int64, sp *trace.Span) []topk.Result {
 			if sp == nil {
 				return pool.TopK(enc.Encode(session), k)
@@ -363,9 +484,9 @@ func (s *Server) newPredictor() predictor {
 			return pool.TopKSpan(rep, k, sp)
 		}
 	}
-	if s.opts.JIT {
-		if jc, ok := s.mdl.(model.JITCompilable); ok {
-			s.JITActive = true
+	if jit {
+		if jc, ok := rt.mdl.(model.JITCompilable); ok {
+			rt.jitActive = true
 			compiled := jc.CompiledRecommend()
 			return func(session []int64, sp *trace.Span) []topk.Result {
 				if sp == nil {
@@ -382,7 +503,7 @@ func (s *Server) newPredictor() predictor {
 			}
 		}
 	}
-	m := s.mdl
+	m := rt.mdl
 	return func(session []int64, sp *trace.Span) []topk.Result {
 		if sp == nil {
 			return m.Recommend(session)
@@ -396,7 +517,22 @@ func (s *Server) newPredictor() predictor {
 }
 
 // Model returns the deployed model (nil in static mode).
-func (s *Server) Model() model.Model { return s.mdl }
+func (s *Server) Model() model.Model { return s.rt.Load().mdl }
+
+// JITActive reports whether the serving runtime uses compiled execution
+// plans (false when the model refused compilation or JIT is off).
+func (s *Server) JITActive() bool { return s.rt.Load().jitActive }
+
+// ModelVersion returns the release version currently serving (0 when the
+// model did not come from a release store).
+func (s *Server) ModelVersion() int { return s.rt.Load().version }
+
+// Swaps returns how many hot-swaps have completed.
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// VerifyFailures returns how many releases were rejected at load time
+// (checksum mismatch or undecodable artifacts) without ever serving.
+func (s *Server) VerifyFailures() int64 { return s.verifyFailures.Load() }
 
 // Gateway returns the scatter-gather frontend (nil unless Options.Gateway
 // was set).
@@ -407,8 +543,12 @@ func (s *Server) Gateway() *shard.Gateway { return s.gw }
 // batch-assembly (enqueue→flush) and queue-wait (head-of-line inside the
 // batch) before the model stages.
 func (s *Server) runBatch(items []batchItem) []batchOut {
-	p := <-s.pool
-	defer func() { s.pool <- p }()
+	// Load the runtime once per batch: a hot-swap mid-batch must not mix
+	// predictors from two versions, and returning the slot to the pool it
+	// came from keeps a retired runtime's pool intact while it drains.
+	rt := s.rt.Load()
+	p := <-rt.pool
+	defer func() { rt.pool <- p }()
 	s.tracer.ObserveBatchFlush(len(items))
 	flushStart := s.tracer.Now()
 	out := make([]batchOut, len(items))
@@ -428,8 +568,9 @@ func (s *Server) runBatch(items []batchItem) []batchOut {
 // the sched-wait stage (distinct from plain batch-assembly, letting tenant
 // experiments pin tail movement on scheduling).
 func (s *Server) runSchedBatch(items []batchItem) []batchOut {
-	p := <-s.pool
-	defer func() { s.pool <- p }()
+	rt := s.rt.Load()
+	p := <-rt.pool
+	defer func() { rt.pool <- p }()
 	s.tracer.ObserveBatchFlush(len(items))
 	flushStart := s.tracer.Now()
 	out := make([]batchOut, len(items))
@@ -453,8 +594,11 @@ func (s *Server) TenantStats() []sched.TenantStats {
 	return s.sched.Stats()
 }
 
-// Close releases the batcher and scheduler, if any.
+// Close releases the release watcher, batcher and scheduler, if any.
 func (s *Server) Close() {
+	if s.watcher != nil {
+		s.watcher.Close()
+	}
 	if s.batcher != nil {
 		s.batcher.Close()
 	}
@@ -472,6 +616,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(httpapi.LivePath, s.handleLive)
 	mux.HandleFunc(httpapi.PredictPath, s.handlePredict)
 	mux.HandleFunc(httpapi.MetricsPath, s.handleMetrics)
+	mux.HandleFunc(httpapi.DeployPath, s.handleDeploy)
 	if s.opts.Profiling {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -497,6 +642,38 @@ func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDeploy is the admin hot-swap endpoint: POST {"version": N} loads,
+// verifies and atomically swaps onto release N (0 = the store's CURRENT
+// pointer). A release failing checksum or deserialisation answers 422 and
+// never serves a request; the incumbent version keeps serving throughout.
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.releases == nil {
+		http.Error(w, "no release store configured", http.StatusNotFound)
+		return
+	}
+	var req httpapi.DeployRequest
+	if err := httpapi.ReadJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch err := s.ApplyRelease(req.Version); {
+	case err == nil:
+		httpapi.WriteJSON(w, http.StatusOK, httpapi.DeployResponse{Version: s.ModelVersion()})
+	case errors.Is(err, deploy.ErrNotFound), errors.Is(err, deploy.ErrNoCurrent):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, deploy.ErrQuarantined):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		// Checksum mismatch, undecodable weights, wrong shape: the release
+		// exists but must not serve.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	}
+}
+
 // handleLive is the liveness probe: 200 as long as the process serves HTTP,
 // draining or not. Only a dead process fails it — which is exactly the
 // signal a supervisor restarts on.
@@ -510,6 +687,7 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 // state, plus whatever Options.MetricsExtra contributes.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b := metrics.NewPromBuilder()
+	rt := s.rt.Load()
 	bi := buildinfo.Get()
 	b.Gauge("etude_build_info", "Build identity of the serving binary (value is always 1).", 1,
 		metrics.Label{Name: "git_sha", Value: bi.ShortSHA()},
@@ -531,6 +709,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		drain = 1
 	}
 	b.Gauge("etude_draining", "1 while the server is draining (readiness failing).", drain)
+	b.Gauge("etude_model_version", "Release version currently serving (0 = unversioned deployment).", float64(rt.version))
+	b.Counter("etude_model_swaps_total", "Hot-swaps onto a new release completed without dropping a request.", float64(s.swaps.Load()))
+	b.Counter("etude_artifact_verify_failures_total", "Releases rejected at load time (checksum mismatch, undecodable artifacts) without serving.", float64(s.verifyFailures.Load()))
+	if rt.version > 0 {
+		// Version-scoped health: counters and latency charged to the serving
+		// runtime only, reset by each swap. The canary controller compares
+		// these families across the canary and baseline cohorts.
+		vl := metrics.Label{Name: "version", Value: strconv.Itoa(rt.version)}
+		b.Counter("etude_version_requests_total", "Requests answered 200 by the serving version (window since swap).", float64(rt.served.Load()), vl)
+		b.Counter("etude_version_errors_total", "Error responses charged to the serving version (window since swap).", float64(rt.errs.Load()), vl)
+		if snap := rt.lat.Snapshot(); snap.Count > 0 {
+			b.Summary("etude_version_request_seconds", "Inference latency of the serving version (window since swap).", snap, vl)
+		}
+	}
 	if s.sched != nil {
 		for _, st := range s.sched.Stats() {
 			lbl := metrics.Label{Name: "tenant", Value: st.Tenant}
@@ -541,8 +733,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			b.Gauge("etude_tenant_weight", "Configured WDRR weight, by tenant.", float64(st.Weight), lbl)
 		}
 	}
-	if s.shardPool != nil {
-		b.Gauge("etude_shards", "In-process retrieval shard count.", float64(s.shardPool.Shards()))
+	if rt.shardPool != nil {
+		b.Gauge("etude_shards", "In-process retrieval shard count.", float64(rt.shardPool.Shards()))
 	}
 	if s.gw != nil {
 		b.Gauge("etude_shards", "Shard groups behind the scatter-gather gateway.", float64(s.gw.Shards()))
@@ -644,6 +836,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.pending.Add(1)
 	defer s.pending.Add(-1)
 
+	// Pin the serving runtime for the whole request: a hot-swap landing
+	// mid-request must not mix versions, and the version header lets clients
+	// (and the canary controller's blast-radius accounting) attribute every
+	// response — success or error — to the release that produced it.
+	rt := s.rt.Load()
+	if rt.version > 0 {
+		w.Header().Set(httpapi.HeaderModelVersion, strconv.Itoa(rt.version))
+	}
+
 	// Gateway mode: the gateway opens the request's span itself (scatter,
 	// wait, merge, error outcomes); a handler span on the same tracer would
 	// double-count every request.
@@ -707,12 +908,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(httpapi.HeaderDegraded, httpapi.DegradedPartial)
 			s.degraded.Add(1)
 		}
-	case s.mdl == nil:
+	case rt.mdl == nil:
 		// Static mode: no inference at all.
 	case s.opts.DegradeAt > 0 && s.queueDepth() > s.opts.DegradeAt:
 		// Graceful degradation: past the watermark, answer from the
 		// precomputed fallback list instead of joining the model queue.
-		recs = s.fallback
+		recs = rt.fallback
 		degraded = true
 		s.degraded.Add(1)
 	case s.sched != nil:
@@ -720,6 +921,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// As on the batcher path: the dispatcher may still hold the span.
 			sp = nil
+			rt.errs.Add(1)
 			status := http.StatusServiceUnavailable
 			switch {
 			case errors.Is(err, sched.ErrShed):
@@ -749,6 +951,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// The dispatcher may still hold the span (cancelled mid-flight):
 			// abandon it rather than recycle it under a racing writer.
 			sp = nil
+			rt.errs.Add(1)
 			status := http.StatusServiceUnavailable
 			switch err {
 			case context.DeadlineExceeded:
@@ -776,13 +979,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		poolWait := sp.Now()
 		waitStart := time.Now()
 		select {
-		case p := <-s.pool:
+		case p := <-rt.pool:
 			sp.ObserveSince(trace.StageQueueWait, poolWait)
 			// Expired work must not reach the encoder: the budget check
 			// happens after the queue wait, right before dispatch.
 			if r.Context().Err() == context.DeadlineExceeded {
-				s.pool <- p
+				rt.pool <- p
 				s.deadlineExpired.Add(1)
+				rt.errs.Add(1)
 				congested = true
 				sp.Discard()
 				http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
@@ -791,8 +995,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			// CoDel on the worker-pool wait: a sustained standing queue in
 			// front of the workers sheds from the head here.
 			if s.opts.CoDel.ShouldDrop(time.Since(waitStart)) {
-				s.pool <- p
+				rt.pool <- p
 				s.codelDropped.Add(1)
+				rt.errs.Add(1)
 				congested = true
 				sp.Discard()
 				w.Header().Set("Retry-After", "1")
@@ -800,11 +1005,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			recs = p(req.Items, sp)
-			s.pool <- p
+			rt.pool <- p
 		case <-r.Context().Done():
 			sp.Discard()
 			if r.Context().Err() == context.DeadlineExceeded {
 				s.deadlineExpired.Add(1)
+				rt.errs.Add(1)
 				congested = true
 				http.Error(w, "deadline exceeded in queue", http.StatusGatewayTimeout)
 				return
@@ -830,6 +1036,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	httpapi.WriteJSON(w, http.StatusOK, resp)
 	s.served.Add(1)
+	rt.served.Add(1)
+	rt.lat.Record(inference)
 	sp.ObserveSince(trace.StageSerialize, serStart)
 	sp.Finish()
 }

@@ -140,7 +140,7 @@ func TestJITServingMatchesEager(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer jit.Close()
-	if !jit.JITActive {
+	if !jit.JITActive() {
 		t.Fatalf("JIT not active for a compilable model")
 	}
 	tsE := httptest.NewServer(eager.Handler())
@@ -168,7 +168,7 @@ func TestLightSANsFallsBackToEager(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if s.JITActive {
+	if s.JITActive() {
 		t.Fatalf("LightSANs must not be JIT-served (paper: dynamic code paths)")
 	}
 }

@@ -133,6 +133,12 @@ type Instance struct {
 	// the utilisation signal consumed by the autoscaler.
 	busyTotal time.Duration
 
+	// version is the model release the instance serves (0 when the
+	// deployment predates versioned releases). HotSwap flips it.
+	version int
+	// swaps counts completed hot-swaps.
+	swaps int64
+
 	// Fault state (driven by the chaos injector).
 	down     bool
 	slowdown float64 // service-time multiplier; 1 = healthy
@@ -293,6 +299,33 @@ func (in *Instance) Crash() {
 // Restart brings a crashed instance back up with an empty queue (the
 // restarted pod passed its readiness probe).
 func (in *Instance) Restart() { in.down = false }
+
+// Version returns the model release the instance currently serves — the
+// sim mirror of the live server's etude_model_version gauge.
+func (in *Instance) Version() int { return in.version }
+
+// Swaps returns how many hot-swaps the instance has completed.
+func (in *Instance) Swaps() int64 { return in.swaps }
+
+// SetVersion pins the starting model version (the sim analogue of booting
+// a pod with -model-version).
+func (in *Instance) SetVersion(v int) { in.version = v }
+
+// HotSwap mirrors the live server's background release swap: the new
+// version loads and verifies for loadTime of virtual time while the
+// incumbent keeps serving, then the version pointer flips. The executor
+// never stalls — queued and in-flight requests complete untouched on
+// whichever version they arrived under. A pod that is down when the load
+// would finish swaps nothing (its restart re-reads CURRENT anyway).
+func (in *Instance) HotSwap(version int, loadTime time.Duration) {
+	in.eng.Schedule(loadTime, func() {
+		if in.down || in.version == version {
+			return
+		}
+		in.version = version
+		in.swaps++
+	})
+}
 
 // SetSlowdown sets the service-time multiplier (1 = healthy; 3 = a degraded
 // node running 3× slower). Non-positive values reset to 1.
